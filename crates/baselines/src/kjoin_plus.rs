@@ -1,0 +1,244 @@
+//! K-Join+: K-Join with approximate entity matching.
+//!
+//! The paper's related work notes that *"K-Join+ adds an ad-hoc operation
+//! to match multiple taxonomy nodes through approximate match
+//! preprocessing"* — i.e. a token span still binds to a taxonomy entity
+//! when it is merely *close* to an entity label (a typo'd "esspresso"
+//! should still reach the espresso node). This module implements that
+//! preprocessing: every single-token span whose best gram-Jaccard match
+//! among entity labels clears `label_sim_threshold` is treated as that
+//! entity, then plain K-Join runs on the enriched entity sets.
+//!
+//! The label index is a gram-signature prefix filter of its own, so the
+//! preprocessing stays subquadratic in |vocab| × |labels|.
+
+use crate::kjoin::{k_join, KJoinConfig};
+use crate::BaselineResult;
+use au_core::knowledge::Knowledge;
+use au_text::hash::FxHashMap;
+use au_text::jaccard::jaccard_sorted;
+use au_text::qgram::qgrams;
+use au_text::record::Corpus;
+use au_text::TokenId;
+use std::time::Instant;
+
+/// K-Join+ parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KJoinPlusConfig {
+    /// Gram length for approximate label matching.
+    pub q: usize,
+    /// Minimum gram-Jaccard between a token and an entity label for the
+    /// token to adopt the label's node.
+    pub label_sim_threshold: f64,
+    /// Inner K-Join configuration.
+    pub inner: KJoinConfig,
+}
+
+impl Default for KJoinPlusConfig {
+    fn default() -> Self {
+        Self {
+            q: 2,
+            label_sim_threshold: 0.6,
+            inner: KJoinConfig::default(),
+        }
+    }
+}
+
+/// Map of token → adopted entity node for tokens that approximately match
+/// a single-token entity label.
+pub fn approximate_entity_bindings(
+    kn: &Knowledge,
+    corpora: [&Corpus; 2],
+    cfg: &KJoinPlusConfig,
+) -> FxHashMap<TokenId, au_taxonomy::NodeId> {
+    // Collect single-token entity labels with their gram sets.
+    let mut labels: Vec<(Vec<u64>, au_taxonomy::NodeId, TokenId)> = Vec::new();
+    for (phrase, node) in kn.entities.iter() {
+        let toks = kn.phrases.resolve(phrase);
+        if toks.len() != 1 {
+            continue;
+        }
+        let text = kn.vocab.resolve(toks[0]);
+        labels.push((gram_hashes(text, cfg.q), node, toks[0]));
+    }
+    // Gram → label index for candidate pruning.
+    let mut by_gram: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, (grams, _, _)) in labels.iter().enumerate() {
+        for &g in grams {
+            by_gram.entry(g).or_default().push(i as u32);
+        }
+    }
+    // Try every distinct corpus token not already an exact entity.
+    let mut out: FxHashMap<TokenId, au_taxonomy::NodeId> = FxHashMap::default();
+    let mut seen: std::collections::HashSet<TokenId> = std::collections::HashSet::new();
+    for corpus in corpora {
+        for r in corpus.iter() {
+            for &tk in &r.tokens {
+                if !seen.insert(tk) {
+                    continue;
+                }
+                if let Some(p) = kn.phrases.get(&[tk]) {
+                    if kn.entities.lookup(p).is_some() {
+                        continue; // exact entity already
+                    }
+                }
+                let text = kn.vocab.resolve(tk);
+                let grams = gram_hashes(text, cfg.q);
+                let mut cands: Vec<u32> = grams
+                    .iter()
+                    .filter_map(|g| by_gram.get(g))
+                    .flatten()
+                    .copied()
+                    .collect();
+                cands.sort_unstable();
+                cands.dedup();
+                let mut best: Option<(f64, au_taxonomy::NodeId)> = None;
+                for c in cands {
+                    let (lg, node, ltok) = &labels[c as usize];
+                    if *ltok == tk {
+                        continue;
+                    }
+                    let j = jaccard_sorted(&grams, lg);
+                    if j >= cfg.label_sim_threshold && best.is_none_or(|(b, _)| j > b) {
+                        best = Some((j, *node));
+                    }
+                }
+                if let Some((_, node)) = best {
+                    out.insert(tk, node);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rewrite a corpus so approximately-matching tokens become their entity
+/// labels, making them visible to plain K-Join.
+fn rewrite(
+    kn: &Knowledge,
+    corpus: &Corpus,
+    bindings: &FxHashMap<TokenId, au_taxonomy::NodeId>,
+) -> Corpus {
+    let mut out = Corpus::new();
+    for r in corpus.iter() {
+        let tokens: Vec<TokenId> = r
+            .tokens
+            .iter()
+            .map(|tk| match bindings.get(tk) {
+                Some(node) => {
+                    let label = kn.taxonomy.label(*node);
+                    let toks = kn.phrases.resolve(label);
+                    if toks.len() == 1 {
+                        toks[0]
+                    } else {
+                        *tk
+                    }
+                }
+                None => *tk,
+            })
+            .collect();
+        out.push_tokens(tokens, r.raw.clone());
+    }
+    out
+}
+
+/// Run K-Join+ between two corpora at threshold `theta`.
+pub fn k_join_plus(
+    kn: &Knowledge,
+    s: &Corpus,
+    t: &Corpus,
+    theta: f64,
+    cfg: &KJoinPlusConfig,
+) -> BaselineResult {
+    let start = Instant::now();
+    let bindings = approximate_entity_bindings(kn, [s, t], cfg);
+    let s2 = rewrite(kn, s, &bindings);
+    let t2 = rewrite(kn, t, &bindings);
+    let mut res = k_join(kn, &s2, &t2, theta, &cfg.inner);
+    res.time = start.elapsed();
+    res
+}
+
+fn gram_hashes(text: &str, q: usize) -> Vec<u64> {
+    use au_text::hash::FxHasher64;
+    use std::hash::Hasher;
+    let mut v: Vec<u64> = qgrams(text, q)
+        .iter()
+        .map(|g| {
+            let mut h = FxHasher64::default();
+            h.write(g.as_bytes());
+            h.finish()
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_core::knowledge::KnowledgeBuilder;
+
+    fn setup() -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.build()
+    }
+
+    #[test]
+    fn typod_entity_recovered() {
+        let mut kn = setup();
+        // "esspresso" is not an entity, but is gram-close to "espresso".
+        let s = kn.corpus_from_lines(["esspresso morning"]);
+        let t = kn.corpus_from_lines(["latte evening"]);
+        let plain = k_join(&kn, &s, &t, 0.5, &KJoinConfig::default());
+        assert!(plain.pairs.is_empty(), "plain K-Join cannot see the typo");
+        let plus = k_join_plus(&kn, &s, &t, 0.5, &KJoinPlusConfig::default());
+        assert!(
+            plus.pairs.iter().any(|&(a, b, _)| (a, b) == (0, 0)),
+            "K-Join+ should bind esspresso→espresso: {:?}",
+            plus.pairs
+        );
+    }
+
+    #[test]
+    fn bindings_skip_exact_entities() {
+        let mut kn = setup();
+        let s = kn.corpus_from_lines(["espresso latte"]);
+        let t = kn.corpus_from_lines(["espresso"]);
+        let b = approximate_entity_bindings(&kn, [&s, &t], &KJoinPlusConfig::default());
+        // exact entity tokens must not be rebound
+        let esp = kn.vocab.get("espresso").unwrap();
+        assert!(!b.contains_key(&esp));
+    }
+
+    #[test]
+    fn threshold_controls_adoption() {
+        let mut kn = setup();
+        let s = kn.corpus_from_lines(["xyzzy word"]);
+        let t = kn.corpus_from_lines(["espresso"]);
+        let strict = KJoinPlusConfig {
+            label_sim_threshold: 0.95,
+            ..Default::default()
+        };
+        let b = approximate_entity_bindings(&kn, [&s, &t], &strict);
+        let xyzzy = kn.vocab.get("xyzzy").unwrap();
+        assert!(!b.contains_key(&xyzzy), "unrelated token must not bind");
+    }
+
+    #[test]
+    fn plus_is_superset_of_plain_on_clean_data() {
+        let mut kn = setup();
+        let s = kn.corpus_from_lines(["latte stand", "espresso cart", "nothing here"]);
+        let t = kn.corpus_from_lines(["espresso stand", "latte cart", "still nothing"]);
+        for theta in [0.4, 0.6] {
+            let plain = k_join(&kn, &s, &t, theta, &KJoinConfig::default()).id_pairs();
+            let plus = k_join_plus(&kn, &s, &t, theta, &KJoinPlusConfig::default()).id_pairs();
+            for p in &plain {
+                assert!(plus.contains(p), "K-Join+ lost pair {p:?} at θ={theta}");
+            }
+        }
+    }
+}

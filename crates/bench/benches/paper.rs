@@ -1,0 +1,185 @@
+//! Criterion benches — one group per paper table/figure, at reduced scale.
+//!
+//! These exist so `cargo bench` tracks regressions on every experiment
+//! path; the full-size numbers come from the `au-bench` binaries
+//! (EXPERIMENTS.md). Scale is deliberately tiny to keep `cargo bench`
+//! minutes-sized.
+
+use au_bench::harness::{med_dataset, wiki_dataset};
+use au_core::config::{MeasureSet, SimConfig};
+use au_core::estimate::CostModel;
+use au_core::join::{join, JoinOptions};
+use au_core::suggest::{suggest_tau, SuggestConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Table 8 / Table 13 path: effectiveness joins over measure combos.
+fn bench_effectiveness(c: &mut Criterion) {
+    let ds = med_dataset(150, 81);
+    let mut g = c.benchmark_group("table8_effectiveness");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [MeasureSet::J, MeasureSet::TJS] {
+        let cfg = SimConfig::default().with_measures(m);
+        g.bench_function(m.label(), |b| {
+            b.iter(|| {
+                black_box(join(
+                    &ds.kn,
+                    &cfg,
+                    &ds.s,
+                    &ds.t,
+                    &JoinOptions::au_dp(0.75, 2),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 9 path: exact vs approximate USIM.
+fn bench_usim(c: &mut Criterion) {
+    use au_core::segment::segment_record;
+    use au_core::usim::{usim_approx_seg, usim_exact_seg};
+    let ds = med_dataset(60, 91);
+    let cfg = SimConfig::default();
+    let srec = segment_record(&ds.kn, &cfg, &ds.s.get(au_text::record::RecordId(0)).tokens);
+    let trec = segment_record(&ds.kn, &cfg, &ds.t.get(au_text::record::RecordId(0)).tokens);
+    let mut g = c.benchmark_group("table9_usim");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("approx", |b| {
+        b.iter(|| black_box(usim_approx_seg(&ds.kn, &cfg, &srec, &trec)))
+    });
+    g.bench_function("exact", |b| {
+        b.iter(|| black_box(usim_exact_seg(&ds.kn, &cfg, &srec, &trec)))
+    });
+    g.finish();
+}
+
+/// Figures 3–5 path: the three filters at a fixed τ.
+fn bench_filters(c: &mut Criterion) {
+    let ds = med_dataset(200, 31);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("fig4_filters");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, opts) in [
+        ("u_filter", JoinOptions::u_filter(0.85)),
+        ("au_heuristic", JoinOptions::au_heuristic(0.85, 3)),
+        ("au_dp", JoinOptions::au_dp(0.85, 3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(join(&ds.kn, &cfg, &ds.s, &ds.t, &opts)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 path: measure combos under AU-DP.
+fn bench_measures(c: &mut Criterion) {
+    let ds = wiki_dataset(150, 61);
+    let mut g = c.benchmark_group("fig6_measures");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [MeasureSet::T, MeasureSet::S, MeasureSet::TJS] {
+        let cfg = SimConfig::default().with_measures(m);
+        g.bench_function(m.label(), |b| {
+            b.iter(|| {
+                black_box(join(
+                    &ds.kn,
+                    &cfg,
+                    &ds.s,
+                    &ds.t,
+                    &JoinOptions::au_dp(0.85, 2),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7 / Table 10 path: scalability of the full pipeline.
+fn bench_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_scalability");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [100usize, 200, 400] {
+        let ds = med_dataset(n, 71);
+        let cfg = SimConfig::default();
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                black_box(join(
+                    &ds.kn,
+                    &cfg,
+                    &ds.s,
+                    &ds.t,
+                    &JoinOptions::au_dp(0.9, 3),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Tables 11/12, Figure 8 path: the τ recommender.
+fn bench_suggest(c: &mut Criterion) {
+    let ds = med_dataset(300, 111);
+    let cfg = SimConfig::default();
+    let model = CostModel {
+        c_f: 5e-8,
+        c_v: 2e-6,
+    };
+    let mut g = c.benchmark_group("fig8_suggest");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for p in [0.05, 0.2] {
+        g.bench_function(format!("p{p}"), |b| {
+            b.iter(|| {
+                let sc = SuggestConfig {
+                    ps: p,
+                    pt: p,
+                    n_star: 5,
+                    max_iters: 15,
+                    universe: vec![1, 2, 3],
+                    ..Default::default()
+                };
+                black_box(suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, 0.85, &model, &sc))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 14 path: baselines vs ours.
+fn bench_baselines(c: &mut Criterion) {
+    use au_baselines::{adapt_join, combination_join, AdaptJoinConfig};
+    let ds = med_dataset(150, 151);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("table14_baselines");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("adaptjoin", |b| {
+        b.iter(|| black_box(adapt_join(&ds.s, &ds.t, 0.85, &AdaptJoinConfig::default())))
+    });
+    g.bench_function("combination", |b| {
+        b.iter(|| black_box(combination_join(&ds.kn, &ds.s, &ds.t, 0.85)))
+    });
+    g.bench_function("ours_tjs", |b| {
+        b.iter(|| {
+            black_box(join(
+                &ds.kn,
+                &cfg,
+                &ds.s,
+                &ds.t,
+                &JoinOptions::au_dp(0.85, 2),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_effectiveness,
+    bench_usim,
+    bench_filters,
+    bench_measures,
+    bench_scalability,
+    bench_suggest,
+    bench_baselines
+);
+criterion_main!(paper);

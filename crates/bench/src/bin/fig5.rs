@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 (see au_bench::experiments::fig5).
+fn main() {
+    let scale = au_bench::scale_from_env();
+    println!("[fig5] scale = {scale} (set AU_SCALE to change)\n");
+    au_bench::experiments::fig5::run(scale);
+}

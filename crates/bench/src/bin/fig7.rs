@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see au_bench::experiments::fig7).
+fn main() {
+    let scale = au_bench::scale_from_env();
+    println!("[fig7] scale = {scale} (set AU_SCALE to change)\n");
+    au_bench::experiments::fig7::run(scale);
+}

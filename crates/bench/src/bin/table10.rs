@@ -1,0 +1,6 @@
+//! Regenerates the paper's table10 (see au_bench::experiments::table10).
+fn main() {
+    let scale = au_bench::scale_from_env();
+    println!("[table10] scale = {scale} (set AU_SCALE to change)\n");
+    au_bench::experiments::table10::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table13 (see au_bench::experiments::table13).
+fn main() {
+    let scale = au_bench::scale_from_env();
+    println!("[table13] scale = {scale} (set AU_SCALE to change)\n");
+    au_bench::experiments::table13::run(scale);
+}

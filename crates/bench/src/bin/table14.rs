@@ -1,0 +1,6 @@
+//! Regenerates the paper's table14 (see au_bench::experiments::table14).
+fn main() {
+    let scale = au_bench::scale_from_env();
+    println!("[table14] scale = {scale} (set AU_SCALE to change)\n");
+    au_bench::experiments::table14::run(scale);
+}

@@ -1,0 +1,100 @@
+//! Figure 4: total join time of the three proposed algorithms vs θ.
+//!
+//! Paper shape: AU-Filter (heuristics) and AU-Filter (DP) beat U-Filter
+//! across thresholds; AU-DP is the overall winner, with the gap widest at
+//! low θ (where candidates explode under a single-overlap filter).
+
+use crate::experiments::sized;
+use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
+use au_core::config::SimConfig;
+use au_core::estimate::CostModel;
+use au_core::join::{join, JoinOptions};
+use au_core::signature::FilterKind;
+use au_core::suggest::{suggest_tau, SuggestConfig};
+
+/// Pick τ with Algorithm 7, then run the AU join with it.
+fn suggested_join(
+    ds: &au_datagen::LabeledDataset,
+    cfg: &SimConfig,
+    theta: f64,
+    use_dp: bool,
+) -> au_core::join::JoinResult {
+    let model = CostModel::calibrate(
+        &ds.kn,
+        cfg,
+        &ds.s,
+        &ds.t,
+        theta,
+        FilterKind::AuHeuristic { tau: 2 },
+        64,
+    );
+    let sc = SuggestConfig {
+        ps: 0.1,
+        pt: 0.1,
+        n_star: 5,
+        max_iters: 25,
+        universe: vec![1, 2, 3, 4, 5],
+        use_dp,
+        ..Default::default()
+    };
+    let pick = suggest_tau(&ds.kn, cfg, &ds.s, &ds.t, theta, &model, &sc);
+    let opts = if use_dp {
+        JoinOptions::au_dp(theta, pick.tau)
+    } else {
+        JoinOptions::au_heuristic(theta, pick.tau)
+    };
+    join(&ds.kn, cfg, &ds.s, &ds.t, &opts)
+}
+
+/// Run the experiment; returns the rendered tables.
+pub fn run(scale: f64) -> String {
+    let cfg = SimConfig::default();
+    let mut out = String::new();
+    for (name, ds) in [
+        ("MED-like", med_dataset(sized(1200, scale), 41)),
+        ("WIKI-like", wiki_dataset(sized(1200, scale), 42)),
+    ] {
+        let mut table = Table::new(
+            &format!("Figure 4 — join time vs θ ({name})"),
+            &["θ", "U-Filter", "AU-heur", "AU-DP"],
+        );
+        for theta in [0.75, 0.80, 0.85, 0.90, 0.95] {
+            let u = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::u_filter(theta));
+            let h = suggested_join(&ds, &cfg, theta, false);
+            let d = suggested_join(&ds, &cfg, theta, true);
+            table.row(vec![
+                format!("{theta:.2}"),
+                fmt_secs(u.stats.total_time().as_secs_f64()),
+                fmt_secs(h.stats.total_time().as_secs_f64()),
+                fmt_secs(d.stats.total_time().as_secs_f64()),
+            ]);
+        }
+        out.push_str(&table.emit());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_filters_same_results() {
+        // Timing aside, the three algorithms must return identical pairs.
+        let ds = med_dataset(200, 9);
+        let cfg = SimConfig::default();
+        let theta = 0.8;
+        let u = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::u_filter(theta));
+        let h = join(
+            &ds.kn,
+            &cfg,
+            &ds.s,
+            &ds.t,
+            &JoinOptions::au_heuristic(theta, 3),
+        );
+        let d = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 3));
+        assert_eq!(u.pairs, h.pairs);
+        assert_eq!(u.pairs, d.pairs);
+        assert!(!u.pairs.is_empty(), "fixture should produce matches");
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 6: join time of AU-Filter (DP) under each measure combination.
+//!
+//! Paper shape: the unified TJS measure costs the same order of magnitude
+//! as single measures (the filters absorb the extra knowledge), with time
+//! falling steeply as θ grows.
+
+use crate::experiments::sized;
+use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
+use au_core::config::{MeasureSet, SimConfig};
+use au_core::join::{join, JoinOptions};
+
+/// Run the experiment; returns the rendered tables.
+pub fn run(scale: f64) -> String {
+    let mut out = String::new();
+    for (name, ds) in [
+        ("MED-like", med_dataset(sized(1000, scale), 61)),
+        ("WIKI-like", wiki_dataset(sized(1000, scale), 62)),
+    ] {
+        let mut table = Table::new(
+            &format!("Figure 6 — AU-DP join time by measure ({name})"),
+            &["measure", "θ=0.75", "θ=0.85", "θ=0.95"],
+        );
+        for m in MeasureSet::all_combinations() {
+            let cfg = SimConfig::default().with_measures(m);
+            let mut cells = vec![m.label()];
+            for theta in [0.75, 0.85, 0.95] {
+                let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+                cells.push(fmt_secs(res.stats.total_time().as_secs_f64()));
+            }
+            table.row(cells);
+        }
+        out.push_str(&table.emit());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn tjs_time_comparable_to_singles() {
+        let ds = med_dataset(250, 11);
+        let theta = 0.85;
+        let time_of = |m: MeasureSet| -> Duration {
+            let cfg = SimConfig::default().with_measures(m);
+            // median of 3 runs to damp noise
+            let mut times: Vec<Duration> = (0..3)
+                .map(|_| {
+                    join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2))
+                        .stats
+                        .total_time()
+                })
+                .collect();
+            times.sort();
+            times[1]
+        };
+        let tjs = time_of(MeasureSet::TJS);
+        let max_single = [MeasureSet::J, MeasureSet::S, MeasureSet::T]
+            .into_iter()
+            .map(time_of)
+            .max()
+            .unwrap();
+        // "comparable": within a 6× envelope of the slowest single measure
+        // (the paper reports same-order-of-magnitude).
+        assert!(
+            tjs < max_single * 6 + Duration::from_millis(50),
+            "TJS {tjs:?} vs slowest single {max_single:?}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! One module per paper artifact. See DESIGN.md's experiment index.
+//!
+//! | module   | paper artifact |
+//! |----------|----------------|
+//! | `table8` | Table 8 — effectiveness by measure combination |
+//! | `table9` | Table 9 — approximation accuracy vs rule size k |
+//! | `fig3`   | Figure 3 — overlap constraint trade-off |
+//! | `fig4`   | Figure 4 — join time of the three filters vs θ |
+//! | `fig5`   | Figure 5 — filtering power vs τ |
+//! | `fig6`   | Figure 6 — join time by measure combination |
+//! | `fig7`   | Figure 7 — scalability vs dataset size |
+//! | `table10`| Table 10 — suggestion/filter/verify breakdown |
+//! | `table11`| Table 11 — suggested vs random vs worst τ |
+//! | `table12`| Table 12 — suggestion accuracy and time fraction |
+//! | `fig8`   | Figure 8 — sampling probability vs iterations/time |
+//! | `table13`| Table 13 — effectiveness vs baselines |
+//! | `table14`| Table 14 — join time vs baselines |
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table10;
+pub mod table11;
+pub mod table12;
+pub mod table13;
+pub mod table14;
+pub mod table8;
+pub mod table9;
+
+/// Scale a base size, keeping a sane floor.
+pub fn sized(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(40)
+}

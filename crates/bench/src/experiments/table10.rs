@@ -1,0 +1,80 @@
+//! Table 10: AU-Filter (DP) join time broken into suggestion, filtering
+//! and verification, across dataset sizes.
+//!
+//! Paper shape: filtering and verification grow roughly linearly with
+//! size; the suggestion overhead is flat (sample-sized) and quickly drops
+//! below 1% of the total.
+
+use crate::experiments::sized;
+use crate::harness::{fmt_secs, med_dataset, Table};
+use au_core::config::SimConfig;
+use au_core::estimate::CostModel;
+use au_core::join::{join, JoinOptions};
+use au_core::signature::FilterKind;
+use au_core::suggest::{suggest_tau, SuggestConfig};
+
+/// Run the experiment; returns the rendered table.
+pub fn run(scale: f64) -> String {
+    let cfg = SimConfig::default();
+    let theta = 0.90;
+    let mut table = Table::new(
+        "Table 10 — AU-DP time breakdown (MED-like, θ=0.90)",
+        &["size", "suggest", "filter", "verify", "suggest %"],
+    );
+    for step in [1usize, 2, 3, 4, 5, 6] {
+        let n = sized(400 * step, scale);
+        let ds = med_dataset(n, 101);
+        let model = CostModel::calibrate(
+            &ds.kn,
+            &cfg,
+            &ds.s,
+            &ds.t,
+            theta,
+            FilterKind::AuDp { tau: 2 },
+            64,
+        );
+        let sc = SuggestConfig {
+            ps: (200.0 / n as f64).min(0.5),
+            pt: (200.0 / n as f64).min(0.5),
+            n_star: 5,
+            max_iters: 20,
+            universe: vec![1, 2, 3, 4, 5],
+            use_dp: true,
+            ..Default::default()
+        };
+        let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+        let res = join(
+            &ds.kn,
+            &cfg,
+            &ds.s,
+            &ds.t,
+            &JoinOptions::au_dp(theta, pick.tau),
+        );
+        let suggest_s = pick.elapsed.as_secs_f64();
+        let filter_s = (res.stats.sig_time + res.stats.filter_time).as_secs_f64();
+        let verify_s = res.stats.verify_time.as_secs_f64();
+        let frac = 100.0 * suggest_s / (suggest_s + filter_s + verify_s);
+        table.row(vec![
+            n.to_string(),
+            fmt_secs(suggest_s),
+            fmt_secs(filter_s),
+            fmt_secs(verify_s),
+            format!("{frac:.1}%"),
+        ]);
+    }
+    table.emit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_parts_are_positive() {
+        let ds = med_dataset(200, 13);
+        let cfg = SimConfig::default();
+        let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(0.9, 2));
+        assert!(res.stats.sig_time.as_nanos() > 0);
+        assert!(res.stats.total_time() >= res.stats.verify_time);
+    }
+}

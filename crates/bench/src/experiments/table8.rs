@@ -1,0 +1,64 @@
+//! Table 8: join effectiveness (P/R/F) of the seven measure combinations.
+//!
+//! Paper shape to reproduce: single measures have low recall (J ≈ 0.27,
+//! T ≈ 0.12, S ≈ 0.60 on MED at θ = 0.7), two-measure combinations
+//! improve, and TJS wins on every dataset/threshold.
+
+use crate::experiments::sized;
+use crate::harness::{med_dataset, score_join, wiki_dataset, Table};
+use au_core::config::{MeasureSet, SimConfig};
+use au_core::join::{join, JoinOptions};
+
+/// Run the experiment; returns the rendered table.
+pub fn run(scale: f64) -> String {
+    let mut out = String::new();
+    for (name, ds) in [
+        ("MED-like", med_dataset(sized(700, scale), 81)),
+        ("WIKI-like", wiki_dataset(sized(700, scale), 82)),
+    ] {
+        let mut table = Table::new(
+            &format!("Table 8 — effectiveness by measure ({name})"),
+            &["measure", "θ=0.70 P", "R", "F", "θ=0.75 P", "R", "F"],
+        );
+        for m in MeasureSet::all_combinations() {
+            let cfg = SimConfig::default().with_measures(m);
+            let mut cells = vec![m.label()];
+            for theta in [0.70, 0.75] {
+                let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+                let prf = score_join(&ds, &res);
+                cells.push(format!("{:.2}", prf.p));
+                cells.push(format!("{:.2}", prf.r));
+                cells.push(format!("{:.2}", prf.f));
+            }
+            table.row(cells);
+        }
+        out.push_str(&table.emit());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::score_join;
+
+    #[test]
+    fn tjs_dominates_singles() {
+        let ds = med_dataset(150, 7);
+        let theta = 0.7;
+        let f_of = |m: MeasureSet| {
+            let cfg = SimConfig::default().with_measures(m);
+            let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+            score_join(&ds, &res).f
+        };
+        let tjs = f_of(MeasureSet::TJS);
+        for single in [MeasureSet::J, MeasureSet::S, MeasureSet::T] {
+            assert!(
+                tjs >= f_of(single) - 1e-9,
+                "TJS F {tjs} below single {}",
+                single.label()
+            );
+        }
+        assert!(tjs > 0.5, "TJS F-measure suspiciously low: {tjs}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Table 9: approximation accuracy of Algorithm 1 vs the longest rule
+//! size k.
+//!
+//! For each k we generate string pairs over rule sets with sides up to k
+//! tokens, compute the exact USIM (enumeration) and Algorithm 1's value,
+//! and report percentiles of the ratio `approx / exact`. Paper shape: the
+//! ratio is far above the worst-case bound and *improves* with k (long
+//! rules usually contribute to the optimum).
+
+use crate::experiments::sized;
+use crate::harness::Table;
+use au_core::config::SimConfig;
+use au_core::knowledge::KnowledgeBuilder;
+use au_core::segment::segment_record;
+use au_core::usim::{usim_approx_seg, usim_exact_seg};
+use au_datagen::word;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Percentiles reported by the paper.
+const PCTS: [usize; 5] = [2, 25, 50, 75, 98];
+
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p as f64 / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Generate one instance (knowledge + string pair) with rule sides up to
+/// `k` tokens, then measure `approx/exact`.
+fn ratios_for_k(k: usize, n_pairs: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_pairs);
+    let mut attempts = 0;
+    while out.len() < n_pairs && attempts < n_pairs * 4 {
+        attempts += 1;
+        // Small dedicated knowledge per pair: dense overlapping rules make
+        // the instance combinatorially hard (like Example 1).
+        let mut b = KnowledgeBuilder::new();
+        let n_tokens = rng.random_range(5..=7usize);
+        let s_words: Vec<String> = (0..n_tokens).map(|i| word(seed * 97 + i as u64)).collect();
+        let t_words: Vec<String> = (0..n_tokens)
+            .map(|i| word(seed * 97 + 50 + i as u64))
+            .collect();
+        // Random rules between spans of S and spans of T.
+        let n_rules = rng.random_range(4..=8usize);
+        for _ in 0..n_rules {
+            let ls = rng.random_range(1..=k.min(n_tokens));
+            let lt = rng.random_range(1..=k.min(n_tokens));
+            let ss = rng.random_range(0..=n_tokens - ls);
+            let ts = rng.random_range(0..=n_tokens - lt);
+            let lhs = s_words[ss..ss + ls].join(" ");
+            let rhs = t_words[ts..ts + lt].join(" ");
+            let c = 0.2 + rng.random::<f64>() * 0.8;
+            b.synonym(&lhs, &rhs, c);
+        }
+        let mut kn = b.build();
+        let s_text = s_words.join(" ");
+        let t_text = t_words.join(" ");
+        let sid = kn.add_record(&s_text);
+        let tid = kn.add_record(&t_text);
+        let cfg = SimConfig {
+            exact_budget: 500_000,
+            ..SimConfig::default()
+        };
+        let srec = segment_record(&kn, &cfg, &kn.record(sid).tokens);
+        let trec = segment_record(&kn, &cfg, &kn.record(tid).tokens);
+        let Some(exact) = usim_exact_seg(&kn, &cfg, &srec, &trec) else {
+            continue;
+        };
+        if exact <= 0.0 {
+            continue;
+        }
+        let approx = usim_approx_seg(&kn, &cfg, &srec, &trec);
+        out.push((approx / exact).min(1.0));
+    }
+    out
+}
+
+/// Run the experiment; returns the rendered table.
+pub fn run(scale: f64) -> String {
+    let n_pairs = sized(150, scale);
+    let mut table = Table::new(
+        "Table 9 — approximation accuracy (approx/exact) vs rule size k",
+        &["k", "2%", "25%", "50%", "75%", "98%", "pairs"],
+    );
+    for k in 3..=8usize {
+        let mut all = Vec::new();
+        for seed in 0..8u64 {
+            all.extend(ratios_for_k(k, n_pairs / 8 + 1, k as u64 * 1000 + seed));
+        }
+        all.sort_by(|a, b| a.total_cmp(b));
+        let mut cells = vec![k.to_string()];
+        for p in PCTS {
+            cells.push(format!("{:.2}", percentile(&all, p)));
+        }
+        cells.push(all.len().to_string());
+        table.row(cells);
+    }
+    table.emit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_bounded_and_high() {
+        let r = ratios_for_k(4, 20, 42);
+        assert!(r.len() >= 10, "too few solvable instances: {}", r.len());
+        for &x in &r {
+            assert!(x > 0.0 && x <= 1.0 + 1e-9, "ratio {x} out of range");
+        }
+        let mean = r.iter().sum::<f64>() / r.len() as f64;
+        assert!(mean > 0.6, "mean approximation ratio too low: {mean}");
+    }
+
+    #[test]
+    fn percentile_helper() {
+        let xs = [0.1, 0.2, 0.3, 0.4, 1.0];
+        assert_eq!(percentile(&xs, 50), 0.3);
+        assert_eq!(percentile(&xs, 2), 0.1);
+        assert_eq!(percentile(&xs, 98), 1.0);
+        assert!(percentile(&[], 50).is_nan());
+    }
+}

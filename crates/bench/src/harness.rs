@@ -1,0 +1,201 @@
+//! Shared experiment plumbing: scaling, datasets, P/R/F scoring and ASCII
+//! tables.
+
+use au_core::join::JoinResult;
+use au_datagen::{DatasetProfile, LabeledDataset};
+use std::collections::BTreeSet;
+
+/// Experiment scale factor from `AU_SCALE` (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("AU_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s: &f64| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// MED-like labeled dataset scaled to `n` records per side with 20%
+/// planted pairs.
+///
+/// The knowledge-source sizes (vocabulary, taxonomy, rules) stay at the
+/// full profile regardless of `n`: real MED has far more distinct tokens
+/// than records share, so accidental pebble overlaps are rare. Shrinking
+/// the vocabulary with the corpus would make every pair collide and turn
+/// the filtering problem into a different (much denser) one.
+pub fn med_dataset(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::med_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+/// WIKI-like labeled dataset scaled to `n` records per side.
+pub fn wiki_dataset(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::wiki_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+/// Precision / recall / F-measure of a join result against planted truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision `TP / output`.
+    pub p: f64,
+    /// Recall `TP / truth`.
+    pub r: f64,
+    /// F-measure `2PR / (P + R)`.
+    pub f: f64,
+}
+
+/// Score id pairs against the dataset's planted ground truth.
+pub fn score_pairs(ds: &LabeledDataset, pairs: &[(u32, u32)]) -> Prf {
+    let truth: BTreeSet<(u32, u32)> = ds.truth.iter().map(|g| (g.s, g.t)).collect();
+    let out: BTreeSet<(u32, u32)> = pairs.iter().copied().collect();
+    let tp = out.intersection(&truth).count() as f64;
+    let p = if out.is_empty() {
+        0.0
+    } else {
+        tp / out.len() as f64
+    };
+    let r = if truth.is_empty() {
+        0.0
+    } else {
+        tp / truth.len() as f64
+    };
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
+    Prf { p, r, f }
+}
+
+/// Score a [`JoinResult`] against planted truth.
+pub fn score_join(ds: &LabeledDataset, res: &JoinResult) -> Prf {
+    let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+    score_pairs(ds, &ids)
+}
+
+/// Minimal aligned ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and return the rendering.
+    pub fn emit(&self) -> String {
+        let s = self.render();
+        println!("{s}");
+        s
+    }
+}
+
+/// Format seconds adaptively (µs/ms/s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["100".into(), "x".into(), "yy".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("long-header"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn prf_scoring() {
+        let ds = med_dataset(50, 3);
+        let truth_ids: Vec<(u32, u32)> = ds.truth.iter().map(|g| (g.s, g.t)).collect();
+        let perfect = score_pairs(&ds, &truth_ids);
+        assert_eq!(perfect.p, 1.0);
+        assert_eq!(perfect.r, 1.0);
+        assert_eq!(perfect.f, 1.0);
+        let none = score_pairs(&ds, &[]);
+        assert_eq!(none.f, 0.0);
+        let half = score_pairs(&ds, &truth_ids[..truth_ids.len() / 2]);
+        assert_eq!(half.p, 1.0);
+        assert!(half.r < 1.0);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(5e-7).ends_with("µs"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(2.5).ends_with('s'));
+    }
+
+    #[test]
+    fn datasets_build() {
+        let d = med_dataset(40, 1);
+        assert_eq!(d.s.len(), 40);
+        assert_eq!(d.truth.len(), 8);
+        let w = wiki_dataset(40, 1);
+        assert_eq!(w.t.len(), 40);
+    }
+}

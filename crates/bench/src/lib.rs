@@ -1,0 +1,19 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! Each experiment is a module under [`experiments`] with a `run(scale)`
+//! entry point that prints (and returns) a report in the shape of the
+//! paper's corresponding table/figure. One binary per experiment lives in
+//! `src/bin/`; `cargo run --release -p au-bench --bin all` regenerates the
+//! whole evaluation.
+//!
+//! Sizes scale with the `AU_SCALE` environment variable (default 1.0 ≈
+//! laptop-minutes for the full suite). The absolute numbers differ from
+//! the paper (synthetic data, different hardware, Rust vs JVM); the
+//! *shapes* — who wins, by what factor, where the knees are — are the
+//! reproduction targets recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{med_dataset, scale_from_env, wiki_dataset, Table};

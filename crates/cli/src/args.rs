@@ -1,0 +1,251 @@
+//! Hand-rolled argument parsing (no CLI dependency needed for six flags).
+
+use au_core::config::{GramMeasure, MeasureSet};
+
+/// Usage text.
+pub const USAGE: &str = "\
+aujoin — unified string similarity joins (AU-Join, VLDB 2019)
+
+USAGE:
+    aujoin --s LEFT.txt [--t RIGHT.txt] --theta 0.8 [OPTIONS]
+    aujoin --s LEFT.txt [--t RIGHT.txt] --topk 20  [OPTIONS]
+
+OPTIONS:
+    --s FILE          left collection, one record per line (required)
+    --t FILE          right collection; omit for a self-join of --s
+    --theta F         similarity threshold in [0,1]
+    --topk K          return the K most similar pairs instead of a
+                      threshold join (exactly one of --theta/--topk)
+    --rules FILE      synonym rules: lhs<TAB>rhs[<TAB>closeness]
+    --taxonomy FILE   taxonomy paths: `a > b > c` per line
+    --tau N|auto      overlap constraint (default: auto via Algorithm 7)
+    --filter KIND     dp | heur | u   (default dp)
+    --measures SET    any of TJS letters (default TJS)
+    --gram KIND       jaccard | dice | cosine | overlap (default jaccard)
+    --explain         append a column explaining each pair's matched
+                      segments: `s_seg↔t_seg (measure score); ...`
+    --help            print this help";
+
+/// How τ is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TauChoice {
+    /// Fixed user-provided value.
+    Fixed(u32),
+    /// Recommend via sampling (Algorithm 7).
+    Auto,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Left input path.
+    pub s: String,
+    /// Right input path (None = self-join).
+    pub t: Option<String>,
+    /// Synonym rules path.
+    pub rules: Option<String>,
+    /// Taxonomy path.
+    pub taxonomy: Option<String>,
+    /// Join threshold (ignored in top-k mode, where it is the descent
+    /// floor's default).
+    pub theta: f64,
+    /// Top-k mode: return the k most similar pairs instead of a
+    /// threshold join.
+    pub topk: Option<usize>,
+    /// Overlap constraint choice.
+    pub tau: TauChoice,
+    /// Filter kind: "dp" | "heur" | "u".
+    pub filter: String,
+    /// Enabled measures.
+    pub measures: MeasureSet,
+    /// Gram-set similarity variant for the J slot.
+    pub gram: GramMeasure,
+    /// Append per-pair match explanations as an extra TSV column.
+    pub explain: bool,
+}
+
+impl Args {
+    /// Parse an iterator of CLI arguments.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut s = None;
+        let mut t = None;
+        let mut rules = None;
+        let mut taxonomy = None;
+        let mut theta = None;
+        let mut topk = None;
+        let mut tau = TauChoice::Auto;
+        let mut filter = "dp".to_string();
+        let mut measures = MeasureSet::TJS;
+        let mut gram = GramMeasure::Jaccard;
+        let mut explain = false;
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                argv.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--s" => s = Some(value("--s")?),
+                "--t" => t = Some(value("--t")?),
+                "--rules" => rules = Some(value("--rules")?),
+                "--taxonomy" => taxonomy = Some(value("--taxonomy")?),
+                "--theta" => {
+                    let v: f64 = value("--theta")?
+                        .parse()
+                        .map_err(|_| "bad --theta value".to_string())?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err("--theta must be in [0,1]".into());
+                    }
+                    theta = Some(v);
+                }
+                "--topk" => {
+                    let v: usize = value("--topk")?
+                        .parse()
+                        .map_err(|_| "bad --topk value".to_string())?;
+                    if v == 0 {
+                        return Err("--topk must be at least 1".into());
+                    }
+                    topk = Some(v);
+                }
+                "--tau" => {
+                    let v = value("--tau")?;
+                    tau = if v == "auto" {
+                        TauChoice::Auto
+                    } else {
+                        TauChoice::Fixed(
+                            v.parse::<u32>()
+                                .map_err(|_| "bad --tau value".to_string())?
+                                .max(1),
+                        )
+                    };
+                }
+                "--filter" => {
+                    let v = value("--filter")?;
+                    if !["dp", "heur", "u"].contains(&v.as_str()) {
+                        return Err(format!("unknown --filter {v:?} (dp|heur|u)"));
+                    }
+                    filter = v;
+                }
+                "--measures" => {
+                    let v = value("--measures")?;
+                    measures = MeasureSet::parse(&v)
+                        .ok_or_else(|| format!("bad --measures {v:?} (letters from TJS)"))?;
+                }
+                "--gram" => {
+                    let v = value("--gram")?;
+                    gram = GramMeasure::parse(&v).ok_or_else(|| {
+                        format!("bad --gram {v:?} (jaccard|dice|cosine|overlap)")
+                    })?;
+                }
+                "--explain" => explain = true,
+                "--help" | "-h" => return Err("help requested".into()),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let theta = match (theta, topk) {
+            (Some(_), Some(_)) => return Err("--theta and --topk are mutually exclusive".into()),
+            (Some(th), None) => th,
+            (None, Some(_)) => 0.0, // unused; top-k manages its own descent
+            (None, None) => return Err("one of --theta or --topk is required".into()),
+        };
+        Ok(Args {
+            s: s.ok_or("--s is required")?,
+            t,
+            rules,
+            taxonomy,
+            theta,
+            topk,
+            tau,
+            filter,
+            measures,
+            gram,
+            explain,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn minimal_self_join() {
+        let a = parse(&["--s", "x.txt", "--theta", "0.8"]).unwrap();
+        assert_eq!(a.s, "x.txt");
+        assert!(a.t.is_none());
+        assert_eq!(a.tau, TauChoice::Auto);
+        assert_eq!(a.filter, "dp");
+        assert_eq!(a.measures, MeasureSet::TJS);
+        assert_eq!(a.gram, GramMeasure::Jaccard);
+    }
+
+    #[test]
+    fn gram_flag() {
+        let a = parse(&["--s", "x", "--theta", "0.8", "--gram", "dice"]).unwrap();
+        assert_eq!(a.gram, GramMeasure::Dice);
+        assert!(parse(&["--s", "x", "--theta", "0.8", "--gram", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn explain_flag() {
+        let a = parse(&["--s", "x", "--theta", "0.8", "--explain"]).unwrap();
+        assert!(a.explain);
+        let b = parse(&["--s", "x", "--theta", "0.8"]).unwrap();
+        assert!(!b.explain);
+    }
+
+    #[test]
+    fn topk_mode() {
+        let a = parse(&["--s", "x", "--topk", "20"]).unwrap();
+        assert_eq!(a.topk, Some(20));
+        // mutually exclusive with --theta, and one of them is required
+        assert!(parse(&["--s", "x", "--theta", "0.8", "--topk", "5"]).is_err());
+        assert!(parse(&["--s", "x"]).is_err());
+        assert!(parse(&["--s", "x", "--topk", "0"]).is_err());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--s",
+            "l.txt",
+            "--t",
+            "r.txt",
+            "--theta",
+            "0.75",
+            "--rules",
+            "r.tsv",
+            "--taxonomy",
+            "t.txt",
+            "--tau",
+            "3",
+            "--filter",
+            "heur",
+            "--measures",
+            "TJ",
+        ])
+        .unwrap();
+        assert_eq!(a.t.as_deref(), Some("r.txt"));
+        assert_eq!(a.tau, TauChoice::Fixed(3));
+        assert_eq!(a.filter, "heur");
+        assert_eq!(a.measures.label(), "TJ");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--theta", "0.8"]).is_err()); // missing --s
+        assert!(parse(&["--s", "x", "--theta", "1.5"]).is_err());
+        assert!(parse(&["--s", "x", "--theta", "0.8", "--filter", "bogus"]).is_err());
+        assert!(parse(&["--s", "x", "--theta", "0.8", "--measures", "XYZ"]).is_err());
+        assert!(parse(&["--s", "x", "--theta", "0.8", "--nope"]).is_err());
+        assert!(parse(&["--s"]).is_err());
+    }
+
+    #[test]
+    fn tau_zero_clamped() {
+        let a = parse(&["--s", "x", "--theta", "0.8", "--tau", "0"]).unwrap();
+        assert_eq!(a.tau, TauChoice::Fixed(1));
+    }
+}

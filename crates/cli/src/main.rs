@@ -1,0 +1,323 @@
+//! `aujoin` — unified string similarity joins from the command line.
+//!
+//! ```text
+//! aujoin --s left.txt --t right.txt --theta 0.8 \
+//!        [--rules rules.tsv] [--taxonomy tax.txt] \
+//!        [--tau N | --tau auto] [--filter dp|heur|u] [--measures TJS]
+//! aujoin --s catalogue.txt --topk 20   # the 20 most similar pairs
+//! ```
+//!
+//! Input formats:
+//! * record files — one string per line;
+//! * rules — TSV `lhs<TAB>rhs<TAB>closeness` (closeness optional, default 1);
+//! * taxonomy — one root-to-leaf path per line, labels separated by `>`
+//!   (e.g. `food > coffee > coffee drinks > latte`).
+//!
+//! Output: TSV `s_line<TAB>t_line<TAB>similarity` on stdout, stats on
+//! stderr. Omitting `--t` performs a self-join of `--s`.
+
+use au_core::config::SimConfig;
+use au_core::estimate::CostModel;
+use au_core::io::{load_rules, load_taxonomy};
+use au_core::join::{join, join_self, JoinOptions, JoinResult};
+use au_core::knowledge::{Knowledge, KnowledgeBuilder};
+use au_core::segment::segment_record;
+use au_core::signature::{FilterKind, MpMode};
+use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::topk::{topk_join, topk_join_self, TopkOptions};
+use au_core::usim::usim_explain_seg;
+use au_text::record::{Corpus, RecordId};
+use std::process::ExitCode;
+
+mod args;
+use args::{Args, TauChoice};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut kb = KnowledgeBuilder::new();
+    if let Some(path) = &args.rules {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n = load_rules(&mut kb, &text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loaded {n} synonym rules");
+    }
+    if let Some(path) = &args.taxonomy {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n = load_taxonomy(&mut kb, &text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loaded {n} taxonomy paths ({} nodes)", kb.node_count());
+    }
+    let mut kn = kb.build();
+
+    let s_text = std::fs::read_to_string(&args.s).map_err(|e| format!("{}: {e}", args.s))?;
+    let s_lines: Vec<&str> = s_text.lines().collect();
+    let s = kn.corpus_from_lines(s_lines.iter().copied());
+
+    let cfg = SimConfig::default()
+        .with_measures(args.measures)
+        .with_gram(args.gram);
+
+    if let Some(k) = args.topk {
+        return run_topk(args, &mut kn, &cfg, &s, &s_lines, k);
+    }
+
+    let (res, t_lines_owned): (JoinResult, Option<Vec<String>>) = match &args.t {
+        Some(t_path) => {
+            let t_text = std::fs::read_to_string(t_path).map_err(|e| format!("{t_path}: {e}"))?;
+            let t_lines: Vec<String> = t_text.lines().map(str::to_string).collect();
+            let t = kn.corpus_from_lines(t_lines.iter().map(|x| x.as_str()));
+            let tau = resolve_tau(args, &kn, &cfg, &s, &t)?;
+            let opts = options(args, tau);
+            eprintln!(
+                "joining {}×{} records (θ={}, τ={tau}, {})",
+                s.len(),
+                t.len(),
+                args.theta,
+                opts.filter.label()
+            );
+            (join(&kn, &cfg, &s, &t, &opts), Some(t_lines))
+        }
+        None => {
+            let tau = resolve_tau(args, &kn, &cfg, &s, &s)?;
+            let opts = options(args, tau);
+            eprintln!(
+                "self-joining {} records (θ={}, τ={tau}, {})",
+                s.len(),
+                args.theta,
+                opts.filter.label()
+            );
+            (join_self(&kn, &cfg, &s, &opts), None)
+        }
+    };
+
+    // Rebuilding the right-side corpus for explanations is cheap relative
+    // to the join itself (tokens are already interned).
+    let t_corpus_for_explain = match (&args.explain, &t_lines_owned) {
+        (true, Some(t)) => Some(kn.corpus_from_lines(t.iter().map(|x| x.as_str()))),
+        _ => None,
+    };
+    for &(a, b, sim) in &res.pairs {
+        let left = s_lines[a as usize];
+        let right = match &t_lines_owned {
+            Some(t) => t[b as usize].as_str(),
+            None => s_lines[b as usize],
+        };
+        if args.explain {
+            let t_side = t_corpus_for_explain.as_ref().unwrap_or(&s);
+            let why = explain_pair(&kn, &cfg, &s, t_side, a, b);
+            println!("{left}\t{right}\t{sim:.4}\t{why}");
+        } else {
+            println!("{left}\t{right}\t{sim:.4}");
+        }
+    }
+    eprintln!(
+        "{} pairs | {} candidates from {} processed | sig {:.2?}, filter {:.2?}, verify {:.2?}",
+        res.pairs.len(),
+        res.stats.candidates,
+        res.stats.processed_pairs,
+        res.stats.sig_time,
+        res.stats.filter_time,
+        res.stats.verify_time,
+    );
+    Ok(())
+}
+
+/// Compact one-line explanation of a matched pair:
+/// `s_seg↔t_seg (measure score); ...`.
+fn explain_pair(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    a: u32,
+    b: u32,
+) -> String {
+    let sa = segment_record(kn, cfg, &s.get(RecordId(a)).tokens);
+    let sb = segment_record(kn, cfg, &t.get(RecordId(b)).tokens);
+    let res = usim_explain_seg(kn, cfg, &sa, &sb);
+    res.matches
+        .iter()
+        .map(|m| {
+            format!(
+                "{}↔{} ({} {:.2})",
+                m.s_text,
+                m.t_text,
+                m.kind.letter(),
+                m.score
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn run_topk(
+    args: &Args,
+    kn: &mut Knowledge,
+    cfg: &SimConfig,
+    s: &au_text::record::Corpus,
+    s_lines: &[&str],
+    k: usize,
+) -> Result<(), String> {
+    let tau = match args.tau {
+        TauChoice::Fixed(t) => t,
+        TauChoice::Auto => 2, // the descent revisits several θ; keep τ modest
+    };
+    let mut opts = TopkOptions::au_dp(k, tau);
+    if args.filter == "heur" {
+        opts.filter = FilterKind::AuHeuristic { tau };
+    } else if args.filter == "u" {
+        opts.filter = FilterKind::UFilter;
+    }
+    let (res, t_lines_owned): (_, Option<Vec<String>>) = match &args.t {
+        Some(t_path) => {
+            let t_text = std::fs::read_to_string(t_path).map_err(|e| format!("{t_path}: {e}"))?;
+            let t_lines: Vec<String> = t_text.lines().map(str::to_string).collect();
+            let t = kn.corpus_from_lines(t_lines.iter().map(|x| x.as_str()));
+            eprintln!("top-{k} join over {}×{} records", s.len(), t.len());
+            (topk_join(kn, cfg, s, &t, &opts), Some(t_lines))
+        }
+        None => {
+            eprintln!("top-{k} self-join over {} records", s.len());
+            (topk_join_self(kn, cfg, s, &opts), None)
+        }
+    };
+    for &(a, b, sim) in &res.pairs {
+        let left = s_lines[a as usize];
+        let right = match &t_lines_owned {
+            Some(t) => t[b as usize].as_str(),
+            None => s_lines[b as usize],
+        };
+        println!("{left}\t{right}\t{sim:.4}");
+    }
+    eprintln!(
+        "{} pairs | {} descent rounds, final θ = {:.2}",
+        res.pairs.len(),
+        res.rounds,
+        res.final_theta
+    );
+    Ok(())
+}
+
+fn options(args: &Args, tau: u32) -> JoinOptions {
+    JoinOptions {
+        theta: args.theta,
+        filter: match args.filter.as_str() {
+            "u" => FilterKind::UFilter,
+            "heur" => FilterKind::AuHeuristic { tau },
+            _ => FilterKind::AuDp { tau },
+        },
+        mp_mode: MpMode::ExactDp,
+        parallel: true,
+    }
+}
+
+fn resolve_tau(
+    args: &Args,
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &au_text::record::Corpus,
+    t: &au_text::record::Corpus,
+) -> Result<u32, String> {
+    match args.tau {
+        TauChoice::Fixed(tau) => Ok(tau),
+        TauChoice::Auto => {
+            let p = (500.0 / s.len().max(1) as f64).clamp(0.01, 0.5);
+            let model = CostModel::calibrate(
+                kn,
+                cfg,
+                s,
+                t,
+                args.theta,
+                FilterKind::AuHeuristic { tau: 2 },
+                64,
+            );
+            let sc = SuggestConfig {
+                ps: p,
+                pt: p,
+                universe: vec![1, 2, 3, 4, 5],
+                use_dp: args.filter == "dp",
+                ..Default::default()
+            };
+            let pick = suggest_tau(kn, cfg, s, t, args.theta, &model, &sc);
+            eprintln!(
+                "τ=auto picked {} after {} sampling iterations ({:.1?})",
+                pick.tau, pick.iterations, pick.elapsed
+            );
+            Ok(pick.tau)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_self_join() {
+        // Drive run() through temp files.
+        let dir = std::env::temp_dir().join(format!("aujoin-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s_path = dir.join("s.txt");
+        std::fs::write(&s_path, "coffee shop latte\ncafe latte\nunrelated thing\n").unwrap();
+        let rules_path = dir.join("rules.tsv");
+        std::fs::write(&rules_path, "coffee shop\tcafe\t1.0\n").unwrap();
+        let args = Args {
+            s: s_path.to_str().unwrap().to_string(),
+            t: None,
+            rules: Some(rules_path.to_str().unwrap().to_string()),
+            taxonomy: None,
+            theta: 0.7,
+            topk: None,
+            tau: TauChoice::Fixed(1),
+            filter: "dp".into(),
+            measures: au_core::config::MeasureSet::TJS,
+            gram: au_core::config::GramMeasure::Jaccard,
+            explain: false,
+        };
+        run(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_topk() {
+        let dir = std::env::temp_dir().join(format!("aujoin-topk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s_path = dir.join("s.txt");
+        std::fs::write(
+            &s_path,
+            "coffee shop latte\ncafe latte\nunrelated thing\nanother unrelated\n",
+        )
+        .unwrap();
+        let rules_path = dir.join("rules.tsv");
+        std::fs::write(&rules_path, "coffee shop\tcafe\t1.0\n").unwrap();
+        let args = Args {
+            s: s_path.to_str().unwrap().to_string(),
+            t: None,
+            rules: Some(rules_path.to_str().unwrap().to_string()),
+            taxonomy: None,
+            theta: 0.0,
+            topk: Some(2),
+            tau: TauChoice::Fixed(2),
+            filter: "dp".into(),
+            measures: au_core::config::MeasureSet::TJS,
+            gram: au_core::config::GramMeasure::Jaccard,
+            explain: false,
+        };
+        run(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Pebble inverted index (the `L_S` / `L_T` of Algorithms 3 and 6).
+//!
+//! Keys are signature pebbles; values are the record ids whose signature
+//! contains the key. Signatures are key *sets* (a record lists each key at
+//! most once), so the τ-overlap count of Algorithm 6 counts distinct
+//! common pebbles.
+
+use crate::pebble::{Pebble, PebbleKey};
+use au_text::FxHashMap;
+
+/// Inverted index over signature pebbles.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    map: FxHashMap<PebbleKey, Vec<u32>>,
+    sig_lens: Vec<u32>,
+    total_records: usize,
+}
+
+impl InvertedIndex {
+    /// Build from per-record signatures. `signatures[i]` is the *prefix*
+    /// of record `i`'s sorted pebble list selected by a filter; duplicate
+    /// keys within a record are collapsed.
+    pub fn build(signatures: &[&[Pebble]]) -> Self {
+        let mut map: FxHashMap<PebbleKey, Vec<u32>> = FxHashMap::default();
+        let mut sig_lens = Vec::with_capacity(signatures.len());
+        let mut distinct: Vec<PebbleKey> = Vec::new();
+        for (rid, sig) in signatures.iter().enumerate() {
+            distinct.clear();
+            for p in sig.iter() {
+                if !distinct.contains(&p.key) {
+                    distinct.push(p.key);
+                }
+            }
+            sig_lens.push(distinct.len() as u32);
+            for &k in &distinct {
+                map.entry(k).or_default().push(rid as u32);
+            }
+        }
+        Self {
+            map,
+            sig_lens,
+            total_records: signatures.len(),
+        }
+    }
+
+    /// Records whose signature contains `key`.
+    pub fn get(&self, key: PebbleKey) -> Option<&[u32]> {
+        self.map.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Iterate `(key, postings)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (PebbleKey, &[u32])> {
+        self.map.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.total_records
+    }
+
+    /// Signature length (distinct keys) of one record.
+    pub fn sig_len(&self, record: u32) -> u32 {
+        self.sig_lens[record as usize]
+    }
+
+    /// Mean signature length over all records (Figure 3a/5a metric).
+    pub fn avg_sig_len(&self) -> f64 {
+        if self.sig_lens.is_empty() {
+            return 0.0;
+        }
+        self.sig_lens.iter().map(|&x| x as u64).sum::<u64>() as f64 / self.sig_lens.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msim::MeasureKind;
+
+    fn pb(key: PebbleKey) -> Pebble {
+        Pebble {
+            key,
+            weight: 1.0,
+            seg: 0,
+            measure: MeasureKind::Jaccard,
+        }
+    }
+
+    #[test]
+    fn builds_postings() {
+        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(2))];
+        let b = vec![pb(PebbleKey::Gram(2)), pb(PebbleKey::Gram(3))];
+        let idx = InvertedIndex::build(&[&a, &b]);
+        assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
+        assert_eq!(idx.get(PebbleKey::Gram(2)), Some(&[0u32, 1][..]));
+        assert_eq!(idx.get(PebbleKey::Gram(3)), Some(&[1u32][..]));
+        assert_eq!(idx.get(PebbleKey::Gram(9)), None);
+        assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.record_count(), 2);
+    }
+
+    #[test]
+    fn dedups_keys_within_record() {
+        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(1))];
+        let idx = InvertedIndex::build(&[&a]);
+        assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
+        assert_eq!(idx.sig_len(0), 1);
+    }
+
+    #[test]
+    fn avg_sig_len() {
+        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(2))];
+        let b = vec![pb(PebbleKey::Gram(2))];
+        let empty: Vec<Pebble> = Vec::new();
+        let idx = InvertedIndex::build(&[&a, &b, &empty]);
+        assert!((idx.avg_sig_len() - 1.0).abs() < 1e-12);
+        let none = InvertedIndex::build(&[]);
+        assert_eq!(none.avg_sig_len(), 0.0);
+    }
+
+    #[test]
+    fn mixed_key_kinds_are_distinct() {
+        use au_taxonomy::NodeId;
+        use au_text::PhraseId;
+        let a = vec![
+            pb(PebbleKey::Gram(7)),
+            pb(PebbleKey::Rule(PhraseId(7))),
+            pb(PebbleKey::Node(NodeId(7))),
+        ];
+        let idx = InvertedIndex::build(&[&a]);
+        assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.sig_len(0), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Plain-text knowledge and corpus loaders.
+//!
+//! Formats (all line-oriented, `#` comments and blank lines ignored):
+//!
+//! * **Synonym rules** — `lhs<TAB>rhs[<TAB>closeness]`, closeness
+//!   defaulting to 1.0 (MeSH "entry terms" and Wikipedia redirects ship
+//!   in exactly this shape once flattened).
+//! * **Taxonomy paths** — root-to-node label paths separated by `>`:
+//!   `food > coffee > coffee drinks > latte`. Shared prefixes merge, so a
+//!   file of leaf paths reconstructs the tree.
+//! * **Records** — one string per line.
+
+use crate::knowledge::KnowledgeBuilder;
+use std::fmt;
+
+/// Loader error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Significant (non-blank, non-comment) lines with their numbers.
+fn significant(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Load `lhs<TAB>rhs[<TAB>closeness]` rules into `kb`; returns the number
+/// of rules added.
+pub fn load_rules(kb: &mut KnowledgeBuilder, text: &str) -> Result<usize, ParseError> {
+    let mut n = 0;
+    for (lineno, line) in significant(text) {
+        let mut parts = line.split('\t');
+        let lhs = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err(lineno, "missing lhs"))?;
+        let rhs = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err(lineno, "missing rhs (fields are tab-separated)"))?;
+        let c: f64 = match parts.next() {
+            Some(x) => x
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad closeness {x:?}")))?,
+            None => 1.0,
+        };
+        if !(c > 0.0 && c <= 1.0) {
+            return Err(err(lineno, format!("closeness {c} outside (0, 1]")));
+        }
+        if let Some(extra) = parts.next() {
+            return Err(err(lineno, format!("unexpected extra field {extra:?}")));
+        }
+        if kb.synonym(lhs, rhs, c) {
+            n += 1;
+        } else {
+            return Err(err(lineno, "rule side tokenizes to nothing"));
+        }
+    }
+    Ok(n)
+}
+
+/// Load `a > b > c` taxonomy paths into `kb`; returns the number of paths.
+pub fn load_taxonomy(kb: &mut KnowledgeBuilder, text: &str) -> Result<usize, ParseError> {
+    let mut n = 0;
+    for (lineno, line) in significant(text) {
+        let labels: Vec<&str> = line
+            .split('>')
+            .map(str::trim)
+            .filter(|x| !x.is_empty())
+            .collect();
+        if labels.is_empty() {
+            return Err(err(lineno, "empty path"));
+        }
+        kb.taxonomy_path(&labels)
+            .ok_or_else(|| err(lineno, "label tokenizes to nothing"))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Render a [`SynonymSet`](au_synonym::SynonymSet) back into the rules
+/// format (for round-tripping and dataset export).
+pub fn dump_rules(kn: &crate::knowledge::Knowledge) -> String {
+    let mut out = String::new();
+    for (_, rule) in kn.synonyms.iter() {
+        let lhs = kn.vocab.join(kn.phrases.resolve(rule.lhs));
+        let rhs = kn.vocab.join(kn.phrases.resolve(rule.rhs));
+        out.push_str(&format!("{lhs}\t{rhs}\t{}\n", rule.closeness));
+    }
+    out
+}
+
+/// Render the taxonomy back into the paths format (one root-to-leaf path
+/// per leaf; interior nodes are implied by prefixes).
+pub fn dump_taxonomy(kn: &crate::knowledge::Knowledge) -> String {
+    let tax = &kn.taxonomy;
+    let mut out = String::new();
+    for n in tax.nodes() {
+        if !tax.children(n).is_empty() {
+            continue; // leaves only
+        }
+        let mut labels: Vec<String> = tax
+            .ancestors(n)
+            .map(|a| kn.vocab.join(kn.phrases.resolve(tax.label(a))))
+            .collect();
+        labels.reverse();
+        out.push_str(&labels.join(" > "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+
+    #[test]
+    fn rules_parse_and_count() {
+        let mut kb = KnowledgeBuilder::new();
+        let n = load_rules(
+            &mut kb,
+            "coffee shop\tcafe\n# a comment\n\nbill\twilliam\t0.9\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(kb.rule_count(), 2);
+    }
+
+    #[test]
+    fn rules_errors_carry_line_numbers() {
+        let mut kb = KnowledgeBuilder::new();
+        let e = load_rules(&mut kb, "good\tpair\nbad-no-tab\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = load_rules(&mut kb, "a\tb\t2.0\n").unwrap_err();
+        assert!(e.message.contains("closeness"));
+        let e = load_rules(&mut kb, "a\tb\t0.5\textra\n").unwrap_err();
+        assert!(e.message.contains("extra"));
+        let e = load_rules(&mut kb, "...\tb\n").unwrap_err();
+        assert!(e.message.contains("tokenizes"));
+    }
+
+    #[test]
+    fn taxonomy_parse_merges_prefixes() {
+        let mut kb = KnowledgeBuilder::new();
+        let n = load_taxonomy(
+            &mut kb,
+            "food > coffee > latte\nfood > coffee > espresso\n# c\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(kb.node_count(), 4); // food, coffee, latte, espresso
+    }
+
+    #[test]
+    fn roundtrip_rules() {
+        let mut kb = KnowledgeBuilder::new();
+        load_rules(&mut kb, "coffee shop\tcafe\t1\nbill\twilliam\t0.9\n").unwrap();
+        let kn = kb.build();
+        let dumped = dump_rules(&kn);
+        let mut kb2 = KnowledgeBuilder::new();
+        let n = load_rules(&mut kb2, &dumped).unwrap();
+        assert_eq!(n, 2);
+        let kn2 = kb2.build();
+        assert_eq!(kn2.synonyms.len(), kn.synonyms.len());
+        assert_eq!(kn2.max_segment_span(), kn.max_segment_span());
+    }
+
+    #[test]
+    fn roundtrip_taxonomy() {
+        let mut kb = KnowledgeBuilder::new();
+        load_taxonomy(
+            &mut kb,
+            "food > coffee > coffee drinks > latte\nfood > coffee > coffee drinks > espresso\nfood > cake\n",
+        )
+        .unwrap();
+        let kn = kb.build();
+        let dumped = dump_taxonomy(&kn);
+        let mut kb2 = KnowledgeBuilder::new();
+        load_taxonomy(&mut kb2, &dumped).unwrap();
+        let kn2 = kb2.build();
+        assert_eq!(kn2.taxonomy.len(), kn.taxonomy.len());
+        assert_eq!(kn2.taxonomy.height(), kn.taxonomy.height());
+    }
+
+    #[test]
+    fn loaded_knowledge_actually_joins() {
+        let mut kb = KnowledgeBuilder::new();
+        load_rules(&mut kb, "coffee shop\tcafe\n").unwrap();
+        load_taxonomy(&mut kb, "food > coffee > latte\nfood > coffee > espresso\n").unwrap();
+        let mut kn = kb.build();
+        let a = kn.add_record("coffee shop latte");
+        let b = kn.add_record("cafe espresso");
+        let cfg = crate::config::SimConfig::default();
+        let sim = crate::usim::usim_approx(&kn, a, b, &cfg);
+        assert!(sim > 0.8, "loaded knowledge produced sim {sim}");
+    }
+}

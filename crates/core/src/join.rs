@@ -1,0 +1,655 @@
+//! Filter-and-verification joins (Algorithms 3 and 6).
+//!
+//! Pipeline:
+//! 1. **prepare** — segment every record and generate its pebbles;
+//! 2. **order** — count global pebble frequencies across both sides and
+//!    sort every record's pebble list by the global order;
+//! 3. **signature** — select a pebble prefix per record with the chosen
+//!    filter (U / AU-heuristic / AU-DP);
+//! 4. **filter** — build inverted indexes and collect candidate pairs
+//!    sharing ≥ τ signature pebbles;
+//! 5. **verify** — compute the unified similarity (Algorithm 1) of each
+//!    candidate and keep pairs with `USIM ≥ θ`.
+//!
+//! The stage boundaries are public because the τ-recommendation estimator
+//! (Section 4) re-runs stages 1–4 on small samples.
+
+use crate::config::SimConfig;
+use crate::index::InvertedIndex;
+use crate::knowledge::Knowledge;
+use crate::pebble::{generate_pebbles, Pebble, PebbleOrder};
+use crate::segment::{segment_record, SegRecord};
+use crate::signature::{select_signature, FilterKind, MpMode, SignatureChoice};
+use crate::usim::usim_approx_seg_at_least;
+use au_text::record::Corpus;
+use au_text::FxHashMap;
+use std::time::{Duration, Instant};
+
+/// Join configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Similarity threshold θ ∈ [0, 1].
+    pub theta: f64,
+    /// Filter (and overlap constraint τ).
+    pub filter: FilterKind,
+    /// Minimum-partition bound mode (exact DP by default; the paper's
+    /// greedy estimate is available for ablation).
+    pub mp_mode: MpMode,
+    /// Verify candidates on multiple threads.
+    pub parallel: bool,
+}
+
+impl JoinOptions {
+    /// U-Filter join at threshold `theta`.
+    pub fn u_filter(theta: f64) -> Self {
+        Self {
+            theta,
+            filter: FilterKind::UFilter,
+            mp_mode: MpMode::ExactDp,
+            parallel: true,
+        }
+    }
+
+    /// AU-Filter (heuristics) join.
+    pub fn au_heuristic(theta: f64, tau: u32) -> Self {
+        Self {
+            filter: FilterKind::AuHeuristic { tau },
+            ..Self::u_filter(theta)
+        }
+    }
+
+    /// AU-Filter (DP) join.
+    pub fn au_dp(theta: f64, tau: u32) -> Self {
+        Self {
+            filter: FilterKind::AuDp { tau },
+            ..Self::u_filter(theta)
+        }
+    }
+}
+
+/// Timing and cardinality statistics of one join run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Segmentation + pebble generation + ordering + signature selection.
+    pub sig_time: Duration,
+    /// Candidate generation over the inverted indexes.
+    pub filter_time: Duration,
+    /// Verification.
+    pub verify_time: Duration,
+    /// `Tτ`: index pairs touched during filtering (Eq. 16).
+    pub processed_pairs: u64,
+    /// `Vτ`: candidates surviving the τ-overlap test.
+    pub candidates: u64,
+    /// Mean signature length (distinct pebbles), S side.
+    pub avg_sig_len_s: f64,
+    /// Mean signature length (distinct pebbles), T side.
+    pub avg_sig_len_t: f64,
+    /// Number of result pairs.
+    pub result_count: usize,
+}
+
+impl JoinStats {
+    /// Total wall-clock of the measured stages.
+    pub fn total_time(&self) -> Duration {
+        self.sig_time + self.filter_time + self.verify_time
+    }
+}
+
+/// Result pairs `(s_record, t_record, usim)` plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct JoinResult {
+    /// Accepted pairs, sorted by (s, t) id.
+    pub pairs: Vec<(u32, u32, f64)>,
+    /// Run statistics.
+    pub stats: JoinStats,
+}
+
+/// A corpus with cached segmentations and (after ordering) sorted pebbles.
+#[derive(Debug, Clone)]
+pub struct PreparedCorpus {
+    /// Segmented records.
+    pub segrecs: Vec<SegRecord>,
+    /// Per-record pebble lists (sorted once an order is applied).
+    pub pebbles: Vec<Vec<Pebble>>,
+}
+
+impl PreparedCorpus {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.segrecs.len()
+    }
+
+    /// True when the corpus has no records.
+    pub fn is_empty(&self) -> bool {
+        self.segrecs.is_empty()
+    }
+}
+
+/// Stage 1: segment and generate pebbles for every record.
+pub fn prepare_corpus(kn: &Knowledge, cfg: &SimConfig, corpus: &Corpus) -> PreparedCorpus {
+    let mut segrecs = Vec::with_capacity(corpus.len());
+    let mut pebbles = Vec::with_capacity(corpus.len());
+    for r in corpus.iter() {
+        let sr = segment_record(kn, cfg, &r.tokens);
+        pebbles.push(generate_pebbles(kn, cfg, &sr));
+        segrecs.push(sr);
+    }
+    PreparedCorpus { segrecs, pebbles }
+}
+
+/// Stage 2: build the global order over both sides and sort every pebble
+/// list.
+pub fn apply_global_order(s: &mut PreparedCorpus, t: &mut PreparedCorpus) {
+    let order = PebbleOrder::build(
+        s.pebbles
+            .iter()
+            .map(|v| v.as_slice())
+            .chain(t.pebbles.iter().map(|v| v.as_slice())),
+    );
+    for p in s.pebbles.iter_mut().chain(t.pebbles.iter_mut()) {
+        order.sort(p);
+    }
+}
+
+/// Stage 3: per-record signature selections (prefix length + guarantee
+/// level).
+pub fn select_signatures(
+    prep: &PreparedCorpus,
+    filter: FilterKind,
+    theta: f64,
+    eps: f64,
+    mp_mode: MpMode,
+) -> Vec<SignatureChoice> {
+    prep.segrecs
+        .iter()
+        .zip(&prep.pebbles)
+        .map(|(sr, p)| select_signature(sr, p, filter, theta, eps, mp_mode))
+        .collect()
+}
+
+/// Output of the filtering stage (stages 3–4).
+#[derive(Debug, Clone, Default)]
+pub struct FilterOutcome {
+    /// Candidate pairs with ≥ τ common signature pebbles.
+    pub candidates: Vec<(u32, u32)>,
+    /// `Tτ` (Eq. 16).
+    pub processed_pairs: u64,
+    /// Mean signature length on the S side.
+    pub avg_sig_len_s: f64,
+    /// Mean signature length on the T side.
+    pub avg_sig_len_t: f64,
+}
+
+/// Run stages 3–4 for an R×S join (`self_join = false`) or a self-join
+/// (both sides must then be the same `PreparedCorpus`).
+pub fn filter_stage(
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    opts: &JoinOptions,
+    eps: f64,
+    self_join: bool,
+) -> FilterOutcome {
+    let tau = opts.filter.tau();
+    let sig_s = select_signatures(s, opts.filter, opts.theta, eps, opts.mp_mode);
+    let sigs_s: Vec<&[Pebble]> = s
+        .pebbles
+        .iter()
+        .zip(&sig_s)
+        .map(|(p, c)| &p[..c.len])
+        .collect();
+    let idx_s = InvertedIndex::build(&sigs_s);
+
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut processed: u64 = 0;
+    let avg_t;
+    // A pair's overlap demand is min(τ, level_S, level_T) — records whose
+    // pebble lists cannot guarantee τ overlaps still demand every overlap
+    // they can (see `guarantee_level`).
+    let lvl_s: Vec<u32> = sig_s.iter().map(|c| c.level).collect();
+    let lvl_t: Vec<u32>;
+    if self_join {
+        // One index; count pairs within each posting list.
+        for (_, list) in idx_s.iter() {
+            let n = list.len() as u64;
+            processed += n * (n - 1) / 2;
+            for i in 0..list.len() {
+                for j in i + 1..list.len() {
+                    let (a, b) = (list[i].min(list[j]), list[i].max(list[j]));
+                    *counts.entry(pack(a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        avg_t = idx_s.avg_sig_len();
+        lvl_t = lvl_s.clone();
+    } else {
+        let sig_t = select_signatures(t, opts.filter, opts.theta, eps, opts.mp_mode);
+        let sigs_t: Vec<&[Pebble]> = t
+            .pebbles
+            .iter()
+            .zip(&sig_t)
+            .map(|(p, c)| &p[..c.len])
+            .collect();
+        let idx_t = InvertedIndex::build(&sigs_t);
+        for (key, ls) in idx_s.iter() {
+            if let Some(lt) = idx_t.get(key) {
+                processed += ls.len() as u64 * lt.len() as u64;
+                for &a in ls {
+                    for &b in lt {
+                        *counts.entry(pack(a, b)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        avg_t = idx_t.avg_sig_len();
+        lvl_t = sig_t.iter().map(|c| c.level).collect();
+    }
+
+    let mut candidates: Vec<(u32, u32)> = counts
+        .into_iter()
+        .filter(|&(k, c)| {
+            let (a, b) = unpack(k);
+            c >= tau
+                .min(lvl_s[a as usize])
+                .min(lvl_t[b as usize])
+                .max(1)
+        })
+        .map(|(k, _)| unpack(k))
+        .collect();
+    candidates.sort_unstable();
+    FilterOutcome {
+        candidates,
+        processed_pairs: processed,
+        avg_sig_len_s: idx_s.avg_sig_len(),
+        avg_sig_len_t: avg_t,
+    }
+}
+
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    (a as u64) << 32 | b as u64
+}
+
+#[inline]
+fn unpack(k: u64) -> (u32, u32) {
+    ((k >> 32) as u32, k as u32)
+}
+
+/// Stage 5: verify candidates with Algorithm 1.
+pub fn verify_candidates(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    parallel: bool,
+) -> Vec<(u32, u32, f64)> {
+    let check = |&(a, b): &(u32, u32)| -> Option<(u32, u32, f64)> {
+        let sim = usim_approx_seg_at_least(
+            kn,
+            cfg,
+            &s.segrecs[a as usize],
+            &t.segrecs[b as usize],
+            theta,
+        );
+        (sim >= theta - cfg.eps).then_some((a, b, sim))
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !parallel || threads <= 1 || candidates.len() < 256 {
+        return candidates.iter().filter_map(check).collect();
+    }
+    // Work-stealing over fixed-size batches: verification cost per pair is
+    // wildly uneven (true matches cluster at low ids in generated data),
+    // so static chunking leaves cores idle.
+    const BATCH: usize = 256;
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<(u32, u32, f64)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(BATCH, std::sync::atomic::Ordering::Relaxed);
+                        if start >= candidates.len() {
+                            return local;
+                        }
+                        let end = (start + BATCH).min(candidates.len());
+                        local.extend(candidates[start..end].iter().filter_map(check));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("verification thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.sort_unstable_by_key(|a| (a.0, a.1));
+    out
+}
+
+/// Full join over prepared corpora (stages 2–5). `s` and `t` must share
+/// the knowledge context; for a self-join pass the same corpus reference
+/// twice and `self_join = true`.
+pub fn join_prepared(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &mut PreparedCorpus,
+    t: &mut Option<PreparedCorpus>,
+    opts: &JoinOptions,
+) -> JoinResult {
+    let sig_start = Instant::now();
+    match t {
+        Some(t) => apply_global_order(s, t),
+        None => {
+            let mut empty = PreparedCorpus {
+                segrecs: Vec::new(),
+                pebbles: Vec::new(),
+            };
+            apply_global_order(s, &mut empty);
+        }
+    }
+    let sig_time = sig_start.elapsed();
+
+    let filter_start = Instant::now();
+    let self_join = t.is_none();
+    let outcome = match t {
+        Some(t) => filter_stage(s, t, opts, cfg.eps, false),
+        None => filter_stage(s, s, opts, cfg.eps, true),
+    };
+    let filter_time = filter_start.elapsed();
+
+    let verify_start = Instant::now();
+    let t_ref: &PreparedCorpus = match t {
+        Some(t) => t,
+        None => s,
+    };
+    let pairs = verify_candidates(
+        kn,
+        cfg,
+        s,
+        t_ref,
+        &outcome.candidates,
+        opts.theta,
+        opts.parallel,
+    );
+    let verify_time = verify_start.elapsed();
+
+    let stats = JoinStats {
+        sig_time,
+        filter_time,
+        verify_time,
+        processed_pairs: outcome.processed_pairs,
+        candidates: outcome.candidates.len() as u64,
+        avg_sig_len_s: outcome.avg_sig_len_s,
+        avg_sig_len_t: if self_join {
+            outcome.avg_sig_len_s
+        } else {
+            outcome.avg_sig_len_t
+        },
+        result_count: pairs.len(),
+    };
+    JoinResult { pairs, stats }
+}
+
+/// R×S join of two corpora sharing the knowledge context.
+pub fn join(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    opts: &JoinOptions,
+) -> JoinResult {
+    let prep_start = Instant::now();
+    let mut sp = prepare_corpus(kn, cfg, s);
+    let mut tp = Some(prepare_corpus(kn, cfg, t));
+    let prep_time = prep_start.elapsed();
+    let mut res = join_prepared(kn, cfg, &mut sp, &mut tp, opts);
+    res.stats.sig_time += prep_time;
+    res
+}
+
+/// Self-join of one corpus (pairs are reported with `s < t`).
+pub fn join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, opts: &JoinOptions) -> JoinResult {
+    let prep_start = Instant::now();
+    let mut sp = prepare_corpus(kn, cfg, c);
+    let prep_time = prep_start.elapsed();
+    let mut none = None;
+    let mut res = join_prepared(kn, cfg, &mut sp, &mut none, opts);
+    res.stats.sig_time += prep_time;
+    res
+}
+
+/// Algorithm 3: unified set join with U-Filter.
+pub fn u_join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, theta: f64) -> JoinResult {
+    join(kn, cfg, s, t, &JoinOptions::u_filter(theta))
+}
+
+/// Algorithm 6: unified set join with AU-Filter (DP signatures).
+pub fn au_join(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    theta: f64,
+    tau: u32,
+) -> JoinResult {
+    join(kn, cfg, s, t, &JoinOptions::au_dp(theta, tau))
+}
+
+/// Brute force: verify all |S|×|T| pairs (the oracle for filter tests).
+pub fn brute_force_join(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    theta: f64,
+) -> Vec<(u32, u32, f64)> {
+    let sp = prepare_corpus(kn, cfg, s);
+    let tp = prepare_corpus(kn, cfg, t);
+    let all: Vec<(u32, u32)> = (0..s.len() as u32)
+        .flat_map(|a| (0..t.len() as u32).map(move |b| (a, b)))
+        .collect();
+    verify_candidates(kn, cfg, &sp, &tp, &all, theta, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+    use au_text::record::Corpus;
+
+    fn setup() -> (Knowledge, Corpus, Corpus) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        let mut kn = b.build();
+        let s = kn.corpus_from_lines([
+            "coffee shop latte helsingki",
+            "cake and tea",
+            "espresso north",
+            "unrelated words entirely",
+        ]);
+        let t = kn.corpus_from_lines([
+            "espresso cafe helsinki",
+            "tea cake",
+            "latte south",
+            "different thing",
+        ]);
+        (kn, s, t)
+    }
+
+    #[test]
+    fn ujoin_finds_figure1_pair() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        let res = u_join(&kn, &cfg, &s, &t, 0.7);
+        assert!(
+            res.pairs.iter().any(|&(a, b, _)| a == 0 && b == 0),
+            "expected the POI pair, got {:?}",
+            res.pairs
+        );
+        assert!(res.stats.candidates >= res.pairs.len() as u64);
+        assert!(res.stats.processed_pairs >= res.stats.candidates);
+    }
+
+    #[test]
+    fn filters_agree_with_brute_force() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        for theta in [0.5, 0.7, 0.85] {
+            let oracle = brute_force_join(&kn, &cfg, &s, &t, theta);
+            for filter in [
+                FilterKind::UFilter,
+                FilterKind::AuHeuristic { tau: 2 },
+                FilterKind::AuHeuristic { tau: 3 },
+                FilterKind::AuDp { tau: 2 },
+                FilterKind::AuDp { tau: 3 },
+            ] {
+                let opts = JoinOptions {
+                    theta,
+                    filter,
+                    mp_mode: MpMode::ExactDp,
+                    parallel: false,
+                };
+                let res = join(&kn, &cfg, &s, &t, &opts);
+                let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+                let want: Vec<(u32, u32)> = oracle.iter().map(|&(a, b, _)| (a, b)).collect();
+                assert_eq!(got, want, "θ={theta}, filter {}", filter.label());
+            }
+        }
+    }
+
+    #[test]
+    fn filters_agree_with_brute_force_under_every_gram_measure() {
+        use crate::config::GramMeasure;
+        let (kn, s, t) = setup();
+        for gram in GramMeasure::ALL {
+            let cfg = SimConfig::default().with_gram(gram);
+            for theta in [0.6, 0.8] {
+                let oracle = brute_force_join(&kn, &cfg, &s, &t, theta);
+                for filter in [
+                    FilterKind::UFilter,
+                    FilterKind::AuHeuristic { tau: 2 },
+                    FilterKind::AuDp { tau: 2 },
+                ] {
+                    let opts = JoinOptions {
+                        theta,
+                        filter,
+                        mp_mode: MpMode::ExactDp,
+                        parallel: false,
+                    };
+                    let res = join(&kn, &cfg, &s, &t, &opts);
+                    let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+                    let want: Vec<(u32, u32)> = oracle.iter().map(|&(a, b, _)| (a, b)).collect();
+                    assert_eq!(got, want, "gram {gram:?} θ={theta} {}", filter.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_records_survive_large_tau() {
+        // Regression for the guarantee-level clamp: records with fewer
+        // pebbles than τ (here single 1-char tokens with one gram pebble)
+        // must still find their identical partners — the literal
+        // Algorithm 6 silently drops them.
+        let mut kn = KnowledgeBuilder::new().build();
+        let s = kn.corpus_from_lines(["a", "xy", "completely different words"]);
+        let t = kn.corpus_from_lines(["a", "xy", "unrelated gibberish"]);
+        let cfg = SimConfig::default();
+        for filter in [
+            FilterKind::AuHeuristic { tau: 2 },
+            FilterKind::AuHeuristic { tau: 5 },
+            FilterKind::AuDp { tau: 2 },
+            FilterKind::AuDp { tau: 5 },
+        ] {
+            let opts = JoinOptions {
+                theta: 0.9,
+                filter,
+                mp_mode: MpMode::ExactDp,
+                parallel: false,
+            };
+            let res = join(&kn, &cfg, &s, &t, &opts);
+            let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+            assert!(
+                got.contains(&(0, 0)) && got.contains(&(1, 1)),
+                "{}: identical short records lost: {got:?}",
+                filter.label()
+            );
+        }
+    }
+
+    #[test]
+    fn self_join_reports_ordered_pairs() {
+        let (kn, s, _) = setup();
+        let cfg = SimConfig::default();
+        let mut kn = kn;
+        let c = {
+            let mut lines = vec![
+                "coffee shop latte".to_string(),
+                "cafe latte".to_string(),
+                "espresso cafe".to_string(),
+            ];
+            lines.push("coffee shop latte".to_string()); // duplicate of 0
+            let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+            kn.corpus_from_lines(refs)
+        };
+        drop(s);
+        let res = join_self(&kn, &cfg, &c, &JoinOptions::au_dp(0.9, 2));
+        for &(a, b, _) in &res.pairs {
+            assert!(a < b);
+        }
+        // the duplicate pair (0, 3) must be found at any θ
+        assert!(res.pairs.iter().any(|&(a, b, _)| (a, b) == (0, 3)));
+    }
+
+    #[test]
+    fn higher_theta_fewer_candidates_at_fixed_tau() {
+        // Signatures shrink as θ grows (prefix lengths are monotone), so
+        // at a fixed τ the candidate set can only shrink. (The τ trend of
+        // Figure 3(b) is empirical, not an invariant, and is exercised by
+        // the bench harness on realistic data instead.)
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        for tau in [1u32, 2, 3] {
+            let mut last = u64::MAX;
+            for theta in [0.5, 0.7, 0.85, 0.95] {
+                let res = join(&kn, &cfg, &s, &t, &JoinOptions::au_heuristic(theta, tau));
+                assert!(
+                    res.stats.candidates <= last,
+                    "τ={tau} θ={theta}: {} candidates > {last}",
+                    res.stats.candidates
+                );
+                last = res.stats.candidates;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpora() {
+        let (kn, s, _) = setup();
+        let cfg = SimConfig::default();
+        let empty = Corpus::new();
+        let res = join(&kn, &cfg, &s, &empty, &JoinOptions::u_filter(0.8));
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.stats.candidates, 0);
+        let res = join(&kn, &cfg, &empty, &empty, &JoinOptions::u_filter(0.8));
+        assert!(res.pairs.is_empty());
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        let mut opts = JoinOptions::au_dp(0.6, 2);
+        opts.parallel = false;
+        let serial = join(&kn, &cfg, &s, &t, &opts);
+        opts.parallel = true;
+        let parallel = join(&kn, &cfg, &s, &t, &opts);
+        assert_eq!(serial.pairs, parallel.pairs);
+    }
+}

@@ -1,0 +1,311 @@
+//! The shared knowledge context: vocabulary, phrases, taxonomy, synonyms.
+//!
+//! Every similarity computation and every join runs against a [`Knowledge`]
+//! value, which owns the interners and the two knowledge sources of the
+//! paper (taxonomy hierarchy + synonym rule set) plus a default record
+//! corpus for the convenience APIs.
+
+use au_synonym::{Rule, SynonymSet};
+use au_taxonomy::{EntityDict, NodeId, Taxonomy, TaxonomyBuilder};
+use au_text::record::{Corpus, Record, RecordId};
+use au_text::tokenize::{tokenize, TokenizeConfig};
+use au_text::{PhraseId, PhraseTable, TokenId, Vocab};
+
+/// Immutable-after-build knowledge context.
+///
+/// Build with [`KnowledgeBuilder`]; add records at any time with
+/// [`Knowledge::add_record`] (records only touch the vocabulary, never the
+/// taxonomy/synonym structure).
+#[derive(Debug, Clone)]
+pub struct Knowledge {
+    /// Token interner + document frequencies.
+    pub vocab: Vocab,
+    /// Phrase interner (rule sides, entity names).
+    pub phrases: PhraseTable,
+    /// IS-A hierarchy.
+    pub taxonomy: Taxonomy,
+    /// Phrase → taxonomy node mapping.
+    pub entities: EntityDict,
+    /// Synonym rules.
+    pub synonyms: SynonymSet,
+    /// Default corpus for one-off similarity calls and the examples.
+    pub corpus: Corpus,
+    /// Tokenizer settings shared by all record ingestion.
+    pub tokenize: TokenizeConfig,
+}
+
+impl Knowledge {
+    /// Tokenize `text` and append it to the built-in corpus.
+    pub fn add_record(&mut self, text: &str) -> RecordId {
+        self.corpus.push_str(text, &mut self.vocab, &self.tokenize)
+    }
+
+    /// Borrow a record of the built-in corpus.
+    pub fn record(&self, id: RecordId) -> &Record {
+        self.corpus.get(id)
+    }
+
+    /// Tokenize a standalone string into a fresh corpus sharing this
+    /// knowledge's vocabulary.
+    pub fn corpus_from_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Corpus {
+        let mut c = Corpus::new();
+        for l in lines {
+            c.push_str(l, &mut self.vocab, &self.tokenize);
+        }
+        c
+    }
+
+    /// Longest multi-token span that can be a well-defined segment: the
+    /// paper's `k` (max tokens on any rule side or entity phrase), at
+    /// least 1.
+    pub fn max_segment_span(&self) -> usize {
+        self.synonyms
+            .max_side_len()
+            .max(self.entities.max_phrase_len())
+            .max(1)
+    }
+
+    /// The claw-freeness bound of Section 2.3: `k + 1`, where `k` is the
+    /// paper's "maximal number of tokens in *both sides* of any synonym
+    /// rule or taxonomy entity pair".
+    ///
+    /// A conflict-graph vertex `(P_S, P_T)` covers `|P_S| + |P_T|` tokens
+    /// and therefore touches at most that many mutually independent
+    /// vertices (each conflicting vertex must claim one of those tokens,
+    /// and two independent vertices cannot share one). For synonym-rule
+    /// vertices that is `|lhs| + |rhs|`; for taxonomy-pair vertices twice
+    /// the longest entity phrase; for single-token pairs 2.
+    pub fn claw_bound(&self) -> usize {
+        self.synonyms
+            .max_pair_len()
+            .max(2 * self.entities.max_phrase_len())
+            .max(2)
+            + 1
+    }
+}
+
+/// Builder assembling a [`Knowledge`] from plain strings.
+#[derive(Debug, Default)]
+pub struct KnowledgeBuilder {
+    vocab: Vocab,
+    phrases: PhraseTable,
+    taxonomy: TaxonomyBuilder,
+    entities: EntityDict,
+    synonyms: SynonymSet,
+    tokenize: TokenizeConfig,
+}
+
+impl KnowledgeBuilder {
+    /// New empty builder with default tokenizer settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the tokenizer configuration (affects rules, entity names
+    /// and future records alike).
+    pub fn tokenizer(&mut self, cfg: TokenizeConfig) -> &mut Self {
+        self.tokenize = cfg;
+        self
+    }
+
+    fn intern_phrase(&mut self, text: &str) -> Option<(PhraseId, usize)> {
+        let toks = tokenize(text, &self.tokenize);
+        if toks.is_empty() {
+            return None;
+        }
+        let ids: Vec<TokenId> = toks.iter().map(|t| self.vocab.intern(t)).collect();
+        let len = ids.len();
+        Some((self.phrases.intern(&ids), len))
+    }
+
+    /// Intern a pre-tokenized phrase.
+    pub fn phrase_from_tokens(&mut self, tokens: &[TokenId]) -> PhraseId {
+        self.phrases.intern(tokens)
+    }
+
+    /// Add a synonym rule `lhs → rhs` with closeness `c` (Eq. 2).
+    ///
+    /// Sides that tokenize to nothing are rejected (returns `false`).
+    pub fn synonym(&mut self, lhs: &str, rhs: &str, c: f64) -> bool {
+        let Some((l, ll)) = self.intern_phrase(lhs) else {
+            return false;
+        };
+        let Some((r, rl)) = self.intern_phrase(rhs) else {
+            return false;
+        };
+        self.synonyms.add(Rule::new(l, r, c), ll, rl);
+        true
+    }
+
+    /// Add a synonym rule from already-interned phrases.
+    pub fn synonym_phrases(&mut self, lhs: PhraseId, rhs: PhraseId, c: f64) {
+        let ll = self.phrases.len_of(lhs);
+        let rl = self.phrases.len_of(rhs);
+        self.synonyms.add(Rule::new(lhs, rhs, c), ll, rl);
+    }
+
+    /// Ensure a root-to-leaf taxonomy path exists; each element is an
+    /// entity label (possibly multi-token, e.g. `"coffee drinks"`). Every
+    /// node on the path is registered as an entity under its label.
+    /// Returns the leaf node.
+    pub fn taxonomy_path(&mut self, labels: &[&str]) -> Option<NodeId> {
+        let mut interned = Vec::with_capacity(labels.len());
+        for l in labels {
+            interned.push(self.intern_phrase(l)?);
+        }
+        let path: Vec<PhraseId> = interned.iter().map(|&(p, _)| p).collect();
+        let leaf = self.taxonomy.ensure_path(&path);
+        // Register every node on the path as an entity under its label.
+        // ensure_path on a prefix is a cheap lookup once the chain exists.
+        for i in 1..=path.len() {
+            let node = self.taxonomy.ensure_path(&path[..i]);
+            let (p, len) = interned[i - 1];
+            self.entities.insert(p, len, node);
+        }
+        Some(leaf)
+    }
+
+    /// Add an alias phrase for an existing node.
+    pub fn entity_alias(&mut self, node: NodeId, label: &str) -> bool {
+        match self.intern_phrase(label) {
+            Some((p, len)) => self.entities.insert(p, len, node),
+            None => false,
+        }
+    }
+
+    /// Number of synonym rules so far.
+    pub fn rule_count(&self) -> usize {
+        self.synonyms.len()
+    }
+
+    /// Number of taxonomy nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.taxonomy.len()
+    }
+
+    /// Freeze into a [`Knowledge`].
+    pub fn build(self) -> Knowledge {
+        Knowledge {
+            vocab: self.vocab,
+            phrases: self.phrases,
+            taxonomy: self.taxonomy.build(),
+            entities: self.entities,
+            synonyms: self.synonyms,
+            corpus: Corpus::new(),
+            tokenize: self.tokenize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_builder() -> KnowledgeBuilder {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.synonym("cake", "gateau", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.taxonomy_path(&["wikipedia", "food", "cake", "apple cake"]);
+        b
+    }
+
+    #[test]
+    fn builds_figure1_knowledge() {
+        let kn = figure1_builder().build();
+        assert_eq!(kn.synonyms.len(), 2);
+        // wikipedia, food, coffee, coffee drinks, latte, espresso, cake,
+        // apple cake = 8 nodes
+        assert_eq!(kn.taxonomy.len(), 8);
+        assert_eq!(kn.taxonomy.height(), 5);
+        // k = 2 ("coffee shop", "coffee drinks", "apple cake")
+        assert_eq!(kn.max_segment_span(), 2);
+        // paper-k = max tokens across both sides: the ("coffee drinks",
+        // "coffee drinks")-style entity pair covers 2+2 tokens → claw 5.
+        assert_eq!(kn.claw_bound(), 5);
+    }
+
+    #[test]
+    fn entities_registered_along_paths() {
+        let kn = figure1_builder().build();
+        let coffee = kn.vocab.get("coffee").unwrap();
+        let p_coffee = kn.phrases.get(&[coffee]).unwrap();
+        let n = kn.entities.lookup(p_coffee).unwrap();
+        assert_eq!(kn.taxonomy.depth(n), 3);
+        // multi-token entity
+        let drinks = [
+            kn.vocab.get("coffee").unwrap(),
+            kn.vocab.get("drinks").unwrap(),
+        ];
+        let p_drinks = kn.phrases.get(&drinks).unwrap();
+        let nd = kn.entities.lookup(p_drinks).unwrap();
+        assert_eq!(kn.taxonomy.parent(nd), Some(n));
+    }
+
+    #[test]
+    fn shared_paths_reuse_nodes() {
+        let kn = figure1_builder().build();
+        // latte and espresso share the "coffee drinks" parent
+        let latte = kn
+            .entities
+            .lookup(kn.phrases.get(&[kn.vocab.get("latte").unwrap()]).unwrap())
+            .unwrap();
+        let espresso = kn
+            .entities
+            .lookup(
+                kn.phrases
+                    .get(&[kn.vocab.get("espresso").unwrap()])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(kn.taxonomy.parent(latte), kn.taxonomy.parent(espresso));
+        assert!((kn.taxonomy.sim(latte, espresso) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_and_corpus() {
+        let mut kn = figure1_builder().build();
+        let id = kn.add_record("coffee shop latte Helsingki");
+        assert_eq!(kn.record(id).len(), 4);
+        let extra = kn.corpus_from_lines(["espresso cafe Helsinki"]);
+        assert_eq!(extra.len(), 1);
+        // both corpora share the vocabulary
+        assert!(kn.vocab.get("espresso").is_some());
+        assert!(kn.vocab.get("helsingki").is_some());
+    }
+
+    #[test]
+    fn synonym_rejects_empty_sides() {
+        let mut b = KnowledgeBuilder::new();
+        assert!(!b.synonym("", "cafe", 1.0));
+        assert!(!b.synonym("cafe", "...", 1.0));
+        assert_eq!(b.rule_count(), 0);
+    }
+
+    #[test]
+    fn alias_binds_extra_phrase() {
+        let mut b = KnowledgeBuilder::new();
+        let leaf = b.taxonomy_path(&["drinks", "espresso"]).unwrap();
+        assert!(b.entity_alias(leaf, "short black"));
+        let kn = b.build();
+        let sb = [
+            kn.vocab.get("short").unwrap(),
+            kn.vocab.get("black").unwrap(),
+        ];
+        let p = kn.phrases.get(&sb).unwrap();
+        assert_eq!(kn.entities.lookup(p), Some(leaf));
+        assert_eq!(kn.max_segment_span(), 2);
+    }
+
+    #[test]
+    fn empty_knowledge_works() {
+        let mut kn = KnowledgeBuilder::new().build();
+        assert_eq!(kn.max_segment_span(), 1);
+        // Token-pair vertices cover 1+1 tokens → 2 independent
+        // neighbours are possible, so the graph is 3-claw-free.
+        assert_eq!(kn.claw_bound(), 3);
+        let id = kn.add_record("plain tokens only");
+        assert_eq!(kn.record(id).len(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! AU-Join core: the paper's contribution.
+//!
+//! * [`config`] — measure selection (`J`/`S`/`T`) and algorithm knobs.
+//! * [`knowledge`] — the shared context (vocabulary, taxonomy, synonyms).
+//! * [`segment`] — well-defined segments (Definition 1).
+//! * [`msim`] — per-segment-pair best measure (Eq. 4).
+//! * [`usim`] — the unified similarity (Definition 3): NP-hard exact form
+//!   and the Algorithm 1 approximation.
+//! * [`pebble`] — the unified signature unit (Section 3.1).
+//! * [`signature`] — U-Filter (Alg. 2), AU-Filter heuristics (Alg. 4) and
+//!   AU-Filter DP (Alg. 5) signature selection.
+
+pub mod config;
+pub mod estimate;
+pub mod index;
+pub mod io;
+pub mod join;
+pub mod knowledge;
+pub mod msim;
+pub mod pebble;
+pub mod probe;
+pub mod search;
+pub mod segment;
+pub mod signature;
+pub mod stats;
+pub mod suggest;
+pub mod topk;
+pub mod usim;
+
+pub use config::{GramMeasure, MeasureSet, SimConfig};
+pub use knowledge::{Knowledge, KnowledgeBuilder};
+pub use search::{SearchIndex, SearchOutcome};
+pub use topk::{topk_join, topk_join_self, TopkOptions, TopkResult};
+pub use usim::{usim_approx, usim_approx_explained, usim_exact};

@@ -1,0 +1,365 @@
+//! Pebbles: the unified signature unit (Section 3.1, Table 2).
+//!
+//! A pebble is an abstract signature item adapted to each measure:
+//!
+//! | measure  | pebble key              | weight                           |
+//! |----------|-------------------------|----------------------------------|
+//! | gram (J) | a q-gram of the segment | `GramMeasure::pebble_weight(|G|)`|
+//! | Synonym  | the **lhs** of the rule | `C(R)`                           |
+//! | Taxonomy | the node + each ancestor| `1 / depth(n)`                   |
+//!
+//! With the default Jaccard gram measure the gram weight is the paper's
+//! `1 / |G(P, q)|`; the other gram measures substitute their own sound
+//! one-sided bound (see [`crate::config::GramMeasure`]).
+//!
+//! Both sides of a synonym rule emit the rule's *lhs* as their key, so
+//! related segments share a pebble; two entities share exactly the
+//! ancestors of their LCA, `depth(LCA)` of them, so the shared taxonomy
+//! pebble mass from S's perspective is `depth(LCA)/depth(n_S) ≥ sim_t`.
+//! These invariants make pebble-overlap mass an upper bound witness of
+//! segment similarity — the foundation of Lemmas 1 and 2.
+//!
+//! Pebbles are sorted by a **global order**: ascending document frequency
+//! (rare pebbles first), ties broken by key then segment then measure, so
+//! runs are deterministic.
+
+use crate::config::{MeasureSet, SimConfig};
+use crate::knowledge::Knowledge;
+use crate::msim::MeasureKind;
+use crate::segment::SegRecord;
+use au_taxonomy::NodeId;
+use au_text::{FxHashMap, PhraseId};
+
+/// Key identifying a pebble across records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PebbleKey {
+    /// Hashed q-gram.
+    Gram(u64),
+    /// Lhs phrase of a synonym rule.
+    Rule(PhraseId),
+    /// Taxonomy node (an ancestor of the segment's entity).
+    Node(NodeId),
+}
+
+/// One pebble instance of one record.
+#[derive(Debug, Clone, Copy)]
+pub struct Pebble {
+    /// Cross-record identity.
+    pub key: PebbleKey,
+    /// Contribution weight (see module table).
+    pub weight: f64,
+    /// Index of the generating segment in the record's [`SegRecord`].
+    pub seg: u32,
+    /// Measure that generated this pebble.
+    pub measure: MeasureKind,
+}
+
+/// Generate all pebbles of a segmented record (unsorted).
+pub fn generate_pebbles(kn: &Knowledge, cfg: &SimConfig, sr: &SegRecord) -> Vec<Pebble> {
+    let mut out = Vec::new();
+    for (si, seg) in sr.segments.iter().enumerate() {
+        let si = si as u32;
+        if cfg.measures.contains(MeasureSet::J) && !seg.grams.is_empty() {
+            let w = cfg.gram.pebble_weight(seg.grams.len());
+            for &g in &seg.grams {
+                out.push(Pebble {
+                    key: PebbleKey::Gram(g),
+                    weight: w,
+                    seg: si,
+                    measure: MeasureKind::Jaccard,
+                });
+            }
+        }
+        if cfg.measures.contains(MeasureSet::S) {
+            for &rid in &seg.rules {
+                let rule = kn.synonyms.get(rid);
+                out.push(Pebble {
+                    key: PebbleKey::Rule(rule.lhs),
+                    weight: rule.closeness,
+                    seg: si,
+                    measure: MeasureKind::Synonym,
+                });
+            }
+        }
+        if cfg.measures.contains(MeasureSet::T) {
+            if let Some(n) = seg.node {
+                let w = 1.0 / kn.taxonomy.depth(n) as f64;
+                for anc in kn.taxonomy.ancestors(n) {
+                    out.push(Pebble {
+                        key: PebbleKey::Node(anc),
+                        weight: w,
+                        seg: si,
+                        measure: MeasureKind::Taxonomy,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global frequency order over pebble keys.
+///
+/// Frequencies are *document* frequencies: the number of records (across
+/// both join sides) whose pebble set contains the key.
+#[derive(Debug, Default, Clone)]
+pub struct PebbleOrder {
+    freq: FxHashMap<PebbleKey, u32>,
+}
+
+impl PebbleOrder {
+    /// Count key frequencies over an iterator of per-record pebble lists.
+    pub fn build<'a>(records: impl Iterator<Item = &'a [Pebble]>) -> Self {
+        let mut freq: FxHashMap<PebbleKey, u32> = FxHashMap::default();
+        let mut seen: Vec<PebbleKey> = Vec::new();
+        for pebbles in records {
+            seen.clear();
+            for p in pebbles {
+                if !seen.contains(&p.key) {
+                    seen.push(p.key);
+                }
+            }
+            for &k in &seen {
+                *freq.entry(k).or_insert(0) += 1;
+            }
+        }
+        Self { freq }
+    }
+
+    /// Document frequency of `key` (0 when unseen).
+    pub fn freq(&self, key: PebbleKey) -> u32 {
+        self.freq.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Sort a record's pebbles ascending by `(frequency, key, seg,
+    /// measure)` — the paper's "global order" with deterministic ties.
+    pub fn sort(&self, pebbles: &mut [Pebble]) {
+        pebbles.sort_by(|a, b| {
+            self.freq(a.key)
+                .cmp(&self.freq(b.key))
+                .then_with(|| a.key.cmp(&b.key))
+                .then_with(|| a.seg.cmp(&b.seg))
+                .then_with(|| a.measure.idx().cmp(&b.measure.idx()))
+        });
+    }
+
+    /// Number of distinct keys seen.
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// True when no key has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+    use crate::segment::segment_record;
+
+    fn setup() -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.build()
+    }
+
+    #[test]
+    fn table2_pebbles_for_coffee() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        let id = kn.add_record("coffee");
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let pebbles = generate_pebbles(&kn, &cfg, &sr);
+        // Table 2: grams {co, of, ff, fe, ee} weight 1/5 and taxonomy
+        // ancestors {wikipedia, food, coffee} weight 1/3.
+        let grams: Vec<_> = pebbles
+            .iter()
+            .filter(|p| matches!(p.key, PebbleKey::Gram(_)))
+            .collect();
+        assert_eq!(grams.len(), 5);
+        assert!(grams.iter().all(|p| (p.weight - 0.2).abs() < 1e-12));
+        let nodes: Vec<_> = pebbles
+            .iter()
+            .filter(|p| matches!(p.key, PebbleKey::Node(_)))
+            .collect();
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes.iter().all(|p| (p.weight - 1.0 / 3.0).abs() < 1e-12));
+        assert!(!pebbles.iter().any(|p| matches!(p.key, PebbleKey::Rule(_))));
+    }
+
+    #[test]
+    fn table2_pebbles_for_cafe() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        let id = kn.add_record("cafe");
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let pebbles = generate_pebbles(&kn, &cfg, &sr);
+        // Table 2: grams {ca, af, fe} weight 1/3 and the synonym pebble
+        // "coffee shop" (the rule's lhs) with weight 1.
+        let grams: Vec<_> = pebbles
+            .iter()
+            .filter(|p| matches!(p.key, PebbleKey::Gram(_)))
+            .collect();
+        assert_eq!(grams.len(), 3);
+        assert!(grams.iter().all(|p| (p.weight - 1.0 / 3.0).abs() < 1e-12));
+        let rules: Vec<_> = pebbles
+            .iter()
+            .filter(|p| matches!(p.key, PebbleKey::Rule(_)))
+            .collect();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].weight, 1.0);
+    }
+
+    #[test]
+    fn rule_sides_share_the_lhs_pebble() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        let a = kn.add_record("coffee shop");
+        let b = kn.add_record("cafe");
+        let pa = generate_pebbles(&kn, &cfg, &segment_record(&kn, &cfg, &kn.record(a).tokens));
+        let pb = generate_pebbles(&kn, &cfg, &segment_record(&kn, &cfg, &kn.record(b).tokens));
+        let rule_key = |ps: &[Pebble]| {
+            ps.iter()
+                .find(|p| matches!(p.key, PebbleKey::Rule(_)))
+                .map(|p| p.key)
+        };
+        assert_eq!(rule_key(&pa), rule_key(&pb));
+        assert!(rule_key(&pa).is_some());
+    }
+
+    #[test]
+    fn lca_ancestors_shared_mass_bounds_taxonomy_sim() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        let a = kn.add_record("latte");
+        let b = kn.add_record("espresso");
+        let pa = generate_pebbles(&kn, &cfg, &segment_record(&kn, &cfg, &kn.record(a).tokens));
+        let pb = generate_pebbles(&kn, &cfg, &segment_record(&kn, &cfg, &kn.record(b).tokens));
+        let nodes = |ps: &[Pebble]| -> Vec<PebbleKey> {
+            ps.iter()
+                .filter(|p| matches!(p.key, PebbleKey::Node(_)))
+                .map(|p| p.key)
+                .collect()
+        };
+        let na = nodes(&pa);
+        let nb = nodes(&pb);
+        let shared: Vec<_> = na.iter().filter(|k| nb.contains(k)).collect();
+        // latte and espresso share wikipedia, food, coffee, coffee drinks.
+        assert_eq!(shared.len(), 4);
+        // shared mass from latte's side = 4 × 1/5 = 0.8 = sim_t ✓
+        let mass: f64 = 4.0 / 5.0;
+        assert!(
+            (mass
+                - kn.taxonomy.sim(
+                    kn.entities
+                        .lookup(kn.phrases.get(&[kn.vocab.get("latte").unwrap()]).unwrap())
+                        .unwrap(),
+                    kn.entities
+                        .lookup(
+                            kn.phrases
+                                .get(&[kn.vocab.get("espresso").unwrap()])
+                                .unwrap()
+                        )
+                        .unwrap(),
+                ))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn gram_weight_follows_configured_measure() {
+        use crate::config::GramMeasure;
+        let mut kn = setup();
+        let id = kn.add_record("coffee"); // 5 distinct 2-grams
+        for (g, want) in [
+            (GramMeasure::Jaccard, 0.2),
+            (GramMeasure::Dice, 2.0 / 6.0),
+            (GramMeasure::Cosine, 1.0 / 5f64.sqrt()),
+            (GramMeasure::Overlap, 1.0),
+        ] {
+            let cfg = SimConfig::default().with_gram(g);
+            let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+            let pebbles = generate_pebbles(&kn, &cfg, &sr);
+            let grams: Vec<_> = pebbles
+                .iter()
+                .filter(|p| matches!(p.key, PebbleKey::Gram(_)))
+                .collect();
+            assert_eq!(grams.len(), 5);
+            assert!(
+                grams.iter().all(|p| (p.weight - want).abs() < 1e-12),
+                "{g:?}: weights {:?}",
+                grams.iter().map(|p| p.weight).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn measure_gating() {
+        let mut kn = setup();
+        let id = kn.add_record("coffee shop latte");
+        let toks = kn.record(id).tokens.clone();
+        let cfg_j = SimConfig::default().with_measures(MeasureSet::J);
+        let p = generate_pebbles(&kn, &cfg_j, &segment_record(&kn, &cfg_j, &toks));
+        assert!(p.iter().all(|x| matches!(x.key, PebbleKey::Gram(_))));
+        let cfg_t = SimConfig::default().with_measures(MeasureSet::T);
+        let p = generate_pebbles(&kn, &cfg_t, &segment_record(&kn, &cfg_t, &toks));
+        assert!(p.iter().all(|x| matches!(x.key, PebbleKey::Node(_))));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn global_order_puts_rare_first() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        // "coffee" appears in two records, "latte" in one.
+        let ids: Vec<_> = ["coffee", "coffee latte"]
+            .iter()
+            .map(|t| kn.add_record(t))
+            .collect();
+        let srs: Vec<_> = ids
+            .iter()
+            .map(|&i| segment_record(&kn, &cfg, &kn.record(i).tokens))
+            .collect();
+        let mut pebbles: Vec<Vec<Pebble>> = srs
+            .iter()
+            .map(|sr| generate_pebbles(&kn, &cfg, sr))
+            .collect();
+        let order = PebbleOrder::build(pebbles.iter().map(|v| v.as_slice()));
+        for p in &mut pebbles {
+            order.sort(p);
+        }
+        // In record 2, latte-grams (freq 1) must precede coffee-grams
+        // (freq 2).
+        let sorted = &pebbles[1];
+        let first_coffee = sorted.iter().position(|p| order.freq(p.key) == 2).unwrap();
+        assert!(sorted[..first_coffee]
+            .iter()
+            .all(|p| order.freq(p.key) == 1));
+        assert!(first_coffee > 0);
+    }
+
+    #[test]
+    fn sorting_is_deterministic() {
+        let mut kn = setup();
+        let cfg = SimConfig::default();
+        let id = kn.add_record("coffee shop latte espresso cafe");
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let base = generate_pebbles(&kn, &cfg, &sr);
+        let order = PebbleOrder::build(std::iter::once(base.as_slice()));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        b.reverse();
+        order.sort(&mut a);
+        order.sort(&mut b);
+        let key = |v: &[Pebble]| -> Vec<(PebbleKey, u32, usize)> {
+            v.iter().map(|p| (p.key, p.seg, p.measure.idx())).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+}

@@ -1,0 +1,199 @@
+//! Sampling-probability auto-tuning — the paper's stated future work.
+//!
+//! Section 5.4 closes: *"there exists an optimal sampling probability for
+//! each dataset which minimises the total suggestion time. Finding such an
+//! optimum ... is an exciting direction for future research."* This module
+//! implements a pilot-based tuner.
+//!
+//! The idea: suggestion time ≈ `iterations(p) × time_per_iteration(p)`.
+//! Per-iteration time grows roughly quadratically with `p` (sample pairs),
+//! while the iterations needed to separate the best τ shrink with `p`
+//! because each iteration's estimate has variance ∝ `1/p²` (fewer surviving
+//! pairs). For each candidate `p` we run a short pilot, measure both the
+//! per-iteration cost and the cost-estimate dispersion, extrapolate the
+//! iterations the stopping rule (Ineq. 24) would need, and pick the `p`
+//! minimising predicted total time.
+
+use crate::config::SimConfig;
+use crate::estimate::{draw_sample_pair, estimate_from_counts, filter_counts, CostModel};
+use crate::knowledge::Knowledge;
+use crate::signature::FilterKind;
+use crate::stats::OnlineStats;
+use au_text::record::Corpus;
+use std::time::{Duration, Instant};
+
+/// One probed candidate probability with its pilot measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbePoint {
+    /// Candidate sampling probability.
+    pub p: f64,
+    /// Measured mean time per iteration.
+    pub iter_time: Duration,
+    /// Predicted iterations to satisfy the stopping rule.
+    pub predicted_iters: f64,
+    /// Predicted total suggestion time.
+    pub predicted_total: Duration,
+}
+
+/// Result of [`tune_sampling_probability`].
+#[derive(Debug, Clone)]
+pub struct ProbeOutcome {
+    /// The recommended probability.
+    pub p: f64,
+    /// All probed points (for reporting).
+    pub points: Vec<ProbePoint>,
+}
+
+/// Pick a sampling probability from `candidates` by pilot extrapolation.
+///
+/// `pilot_iters` controls the pilot length per candidate (≥ 2 needed for a
+/// variance estimate; 5–8 is plenty). Deterministic given `seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_sampling_probability(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    theta: f64,
+    model: &CostModel,
+    candidates: &[f64],
+    universe: &[u32],
+    pilot_iters: usize,
+    seed: u64,
+) -> ProbeOutcome {
+    assert!(!candidates.is_empty() && !universe.is_empty());
+    let pilot_iters = pilot_iters.max(2);
+    let mut points = Vec::with_capacity(candidates.len());
+    for (ci, &p) in candidates.iter().enumerate() {
+        let started = Instant::now();
+        // Track the two best τ's cost dispersion to model the stopping
+        // rule: it needs CI half-widths below the best-vs-runner-up gap.
+        let mut cost_stats: Vec<OnlineStats> = vec![OnlineStats::new(); universe.len()];
+        for n in 0..pilot_iters {
+            let sample = draw_sample_pair(s, t, p, p, seed ^ (ci as u64) << 32, n as u64 + 1);
+            for (i, &tau) in universe.iter().enumerate() {
+                let counts = filter_counts(
+                    kn,
+                    cfg,
+                    &sample.s,
+                    &sample.t,
+                    theta,
+                    FilterKind::AuHeuristic { tau },
+                );
+                let est = estimate_from_counts(counts, p, p);
+                cost_stats[i].push(model.cost(est));
+            }
+        }
+        let iter_time = started.elapsed() / pilot_iters as u32;
+        // Best and runner-up mean costs.
+        let mut means: Vec<f64> = cost_stats.iter().map(|st| st.mean()).collect();
+        means.sort_by(|a, b| a.total_cmp(b));
+        let gap = (means.get(1).copied().unwrap_or(f64::INFINITY) - means[0]).max(1e-12);
+        // Worst per-τ std deviation of a single estimate.
+        let sigma = cost_stats
+            .iter()
+            .map(|st| st.sample_var().sqrt())
+            .fold(0.0, f64::max);
+        // Stopping needs ~ t*·σ/√n ≲ gap/2 → n ≳ (2·t*·σ/gap)².
+        let t_star = 1.036;
+        let predicted = ((2.0 * t_star * sigma / gap).powi(2)).clamp(1.0, 10_000.0);
+        points.push(ProbePoint {
+            p,
+            iter_time,
+            predicted_iters: predicted,
+            predicted_total: iter_time.mul_f64(predicted),
+        });
+    }
+    let best = points
+        .iter()
+        .min_by(|a, b| a.predicted_total.cmp(&b.predicted_total))
+        .expect("non-empty candidates");
+    ProbeOutcome { p: best.p, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+
+    fn setup(n: usize) -> (Knowledge, Corpus, Corpus) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["root", "coffee", "latte"]);
+        b.taxonomy_path(&["root", "coffee", "espresso"]);
+        let mut kn = b.build();
+        let mk = |pre: &str, i: usize| match i % 4 {
+            0 => format!("{pre} coffee shop latte spot{i}"),
+            1 => format!("{pre} espresso place spot{i}"),
+            2 => format!("{pre} cafe corner spot{i}"),
+            _ => format!("{pre} random words spot{i}"),
+        };
+        let ls: Vec<String> = (0..n).map(|i| mk("a", i)).collect();
+        let lt: Vec<String> = (0..n).map(|i| mk("b", i)).collect();
+        let s = kn.corpus_from_lines(ls.iter().map(|x| x.as_str()));
+        let t = kn.corpus_from_lines(lt.iter().map(|x| x.as_str()));
+        (kn, s, t)
+    }
+
+    #[test]
+    fn picks_from_candidates_deterministically() {
+        let (kn, s, t) = setup(120);
+        let cfg = SimConfig::default();
+        let model = CostModel {
+            c_f: 5e-8,
+            c_v: 2e-6,
+        };
+        let candidates = [0.05, 0.15, 0.4];
+        let a = tune_sampling_probability(
+            &kn,
+            &cfg,
+            &s,
+            &t,
+            0.8,
+            &model,
+            &candidates,
+            &[1, 2, 3],
+            4,
+            9,
+        );
+        let b = tune_sampling_probability(
+            &kn,
+            &cfg,
+            &s,
+            &t,
+            0.8,
+            &model,
+            &candidates,
+            &[1, 2, 3],
+            4,
+            9,
+        );
+        assert!(candidates.contains(&a.p));
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.points.len(), 3);
+        for pt in &a.points {
+            assert!(pt.predicted_iters >= 1.0);
+            assert!(pt.predicted_total >= pt.iter_time);
+        }
+    }
+
+    #[test]
+    fn larger_p_costs_more_per_iteration() {
+        let (kn, s, t) = setup(200);
+        let cfg = SimConfig::default();
+        let model = CostModel {
+            c_f: 5e-8,
+            c_v: 2e-6,
+        };
+        let out =
+            tune_sampling_probability(&kn, &cfg, &s, &t, 0.8, &model, &[0.05, 0.6], &[1, 2], 4, 11);
+        let small = &out.points[0];
+        let large = &out.points[1];
+        assert!(
+            large.iter_time >= small.iter_time,
+            "p=0.6 iteration ({:?}) should cost at least p=0.05 ({:?})",
+            large.iter_time,
+            small.iter_time
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Well-defined segments (Definition 1) and segmented records.
+//!
+//! A *well-defined segment* of a string is a consecutive token span that
+//! (i) maps to the lhs or rhs of a synonym rule, (ii) matches a taxonomy
+//! entity, or (iii) is a single token. [`segment_record`] enumerates all of
+//! them for a token sequence, caching everything the similarity and pebble
+//! layers need: the segment's distinct q-gram hashes (sorted), its taxonomy
+//! node and its applicable rules.
+//!
+//! Grams are represented by 64-bit Fx hashes rather than interned ids so
+//! segmentation needs no shared mutable state (important for parallel
+//! verification); a collision would require two distinct grams among the
+//! handful in one segment pair to collide in 64 bits.
+
+use crate::config::{MeasureSet, SimConfig};
+use crate::knowledge::Knowledge;
+use au_matching::min_partition;
+use au_synonym::RuleId;
+use au_taxonomy::NodeId;
+use au_text::hash::FxHasher64;
+use au_text::qgram::qgrams;
+use au_text::{PhraseId, TokenId};
+use std::hash::Hasher;
+
+/// Hash one gram to its 64-bit pebble key payload.
+pub fn hash_gram(g: &str) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write(g.as_bytes());
+    h.finish()
+}
+
+/// Sorted, deduplicated gram hashes of `text`.
+pub fn gram_hashes(text: &str, q: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = qgrams(text, q).iter().map(|g| hash_gram(g)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// One well-defined segment of a record.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First token position.
+    pub start: usize,
+    /// Token count (≥ 1).
+    pub len: usize,
+    /// Interned phrase when this span names a rule side / entity (always
+    /// set for multi-token segments; for single tokens only if the token
+    /// happens to be an interned phrase).
+    pub phrase: Option<PhraseId>,
+    /// Matching taxonomy entity node, if any.
+    pub node: Option<NodeId>,
+    /// Synonym rules having this span as lhs or rhs.
+    pub rules: Vec<RuleId>,
+    /// Space-joined surface text of the span.
+    pub text: String,
+    /// Sorted distinct gram hashes of `text` (empty when J is disabled).
+    pub grams: Vec<u64>,
+}
+
+impl Segment {
+    /// Exclusive end position.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Token-span overlap test.
+    pub fn overlaps(&self, other: &Segment) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// A record with its enumerated well-defined segments.
+#[derive(Debug, Clone)]
+pub struct SegRecord {
+    /// Token sequence of the record.
+    pub tokens: Vec<TokenId>,
+    /// All well-defined segments (singletons first, then longer spans, in
+    /// position order within each length).
+    pub segments: Vec<Segment>,
+    /// Intervals `(start, len)` of the multi-token segments — the input to
+    /// the min-partition DP.
+    pub multi_intervals: Vec<(usize, usize)>,
+    /// Exact minimum number of well-defined segments partitioning the
+    /// record (cached; the `MP(S)` of Algorithms 2/4/5 and the denominator
+    /// floor of every USIM upper bound).
+    pub min_partition: u32,
+}
+
+impl SegRecord {
+    /// Number of tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+/// Enumerate all well-defined segments of `tokens` under `cfg.measures`.
+///
+/// Measure gating follows the paper's per-measure experiments: with `S`
+/// disabled, rule sides no longer define segments (and no rules are
+/// attached); with `T` disabled, entity spans don't. Single tokens are
+/// always well-defined.
+pub fn segment_record(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> SegRecord {
+    let n = tokens.len();
+    let max_span = kn.max_segment_span().min(n.max(1));
+    let want_gram = cfg.measures.contains(MeasureSet::J);
+    let want_syn = cfg.measures.contains(MeasureSet::S);
+    let want_tax = cfg.measures.contains(MeasureSet::T);
+
+    let mut segments = Vec::with_capacity(n + 4);
+    let mut multi_intervals = Vec::new();
+
+    // Single tokens first (stable order helps tests and determinism).
+    for start in 0..n {
+        segments.push(make_segment(
+            kn, cfg, tokens, start, 1, want_gram, want_syn, want_tax,
+        ));
+    }
+    // Multi-token spans up to the knowledge base's longest phrase.
+    for len in 2..=max_span {
+        if len > n {
+            break;
+        }
+        for start in 0..=n - len {
+            let span = &tokens[start..start + len];
+            let Some(phrase) = kn.phrases.get(span) else {
+                continue;
+            };
+            let is_rule_side = want_syn && kn.synonyms.is_side(phrase);
+            let is_entity = want_tax && kn.entities.lookup(phrase).is_some();
+            if !is_rule_side && !is_entity {
+                continue;
+            }
+            segments.push(make_segment(
+                kn, cfg, tokens, start, len, want_gram, want_syn, want_tax,
+            ));
+            multi_intervals.push((start, len));
+        }
+    }
+    let mp = min_partition(n, &multi_intervals);
+    SegRecord {
+        tokens: tokens.to_vec(),
+        segments,
+        multi_intervals,
+        min_partition: mp,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_segment(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    tokens: &[TokenId],
+    start: usize,
+    len: usize,
+    want_gram: bool,
+    want_syn: bool,
+    want_tax: bool,
+) -> Segment {
+    let span = &tokens[start..start + len];
+    let phrase = kn.phrases.get(span);
+    let node = if want_tax {
+        phrase.and_then(|p| kn.entities.lookup(p))
+    } else {
+        None
+    };
+    let rules = if want_syn {
+        phrase.map_or_else(Vec::new, |p| kn.synonyms.rules_with_side(p).collect())
+    } else {
+        Vec::new()
+    };
+    let text = kn.vocab.join(span);
+    let grams = if want_gram {
+        gram_hashes(&text, cfg.q)
+    } else {
+        Vec::new()
+    };
+    Segment {
+        start,
+        len,
+        phrase,
+        node,
+        rules,
+        text,
+        grams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+
+    fn kn_figure1() -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.build()
+    }
+
+    fn seg_texts(sr: &SegRecord) -> Vec<&str> {
+        sr.segments.iter().map(|s| s.text.as_str()).collect()
+    }
+
+    #[test]
+    fn figure1_string_s_segments() {
+        let mut kn = kn_figure1();
+        let id = kn.add_record("coffee shop latte Helsingki");
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        // four singletons + "coffee shop" (rule lhs); "shop latte" is NOT
+        // well-defined (paper, after Definition 1).
+        assert_eq!(
+            seg_texts(&sr),
+            vec!["coffee", "shop", "latte", "helsingki", "coffee shop"]
+        );
+        assert_eq!(sr.multi_intervals, vec![(0, 2)]);
+        let cs = &sr.segments[4];
+        assert_eq!(cs.rules.len(), 1);
+        assert!(cs.node.is_none());
+        // "latte" maps to the taxonomy
+        assert!(sr.segments[2].node.is_some());
+        // "coffee" is both an entity and a token
+        assert!(sr.segments[0].node.is_some());
+    }
+
+    #[test]
+    fn multi_token_entity_detected() {
+        let mut kn = kn_figure1();
+        let id = kn.add_record("hot coffee drinks here");
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let multi: Vec<_> = sr.segments.iter().filter(|s| s.len > 1).collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].text, "coffee drinks");
+        assert!(multi[0].node.is_some());
+        assert!(multi[0].rules.is_empty());
+    }
+
+    #[test]
+    fn measure_gating_disables_spans() {
+        let mut kn = kn_figure1();
+        let id = kn.add_record("coffee shop latte");
+        let toks = kn.record(id).tokens.clone();
+        // J-only: no multi-token segments at all.
+        let cfg_j = SimConfig::default().with_measures(MeasureSet::J);
+        let sr = segment_record(&kn, &cfg_j, &toks);
+        assert!(sr.multi_intervals.is_empty());
+        assert!(sr
+            .segments
+            .iter()
+            .all(|s| s.node.is_none() && s.rules.is_empty()));
+        // T-only: "coffee shop" is not a segment (it is a rule side, not an
+        // entity), but "coffee" still maps to its node; grams are skipped.
+        let cfg_t = SimConfig::default().with_measures(MeasureSet::T);
+        let sr = segment_record(&kn, &cfg_t, &toks);
+        assert!(sr.multi_intervals.is_empty());
+        assert!(sr.segments.iter().all(|s| s.grams.is_empty()));
+        assert!(sr.segments[0].node.is_some());
+        // S-only: "coffee shop" is back.
+        let cfg_s = SimConfig::default().with_measures(MeasureSet::S);
+        let sr = segment_record(&kn, &cfg_s, &toks);
+        assert_eq!(sr.multi_intervals, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_record() {
+        let kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &[]);
+        assert!(sr.segments.is_empty());
+        assert_eq!(sr.n_tokens(), 0);
+    }
+
+    #[test]
+    fn overlap_relation() {
+        let mut kn = kn_figure1();
+        let id = kn.add_record("coffee shop latte");
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let coffee = &sr.segments[0];
+        let shop = &sr.segments[1];
+        let latte = &sr.segments[2];
+        let coffee_shop = &sr.segments[3];
+        assert!(coffee.overlaps(coffee_shop));
+        assert!(shop.overlaps(coffee_shop));
+        assert!(!latte.overlaps(coffee_shop));
+        assert!(!coffee.overlaps(shop));
+        assert!(coffee.overlaps(coffee));
+    }
+
+    #[test]
+    fn gram_hashes_sorted_distinct() {
+        let g = gram_hashes("espresso", 2);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        // espresso: es,sp,pr,re,ss,so → 6 distinct
+        assert_eq!(g.len(), 6);
+        assert_eq!(gram_hashes("", 2).len(), 0);
+    }
+}

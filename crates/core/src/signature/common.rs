@@ -1,0 +1,341 @@
+//! Shared signature-selection machinery: accumulated similarity, top-k
+//! prefix sums, and the minimum-partition lower bound `MP(S)`.
+
+use crate::pebble::Pebble;
+use crate::segment::SegRecord;
+use au_matching::greedy_cover_size;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total order wrapper for positive f64 weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Incremental accumulated similarity (Definition 4):
+/// `AS = Σ_P max_f W(B_{P,f})` over the pebbles added so far.
+#[derive(Debug, Clone)]
+pub struct SuffixState {
+    sums: Vec<[f64; 3]>,
+    seg_max: Vec<f64>,
+    total: f64,
+}
+
+impl SuffixState {
+    /// State for a record with `n_segments` segments; AS = 0.
+    pub fn new(n_segments: usize) -> Self {
+        Self {
+            sums: vec![[0.0; 3]; n_segments],
+            seg_max: vec![0.0; n_segments],
+            total: 0.0,
+        }
+    }
+
+    /// Add one pebble to the tracked set.
+    pub fn add(&mut self, p: &Pebble) {
+        let s = p.seg as usize;
+        self.sums[s][p.measure.idx()] += p.weight;
+        let new_max = self.sums[s].iter().copied().fold(0.0, f64::max);
+        self.total += new_max - self.seg_max[s];
+        self.seg_max[s] = new_max;
+    }
+
+    /// Current accumulated similarity.
+    pub fn value(&self) -> f64 {
+        self.total
+    }
+
+    /// Raw per-measure sums of one segment (indexed by
+    /// [`MeasureKind::idx`]).
+    pub fn sums(&self, seg: usize) -> [f64; 3] {
+        self.sums[seg]
+    }
+
+    /// `max_f` of one segment's per-measure sums.
+    pub fn seg_max(&self, seg: usize) -> f64 {
+        self.seg_max[seg]
+    }
+}
+
+/// `mass[k] = AS(B[k..n))` for all suffix starts `k ∈ 0..=n`
+/// (so `mass[n] = 0` and `mass[0]` is the whole record's mass).
+pub fn suffix_masses(sr: &SegRecord, pebbles: &[Pebble]) -> Vec<f64> {
+    let n = pebbles.len();
+    let mut out = vec![0.0; n + 1];
+    let mut st = SuffixState::new(sr.segments.len());
+    for k in (0..n).rev() {
+        st.add(&pebbles[k]);
+        out[k] = st.value();
+    }
+    out
+}
+
+/// `tw[j] = Σ` of the `k` heaviest pebble weights among the prefix
+/// `B[0..j)`, for all `j ∈ 0..=n` (`tw[0] = 0`). `k = 0` gives all zeros.
+///
+/// This is `TW_k` of Eq. 8 restricted to prefixes, maintained with a
+/// size-`k` min-heap in O(n log k).
+pub fn prefix_topk_sums(pebbles: &[Pebble], k: usize) -> Vec<f64> {
+    let n = pebbles.len();
+    let mut out = vec![0.0; n + 1];
+    if k == 0 {
+        return out;
+    }
+    let mut heap: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::with_capacity(k + 1);
+    let mut sum = 0.0f64;
+    for (j, p) in pebbles.iter().enumerate() {
+        if heap.len() < k {
+            heap.push(Reverse(OrdF64(p.weight)));
+            sum += p.weight;
+        } else if let Some(&Reverse(OrdF64(min))) = heap.peek() {
+            if p.weight > min {
+                heap.pop();
+                heap.push(Reverse(OrdF64(p.weight)));
+                sum += p.weight - min;
+            }
+        }
+        out[j + 1] = sum;
+    }
+    out
+}
+
+/// The largest overlap constraint `τ' ≤ tau` this record can actually
+/// *guarantee* (Lemma 2 feasibility).
+///
+/// Lemma 2's argument needs some `i` to satisfy
+/// `θ·MP(S) > AS(i, S) + TW_{τ'−1}(B[1, i−1])`; the weakest instance is
+/// `i = |B| + 1` (nothing removed), where the right side is
+/// `TW_{τ'−1}(B)`. If even that fails — the record's `τ'−1` heaviest
+/// pebbles alone already carry `θ·MP(S)` of mass, or the record simply has
+/// fewer than `τ'` pebbles worth of evidence — then a θ-similar partner
+/// may overlap on fewer than `τ'` pebbles and demanding `τ'` overlaps
+/// would drop true positives. (The paper's Algorithm 4/6 overlooks this:
+/// applied literally, a one-pebble record like `"a"` can never meet
+/// `τ = 2` and the identical pair `("a", "a")` at `USIM = 1` is lost.)
+///
+/// Joins therefore select each record's signature at its guarantee level
+/// and require `min(τ, level(S), level(T))` overlaps per pair — the
+/// strongest demand that is still complete.
+pub fn guarantee_level(
+    sr: &SegRecord,
+    pebbles: &[Pebble],
+    tau: u32,
+    theta: f64,
+    eps: f64,
+    mode: MpMode,
+) -> u32 {
+    if tau <= 1 || pebbles.is_empty() {
+        return tau.max(1);
+    }
+    let target = theta * min_partition_bound(sr, mode) as f64;
+    if target <= eps {
+        // θ = 0: the τ-overlap demand is kept as-is (the degenerate
+        // convention the selectors use too).
+        return tau;
+    }
+    let mut weights: Vec<f64> = pebbles.iter().map(|p| p.weight).collect();
+    weights.sort_by(|a, b| b.total_cmp(a));
+    let mut tw = 0.0f64; // TW_{τ'−1} for the current τ'
+    let mut level = 1u32;
+    for tprime in 2..=tau {
+        let k = (tprime - 1) as usize; // heaviest-pebble budget at τ'
+        if k <= weights.len() {
+            tw += weights[k - 1];
+        } // else TW saturates at the total mass
+        if tw < target - eps {
+            level = tprime;
+        } else {
+            break;
+        }
+    }
+    level
+}
+
+/// How to lower-bound the minimum partition size `MP(S)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MpMode {
+    /// Exact interval DP (tighter filtering; the minimum is exact because
+    /// segments are token intervals). Default.
+    #[default]
+    ExactDp,
+    /// The paper's greedy-cover estimate `⌈|A| / (ln n + 1)⌉`
+    /// (GetMinPartitionSize, Algorithm 2 Lines 6–12); kept for the
+    /// faithfulness ablation.
+    GreedyLn,
+}
+
+/// Lower bound on the minimum number of well-defined segments in any
+/// partition of the record (the `m` of Algorithms 2/4/5).
+pub fn min_partition_bound(sr: &SegRecord, mode: MpMode) -> u32 {
+    let n = sr.n_tokens();
+    if n == 0 {
+        return 0;
+    }
+    match mode {
+        MpMode::ExactDp => sr.min_partition,
+        MpMode::GreedyLn => {
+            let greedy = greedy_cover_size(n, &sr.multi_intervals);
+            let nmax = sr
+                .multi_intervals
+                .iter()
+                .map(|&(_, l)| l)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let denom = (nmax as f64).ln() + 1.0;
+            (greedy as f64 / denom).ceil() as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::knowledge::KnowledgeBuilder;
+    use crate::pebble::generate_pebbles;
+    use crate::segment::segment_record;
+
+    fn fixture() -> (SegRecord, Vec<Pebble>) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        let mut kn = b.build();
+        let cfg = SimConfig::default();
+        let id = kn.add_record("espresso cafe helsinki");
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let p = generate_pebbles(&kn, &cfg, &sr);
+        (sr, p)
+    }
+
+    #[test]
+    fn suffix_masses_monotone() {
+        let (sr, p) = fixture();
+        let m = suffix_masses(&sr, &p);
+        assert_eq!(m.len(), p.len() + 1);
+        assert_eq!(m[p.len()], 0.0);
+        for k in 0..p.len() {
+            assert!(m[k] >= m[k + 1] - 1e-12, "mass must grow leftwards");
+        }
+        assert!(m[0] > 0.0);
+    }
+
+    #[test]
+    fn suffix_state_takes_max_over_measures() {
+        let (sr, p) = fixture();
+        // Adding ALL pebbles: AS = Σ_seg max_f (sum of that measure).
+        let mut st = SuffixState::new(sr.segments.len());
+        for x in &p {
+            st.add(x);
+        }
+        // segment "cafe" has J-mass 1.0 (3 grams × 1/3) and S-mass 1.0;
+        // max = 1.0, not 2.0. espresso has J-mass 1.0 (6 grams × 1/6) and
+        // T-mass 1.0 (5 ancestors × 1/5). helsinki J-mass 1.0.
+        // Total = 3.0 exactly (each well-defined segment saturates at 1).
+        assert!((st.value() - 3.0).abs() < 1e-9, "got {}", st.value());
+    }
+
+    #[test]
+    fn prefix_topk_sums_match_naive() {
+        let (_, p) = fixture();
+        for k in [0usize, 1, 2, 3, 7] {
+            let tw = prefix_topk_sums(&p, k);
+            for j in 0..=p.len() {
+                let mut w: Vec<f64> = p[..j].iter().map(|x| x.weight).collect();
+                w.sort_by(|a, b| b.total_cmp(a));
+                let naive: f64 = w.iter().take(k).sum();
+                assert!(
+                    (tw[j] - naive).abs() < 1e-9,
+                    "k={k} j={j}: {} vs {naive}",
+                    tw[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mp_bounds() {
+        let (sr, _) = fixture();
+        // "espresso cafe helsinki": no multi-token segments → MP = 3.
+        assert_eq!(min_partition_bound(&sr, MpMode::ExactDp), 3);
+        // Greedy mode with nmax = 1: ⌈3/(ln 1 + 1)⌉ = 3 (paper Example 6).
+        assert_eq!(min_partition_bound(&sr, MpMode::GreedyLn), 3);
+    }
+
+    #[test]
+    fn mp_with_multi_token_segment() {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        let mut kn = b.build();
+        let cfg = SimConfig::default();
+        let id = kn.add_record("coffee shop latte helsingki");
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        // Exact: {coffee shop},{latte},{helsingki} = 3.
+        assert_eq!(min_partition_bound(&sr, MpMode::ExactDp), 3);
+        // Greedy: |A| = 3 picks, nmax = 2 → ⌈3/1.693⌉ = 2 — weaker (valid)
+        // lower bound.
+        assert_eq!(min_partition_bound(&sr, MpMode::GreedyLn), 2);
+    }
+
+    #[test]
+    fn guarantee_level_caps_at_feasible_tau() {
+        let (sr, p) = fixture();
+        // "espresso cafe helsinki": MP = 3 → θ = 0.8 gives target 2.4.
+        // Weights descending: 1.0 (syn lhs), 3×1/3 (cafe grams),
+        // 5×1/5 (taxonomy), 6×1/6, 7×1/7. TW_5 = 2.2 < 2.4 but
+        // TW_6 = 2.4 ≥ 2.4 → level caps at 6.
+        assert_eq!(
+            guarantee_level(&sr, &p, 10, 0.8, 1e-9, MpMode::ExactDp),
+            6
+        );
+        // Requested τ below the cap is returned unchanged.
+        assert_eq!(guarantee_level(&sr, &p, 3, 0.8, 1e-9, MpMode::ExactDp), 3);
+        // τ = 1 needs no evidence beyond a nonempty list.
+        assert_eq!(guarantee_level(&sr, &p, 1, 0.8, 1e-9, MpMode::ExactDp), 1);
+    }
+
+    #[test]
+    fn guarantee_level_single_pebble_record() {
+        // One pebble of weight 1.0, MP = 1, θ = 0.9: TW_1 = 1.0 ≥ 0.9 →
+        // only one overlap can be demanded, whatever τ asks.
+        let (sr, p) = fixture();
+        let single = vec![Pebble {
+            weight: 1.0,
+            ..p[0]
+        }];
+        let sr1 = {
+            let mut s = sr.clone();
+            s.min_partition = 1;
+            s
+        };
+        for tau in [2u32, 3, 8] {
+            assert_eq!(
+                guarantee_level(&sr1, &single, tau, 0.9, 1e-9, MpMode::ExactDp),
+                1,
+                "τ={tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_record_mp_zero() {
+        let kn = KnowledgeBuilder::new().build();
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &[]);
+        assert_eq!(min_partition_bound(&sr, MpMode::ExactDp), 0);
+        assert_eq!(min_partition_bound(&sr, MpMode::GreedyLn), 0);
+    }
+}

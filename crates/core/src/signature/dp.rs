@@ -1,0 +1,268 @@
+//! AU-Filter signature selection by dynamic programming (Algorithm 5).
+//!
+//! The heuristic bound `TW_{τ−1}` charges the τ−1 heaviest *prefix*
+//! pebbles regardless of which segment/measure they belong to — but a
+//! segment's contribution is capped by a *single* measure (`max_f` in
+//! Definition 4), so inserting two heavy pebbles of different measures
+//! into one segment cannot double-count. The DP computes, per candidate
+//! prefix, a tight upper bound `W_i[t, τ−1]` on the similarity increment
+//! of re-inserting τ−1 prefix pebbles (Eq. 12–14):
+//!
+//! * `R(P, i, c) = max_f { W(B_{P,f}[i, n]) + TW_c(B_{P,f}[1, i−1]) }`
+//! * `V_i[p, c] = R(P, i, c) − R(P, i, 0)` (accessory table)
+//! * `W_i[p, d] = max_{c ≤ d} W_i[p−1, d−c] + V_i[p, c]`
+//!
+//! Removal continues while `AS(i, S) + W_i[t, τ−1] < θ·MP(S)`, yielding
+//! signatures no longer — and usually strictly shorter — than the
+//! heuristic's (Example 8 of the paper).
+
+use crate::msim::MeasureKind;
+use crate::pebble::Pebble;
+use crate::segment::SegRecord;
+use crate::signature::common::{min_partition_bound, MpMode, SuffixState};
+
+/// Per-(segment, measure) view of the prefix: weights sorted descending,
+/// supporting removal as entries migrate to the suffix.
+#[derive(Debug, Clone, Default)]
+struct PrefixSlot {
+    /// Weights, kept sorted descending.
+    weights: Vec<f64>,
+}
+
+impl PrefixSlot {
+    fn insert(&mut self, w: f64) {
+        let pos = self.weights.partition_point(|&x| x > w);
+        self.weights.insert(pos, w);
+    }
+
+    fn remove(&mut self, w: f64) {
+        let pos = self
+            .weights
+            .iter()
+            .position(|&x| x == w)
+            .expect("removing a weight that was inserted");
+        self.weights.remove(pos);
+    }
+
+    /// Sum of the `c` largest weights.
+    fn top_sum(&self, c: usize) -> f64 {
+        self.weights.iter().take(c).sum()
+    }
+}
+
+/// Signature prefix length for AU-Filter (DP) with overlap constraint
+/// `tau`. Conventions follow Algorithm 5: candidate lengths are scanned
+/// from `n` (the full list may be kept) down to 1; at candidate `L` the
+/// suffix is `B[L−1..n)` and the DP tables cover the prefix `B[0..L−1)`.
+pub fn dp_prefix_len(
+    sr: &SegRecord,
+    pebbles: &[Pebble],
+    tau: u32,
+    theta: f64,
+    eps: f64,
+    mp_mode: MpMode,
+) -> usize {
+    let n = pebbles.len();
+    let t_segs = sr.segments.len();
+    if n == 0 || t_segs == 0 {
+        return 0;
+    }
+    let m = min_partition_bound(sr, mp_mode);
+    let target = theta * m as f64;
+    let tau = tau.max(1) as usize;
+    if target <= eps {
+        // Zero removal budget → the signature is the whole list.
+        return n;
+    }
+
+    // Prefix slots per (segment, measure): initially B[0..n−1).
+    let mut slots: Vec<[PrefixSlot; 3]> = (0..t_segs)
+        .map(|_| {
+            [
+                PrefixSlot::default(),
+                PrefixSlot::default(),
+                PrefixSlot::default(),
+            ]
+        })
+        .collect();
+    for p in &pebbles[..n - 1] {
+        slots[p.seg as usize][p.measure.idx()].insert(p.weight);
+    }
+    // Suffix sums: initially B[n−1..n).
+    let mut suffix = SuffixState::new(t_segs);
+    suffix.add(&pebbles[n - 1]);
+
+    // Only segments with any pebble can ever contribute.
+    let mut active: Vec<usize> = (0..t_segs).collect();
+    active.retain(|&s| pebbles.iter().any(|p| p.seg as usize == s));
+
+    let mut w_prev = vec![0.0f64; tau]; // W[p−1][·], row p = 0 is all zeros
+    let mut w_cur = vec![0.0f64; tau];
+
+    let mut len = n;
+    loop {
+        // Candidate signature length `len`: suffix B[len−1..n) (already in
+        // `suffix`), prefix B[0..len−1) (already in `slots`).
+        let as_val = suffix.value();
+        let mut reached = as_val >= target - eps; // τ−1 = 0 case and fast path
+        if !reached && tau > 1 {
+            // Fill W row by row with early termination.
+            for x in w_prev.iter_mut() {
+                *x = 0.0;
+            }
+            'rows: for &seg in &active {
+                let sums = suffix.sums(seg);
+                let r0 = suffix.seg_max(seg);
+                // V[p][c] for c in 0..tau
+                let mut v = [0.0f64; 16];
+                let cmax = tau.min(16);
+                for (c, vc) in v.iter_mut().enumerate().take(cmax) {
+                    let mut best = 0.0f64;
+                    for f in MeasureKind::ALL {
+                        let cand = sums[f.idx()] + slots[seg][f.idx()].top_sum(c);
+                        if cand > best {
+                            best = cand;
+                        }
+                    }
+                    *vc = best - r0;
+                }
+                for d in 0..tau {
+                    let mut best = 0.0f64;
+                    for c in 0..=d.min(cmax - 1) {
+                        let cand = w_prev[d - c] + v[c];
+                        if cand > best {
+                            best = cand;
+                        }
+                    }
+                    w_cur[d] = best;
+                    if as_val + best >= target - eps {
+                        reached = true;
+                        break 'rows;
+                    }
+                }
+                std::mem::swap(&mut w_prev, &mut w_cur);
+            }
+        }
+        if reached {
+            return len;
+        }
+        // Remove one more pebble: entry len−2 moves prefix → suffix.
+        if len == 1 {
+            return 0;
+        }
+        let moving = &pebbles[len - 2];
+        slots[moving.seg as usize][moving.measure.idx()].remove(moving.weight);
+        suffix.add(moving);
+        len -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
+    use crate::pebble::{generate_pebbles, PebbleOrder};
+    use crate::segment::segment_record;
+    use crate::signature::heuristic::heuristic_prefix_len;
+
+    fn kn_figure1() -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.build()
+    }
+
+    fn fixture(text: &str) -> (SegRecord, Vec<Pebble>, SimConfig) {
+        let mut kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let id = kn.add_record(text);
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let mut p = generate_pebbles(&kn, &cfg, &sr);
+        let order = PebbleOrder::build(std::iter::once(p.as_slice()));
+        order.sort(&mut p);
+        (sr, p, cfg)
+    }
+
+    #[test]
+    fn dp_never_longer_than_heuristic() {
+        // Example 8's point: the DP bound is tighter, so its signatures are
+        // shorter (modulo the one-pebble boundary convention difference).
+        for text in [
+            "espresso cafe helsinki",
+            "coffee shop latte helsingki",
+            "latte espresso cafe coffee shop helsinki cake",
+        ] {
+            let (sr, p, cfg) = fixture(text);
+            for tau in 1..=5u32 {
+                for theta in [0.7, 0.8, 0.9] {
+                    let h = heuristic_prefix_len(&sr, &p, tau, theta, cfg.eps, MpMode::ExactDp);
+                    let d = dp_prefix_len(&sr, &p, tau, theta, cfg.eps, MpMode::ExactDp);
+                    assert!(
+                        d <= h + 1,
+                        "{text:?} τ={tau} θ={theta}: dp {d} > heur {h} + 1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_strictly_shorter_somewhere() {
+        // The tighter bound must pay off on at least one configuration.
+        let mut found = false;
+        for text in [
+            "espresso cafe helsinki",
+            "coffee shop latte helsingki espresso",
+            "latte espresso cafe coffee shop helsinki cake",
+        ] {
+            let (sr, p, cfg) = fixture(text);
+            for tau in 2..=6u32 {
+                for theta in [0.7, 0.75, 0.8, 0.85] {
+                    let h = heuristic_prefix_len(&sr, &p, tau, theta, cfg.eps, MpMode::ExactDp);
+                    let d = dp_prefix_len(&sr, &p, tau, theta, cfg.eps, MpMode::ExactDp);
+                    if d < h {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "DP never beat the heuristic on any configuration");
+    }
+
+    #[test]
+    fn monotone_in_tau() {
+        let (sr, p, cfg) = fixture("espresso cafe helsinki coffee shop latte");
+        let mut last = 0usize;
+        for tau in 1..=6u32 {
+            let len = dp_prefix_len(&sr, &p, tau, 0.8, cfg.eps, MpMode::ExactDp);
+            assert!(len >= last, "τ={tau}: {len} < {last}");
+            last = len;
+        }
+    }
+
+    #[test]
+    fn impossible_threshold_prunes() {
+        let (sr, mut p, cfg) = fixture("latte espresso");
+        for x in &mut p {
+            x.weight *= 0.05;
+        }
+        assert_eq!(dp_prefix_len(&sr, &p, 3, 0.9, cfg.eps, MpMode::ExactDp), 0);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let (sr, p, cfg) = fixture("latte espresso");
+        assert_eq!(dp_prefix_len(&sr, &[], 2, 0.8, cfg.eps, MpMode::ExactDp), 0);
+        assert_eq!(
+            dp_prefix_len(&sr, &p, 3, 0.0, cfg.eps, MpMode::ExactDp),
+            p.len()
+        );
+        // τ = 1 degenerates to the U-Filter bound (W ≡ 0).
+        let d1 = dp_prefix_len(&sr, &p, 1, 0.9, cfg.eps, MpMode::ExactDp);
+        let u =
+            crate::signature::ufilter::ufilter_prefix_len(&sr, &p, 0.9, cfg.eps, MpMode::ExactDp);
+        assert_eq!(d1, u);
+    }
+}

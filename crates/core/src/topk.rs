@@ -1,0 +1,326 @@
+//! Top-k similarity join: the `k` most similar pairs, no threshold needed.
+//!
+//! Threshold joins require the caller to guess a good θ; exploratory
+//! workloads (data profiling, duplicate triage) instead ask for "the k
+//! most similar pairs". This module answers that with a *threshold
+//! descent*: run the threshold join at a high θ, and while it yields fewer
+//! than `k` pairs, lower θ and rerun. Correctness is immediate from the
+//! threshold join's completeness: once a round at θ returns ≥ k pairs,
+//! every pair it did **not** return has similarity < θ ≤ (k-th best), so
+//! the true top-k are all in hand.
+//!
+//! Cost: corpora are prepared (segmented, pebbled) once; each round redoes
+//! signature selection + filtering + verification at its θ. Rounds form a
+//! geometric-ish schedule, and in practice the last (cheapest-θ) round
+//! dominates, so the total stays within a small factor of a single join at
+//! the final θ — the price of not knowing that θ in advance.
+//!
+//! Similarities are the Algorithm 1 approximation, like the threshold
+//! join's verification; the ranking is exact with respect to that measure.
+//! Accepted pairs are re-scored with the full (non-early-exit) Algorithm 1
+//! before ranking, because the verifier's early-accept may undershoot the
+//! final value.
+
+use crate::config::SimConfig;
+use crate::join::{join_prepared, prepare_corpus, JoinOptions, PreparedCorpus};
+use crate::knowledge::Knowledge;
+use crate::signature::FilterKind;
+use crate::usim::usim_approx_seg;
+use au_text::record::Corpus;
+
+/// Parameters of the top-k descent.
+#[derive(Debug, Clone, Copy)]
+pub struct TopkOptions {
+    /// How many pairs to return.
+    pub k: usize,
+    /// Filter used in every round (its τ applies unchanged).
+    pub filter: FilterKind,
+    /// First-round threshold (default 0.95).
+    pub theta_start: f64,
+    /// θ is never lowered below this floor — pairs less similar than the
+    /// floor are never reported, and the descent stops here even with
+    /// fewer than `k` results (default 0.3; a floor of 0 would degrade the
+    /// final round to a brute-force join).
+    pub theta_floor: f64,
+    /// Subtractive per-round θ step (default 0.1).
+    pub step: f64,
+    /// Parallel verification (as in [`JoinOptions`]).
+    pub parallel: bool,
+}
+
+impl TopkOptions {
+    /// Defaults with AU-Filter (DP) at overlap constraint `tau`.
+    pub fn au_dp(k: usize, tau: u32) -> Self {
+        Self {
+            k,
+            filter: FilterKind::AuDp { tau },
+            theta_start: 0.95,
+            theta_floor: 0.3,
+            step: 0.1,
+            parallel: true,
+        }
+    }
+}
+
+/// Result of a top-k join.
+#[derive(Debug, Clone, Default)]
+pub struct TopkResult {
+    /// At most `k` pairs `(s, t, usim)`, sorted by descending similarity
+    /// (ties by ascending ids). Fewer than `k` when the corpus holds fewer
+    /// pairs with similarity ≥ `theta_floor`.
+    pub pairs: Vec<(u32, u32, f64)>,
+    /// Number of descent rounds executed.
+    pub rounds: usize,
+    /// Threshold of the final round (the effective similarity cut).
+    pub final_theta: f64,
+}
+
+fn descend(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    sp: &mut PreparedCorpus,
+    tp: &mut Option<PreparedCorpus>,
+    opts: &TopkOptions,
+) -> TopkResult {
+    assert!(
+        opts.theta_floor > 0.0 && opts.theta_start >= opts.theta_floor,
+        "need 0 < theta_floor <= theta_start"
+    );
+    assert!(opts.step > 0.0, "step must be positive");
+    let mut theta = opts.theta_start;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let jo = JoinOptions {
+            theta,
+            filter: opts.filter,
+            parallel: opts.parallel,
+            ..JoinOptions::u_filter(theta)
+        };
+        let res = join_prepared(kn, cfg, sp, tp, &jo);
+        let done = res.pairs.len() >= opts.k || theta <= opts.theta_floor + cfg.eps;
+        if done {
+            let t_ref: &PreparedCorpus = match tp {
+                Some(t) => t,
+                None => sp,
+            };
+            let mut pairs: Vec<(u32, u32, f64)> = res
+                .pairs
+                .iter()
+                .map(|&(a, b, _)| {
+                    let sim = usim_approx_seg(
+                        kn,
+                        cfg,
+                        &sp.segrecs[a as usize],
+                        &t_ref.segrecs[b as usize],
+                    );
+                    (a, b, sim)
+                })
+                .collect();
+            pairs.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+            pairs.truncate(opts.k);
+            return TopkResult {
+                pairs,
+                rounds,
+                final_theta: theta,
+            };
+        }
+        theta = (theta - opts.step).max(opts.theta_floor);
+    }
+}
+
+/// Top-k R×S join of two corpora sharing the knowledge context.
+///
+/// # Examples
+///
+/// ```
+/// use au_core::topk::{topk_join, TopkOptions};
+/// use au_core::{KnowledgeBuilder, SimConfig};
+///
+/// let mut kn = KnowledgeBuilder::new().build();
+/// let s = kn.corpus_from_lines(["apple pie", "banana split"]);
+/// let t = kn.corpus_from_lines(["aple pie", "something else"]);
+///
+/// let cfg = SimConfig::default();
+/// let top = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(1, 2));
+/// assert_eq!(top.pairs.len(), 1);
+/// assert_eq!((top.pairs[0].0, top.pairs[0].1), (0, 0)); // the typo pair
+/// ```
+pub fn topk_join(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    opts: &TopkOptions,
+) -> TopkResult {
+    if opts.k == 0 {
+        return TopkResult::default();
+    }
+    let mut sp = prepare_corpus(kn, cfg, s);
+    let mut tp = Some(prepare_corpus(kn, cfg, t));
+    descend(kn, cfg, &mut sp, &mut tp, opts)
+}
+
+/// Top-k self-join (pairs reported with `s < t`).
+pub fn topk_join_self(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    c: &Corpus,
+    opts: &TopkOptions,
+) -> TopkResult {
+    if opts.k == 0 {
+        return TopkResult::default();
+    }
+    let mut sp = prepare_corpus(kn, cfg, c);
+    let mut none = None;
+    descend(kn, cfg, &mut sp, &mut none, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::brute_force_join;
+    use crate::knowledge::KnowledgeBuilder;
+
+    fn setup() -> (Knowledge, Corpus, Corpus) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        let mut kn = b.build();
+        let s = kn.corpus_from_lines([
+            "coffee shop latte helsingki",
+            "cake and tea",
+            "espresso north",
+            "latte espresso cafe",
+            "unrelated words entirely",
+        ]);
+        let t = kn.corpus_from_lines([
+            "espresso cafe helsinki",
+            "tea cake",
+            "latte south",
+            "coffee shop latte helsingki",
+            "different thing",
+        ]);
+        (kn, s, t)
+    }
+
+    /// Oracle: brute-force at the floor, re-score fully (the join verifier
+    /// early-accepts at the threshold and may report a lower bound), rank,
+    /// truncate.
+    fn oracle_topk(
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        s: &Corpus,
+        t: &Corpus,
+        k: usize,
+        floor: f64,
+    ) -> Vec<(u32, u32, f64)> {
+        use crate::segment::segment_record;
+        let mut all: Vec<(u32, u32, f64)> = brute_force_join(kn, cfg, s, t, floor)
+            .iter()
+            .map(|&(a, b, _)| {
+                let sa = segment_record(kn, cfg, &s.get(au_text::RecordId(a)).tokens);
+                let sb = segment_record(kn, cfg, &t.get(au_text::RecordId(b)).tokens);
+                (a, b, usim_approx_seg(kn, cfg, &sa, &sb))
+            })
+            .collect();
+        all.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        for k in [1usize, 3, 5, 10] {
+            let opts = TopkOptions::au_dp(k, 2);
+            let got = topk_join(&kn, &cfg, &s, &t, &opts);
+            let want = oracle_topk(&kn, &cfg, &s, &t, k, opts.theta_floor);
+            assert_eq!(
+                got.pairs.len(),
+                want.len(),
+                "k={k}: {:?} vs {:?}",
+                got.pairs,
+                want
+            );
+            for (g, w) in got.pairs.iter().zip(&want) {
+                assert!(
+                    (g.2 - w.2).abs() < 1e-9,
+                    "k={k}: scores diverge {g:?} vs {w:?}"
+                );
+            }
+            // Where scores are unique the ids must agree exactly.
+            for (g, w) in got.pairs.iter().zip(&want) {
+                let dup = want.iter().filter(|x| (x.2 - w.2).abs() < 1e-9).count();
+                if dup == 1 {
+                    assert_eq!((g.0, g.1), (w.0, w.1), "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descends_until_enough_pairs() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        // k=1 finds the identical pair at θ=0.95 in round 1; a large k
+        // must descend further.
+        let r1 = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(1, 2));
+        assert_eq!(r1.rounds, 1);
+        assert_eq!(r1.pairs.len(), 1);
+        assert_eq!((r1.pairs[0].0, r1.pairs[0].1), (0, 3)); // identical strings
+        assert!(r1.pairs[0].2 > 0.999);
+        let r8 = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(8, 2));
+        assert!(r8.rounds > 1);
+        assert!(r8.final_theta < 0.95);
+    }
+
+    #[test]
+    fn fewer_results_than_k_stops_at_floor() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        let opts = TopkOptions::au_dp(500, 2);
+        let res = topk_join(&kn, &cfg, &s, &t, &opts);
+        assert!((res.final_theta - opts.theta_floor).abs() < 1e-9);
+        assert!(res.pairs.len() < 500);
+        // Everything the floor-level join finds must be here.
+        let want = oracle_topk(&kn, &cfg, &s, &t, 500, opts.theta_floor);
+        assert_eq!(res.pairs.len(), want.len());
+    }
+
+    #[test]
+    fn k_zero_is_empty_and_free() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        let res = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(0, 2));
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn self_join_topk() {
+        let (kn, s, _) = setup();
+        let cfg = SimConfig::default();
+        let res = topk_join_self(&kn, &cfg, &s, &TopkOptions::au_dp(3, 2));
+        for &(a, b, _) in &res.pairs {
+            assert!(a < b);
+        }
+        for w in res.pairs.windows(2) {
+            assert!(w[0].2 >= w[1].2 - 1e-12);
+        }
+        // (0, 3) share latte + coffee-shop/cafe semantics → best pair.
+        assert!(!res.pairs.is_empty());
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let (kn, s, t) = setup();
+        let cfg = SimConfig::default();
+        let res = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(10, 1));
+        for w in res.pairs.windows(2) {
+            assert!(w[0].2 >= w[1].2 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Conflict-graph construction (Section 2.3, step i–iii).
+//!
+//! Vertices are segment pairs `(P_S, P_T)` with positive `msim`; the weight
+//! is `msim(P_S, P_T)` (Eq. 4). An edge joins two vertices whose segments
+//! overlap on either side — those cannot be applied simultaneously.
+//!
+//! Zero-weight pairs are dropped: a matched pair contributing nothing to
+//! Eq. 6's numerator can only (weakly) enlarge the denominator, because the
+//! residual minimum partition may already use either segment for free (see
+//! `eval`). The resulting graph is `k+1`-claw-free, `k` being the longest
+//! rule side / entity phrase in tokens.
+
+use crate::config::SimConfig;
+use crate::knowledge::Knowledge;
+use crate::msim::{msim_explained, MeasureKind};
+use crate::segment::SegRecord;
+use au_matching::ConflictGraph;
+
+/// One vertex of the USIM conflict graph: a candidate segment pair.
+#[derive(Debug, Clone, Copy)]
+pub struct VertexPair {
+    /// Index into the S record's segment list.
+    pub s_seg: usize,
+    /// Index into the T record's segment list.
+    pub t_seg: usize,
+    /// `msim` of the pair.
+    pub weight: f64,
+    /// Measure that produced the weight.
+    pub kind: MeasureKind,
+}
+
+/// The conflict graph plus its vertex annotations.
+#[derive(Debug, Clone)]
+pub struct UsimGraph {
+    /// Weighted conflict graph (vertex i ↔ `vertices[i]`).
+    pub graph: ConflictGraph,
+    /// Segment-pair annotation per vertex.
+    pub vertices: Vec<VertexPair>,
+}
+
+/// Enumerate the positive-`msim` segment pairs (the vertex set) without
+/// building conflict edges — enough for upper bounds and early rejection.
+pub fn build_vertices(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &SegRecord,
+    t: &SegRecord,
+) -> Vec<VertexPair> {
+    let mut vertices = Vec::new();
+    for (si, ps) in s.segments.iter().enumerate() {
+        for (ti, pt) in t.segments.iter().enumerate() {
+            let (w, kind) = msim_explained(kn, cfg, ps, pt);
+            if w > 0.0 {
+                vertices.push(VertexPair {
+                    s_seg: si,
+                    t_seg: ti,
+                    weight: w,
+                    kind,
+                });
+            }
+        }
+    }
+    vertices
+}
+
+/// Add the conflict edges (token overlap on either side) to a vertex set.
+#[allow(clippy::needless_range_loop)]
+pub fn finish_graph(s: &SegRecord, t: &SegRecord, vertices: Vec<VertexPair>) -> UsimGraph {
+    let mut graph = ConflictGraph::with_weights(vertices.iter().map(|v| v.weight).collect());
+    for i in 0..vertices.len() {
+        let (a, b) = (vertices[i].s_seg, vertices[i].t_seg);
+        for j in i + 1..vertices.len() {
+            let (c, d) = (vertices[j].s_seg, vertices[j].t_seg);
+            let s_conflict = s.segments[a].overlaps(&s.segments[c]);
+            let t_conflict = t.segments[b].overlaps(&t.segments[d]);
+            if s_conflict || t_conflict {
+                graph.add_edge(i, j);
+            }
+        }
+    }
+    UsimGraph { graph, vertices }
+}
+
+/// Build the conflict graph for two segmented records.
+pub fn build_graph(kn: &Knowledge, cfg: &SimConfig, s: &SegRecord, t: &SegRecord) -> UsimGraph {
+    finish_graph(s, t, build_vertices(kn, cfg, s, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+    use crate::segment::segment_record;
+    use au_text::record::RecordId;
+
+    fn setup() -> (Knowledge, SimConfig, RecordId, RecordId) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        let mut kn = b.build();
+        let s = kn.add_record("coffee shop latte Helsingki");
+        let t = kn.add_record("espresso cafe Helsinki");
+        (kn, SimConfig::default(), s, t)
+    }
+
+    #[test]
+    fn figure1_graph_has_expected_vertices() {
+        let (kn, cfg, s, t) = setup();
+        let srec = segment_record(&kn, &cfg, &kn.record(s).tokens);
+        let trec = segment_record(&kn, &cfg, &kn.record(t).tokens);
+        let g = build_graph(&kn, &cfg, &srec, &trec);
+        // Expect at least: (coffee shop, cafe) via synonym=1.0,
+        // (latte, espresso) via taxonomy=0.8, (helsingki, helsinki) via
+        // Jaccard=0.875... wait: 6 shared grams / (8+7-6) — that's 2/3 for
+        // the raw strings; paper's 0.875 uses a different gram convention,
+        // we assert ours.
+        let find = |st: &str, tt: &str| {
+            g.vertices
+                .iter()
+                .find(|v| srec.segments[v.s_seg].text == st && trec.segments[v.t_seg].text == tt)
+        };
+        let syn = find("coffee shop", "cafe").expect("synonym vertex");
+        assert_eq!(syn.weight, 1.0);
+        assert_eq!(syn.kind, MeasureKind::Synonym);
+        let tax = find("latte", "espresso").expect("taxonomy vertex");
+        assert!((tax.weight - 0.8).abs() < 1e-12);
+        let jac = find("helsingki", "helsinki").expect("jaccard vertex");
+        assert!((jac.weight - 2.0 / 3.0).abs() < 1e-12);
+        // (coffee, espresso) via taxonomy LCA coffee (depth 3)/5 = 0.6
+        let ce = find("coffee", "espresso").expect("coffee/espresso vertex");
+        assert!((ce.weight - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicts_connect_overlapping_pairs() {
+        let (kn, cfg, s, t) = setup();
+        let srec = segment_record(&kn, &cfg, &kn.record(s).tokens);
+        let trec = segment_record(&kn, &cfg, &kn.record(t).tokens);
+        let g = build_graph(&kn, &cfg, &srec, &trec);
+        let idx = |st: &str, tt: &str| {
+            g.vertices
+                .iter()
+                .position(|v| {
+                    srec.segments[v.s_seg].text == st && trec.segments[v.t_seg].text == tt
+                })
+                .unwrap()
+        };
+        let syn = idx("coffee shop", "cafe");
+        let ce = idx("coffee", "espresso");
+        // "coffee shop" overlaps "coffee" on the S side → conflict.
+        assert!(g.graph.are_adjacent(syn, ce));
+        // latte/espresso conflicts with coffee/espresso on the T side.
+        let tax = idx("latte", "espresso");
+        assert!(g.graph.are_adjacent(tax, ce));
+        // latte/espresso and helsingki/helsinki are compatible.
+        let jac = idx("helsingki", "helsinki");
+        assert!(!g.graph.are_adjacent(tax, jac));
+        assert!(!g.graph.are_adjacent(syn, jac));
+    }
+
+    #[test]
+    fn zero_weight_pairs_dropped() {
+        let (kn, cfg, s, t) = setup();
+        let srec = segment_record(&kn, &cfg, &kn.record(s).tokens);
+        let trec = segment_record(&kn, &cfg, &kn.record(t).tokens);
+        let g = build_graph(&kn, &cfg, &srec, &trec);
+        assert!(g.vertices.iter().all(|v| v.weight > 0.0));
+        // e.g. ("shop", "espresso") shares no grams and no semantics.
+        assert!(!g.vertices.iter().any(|v| {
+            srec.segments[v.s_seg].text == "shop" && trec.segments[v.t_seg].text == "espresso"
+        }));
+    }
+
+    #[test]
+    fn empty_records_give_empty_graph() {
+        let (kn, cfg, _, _) = setup();
+        let empty = segment_record(&kn, &cfg, &[]);
+        let g = build_graph(&kn, &cfg, &empty, &empty);
+        assert!(g.graph.is_empty());
+        assert!(g.vertices.is_empty());
+    }
+}

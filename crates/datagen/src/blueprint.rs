@@ -1,0 +1,275 @@
+//! Knowledge blueprints: string-level taxonomies and rule sets.
+//!
+//! The generator keeps the taxonomy and the synonym rules as plain strings
+//! (a *blueprint*) before building the immutable
+//! [`Knowledge`](au_core::knowledge::Knowledge). Record generation and
+//! perturbation read the blueprint — picking entity labels, rule sides and
+//! sibling entities — without needing interner lookups.
+
+use crate::profile::DatasetProfile;
+use crate::words::word;
+use au_core::knowledge::{Knowledge, KnowledgeBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One taxonomy node of the blueprint.
+#[derive(Debug, Clone)]
+pub struct BlueprintNode {
+    /// Parent index (None at roots).
+    pub parent: Option<usize>,
+    /// Unique label (1–2 words, space separated).
+    pub label: String,
+    /// Depth with roots at 1.
+    pub depth: u32,
+    /// Children indexes.
+    pub children: Vec<usize>,
+}
+
+/// A synonym rule of the blueprint.
+#[derive(Debug, Clone)]
+pub struct BlueprintRule {
+    /// Left-hand side (1..=k words).
+    pub lhs: String,
+    /// Right-hand side (1..=k words).
+    pub rhs: String,
+    /// Closeness in (0, 1].
+    pub closeness: f64,
+}
+
+/// String-level knowledge: random taxonomy + rules, with index structures
+/// used by record generation and perturbation.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBlueprint {
+    /// All taxonomy nodes (parents precede children).
+    pub nodes: Vec<BlueprintNode>,
+    /// All synonym rules.
+    pub rules: Vec<BlueprintRule>,
+}
+
+/// Word-index namespaces so the three sources can never collide.
+const ENTITY_WORD_BASE: u64 = 10_000_000;
+const RULE_WORD_BASE: u64 = 20_000_000;
+
+impl KnowledgeBlueprint {
+    /// Generate a blueprint for `profile` (deterministic in `seed`).
+    pub fn generate(profile: &DatasetProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb1e9);
+        let nodes = gen_taxonomy(profile, &mut rng);
+        let rules = gen_rules(profile, &mut rng);
+        Self { nodes, rules }
+    }
+
+    /// Build the immutable [`Knowledge`] from this blueprint.
+    pub fn build_knowledge(&self) -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        for r in &self.rules {
+            b.synonym(&r.lhs, &r.rhs, r.closeness);
+        }
+        // Register each node through its root path.
+        for (i, _) in self.nodes.iter().enumerate() {
+            let path = self.path_labels(i);
+            let refs: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+            b.taxonomy_path(&refs);
+        }
+        b.build()
+    }
+
+    /// Labels on the root→node path.
+    pub fn path_labels(&self, node: usize) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(i) = cur {
+            path.push(self.nodes[i].label.clone());
+            cur = self.nodes[i].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Indexes of leaf nodes.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// A sibling (same parent) of `node`, if any.
+    pub fn sibling_of(&self, node: usize, rng: &mut StdRng) -> Option<usize> {
+        let parent = self.nodes[node].parent?;
+        let siblings: Vec<usize> = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| c != node)
+            .collect();
+        if siblings.is_empty() {
+            None
+        } else {
+            Some(siblings[rng.random_range(0..siblings.len())])
+        }
+    }
+
+    /// Maximum node depth.
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+}
+
+fn gen_taxonomy(profile: &DatasetProfile, rng: &mut StdRng) -> Vec<BlueprintNode> {
+    let n = profile.taxonomy_nodes.max(1);
+    let mut nodes: Vec<BlueprintNode> = Vec::with_capacity(n);
+    let label = |i: usize, rng: &mut StdRng| -> String {
+        // Mix of 1- and 2-word entity labels; 2-word labels exercise
+        // multi-token segments (and drive the claw bound k).
+        let base = ENTITY_WORD_BASE + i as u64 * 2;
+        if rng.random_bool(profile.p_two_word_entity) {
+            format!("{} {}", word(base), word(base + 1))
+        } else {
+            word(base)
+        }
+    };
+    // Roots.
+    let n_roots = profile.taxonomy_roots.max(1).min(n);
+    for i in 0..n_roots {
+        let l = label(i, rng);
+        nodes.push(BlueprintNode {
+            parent: None,
+            label: l,
+            depth: 1,
+            children: Vec::new(),
+        });
+    }
+    // Remaining nodes attach to an existing node with depth capped.
+    for i in n_roots..n {
+        let mut parent = rng.random_range(0..nodes.len());
+        let mut guard = 0;
+        while nodes[parent].depth >= profile.taxonomy_max_depth && guard < 32 {
+            parent = rng.random_range(0..nodes.len());
+            guard += 1;
+        }
+        let depth = nodes[parent].depth + 1;
+        let l = label(i, rng);
+        nodes.push(BlueprintNode {
+            parent: Some(parent),
+            label: l,
+            depth,
+            children: Vec::new(),
+        });
+        nodes[parent].children.push(i);
+    }
+    nodes
+}
+
+fn gen_rules(profile: &DatasetProfile, rng: &mut StdRng) -> Vec<BlueprintRule> {
+    let side = |base: u64, len: usize| -> String {
+        (0..len)
+            .map(|j| word(base + j as u64))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    (0..profile.synonym_rules)
+        .map(|i| {
+            let lhs_len = rng.random_range(1..=profile.max_rule_side_len);
+            let rhs_len = rng.random_range(1..=profile.max_rule_side_len);
+            let base = RULE_WORD_BASE + i as u64 * 2 * profile.max_rule_side_len as u64;
+            let lhs = side(base, lhs_len);
+            let rhs = side(base + profile.max_rule_side_len as u64, rhs_len);
+            // Closeness skewed towards 1 (most aliases are exact).
+            let closeness = 1.0 - rng.random::<f64>() * rng.random::<f64>() * 0.5;
+            BlueprintRule {
+                lhs,
+                rhs,
+                closeness,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+
+    fn small_profile() -> DatasetProfile {
+        DatasetProfile {
+            taxonomy_nodes: 200,
+            synonym_rules: 80,
+            ..DatasetProfile::med_like(1.0)
+        }
+    }
+
+    #[test]
+    fn taxonomy_shape() {
+        let bp = KnowledgeBlueprint::generate(&small_profile(), 7);
+        assert_eq!(bp.nodes.len(), 200);
+        assert!(bp.height() <= small_profile().taxonomy_max_depth);
+        // parents precede children (needed by the builder)
+        for (i, n) in bp.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < i);
+                assert_eq!(bp.nodes[p].depth + 1, n.depth);
+            }
+        }
+        assert!(!bp.leaves().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KnowledgeBlueprint::generate(&small_profile(), 9);
+        let b = KnowledgeBlueprint::generate(&small_profile(), 9);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.nodes[17].label, b.nodes[17].label);
+        assert_eq!(a.rules[3].lhs, b.rules[3].lhs);
+        let c = KnowledgeBlueprint::generate(&small_profile(), 10);
+        assert_ne!(
+            a.nodes.iter().map(|n| &n.label).collect::<Vec<_>>(),
+            c.nodes.iter().map(|n| &n.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn builds_knowledge() {
+        let bp = KnowledgeBlueprint::generate(&small_profile(), 11);
+        let kn = bp.build_knowledge();
+        assert_eq!(kn.synonyms.len(), bp.rules.len());
+        // node count can only grow via label paths; every blueprint node
+        // exists.
+        assert!(kn.taxonomy.len() >= bp.nodes.len());
+        assert!(kn.max_segment_span() >= 1);
+    }
+
+    #[test]
+    fn path_labels_walk_to_root() {
+        let bp = KnowledgeBlueprint::generate(&small_profile(), 13);
+        let leaf = *bp.leaves().last().unwrap();
+        let path = bp.path_labels(leaf);
+        assert_eq!(path.len() as u32, bp.nodes[leaf].depth);
+        assert_eq!(path.last().unwrap(), &bp.nodes[leaf].label);
+    }
+
+    #[test]
+    fn siblings_share_parent() {
+        let bp = KnowledgeBlueprint::generate(&small_profile(), 17);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut found = false;
+        for i in 0..bp.nodes.len() {
+            if let Some(s) = bp.sibling_of(i, &mut rng) {
+                assert_eq!(bp.nodes[s].parent, bp.nodes[i].parent);
+                assert_ne!(s, i);
+                found = true;
+            }
+        }
+        assert!(found, "no siblings in a 200-node taxonomy?");
+    }
+
+    #[test]
+    fn rule_sides_bounded() {
+        let p = small_profile();
+        let bp = KnowledgeBlueprint::generate(&p, 19);
+        for r in &bp.rules {
+            assert!(r.lhs.split(' ').count() <= p.max_rule_side_len);
+            assert!(r.rhs.split(' ').count() <= p.max_rule_side_len);
+            assert!(r.closeness > 0.0 && r.closeness <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic dataset generation for the AU-Join experiments.
+//!
+//! The paper evaluates on MED (MeSH-annotated paper keywords) and WIKI
+//! (Wikipedia category strings) with the MeSH tree / Wikipedia categories
+//! as taxonomies and MeSH aliases / Wikipedia synonyms as rules. Those
+//! resources are not redistributable here, so this crate generates
+//! synthetic corpora whose *structural statistics* match Tables 6 and 7:
+//! tokens per record, entities and rule-sides per record, taxonomy
+//! height/fanout, rule side lengths and closeness distribution, and a
+//! Zipfian token frequency skew. See DESIGN.md ("Substitutions").
+//!
+//! Everything is deterministic given a seed.
+//!
+//! * [`words`] — a collision-free pronounceable word factory.
+//! * [`zipf`] — Zipfian rank sampling.
+//! * [`blueprint`] — random taxonomies and synonym rule sets, kept in a
+//!   string-level blueprint so perturbations can be applied without
+//!   querying the built [`Knowledge`](au_core::knowledge::Knowledge).
+//! * [`profile`] — MED-like / WIKI-like parameter presets.
+//! * [`dataset`] — labeled corpora with constructed ground truth.
+
+pub mod blueprint;
+pub mod dataset;
+pub mod profile;
+pub mod words;
+pub mod zipf;
+
+pub use blueprint::KnowledgeBlueprint;
+pub use dataset::{GroundTruthPair, LabeledDataset, PerturbKind};
+pub use profile::DatasetProfile;
+pub use words::word;
+pub use zipf::Zipf;

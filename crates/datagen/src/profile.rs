@@ -1,0 +1,106 @@
+//! Dataset parameter presets mirroring Tables 6 and 7 of the paper.
+
+/// All knobs of the synthetic generator. Knowledge-source sizes scale with
+/// the `scale` argument of the presets so experiments can trade fidelity
+/// for runtime (`AU_SCALE` in the bench harness).
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Human-readable name ("MED-like", "WIKI-like").
+    pub name: &'static str,
+    /// Filler vocabulary size.
+    pub vocab: usize,
+    /// Zipf exponent of filler word frequencies.
+    pub zipf_exp: f64,
+    /// Taxonomy node count.
+    pub taxonomy_nodes: usize,
+    /// Number of taxonomy roots (MeSH has 16 top categories).
+    pub taxonomy_roots: usize,
+    /// Depth cap (paper: MED max 12, WIKI max 26; averages 5.1 / 6.2).
+    pub taxonomy_max_depth: u32,
+    /// Probability an entity label has two words.
+    pub p_two_word_entity: f64,
+    /// Synonym rule count.
+    pub synonym_rules: usize,
+    /// Longest rule side in tokens (the `k` of the claw bound).
+    pub max_rule_side_len: usize,
+    /// Mean tokens per record (Table 7: MED 8.4, WIKI 8.2).
+    pub avg_tokens: usize,
+    /// Mean taxonomy entities per record (Table 7: MED 3.2, WIKI 6.2 —
+    /// scaled down with record length here).
+    pub p_entity_slot: f64,
+    /// Probability a record slot is a synonym-rule side.
+    pub p_rule_slot: f64,
+    /// Relative weights of the three perturbation kinds in planted pairs:
+    /// `[typo, synonym, taxonomy]`. The paper observes MED pairs are
+    /// mostly synonym-driven while WIKI pairs mix typos and taxonomy
+    /// (Section 5.2), which is what makes different measure combinations
+    /// win on different datasets in Table 8.
+    pub kind_weights: [f64; 3],
+}
+
+impl DatasetProfile {
+    /// MED-like preset: compact taxonomy, alias-heavy rule set, strings
+    /// dominated by entities and rule sides.
+    pub fn med_like(scale: f64) -> Self {
+        let s = scale.max(0.01);
+        Self {
+            name: "MED-like",
+            vocab: ((20_000.0 * s) as usize).max(1000),
+            zipf_exp: 0.7,
+            taxonomy_nodes: ((1500.0 * s) as usize).max(100),
+            taxonomy_roots: 16,
+            taxonomy_max_depth: 12,
+            p_two_word_entity: 0.35,
+            synonym_rules: ((1800.0 * s) as usize).max(80),
+            max_rule_side_len: 3,
+            avg_tokens: 8,
+            p_entity_slot: 0.30,
+            p_rule_slot: 0.25,
+            kind_weights: [0.25, 0.50, 0.25],
+        }
+    }
+
+    /// WIKI-like preset: larger, bushier taxonomy, fewer rule hits per
+    /// record, more typographic noise.
+    pub fn wiki_like(scale: f64) -> Self {
+        let s = scale.max(0.01);
+        Self {
+            name: "WIKI-like",
+            vocab: ((50_000.0 * s) as usize).max(2000),
+            zipf_exp: 0.8,
+            taxonomy_nodes: ((5000.0 * s) as usize).max(250),
+            taxonomy_roots: 24,
+            taxonomy_max_depth: 26,
+            p_two_word_entity: 0.45,
+            synonym_rules: ((900.0 * s) as usize).max(40),
+            max_rule_side_len: 4,
+            avg_tokens: 8,
+            p_entity_slot: 0.40,
+            p_rule_slot: 0.10,
+            kind_weights: [0.45, 0.10, 0.45],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let med = DatasetProfile::med_like(1.0);
+        let wiki = DatasetProfile::wiki_like(1.0);
+        assert!(wiki.taxonomy_nodes > med.taxonomy_nodes);
+        assert!(med.synonym_rules > wiki.synonym_rules);
+        assert_eq!(med.name, "MED-like");
+    }
+
+    #[test]
+    fn scale_shrinks_sizes_with_floors() {
+        let tiny = DatasetProfile::med_like(0.001);
+        assert!(tiny.vocab >= 200);
+        assert!(tiny.taxonomy_nodes >= 100);
+        let big = DatasetProfile::med_like(10.0);
+        assert!(big.vocab > DatasetProfile::med_like(1.0).vocab);
+    }
+}

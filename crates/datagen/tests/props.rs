@@ -1,0 +1,71 @@
+//! Property-based tests for the dataset generator.
+
+use au_datagen::{DatasetProfile, LabeledDataset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed(
+        seed in 0u64..1000,
+        n in 20usize..60,
+        pairs_frac in 1usize..4,
+    ) {
+        let mut profile = DatasetProfile::med_like(0.02);
+        profile.taxonomy_nodes = 150;
+        profile.synonym_rules = 60;
+        let n_pairs = n / (pairs_frac + 1);
+        let a = LabeledDataset::generate(&profile, n, n, n_pairs, seed);
+        let b = LabeledDataset::generate(&profile, n, n, n_pairs, seed);
+        prop_assert_eq!(a.s.len(), n);
+        prop_assert_eq!(a.t.len(), n);
+        prop_assert_eq!(a.truth.len(), n_pairs);
+        // determinism
+        for i in 0..n {
+            let id = au_text::record::RecordId(i as u32);
+            prop_assert_eq!(&a.s.get(id).raw, &b.s.get(id).raw);
+            prop_assert_eq!(&a.t.get(id).raw, &b.t.get(id).raw);
+        }
+        // ground truth ids in range, kinds non-empty
+        for g in &a.truth {
+            prop_assert!((g.s as usize) < n && (g.t as usize) < n);
+            prop_assert!(!g.kinds.is_empty() && g.kinds.len() <= 3);
+        }
+        // no empty records
+        for r in a.s.iter().chain(a.t.iter()) {
+            prop_assert!(!r.tokens.is_empty(), "empty record: {:?}", r.raw);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..500) {
+        let profile = DatasetProfile::med_like(0.02);
+        let a = LabeledDataset::generate(&profile, 30, 30, 5, seed);
+        let b = LabeledDataset::generate(&profile, 30, 30, 5, seed + 1);
+        let same = (0..30).all(|i| {
+            let id = au_text::record::RecordId(i as u32);
+            a.s.get(id).raw == b.s.get(id).raw
+        });
+        prop_assert!(!same, "seeds {seed} and {} gave identical corpora", seed + 1);
+    }
+}
+
+#[test]
+fn wiki_profile_plants_fewer_synonym_pairs_than_med() {
+    use au_datagen::PerturbKind;
+    let count_syn = |ds: &LabeledDataset| {
+        ds.truth
+            .iter()
+            .filter(|g| g.kinds.contains(&PerturbKind::Synonym))
+            .count()
+    };
+    let med = LabeledDataset::generate(&DatasetProfile::med_like(0.05), 200, 200, 120, 5);
+    let wiki = LabeledDataset::generate(&DatasetProfile::wiki_like(0.05), 200, 200, 120, 5);
+    assert!(
+        count_syn(&med) > count_syn(&wiki),
+        "MED {} vs WIKI {} synonym pairs",
+        count_syn(&med),
+        count_syn(&wiki)
+    );
+}

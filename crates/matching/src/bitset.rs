@@ -1,0 +1,200 @@
+//! A small fixed-capacity bitset used by the MIS solvers.
+
+/// Fixed-capacity bitset over `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zero bitset with capacity `len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one bitset with capacity `len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len.div_ceil(64) {
+            s.words[i] = u64::MAX;
+        }
+        if !len.is_multiple_of(64) && !s.words.is_empty() {
+            let last = s.words.len() - 1;
+            s.words[last] = (1u64 << (len % 64)) - 1;
+        }
+        s
+    }
+
+    /// Capacity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ∩ other` is non-empty?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterate set bits in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            set: self,
+            word_idx: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bits; see [`BitSet::iter`].
+pub struct BitIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    cur: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.cur = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn full_respects_length() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        let s = BitSet::full(64);
+        assert_eq!(s.count(), 64);
+        let s = BitSet::full(0);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(3);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![3, 70, 99]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![70]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_and_first() {
+        let mut s = BitSet::new(200);
+        assert_eq!(s.first(), None);
+        for i in [5usize, 63, 64, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 64, 127, 128, 199]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Weighted conflict graphs.
+//!
+//! Section 2.3 of the paper builds a graph whose vertices are candidate
+//! segment pairs (weighted by `msim`) and whose edges connect *conflicting*
+//! pairs (sharing a token on either side). Independent sets of this graph
+//! are exactly the simultaneously applicable matchings.
+//!
+//! The structure keeps both adjacency lists (for neighbourhood iteration)
+//! and an adjacency-matrix bitset (for O(1) conflict tests and fast
+//! independence checks in the MIS solvers).
+
+use crate::bitset::BitSet;
+
+/// A weighted undirected graph with O(1) adjacency tests.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+    rows: Vec<BitSet>,
+}
+
+impl ConflictGraph {
+    /// New empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Graph with `n` vertices of the given weights and no edges.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        Self {
+            weights,
+            adj: vec![Vec::new(); n],
+            rows: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// Add a vertex; returns its index.
+    ///
+    /// Note: vertices must all be added before edges (rows are sized at
+    /// first edge insertion time via `ensure_capacity`).
+    pub fn add_vertex(&mut self, weight: f64) -> usize {
+        let id = self.weights.len();
+        self.weights.push(weight);
+        self.adj.push(Vec::new());
+        // Grow every row lazily on edge insertion instead; store an empty
+        // row that will be resized in ensure_rows.
+        self.rows.push(BitSet::new(0));
+        id
+    }
+
+    fn ensure_rows(&mut self) {
+        let n = self.weights.len();
+        for r in &mut self.rows {
+            if r.len() < n {
+                let mut fresh = BitSet::new(n);
+                for b in r.iter() {
+                    fresh.insert(b);
+                }
+                *r = fresh;
+            }
+        }
+    }
+
+    /// Add an undirected edge `u – v`. Self-loops and duplicates are ignored.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        self.ensure_rows();
+        if self.rows[u].contains(v) {
+            return;
+        }
+        self.rows[u].insert(v);
+        self.rows[v].insert(u);
+        self.adj[u].push(v as u32);
+        self.adj[v].push(u as u32);
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Weight of vertex `u`.
+    pub fn weight(&self, u: usize) -> f64 {
+        self.weights[u]
+    }
+
+    /// All vertex weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// O(1) adjacency test.
+    ///
+    /// Rows grow lazily on edge insertion; a bit index beyond the current
+    /// row width provably has no edge (every `add_edge` resizes all rows to
+    /// the then-current vertex count first).
+    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
+        u != v && v < self.rows[u].len() && self.rows[u].contains(v)
+    }
+
+    /// Check that `set` is an independent set.
+    pub fn is_independent(&self, set: &[usize]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if self.are_adjacent(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total weight of a vertex set.
+    pub fn weight_of(&self, set: &[usize]) -> f64 {
+        set.iter().map(|&u| self.weights[u]).sum()
+    }
+
+    /// Adjacency row of `u` as a full-width [`BitSet`] (fresh allocation;
+    /// used by the exact MIS solver to precompute closed neighbourhoods).
+    pub fn neighbor_bitset(&self, u: usize) -> BitSet {
+        let mut b = BitSet::new(self.len());
+        for &v in &self.adj[u] {
+            b.insert(v as usize);
+        }
+        b
+    }
+
+    /// Neighbourhood of `set` *within* `inside` (the paper's
+    /// `N(R, A) = {u ∈ A : ∃v ∈ R, (u,v) ∈ E or u = v}`).
+    pub fn neighborhood_in(&self, set: &[usize], inside: &[usize]) -> Vec<usize> {
+        inside
+            .iter()
+            .copied()
+            .filter(|&a| set.iter().any(|&s| s == a || self.are_adjacent(s, a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> ConflictGraph {
+        // 0 – 1 – 2
+        let mut g = ConflictGraph::with_weights(vec![1.0, 2.0, 3.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g
+    }
+
+    #[test]
+    fn adjacency_and_counts() {
+        let g = path3();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(1, 0));
+        assert!(!g.are_adjacent(0, 2));
+        assert!(!g.are_adjacent(1, 1));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = path3();
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0).len(), 1);
+    }
+
+    #[test]
+    fn independence() {
+        let g = path3();
+        assert!(g.is_independent(&[0, 2]));
+        assert!(!g.is_independent(&[0, 1]));
+        assert!(g.is_independent(&[]));
+        assert!(g.is_independent(&[1]));
+    }
+
+    #[test]
+    fn incremental_vertices() {
+        let mut g = ConflictGraph::new();
+        let a = g.add_vertex(0.5);
+        let b = g.add_vertex(0.7);
+        assert!(!g.are_adjacent(a, b));
+        g.add_edge(a, b);
+        assert!(g.are_adjacent(a, b));
+        let c = g.add_vertex(0.9);
+        assert!(!g.are_adjacent(a, c));
+        g.add_edge(b, c);
+        assert!(g.are_adjacent(b, c));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn neighborhood_in_includes_self() {
+        let g = path3();
+        // N({1}, {0,1,2}) = all of them (0,2 adjacent; 1 itself)
+        assert_eq!(g.neighborhood_in(&[1], &[0, 1, 2]), vec![0, 1, 2]);
+        // N({0}, {2}) = {} (0 and 2 not adjacent)
+        assert!(g.neighborhood_in(&[0], &[2]).is_empty());
+    }
+
+    #[test]
+    fn weight_sums() {
+        let g = path3();
+        assert_eq!(g.weight_of(&[0, 2]), 4.0);
+        assert_eq!(g.weight_of(&[]), 0.0);
+        assert_eq!(g.weight(1), 2.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact weighted maximum independent set and independent-set enumeration.
+//!
+//! Used by the exact USIM computation (Table 9's ground truth) and as the
+//! oracle in property tests. Both entry points are exponential in the worst
+//! case and take an explicit budget so callers degrade gracefully.
+
+use crate::bitset::BitSet;
+use crate::conflict::ConflictGraph;
+
+/// Exact weighted MIS by branch and bound.
+///
+/// Vertices with non-positive weight are never taken (they cannot improve a
+/// *linear* objective). `budget` caps the number of search nodes; `None`
+/// means unbounded. Returns `None` when the budget is exhausted.
+pub fn exact_wmis(g: &ConflictGraph, budget: Option<u64>) -> Option<(f64, Vec<usize>)> {
+    let n = g.len();
+    if n == 0 {
+        return Some((0.0, Vec::new()));
+    }
+    // Order vertices by descending weight for stronger pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| g.weight(b).total_cmp(&g.weight(a)).then_with(|| a.cmp(&b)));
+    let pos_weights: Vec<f64> = order.iter().map(|&v| g.weight(v).max(0.0)).collect();
+    // suffix_sum[i] = sum of positive weights of order[i..]
+    let mut suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + pos_weights[i];
+    }
+    let neigh: Vec<BitSet> = (0..n).map(|v| g.neighbor_bitset(v)).collect();
+
+    struct Ctx<'a> {
+        g: &'a ConflictGraph,
+        order: &'a [usize],
+        suffix: &'a [f64],
+        neigh: &'a [BitSet],
+        best: f64,
+        best_set: Vec<usize>,
+        nodes: u64,
+        budget: Option<u64>,
+    }
+
+    fn rec(ctx: &mut Ctx<'_>, i: usize, blocked: &BitSet, cur: f64, set: &mut Vec<usize>) -> bool {
+        ctx.nodes += 1;
+        if let Some(b) = ctx.budget {
+            if ctx.nodes > b {
+                return false;
+            }
+        }
+        if cur > ctx.best {
+            ctx.best = cur;
+            ctx.best_set = set.clone();
+        }
+        if i >= ctx.order.len() || cur + ctx.suffix[i] <= ctx.best {
+            return true;
+        }
+        let v = ctx.order[i];
+        // Branch 1: include v (if allowed and useful).
+        if !blocked.contains(v) && ctx.g.weight(v) > 0.0 {
+            let mut nb = blocked.clone();
+            nb.insert(v);
+            nb.union_with(&ctx.neigh[v]);
+            set.push(v);
+            if !rec(ctx, i + 1, &nb, cur + ctx.g.weight(v), set) {
+                return false;
+            }
+            set.pop();
+        }
+        // Branch 2: exclude v.
+        rec(ctx, i + 1, blocked, cur, set)
+    }
+
+    let mut ctx = Ctx {
+        g,
+        order: &order,
+        suffix: &suffix,
+        neigh: &neigh,
+        best: 0.0,
+        best_set: Vec::new(),
+        nodes: 0,
+        budget,
+    };
+    let complete = rec(
+        &mut ctx,
+        0,
+        &BitSet::new(n),
+        0.0,
+        &mut Vec::with_capacity(n),
+    );
+    if !complete {
+        return None;
+    }
+    let mut set = ctx.best_set;
+    set.sort_unstable();
+    Some((ctx.best, set))
+}
+
+/// Enumerate **every** independent set of `g` (including the empty set),
+/// invoking `f` once per set. Enumeration is depth-first in vertex order,
+/// so each set is visited exactly once.
+///
+/// Returns `true` when enumeration completed within `max_sets`, `false`
+/// when it was truncated (callers should then fall back to the
+/// approximation).
+pub fn for_each_independent_set(
+    g: &ConflictGraph,
+    max_sets: u64,
+    mut f: impl FnMut(&[usize]),
+) -> bool {
+    let n = g.len();
+    let neigh: Vec<BitSet> = (0..n).map(|v| g.neighbor_bitset(v)).collect();
+    let mut count: u64 = 0;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        n: usize,
+        neigh: &[BitSet],
+        from: usize,
+        blocked: &BitSet,
+        set: &mut Vec<usize>,
+        count: &mut u64,
+        max: u64,
+        f: &mut impl FnMut(&[usize]),
+    ) -> bool {
+        *count += 1;
+        if *count > max {
+            return false;
+        }
+        f(set);
+        for v in from..n {
+            if blocked.contains(v) {
+                continue;
+            }
+            let mut nb = blocked.clone();
+            nb.insert(v);
+            nb.union_with(&neigh[v]);
+            set.push(v);
+            if !rec(n, neigh, v + 1, &nb, set, count, max, f) {
+                return false;
+            }
+            set.pop();
+        }
+        true
+    }
+
+    rec(
+        n,
+        &neigh,
+        0,
+        &BitSet::new(n),
+        &mut Vec::new(),
+        &mut count,
+        max_sets,
+        &mut f,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_optimum() {
+        let mut g = ConflictGraph::with_weights(vec![1.0, 1.5, 1.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let (w, s) = exact_wmis(&g, None).unwrap();
+        assert!((w - 2.0).abs() < 1e-12);
+        assert_eq!(s, vec![0, 2]);
+    }
+
+    #[test]
+    fn triangle_takes_heaviest() {
+        let mut g = ConflictGraph::with_weights(vec![1.0, 3.0, 2.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let (w, s) = exact_wmis(&g, None).unwrap();
+        assert_eq!(w, 3.0);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn skips_negative_weights() {
+        let g = ConflictGraph::with_weights(vec![-1.0, 2.0, 0.0]);
+        let (w, s) = exact_wmis(&g, None).unwrap();
+        assert_eq!(w, 2.0);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // 20 isolated vertices → 2^20 independent sets; tiny budget fails.
+        let g = ConflictGraph::with_weights(vec![1.0; 20]);
+        assert!(exact_wmis(&g, Some(3)).is_none());
+        assert!(exact_wmis(&g, Some(10_000_000)).is_some());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::new();
+        assert_eq!(exact_wmis(&g, None).unwrap(), (0.0, vec![]));
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_graphs() {
+        let mut state = 0x12345678u64;
+        let mut next_f = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [4usize, 7, 10] {
+            for _ in 0..5 {
+                let weights: Vec<f64> = (0..n).map(|_| next_f()).collect();
+                let mut g = ConflictGraph::with_weights(weights);
+                for u in 0..n {
+                    for v in u + 1..n {
+                        if next_f() < 0.35 {
+                            g.add_edge(u, v);
+                        }
+                    }
+                }
+                let (w, s) = exact_wmis(&g, None).unwrap();
+                assert!(g.is_independent(&s));
+                let mut best_enum = 0.0f64;
+                assert!(for_each_independent_set(&g, u64::MAX, |set| {
+                    best_enum = best_enum.max(g.weight_of(set));
+                }));
+                assert!((w - best_enum).abs() < 1e-9, "bnb {w} vs enum {best_enum}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_sets() {
+        // Path 0-1-2: independent sets are {}, {0}, {1}, {2}, {0,2} → 5.
+        let mut g = ConflictGraph::with_weights(vec![1.0; 3]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let mut sets = Vec::new();
+        assert!(for_each_independent_set(&g, 1000, |s| sets.push(s.to_vec())));
+        assert_eq!(sets.len(), 5);
+        assert!(sets.contains(&vec![]));
+        assert!(sets.contains(&vec![0, 2]));
+        assert!(!sets.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn enumeration_budget() {
+        let g = ConflictGraph::with_weights(vec![1.0; 30]);
+        let mut n = 0u64;
+        assert!(!for_each_independent_set(&g, 100, |_| n += 1));
+        assert!(n <= 100);
+    }
+}

@@ -1,0 +1,247 @@
+//! Maximum weight bipartite matching (Kuhn–Munkres / Hungarian algorithm).
+//!
+//! Eq. 6 of the paper computes `max Σ I_ij · msim(P_Si, P_Tj)` subject to
+//! each segment matching at most once — a maximum weight bipartite matching.
+//! The paper cites Munkres [38] with O(n³) cost; this is the standard
+//! potentials formulation (e-maxx style) on a square padded cost matrix.
+//!
+//! Weights must be non-negative; padding with zero weight then makes a
+//! *perfect* assignment on the padded matrix equivalent to a maximum weight
+//! (possibly partial) matching on the original one.
+
+/// Result of [`max_weight_matching`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// Total matched weight.
+    pub weight: f64,
+    /// `pairs[i] = Some(j)` when left `i` is matched to right `j` with
+    /// strictly positive weight.
+    pub pairs: Vec<Option<usize>>,
+}
+
+/// Maximum weight bipartite matching of a dense non-negative weight matrix
+/// (`rows × cols`, `weights[i][j]`). O(max(r,c)³).
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> Matching {
+    let rows = weights.len();
+    let cols = weights.first().map_or(0, |r| r.len());
+    if rows == 0 || cols == 0 {
+        return Matching {
+            weight: 0.0,
+            pairs: vec![None; rows],
+        };
+    }
+    debug_assert!(
+        weights.iter().all(|r| r.len() == cols),
+        "ragged weight matrix"
+    );
+    debug_assert!(
+        weights.iter().flatten().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
+    let n = rows.max(cols);
+    // Minimise cost = -weight on an n×n matrix padded with 0.
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            -weights[i][j]
+        } else {
+            0.0
+        }
+    };
+
+    // Potentials over rows (u) and columns (v); way[j] stores the column
+    // predecessor on the shortest augmenting path. 1-based sentinel row 0.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (1-based)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = vec![None; rows];
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i - 1 < rows && j - 1 < cols {
+            let w = weights[i - 1][j - 1];
+            if w > 0.0 {
+                pairs[i - 1] = Some(j - 1);
+                total += w;
+            }
+        }
+    }
+    Matching {
+        weight: total,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force over all injections (for cross-checking).
+    fn brute(weights: &[Vec<f64>]) -> f64 {
+        let rows = weights.len();
+        let cols = weights.first().map_or(0, |r| r.len());
+        fn rec(
+            weights: &[Vec<f64>],
+            i: usize,
+            used: &mut Vec<bool>,
+            rows: usize,
+            cols: usize,
+        ) -> f64 {
+            if i == rows {
+                return 0.0;
+            }
+            // Option: leave row i unmatched.
+            let mut best = rec(weights, i + 1, used, rows, cols);
+            for j in 0..cols {
+                if !used[j] {
+                    used[j] = true;
+                    let v = weights[i][j] + rec(weights, i + 1, used, rows, cols);
+                    used[j] = false;
+                    best = best.max(v);
+                }
+            }
+            best
+        }
+        rec(weights, 0, &mut vec![false; cols], rows, cols)
+    }
+
+    #[test]
+    fn simple_2x2() {
+        let w = vec![vec![1.0, 2.0], vec![3.0, 1.0]];
+        let m = max_weight_matching(&w);
+        assert!((m.weight - 5.0).abs() < 1e-9);
+        assert_eq!(m.pairs, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn prefers_total_over_greedy() {
+        // Greedy would take (0,0)=10 then (1,1)=1 → 11; optimal is 9+9=18.
+        let w = vec![vec![10.0, 9.0], vec![9.0, 1.0]];
+        let m = max_weight_matching(&w);
+        assert!((m.weight - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let wide = vec![vec![0.5, 0.9, 0.1]];
+        let m = max_weight_matching(&wide);
+        assert!((m.weight - 0.9).abs() < 1e-9);
+        assert_eq!(m.pairs, vec![Some(1)]);
+
+        let tall = vec![vec![0.5], vec![0.9], vec![0.1]];
+        let m = max_weight_matching(&tall);
+        assert!((m.weight - 0.9).abs() < 1e-9);
+        assert_eq!(m.pairs, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn zero_weight_edges_left_unmatched() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.weight, 0.0);
+        assert_eq!(m.pairs, vec![None, None]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(max_weight_matching(&[]).weight, 0.0);
+        let m = max_weight_matching(&[vec![], vec![]]);
+        assert_eq!(m.weight, 0.0);
+        assert_eq!(m.pairs, vec![None, None]);
+    }
+
+    #[test]
+    fn paper_figure1_matching() {
+        // Figure 1: segments of S = {coffee shop, latte, Helsingki} vs
+        // T = {espresso, cafe, Helsinki} with sims 1, 0.8, 0.875 on the
+        // diagonal-ish structure.
+        let w = vec![
+            vec![0.0, 1.0, 0.0],   // coffee shop: cafe 1.0
+            vec![0.8, 0.0, 0.0],   // latte: espresso 0.8
+            vec![0.0, 0.0, 0.875], // helsingki: helsinki 0.875
+        ];
+        let m = max_weight_matching(&w);
+        assert!((m.weight - 2.675).abs() < 1e-9);
+        assert_eq!(m.pairs, vec![Some(1), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic xorshift so the test needs no rand dependency here.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for rows in 1..=5usize {
+            for cols in 1..=5usize {
+                let w: Vec<Vec<f64>> = (0..rows)
+                    .map(|_| (0..cols).map(|_| (next() * 10.0).round() / 10.0).collect())
+                    .collect();
+                let m = max_weight_matching(&w);
+                let b = brute(&w);
+                assert!(
+                    (m.weight - b).abs() < 1e-9,
+                    "hungarian {} vs brute {b} on {w:?}",
+                    m.weight
+                );
+                // pairs must be a valid partial injection
+                let mut seen = std::collections::HashSet::new();
+                for p in m.pairs.iter().flatten() {
+                    assert!(seen.insert(*p), "column matched twice");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Exact minimum well-defined partition of a token span (interval DP).
+//!
+//! Given the set of well-defined multi-token segments of a string (token
+//! intervals) and the fact that every single token is itself well-defined,
+//! the minimum number of segments exactly partitioning the string is a
+//! 1-D dynamic program: `dp[j] = min over segments [i, j) of dp[i] + 1`.
+//!
+//! The masked variant partitions only the *free* positions (those not
+//! already covered by matched segments of an independent set). It is used
+//! when turning a w-MIS solution into the partition pair of Eq. 5/6 — the
+//! residual tokens must still be grouped into as few well-defined segments
+//! as possible, because the denominator of Eq. 6 counts them.
+
+/// Minimum number of segments exactly partitioning `0..n` where the allowed
+/// pieces are `segments` (intervals `(start, len)`) plus all singletons.
+pub fn min_partition(n: usize, segments: &[(usize, usize)]) -> u32 {
+    min_partition_masked(n, segments, &vec![true; n])
+}
+
+/// Like [`min_partition`] but only `free[i] == true` positions need
+/// covering; segments may only be used if entirely free. Blocked positions
+/// contribute no cost.
+pub fn min_partition_masked(n: usize, segments: &[(usize, usize)], free: &[bool]) -> u32 {
+    assert_eq!(free.len(), n, "mask length mismatch");
+    debug_assert!(segments.iter().all(|&(s, l)| l >= 1 && s + l <= n));
+    // Index multi-token segments by end position.
+    let mut by_end: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // end → starts
+    for &(s, l) in segments {
+        by_end[s + l].push(s);
+    }
+    let mut dp = vec![u32::MAX; n + 1];
+    dp[0] = 0;
+    for j in 1..=n {
+        if !free[j - 1] {
+            dp[j] = dp[j - 1];
+            continue;
+        }
+        // Singleton piece [j-1, j).
+        if dp[j - 1] != u32::MAX {
+            dp[j] = dp[j - 1] + 1;
+        }
+        // Multi-token pieces ending at j, fully free.
+        for &s in &by_end[j] {
+            if dp[s] == u32::MAX {
+                continue;
+            }
+            if (s..j).all(|i| free[i]) {
+                dp[j] = dp[j].min(dp[s] + 1);
+            }
+        }
+    }
+    dp[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_singletons() {
+        assert_eq!(min_partition(4, &[]), 4);
+        assert_eq!(min_partition(0, &[]), 0);
+    }
+
+    #[test]
+    fn full_segment_is_one() {
+        assert_eq!(min_partition(3, &[(0, 3)]), 1);
+    }
+
+    #[test]
+    fn picks_best_split() {
+        // 0..5 with segments [0,3) and [3,5): 2 pieces beats singleton mix.
+        assert_eq!(min_partition(5, &[(0, 3), (3, 2)]), 2);
+        // Overlapping segments can't both be used in an exact partition:
+        // [0,3) and [2,5): either gives 1 + 2 singletons = 3.
+        assert_eq!(min_partition(5, &[(0, 3), (2, 3)]), 3);
+    }
+
+    #[test]
+    fn figure1_string_s() {
+        // "coffee shop latte helsingki": segment "coffee shop" = (0,2);
+        // min partition = {coffee shop},{latte},{helsingki} = 3.
+        assert_eq!(min_partition(4, &[(0, 2)]), 3);
+    }
+
+    #[test]
+    fn masked_blocked_positions_cost_nothing() {
+        // 5 tokens, positions 1..3 blocked (covered by a matched segment).
+        let free = vec![true, false, false, true, true];
+        assert_eq!(min_partition_masked(5, &[], &free), 3);
+        // A segment spanning the free 3..5 region helps.
+        assert_eq!(min_partition_masked(5, &[(3, 2)], &free), 2);
+        // A segment crossing a blocked token is unusable.
+        assert_eq!(min_partition_masked(5, &[(2, 2)], &free), 3);
+    }
+
+    #[test]
+    fn masked_all_blocked_is_zero() {
+        assert_eq!(min_partition_masked(3, &[], &[false; 3]), 0);
+    }
+
+    #[test]
+    fn chain_of_overlapping_segments() {
+        // 0..4, segments [0,2),[1,3),[2,4): best exact partition uses
+        // [0,2)+[2,4) = 2.
+        assert_eq!(min_partition(4, &[(0, 2), (1, 2), (2, 2)]), 2);
+    }
+}

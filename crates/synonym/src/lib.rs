@@ -1,0 +1,14 @@
+//! Synonym-rule substrate for AU-Join.
+//!
+//! Eq. 2 of the paper defines synonym similarity through a set of rules
+//! `R: lhs(R) → rhs(R)` with closeness `C(R) ∈ (0, 1]`:
+//! `sim_s(S, T) = C(R)` when a rule matches `S` to `T`, else 0. Section 2.3
+//! treats rules as applicable in either direction when building the
+//! conflict graph ("PS → PT or PT → PS is a synonym rule"), so
+//! [`SynonymSet::sim`] checks both orientations.
+
+pub mod rule;
+pub mod set;
+
+pub use rule::{Rule, RuleId};
+pub use set::SynonymSet;

@@ -1,0 +1,90 @@
+//! A single synonym rule.
+
+use au_text::PhraseId;
+use std::fmt;
+
+/// Dense id of a rule inside a [`SynonymSet`](crate::set::SynonymSet).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A synonym rule `lhs → rhs` with closeness `C(R) ∈ (0, 1]` (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    /// Left-hand side phrase. Also the rule's pebble key (Table 2).
+    pub lhs: PhraseId,
+    /// Right-hand side phrase.
+    pub rhs: PhraseId,
+    /// Closeness of the two sides; must lie in `(0, 1]`.
+    pub closeness: f64,
+}
+
+impl Rule {
+    /// Construct, validating the closeness range.
+    pub fn new(lhs: PhraseId, rhs: PhraseId, closeness: f64) -> Self {
+        assert!(
+            closeness > 0.0 && closeness <= 1.0,
+            "closeness must be in (0, 1], got {closeness}"
+        );
+        Self {
+            lhs,
+            rhs,
+            closeness,
+        }
+    }
+
+    /// The side opposite to `side`, if `side` is one of the two sides.
+    pub fn other_side(&self, side: PhraseId) -> Option<PhraseId> {
+        if side == self.lhs {
+            Some(self.rhs)
+        } else if side == self.rhs {
+            Some(self.lhs)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_in_range() {
+        let r = Rule::new(PhraseId(0), PhraseId(1), 0.5);
+        assert_eq!(r.closeness, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "closeness")]
+    fn zero_closeness_rejected() {
+        Rule::new(PhraseId(0), PhraseId(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "closeness")]
+    fn above_one_rejected() {
+        Rule::new(PhraseId(0), PhraseId(1), 1.1);
+    }
+
+    #[test]
+    fn other_side() {
+        let r = Rule::new(PhraseId(3), PhraseId(4), 1.0);
+        assert_eq!(r.other_side(PhraseId(3)), Some(PhraseId(4)));
+        assert_eq!(r.other_side(PhraseId(4)), Some(PhraseId(3)));
+        assert_eq!(r.other_side(PhraseId(5)), None);
+    }
+}

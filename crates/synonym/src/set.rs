@@ -1,0 +1,192 @@
+//! A set of synonym rules with per-side indexes.
+
+use crate::rule::{Rule, RuleId};
+use au_text::{FxHashMap, PhraseId};
+
+/// Indexed collection of synonym rules.
+///
+/// Duplicate `(lhs, rhs)` pairs are merged keeping the highest closeness
+/// (re-stating a rule can only strengthen it).
+#[derive(Debug, Default, Clone)]
+pub struct SynonymSet {
+    rules: Vec<Rule>,
+    by_pair: FxHashMap<(PhraseId, PhraseId), RuleId>,
+    by_lhs: FxHashMap<PhraseId, Vec<RuleId>>,
+    by_rhs: FxHashMap<PhraseId, Vec<RuleId>>,
+    max_side_len: usize,
+    max_pair_len: usize,
+}
+
+impl SynonymSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or strengthen) a rule. `lhs_len`/`rhs_len` are the token counts
+    /// of the phrases, used to maintain the `k` bound of Section 2.3.
+    pub fn add(&mut self, rule: Rule, lhs_len: usize, rhs_len: usize) -> RuleId {
+        if let Some(&id) = self.by_pair.get(&(rule.lhs, rule.rhs)) {
+            let existing = &mut self.rules[id.idx()];
+            existing.closeness = existing.closeness.max(rule.closeness);
+            return id;
+        }
+        let id = RuleId(self.rules.len() as u32);
+        self.by_pair.insert((rule.lhs, rule.rhs), id);
+        self.by_lhs.entry(rule.lhs).or_default().push(id);
+        self.by_rhs.entry(rule.rhs).or_default().push(id);
+        self.max_side_len = self.max_side_len.max(lhs_len).max(rhs_len);
+        self.max_pair_len = self.max_pair_len.max(lhs_len + rhs_len);
+        self.rules.push(rule);
+        id
+    }
+
+    /// The rule with `id`.
+    pub fn get(&self, id: RuleId) -> &Rule {
+        &self.rules[id.idx()]
+    }
+
+    /// Rules whose lhs is `p`.
+    pub fn rules_with_lhs(&self, p: PhraseId) -> &[RuleId] {
+        self.by_lhs.get(&p).map_or(&[], |v| v)
+    }
+
+    /// Rules whose rhs is `p`.
+    pub fn rules_with_rhs(&self, p: PhraseId) -> &[RuleId] {
+        self.by_rhs.get(&p).map_or(&[], |v| v)
+    }
+
+    /// True when `p` appears as lhs or rhs of any rule (then a span mapping
+    /// to `p` is a well-defined segment by Definition 1(i)).
+    pub fn is_side(&self, p: PhraseId) -> bool {
+        self.by_lhs.contains_key(&p) || self.by_rhs.contains_key(&p)
+    }
+
+    /// All rules touching `p` on either side.
+    pub fn rules_with_side(&self, p: PhraseId) -> impl Iterator<Item = RuleId> + '_ {
+        self.rules_with_lhs(p)
+            .iter()
+            .chain(self.rules_with_rhs(p).iter())
+            .copied()
+    }
+
+    /// Synonym similarity of Eq. 2 applied in both orientations: the best
+    /// closeness among rules `a → b` or `b → a`, 0 when none exists.
+    pub fn sim(&self, a: PhraseId, b: PhraseId) -> f64 {
+        let fwd = self
+            .by_pair
+            .get(&(a, b))
+            .map(|id| self.rules[id.idx()].closeness);
+        let bwd = self
+            .by_pair
+            .get(&(b, a))
+            .map(|id| self.rules[id.idx()].closeness);
+        fwd.into_iter().chain(bwd).fold(0.0, f64::max)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules exist.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Longest rule side in tokens — bounds the well-defined-segment span.
+    pub fn max_side_len(&self) -> usize {
+        self.max_side_len
+    }
+
+    /// Largest `|lhs| + |rhs|` over all rules — the paper's `k` ("maximal
+    /// number of tokens in *both sides* of any synonym rule", Section
+    /// 2.3): a rule vertex covers that many tokens across the two strings
+    /// and can therefore conflict with that many mutually independent
+    /// vertices, giving the `k+1`-claw-freeness bound.
+    pub fn max_pair_len(&self) -> usize {
+        self.max_pair_len
+    }
+
+    /// Iterate `(id, rule)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PhraseId {
+        PhraseId(i)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = SynonymSet::new();
+        let id = s.add(Rule::new(p(0), p(1), 1.0), 2, 1);
+        assert_eq!(s.get(id).lhs, p(0));
+        assert_eq!(s.rules_with_lhs(p(0)), &[id]);
+        assert_eq!(s.rules_with_rhs(p(1)), &[id]);
+        assert!(s.rules_with_lhs(p(1)).is_empty());
+        assert!(s.is_side(p(0)) && s.is_side(p(1)) && !s.is_side(p(2)));
+    }
+
+    #[test]
+    fn duplicate_keeps_max_closeness() {
+        let mut s = SynonymSet::new();
+        let a = s.add(Rule::new(p(0), p(1), 0.4), 1, 1);
+        let b = s.add(Rule::new(p(0), p(1), 0.9), 1, 1);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a).closeness, 0.9);
+        let c = s.add(Rule::new(p(0), p(1), 0.2), 1, 1);
+        assert_eq!(s.get(c).closeness, 0.9);
+    }
+
+    #[test]
+    fn sim_checks_both_directions() {
+        let mut s = SynonymSet::new();
+        s.add(Rule::new(p(0), p(1), 0.7), 2, 1);
+        assert_eq!(s.sim(p(0), p(1)), 0.7);
+        assert_eq!(s.sim(p(1), p(0)), 0.7);
+        assert_eq!(s.sim(p(0), p(2)), 0.0);
+        // Opposite-direction rule with a different closeness: max wins.
+        s.add(Rule::new(p(1), p(0), 0.9), 1, 2);
+        assert_eq!(s.sim(p(0), p(1)), 0.9);
+    }
+
+    #[test]
+    fn directed_pairs_are_distinct_rules() {
+        let mut s = SynonymSet::new();
+        let a = s.add(Rule::new(p(0), p(1), 0.5), 1, 1);
+        let b = s.add(Rule::new(p(1), p(0), 0.5), 1, 1);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rules_with_side_sees_both() {
+        let mut s = SynonymSet::new();
+        let a = s.add(Rule::new(p(0), p(1), 1.0), 1, 1);
+        let b = s.add(Rule::new(p(2), p(0), 1.0), 1, 1);
+        let got: Vec<_> = s.rules_with_side(p(0)).collect();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn max_side_len_tracked() {
+        let mut s = SynonymSet::new();
+        assert_eq!(s.max_side_len(), 0);
+        assert_eq!(s.max_pair_len(), 0);
+        s.add(Rule::new(p(0), p(1), 1.0), 3, 1);
+        s.add(Rule::new(p(2), p(3), 1.0), 1, 4);
+        assert_eq!(s.max_side_len(), 4);
+        // max |lhs|+|rhs| = max(3+1, 1+4) = 5, not max_side × 2.
+        assert_eq!(s.max_pair_len(), 5);
+    }
+}

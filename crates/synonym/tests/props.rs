@@ -1,0 +1,72 @@
+//! Property-based tests for the synonym rule set.
+
+use au_synonym::{Rule, SynonymSet};
+use au_text::PhraseId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sim_is_max_over_directions(
+        rules in prop::collection::vec((0u32..6, 0u32..6, 0.01f64..1.0), 1..20)
+    ) {
+        let mut set = SynonymSet::new();
+        for &(l, r, c) in &rules {
+            set.add(Rule::new(PhraseId(l), PhraseId(r), c), 1, 1);
+        }
+        for a in 0u32..6 {
+            for b in 0u32..6 {
+                let expected = rules
+                    .iter()
+                    .filter(|&&(l, r, _)| (l, r) == (a, b) || (l, r) == (b, a))
+                    .map(|&(_, _, c)| c)
+                    .fold(0.0f64, f64::max);
+                let got = set.sim(PhraseId(a), PhraseId(b));
+                prop_assert!((got - expected).abs() < 1e-12,
+                    "sim({a},{b}) = {got}, expected {expected}");
+                // symmetry
+                prop_assert_eq!(got, set.sim(PhraseId(b), PhraseId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn indexes_agree_with_rules(
+        rules in prop::collection::vec((0u32..8, 0u32..8, 0.5f64..1.0), 1..24)
+    ) {
+        let mut set = SynonymSet::new();
+        for &(l, r, c) in &rules {
+            set.add(Rule::new(PhraseId(l), PhraseId(r), c), 2, 3);
+        }
+        for p in 0u32..8 {
+            let p = PhraseId(p);
+            for &rid in set.rules_with_lhs(p) {
+                prop_assert_eq!(set.get(rid).lhs, p);
+            }
+            for &rid in set.rules_with_rhs(p) {
+                prop_assert_eq!(set.get(rid).rhs, p);
+            }
+            let via_sides = set.rules_with_side(p).count();
+            let direct = set
+                .iter()
+                .filter(|(_, r)| r.lhs == p || r.rhs == p)
+                .count()
+                // a self-rule p→p is yielded from both indexes
+                + set.iter().filter(|(_, r)| r.lhs == p && r.rhs == p).count();
+            prop_assert_eq!(via_sides, direct);
+            prop_assert_eq!(set.is_side(p), via_sides > 0);
+        }
+        prop_assert!(set.max_side_len() == 3);
+    }
+
+    #[test]
+    fn duplicates_keep_max(c1 in 0.01f64..1.0, c2 in 0.01f64..1.0) {
+        let mut set = SynonymSet::new();
+        let a = set.add(Rule::new(PhraseId(0), PhraseId(1), c1), 1, 1);
+        let b = set.add(Rule::new(PhraseId(0), PhraseId(1), c2), 1, 1);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(set.len(), 1);
+        prop_assert!((set.get(a).closeness - c1.max(c2)).abs() < 1e-15);
+    }
+}

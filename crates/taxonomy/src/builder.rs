@@ -1,0 +1,185 @@
+//! Incremental taxonomy construction.
+//!
+//! The builder collects parent/label pairs and freezes them into a
+//! [`Taxonomy`] with depths and the binary-lifting LCA table. Construction
+//! is append-only (a child is always added after its parent), which makes
+//! cycles impossible by construction.
+
+use crate::tree::{NodeId, Taxonomy};
+use au_text::{FxHashMap, PhraseId};
+
+/// Builder for [`Taxonomy`].
+#[derive(Debug, Default, Clone)]
+pub struct TaxonomyBuilder {
+    parent: Vec<Option<NodeId>>,
+    label: Vec<PhraseId>,
+    /// `(parent, label) → child` for `ensure_child` path building.
+    child_by_label: FxHashMap<(Option<NodeId>, PhraseId), NodeId>,
+}
+
+impl TaxonomyBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    fn push(&mut self, parent: Option<NodeId>, label: PhraseId) -> NodeId {
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(parent);
+        self.label.push(label);
+        self.child_by_label.insert((parent, label), id);
+        id
+    }
+
+    /// Add a new root node.
+    pub fn add_root(&mut self, label: PhraseId) -> NodeId {
+        self.push(None, label)
+    }
+
+    /// Add a child of `parent`. Panics if `parent` does not exist yet.
+    pub fn add_child(&mut self, parent: NodeId, label: PhraseId) -> NodeId {
+        assert!(
+            parent.idx() < self.parent.len(),
+            "parent {parent:?} does not exist"
+        );
+        self.push(Some(parent), label)
+    }
+
+    /// Return the existing child of `parent` with `label`, or create it.
+    /// `parent = None` addresses the root level.
+    pub fn ensure_child(&mut self, parent: Option<NodeId>, label: PhraseId) -> NodeId {
+        if let Some(&n) = self.child_by_label.get(&(parent, label)) {
+            return n;
+        }
+        self.push(parent, label)
+    }
+
+    /// Ensure the whole root-to-leaf `path` of labels exists, creating
+    /// missing nodes; returns the leaf.
+    pub fn ensure_path(&mut self, path: &[PhraseId]) -> NodeId {
+        assert!(!path.is_empty(), "path must contain at least one label");
+        let mut cur: Option<NodeId> = None;
+        for &label in path {
+            cur = Some(self.ensure_child(cur, label));
+        }
+        cur.unwrap()
+    }
+
+    /// Freeze into an immutable [`Taxonomy`]: computes depths, child lists
+    /// and the binary-lifting table.
+    pub fn build(self) -> Taxonomy {
+        let n = self.parent.len();
+        let mut depth = vec![0u32; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            // Parents precede children, so one forward pass fixes depths.
+            depth[i] = match self.parent[i] {
+                None => 1,
+                Some(p) => {
+                    debug_assert!(p.idx() < i, "append-only invariant violated");
+                    depth[p.idx()] + 1
+                }
+            };
+            if let Some(p) = self.parent[i] {
+                children[p.idx()].push(NodeId(i as u32));
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(1);
+        let levels = (32 - u32::leading_zeros(max_depth.max(1))) as usize;
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        // up[0] = parent (self at roots)
+        up.push(
+            (0..n)
+                .map(|i| self.parent[i].map_or(i as u32, |p| p.0))
+                .collect(),
+        );
+        for k in 1..levels.max(1) {
+            let prev = &up[k - 1];
+            let next: Vec<u32> = (0..n).map(|i| prev[prev[i] as usize]).collect();
+            up.push(next);
+        }
+        Taxonomy {
+            parent: self.parent,
+            depth,
+            children,
+            label: self.label,
+            up,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_text::phrase::PhraseTable;
+    use au_text::TokenId;
+
+    fn labels(n: u32) -> (PhraseTable, Vec<PhraseId>) {
+        let mut pt = PhraseTable::new();
+        let v = (0..n).map(|i| pt.intern(&[TokenId(i)])).collect();
+        (pt, v)
+    }
+
+    #[test]
+    fn ensure_path_reuses_nodes() {
+        let (_pt, l) = labels(5);
+        let mut b = TaxonomyBuilder::new();
+        let leaf1 = b.ensure_path(&[l[0], l[1], l[2]]);
+        let leaf2 = b.ensure_path(&[l[0], l[1], l[3]]);
+        let leaf3 = b.ensure_path(&[l[0], l[1], l[2]]);
+        assert_eq!(leaf1, leaf3);
+        assert_ne!(leaf1, leaf2);
+        assert_eq!(b.len(), 4); // root, mid, two leaves
+        let t = b.build();
+        assert_eq!(t.lca(leaf1, leaf2).map(|x| t.depth(x)), Some(2));
+    }
+
+    #[test]
+    fn same_label_under_different_parents_is_distinct() {
+        let (_pt, l) = labels(3);
+        let mut b = TaxonomyBuilder::new();
+        let x = b.ensure_path(&[l[0], l[2]]);
+        let y = b.ensure_path(&[l[1], l[2]]);
+        assert_ne!(x, y);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn build_children_lists() {
+        let (_pt, l) = labels(4);
+        let mut b = TaxonomyBuilder::new();
+        let r = b.add_root(l[0]);
+        let c1 = b.add_child(r, l[1]);
+        let c2 = b.add_child(r, l[2]);
+        let t = b.build();
+        assert_eq!(t.children(r), &[c1, c2]);
+        assert!(t.children(c1).is_empty());
+        assert_eq!(t.label(c2), l[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn bad_parent_panics() {
+        let (_pt, l) = labels(1);
+        let mut b = TaxonomyBuilder::new();
+        b.add_child(NodeId(7), l[0]);
+    }
+
+    #[test]
+    fn empty_taxonomy_builds() {
+        let t = TaxonomyBuilder::new().build();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.roots().is_empty());
+    }
+}

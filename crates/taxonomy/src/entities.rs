@@ -1,0 +1,108 @@
+//! Entity dictionary: which phrases map to taxonomy nodes.
+//!
+//! Definition 1 of the paper calls a token span a well-defined segment when
+//! it "can match a corresponding taxonomy entity". The [`EntityDict`] holds
+//! that mapping. A node may be reachable through several phrases (aliases);
+//! a phrase maps to at most one node (first registration wins, mirroring the
+//! deduplication the paper's datasets perform when binding strings to MeSH
+//! descriptors).
+
+use crate::tree::NodeId;
+use au_text::{FxHashMap, PhraseId};
+
+/// Phrase → node dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct EntityDict {
+    by_phrase: FxHashMap<PhraseId, NodeId>,
+    max_phrase_len: usize,
+}
+
+impl EntityDict {
+    /// New empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `phrase` as an entity name of `node`.
+    ///
+    /// Returns `false` (and leaves the dictionary unchanged) when the phrase
+    /// was already bound to a *different* node.
+    pub fn insert(&mut self, phrase: PhraseId, phrase_len: usize, node: NodeId) -> bool {
+        match self.by_phrase.get(&phrase) {
+            Some(&existing) => existing == node,
+            None => {
+                self.by_phrase.insert(phrase, node);
+                self.max_phrase_len = self.max_phrase_len.max(phrase_len);
+                true
+            }
+        }
+    }
+
+    /// Node named by `phrase`, if any.
+    pub fn lookup(&self, phrase: PhraseId) -> Option<NodeId> {
+        self.by_phrase.get(&phrase).copied()
+    }
+
+    /// Number of registered entity phrases.
+    pub fn len(&self) -> usize {
+        self.by_phrase.len()
+    }
+
+    /// True when no entity has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_phrase.is_empty()
+    }
+
+    /// Longest entity phrase in tokens — contributes to the `k` bound of
+    /// Section 2.3 ("maximal number of tokens in ... taxonomy entity pair").
+    pub fn max_phrase_len(&self) -> usize {
+        self.max_phrase_len
+    }
+
+    /// Iterate `(phrase, node)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (PhraseId, NodeId)> + '_ {
+        self.by_phrase.iter().map(|(&p, &n)| (p, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut d = EntityDict::new();
+        assert!(d.insert(PhraseId(0), 1, NodeId(10)));
+        assert_eq!(d.lookup(PhraseId(0)), Some(NodeId(10)));
+        assert_eq!(d.lookup(PhraseId(1)), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_rebind_rejected() {
+        let mut d = EntityDict::new();
+        assert!(d.insert(PhraseId(0), 1, NodeId(10)));
+        assert!(!d.insert(PhraseId(0), 1, NodeId(11)));
+        assert_eq!(d.lookup(PhraseId(0)), Some(NodeId(10)));
+        // Re-inserting the same binding is fine.
+        assert!(d.insert(PhraseId(0), 1, NodeId(10)));
+    }
+
+    #[test]
+    fn aliases_allowed() {
+        let mut d = EntityDict::new();
+        assert!(d.insert(PhraseId(0), 1, NodeId(10)));
+        assert!(d.insert(PhraseId(1), 2, NodeId(10)));
+        assert_eq!(d.lookup(PhraseId(1)), Some(NodeId(10)));
+    }
+
+    #[test]
+    fn tracks_max_len() {
+        let mut d = EntityDict::new();
+        assert_eq!(d.max_phrase_len(), 0);
+        d.insert(PhraseId(0), 2, NodeId(0));
+        d.insert(PhraseId(1), 5, NodeId(1));
+        d.insert(PhraseId(2), 1, NodeId(2));
+        assert_eq!(d.max_phrase_len(), 5);
+    }
+}

@@ -1,0 +1,22 @@
+//! Taxonomy substrate for AU-Join.
+//!
+//! The paper's taxonomy similarity (Eq. 3) measures two strings mapped to
+//! taxonomy nodes `nS`, `nT` as `|LCA(nS, nT)| / max(|nS|, |nT|)` where
+//! `|n|` is the *depth* of `n` and the root has depth 1 (Figure 1 of the
+//! paper: `|espresso| = 5`, `|LCA(latte, espresso)| = |coffee drinks| = 4`,
+//! so `sim = 4/5 = 0.8`).
+//!
+//! Modules:
+//! * [`tree`] — arena forest with parents, children, depths and an O(log n)
+//!   LCA via binary lifting.
+//! * [`entities`] — phrase → node dictionary (which token spans are
+//!   "taxonomy entities" in Definition 1).
+//! * [`builder`] — incremental construction with validation.
+
+pub mod builder;
+pub mod entities;
+pub mod tree;
+
+pub use builder::TaxonomyBuilder;
+pub use entities::EntityDict;
+pub use tree::{NodeId, Taxonomy};

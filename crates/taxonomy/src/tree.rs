@@ -1,0 +1,334 @@
+//! Arena forest with depths and binary-lifting LCA.
+//!
+//! A taxonomy is stored as parallel arrays indexed by [`NodeId`]. We support
+//! a *forest* (several roots): the MeSH tree, for example, has sixteen
+//! top-level categories. Nodes in different trees have no LCA, and their
+//! similarity is 0.
+
+use au_text::PhraseId;
+use std::fmt;
+
+/// Dense id of a taxonomy node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An immutable taxonomy forest. Built by
+/// [`TaxonomyBuilder`](crate::builder::TaxonomyBuilder).
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    pub(crate) parent: Vec<Option<NodeId>>,
+    pub(crate) depth: Vec<u32>, // roots have depth 1
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) label: Vec<PhraseId>,
+    /// Binary lifting table: `up[k][v]` = 2^k-th ancestor of `v` (v itself
+    /// when the ancestor does not exist — safe because we clamp by depth
+    /// before using it).
+    pub(crate) up: Vec<Vec<u32>>,
+}
+
+impl Taxonomy {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the taxonomy has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `n` (None at roots).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent[n.idx()]
+    }
+
+    /// Depth of `n`; roots have depth 1. This is the `|n|` of Eq. 3.
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.idx()]
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.idx()]
+    }
+
+    /// The phrase labelling `n`.
+    pub fn label(&self, n: NodeId) -> PhraseId {
+        self.label[n.idx()]
+    }
+
+    /// Iterate `n` and its ancestors up to (and including) the root.
+    ///
+    /// These are exactly the taxonomy pebbles of a segment matching `n`
+    /// (Table 2: "ancestor nodes"), `depth(n)` of them.
+    pub fn ancestors(&self, n: NodeId) -> AncestorIter<'_> {
+        AncestorIter {
+            tax: self,
+            cur: Some(n),
+        }
+    }
+
+    /// Jump `steps` ancestors up from `n` (0 returns `n`). Panics if `steps`
+    /// exceeds `depth(n) - 1`.
+    pub fn ancestor_at(&self, n: NodeId, steps: u32) -> NodeId {
+        assert!(
+            steps < self.depth(n),
+            "cannot go {steps} levels above a node of depth {}",
+            self.depth(n)
+        );
+        let mut v = n.0;
+        let mut s = steps;
+        let mut k = 0;
+        while s > 0 {
+            if s & 1 == 1 {
+                v = self.up[k][v as usize];
+            }
+            s >>= 1;
+            k += 1;
+        }
+        NodeId(v)
+    }
+
+    /// Lowest common ancestor, or `None` when `a` and `b` live in different
+    /// trees of the forest.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let (mut a, mut b) = (a, b);
+        let (da, db) = (self.depth(a), self.depth(b));
+        if da > db {
+            a = self.ancestor_at(a, da - db);
+        } else if db > da {
+            b = self.ancestor_at(b, db - da);
+        }
+        if a == b {
+            return Some(a);
+        }
+        for k in (0..self.up.len()).rev() {
+            let ua = self.up[k][a.idx()];
+            let ub = self.up[k][b.idx()];
+            if ua != ub {
+                a = NodeId(ua);
+                b = NodeId(ub);
+            }
+        }
+        let pa = self.parent(a)?;
+        let pb = self.parent(b)?;
+        (pa == pb).then_some(pa)
+    }
+
+    /// Taxonomy similarity of Eq. 3:
+    /// `|LCA(a, b)| / max(|a|, |b|)`, 0 across different trees.
+    pub fn sim(&self, a: NodeId, b: NodeId) -> f64 {
+        match self.lca(a, b) {
+            Some(l) => self.depth(l) as f64 / self.depth(a).max(self.depth(b)) as f64,
+            None => 0.0,
+        }
+    }
+
+    /// True when `anc` lies on the root path of `n` (inclusive).
+    pub fn is_ancestor(&self, anc: NodeId, n: NodeId) -> bool {
+        let (da, dn) = (self.depth(anc), self.depth(n));
+        da <= dn && self.ancestor_at(n, dn - da) == anc
+    }
+
+    /// Root ids of the forest.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.parent[n.idx()].is_none())
+            .collect()
+    }
+
+    /// Maximum depth over all nodes (0 when empty) — the taxonomy "height"
+    /// reported in Table 6 of the paper.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+}
+
+/// Iterator over a node and its ancestors; see [`Taxonomy::ancestors`].
+pub struct AncestorIter<'a> {
+    tax: &'a Taxonomy,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.cur?;
+        self.cur = self.tax.parent(n);
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaxonomyBuilder;
+    use au_text::phrase::PhraseTable;
+    use au_text::TokenId;
+
+    /// Figure 1(a): wikipedia → food → {coffee → coffee-drinks → {latte,
+    /// espresso}, cake → apple-cake}.
+    fn figure1() -> (Taxonomy, Vec<NodeId>) {
+        let mut pt = PhraseTable::new();
+        let mut ph = |i: u32| pt.intern(&[TokenId(i)]);
+        let labels: Vec<_> = (0..8).map(&mut ph).collect();
+        let mut b = TaxonomyBuilder::new();
+        let wiki = b.add_root(labels[0]);
+        let food = b.add_child(wiki, labels[1]);
+        let coffee = b.add_child(food, labels[2]);
+        let drinks = b.add_child(coffee, labels[3]);
+        let latte = b.add_child(drinks, labels[4]);
+        let espresso = b.add_child(drinks, labels[5]);
+        let cake = b.add_child(food, labels[6]);
+        let apple_cake = b.add_child(cake, labels[7]);
+        (
+            b.build(),
+            vec![
+                wiki, food, coffee, drinks, latte, espresso, cake, apple_cake,
+            ],
+        )
+    }
+
+    #[test]
+    fn depths_root_is_one() {
+        let (t, n) = figure1();
+        assert_eq!(t.depth(n[0]), 1); // wikipedia
+        assert_eq!(t.depth(n[3]), 4); // coffee drinks
+        assert_eq!(t.depth(n[4]), 5); // latte
+    }
+
+    #[test]
+    fn paper_example_latte_espresso() {
+        // Example 2(iii): sim(latte, espresso) = 4/5.
+        let (t, n) = figure1();
+        assert_eq!(t.lca(n[4], n[5]), Some(n[3]));
+        assert!((t.sim(n[4], n[5]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_cake_apple_cake() {
+        // Section 2.2: taxonomy similarity of cake vs apple cake = 0.75.
+        let (t, n) = figure1();
+        assert_eq!(t.lca(n[6], n[7]), Some(n[6]));
+        assert!((t.sim(n[6], n[7]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lca_same_node() {
+        let (t, n) = figure1();
+        assert_eq!(t.lca(n[4], n[4]), Some(n[4]));
+        assert_eq!(t.sim(n[4], n[4]), 1.0);
+    }
+
+    #[test]
+    fn lca_is_symmetric() {
+        let (t, n) = figure1();
+        for &a in &n {
+            for &b in &n {
+                assert_eq!(t.lca(a, b), t.lca(b, a));
+                assert_eq!(t.sim(a, b), t.sim(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_across_forest_is_none() {
+        let mut pt = PhraseTable::new();
+        let a = pt.intern(&[TokenId(0)]);
+        let b = pt.intern(&[TokenId(1)]);
+        let mut builder = TaxonomyBuilder::new();
+        let r1 = builder.add_root(a);
+        let r2 = builder.add_root(b);
+        let t = builder.build();
+        assert_eq!(t.lca(r1, r2), None);
+        assert_eq!(t.sim(r1, r2), 0.0);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (t, n) = figure1();
+        let path: Vec<_> = t.ancestors(n[4]).collect();
+        assert_eq!(path, vec![n[4], n[3], n[2], n[1], n[0]]);
+        assert_eq!(path.len() as u32, t.depth(n[4]));
+    }
+
+    #[test]
+    fn ancestor_at_jumps() {
+        let (t, n) = figure1();
+        assert_eq!(t.ancestor_at(n[4], 0), n[4]);
+        assert_eq!(t.ancestor_at(n[4], 1), n[3]);
+        assert_eq!(t.ancestor_at(n[4], 4), n[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go")]
+    fn ancestor_at_overshoot_panics() {
+        let (t, n) = figure1();
+        t.ancestor_at(n[0], 1);
+    }
+
+    #[test]
+    fn is_ancestor_checks_path() {
+        let (t, n) = figure1();
+        assert!(t.is_ancestor(n[0], n[4]));
+        assert!(t.is_ancestor(n[3], n[4]));
+        assert!(t.is_ancestor(n[4], n[4]));
+        assert!(!t.is_ancestor(n[4], n[3]));
+        assert!(!t.is_ancestor(n[6], n[4])); // cake is not an ancestor of latte
+    }
+
+    #[test]
+    fn sim_lower_for_distant_nodes() {
+        let (t, n) = figure1();
+        // latte vs apple cake: LCA food (depth 2), max depth 5 → 0.4
+        assert!((t.sim(n[4], n[7]) - 0.4).abs() < 1e-12);
+        // closer pairs score higher
+        assert!(t.sim(n[4], n[5]) > t.sim(n[4], n[7]));
+    }
+
+    #[test]
+    fn roots_and_height() {
+        let (t, _) = figure1();
+        assert_eq!(t.roots().len(), 1);
+        assert_eq!(t.height(), 5);
+    }
+
+    #[test]
+    fn lca_on_deep_chain() {
+        // Chain of 300 nodes exercises the binary lifting table.
+        let mut pt = PhraseTable::new();
+        let mut b = TaxonomyBuilder::new();
+        let mut cur = b.add_root(pt.intern(&[TokenId(0)]));
+        let mut nodes = vec![cur];
+        for i in 1..300u32 {
+            cur = b.add_child(cur, pt.intern(&[TokenId(i)]));
+            nodes.push(cur);
+        }
+        let t = b.build();
+        assert_eq!(t.depth(nodes[299]), 300);
+        assert_eq!(t.lca(nodes[299], nodes[150]), Some(nodes[150]));
+        assert_eq!(t.lca(nodes[299], nodes[0]), Some(nodes[0]));
+        assert!((t.sim(nodes[299], nodes[150]) - 151.0 / 300.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for taxonomy invariants on random trees.
+
+use au_taxonomy::{Taxonomy, TaxonomyBuilder};
+use au_text::phrase::PhraseTable;
+use au_text::TokenId;
+use proptest::prelude::*;
+
+/// Build a random forest from a parent-choice vector: node i attaches to
+/// parents[i] % i (or becomes a root when i == 0 or flagged).
+fn tree_from(parents: &[usize], extra_roots: &[bool]) -> Taxonomy {
+    let mut pt = PhraseTable::new();
+    let mut b = TaxonomyBuilder::new();
+    let mut ids = Vec::new();
+    for i in 0..parents.len() {
+        let label = pt.intern(&[TokenId(i as u32)]);
+        let id = if i == 0 || extra_roots[i % extra_roots.len()] {
+            b.add_root(label)
+        } else {
+            b.add_child(ids[parents[i] % i], label)
+        };
+        ids.push(id);
+    }
+    b.build()
+}
+
+fn tree_strategy() -> impl Strategy<Value = Taxonomy> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..1000, n),
+            prop::collection::vec(prop::bool::weighted(0.08), 8),
+        )
+            .prop_map(|(parents, roots)| tree_from(&parents, &roots))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lca_invariants(tax in tree_strategy(), xa in 0usize..1000, xb in 0usize..1000) {
+        let n = tax.len();
+        let a = au_taxonomy::NodeId((xa % n) as u32);
+        let b = au_taxonomy::NodeId((xb % n) as u32);
+        // symmetry
+        prop_assert_eq!(tax.lca(a, b), tax.lca(b, a));
+        // identity
+        prop_assert_eq!(tax.lca(a, a), Some(a));
+        match tax.lca(a, b) {
+            Some(l) => {
+                // the LCA is an ancestor of both and no deeper than either
+                prop_assert!(tax.is_ancestor(l, a));
+                prop_assert!(tax.is_ancestor(l, b));
+                prop_assert!(tax.depth(l) <= tax.depth(a).min(tax.depth(b)));
+                // deepest common ancestor: the child of l towards a is not
+                // an ancestor of b (unless l = a or l = b)
+                if l != a && l != b {
+                    let step_a = tax.ancestor_at(a, tax.depth(a) - tax.depth(l) - 1);
+                    prop_assert!(!tax.is_ancestor(step_a, b));
+                }
+            }
+            None => {
+                // different trees: roots differ
+                let ra = tax.ancestor_at(a, tax.depth(a) - 1);
+                let rb = tax.ancestor_at(b, tax.depth(b) - 1);
+                prop_assert_ne!(ra, rb);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_is_bounded_symmetric_and_reflexive(tax in tree_strategy(), xa in 0usize..1000, xb in 0usize..1000) {
+        let n = tax.len();
+        let a = au_taxonomy::NodeId((xa % n) as u32);
+        let b = au_taxonomy::NodeId((xb % n) as u32);
+        let s = tax.sim(a, b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, tax.sim(b, a));
+        prop_assert_eq!(tax.sim(a, a), 1.0);
+        // ancestors are more similar than distant cousins of equal depth
+        if let Some(p) = tax.parent(a) {
+            let ps = tax.sim(a, p);
+            prop_assert!((ps - tax.depth(p) as f64 / tax.depth(a) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ancestors_chain_is_consistent(tax in tree_strategy(), x in 0usize..1000) {
+        let n = tax.len();
+        let a = au_taxonomy::NodeId((x % n) as u32);
+        let chain: Vec<_> = tax.ancestors(a).collect();
+        prop_assert_eq!(chain.len() as u32, tax.depth(a));
+        for (steps, node) in chain.iter().enumerate() {
+            prop_assert_eq!(tax.ancestor_at(a, steps as u32), *node);
+            prop_assert!(tax.is_ancestor(*node, a));
+        }
+        // last element is a root
+        prop_assert_eq!(tax.parent(*chain.last().unwrap()), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Levenshtein edit distance.
+//!
+//! Used by the data generator (typo injection with a controlled edit
+//! budget), by tests (verifying perturbations stay within budget) and by the
+//! PKduck baseline's verification step.
+
+/// Levenshtein distance between two strings (unit costs), two-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity: `1 − d / max(|a|, |b|)` (1 for two empty
+/// strings).
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("helsingki", "helsinki"), 1);
+    }
+
+    #[test]
+    fn empty_and_identical() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_spot() {
+        let (a, b, c) = ("cafe", "coffee", "cofe");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("helsingki", "helsinki");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("żółw", "zolw"), 3);
+        assert_eq!(levenshtein("日本", "日本語"), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! A fast, non-cryptographic hasher in the style of rustc's `FxHash`.
+//!
+//! Hashing pebble keys and candidate pairs dominates the filtering stage of
+//! the join, and the standard library's SipHash-1-3 is noticeably slower for
+//! the small integer keys we hash (interned ids, packed pairs). Rather than
+//! pull in an extra dependency we implement the same multiply-rotate scheme
+//! rustc uses (public domain algorithm); see DESIGN.md for the dependency
+//! policy.
+//!
+//! Not DoS-resistant — do not expose to untrusted adversarial input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx-style hasher: fold every written word into the state with
+/// `state = (state rotl 5 ^ word) * K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) | (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher64`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+/// `HashSet` keyed with [`FxHasher64`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher64>>;
+
+/// Convenience constructor mirroring `HashMap::with_capacity`.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor mirroring `HashSet::with_capacity`.
+pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher64::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("pebble"), hash_of("pebble"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of("a"), hash_of("b"));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+    }
+
+    #[test]
+    fn tail_lengths_differ() {
+        // Byte strings that are prefixes of each other must hash differently.
+        assert_ne!(
+            hash_of(b"abcdefgh".as_slice()),
+            hash_of(b"abcdefg".as_slice())
+        );
+        assert_ne!(hash_of(b"a".as_slice()), hash_of(b"a\0".as_slice()));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = fx_map_with_capacity(16);
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&i], i * 2);
+        }
+        let mut s: FxHashSet<&str> = fx_set_with_capacity(4);
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Token interning.
+//!
+//! Every token (word) in the system is represented by a dense [`TokenId`].
+//! The [`Vocab`] owns the id ↔ string mapping plus global document
+//! frequencies, which drive the paper's "global order" for pebbles and
+//! prefix signatures (Section 3.1: sort "by a global order, e.g. by the
+//! ascending order of frequencies").
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// Dense id of an interned token.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// String ↔ [`TokenId`] interner with document frequencies.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    by_str: FxHashMap<Box<str>, TokenId>,
+    strings: Vec<Box<str>>,
+    /// How many records contain each token at least once.
+    doc_freq: Vec<u32>,
+}
+
+impl Vocab {
+    /// New empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its id (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        let id = TokenId(self.strings.len() as u32);
+        self.strings.push(s.into());
+        self.doc_freq.push(0);
+        self.by_str.insert(self.strings[id.idx()].clone(), id);
+        id
+    }
+
+    /// Look up an already-interned token.
+    pub fn get(&self, s: &str) -> Option<TokenId> {
+        self.by_str.get(s).copied()
+    }
+
+    /// The string for `id`. Panics on an id from another vocabulary.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.strings[id.idx()]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Record that one document contains `id` (call once per document).
+    pub fn bump_doc_freq(&mut self, id: TokenId) {
+        self.doc_freq[id.idx()] += 1;
+    }
+
+    /// Document frequency of `id` (0 if never bumped).
+    pub fn doc_freq(&self, id: TokenId) -> u32 {
+        self.doc_freq[id.idx()]
+    }
+
+    /// Render a token slice back into a space-joined string.
+    pub fn join(&self, tokens: &[TokenId]) -> String {
+        let mut out = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.resolve(*t));
+        }
+        out
+    }
+
+    /// Iterate `(id, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TokenId(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("coffee");
+        let b = v.intern("coffee");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut v = Vocab::new();
+        let ids: Vec<_> = ["espresso", "cafe", "helsinki"]
+            .iter()
+            .map(|s| v.intern(s))
+            .collect();
+        for (i, s) in ["espresso", "cafe", "helsinki"].iter().enumerate() {
+            assert_eq!(v.resolve(ids[i]), *s);
+            assert_eq!(v.get(s), Some(ids[i]));
+        }
+        assert_eq!(v.get("latte"), None);
+    }
+
+    #[test]
+    fn doc_freq_counts() {
+        let mut v = Vocab::new();
+        let a = v.intern("a");
+        let b = v.intern("b");
+        v.bump_doc_freq(a);
+        v.bump_doc_freq(a);
+        v.bump_doc_freq(b);
+        assert_eq!(v.doc_freq(a), 2);
+        assert_eq!(v.doc_freq(b), 1);
+    }
+
+    #[test]
+    fn join_renders_spaces() {
+        let mut v = Vocab::new();
+        let c = v.intern("coffee");
+        let s = v.intern("shop");
+        assert_eq!(v.join(&[c, s]), "coffee shop");
+        assert_eq!(v.join(&[]), "");
+    }
+
+    #[test]
+    fn iter_order_matches_ids() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y");
+        let all: Vec<_> = v.iter().map(|(id, s)| (id.0, s.to_string())).collect();
+        assert_eq!(all, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

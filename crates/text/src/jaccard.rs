@@ -1,0 +1,98 @@
+//! Jaccard coefficient (Eq. 1 of the paper).
+//!
+//! `sim_j(S, T) = |G(S,q) ∩ G(T,q)| / |G(S,q) ∪ G(T,q)|`.
+//!
+//! The hot variants operate over *sorted* id slices so set intersection is a
+//! linear merge with no allocation.
+
+use crate::qgram::qgrams;
+
+/// Jaccard over two sorted, deduplicated slices.
+///
+/// Both inputs must be strictly increasing; this is debug-asserted.
+/// Two empty sets have Jaccard 0 (there is no evidence of similarity).
+pub fn jaccard_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs not sorted/dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs not sorted/dedup");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size_sorted(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// `|a ∩ b|` for sorted deduplicated slices (linear merge).
+pub fn intersection_size_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Convenience: Jaccard of the distinct q-gram sets of two strings.
+pub fn qgram_jaccard(s: &str, t: &str, q: usize) -> f64 {
+    let mut gs = qgrams(s, q);
+    let mut gt = qgrams(t, q);
+    gs.sort_unstable();
+    gt.sort_unstable();
+    let gs_refs: Vec<&str> = gs.iter().map(|x| x.as_str()).collect();
+    let gt_refs: Vec<&str> = gt.iter().map(|x| x.as_str()).collect();
+    jaccard_sorted(&gs_refs, &gt_refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_helsinki() {
+        // Example 2(i): sim_j("Helsingki", "Helsinki") = 6/9 = 2/3.
+        let s = qgram_jaccard("helsingki", "helsinki", 2);
+        assert!((s - 2.0 / 3.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn identical_strings_are_1() {
+        assert_eq!(qgram_jaccard("espresso", "espresso", 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_0() {
+        assert_eq!(qgram_jaccard("abc", "xyz", 2), 0.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let empty: [u32; 0] = [];
+        assert_eq!(jaccard_sorted(&empty, &empty), 0.0);
+        assert_eq!(jaccard_sorted(&empty, &[1u32]), 0.0);
+    }
+
+    #[test]
+    fn intersection_merge() {
+        assert_eq!(intersection_size_sorted(&[1, 3, 5, 7], &[3, 4, 5, 9]), 2);
+        assert_eq!(intersection_size_sorted(&[1, 2], &[3, 4]), 0);
+        assert_eq!(intersection_size_sorted(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let pairs = [("coffee", "cafe"), ("cake", "apple cake"), ("a", "b")];
+        for (s, t) in pairs {
+            let st = qgram_jaccard(s, t, 2);
+            let ts = qgram_jaccard(t, s, 2);
+            assert!((0.0..=1.0).contains(&st));
+            assert_eq!(st, ts);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Interning of multi-token phrases.
+//!
+//! Synonym rule sides ("coffee shop") and taxonomy entity names are
+//! sequences of tokens. Interning them gives each distinct phrase a dense
+//! [`PhraseId`], so segment detection (Definition 1 of the paper) is a hash
+//! lookup, and the synonym pebble key ("the lhs of the rule", Table 2) is a
+//! single `u32`.
+
+use crate::hash::FxHashMap;
+use crate::interner::TokenId;
+use std::fmt;
+
+/// Dense id of an interned phrase (token sequence).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhraseId(pub u32);
+
+impl PhraseId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PhraseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Token-sequence ↔ [`PhraseId`] interner.
+#[derive(Debug, Default, Clone)]
+pub struct PhraseTable {
+    by_tokens: FxHashMap<Box<[TokenId]>, PhraseId>,
+    phrases: Vec<Box<[TokenId]>>,
+    max_len: usize,
+}
+
+impl PhraseTable {
+    /// New empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a token sequence. Empty phrases are rejected.
+    pub fn intern(&mut self, tokens: &[TokenId]) -> PhraseId {
+        assert!(
+            !tokens.is_empty(),
+            "phrases must contain at least one token"
+        );
+        if let Some(&id) = self.by_tokens.get(tokens) {
+            return id;
+        }
+        let id = PhraseId(self.phrases.len() as u32);
+        let boxed: Box<[TokenId]> = tokens.into();
+        self.phrases.push(boxed.clone());
+        self.by_tokens.insert(boxed, id);
+        self.max_len = self.max_len.max(tokens.len());
+        id
+    }
+
+    /// Look up an already-interned phrase.
+    pub fn get(&self, tokens: &[TokenId]) -> Option<PhraseId> {
+        self.by_tokens.get(tokens).copied()
+    }
+
+    /// The token sequence for `id`.
+    pub fn resolve(&self, id: PhraseId) -> &[TokenId] {
+        &self.phrases[id.idx()]
+    }
+
+    /// Token count of phrase `id`.
+    pub fn len_of(&self, id: PhraseId) -> usize {
+        self.phrases[id.idx()].len()
+    }
+
+    /// Number of distinct phrases.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// True when no phrase has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Longest interned phrase length (0 when empty). This is the `k` that
+    /// bounds segment spans and the claw number `k+1` of Section 2.3.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TokenId {
+        TokenId(i)
+    }
+
+    #[test]
+    fn intern_dedups() {
+        let mut p = PhraseTable::new();
+        let a = p.intern(&[t(1), t(2)]);
+        let b = p.intern(&[t(1), t(2)]);
+        let c = p.intern(&[t(2), t(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut p = PhraseTable::new();
+        let id = p.intern(&[t(7)]);
+        assert_eq!(p.resolve(id), &[t(7)]);
+        assert_eq!(p.len_of(id), 1);
+        assert_eq!(p.get(&[t(7)]), Some(id));
+        assert_eq!(p.get(&[t(8)]), None);
+    }
+
+    #[test]
+    fn tracks_max_len() {
+        let mut p = PhraseTable::new();
+        assert_eq!(p.max_len(), 0);
+        p.intern(&[t(1)]);
+        assert_eq!(p.max_len(), 1);
+        p.intern(&[t(1), t(2), t(3)]);
+        assert_eq!(p.max_len(), 3);
+        p.intern(&[t(9), t(8)]);
+        assert_eq!(p.max_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_phrase_panics() {
+        PhraseTable::new().intern(&[]);
+    }
+}

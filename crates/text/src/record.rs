@@ -1,0 +1,192 @@
+//! String records and corpora.
+//!
+//! A [`Record`] is one string of a join collection, kept both in raw form
+//! (for display and gram extraction) and as interned tokens (for segment
+//! detection). A [`Corpus`] owns a batch of records and updates the shared
+//! [`Vocab`]'s document frequencies as records are added, which later drives
+//! the global pebble order.
+
+use crate::interner::{TokenId, Vocab};
+use crate::tokenize::{tokenize, TokenizeConfig};
+
+/// Dense id of a record inside one corpus.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One string record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Position of the record in its corpus.
+    pub id: RecordId,
+    /// Interned token sequence.
+    pub tokens: Vec<TokenId>,
+    /// Original raw text (post-tokenization it may differ in case/punctuation).
+    pub raw: String,
+}
+
+impl Record {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for records that tokenized to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// A batch of records sharing one vocabulary.
+#[derive(Debug, Default, Clone)]
+pub struct Corpus {
+    records: Vec<Record>,
+}
+
+impl Corpus {
+    /// New empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize and append one string; returns its id.
+    ///
+    /// Document frequencies in `vocab` are bumped once per distinct token in
+    /// the record.
+    pub fn push_str(&mut self, text: &str, vocab: &mut Vocab, cfg: &TokenizeConfig) -> RecordId {
+        let toks = tokenize(text, cfg);
+        let mut ids = Vec::with_capacity(toks.len());
+        for t in &toks {
+            ids.push(vocab.intern(t));
+        }
+        let mut distinct = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for t in distinct {
+            vocab.bump_doc_freq(t);
+        }
+        self.push_tokens(ids, text.to_string())
+    }
+
+    /// Append a pre-tokenized record (document frequencies are **not**
+    /// bumped; callers that build token ids directly manage frequencies
+    /// themselves).
+    pub fn push_tokens(&mut self, tokens: Vec<TokenId>, raw: String) -> RecordId {
+        let id = RecordId(self.records.len() as u32);
+        self.records.push(Record { id, tokens, raw });
+        id
+    }
+
+    /// Borrow a record.
+    pub fn get(&self, id: RecordId) -> &Record {
+        &self.records[id.idx()]
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are present.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate records.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Build a corpus from an iterator of lines.
+    pub fn from_lines<'a, I: IntoIterator<Item = &'a str>>(
+        lines: I,
+        vocab: &mut Vocab,
+        cfg: &TokenizeConfig,
+    ) -> Self {
+        let mut c = Self::new();
+        for l in lines {
+            c.push_str(l, vocab, cfg);
+        }
+        c
+    }
+
+    /// Corpus restricted to the records selected by `keep[i]`.
+    ///
+    /// Record ids are re-densified; the mapping `new → old` is returned
+    /// alongside so samples can be traced back (used by the Bernoulli
+    /// sampler of Section 4).
+    pub fn filter(&self, mut keep: impl FnMut(&Record) -> bool) -> (Corpus, Vec<RecordId>) {
+        let mut out = Corpus::new();
+        let mut back = Vec::new();
+        for r in &self.records {
+            if keep(r) {
+                back.push(r.id);
+                out.push_tokens(r.tokens.clone(), r.raw.clone());
+            }
+        }
+        (out, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_str_interns_and_counts() {
+        let mut v = Vocab::new();
+        let cfg = TokenizeConfig::default();
+        let mut c = Corpus::new();
+        let id = c.push_str("coffee shop coffee", &mut v, &cfg);
+        let r = c.get(id);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tokens[0], r.tokens[2]);
+        // doc freq counts records, not occurrences
+        assert_eq!(v.doc_freq(v.get("coffee").unwrap()), 1);
+        c.push_str("coffee", &mut v, &cfg);
+        assert_eq!(v.doc_freq(v.get("coffee").unwrap()), 2);
+    }
+
+    #[test]
+    fn from_lines_preserves_order() {
+        let mut v = Vocab::new();
+        let cfg = TokenizeConfig::default();
+        let c = Corpus::from_lines(["alpha beta", "gamma"], &mut v, &cfg);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(RecordId(0)).raw, "alpha beta");
+        assert_eq!(c.get(RecordId(1)).raw, "gamma");
+    }
+
+    #[test]
+    fn filter_redensifies_ids() {
+        let mut v = Vocab::new();
+        let cfg = TokenizeConfig::default();
+        let c = Corpus::from_lines(["a", "b", "c"], &mut v, &cfg);
+        let (sub, back) = c.filter(|r| r.raw != "b");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(RecordId(0)).raw, "a");
+        assert_eq!(sub.get(RecordId(1)).raw, "c");
+        assert_eq!(back, vec![RecordId(0), RecordId(2)]);
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut v = Vocab::new();
+        let cfg = TokenizeConfig::default();
+        let mut c = Corpus::new();
+        let id = c.push_str("...", &mut v, &cfg);
+        assert!(c.get(id).is_empty());
+    }
+}

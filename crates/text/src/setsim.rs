@@ -1,0 +1,177 @@
+//! Gram-set similarity variants beyond Jaccard (Section 2.1 of the paper
+//! names Cosine, Dice and Hamming as alternative gram-based measures).
+//!
+//! All functions operate on *sorted, deduplicated* slices, like
+//! [`crate::jaccard::jaccard_sorted`], so the intersection is a linear
+//! merge. For two gram sets `A`, `B` with `i = |A ∩ B|`:
+//!
+//! | measure | formula            | per-shared-gram bound from `A`'s side |
+//! |---------|--------------------|---------------------------------------|
+//! | Jaccard | `i / |A ∪ B|`      | `1 / |A|`                              |
+//! | Dice    | `2i / (|A|+|B|)`   | `2 / (|A|+1)`                          |
+//! | Cosine  | `i / √(|A|·|B|)`   | `1 / √|A|`                             |
+//! | Overlap | `i / min(|A|,|B|)` | `1` (no one-sided bound exists)        |
+//!
+//! The last column is what makes these measures compatible with the
+//! pebble-based filters of Section 3: a removed gram pebble can contribute
+//! at most that much similarity, no matter what the other string looks
+//! like (the other side always has `|B| ≥ max(i, 1)` grams). These bounds
+//! are exercised by the filter-soundness tests in `au-core`.
+//!
+//! The standard chain `Jaccard ≤ Dice ≤ Cosine ≤ Overlap` holds pointwise
+//! (Dice = 2J/(1+J); AM–GM gives Dice ≤ Cosine; `min ≤ √(ab)` gives
+//! Cosine ≤ Overlap) and is property-tested.
+
+use crate::jaccard::intersection_size_sorted;
+
+/// Dice similarity `2|A∩B| / (|A|+|B|)` over sorted deduplicated slices.
+/// Two empty sets score 0 (no evidence of similarity), matching
+/// [`crate::jaccard::jaccard_sorted`].
+pub fn dice_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size_sorted(a, b);
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Cosine similarity `|A∩B| / √(|A|·|B|)` over sorted deduplicated slices
+/// (the set form used for gram sets; 0 when either side is empty).
+pub fn cosine_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size_sorted(a, b);
+    inter as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Overlap (Szymkiewicz–Simpson) coefficient `|A∩B| / min(|A|,|B|)` over
+/// sorted deduplicated slices (0 when either side is empty).
+pub fn overlap_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size_sorted(a, b);
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+/// Gram-set Hamming distance `|A Δ B|` (symmetric difference size), the
+/// set-based analogue of the Hamming/n-gram distance of [Kondrak 2005]
+/// cited in Section 2.1. A *distance*, not a similarity: 0 means equal
+/// sets.
+pub fn hamming_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> usize {
+    let inter = intersection_size_sorted(a, b);
+    a.len() + b.len() - 2 * inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgram::qgrams;
+
+    /// Sorted distinct gram set, hashed to u64 so the slices are `Copy`.
+    fn grams(s: &str) -> Vec<u64> {
+        let mut g: Vec<u64> = qgrams(s, 2)
+            .iter()
+            .map(|x| {
+                use std::hash::Hasher;
+                let mut h = crate::hash::FxHasher64::default();
+                h.write(x.as_bytes());
+                h.finish()
+            })
+            .collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    #[test]
+    fn helsinki_known_values() {
+        // G("helsingki") = 8 grams, G("helsinki") = 7 grams, 6 shared.
+        let gs = grams("helsingki");
+        let gt = grams("helsinki");
+        let d = dice_sorted(&gs, &gt);
+        assert!((d - 12.0 / 15.0).abs() < 1e-12, "dice {d}");
+        let c = cosine_sorted(&gs, &gt);
+        assert!((c - 6.0 / 56f64.sqrt()).abs() < 1e-12, "cosine {c}");
+        let o = overlap_sorted(&gs, &gt);
+        assert!((o - 6.0 / 7.0).abs() < 1e-12, "overlap {o}");
+        assert_eq!(hamming_sorted(&gs, &gt), 3); // (8-6) + (7-6)
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let g = grams("espresso");
+        assert_eq!(dice_sorted(&g, &g), 1.0);
+        assert_eq!(cosine_sorted(&g, &g), 1.0);
+        assert_eq!(overlap_sorted(&g, &g), 1.0);
+        assert_eq!(hamming_sorted(&g, &g), 0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = [1u32, 2, 3];
+        let b = [4u32, 5];
+        assert_eq!(dice_sorted(&a, &b), 0.0);
+        assert_eq!(cosine_sorted(&a, &b), 0.0);
+        assert_eq!(overlap_sorted(&a, &b), 0.0);
+        assert_eq!(hamming_sorted(&a, &b), 5);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e: [u32; 0] = [];
+        let x = [1u32];
+        assert_eq!(dice_sorted(&e, &e), 0.0);
+        assert_eq!(cosine_sorted(&e, &e), 0.0);
+        assert_eq!(overlap_sorted(&e, &e), 0.0);
+        assert_eq!(dice_sorted(&e, &x), 0.0);
+        assert_eq!(cosine_sorted(&e, &x), 0.0);
+        assert_eq!(overlap_sorted(&e, &x), 0.0);
+        assert_eq!(hamming_sorted(&e, &x), 1);
+    }
+
+    #[test]
+    fn subset_overlap_is_one() {
+        // A ⊂ B → overlap coefficient is 1 even though Jaccard < 1.
+        let a = [1u32, 2];
+        let b = [1u32, 2, 3, 4, 5];
+        assert_eq!(overlap_sorted(&a, &b), 1.0);
+        assert!(dice_sorted(&a, &b) < 1.0);
+        assert!(cosine_sorted(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn measure_chain_on_samples() {
+        use crate::jaccard::jaccard_sorted;
+        let pairs = [
+            ("coffee", "cafe"),
+            ("helsingki", "helsinki"),
+            ("espresso", "express"),
+            ("abcd", "abcd"),
+            ("ab", "abcdef"),
+        ];
+        for (s, t) in pairs {
+            let gs = grams(s);
+            let gt = grams(t);
+            let j = jaccard_sorted(&gs, &gt);
+            let d = dice_sorted(&gs, &gt);
+            let c = cosine_sorted(&gs, &gt);
+            let o = overlap_sorted(&gs, &gt);
+            assert!(j <= d + 1e-12, "{s}/{t}: J {j} > D {d}");
+            assert!(d <= c + 1e-12, "{s}/{t}: D {d} > C {c}");
+            assert!(c <= o + 1e-12, "{s}/{t}: C {c} > O {o}");
+            assert!((0.0..=1.0).contains(&o));
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = grams("coffee");
+        let b = grams("cafe");
+        assert_eq!(dice_sorted(&a, &b), dice_sorted(&b, &a));
+        assert_eq!(cosine_sorted(&a, &b), cosine_sorted(&b, &a));
+        assert_eq!(overlap_sorted(&a, &b), overlap_sorted(&b, &a));
+        assert_eq!(hamming_sorted(&a, &b), hamming_sorted(&b, &a));
+    }
+}

@@ -1,0 +1,93 @@
+//! Tokenization.
+//!
+//! The paper tokenises "with respect to a delimiter, e.g. empty space"
+//! (Section 2.2). We default to splitting on whitespace with optional
+//! lowercasing and punctuation stripping so that corpora like POI names
+//! ("espresso cafe, Helsinki") tokenise cleanly.
+
+/// Tokenizer options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenizeConfig {
+    /// Lowercase tokens before interning (default true).
+    pub lowercase: bool,
+    /// Strip leading/trailing ASCII punctuation from each token (default true).
+    pub strip_punctuation: bool,
+}
+
+impl Default for TokenizeConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            strip_punctuation: true,
+        }
+    }
+}
+
+/// Split `text` into token strings according to `cfg`.
+///
+/// Empty tokens (e.g. a lone comma) are dropped.
+pub fn tokenize(text: &str, cfg: &TokenizeConfig) -> Vec<String> {
+    text.split_whitespace()
+        .filter_map(|raw| {
+            let trimmed = if cfg.strip_punctuation {
+                raw.trim_matches(|c: char| c.is_ascii_punctuation())
+            } else {
+                raw
+            };
+            if trimmed.is_empty() {
+                return None;
+            }
+            Some(if cfg.lowercase {
+                trimmed.to_lowercase()
+            } else {
+                trimmed.to_string()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        let cfg = TokenizeConfig::default();
+        assert_eq!(
+            tokenize("coffee shop latte Helsingki", &cfg),
+            vec!["coffee", "shop", "latte", "helsingki"]
+        );
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        let cfg = TokenizeConfig::default();
+        assert_eq!(
+            tokenize("espresso cafe, Helsinki.", &cfg),
+            vec!["espresso", "cafe", "helsinki"]
+        );
+    }
+
+    #[test]
+    fn keeps_case_when_disabled() {
+        let cfg = TokenizeConfig {
+            lowercase: false,
+            strip_punctuation: false,
+        };
+        assert_eq!(tokenize("Cafe, Bar", &cfg), vec!["Cafe,", "Bar"]);
+    }
+
+    #[test]
+    fn drops_empty_tokens() {
+        let cfg = TokenizeConfig::default();
+        assert_eq!(tokenize("a , b", &cfg), vec!["a", "b"]);
+        assert!(tokenize("  ,, .. ", &cfg).is_empty());
+        assert!(tokenize("", &cfg).is_empty());
+    }
+
+    #[test]
+    fn interior_punctuation_is_kept() {
+        let cfg = TokenizeConfig::default();
+        assert_eq!(tokenize("o'neill e-mail", &cfg), vec!["o'neill", "e-mail"]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Similarity *search* against a fixed gazetteer.
+//!
+//! A gazetteer of canonical place/venue names is indexed once with
+//! [`SearchIndex`]; free-form user strings are then resolved against it
+//! one at a time. This is the lookup-heavy workload where the join's
+//! two-sided indexing is the wrong shape — the collection is static, the
+//! queries arrive online.
+//!
+//! Run: `cargo run --release --example gazetteer_search`
+
+use au_join::core::join::JoinOptions;
+use au_join::prelude::*;
+
+fn main() {
+    // Knowledge: abbreviations and an IS-A slice, as a geocoder would
+    // load from its alias tables.
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("st", "saint", 1.0);
+    kb.synonym("mt", "mount", 1.0);
+    kb.synonym("natl park", "national park", 1.0);
+    kb.taxonomy_path(&["earth", "europe", "finland", "helsinki"]);
+    kb.taxonomy_path(&["earth", "europe", "finland", "espoo"]);
+    kb.taxonomy_path(&["earth", "europe", "france", "paris"]);
+    let mut kn = kb.build();
+
+    let gazetteer = kn.corpus_from_lines([
+        "saint petersburg",
+        "mount everest base camp",
+        "yellowstone national park",
+        "helsinki central station",
+        "espoo cultural centre",
+        "paris gare du nord",
+    ]);
+
+    // Index once at θ = 0.55 with AU-Filter (DP), τ = 2.
+    let cfg = SimConfig::default();
+    let index = SearchIndex::build(&kn, &cfg, &gazetteer, &JoinOptions::au_dp(0.55, 2));
+    println!(
+        "indexed {} gazetteer entries (avg signature {:.1} pebbles)\n",
+        index.len(),
+        index.avg_sig_len()
+    );
+
+    // Online queries with typos, abbreviations, and sibling categories.
+    let queries = [
+        "st petersburg",              // abbreviation
+        "mt everest base camp",       // abbreviation
+        "yelowstone natl park",       // typo + abbreviation
+        "helsinki centraal station",  // typo
+        "espoo cultural center",      // spelling variant
+        "london king's cross",        // no match expected
+    ];
+    for q in queries {
+        let out = index.query(&mut kn, q);
+        print!("{q:<28} →");
+        if out.matches.is_empty() {
+            println!(" (no match ≥ {:.2})", index.theta());
+        } else {
+            for (rid, sim) in out.matches.iter().take(2) {
+                print!(
+                    "  {:?} ({sim:.3})",
+                    gazetteer.get(RecordId(*rid)).raw.as_str()
+                );
+            }
+            println!();
+        }
+    }
+    let resolved = queries
+        .iter()
+        .filter(|q| !index.query(&mut kn, q).matches.is_empty())
+        .count();
+    assert!(resolved >= 4, "expected most queries to resolve");
+}

@@ -1,0 +1,61 @@
+//! Points-of-interest deduplication via a self-join.
+//!
+//! A small POI directory contains duplicates written with different
+//! conventions: typos, synonyms/abbreviations, and category-level terms.
+//! An AU-Join self-join at θ = 0.7 clusters them.
+//!
+//! Run: `cargo run --release --example poi_dedup`
+
+use au_join::core::join::{join_self, JoinOptions};
+use au_join::prelude::*;
+
+fn main() {
+    let mut kb = KnowledgeBuilder::new();
+    // Synonyms and abbreviations common in POI data.
+    kb.synonym("coffee shop", "cafe", 1.0);
+    kb.synonym("st", "street", 1.0);
+    kb.synonym("ctr", "center", 1.0);
+    kb.synonym("natl", "national", 1.0);
+    // A slice of an IS-A hierarchy.
+    kb.taxonomy_path(&["poi", "food", "coffee", "espresso bar"]);
+    kb.taxonomy_path(&["poi", "food", "coffee", "coffee house"]);
+    kb.taxonomy_path(&["poi", "culture", "museum", "art museum"]);
+    kb.taxonomy_path(&["poi", "culture", "museum", "history museum"]);
+    let mut kn = kb.build();
+
+    let pois = [
+        "espresso bar mannerheim st",
+        "coffee house mannerheim street",
+        "natl art museum helsinki",
+        "national art museum helsinkki",
+        "city sports ctr",
+        "city sports center",
+        "harbour fish market",
+    ];
+    let corpus = kn.corpus_from_lines(pois);
+
+    let cfg = SimConfig::default();
+    let res = join_self(&kn, &cfg, &corpus, &JoinOptions::au_dp(0.70, 2));
+
+    println!("duplicate candidates at θ = 0.70:\n");
+    for &(a, b, sim) in &res.pairs {
+        println!(
+            "  {:.3}  {:?}\n         {:?}",
+            sim, pois[a as usize], pois[b as usize]
+        );
+    }
+    println!(
+        "\nstats: {} candidate pairs, {} verified, {:.1?} total",
+        res.stats.candidates,
+        res.stats.result_count,
+        res.stats.total_time()
+    );
+    assert!(
+        res.pairs.iter().any(|&(a, b, _)| (a, b) == (0, 1)),
+        "espresso bar / coffee house should match via taxonomy + synonym"
+    );
+    assert!(
+        res.pairs.iter().any(|&(a, b, _)| (a, b) == (2, 3)),
+        "museum pair should match via abbreviation + typo"
+    );
+}

@@ -1,0 +1,56 @@
+//! # AU-Join — a unified framework for string similarity joins
+//!
+//! Facade crate re-exporting the whole reproduction of
+//! *"Towards a Unified Framework for String Similarity Joins"*
+//! (Xu & Lu, PVLDB 12(11), 2019).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use au_join::prelude::*;
+//!
+//! // Build the knowledge context: taxonomy + synonym rules.
+//! let mut kb = KnowledgeBuilder::new();
+//! kb.synonym("coffee shop", "cafe", 1.0);
+//! kb.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+//! kb.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+//! let mut knowledge = kb.build();
+//!
+//! // The two POI strings of Figure 1.
+//! let s = knowledge.add_record("coffee shop latte Helsingki");
+//! let t = knowledge.add_record("espresso cafe Helsinki");
+//!
+//! let cfg = SimConfig::default();
+//! let sim = usim_approx(&knowledge, s, t, &cfg);
+//! assert!(sim > 0.8); // paper reports 0.892 with its gram convention
+//! ```
+//!
+//! The crates underneath:
+//!
+//! * [`au_text`] — tokens, q-grams, interning, edit distance.
+//! * [`au_taxonomy`] — IS-A trees, LCA similarity (Eq. 3).
+//! * [`au_synonym`] — synonym rules (Eq. 2).
+//! * [`au_matching`] — Hungarian matching, weighted MIS (SquareImp), set cover.
+//! * [`au_core`] — USIM, pebbles, U-/AU-Filters, joins, τ recommendation.
+//! * [`au_datagen`] — synthetic MED/WIKI-like datasets with ground truth.
+//! * [`au_baselines`] — K-Join / PKduck / AdaptJoin reimplementations.
+
+pub use au_baselines as baselines;
+pub use au_core as core;
+pub use au_datagen as datagen;
+pub use au_matching as matching;
+pub use au_synonym as synonym;
+pub use au_taxonomy as taxonomy;
+pub use au_text as text;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use au_core::config::{GramMeasure, MeasureSet, SimConfig};
+    pub use au_core::join::{au_join, u_join, JoinOptions, JoinResult};
+    pub use au_core::knowledge::{Knowledge, KnowledgeBuilder};
+    pub use au_core::search::{SearchIndex, SearchOutcome};
+    pub use au_core::suggest::{suggest_tau, SuggestConfig};
+    pub use au_core::topk::{topk_join, topk_join_self, TopkOptions, TopkResult};
+    pub use au_core::usim::{usim_approx, usim_exact};
+    pub use au_text::record::{Corpus, Record, RecordId};
+}

@@ -1,0 +1,233 @@
+//! Adversarial and edge-case integration tests: weird knowledge bases,
+//! unicode, degenerate records, overlapping knowledge sources.
+
+use au_join::core::join::{brute_force_join, join, JoinOptions};
+use au_join::core::segment::segment_record;
+use au_join::core::signature::{FilterKind, MpMode};
+use au_join::core::usim::{usim_approx_seg, usim_exact_seg};
+use au_join::prelude::*;
+
+#[test]
+fn rule_side_that_is_also_an_entity() {
+    // "coffee drinks" is both a taxonomy entity AND a rule side; a segment
+    // carries both, msim takes the max, nothing double-counts.
+    let mut kb = KnowledgeBuilder::new();
+    kb.taxonomy_path(&["root", "coffee", "coffee drinks", "latte"]);
+    kb.taxonomy_path(&["root", "coffee", "coffee drinks", "espresso"]);
+    kb.synonym("coffee drinks", "caffeinated beverages", 0.9);
+    let mut kn = kb.build();
+    let a = kn.add_record("coffee drinks menu");
+    let b = kn.add_record("caffeinated beverages menu");
+    let cfg = SimConfig::default();
+    let sim = usim_approx(&kn, a, b, &cfg);
+    // (0.9 synonym + 1.0 menu) / 2
+    assert!((sim - 0.95).abs() < 1e-9, "got {sim}");
+    let exact = usim_exact(&kn, a, b, &cfg).unwrap();
+    assert!((sim - exact).abs() < 1e-9);
+}
+
+#[test]
+fn self_referential_and_reversed_rules() {
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("alpha", "alpha", 1.0); // self-rule: harmless
+    kb.synonym("beta", "gamma", 0.8);
+    kb.synonym("gamma", "beta", 0.6); // reversed duplicate with lower C
+    let mut kn = kb.build();
+    let a = kn.add_record("beta");
+    let b = kn.add_record("gamma");
+    let cfg = SimConfig::default();
+    let sim = usim_approx(&kn, a, b, &cfg);
+    assert!((sim - 0.8).abs() < 1e-9, "max closeness must win: {sim}");
+    let s = kn.add_record("alpha");
+    assert!((usim_approx(&kn, s, s, &cfg) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn unicode_through_the_whole_pipeline() {
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("kahvila keskusta", "café centrum", 1.0);
+    kb.taxonomy_path(&["juomat", "kahvi", "espresso"]);
+    kb.taxonomy_path(&["juomat", "kahvi", "latte"]);
+    let mut kn = kb.build();
+    let s = kn.corpus_from_lines(["kahvila keskusta espresso", "jäätelö kioski"]);
+    let t = kn.corpus_from_lines(["café centrum latte", "jäätelo kioski"]);
+    let cfg = SimConfig::default();
+    let res = join(&kn, &cfg, &s, &t, &JoinOptions::au_dp(0.7, 2));
+    assert!(
+        res.pairs.iter().any(|&(a, b, _)| (a, b) == (0, 0)),
+        "unicode synonym+taxonomy pair missing: {:?}",
+        res.pairs
+    );
+    assert!(
+        res.pairs.iter().any(|&(a, b, _)| (a, b) == (1, 1)),
+        "unicode typo pair missing: {:?}",
+        res.pairs
+    );
+}
+
+#[test]
+fn degenerate_records_never_crash_or_match() {
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("a b", "c", 1.0);
+    let mut kn = kb.build();
+    let s = kn.corpus_from_lines(["", "...", "a", "a a a a a a a a a a a a"]);
+    let t = kn.corpus_from_lines(["", "x", "a", "b"]);
+    let cfg = SimConfig::default();
+    for filter in [FilterKind::UFilter, FilterKind::AuDp { tau: 2 }] {
+        let opts = JoinOptions {
+            theta: 0.9,
+            filter,
+            mp_mode: MpMode::ExactDp,
+            parallel: false,
+        };
+        let res = join(&kn, &cfg, &s, &t, &opts);
+        // identical "a" records must match; empty/punctuation must not
+        // match anything (similarity to empty is 0, and empty-vs-empty
+        // pairs produce no pebbles so they can't be candidates).
+        assert!(res.pairs.iter().any(|&(a, b, _)| (a, b) == (2, 2)));
+        assert!(!res
+            .pairs
+            .iter()
+            .any(|&(a, b, _)| a <= 1 && b <= 1 && (a, b) != (2, 2)));
+    }
+}
+
+#[test]
+fn duplicate_tokens_and_repeated_rule_spans() {
+    // "cafe cafe cafe" has three overlapping single-token segments with
+    // identical pebbles; signatures and verification must stay consistent.
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("coffee shop", "cafe", 1.0);
+    let mut kn = kb.build();
+    let a = kn.add_record("cafe cafe cafe");
+    let b = kn.add_record("coffee shop coffee shop coffee shop");
+    let cfg = SimConfig::default();
+    let sa = segment_record(&kn, &cfg, &kn.record(a).tokens);
+    let sb = segment_record(&kn, &cfg, &kn.record(b).tokens);
+    let approx = usim_approx_seg(&kn, &cfg, &sa, &sb);
+    let exact = usim_exact_seg(&kn, &cfg, &sa, &sb).unwrap();
+    // three synonym matches: 3×1.0 / max(3, 3) = 1.0
+    assert!((exact - 1.0).abs() < 1e-9, "exact {exact}");
+    assert!(approx <= exact + 1e-9);
+    assert!(approx >= 0.99, "approx {approx}");
+}
+
+#[test]
+fn long_rule_chains_stay_lossless() {
+    // Rules with maximal-length sides (k = 4) stress the claw bound and
+    // the segment enumeration window.
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("new york city hall", "nyc hall", 1.0);
+    kb.synonym("the big apple", "new york", 0.9);
+    kb.synonym("city hall", "municipal building", 0.8);
+    let mut kn = kb.build();
+    let s = kn.corpus_from_lines([
+        "new york city hall tours",
+        "visit the big apple today",
+        "old municipal building",
+    ]);
+    let t = kn.corpus_from_lines(["nyc hall tours", "visit new york today", "old city hall"]);
+    let cfg = SimConfig::default();
+    assert_eq!(kn.max_segment_span(), 4);
+    for theta in [0.6, 0.8] {
+        let oracle: Vec<(u32, u32)> = brute_force_join(&kn, &cfg, &s, &t, theta)
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        for tau in [1u32, 2, 3] {
+            let got: Vec<(u32, u32)> = join(
+                &kn,
+                &cfg,
+                &s,
+                &t,
+                &JoinOptions {
+                    theta,
+                    filter: FilterKind::AuDp { tau },
+                    mp_mode: MpMode::ExactDp,
+                    parallel: false,
+                },
+            )
+            .pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+            assert_eq!(got, oracle, "θ={theta} τ={tau}");
+        }
+        assert!(oracle.contains(&(0, 0)));
+        assert!(oracle.contains(&(1, 1)));
+    }
+}
+
+#[test]
+fn theorem2_tightness_instance() {
+    // The appendix's worst-case construction for k = 3, showing Eq. 27
+    // tight: S = {m1, m2, q1}, T = {n1, p1..p4, q2} with rules
+    //   R1: m1 → p1 p2     (C = 0.5)
+    //   R2: m2 → p3 p4     (C = 0.5)
+    //   R3: q1 → n1 q2     (C = 0.5)
+    //   R4: m1 m2 → n1     (C = 0.9)
+    // chosen so that C(R4) < ΣC(Ri) but C²(R4) > ΣC²(Ri): Berman's w²
+    // local search keeps {R4}, the optimum applies {R1, R2, R3}.
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("ma", "pa pb", 0.5);
+    kb.synonym("mb", "pc pd", 0.5);
+    kb.synonym("qa", "nn qz", 0.5);
+    kb.synonym("ma mb", "nn", 0.9);
+    let mut kn = kb.build();
+    let s = kn.add_record("ma mb qa");
+    // rule sides only bind to *consecutive* tokens: order T so every rhs
+    // ("nn qz", "pa pb", "pc pd") is contiguous.
+    let t = kn.add_record("nn qz pa pb pc pd");
+    // Synonym-only measures keep the conflict graph exactly the paper's
+    // four rule vertices (grams would add noise vertices).
+    let cfg = SimConfig::default().with_measures(MeasureSet::S);
+
+    // paper-k = max |lhs| + |rhs| = 3 → the graph is 4-claw-free.
+    assert_eq!(kn.claw_bound(), 4);
+
+    // Optimum: {R1, R2, R3} → partitions of size 3 on both sides,
+    // similarity 3×0.5/3 = 0.5.
+    let exact = usim_exact(&kn, s, t, &cfg).unwrap();
+    assert!((exact - 0.5).abs() < 1e-9, "exact {exact}");
+
+    // Seed only (t = 1 disables the improvement loop): SquareImp keeps R4
+    // (w² 0.81 > 0.75). The paper charges the seed d(I) = k(k−1) = 6 by
+    // shattering T's residual into singletons; our GetSim evaluates the
+    // *minimal* residual partition ({qz}, {pa pb}, {pc pd} + the matched
+    // {nn} = 4), so the seed scores 0.9/4 = 0.225 — the same wrong MIS
+    // choice, a strictly tighter denominator (ratio 4/3 ≤ k − 1).
+    let mut cfg_seed = cfg;
+    cfg_seed.t_param = 1.0;
+    let seed = usim_approx(&kn, s, t, &cfg_seed);
+    assert!((seed - 0.9 / 4.0).abs() < 1e-9, "seed-only {seed}");
+    assert!(exact / seed <= (3 - 1) as f64 * (0.5 / (0.9 / 3.0)) + 1e-9);
+
+    // With the default t the 1/t improvement loop must recover the
+    // optimum (the {R1,R2,R3} claw gains 0.275 ≥ 1/50) — Algorithm 1 is
+    // strictly stronger than its seed on this instance.
+    let full = usim_approx(&kn, s, t, &cfg);
+    assert!((full - 0.5).abs() < 1e-9, "full Algorithm 1 {full}");
+}
+
+#[test]
+fn zero_and_one_thresholds() {
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("a", "b", 1.0);
+    let mut kn = kb.build();
+    let s = kn.corpus_from_lines(["a x", "y z"]);
+    let t = kn.corpus_from_lines(["b x", "p q"]);
+    let cfg = SimConfig::default();
+    // θ = 1: only perfect matches survive; (0,0) = (1 + 1)/2 = 1.0 ✓
+    let res = join(&kn, &cfg, &s, &t, &JoinOptions::au_dp(1.0, 1));
+    assert_eq!(
+        res.pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect::<Vec<_>>(),
+        vec![(0, 0)]
+    );
+    // θ = 0: everything with any shared pebble is a result; must at least
+    // contain the oracle at any positive θ and never crash.
+    let res0 = join(&kn, &cfg, &s, &t, &JoinOptions::u_filter(0.0));
+    assert!(!res0.pairs.is_empty());
+}

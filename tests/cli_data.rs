@@ -1,0 +1,53 @@
+//! Integration test driving the shipped sample data (data/) through the
+//! library exactly as the `aujoin` CLI does.
+
+use au_join::core::io::{load_rules, load_taxonomy};
+use au_join::core::join::{join_self, JoinOptions};
+use au_join::prelude::*;
+
+#[test]
+fn sample_data_self_join_finds_the_planted_duplicates() {
+    let rules = include_str!("../data/rules.tsv");
+    let taxonomy = include_str!("../data/taxonomy.txt");
+    let pois = include_str!("../data/pois.txt");
+
+    let mut kb = KnowledgeBuilder::new();
+    let n_rules = load_rules(&mut kb, rules).expect("rules parse");
+    let n_paths = load_taxonomy(&mut kb, taxonomy).expect("taxonomy parse");
+    assert!(n_rules >= 6 && n_paths >= 5);
+    let mut kn = kb.build();
+
+    let lines: Vec<&str> = pois.lines().filter(|l| !l.trim().is_empty()).collect();
+    let corpus = kn.corpus_from_lines(lines.iter().copied());
+    let cfg = SimConfig::default();
+    let res = join_self(&kn, &cfg, &corpus, &JoinOptions::au_dp(0.65, 2));
+    let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+
+    // The sample file plants four duplicate pairs (adjacent lines).
+    for expect in [(0u32, 1u32), (2, 3), (4, 5), (6, 7)] {
+        assert!(
+            ids.contains(&expect),
+            "expected duplicate pair {expect:?}; got {ids:?}"
+        );
+    }
+    // Singletons must not pair with anything.
+    assert!(!ids
+        .iter()
+        .any(|&(a, b)| a == 8 || b == 8 || a == 9 || b == 9));
+}
+
+#[test]
+fn sample_rules_roundtrip_through_dump() {
+    let mut kb = KnowledgeBuilder::new();
+    load_rules(&mut kb, include_str!("../data/rules.tsv")).unwrap();
+    load_taxonomy(&mut kb, include_str!("../data/taxonomy.txt")).unwrap();
+    let kn = kb.build();
+    let dumped_rules = au_join::core::io::dump_rules(&kn);
+    let dumped_tax = au_join::core::io::dump_taxonomy(&kn);
+    let mut kb2 = KnowledgeBuilder::new();
+    load_rules(&mut kb2, &dumped_rules).unwrap();
+    load_taxonomy(&mut kb2, &dumped_tax).unwrap();
+    let kn2 = kb2.build();
+    assert_eq!(kn2.synonyms.len(), kn.synonyms.len());
+    assert_eq!(kn2.taxonomy.len(), kn.taxonomy.len());
+}
