@@ -70,4 +70,5 @@ mod tests {
                 stats.candidates
             );
         }
-    }}
+    }
+}

@@ -131,9 +131,8 @@ impl Args {
                 }
                 "--gram" => {
                     let v = value("--gram")?;
-                    gram = GramMeasure::parse(&v).ok_or_else(|| {
-                        format!("bad --gram {v:?} (jaccard|dice|cosine|overlap)")
-                    })?;
+                    gram = GramMeasure::parse(&v)
+                        .ok_or_else(|| format!("bad --gram {v:?} (jaccard|dice|cosine|overlap)"))?;
                 }
                 "--explain" => explain = true,
                 "--help" | "-h" => return Err("help requested".into()),

@@ -138,14 +138,7 @@ fn run(args: &Args) -> Result<(), String> {
 
 /// Compact one-line explanation of a matched pair:
 /// `s_seg↔t_seg (measure score); ...`.
-fn explain_pair(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    a: u32,
-    b: u32,
-) -> String {
+fn explain_pair(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, a: u32, b: u32) -> String {
     let sa = segment_record(kn, cfg, &s.get(RecordId(a)).tokens);
     let sb = segment_record(kn, cfg, &t.get(RecordId(b)).tokens);
     let res = usim_explain_seg(kn, cfg, &sa, &sb);

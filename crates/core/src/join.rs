@@ -248,10 +248,7 @@ pub fn filter_stage(
         .into_iter()
         .filter(|&(k, c)| {
             let (a, b) = unpack(k);
-            c >= tau
-                .min(lvl_s[a as usize])
-                .min(lvl_t[b as usize])
-                .max(1)
+            c >= tau.min(lvl_s[a as usize]).min(lvl_t[b as usize]).max(1)
         })
         .map(|(k, _)| unpack(k))
         .collect();
@@ -284,7 +281,10 @@ pub fn verify_candidates(
     theta: f64,
     parallel: bool,
 ) -> Vec<(u32, u32, f64)> {
-    let check = |&(a, b): &(u32, u32)| -> Option<(u32, u32, f64)> {
+    // `par_filter_map` keeps results in candidate order, so serial and
+    // parallel runs return identical vectors (candidates arrive sorted
+    // from `filter_stage`).
+    crate::parallel::par_filter_map(candidates, parallel, |&(a, b)| {
         let sim = usim_approx_seg_at_least(
             kn,
             cfg,
@@ -293,41 +293,7 @@ pub fn verify_candidates(
             theta,
         );
         (sim >= theta - cfg.eps).then_some((a, b, sim))
-    };
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if !parallel || threads <= 1 || candidates.len() < 256 {
-        return candidates.iter().filter_map(check).collect();
-    }
-    // Work-stealing over fixed-size batches: verification cost per pair is
-    // wildly uneven (true matches cluster at low ids in generated data),
-    // so static chunking leaves cores idle.
-    const BATCH: usize = 256;
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<(u32, u32, f64)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(BATCH, std::sync::atomic::Ordering::Relaxed);
-                        if start >= candidates.len() {
-                            return local;
-                        }
-                        let end = (start + BATCH).min(candidates.len());
-                        local.extend(candidates[start..end].iter().filter_map(check));
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("verification thread panicked"));
-        }
     })
-    .expect("crossbeam scope failed");
-    out.sort_unstable_by_key(|a| (a.0, a.1));
-    out
 }
 
 /// Full join over prepared corpora (stages 2–5). `s` and `t` must share

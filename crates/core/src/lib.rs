@@ -17,6 +17,7 @@ pub mod io;
 pub mod join;
 pub mod knowledge;
 pub mod msim;
+pub mod parallel;
 pub mod pebble;
 pub mod probe;
 pub mod search;

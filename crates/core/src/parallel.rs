@@ -1,0 +1,149 @@
+//! Shared parallel execution for verification-style loops.
+//!
+//! `join`, `topk` and `search` all end in the same shape of work: a slice
+//! of independent items (candidate pairs, accepted pairs to re-score,
+//! per-query candidates), a pure function per item, and a result list that
+//! must come back in a deterministic order. This module is the single
+//! audited implementation of that pattern, so `JoinOptions::parallel` means
+//! one thing everywhere.
+//!
+//! Design:
+//!
+//! * **scoped threads** ([`std::thread::scope`], no extra dependency — see
+//!   DESIGN.md "Dependency policy") borrow the items and the closure
+//!   directly, no `Arc` cloning;
+//! * **work stealing over an atomic batch cursor** — per-item cost is
+//!   wildly uneven (true matches cluster at low ids in generated data), so
+//!   static chunking leaves cores idle; workers instead claim fixed-size
+//!   batches from a shared counter until the slice is drained;
+//! * **deterministic output** — each claimed batch keeps its index, and the
+//!   per-batch outputs are concatenated in batch order afterwards. The
+//!   result is byte-for-byte the serial output, independent of thread count
+//!   and scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Below this many items the spawn overhead outweighs the parallelism and
+/// callers run serially.
+pub const MIN_PARALLEL_ITEMS: usize = 256;
+
+/// Items claimed per cursor fetch. Large enough to amortise the atomic,
+/// small enough to keep the tail balanced.
+const BATCH: usize = 256;
+
+/// Maps `f` over `items`, keeping the `Some` results **in input order**.
+///
+/// Runs serially when `parallel` is false, when the machine has one core,
+/// or when `items` is shorter than [`MIN_PARALLEL_ITEMS`]; the parallel
+/// path returns exactly the serial output.
+pub fn par_filter_map<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    let threads = available_threads();
+    if !parallel || threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return items.iter().filter_map(&f).collect();
+    }
+
+    let n_batches = items.len().div_ceil(BATCH);
+    let cursor = AtomicUsize::new(0);
+    // Batch outputs land in their slot; a Mutex per run (not per slot)
+    // would serialise the tail, and per-slot locks are uncontended because
+    // the cursor hands every batch index to exactly one worker.
+    let slots: Vec<Mutex<Vec<U>>> = (0..n_batches).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_batches) {
+            scope.spawn(|| loop {
+                let batch = cursor.fetch_add(1, Ordering::Relaxed);
+                if batch >= n_batches {
+                    return;
+                }
+                let start = batch * BATCH;
+                let end = (start + BATCH).min(items.len());
+                let out: Vec<U> = items[start..end].iter().filter_map(&f).collect();
+                *slots[batch].lock().expect("parallel slot poisoned") = out;
+            });
+        }
+    });
+
+    let mut out = Vec::new();
+    for slot in slots {
+        out.append(&mut slot.into_inner().expect("parallel slot poisoned"));
+    }
+    out
+}
+
+/// Maps `f` over `items`, returning all results in input order.
+pub fn par_map<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_filter_map(items, parallel, |x| Some(f(x)))
+}
+
+/// Worker count for parallel sections (1 when parallelism is unavailable).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_on_order() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let f = |&x: &u32| (x % 3 != 0).then_some(x * 2);
+        let serial: Vec<u32> = items.iter().filter_map(f).collect();
+        let parallel = par_filter_map(&items, true, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn small_inputs_run_serially_but_identically() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = par_filter_map(&items, true, |&x| Some(x));
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_map_preserves_every_item() {
+        let items: Vec<usize> = (0..5_000).collect();
+        let out = par_map(&items, true, |&x| x + 1);
+        assert_eq!(out.len(), items.len());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn uneven_work_is_still_deterministic() {
+        // Skewed per-item cost exercises the stealing path: early batches
+        // are slow, late ones instant.
+        let items: Vec<u64> = (0..4_096).collect();
+        let f = |&x: &u64| {
+            let spin = if x < 256 { 2_000 } else { 1 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (acc % 2 == 0).then_some((x, acc))
+        };
+        let a = par_filter_map(&items, true, f);
+        let b = par_filter_map(&items, true, f);
+        let serial: Vec<(u64, u64)> = items.iter().filter_map(f).collect();
+        assert_eq!(a, serial);
+        assert_eq!(b, serial);
+    }
+
+    #[test]
+    fn exact_batch_boundary() {
+        let items: Vec<u32> = (0..(BATCH as u32 * 2)).collect();
+        let out = par_filter_map(&items, true, |&x| Some(x));
+        assert_eq!(out, items);
+    }
+}

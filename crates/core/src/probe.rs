@@ -9,10 +9,12 @@
 //! Per-iteration time grows roughly quadratically with `p` (sample pairs),
 //! while the iterations needed to separate the best τ shrink with `p`
 //! because each iteration's estimate has variance ∝ `1/p²` (fewer surviving
-//! pairs). For each candidate `p` we run a short pilot, measure both the
-//! per-iteration cost and the cost-estimate dispersion, extrapolate the
-//! iterations the stopping rule (Ineq. 24) would need, and pick the `p`
-//! minimising predicted total time.
+//! pairs). For each candidate `p` we run a short pilot, model the
+//! per-iteration cost from the pilot's raw filter counts (`c_f·T′ + c_v·V′`
+//! — Eq. 15 applied to the work actually done, so the prediction is
+//! deterministic rather than wall-clock noise), measure the cost-estimate
+//! dispersion, extrapolate the iterations the stopping rule (Ineq. 24)
+//! would need, and pick the `p` minimising predicted total time.
 
 use crate::config::SimConfig;
 use crate::estimate::{draw_sample_pair, estimate_from_counts, filter_counts, CostModel};
@@ -20,14 +22,16 @@ use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use crate::stats::OnlineStats;
 use au_text::record::Corpus;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One probed candidate probability with its pilot measurements.
 #[derive(Debug, Clone, Copy)]
 pub struct ProbePoint {
     /// Candidate sampling probability.
     pub p: f64,
-    /// Measured mean time per iteration.
+    /// Modeled mean cost per pilot iteration (Eq. 15 over the raw pilot
+    /// counts — deterministic given the seed, unlike a wall-clock reading,
+    /// so repeated probes recommend the same `p`).
     pub iter_time: Duration,
     /// Predicted iterations to satisfy the stopping rule.
     pub predicted_iters: f64,
@@ -65,10 +69,11 @@ pub fn tune_sampling_probability(
     let pilot_iters = pilot_iters.max(2);
     let mut points = Vec::with_capacity(candidates.len());
     for (ci, &p) in candidates.iter().enumerate() {
-        let started = Instant::now();
         // Track the two best τ's cost dispersion to model the stopping
         // rule: it needs CI half-widths below the best-vs-runner-up gap.
         let mut cost_stats: Vec<OnlineStats> = vec![OnlineStats::new(); universe.len()];
+        // Pilot work in modeled seconds (Eq. 15 on the *raw* counts).
+        let mut pilot_cost = 0.0_f64;
         for n in 0..pilot_iters {
             let sample = draw_sample_pair(s, t, p, p, seed ^ (ci as u64) << 32, n as u64 + 1);
             for (i, &tau) in universe.iter().enumerate() {
@@ -80,11 +85,13 @@ pub fn tune_sampling_probability(
                     theta,
                     FilterKind::AuHeuristic { tau },
                 );
+                pilot_cost +=
+                    model.c_f * counts.processed as f64 + model.c_v * counts.candidates as f64;
                 let est = estimate_from_counts(counts, p, p);
                 cost_stats[i].push(model.cost(est));
             }
         }
-        let iter_time = started.elapsed() / pilot_iters as u32;
+        let iter_time = Duration::from_secs_f64(pilot_cost / pilot_iters as f64);
         // Best and runner-up mean costs.
         let mut means: Vec<f64> = cost_stats.iter().map(|st| st.mean()).collect();
         means.sort_by(|a, b| a.total_cmp(b));

@@ -154,12 +154,13 @@ impl SearchIndex {
             self.cfg.eps,
             self.opts.mp_mode,
         );
-        let (candidates, processed) =
-            self.collect_candidates(&pebbles[..choice.len], choice.level);
+        let (candidates, processed) = self.collect_candidates(&pebbles[..choice.len], choice.level);
         let theta = self.opts.theta;
-        let mut matches: Vec<(u32, f64)> = candidates
-            .iter()
-            .filter_map(|&rid| {
+        // Same shared verification path as the joins: parallel for fat
+        // candidate sets when the index was built with `parallel`, and
+        // order-deterministic either way.
+        let mut matches: Vec<(u32, f64)> =
+            crate::parallel::par_filter_map(&candidates, self.opts.parallel, |&rid| {
                 let sim = usim_approx_seg_at_least(
                     kn,
                     &self.cfg,
@@ -168,8 +169,7 @@ impl SearchIndex {
                     theta,
                 );
                 (sim >= theta - self.cfg.eps).then_some((rid, sim))
-            })
-            .collect();
+            });
         matches.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         SearchOutcome {
             matches,

@@ -1,29 +1,10 @@
 //! Shared signature-selection machinery: accumulated similarity, top-k
 //! prefix sums, and the minimum-partition lower bound `MP(S)`.
 
-use crate::pebble::Pebble;
+use crate::pebble::{Pebble, PebbleKey};
 use crate::segment::SegRecord;
 use au_matching::greedy_cover_size;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// Total order wrapper for positive f64 weights.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdF64(pub f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+use au_text::FxHashMap;
 
 /// Incremental accumulated similarity (Definition 4):
 /// `AS = Σ_P max_f W(B_{P,f})` over the pebbles added so far.
@@ -83,28 +64,51 @@ pub fn suffix_masses(sr: &SegRecord, pebbles: &[Pebble]) -> Vec<f64> {
     out
 }
 
-/// `tw[j] = Σ` of the `k` heaviest pebble weights among the prefix
-/// `B[0..j)`, for all `j ∈ 0..=n` (`tw[0] = 0`). `k = 0` gives all zeros.
+/// `tw[j] = Σ` of the `k` heaviest **per-key aggregated** masses among the
+/// prefix `B[0..j)`, for all `j ∈ 0..=n` (`tw[0] = 0`). `k = 0` gives all
+/// zeros. A key's aggregate is the total weight of *all* its prefix
+/// instances.
 ///
-/// This is `TW_k` of Eq. 8 restricted to prefixes, maintained with a
-/// size-`k` min-heap in O(n log k).
+/// This is the `TW_{τ−1}` budget of Eq. 8 made sound for duplicate keys:
+/// the τ-overlap count of Algorithm 6 counts *distinct* common keys, and a
+/// single key can carry pebble instances in several segments (taxonomy
+/// ancestors shared by two entities, repeated tokens). Bounding the mass of
+/// τ−1 shared keys by the τ−1 heaviest pebble *instances* — the paper's
+/// reading — undercounts exactly then, and the filter drops true positives.
+/// Aggregating per key restores the guarantee: the mass τ−1 shared keys can
+/// carry is at most the sum of the τ−1 largest per-key aggregates.
 pub fn prefix_topk_sums(pebbles: &[Pebble], k: usize) -> Vec<f64> {
     let n = pebbles.len();
     let mut out = vec![0.0; n + 1];
     if k == 0 {
         return out;
     }
-    let mut heap: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::with_capacity(k + 1);
+    let mut agg: FxHashMap<PebbleKey, f64> = FxHashMap::default();
+    // The k largest aggregates (unordered) and their running sum.
+    // Aggregates only grow, so re-evaluating the touched key against the
+    // current minimum keeps the invariant exact.
+    let mut top: Vec<(PebbleKey, f64)> = Vec::with_capacity(k);
     let mut sum = 0.0f64;
     for (j, p) in pebbles.iter().enumerate() {
-        if heap.len() < k {
-            heap.push(Reverse(OrdF64(p.weight)));
-            sum += p.weight;
-        } else if let Some(&Reverse(OrdF64(min))) = heap.peek() {
-            if p.weight > min {
-                heap.pop();
-                heap.push(Reverse(OrdF64(p.weight)));
-                sum += p.weight - min;
+        let e = agg.entry(p.key).or_insert(0.0);
+        *e += p.weight;
+        let a = *e;
+        if let Some(t) = top.iter_mut().find(|t| t.0 == p.key) {
+            sum += a - t.1;
+            t.1 = a;
+        } else if top.len() < k {
+            top.push((p.key, a));
+            sum += a;
+        } else {
+            let (mi, mv) = top
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.1))
+                .min_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("top is non-empty when full");
+            if a > mv {
+                sum += a - mv;
+                top[mi] = (p.key, a);
             }
         }
         out[j + 1] = sum;
@@ -119,8 +123,8 @@ pub fn prefix_topk_sums(pebbles: &[Pebble], k: usize) -> Vec<f64> {
 /// `θ·MP(S) > AS(i, S) + TW_{τ'−1}(B[1, i−1])`; the weakest instance is
 /// `i = |B| + 1` (nothing removed), where the right side is
 /// `TW_{τ'−1}(B)`. If even that fails — the record's `τ'−1` heaviest
-/// pebbles alone already carry `θ·MP(S)` of mass, or the record simply has
-/// fewer than `τ'` pebbles worth of evidence — then a θ-similar partner
+/// keys alone already carry `θ·MP(S)` of mass, or the record simply has
+/// fewer than `τ'` keys worth of evidence — then a θ-similar partner
 /// may overlap on fewer than `τ'` pebbles and demanding `τ'` overlaps
 /// would drop true positives. (The paper's Algorithm 4/6 overlooks this:
 /// applied literally, a one-pebble record like `"a"` can never meet
@@ -146,7 +150,14 @@ pub fn guarantee_level(
         // convention the selectors use too).
         return tau;
     }
-    let mut weights: Vec<f64> = pebbles.iter().map(|p| p.weight).collect();
+    // Per-key aggregated masses: a θ-similar partner overlapping on τ'−1
+    // *distinct* keys can collect every instance of those keys (see
+    // `prefix_topk_sums`), so feasibility must budget aggregates too.
+    let mut agg: FxHashMap<PebbleKey, f64> = FxHashMap::default();
+    for p in pebbles {
+        *agg.entry(p.key).or_insert(0.0) += p.weight;
+    }
+    let mut weights: Vec<f64> = agg.into_values().collect();
     weights.sort_by(|a, b| b.total_cmp(a));
     let mut tw = 0.0f64; // TW_{τ'−1} for the current τ'
     let mut level = 1u32;
@@ -248,20 +259,63 @@ mod tests {
         assert!((st.value() - 3.0).abs() < 1e-9, "got {}", st.value());
     }
 
+    fn naive_topk_key_sums(pebbles: &[Pebble], k: usize, j: usize) -> f64 {
+        let mut agg: FxHashMap<PebbleKey, f64> = FxHashMap::default();
+        for p in &pebbles[..j] {
+            *agg.entry(p.key).or_insert(0.0) += p.weight;
+        }
+        let mut w: Vec<f64> = agg.into_values().collect();
+        w.sort_by(|a, b| b.total_cmp(a));
+        w.iter().take(k).sum()
+    }
+
     #[test]
     fn prefix_topk_sums_match_naive() {
         let (_, p) = fixture();
         for k in [0usize, 1, 2, 3, 7] {
             let tw = prefix_topk_sums(&p, k);
-            for j in 0..=p.len() {
-                let mut w: Vec<f64> = p[..j].iter().map(|x| x.weight).collect();
-                w.sort_by(|a, b| b.total_cmp(a));
-                let naive: f64 = w.iter().take(k).sum();
-                assert!(
-                    (tw[j] - naive).abs() < 1e-9,
-                    "k={k} j={j}: {} vs {naive}",
-                    tw[j]
-                );
+            for (j, &twj) in tw.iter().enumerate() {
+                let naive = naive_topk_key_sums(&p, k, j);
+                assert!((twj - naive).abs() < 1e-9, "k={k} j={j}: {twj} vs {naive}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_topk_sums_aggregate_duplicate_keys() {
+        // A key repeated across segments (two entities sharing taxonomy
+        // ancestors, repeated tokens) must count as ONE budget item whose
+        // mass is the sum of all its instances — the regression behind the
+        // Dice/AU-DP completeness failure on records like
+        // "espresso espresso house espresso".
+        let (_, base) = fixture();
+        let mk = |key_src: usize, weight: f64, seg: u32| Pebble {
+            key: base[key_src].key,
+            weight,
+            seg,
+            ..base[key_src]
+        };
+        // Key A (from base[0]) in three segments; keys B, C single.
+        let p = vec![
+            mk(0, 0.25, 0),
+            mk(0, 0.25, 1),
+            mk(1, 0.4, 2),
+            mk(0, 0.25, 3),
+            mk(2, 0.1, 2),
+        ];
+        let tw = prefix_topk_sums(&p, 1);
+        // After all 5: key A aggregates to 0.75 > 0.4.
+        assert!((tw[5] - 0.75).abs() < 1e-12, "got {}", tw[5]);
+        // After 3: A = 0.5 > B = 0.4.
+        assert!((tw[3] - 0.5).abs() < 1e-12, "got {}", tw[3]);
+        let tw2 = prefix_topk_sums(&p, 2);
+        // Top-2 after all 5: A (0.75) + B (0.4).
+        assert!((tw2[5] - 1.15).abs() < 1e-12, "got {}", tw2[5]);
+        for k in 1..=3 {
+            let tw = prefix_topk_sums(&p, k);
+            for (j, &twj) in tw.iter().enumerate() {
+                let naive = naive_topk_key_sums(&p, k, j);
+                assert!((twj - naive).abs() < 1e-9, "k={k} j={j}");
             }
         }
     }
@@ -297,10 +351,7 @@ mod tests {
         // Weights descending: 1.0 (syn lhs), 3×1/3 (cafe grams),
         // 5×1/5 (taxonomy), 6×1/6, 7×1/7. TW_5 = 2.2 < 2.4 but
         // TW_6 = 2.4 ≥ 2.4 → level caps at 6.
-        assert_eq!(
-            guarantee_level(&sr, &p, 10, 0.8, 1e-9, MpMode::ExactDp),
-            6
-        );
+        assert_eq!(guarantee_level(&sr, &p, 10, 0.8, 1e-9, MpMode::ExactDp), 6);
         // Requested τ below the cap is returned unchanged.
         assert_eq!(guarantee_level(&sr, &p, 3, 0.8, 1e-9, MpMode::ExactDp), 3);
         // τ = 1 needs no evidence beyond a nonempty list.

@@ -15,11 +15,27 @@
 //! Removal continues while `AS(i, S) + W_i[t, τ−1] < θ·MP(S)`, yielding
 //! signatures no longer — and usually strictly shorter — than the
 //! heuristic's (Example 8 of the paper).
+//!
+//! **Duplicate-key correction.** The τ-overlap count of Algorithm 6 counts
+//! *distinct* keys, and one key can own pebble instances in several
+//! segments (taxonomy ancestors shared by two entities, repeated tokens) —
+//! such a key costs the adversary **one** unit of the τ−1 budget while
+//! gaining in every segment it touches, which the per-instance knapsack
+//! above undercounts (it would charge one unit per segment). Keys with
+//! more than one instance therefore leave the per-segment tables and form
+//! a *global pool*: choosing one inserts its whole per-key prefix
+//! aggregate for a single budget unit (the same sound aggregate bound as
+//! the corrected heuristic, see
+//! [`prefix_topk_sums`](crate::signature::common::prefix_topk_sums)). The
+//! pool enters the knapsack as row 0, so budget still splits optimally
+//! between pooled keys and the (still tight, measure-aware) per-segment
+//! tables for single-instance keys.
 
 use crate::msim::MeasureKind;
-use crate::pebble::Pebble;
+use crate::pebble::{Pebble, PebbleKey};
 use crate::segment::SegRecord;
 use crate::signature::common::{min_partition_bound, MpMode, SuffixState};
+use au_text::FxHashMap;
 
 /// Per-(segment, measure) view of the prefix: weights sorted descending,
 /// supporting removal as entries migrate to the suffix.
@@ -75,6 +91,14 @@ pub fn dp_prefix_len(
         return n;
     }
 
+    // Keys with more than one instance go to the global pool (see the
+    // module docs); single-instance keys stay in the per-segment tables.
+    let mut inst_count: FxHashMap<PebbleKey, u32> = FxHashMap::default();
+    for p in pebbles {
+        *inst_count.entry(p.key).or_insert(0) += 1;
+    }
+    let is_pooled = |key: PebbleKey| inst_count[&key] > 1;
+
     // Prefix slots per (segment, measure): initially B[0..n−1).
     let mut slots: Vec<[PrefixSlot; 3]> = (0..t_segs)
         .map(|_| {
@@ -85,9 +109,21 @@ pub fn dp_prefix_len(
             ]
         })
         .collect();
+    // Per-key prefix aggregates of pooled keys, kept sorted descending so
+    // the knapsack's row 0 reads prefix sums directly. Aggregates only
+    // shrink as pebbles migrate to the suffix, so each update is a single
+    // in-place decrease plus a rightward bubble — no per-iteration rebuild.
+    let mut pooled: FxHashMap<PebbleKey, f64> = FxHashMap::default();
     for p in &pebbles[..n - 1] {
-        slots[p.seg as usize][p.measure.idx()].insert(p.weight);
+        if is_pooled(p.key) {
+            *pooled.entry(p.key).or_insert(0.0) += p.weight;
+        } else {
+            slots[p.seg as usize][p.measure.idx()].insert(p.weight);
+        }
     }
+    let mut pool: Vec<(f64, PebbleKey)> = pooled.iter().map(|(&k, &w)| (w, k)).collect();
+    pool.sort_by(|a, b| b.0.total_cmp(&a.0));
+    drop(pooled);
     // Suffix sums: initially B[n−1..n).
     let mut suffix = SuffixState::new(t_segs);
     suffix.add(&pebbles[n - 1]);
@@ -98,6 +134,7 @@ pub fn dp_prefix_len(
 
     let mut w_prev = vec![0.0f64; tau]; // W[p−1][·], row p = 0 is all zeros
     let mut w_cur = vec![0.0f64; tau];
+    let mut v = vec![0.0f64; tau]; // per-segment V[·][c] scratch
 
     let mut len = n;
     loop {
@@ -106,17 +143,27 @@ pub fn dp_prefix_len(
         let as_val = suffix.value();
         let mut reached = as_val >= target - eps; // τ−1 = 0 case and fast path
         if !reached && tau > 1 {
-            // Fill W row by row with early termination.
-            for x in w_prev.iter_mut() {
-                *x = 0.0;
+            // Row 0 of the knapsack: the global pool. w_prev[d] = sum of
+            // the d largest pooled prefix aggregates (one budget unit buys
+            // one pooled key's whole aggregate).
+            let mut acc = 0.0f64;
+            for (d, x) in w_prev.iter_mut().enumerate() {
+                if d >= 1 && d <= pool.len() {
+                    acc += pool[d - 1].0.max(0.0);
+                }
+                *x = acc;
+            }
+            if as_val + w_prev[tau - 1] >= target - eps {
+                reached = true;
             }
             'rows: for &seg in &active {
+                if reached {
+                    break 'rows;
+                }
                 let sums = suffix.sums(seg);
                 let r0 = suffix.seg_max(seg);
                 // V[p][c] for c in 0..tau
-                let mut v = [0.0f64; 16];
-                let cmax = tau.min(16);
-                for (c, vc) in v.iter_mut().enumerate().take(cmax) {
+                for (c, vc) in v.iter_mut().enumerate() {
                     let mut best = 0.0f64;
                     for f in MeasureKind::ALL {
                         let cand = sums[f.idx()] + slots[seg][f.idx()].top_sum(c);
@@ -128,7 +175,7 @@ pub fn dp_prefix_len(
                 }
                 for d in 0..tau {
                     let mut best = 0.0f64;
-                    for c in 0..=d.min(cmax - 1) {
+                    for c in 0..=d {
                         let cand = w_prev[d - c] + v[c];
                         if cand > best {
                             best = cand;
@@ -151,7 +198,21 @@ pub fn dp_prefix_len(
             return 0;
         }
         let moving = &pebbles[len - 2];
-        slots[moving.seg as usize][moving.measure.idx()].remove(moving.weight);
+        if is_pooled(moving.key) {
+            let i = pool
+                .iter()
+                .position(|e| e.1 == moving.key)
+                .expect("pooled key has a pool entry");
+            pool[i].0 -= moving.weight;
+            // Bubble the shrunken entry right to restore descending order.
+            let mut i = i;
+            while i + 1 < pool.len() && pool[i].0 < pool[i + 1].0 {
+                pool.swap(i, i + 1);
+                i += 1;
+            }
+        } else {
+            slots[moving.seg as usize][moving.measure.idx()].remove(moving.weight);
+        }
         suffix.add(moving);
         len -= 1;
     }
@@ -233,13 +294,44 @@ mod tests {
 
     #[test]
     fn monotone_in_tau() {
+        // Runs past τ = 16: a fixed-size scratch buffer used to cap the
+        // knapsack budget at 15 items, silently weakening the bound (and
+        // hence completeness) for larger τ.
         let (sr, p, cfg) = fixture("espresso cafe helsinki coffee shop latte");
         let mut last = 0usize;
-        for tau in 1..=6u32 {
+        for tau in 1..=20u32 {
             let len = dp_prefix_len(&sr, &p, tau, 0.8, cfg.eps, MpMode::ExactDp);
             assert!(len >= last, "τ={tau}: {len} < {last}");
             last = len;
         }
+    }
+
+    #[test]
+    fn large_tau_bound_counts_past_sixteen_items() {
+        // 30 equal-weight single-instance pebbles in one segment: with the
+        // full budget usable, W[τ−1] must keep growing beyond 16 items, so
+        // the candidate-length test is satisfied at full length for a
+        // target the old capped bound could not reach.
+        use crate::pebble::PebbleKey;
+        let (sr, p, cfg) = fixture("espresso cafe helsinki");
+        // 30 distinct gram keys in one segment with one measure at equal
+        // weight.
+        let many: Vec<Pebble> = (0..30u64)
+            .map(|i| Pebble {
+                key: PebbleKey::Gram(0xfeed_0000 + i),
+                weight: 0.1,
+                ..p[0]
+            })
+            .collect();
+        let sr1 = {
+            let mut s = sr.clone();
+            s.min_partition = 1;
+            s
+        };
+        // target = θ·MP = 2.0; 20 pebbles of 0.1 reach it only if the
+        // budget really admits τ−1 = 24 items.
+        let len = dp_prefix_len(&sr1, &many, 25, 2.0, cfg.eps, MpMode::ExactDp);
+        assert_eq!(len, many.len(), "full budget must keep the whole list");
     }
 
     #[test]

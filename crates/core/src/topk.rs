@@ -104,10 +104,11 @@ fn descend(
                 Some(t) => t,
                 None => sp,
             };
-            let mut pairs: Vec<(u32, u32, f64)> = res
-                .pairs
-                .iter()
-                .map(|&(a, b, _)| {
+            // Re-scoring is the same independent-per-pair shape as join
+            // verification; share its parallel path (and its ordering
+            // guarantee).
+            let mut pairs: Vec<(u32, u32, f64)> =
+                crate::parallel::par_map(&res.pairs, opts.parallel, |&(a, b, _)| {
                     let sim = usim_approx_seg(
                         kn,
                         cfg,
@@ -115,9 +116,11 @@ fn descend(
                         &t_ref.segrecs[b as usize],
                     );
                     (a, b, sim)
-                })
-                .collect();
-            pairs.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+                });
+            pairs.sort_by(|x, y| {
+                y.2.total_cmp(&x.2)
+                    .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+            });
             pairs.truncate(opts.k);
             return TopkResult {
                 pairs,
@@ -225,7 +228,10 @@ mod tests {
                 (a, b, usim_approx_seg(kn, cfg, &sa, &sb))
             })
             .collect();
-        all.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        all.sort_by(|x, y| {
+            y.2.total_cmp(&x.2)
+                .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+        });
         all.truncate(k);
         all
     }

@@ -43,12 +43,12 @@ fn main() {
 
     // Online queries with typos, abbreviations, and sibling categories.
     let queries = [
-        "st petersburg",              // abbreviation
-        "mt everest base camp",       // abbreviation
-        "yelowstone natl park",       // typo + abbreviation
-        "helsinki centraal station",  // typo
-        "espoo cultural center",      // spelling variant
-        "london king's cross",        // no match expected
+        "st petersburg",             // abbreviation
+        "mt everest base camp",      // abbreviation
+        "yelowstone natl park",      // typo + abbreviation
+        "helsinki centraal station", // typo
+        "espoo cultural center",     // spelling variant
+        "london king's cross",       // no match expected
     ];
     for q in queries {
         let out = index.query(&mut kn, q);

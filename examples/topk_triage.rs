@@ -53,7 +53,13 @@ fn main() {
 
     // The obvious duplicates must surface without any threshold tuning.
     let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
-    assert!(ids.contains(&(0, 1)), "db-abbreviation pair missing: {ids:?}");
-    assert!(ids.contains(&(6, 7)), "ml-abbreviation pair missing: {ids:?}");
+    assert!(
+        ids.contains(&(0, 1)),
+        "db-abbreviation pair missing: {ids:?}"
+    );
+    assert!(
+        ids.contains(&(6, 7)),
+        "ml-abbreviation pair missing: {ids:?}"
+    );
     assert!(ids.contains(&(4, 5)), "typo pair missing: {ids:?}");
 }

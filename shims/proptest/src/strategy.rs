@@ -1,0 +1,415 @@
+//! Value-generation strategies (no shrinking — see the crate docs).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                rng.u64_range(self.start as u64, self.end as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                if hi as u64 == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                rng.u64_range(lo as u64, hi as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                self.start + rng.u64_range(0, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_strategy!(i8, i16, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        *self.start() + rng.f64_unit() * (*self.end() - *self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// String patterns (regex subset)
+// ---------------------------------------------------------------------------
+
+/// `&str` acts as a regex-subset string strategy, like in proptest.
+///
+/// Supported: literal characters, character classes `[a-f0-9 .,]` (ranges and
+/// literals, no negation), and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+/// (unbounded repeats cap at `m + 8`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = rng.usize_inclusive(*lo, *hi);
+            for _ in 0..n {
+                out.push(chars[rng.usize_inclusive(0, chars.len() - 1)]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = it.next().unwrap();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in {pat:?}");
+                            // `lo` is already in `set`; add the rest.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(u).unwrap());
+                            }
+                        }
+                        '\\' => {
+                            let e = it.next().unwrap_or('\\');
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        c => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pat:?}");
+                set
+            }
+            '\\' => vec![it.next().unwrap_or('\\')],
+            c => vec![c],
+        };
+        let (lo, hi) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => {
+                        let lo = a.trim().parse().expect("bad quantifier");
+                        let hi = if b.trim().is_empty() {
+                            lo + 8
+                        } else {
+                            b.trim().parse().expect("bad quantifier")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 9)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((chars, lo, hi));
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------------
+// Collections, bool, sample
+// ---------------------------------------------------------------------------
+
+/// Length bounds for [`vec`] (inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange(usize, usize);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self(n, n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self(r.start, r.end - 1)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self(*r.start(), *r.end())
+    }
+}
+
+/// `prop::collection::vec`: vectors of `element` with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.usize_inclusive(self.size.0, self.size.1);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::bool::weighted`: `true` with probability `p`.
+pub fn weighted(p: f64) -> WeightedBool {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    WeightedBool(p)
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedBool(f64);
+
+impl Strategy for WeightedBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.f64_unit() < self.0
+    }
+}
+
+/// `prop::sample::select`: one of the given values, uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.usize_inclusive(0, self.0.len() - 1)].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy::tests")
+    }
+
+    #[test]
+    fn pattern_class_with_range_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-f]{0,24}".generate(&mut r);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| ('a'..='f').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_class_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ a-z.,]{0,40}".generate(&mut r);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c == '.' || c == ',' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn pattern_literals_and_fixed_counts() {
+        let mut r = rng();
+        let s = "ab[01]{3}z".generate(&mut r);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+    }
+
+    #[test]
+    fn vec_respects_bounds() {
+        let mut r = rng();
+        let st = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = st.generate(&mut r);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let mut r = rng();
+        let st = (1usize..4).prop_flat_map(|n| vec(0u32..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = st.generate(&mut r);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut r = rng();
+        let st = select(vec!["a", "b", "c"]);
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&st.generate(&mut r)));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline shim for the `rand` crate (0.9-style API).
+//!
+//! This workspace builds with no network access, so instead of the real
+//! `rand` we vendor the small subset the code actually uses:
+//!
+//! * [`Rng`] with `random::<f64>()`, `random_bool(p)` and
+//!   `random_range(range)` over integer ranges;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`], here a xoshiro256++ generator seeded via SplitMix64.
+//!
+//! Streams are deterministic given a seed, which is all the data generator
+//! and estimators rely on. The statistical quality of xoshiro256++ is far
+//! beyond what these consumers need. The API is kept call-compatible so
+//! swapping the real crate back in is a one-line manifest change.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (shim of `rand::SeedableRng`, u64 entry point only).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly by [`Rng::random`].
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + uniform_u128(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + uniform_u128(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let u: f64 = Standard::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform draw in `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
+fn uniform_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let span64 = span as u64; // all shim consumers stay within u64 spans
+    let zone = u64::MAX - (u64::MAX % span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+/// Shim of the `rand::Rng` extension trait.
+pub trait Rng {
+    /// The raw 64-bit output stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of `T` (for `f64`: uniform in `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.random::<f64>() < p
+    }
+
+    /// Uniform value in `range`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Shim of `rand::rngs::StdRng`: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(5u8..=9);
+            assert!((5..=9).contains(&y));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_p() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| r.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn uniform_covers_small_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -228,7 +228,8 @@ fn search_and_topk_on_generated_data() {
     }
     assert!(expected > 0, "fixture produced no verifiable planted pairs");
     assert_eq!(
-        hits, expected,
+        hits,
+        expected,
         "search lost {}/{} planted pairs the oracle finds",
         expected - hits,
         expected

@@ -1,0 +1,97 @@
+//! Serial and parallel execution must be indistinguishable: the shared
+//! `au_core::parallel` layer claims byte-for-byte identical outputs
+//! (deterministic batch-order merge), and `join`, `topk` and `search` all
+//! ride on it. Exercised on a generated MED-like dataset large enough that
+//! the parallel path actually engages (candidate sets past
+//! `MIN_PARALLEL_ITEMS`).
+
+use au_join::core::join::{join, join_self, JoinOptions};
+use au_join::core::parallel::{par_filter_map, MIN_PARALLEL_ITEMS};
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use au_join::prelude::*;
+
+fn dataset() -> LabeledDataset {
+    let mut profile = DatasetProfile::med_like(0.05);
+    profile.taxonomy_nodes = 200;
+    profile.synonym_rules = 80;
+    LabeledDataset::generate(&profile, 280, 280, 90, 42)
+}
+
+#[test]
+fn join_results_identical_serial_vs_parallel() {
+    let ds = dataset();
+    let cfg = SimConfig::default();
+    for theta in [0.5, 0.7] {
+        let mut opts = JoinOptions::au_dp(theta, 2);
+        opts.parallel = false;
+        let serial = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+        opts.parallel = true;
+        let parallel = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+        // Not just the same set: the same Vec, scores and order included.
+        assert_eq!(serial.pairs, parallel.pairs, "θ={theta}");
+        assert!(
+            !serial.pairs.is_empty(),
+            "fixture must produce matches at θ={theta}"
+        );
+        // The comparison is only meaningful if the threaded path ran.
+        assert!(
+            serial.stats.candidates >= MIN_PARALLEL_ITEMS as u64,
+            "θ={theta}: {} candidates never engage the parallel path",
+            serial.stats.candidates
+        );
+    }
+}
+
+#[test]
+fn self_join_identical_serial_vs_parallel() {
+    let ds = dataset();
+    let cfg = SimConfig::default();
+    let mut opts = JoinOptions::au_heuristic(0.6, 2);
+    opts.parallel = false;
+    let serial = join_self(&ds.kn, &cfg, &ds.s, &opts);
+    opts.parallel = true;
+    let parallel = join_self(&ds.kn, &cfg, &ds.s, &opts);
+    assert_eq!(serial.pairs, parallel.pairs);
+}
+
+#[test]
+fn topk_identical_serial_vs_parallel() {
+    let ds = dataset();
+    let cfg = SimConfig::default();
+    let mut opts = TopkOptions::au_dp(25, 2);
+    opts.parallel = false;
+    let serial = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+    opts.parallel = true;
+    let parallel = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+    assert_eq!(serial.pairs, parallel.pairs);
+    assert_eq!(serial.rounds, parallel.rounds);
+}
+
+#[test]
+fn search_identical_serial_vs_parallel() {
+    let ds = dataset();
+    let cfg = SimConfig::default();
+    let mut opts = JoinOptions::au_dp(0.5, 2);
+    opts.parallel = false;
+    let idx_serial = SearchIndex::build(&ds.kn, &cfg, &ds.t, &opts);
+    opts.parallel = true;
+    let idx_parallel = SearchIndex::build(&ds.kn, &cfg, &ds.t, &opts);
+    for qi in 0..50u32 {
+        let q = &ds.s.get(RecordId(qi)).tokens;
+        let a = idx_serial.query_tokens(&ds.kn, q);
+        let b = idx_parallel.query_tokens(&ds.kn, q);
+        assert_eq!(a.matches, b.matches, "query {qi}");
+    }
+}
+
+#[test]
+fn par_filter_map_engages_threads_on_this_workload() {
+    // Sanity-check the layer itself at a size well past the serial cutoff,
+    // with reruns to catch scheduling-dependent ordering.
+    let items: Vec<u64> = (0..(MIN_PARALLEL_ITEMS as u64 * 40)).collect();
+    let f = |&x: &u64| (x % 7 != 0).then_some(x.wrapping_mul(0x9e3779b97f4a7c15));
+    let serial: Vec<u64> = items.iter().filter_map(f).collect();
+    for _ in 0..5 {
+        assert_eq!(par_filter_map(&items, true, f), serial);
+    }
+}

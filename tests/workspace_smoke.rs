@@ -1,0 +1,31 @@
+//! Manifest-rot guard: every example, bench harness and binary in the
+//! workspace must keep building. `cargo test` only compiles lib/test
+//! targets, so a broken `[[bench]]` entry or bit-rotted example would
+//! otherwise go unnoticed until someone runs it. CI runs the same command
+//! directly; this test keeps the guarantee for plain local `cargo test`
+//! runs too.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_benches_and_bins_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args([
+            "build",
+            "--workspace",
+            "--examples",
+            "--benches",
+            "--bins",
+            "--quiet",
+        ])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --workspace --examples --benches --bins failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
