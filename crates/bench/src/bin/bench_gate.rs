@@ -1,0 +1,195 @@
+//! CI perf regression gate: diff fresh `BENCH_*.json` artifacts against
+//! the checked-in baseline.
+//!
+//! ```text
+//! cargo run --release -p au-bench --bin bench_gate -- <baseline_dir> <current_dir>
+//! ```
+//!
+//! Checks, per `BENCH_*.json` present in the baseline directory:
+//!
+//! * **determinism** — candidate counts, processed pairs, result pairs and
+//!   P/R/F must match the baseline exactly (they are pure functions of the
+//!   seed, so any drift is a behaviour change, not noise);
+//! * **throughput** — `records_per_second` may not regress by more than
+//!   `BENCH_GATE_TOL` (default 0.25, i.e. >25% fails) against the
+//!   baseline; rows whose baseline or current throughput is 0 (timings
+//!   disabled) are skipped;
+//! * **engine** — in `BENCH_fig7.json`, both engines must agree on
+//!   candidates/processed pairs, and `csr_speedup` must be at least
+//!   `BENCH_GATE_MIN_SPEEDUP` (default 1.0: the CSR engine may never be
+//!   slower than the legacy one).
+//!
+//! Exit code 1 on any failure; every failure is printed.
+
+use au_bench::perf::json::Value;
+use std::path::Path;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn f64_field(row: &Value, key: &str) -> f64 {
+    row.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn rows_by_id<'a>(doc: &'a Value, list_key: &str) -> Vec<(&'a str, &'a Value)> {
+    doc.get(list_key)
+        .and_then(Value::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get("id").and_then(Value::as_str).map(|id| (id, r)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+struct Gate {
+    tol: f64,
+    min_speedup: f64,
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn fail(&mut self, msg: String) {
+        println!("FAIL {msg}");
+        self.failures.push(msg);
+    }
+
+    fn check_exact(&mut self, id: &str, key: &str, base: f64, cur: f64) {
+        self.checks += 1;
+        if (base - cur).abs() > 1e-9 || base.is_nan() != cur.is_nan() {
+            self.fail(format!(
+                "{id}: {key} changed (baseline {base}, current {cur})"
+            ));
+        }
+    }
+
+    fn check_throughput(&mut self, id: &str, base: f64, cur: f64) {
+        if base.is_nan() || cur.is_nan() || base <= 0.0 || cur <= 0.0 {
+            return; // timings disabled (or absent) on either side
+        }
+        self.checks += 1;
+        let floor = base * (1.0 - self.tol);
+        if cur < floor {
+            self.fail(format!(
+                "{id}: throughput regressed {:.0} → {:.0} records/s (floor {:.0}, tol {:.0}%)",
+                base,
+                cur,
+                floor,
+                self.tol * 100.0
+            ));
+        } else {
+            println!("  ok {id}: {:.0} → {:.0} records/s", base, cur);
+        }
+    }
+
+    fn gate_file(&mut self, name: &str, base: &Value, cur: &Value) {
+        let list_key = if base.get("engines").is_some() {
+            "engines"
+        } else {
+            "workloads"
+        };
+        let cur_rows = rows_by_id(cur, list_key);
+        for (id, brow) in rows_by_id(base, list_key) {
+            let Some((_, crow)) = cur_rows.iter().find(|(cid, _)| *cid == id) else {
+                self.fail(format!("{name}: row '{id}' missing from current run"));
+                continue;
+            };
+            for key in [
+                "candidates",
+                "processed_pairs",
+                "result_pairs",
+                "precision",
+                "recall",
+                "f1",
+            ] {
+                if brow.get(key).is_some() {
+                    self.check_exact(id, key, f64_field(brow, key), f64_field(crow, key));
+                }
+            }
+            self.check_throughput(
+                id,
+                f64_field(brow, "records_per_second"),
+                f64_field(crow, "records_per_second"),
+            );
+        }
+        // Engine self-consistency + speedup floor on the current artifact.
+        if list_key == "engines" {
+            let rows = rows_by_id(cur, "engines");
+            if let (Some((_, a)), Some((_, b))) = (rows.first(), rows.get(1)) {
+                self.checks += 1;
+                if f64_field(a, "candidates") != f64_field(b, "candidates")
+                    || f64_field(a, "processed_pairs") != f64_field(b, "processed_pairs")
+                {
+                    self.fail(format!("{name}: CSR and legacy engines disagree on counts"));
+                }
+            }
+            let speedup = f64_field(cur, "csr_speedup");
+            if speedup > 0.0 {
+                self.checks += 1;
+                if speedup < self.min_speedup {
+                    self.fail(format!(
+                        "{name}: csr_speedup {speedup:.2}x below floor {:.2}x",
+                        self.min_speedup
+                    ));
+                } else {
+                    println!("  ok {name}: csr_speedup {speedup:.2}x");
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, current_dir] = &args[..] else {
+        eprintln!("usage: bench_gate <baseline_dir> <current_dir>");
+        std::process::exit(2);
+    };
+    let mut gate = Gate {
+        tol: env_f64("BENCH_GATE_TOL", 0.25),
+        min_speedup: env_f64("BENCH_GATE_MIN_SPEEDUP", 1.0),
+        failures: Vec::new(),
+        checks: 0,
+    };
+    let entries = std::fs::read_dir(baseline_dir).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read baseline dir {baseline_dir}: {e}");
+        std::process::exit(2);
+    });
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench_gate: no BENCH_*.json in {baseline_dir}");
+        std::process::exit(2);
+    }
+    for name in &names {
+        println!("gate {name}");
+        let base = load(&Path::new(baseline_dir).join(name));
+        let cur = load(&Path::new(current_dir).join(name));
+        match (base, cur) {
+            (Ok(base), Ok(cur)) => gate.gate_file(name, &base, &cur),
+            (Err(e), _) | (_, Err(e)) => gate.fail(e),
+        }
+    }
+    println!(
+        "bench_gate: {} checks, {} failures",
+        gate.checks,
+        gate.failures.len()
+    );
+    if !gate.failures.is_empty() {
+        std::process::exit(1);
+    }
+}

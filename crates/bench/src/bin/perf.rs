@@ -1,0 +1,44 @@
+//! Machine-readable perf run: writes `BENCH_<name>.json` artifacts.
+//!
+//! ```text
+//! AU_SCALE=0.1 cargo run --release -p au-bench --bin perf [-- <out_dir>]
+//! ```
+//!
+//! Environment:
+//! * `AU_SCALE` — dataset scale (default 1.0);
+//! * `AU_PERF_DETERMINISTIC=1` — zero all timing fields (byte-identical
+//!   output for a fixed seed; used by the determinism test and for
+//!   regenerating count-only baselines).
+
+use au_bench::perf::{run_all, write_reports, PerfOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
+    let opts = PerfOptions::from_env();
+    eprintln!(
+        "perf: AU_SCALE={} seed={} timings={}",
+        opts.scale, opts.seed, opts.timings
+    );
+    let (workloads, engines) = run_all(&opts);
+    for w in &workloads {
+        for r in &w.rows {
+            println!(
+                "{:<24} candidates={:<10} pairs={:<8} f1={:.3} total={:.3}s rec/s={:.0}",
+                r.id, r.candidates, r.result_pairs, r.prf.f, r.total_seconds, r.records_per_second
+            );
+        }
+    }
+    for r in &engines.rows {
+        println!(
+            "{:<24} candidates={:<10} filter={:.3}s rec/s={:.0}",
+            r.id, r.candidates, r.filter_seconds, r.records_per_second
+        );
+    }
+    println!("csr_speedup={:.2}x", engines.csr_speedup);
+    let paths =
+        write_reports(&out_dir, &workloads, &engines, opts.timings).expect("write BENCH_*.json");
+    for p in paths {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -12,8 +12,15 @@
 //! the paper (synthetic data, different hardware, Rust vs JVM); the
 //! *shapes* — who wins, by what factor, where the knees are — are the
 //! reproduction targets recorded in EXPERIMENTS.md.
+//!
+//! Besides the paper experiments, [`perf`] is the machine-readable
+//! counterpart: `--bin perf` emits `BENCH_<name>.json` artifacts
+//! (per-stage wall-clock, candidate counts, P/R/F, records/s) that the CI
+//! `perf-smoke` job gates with `--bin bench_gate` against
+//! `tools/perf_baseline/`.
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{med_dataset, scale_from_env, wiki_dataset, Table};

@@ -1,0 +1,591 @@
+//! Machine-readable perf harness: the repo's throughput trajectory.
+//!
+//! `cargo run --release -p au-bench --bin perf` runs MED-like and
+//! WIKI-like workloads (sized by `AU_SCALE`) across the three filters
+//! {U, AU-heuristic, AU-DP} × {serial, parallel}, plus a fig7-style
+//! engine comparison of the CSR candidate pass against the legacy PR-1
+//! hashmap pass, and writes one `BENCH_<name>.json` per workload. Those
+//! artifacts are what the CI `perf-smoke` job uploads and what
+//! `bench_gate` diffs against the checked-in baseline in
+//! `tools/perf_baseline/`.
+//!
+//! Determinism contract: every non-timing field (candidate counts,
+//! processed pairs, result pairs, P/R/F) is a pure function of
+//! (`AU_SCALE`, seed), so two runs with the same seed emit byte-identical
+//! JSON once timings are zeroed — [`WorkloadReport::to_json`] with
+//! `timings = false` is exactly that canonical form, and
+//! `crates/bench/tests/perf_determinism.rs` enforces it.
+
+pub mod json;
+
+use crate::harness::{med_dataset, score_join, wiki_dataset, Prf};
+use au_core::config::SimConfig;
+use au_core::join::{
+    apply_global_order, candidate_pass, candidate_pass_legacy, join, prepare_corpus, JoinOptions,
+    SelectedSignatures,
+};
+use au_core::signature::FilterKind;
+use au_datagen::LabeledDataset;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema tag stamped into every artifact (bump on breaking changes).
+pub const SCHEMA: &str = "au-bench/perf/v1";
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Dataset scale factor (`AU_SCALE`).
+    pub scale: f64,
+    /// Base RNG seed for the generated datasets.
+    pub seed: u64,
+    /// Record wall-clock timings. `false` zeroes every timing-derived
+    /// field, which makes the JSON byte-identical across runs.
+    pub timings: bool,
+}
+
+impl PerfOptions {
+    /// Options from the environment: `AU_SCALE` (default 1.0) and
+    /// `AU_PERF_DETERMINISTIC=1` to zero timings.
+    pub fn from_env() -> Self {
+        Self {
+            scale: crate::harness::scale_from_env(),
+            seed: 71,
+            timings: std::env::var("AU_PERF_DETERMINISTIC").map_or(true, |v| v != "1"),
+        }
+    }
+}
+
+/// One (filter × mode) measurement of a workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadRow {
+    /// Stable row id, e.g. `med/AU-DP/parallel`.
+    pub id: String,
+    /// Filter short name (`U`, `AU-heur`, `AU-DP`).
+    pub filter: String,
+    /// `serial` or `parallel` (verification + candidate probing).
+    pub mode: &'static str,
+    /// `Vτ`: candidates surviving the τ-overlap test.
+    pub candidates: u64,
+    /// `Tτ`: posting entries touched (Eq. 16).
+    pub processed_pairs: u64,
+    /// Pairs accepted by verification.
+    pub result_pairs: u64,
+    /// Precision/recall/F1 against the planted ground truth.
+    pub prf: Prf,
+    /// Stage 1–3 wall-clock (segment + pebbles + order + signatures).
+    pub sig_seconds: f64,
+    /// Stage 4 wall-clock (candidate generation).
+    pub filter_seconds: f64,
+    /// Stage 5 wall-clock (verification).
+    pub verify_seconds: f64,
+    /// Sum of the measured stages.
+    pub total_seconds: f64,
+    /// End-to-end throughput: records (both sides) per second.
+    pub records_per_second: f64,
+}
+
+/// One workload (dataset × θ) across all filter/mode combinations.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload name (`med`, `wiki`) — the `<name>` of `BENCH_<name>.json`.
+    pub name: String,
+    /// Scale the run used.
+    pub au_scale: f64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Records per side.
+    pub n_records: usize,
+    /// Join threshold θ.
+    pub theta: f64,
+    /// Measurements.
+    pub rows: Vec<WorkloadRow>,
+}
+
+/// One engine measurement of the fig7-style comparison.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// `fig7/csr` or `fig7/legacy`.
+    pub id: String,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Candidates produced (must agree across engines).
+    pub candidates: u64,
+    /// Posting entries touched (must agree across engines).
+    pub processed_pairs: u64,
+    /// Candidate-pass wall-clock (best of the measured repetitions).
+    pub filter_seconds: f64,
+    /// Records (both sides) per candidate-pass second.
+    pub records_per_second: f64,
+}
+
+/// The fig7-style CSR vs legacy engine comparison.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Always `fig7`.
+    pub name: String,
+    /// Scale the run used.
+    pub au_scale: f64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Records per side.
+    pub n_records: usize,
+    /// Join threshold θ.
+    pub theta: f64,
+    /// Per-engine rows (`csr` first).
+    pub rows: Vec<EngineRow>,
+    /// `legacy filter_seconds / csr filter_seconds` (0 when timings are
+    /// disabled).
+    pub csr_speedup: f64,
+}
+
+type FilterSpec = (&'static str, fn() -> FilterKind);
+
+const FILTERS: [FilterSpec; 3] = [
+    ("U", || FilterKind::UFilter),
+    ("AU-heur", || FilterKind::AuHeuristic { tau: 3 }),
+    ("AU-DP", || FilterKind::AuDp { tau: 3 }),
+];
+
+fn zero_if(disabled: bool, secs: f64) -> f64 {
+    if disabled {
+        0.0
+    } else {
+        secs
+    }
+}
+
+/// Run one workload: every filter × {serial, parallel} on one dataset.
+pub fn run_workload(
+    name: &str,
+    ds: &LabeledDataset,
+    n: usize,
+    theta: f64,
+    seed: u64,
+    scale: f64,
+    timings: bool,
+) -> WorkloadReport {
+    let cfg = SimConfig::default();
+    let mut rows = Vec::new();
+    for (fname, mk_filter) in FILTERS {
+        for (mode, parallel) in [("serial", false), ("parallel", true)] {
+            let opts = JoinOptions {
+                theta,
+                filter: mk_filter(),
+                parallel,
+                ..JoinOptions::u_filter(theta)
+            };
+            let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+            let prf = score_join(ds, &res);
+            let total = res.stats.total_time().as_secs_f64();
+            rows.push(WorkloadRow {
+                id: format!("{name}/{fname}/{mode}"),
+                filter: fname.to_string(),
+                mode,
+                candidates: res.stats.candidates,
+                processed_pairs: res.stats.processed_pairs,
+                result_pairs: res.pairs.len() as u64,
+                prf,
+                sig_seconds: zero_if(!timings, res.stats.sig_time.as_secs_f64()),
+                filter_seconds: zero_if(!timings, res.stats.filter_time.as_secs_f64()),
+                verify_seconds: zero_if(!timings, res.stats.verify_time.as_secs_f64()),
+                total_seconds: zero_if(!timings, total),
+                records_per_second: zero_if(
+                    !timings,
+                    if total > 0.0 {
+                        (ds.s.len() + ds.t.len()) as f64 / total
+                    } else {
+                        0.0
+                    },
+                ),
+            });
+        }
+    }
+    WorkloadReport {
+        name: name.to_string(),
+        au_scale: scale,
+        seed,
+        n_records: n,
+        theta,
+        rows,
+    }
+}
+
+/// Run the fig7-style engine comparison: identical signature prefixes,
+/// then the CSR candidate pass vs the legacy hashmap pass, both serial,
+/// best of `reps` repetitions.
+pub fn run_engine_comparison(scale: f64, seed: u64, timings: bool) -> EngineReport {
+    let theta = 0.90;
+    let n = crate::experiments::sized(2400, scale);
+    let ds = med_dataset(n, seed);
+    let cfg = SimConfig::default();
+    let opts = JoinOptions {
+        parallel: false,
+        ..JoinOptions::au_dp(theta, 3)
+    };
+    let mut sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+    let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+    apply_global_order(&mut sp, &mut tp);
+    let sel_s = SelectedSignatures::select(&sp, &opts, cfg.eps);
+    let sel_t = SelectedSignatures::select(&tp, &opts, cfg.eps);
+    let tau = opts.filter.tau();
+    let reps = if timings { 3 } else { 1 };
+
+    let time_pass = |f: &dyn Fn() -> (u64, u64)| -> (u64, u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut counts = (0, 0);
+        for _ in 0..reps {
+            let start = Instant::now();
+            counts = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (counts.0, counts.1, best)
+    };
+
+    let (csr_cand, csr_proc, csr_secs) = time_pass(&|| {
+        let out = candidate_pass(&sel_s, Some(&sel_t), tau, false);
+        (out.candidates.len() as u64, out.processed_pairs)
+    });
+    let (leg_cand, leg_proc, leg_secs) = time_pass(&|| {
+        let out = candidate_pass_legacy(&sel_s, Some(&sel_t), tau);
+        (out.candidates.len() as u64, out.processed_pairs)
+    });
+
+    let total_records = (ds.s.len() + ds.t.len()) as f64;
+    let throughput = |secs: f64| {
+        if timings && secs > 0.0 {
+            total_records / secs
+        } else {
+            0.0
+        }
+    };
+    let rows = vec![
+        EngineRow {
+            id: "fig7/csr".into(),
+            engine: "csr",
+            candidates: csr_cand,
+            processed_pairs: csr_proc,
+            filter_seconds: zero_if(!timings, csr_secs),
+            records_per_second: throughput(csr_secs),
+        },
+        EngineRow {
+            id: "fig7/legacy".into(),
+            engine: "legacy",
+            candidates: leg_cand,
+            processed_pairs: leg_proc,
+            filter_seconds: zero_if(!timings, leg_secs),
+            records_per_second: throughput(leg_secs),
+        },
+    ];
+    EngineReport {
+        name: "fig7".into(),
+        au_scale: scale,
+        seed,
+        n_records: n,
+        theta,
+        rows,
+        csr_speedup: if timings && csr_secs > 0.0 {
+            leg_secs / csr_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the full suite: `med` + `wiki` workloads and the `fig7` engine
+/// comparison.
+pub fn run_all(opts: &PerfOptions) -> (Vec<WorkloadReport>, EngineReport) {
+    let mut reports = Vec::new();
+    for (name, theta, seed) in [("med", 0.90, opts.seed), ("wiki", 0.95, opts.seed + 1)] {
+        let n = crate::experiments::sized(1200, opts.scale);
+        let ds = if name == "med" {
+            med_dataset(n, seed)
+        } else {
+            wiki_dataset(n, seed)
+        };
+        reports.push(run_workload(
+            name,
+            &ds,
+            n,
+            theta,
+            seed,
+            opts.scale,
+            opts.timings,
+        ));
+    }
+    let engines = run_engine_comparison(opts.scale, opts.seed, opts.timings);
+    (reports, engines)
+}
+
+fn push_field(out: &mut String, indent: &str, key: &str, value: String, last: bool) {
+    let _ = write!(out, "{indent}\"{key}\": {value}");
+    out.push_str(if last { "\n" } else { ",\n" });
+}
+
+fn num(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl WorkloadReport {
+    /// Stable-format JSON. With `timings = false` every timing-derived
+    /// field is written as zero — the canonical byte-identical form.
+    pub fn to_json(&self, timings: bool) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        push_field(
+            &mut o,
+            "  ",
+            "schema",
+            format!("\"{}\"", json::escape(SCHEMA)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "name",
+            format!("\"{}\"", json::escape(&self.name)),
+            false,
+        );
+        push_field(&mut o, "  ", "au_scale", num(self.au_scale), false);
+        push_field(&mut o, "  ", "seed", self.seed.to_string(), false);
+        push_field(&mut o, "  ", "n_records", self.n_records.to_string(), false);
+        push_field(&mut o, "  ", "theta", num(self.theta), false);
+        o.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            o.push_str("    {\n");
+            push_field(
+                &mut o,
+                "      ",
+                "id",
+                format!("\"{}\"", json::escape(&r.id)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "filter",
+                format!("\"{}\"", json::escape(&r.filter)),
+                false,
+            );
+            push_field(&mut o, "      ", "mode", format!("\"{}\"", r.mode), false);
+            push_field(
+                &mut o,
+                "      ",
+                "candidates",
+                r.candidates.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "processed_pairs",
+                r.processed_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "result_pairs",
+                r.result_pairs.to_string(),
+                false,
+            );
+            push_field(&mut o, "      ", "precision", num(r.prf.p), false);
+            push_field(&mut o, "      ", "recall", num(r.prf.r), false);
+            push_field(&mut o, "      ", "f1", num(r.prf.f), false);
+            push_field(
+                &mut o,
+                "      ",
+                "sig_seconds",
+                num(zero_if(!timings, r.sig_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "filter_seconds",
+                num(zero_if(!timings, r.filter_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "verify_seconds",
+                num(zero_if(!timings, r.verify_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "total_seconds",
+                num(zero_if(!timings, r.total_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "records_per_second",
+                num(zero_if(!timings, r.records_per_second)),
+                true,
+            );
+            o.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+}
+
+impl EngineReport {
+    /// Stable-format JSON (see [`WorkloadReport::to_json`]).
+    pub fn to_json(&self, timings: bool) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        push_field(
+            &mut o,
+            "  ",
+            "schema",
+            format!("\"{}\"", json::escape(SCHEMA)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "name",
+            format!("\"{}\"", json::escape(&self.name)),
+            false,
+        );
+        push_field(&mut o, "  ", "au_scale", num(self.au_scale), false);
+        push_field(&mut o, "  ", "seed", self.seed.to_string(), false);
+        push_field(&mut o, "  ", "n_records", self.n_records.to_string(), false);
+        push_field(&mut o, "  ", "theta", num(self.theta), false);
+        o.push_str("  \"engines\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            o.push_str("    {\n");
+            push_field(
+                &mut o,
+                "      ",
+                "id",
+                format!("\"{}\"", json::escape(&r.id)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "engine",
+                format!("\"{}\"", r.engine),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "candidates",
+                r.candidates.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "processed_pairs",
+                r.processed_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "filter_seconds",
+                num(zero_if(!timings, r.filter_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "records_per_second",
+                num(zero_if(!timings, r.records_per_second)),
+                true,
+            );
+            o.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        o.push_str("  ],\n");
+        push_field(
+            &mut o,
+            "  ",
+            "csr_speedup",
+            num(zero_if(!timings, self.csr_speedup)),
+            true,
+        );
+        o.push_str("}\n");
+        o
+    }
+}
+
+/// Write every report as `BENCH_<name>.json` under `dir`; returns the
+/// written paths.
+pub fn write_reports(
+    dir: &Path,
+    workloads: &[WorkloadReport],
+    engines: &EngineReport,
+    timings: bool,
+) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    for w in workloads {
+        let p = dir.join(format!("BENCH_{}.json", w.name));
+        std::fs::write(&p, w.to_json(timings))?;
+        paths.push(p);
+    }
+    let p = dir.join(format!("BENCH_{}.json", engines.name));
+    std::fs::write(&p, engines.to_json(timings))?;
+    paths.push(p);
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_json_is_valid_and_complete() {
+        let n = 48;
+        let ds = med_dataset(n, 5);
+        let rep = run_workload("med", &ds, n, 0.9, 5, 0.04, false);
+        assert_eq!(rep.rows.len(), 6); // 3 filters × 2 modes
+        let v = json::Value::parse(&rep.to_json(false)).expect("emitted JSON parses");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let rows = v.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            assert!(r.get("candidates").unwrap().as_f64().is_some());
+            assert_eq!(r.get("total_seconds").unwrap().as_f64(), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_rows_agree_on_counts() {
+        let n = 48;
+        let ds = med_dataset(n, 6);
+        let rep = run_workload("med", &ds, n, 0.9, 6, 0.04, false);
+        for pair in rep.rows.chunks(2) {
+            assert_eq!(pair[0].candidates, pair[1].candidates, "{}", pair[0].id);
+            assert_eq!(pair[0].processed_pairs, pair[1].processed_pairs);
+            assert_eq!(pair[0].result_pairs, pair[1].result_pairs);
+            assert_eq!(pair[0].prf, pair[1].prf);
+        }
+    }
+
+    #[test]
+    fn engine_comparison_counts_agree() {
+        let rep = run_engine_comparison(0.02, 5, false);
+        assert_eq!(rep.rows.len(), 2);
+        assert_eq!(rep.rows[0].candidates, rep.rows[1].candidates);
+        assert_eq!(rep.rows[0].processed_pairs, rep.rows[1].processed_pairs);
+        let v = json::Value::parse(&rep.to_json(false)).expect("engine JSON parses");
+        assert_eq!(v.get("csr_speedup").unwrap().as_f64(), Some(0.0));
+    }
+}

@@ -35,6 +35,11 @@ pub struct FilterCounts {
 }
 
 /// Run stages 1–4 only (no verification) and report `T′τ`, `V′τ`.
+///
+/// This is the estimator's inner loop and deliberately calls the same
+/// [`filter_stage`] (CSR index + epoch-stamped counter probes) as the
+/// production join: Eq. 17 scales *this* path's counts, so sampling a
+/// different engine would calibrate the wrong cost model.
 pub fn filter_counts(
     kn: &Knowledge,
     cfg: &SimConfig,

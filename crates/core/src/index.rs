@@ -1,14 +1,345 @@
-//! Pebble inverted index (the `L_S` / `L_T` of Algorithms 3 and 6).
+//! Pebble inverted indexes (the `L_S` / `L_T` of Algorithms 3 and 6).
 //!
 //! Keys are signature pebbles; values are the record ids whose signature
 //! contains the key. Signatures are key *sets* (a record lists each key at
 //! most once), so the τ-overlap count of Algorithm 6 counts distinct
 //! common pebbles.
+//!
+//! Two engines live here:
+//!
+//! * [`CsrIndex`] — the production engine. One `PebbleKey → (offset, len)`
+//!   table over a single flattened postings arena (compressed sparse row),
+//!   probed record-at-a-time with an epoch-stamped dense
+//!   [`OverlapCounter`]: overlap counts live in a plain `Vec<u32>` indexed
+//!   by record id, so counting one posting entry is an array increment
+//!   instead of a hash-map probe on a packed pair key. Per-record distinct
+//!   keys come from [`RecordKeys`], whose sort-dedup build is parallelised
+//!   over [`crate::parallel`].
+//! * [`InvertedIndex`] — the original `FxHashMap<PebbleKey, Vec<u32>>`
+//!   engine, kept as the oracle for the equivalence harness
+//!   (`tests/index_equivalence.rs`) and as the baseline the perf harness
+//!   (`au-bench --bin perf`) measures the CSR engine against. New code
+//!   should not use it.
+//!
+//! The probe applies the τ-overlap skip *per posting list*: when only
+//! `rem` of the probe's keys remain (current list included), a record not
+//! yet touched can accumulate at most `rem` overlaps, so it is admitted
+//! only when `rem` still covers its overlap demand
+//! `min(τ, level_probe, level_record).max(1)`. Records that can no longer
+//! qualify are never added to the touched set (their posting entries are
+//! still read, so the processed-pairs count `Tτ` of Eq. 16 is unchanged).
 
+use crate::parallel::par_map;
 use crate::pebble::{Pebble, PebbleKey};
 use au_text::FxHashMap;
 
-/// Inverted index over signature pebbles.
+/// Per-record distinct signature keys in one flattened arena.
+///
+/// `keys[offsets[r] .. offsets[r + 1]]` holds record `r`'s distinct
+/// signature keys, sorted by `PebbleKey` order. This is both the probe
+/// side of a join (each record's key set is streamed against the other
+/// side's [`CsrIndex`]) and the single input of
+/// [`CsrIndex::from_record_keys`].
+#[derive(Debug, Clone)]
+pub struct RecordKeys {
+    offsets: Vec<u32>,
+    keys: Vec<PebbleKey>,
+}
+
+impl Default for RecordKeys {
+    /// An empty corpus (the `offsets` sentinel is an invariant:
+    /// `offsets.len() == records + 1`).
+    fn default() -> Self {
+        Self {
+            offsets: vec![0],
+            keys: Vec::new(),
+        }
+    }
+}
+
+impl RecordKeys {
+    /// Sort-dedup every record's signature keys; the per-record work is
+    /// independent and runs over [`crate::parallel`] when `parallel`.
+    pub fn build(signatures: &[&[Pebble]], parallel: bool) -> Self {
+        let per_record: Vec<Vec<PebbleKey>> = par_map(signatures, parallel, |sig| {
+            let mut ks: Vec<PebbleKey> = sig.iter().map(|p| p.key).collect();
+            ks.sort_unstable();
+            ks.dedup();
+            ks
+        });
+        let mut offsets = Vec::with_capacity(signatures.len() + 1);
+        offsets.push(0u32);
+        let total: usize = per_record.iter().map(|v| v.len()).sum();
+        // u32 offsets keep the arena cache-dense; a corpus whose flattened
+        // key count crosses 2^32 must fail loudly, not wrap.
+        assert!(
+            total < u32::MAX as usize,
+            "signature key arena exceeds u32 offsets ({total} keys)"
+        );
+        let mut keys = Vec::with_capacity(total);
+        for ks in &per_record {
+            keys.extend_from_slice(ks);
+            offsets.push(keys.len() as u32);
+        }
+        Self { offsets, keys }
+    }
+
+    /// Record `r`'s distinct keys (sorted).
+    pub fn get(&self, r: u32) -> &[PebbleKey] {
+        let (a, b) = (self.offsets[r as usize], self.offsets[r as usize + 1]);
+        &self.keys[a as usize..b as usize]
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no record is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Signature length (distinct keys) of one record.
+    pub fn sig_len(&self, r: u32) -> u32 {
+        self.offsets[r as usize + 1] - self.offsets[r as usize]
+    }
+
+    /// Mean signature length over all records (Figure 3a/5a metric).
+    pub fn avg_sig_len(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.keys.len() as f64 / self.len() as f64
+    }
+}
+
+/// Flattened CSR inverted index: `PebbleKey → (offset, len)` over one
+/// postings arena.
+///
+/// Postings of one key are record ids in ascending order (records are
+/// scattered in id order). Probing is done with [`OverlapCounter::probe`].
+#[derive(Debug, Default, Clone)]
+pub struct CsrIndex {
+    /// Key → slot. Slot `k` owns `postings[offsets[k] .. offsets[k+1]]`.
+    slots: FxHashMap<PebbleKey, u32>,
+    offsets: Vec<u32>,
+    postings: Vec<u32>,
+    total_records: usize,
+}
+
+impl CsrIndex {
+    /// Build from per-record distinct key sets (two-pass counting sort:
+    /// count per key, prefix-sum into offsets, scatter record ids).
+    pub fn from_record_keys(rk: &RecordKeys) -> Self {
+        debug_assert!(
+            rk.keys.len() < u32::MAX as usize,
+            "postings arena overflows u32"
+        );
+        let mut slots: FxHashMap<PebbleKey, u32> = FxHashMap::default();
+        let mut counts: Vec<u32> = Vec::new();
+        for &key in &rk.keys {
+            let next = counts.len() as u32;
+            let slot = *slots.entry(key).or_insert(next);
+            if slot == next {
+                counts.push(0);
+            }
+            counts[slot as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut sum = 0u32;
+        offsets.push(0u32);
+        for &c in &counts {
+            sum += c;
+            offsets.push(sum);
+        }
+        // Scatter in record order so every posting list stays ascending.
+        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+        let mut postings = vec![0u32; rk.keys.len()];
+        for r in 0..rk.len() as u32 {
+            for &key in rk.get(r) {
+                let slot = slots[&key] as usize;
+                postings[cursor[slot] as usize] = r;
+                cursor[slot] += 1;
+            }
+        }
+        Self {
+            slots,
+            offsets,
+            postings,
+            total_records: rk.len(),
+        }
+    }
+
+    /// Build straight from signatures (dedup + scatter). `parallel` gates
+    /// the [`RecordKeys`] pass.
+    pub fn build(signatures: &[&[Pebble]], parallel: bool) -> Self {
+        Self::from_record_keys(&RecordKeys::build(signatures, parallel))
+    }
+
+    /// Records whose signature contains `key` (ascending ids).
+    pub fn get(&self, key: PebbleKey) -> Option<&[u32]> {
+        self.slots.get(&key).map(|&slot| {
+            let (a, b) = (self.offsets[slot as usize], self.offsets[slot as usize + 1]);
+            &self.postings[a as usize..b as usize]
+        })
+    }
+
+    /// Iterate `(key, postings)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (PebbleKey, &[u32])> {
+        self.slots.iter().map(|(&k, &slot)| {
+            let (a, b) = (self.offsets[slot as usize], self.offsets[slot as usize + 1]);
+            (k, &self.postings[a as usize..b as usize])
+        })
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.total_records
+    }
+
+    /// Total posting entries (the arena length).
+    pub fn posting_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Epoch-stamped dense overlap counter: the probe-side scratch of the CSR
+/// engine.
+///
+/// `counts[r]` is valid only while `stamps[r] == epoch`; bumping the epoch
+/// at the start of every probe invalidates every count in O(1), so one
+/// counter serves millions of probes with no clearing pass and no
+/// per-pair hashing. Size it to the *indexed* side once and reuse it for
+/// every probe (see [`crate::parallel::par_map_scratch`] for the parallel
+/// sharing pattern).
+#[derive(Debug, Clone)]
+pub struct OverlapCounter {
+    counts: Vec<u32>,
+    stamps: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+/// One probe's outcome: qualifying candidates are appended to the `out`
+/// argument of [`OverlapCounter::probe`]; the posting entries read come
+/// back as this count (`Tτ` contribution, Eq. 16).
+pub type ProcessedEntries = u64;
+
+impl OverlapCounter {
+    /// Counter for an indexed side of `n_records` records.
+    pub fn new(n_records: usize) -> Self {
+        Self {
+            counts: vec![0; n_records],
+            stamps: vec![0; n_records],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Start a new probe: O(1) invalidation of all counts.
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2^32 probes): hard-clear the stamps so
+            // stale `stamps[r] == epoch` coincidences are impossible.
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Count distinct-key overlaps between one probe record and every
+    /// indexed record, appending the ids whose overlap reaches
+    /// `min(τ, probe_level, levels[id]).max(1)` to `out` in ascending
+    /// order.
+    ///
+    /// * `keys` — the probe record's distinct signature keys;
+    /// * `levels` — per indexed record guarantee levels (see
+    ///   [`crate::signature::SignatureChoice`]);
+    /// * `min_excl` — for self-joins: only ids strictly greater than this
+    ///   are counted, so every pair is produced exactly once.
+    ///
+    /// Returns the number of posting entries read. The τ-overlap skip is
+    /// applied per posting list: with `rem` keys left, untouched records
+    /// are admitted only if `rem` can still meet their demand; lists whose
+    /// remaining budget covers the probe's maximum demand take a branchless
+    /// fast path that skips the per-record level lookup.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe(
+        &mut self,
+        index: &CsrIndex,
+        keys: &[PebbleKey],
+        probe_level: u32,
+        tau: u32,
+        levels: &[u32],
+        min_excl: Option<u32>,
+        out: &mut Vec<u32>,
+    ) -> ProcessedEntries {
+        debug_assert!(self.counts.len() >= index.record_count());
+        self.begin();
+        let epoch = self.epoch;
+        let m = keys.len();
+        // Maximum demand any indexed record can pose against this probe.
+        let dmax = tau.min(probe_level).max(1);
+        let mut processed: ProcessedEntries = 0;
+        for (i, &key) in keys.iter().enumerate() {
+            let Some(mut list) = index.get(key) else {
+                continue;
+            };
+            if let Some(a) = min_excl {
+                list = &list[list.partition_point(|&b| b <= a)..];
+            }
+            processed += list.len() as u64;
+            let rem = (m - i) as u32;
+            if rem >= dmax {
+                // Every untouched record can still reach its demand.
+                for &b in list {
+                    let b = b as usize;
+                    if self.stamps[b] == epoch {
+                        self.counts[b] += 1;
+                    } else {
+                        self.stamps[b] = epoch;
+                        self.counts[b] = 1;
+                        self.touched.push(b as u32);
+                    }
+                }
+            } else {
+                // τ-skip: admit an untouched record only if the remaining
+                // keys can still meet its demand.
+                for &b in list {
+                    let bi = b as usize;
+                    if self.stamps[bi] == epoch {
+                        self.counts[bi] += 1;
+                    } else if rem >= dmax.min(levels[bi]).max(1) {
+                        self.stamps[bi] = epoch;
+                        self.counts[bi] = 1;
+                        self.touched.push(b);
+                    }
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        for &b in &self.touched {
+            let bi = b as usize;
+            if self.counts[bi] >= dmax.min(levels[bi]).max(1) {
+                out.push(b);
+            }
+        }
+        processed
+    }
+}
+
+/// Legacy hashmap inverted index (the PR-1 engine).
+///
+/// Kept solely as the oracle of the CSR equivalence harness and as the
+/// baseline of the perf harness's engine comparison; the join, search,
+/// top-k and estimator paths all run on [`CsrIndex`].
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
     map: FxHashMap<PebbleKey, Vec<u32>>,
@@ -19,18 +350,17 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Build from per-record signatures. `signatures[i]` is the *prefix*
     /// of record `i`'s sorted pebble list selected by a filter; duplicate
-    /// keys within a record are collapsed.
+    /// keys within a record are collapsed (sort-dedup — the original
+    /// `Vec::contains` scan per pebble was quadratic in signature length).
     pub fn build(signatures: &[&[Pebble]]) -> Self {
         let mut map: FxHashMap<PebbleKey, Vec<u32>> = FxHashMap::default();
         let mut sig_lens = Vec::with_capacity(signatures.len());
         let mut distinct: Vec<PebbleKey> = Vec::new();
         for (rid, sig) in signatures.iter().enumerate() {
             distinct.clear();
-            for p in sig.iter() {
-                if !distinct.contains(&p.key) {
-                    distinct.push(p.key);
-                }
-            }
+            distinct.extend(sig.iter().map(|p| p.key));
+            distinct.sort_unstable();
+            distinct.dedup();
             sig_lens.push(distinct.len() as u32);
             for &k in &distinct {
                 map.entry(k).or_default().push(rid as u32);
@@ -91,35 +421,43 @@ mod tests {
         }
     }
 
+    fn grams(ids: &[u64]) -> Vec<Pebble> {
+        ids.iter().map(|&g| pb(PebbleKey::Gram(g))).collect()
+    }
+
     #[test]
     fn builds_postings() {
-        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(2))];
-        let b = vec![pb(PebbleKey::Gram(2)), pb(PebbleKey::Gram(3))];
-        let idx = InvertedIndex::build(&[&a, &b]);
-        assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
-        assert_eq!(idx.get(PebbleKey::Gram(2)), Some(&[0u32, 1][..]));
-        assert_eq!(idx.get(PebbleKey::Gram(3)), Some(&[1u32][..]));
-        assert_eq!(idx.get(PebbleKey::Gram(9)), None);
-        assert_eq!(idx.key_count(), 3);
-        assert_eq!(idx.record_count(), 2);
+        let a = grams(&[1, 2]);
+        let b = grams(&[2, 3]);
+        for parallel in [false, true] {
+            let idx = CsrIndex::build(&[&a, &b], parallel);
+            assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
+            assert_eq!(idx.get(PebbleKey::Gram(2)), Some(&[0u32, 1][..]));
+            assert_eq!(idx.get(PebbleKey::Gram(3)), Some(&[1u32][..]));
+            assert_eq!(idx.get(PebbleKey::Gram(9)), None);
+            assert_eq!(idx.key_count(), 3);
+            assert_eq!(idx.record_count(), 2);
+            assert_eq!(idx.posting_count(), 4);
+        }
     }
 
     #[test]
     fn dedups_keys_within_record() {
-        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(1))];
-        let idx = InvertedIndex::build(&[&a]);
+        let a = grams(&[1, 1]);
+        let rk = RecordKeys::build(&[&a], false);
+        assert_eq!(rk.sig_len(0), 1);
+        let idx = CsrIndex::from_record_keys(&rk);
         assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
-        assert_eq!(idx.sig_len(0), 1);
     }
 
     #[test]
     fn avg_sig_len() {
-        let a = vec![pb(PebbleKey::Gram(1)), pb(PebbleKey::Gram(2))];
-        let b = vec![pb(PebbleKey::Gram(2))];
+        let a = grams(&[1, 2]);
+        let b = grams(&[2]);
         let empty: Vec<Pebble> = Vec::new();
-        let idx = InvertedIndex::build(&[&a, &b, &empty]);
-        assert!((idx.avg_sig_len() - 1.0).abs() < 1e-12);
-        let none = InvertedIndex::build(&[]);
+        let rk = RecordKeys::build(&[&a, &b, &empty], false);
+        assert!((rk.avg_sig_len() - 1.0).abs() < 1e-12);
+        let none = RecordKeys::build(&[], false);
         assert_eq!(none.avg_sig_len(), 0.0);
     }
 
@@ -132,8 +470,140 @@ mod tests {
             pb(PebbleKey::Rule(PhraseId(7))),
             pb(PebbleKey::Node(NodeId(7))),
         ];
-        let idx = InvertedIndex::build(&[&a]);
+        let idx = CsrIndex::build(&[&a], false);
         assert_eq!(idx.key_count(), 3);
-        assert_eq!(idx.sig_len(0), 3);
+        let rk = RecordKeys::build(&[&a], false);
+        assert_eq!(rk.sig_len(0), 3);
+    }
+
+    #[test]
+    fn csr_matches_legacy_engine_content() {
+        let recs: Vec<Vec<Pebble>> = vec![
+            grams(&[1, 2, 3]),
+            grams(&[2, 3, 4, 2]),
+            grams(&[5]),
+            Vec::new(),
+            grams(&[1, 5, 9]),
+        ];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let csr = CsrIndex::build(&sigs, false);
+        let legacy = InvertedIndex::build(&sigs);
+        assert_eq!(csr.key_count(), legacy.key_count());
+        assert_eq!(csr.record_count(), legacy.record_count());
+        for (key, postings) in legacy.iter() {
+            assert_eq!(csr.get(key), Some(postings));
+        }
+    }
+
+    #[test]
+    fn probe_counts_distinct_overlaps() {
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1, 2, 3]), grams(&[2, 3]), grams(&[9])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let rk = RecordKeys::build(&sigs, false);
+        let idx = CsrIndex::from_record_keys(&rk);
+        let levels = vec![3, 2, 1];
+        let mut ctr = OverlapCounter::new(idx.record_count());
+        let mut out = Vec::new();
+        // Probe with keys {2, 3}: overlaps → rec0: 2, rec1: 2, rec2: 0.
+        let processed = ctr.probe(
+            &idx,
+            &[PebbleKey::Gram(2), PebbleKey::Gram(3)],
+            2,
+            2,
+            &levels,
+            None,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(processed, 4); // lists for 2 and 3 each hold 2 entries
+    }
+
+    #[test]
+    fn probe_respects_min_excl_for_self_joins() {
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1]), grams(&[1]), grams(&[1])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let idx = CsrIndex::build(&sigs, false);
+        let levels = vec![1, 1, 1];
+        let mut ctr = OverlapCounter::new(3);
+        let mut out = Vec::new();
+        let processed = ctr.probe(
+            &idx,
+            &[PebbleKey::Gram(1)],
+            1,
+            1,
+            &levels,
+            Some(1),
+            &mut out,
+        );
+        assert_eq!(out, vec![2]); // only ids > 1
+        assert_eq!(processed, 1);
+    }
+
+    #[test]
+    fn tau_skip_drops_hopeless_candidates_only() {
+        // Probe has 2 keys; τ = 2. A record sharing only the *last* key can
+        // reach 1 < 2 overlaps — it must be skipped; a record sharing both
+        // stays.
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1, 2]), grams(&[2])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let idx = CsrIndex::build(&sigs, false);
+        let levels = vec![2, 2];
+        let mut ctr = OverlapCounter::new(2);
+        let mut out = Vec::new();
+        ctr.probe(
+            &idx,
+            &[PebbleKey::Gram(1), PebbleKey::Gram(2)],
+            2,
+            2,
+            &levels,
+            None,
+            &mut out,
+        );
+        assert_eq!(out, vec![0]);
+        // A level-1 record first seen on the last key still qualifies
+        // (demand min(τ, levels) = 1).
+        let levels = vec![2, 1];
+        out.clear();
+        ctr.probe(
+            &idx,
+            &[PebbleKey::Gram(1), PebbleKey::Gram(2)],
+            2,
+            2,
+            &levels,
+            None,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn counter_epochs_do_not_leak_across_probes() {
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1, 2])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let idx = CsrIndex::build(&sigs, false);
+        let levels = vec![2];
+        let mut ctr = OverlapCounter::new(1);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            out.clear();
+            ctr.probe(
+                &idx,
+                &[PebbleKey::Gram(1), PebbleKey::Gram(2)],
+                2,
+                2,
+                &levels,
+                None,
+                &mut out,
+            );
+            assert_eq!(out, vec![0]); // exactly 2 overlaps every round, never 4
+        }
+    }
+
+    #[test]
+    fn legacy_build_still_dedups() {
+        let a = grams(&[1, 1]);
+        let idx = InvertedIndex::build(&[&a]);
+        assert_eq!(idx.get(PebbleKey::Gram(1)), Some(&[0u32][..]));
+        assert_eq!(idx.sig_len(0), 1);
     }
 }

@@ -15,7 +15,7 @@
 //! (Section 4) re-runs stages 1–4 on small samples.
 
 use crate::config::SimConfig;
-use crate::index::InvertedIndex;
+use crate::index::{CsrIndex, InvertedIndex, OverlapCounter, RecordKeys};
 use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleOrder};
 use crate::segment::{segment_record, SegRecord};
@@ -152,19 +152,66 @@ pub fn apply_global_order(s: &mut PreparedCorpus, t: &mut PreparedCorpus) {
 }
 
 /// Stage 3: per-record signature selections (prefix length + guarantee
-/// level).
+/// level). Selection is independent per record and runs over
+/// [`crate::parallel`] when `parallel`.
 pub fn select_signatures(
     prep: &PreparedCorpus,
     filter: FilterKind,
     theta: f64,
     eps: f64,
     mp_mode: MpMode,
+    parallel: bool,
 ) -> Vec<SignatureChoice> {
-    prep.segrecs
-        .iter()
-        .zip(&prep.pebbles)
-        .map(|(sr, p)| select_signature(sr, p, filter, theta, eps, mp_mode))
-        .collect()
+    let items: Vec<(&SegRecord, &Vec<Pebble>)> = prep.segrecs.iter().zip(&prep.pebbles).collect();
+    crate::parallel::par_map(&items, parallel, |&(sr, p)| {
+        select_signature(sr, p, filter, theta, eps, mp_mode)
+    })
+}
+
+/// One join side after stage 3: signature prefixes, per-record distinct
+/// key sets, and guarantee levels — everything the candidate pass needs.
+#[derive(Debug, Clone)]
+pub struct SelectedSignatures {
+    /// Flattened per-record distinct signature keys.
+    pub record_keys: RecordKeys,
+    /// Per-record guarantee levels (see
+    /// [`crate::signature::guarantee_level`]).
+    pub levels: Vec<u32>,
+}
+
+impl SelectedSignatures {
+    /// Run signature selection (stage 3) and flatten the prefixes for the
+    /// candidate pass.
+    pub fn select(prep: &PreparedCorpus, opts: &JoinOptions, eps: f64) -> Self {
+        let choices = select_signatures(
+            prep,
+            opts.filter,
+            opts.theta,
+            eps,
+            opts.mp_mode,
+            opts.parallel,
+        );
+        let sigs: Vec<&[Pebble]> = prep
+            .pebbles
+            .iter()
+            .zip(&choices)
+            .map(|(p, c)| &p[..c.len])
+            .collect();
+        Self {
+            record_keys: RecordKeys::build(&sigs, opts.parallel),
+            levels: choices.iter().map(|c| c.level).collect(),
+        }
+    }
+
+    /// Number of records on this side.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the side has no records.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
 }
 
 /// Output of the filtering stage (stages 3–4).
@@ -180,6 +227,56 @@ pub struct FilterOutcome {
     pub avg_sig_len_t: f64,
 }
 
+/// Stage 4 on pre-selected signatures: build the CSR index over the
+/// indexed side and probe every record of the other side through an
+/// epoch-stamped [`OverlapCounter`].
+///
+/// For a self-join pass `t = None`: the single side is indexed once and
+/// each record `a` probes only ids `> a`, producing every pair exactly
+/// once. Probing is parallelised over [`crate::parallel::par_map_scratch`]
+/// (one counter per worker); output order is deterministic either way.
+pub fn candidate_pass(
+    s: &SelectedSignatures,
+    t: Option<&SelectedSignatures>,
+    tau: u32,
+    parallel: bool,
+) -> FilterOutcome {
+    let indexed = t.unwrap_or(s);
+    let index = CsrIndex::from_record_keys(&indexed.record_keys);
+    let self_join = t.is_none();
+    let ids: Vec<u32> = (0..s.len() as u32).collect();
+    let per_record: Vec<(Vec<u32>, u64)> = crate::parallel::par_map_scratch(
+        &ids,
+        parallel,
+        || OverlapCounter::new(index.record_count()),
+        |ctr, &a| {
+            let mut hits = Vec::new();
+            let processed = ctr.probe(
+                &index,
+                s.record_keys.get(a),
+                s.levels[a as usize],
+                tau,
+                &indexed.levels,
+                self_join.then_some(a),
+                &mut hits,
+            );
+            (hits, processed)
+        },
+    );
+    let mut candidates = Vec::new();
+    let mut processed = 0u64;
+    for (a, (hits, p)) in per_record.into_iter().enumerate() {
+        processed += p;
+        candidates.extend(hits.into_iter().map(|b| (a as u32, b)));
+    }
+    FilterOutcome {
+        candidates,
+        processed_pairs: processed,
+        avg_sig_len_s: s.record_keys.avg_sig_len(),
+        avg_sig_len_t: indexed.record_keys.avg_sig_len(),
+    }
+}
+
 /// Run stages 3–4 for an R×S join (`self_join = false`) or a self-join
 /// (both sides must then be the same `PreparedCorpus`).
 pub fn filter_stage(
@@ -189,59 +286,86 @@ pub fn filter_stage(
     eps: f64,
     self_join: bool,
 ) -> FilterOutcome {
-    let tau = opts.filter.tau();
-    let sig_s = select_signatures(s, opts.filter, opts.theta, eps, opts.mp_mode);
-    let sigs_s: Vec<&[Pebble]> = s
-        .pebbles
-        .iter()
-        .zip(&sig_s)
-        .map(|(p, c)| &p[..c.len])
-        .collect();
+    let sel_s = SelectedSignatures::select(s, opts, eps);
+    if self_join {
+        candidate_pass(&sel_s, None, opts.filter.tau(), opts.parallel)
+    } else {
+        let sel_t = SelectedSignatures::select(t, opts, eps);
+        candidate_pass(&sel_s, Some(&sel_t), opts.filter.tau(), opts.parallel)
+    }
+}
+
+/// Stage 4 on the PR-1 hashmap engine: [`InvertedIndex`] per side, overlap
+/// counts in a `FxHashMap` keyed by the packed pair.
+///
+/// Retained only for the equivalence harness and the perf harness's
+/// engine comparison — it must keep producing byte-identical
+/// [`FilterOutcome`]s to [`candidate_pass`]. Always serial.
+pub fn candidate_pass_legacy(
+    s: &SelectedSignatures,
+    t: Option<&SelectedSignatures>,
+    tau: u32,
+) -> FilterOutcome {
+    let sigs_of = |side: &SelectedSignatures| -> Vec<Vec<Pebble>> {
+        // Rebuild pebble slices from the distinct key sets so the legacy
+        // engine sees exactly the same signatures.
+        (0..side.len() as u32)
+            .map(|r| {
+                side.record_keys
+                    .get(r)
+                    .iter()
+                    .map(|&key| Pebble {
+                        key,
+                        weight: 0.0,
+                        seg: 0,
+                        measure: crate::msim::MeasureKind::Jaccard,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let pebbles_s = sigs_of(s);
+    let sigs_s: Vec<&[Pebble]> = pebbles_s.iter().map(|v| v.as_slice()).collect();
     let idx_s = InvertedIndex::build(&sigs_s);
 
     let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
     let mut processed: u64 = 0;
+    let lvl_s = &s.levels;
     let avg_t;
-    // A pair's overlap demand is min(τ, level_S, level_T) — records whose
-    // pebble lists cannot guarantee τ overlaps still demand every overlap
-    // they can (see `guarantee_level`).
-    let lvl_s: Vec<u32> = sig_s.iter().map(|c| c.level).collect();
-    let lvl_t: Vec<u32>;
-    if self_join {
-        // One index; count pairs within each posting list.
-        for (_, list) in idx_s.iter() {
-            let n = list.len() as u64;
-            processed += n * (n - 1) / 2;
-            for i in 0..list.len() {
-                for j in i + 1..list.len() {
-                    let (a, b) = (list[i].min(list[j]), list[i].max(list[j]));
-                    *counts.entry(pack(a, b)).or_insert(0) += 1;
-                }
-            }
-        }
-        avg_t = idx_s.avg_sig_len();
-        lvl_t = lvl_s.clone();
-    } else {
-        let sig_t = select_signatures(t, opts.filter, opts.theta, eps, opts.mp_mode);
-        let sigs_t: Vec<&[Pebble]> = t
-            .pebbles
-            .iter()
-            .zip(&sig_t)
-            .map(|(p, c)| &p[..c.len])
-            .collect();
-        let idx_t = InvertedIndex::build(&sigs_t);
-        for (key, ls) in idx_s.iter() {
-            if let Some(lt) = idx_t.get(key) {
-                processed += ls.len() as u64 * lt.len() as u64;
-                for &a in ls {
-                    for &b in lt {
+    let lvl_t: &Vec<u32>;
+    match t {
+        None => {
+            // One index; count pairs within each posting list.
+            for (_, list) in idx_s.iter() {
+                let n = list.len() as u64;
+                processed += n * (n - 1) / 2;
+                for i in 0..list.len() {
+                    for j in i + 1..list.len() {
+                        let (a, b) = (list[i].min(list[j]), list[i].max(list[j]));
                         *counts.entry(pack(a, b)).or_insert(0) += 1;
                     }
                 }
             }
+            avg_t = idx_s.avg_sig_len();
+            lvl_t = lvl_s;
         }
-        avg_t = idx_t.avg_sig_len();
-        lvl_t = sig_t.iter().map(|c| c.level).collect();
+        Some(t) => {
+            let pebbles_t = sigs_of(t);
+            let sigs_t: Vec<&[Pebble]> = pebbles_t.iter().map(|v| v.as_slice()).collect();
+            let idx_t = InvertedIndex::build(&sigs_t);
+            for (key, ls) in idx_s.iter() {
+                if let Some(lt) = idx_t.get(key) {
+                    processed += ls.len() as u64 * lt.len() as u64;
+                    for &a in ls {
+                        for &b in lt {
+                            *counts.entry(pack(a, b)).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            avg_t = idx_t.avg_sig_len();
+            lvl_t = &t.levels;
+        }
     }
 
     let mut candidates: Vec<(u32, u32)> = counts
@@ -258,6 +382,23 @@ pub fn filter_stage(
         processed_pairs: processed,
         avg_sig_len_s: idx_s.avg_sig_len(),
         avg_sig_len_t: avg_t,
+    }
+}
+
+/// Stages 3–4 on the legacy engine (see [`candidate_pass_legacy`]).
+pub fn filter_stage_legacy(
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    opts: &JoinOptions,
+    eps: f64,
+    self_join: bool,
+) -> FilterOutcome {
+    let sel_s = SelectedSignatures::select(s, opts, eps);
+    if self_join {
+        candidate_pass_legacy(&sel_s, None, opts.filter.tau())
+    } else {
+        let sel_t = SelectedSignatures::select(t, opts, eps);
+        candidate_pass_legacy(&sel_s, Some(&sel_t), opts.filter.tau())
     }
 }
 

@@ -29,6 +29,7 @@ pub mod topk;
 pub mod usim;
 
 pub use config::{GramMeasure, MeasureSet, SimConfig};
+pub use index::{CsrIndex, OverlapCounter, RecordKeys};
 pub use knowledge::{Knowledge, KnowledgeBuilder};
 pub use search::{SearchIndex, SearchOutcome};
 pub use topk::{topk_join, topk_join_self, TopkOptions, TopkResult};

@@ -32,20 +32,22 @@ pub const MIN_PARALLEL_ITEMS: usize = 256;
 /// small enough to keep the tail balanced.
 const BATCH: usize = 256;
 
-/// Maps `f` over `items`, keeping the `Some` results **in input order**.
-///
-/// Runs serially when `parallel` is false, when the machine has one core,
-/// or when `items` is shorter than [`MIN_PARALLEL_ITEMS`]; the parallel
-/// path returns exactly the serial output.
-pub fn par_filter_map<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
+/// The one audited batch loop every public entry point delegates to:
+/// workers claim fixed-size batches off an atomic cursor, run `run_batch`
+/// on each with a per-worker scratch from `init`, and the per-batch
+/// outputs are concatenated in batch order — so the result is exactly the
+/// serial output regardless of thread count or scheduling.
+fn par_batches<T, U, S, I, F>(items: &[T], parallel: bool, init: I, run_batch: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
-    F: Fn(&T) -> Option<U> + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
 {
     let threads = available_threads();
     if !parallel || threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
-        return items.iter().filter_map(&f).collect();
+        let mut scratch = init();
+        return run_batch(&mut scratch, items);
     }
 
     let n_batches = items.len().div_ceil(BATCH);
@@ -57,15 +59,18 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n_batches) {
-            scope.spawn(|| loop {
-                let batch = cursor.fetch_add(1, Ordering::Relaxed);
-                if batch >= n_batches {
-                    return;
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let batch = cursor.fetch_add(1, Ordering::Relaxed);
+                    if batch >= n_batches {
+                        return;
+                    }
+                    let start = batch * BATCH;
+                    let end = (start + BATCH).min(items.len());
+                    let out = run_batch(&mut scratch, &items[start..end]);
+                    *slots[batch].lock().expect("parallel slot poisoned") = out;
                 }
-                let start = batch * BATCH;
-                let end = (start + BATCH).min(items.len());
-                let out: Vec<U> = items[start..end].iter().filter_map(&f).collect();
-                *slots[batch].lock().expect("parallel slot poisoned") = out;
             });
         }
     });
@@ -77,6 +82,25 @@ where
     out
 }
 
+/// Maps `f` over `items`, keeping the `Some` results **in input order**.
+///
+/// Runs serially when `parallel` is false, when the machine has one core,
+/// or when `items` is shorter than [`MIN_PARALLEL_ITEMS`]; the parallel
+/// path returns exactly the serial output.
+pub fn par_filter_map<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    par_batches(
+        items,
+        parallel,
+        || (),
+        |_, chunk| chunk.iter().filter_map(&f).collect(),
+    )
+}
+
 /// Maps `f` over `items`, returning all results in input order.
 pub fn par_map<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
 where
@@ -85,6 +109,30 @@ where
     F: Fn(&T) -> U + Sync,
 {
     par_filter_map(items, parallel, |x| Some(f(x)))
+}
+
+/// Like [`par_map`], but each worker carries a mutable scratch value
+/// created once by `init` and reused across every item that worker
+/// processes.
+///
+/// This is the shape of the CSR probe loop: each probe needs a dense
+/// [`crate::index::OverlapCounter`] sized to the indexed side, and
+/// allocating one per item would dwarf the counting work. The scratch is
+/// per *worker*, not per item, so `f` must leave it reusable (the
+/// epoch-stamped counter resets itself at the start of every probe).
+///
+/// Output order is the input order regardless of scheduling, exactly as
+/// in [`par_filter_map`].
+pub fn par_map_scratch<T, U, S, I, F>(items: &[T], parallel: bool, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    par_batches(items, parallel, init, |scratch, chunk| {
+        chunk.iter().map(|x| f(scratch, x)).collect()
+    })
 }
 
 /// Worker count for parallel sections (1 when parallelism is unavailable).
@@ -138,6 +186,29 @@ mod tests {
         let serial: Vec<(u64, u64)> = items.iter().filter_map(f).collect();
         assert_eq!(a, serial);
         assert_eq!(b, serial);
+    }
+
+    #[test]
+    fn scratch_map_matches_serial_and_reuses_state() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u32> = (0..10_000).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_scratch(
+            &items,
+            true,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u32>::new()
+            },
+            |scratch, &x| {
+                scratch.push(x); // scratch grows across items — must not leak into results
+                x * 3
+            },
+        );
+        let serial: Vec<u32> = items.iter().map(|&x| x * 3).collect();
+        assert_eq!(out, serial);
+        // One scratch per worker (or one, serially) — never one per item.
+        assert!(inits.load(Ordering::Relaxed) <= available_threads());
     }
 
     #[test]

@@ -113,12 +113,12 @@ impl PebbleOrder {
         let mut freq: FxHashMap<PebbleKey, u32> = FxHashMap::default();
         let mut seen: Vec<PebbleKey> = Vec::new();
         for pebbles in records {
+            // Sort-dedup the record's keys (the per-pebble `contains` scan
+            // this replaces was quadratic in record length).
             seen.clear();
-            for p in pebbles {
-                if !seen.contains(&p.key) {
-                    seen.push(p.key);
-                }
-            }
+            seen.extend(pebbles.iter().map(|p| p.key));
+            seen.sort_unstable();
+            seen.dedup();
             for &k in &seen {
                 *freq.entry(k).or_insert(0) += 1;
             }

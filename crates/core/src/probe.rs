@@ -5,6 +5,11 @@
 //! optimum ... is an exciting direction for future research."* This module
 //! implements a pilot-based tuner.
 //!
+//! Pilot iterations run [`filter_counts`] and therefore the same CSR
+//! candidate-generation engine as the real join (the estimator re-runs
+//! stages 1–4 on samples; modelling a different filter path would tune `p`
+//! for costs the join never pays).
+//!
 //! The idea: suggestion time ≈ `iterations(p) × time_per_iteration(p)`.
 //! Per-iteration time grows roughly quadratically with `p` (sample pairs),
 //! while the iterations needed to separate the best τ shrink with `p`

@@ -18,7 +18,7 @@
 //! consistent total order — `(frequency, key)` is one.
 
 use crate::config::SimConfig;
-use crate::index::InvertedIndex;
+use crate::index::{CsrIndex, OverlapCounter, RecordKeys};
 use crate::join::{prepare_corpus, JoinOptions, PreparedCorpus};
 use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleKey, PebbleOrder};
@@ -26,7 +26,8 @@ use crate::segment::segment_record;
 use crate::signature::select_signature;
 use crate::usim::usim_approx_seg_at_least;
 use au_text::record::Corpus;
-use au_text::{FxHashMap, TokenId};
+use au_text::TokenId;
+use std::sync::Mutex;
 
 /// A similarity-search index over one string collection.
 ///
@@ -49,15 +50,38 @@ use au_text::{FxHashMap, TokenId};
 /// let hits = index.query(&mut kn, "espresso coffee shop helsinki");
 /// assert_eq!(hits.matches[0].0, 0); // record 0 matches via the synonym rule
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SearchIndex {
     cfg: SimConfig,
     opts: JoinOptions,
     prep: PreparedCorpus,
     order: PebbleOrder,
-    index: InvertedIndex,
+    /// Flattened CSR postings over the collection's signatures.
+    index: CsrIndex,
+    /// Mean distinct-signature length (cached from the build-time key sets).
+    avg_sig_len: f64,
     /// Per-record guarantee levels (see `signature::guarantee_level`).
     levels: Vec<u32>,
+    /// Probe scratch, collection-sized and epoch-reset, shared across
+    /// queries so a query allocates nothing proportional to the index
+    /// (concurrent queries briefly serialise on the counting step only;
+    /// verification, the expensive part, stays outside the lock).
+    counter: Mutex<OverlapCounter>,
+}
+
+impl Clone for SearchIndex {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg,
+            opts: self.opts,
+            prep: self.prep.clone(),
+            order: self.order.clone(),
+            index: self.index.clone(),
+            avg_sig_len: self.avg_sig_len,
+            levels: self.levels.clone(),
+            counter: Mutex::new(OverlapCounter::new(self.index.record_count())),
+        }
+    }
 }
 
 /// One query's outcome with filtering statistics.
@@ -98,14 +122,18 @@ impl SearchIndex {
             .zip(&choices)
             .map(|(p, c)| &p[..c.len])
             .collect();
-        let index = InvertedIndex::build(&sigs);
+        let record_keys = RecordKeys::build(&sigs, opts.parallel);
+        let index = CsrIndex::from_record_keys(&record_keys);
+        let counter = Mutex::new(OverlapCounter::new(index.record_count()));
         Self {
             cfg: *cfg,
             opts: *opts,
             prep,
             order,
             index,
+            avg_sig_len: record_keys.avg_sig_len(),
             levels: choices.iter().map(|c| c.level).collect(),
+            counter,
         }
     }
 
@@ -126,7 +154,7 @@ impl SearchIndex {
 
     /// Mean signature length of the indexed records.
     pub fn avg_sig_len(&self) -> f64 {
-        self.index.avg_sig_len()
+        self.avg_sig_len
     }
 
     /// Query with a raw string. Tokenises with the knowledge's tokenizer
@@ -179,32 +207,27 @@ impl SearchIndex {
     }
 
     /// Count distinct-key overlaps between the query signature and every
-    /// indexed record; keep records reaching `min(τ, query level, record
-    /// level)` — the demand both sides can guarantee.
+    /// indexed record via the CSR probe; keep records reaching `min(τ,
+    /// query level, record level)` — the demand both sides can guarantee.
+    ///
+    /// The epoch-stamped counter is shared across queries (its whole point
+    /// is O(1) reuse), so per-query work is proportional to the postings
+    /// touched, never to the collection size.
     fn collect_candidates(&self, signature: &[Pebble], query_level: u32) -> (Vec<u32>, u64) {
-        let tau = self.opts.filter.tau().min(query_level).max(1);
-        let mut distinct: Vec<PebbleKey> = Vec::with_capacity(signature.len());
-        for p in signature {
-            if !distinct.contains(&p.key) {
-                distinct.push(p.key);
-            }
-        }
-        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
-        let mut processed = 0u64;
-        for &key in &distinct {
-            if let Some(postings) = self.index.get(key) {
-                processed += postings.len() as u64;
-                for &rid in postings {
-                    *counts.entry(rid).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut out: Vec<u32> = counts
-            .into_iter()
-            .filter(|&(rid, c)| c >= tau.min(self.levels[rid as usize]).max(1))
-            .map(|(rid, _)| rid)
-            .collect();
-        out.sort_unstable();
+        let mut distinct: Vec<PebbleKey> = signature.iter().map(|p| p.key).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut ctr = self.counter.lock().expect("search counter poisoned");
+        let mut out = Vec::new();
+        let processed = ctr.probe(
+            &self.index,
+            &distinct,
+            query_level,
+            self.opts.filter.tau(),
+            &self.levels,
+            None,
+            &mut out,
+        );
         (out, processed)
     }
 }

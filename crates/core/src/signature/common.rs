@@ -40,7 +40,7 @@ impl SuffixState {
     }
 
     /// Raw per-measure sums of one segment (indexed by
-    /// [`MeasureKind::idx`]).
+    /// [`crate::msim::MeasureKind::idx`]).
     pub fn sums(&self, seg: usize) -> [f64; 3] {
         self.sums[seg]
     }

@@ -13,7 +13,12 @@
 //! signature selection + filtering + verification at its θ. Rounds form a
 //! geometric-ish schedule, and in practice the last (cheapest-θ) round
 //! dominates, so the total stays within a small factor of a single join at
-//! the final θ — the price of not knowing that θ in advance.
+//! the final θ — the price of not knowing that θ in advance. Every round
+//! runs through [`join_prepared`] and therefore through the CSR
+//! candidate-generation engine ([`crate::join::candidate_pass`]): the
+//! signature prefixes are θ-dependent and rebuilt per round, but each
+//! round's filtering cost is a flat index build plus dense-counter probes
+//! rather than a per-pair hashmap.
 //!
 //! Similarities are the Algorithm 1 approximation, like the threshold
 //! join's verification; the ranking is exact with respect to that measure.

@@ -2,7 +2,7 @@
 //!
 //! The generator keeps the taxonomy and the synonym rules as plain strings
 //! (a *blueprint*) before building the immutable
-//! [`Knowledge`](au_core::knowledge::Knowledge). Record generation and
+//! [`Knowledge`] context. Record generation and
 //! perturbation read the blueprint — picking entity labels, rule sides and
 //! sibling entities — without needing interner lookups.
 

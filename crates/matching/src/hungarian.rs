@@ -2,7 +2,7 @@
 //!
 //! Eq. 6 of the paper computes `max Σ I_ij · msim(P_Si, P_Tj)` subject to
 //! each segment matching at most once — a maximum weight bipartite matching.
-//! The paper cites Munkres [38] with O(n³) cost; this is the standard
+//! The paper cites Munkres \[38\] with O(n³) cost; this is the standard
 //! potentials formulation (e-maxx style) on a square padded cost matrix.
 //!
 //! Weights must be non-negative; padding with zero weight then makes a

@@ -11,7 +11,7 @@
 //!   (branch-and-bound used by the exact USIM and by Table 9).
 //! * **Greedy set cover / minimum exact cover** (GetMinPartitionSize of
 //!   Algorithm 2) — [`set_cover`], plus an exact interval-partition DP in
-//!   [`min_partition`] used to build partitions from an independent set.
+//!   [`min_partition()`] used to build partitions from an independent set.
 
 pub mod bitset;
 pub mod conflict;

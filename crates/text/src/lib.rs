@@ -8,7 +8,7 @@
 //! * [`interner`] — token interning ([`TokenId`], [`Vocab`]).
 //! * [`phrase`] — interning of multi-token phrases ([`PhraseId`],
 //!   [`PhraseTable`]) used for synonym-rule sides and taxonomy entity names.
-//! * [`tokenize`] — configurable tokenization.
+//! * [`tokenize`](mod@tokenize) — configurable tokenization.
 //! * [`qgram`] — q-gram extraction and interning.
 //! * [`jaccard`] — Jaccard coefficient over sorted id sets (Eq. 1 of the
 //!   paper).

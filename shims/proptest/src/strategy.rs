@@ -266,7 +266,7 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
 // Collections, bool, sample
 // ---------------------------------------------------------------------------
 
-/// Length bounds for [`vec`] (inclusive).
+/// Length bounds for [`vec()`] (inclusive).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange(usize, usize);
 
@@ -297,7 +297,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -1,0 +1,145 @@
+//! CSR ↔ legacy-hashmap equivalence harness.
+//!
+//! The CSR candidate-generation engine (flattened postings + epoch-stamped
+//! dense counters + per-posting-list τ-skip, PR 2) must be *observationally
+//! identical* to the PR-1 `FxHashMap` engine it replaced: same candidate
+//! set, same processed-pair count (`Tτ`, Eq. 16), same mean signature
+//! lengths — on R×S joins and self-joins, every filter, serial and
+//! parallel, across `au-datagen` corpora and randomized small corpora.
+//! The legacy engine stays in the tree exactly for this harness (and the
+//! perf comparison); any divergence here is a correctness bug in the new
+//! engine, not a tuning difference.
+
+use au_join::core::config::SimConfig;
+use au_join::core::join::{
+    apply_global_order, candidate_pass, candidate_pass_legacy, prepare_corpus, JoinOptions,
+    SelectedSignatures,
+};
+use au_join::core::signature::FilterKind;
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use proptest::prelude::*;
+
+fn assert_equivalent(ds: &LabeledDataset, opts: &JoinOptions, label: &str) {
+    let cfg = SimConfig::default();
+    let mut sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+    let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+    apply_global_order(&mut sp, &mut tp);
+    let sel_s = SelectedSignatures::select(&sp, opts, cfg.eps);
+    let sel_t = SelectedSignatures::select(&tp, opts, cfg.eps);
+    let tau = opts.filter.tau();
+
+    // R×S join, serial and parallel CSR vs legacy.
+    let legacy = candidate_pass_legacy(&sel_s, Some(&sel_t), tau);
+    for parallel in [false, true] {
+        let csr = candidate_pass(&sel_s, Some(&sel_t), tau, parallel);
+        assert_eq!(
+            csr.candidates, legacy.candidates,
+            "{label} candidates (parallel={parallel})"
+        );
+        assert_eq!(
+            csr.processed_pairs, legacy.processed_pairs,
+            "{label} Tτ (parallel={parallel})"
+        );
+        assert!(
+            (csr.avg_sig_len_s - legacy.avg_sig_len_s).abs() < 1e-12,
+            "{label} avg_sig_len_s"
+        );
+        assert!(
+            (csr.avg_sig_len_t - legacy.avg_sig_len_t).abs() < 1e-12,
+            "{label} avg_sig_len_t"
+        );
+    }
+
+    // Self-join on the S side.
+    let legacy_self = candidate_pass_legacy(&sel_s, None, tau);
+    for parallel in [false, true] {
+        let csr_self = candidate_pass(&sel_s, None, tau, parallel);
+        assert_eq!(
+            csr_self.candidates, legacy_self.candidates,
+            "{label} self candidates (parallel={parallel})"
+        );
+        assert_eq!(
+            csr_self.processed_pairs, legacy_self.processed_pairs,
+            "{label} self Tτ (parallel={parallel})"
+        );
+    }
+}
+
+fn all_filters() -> Vec<FilterKind> {
+    vec![
+        FilterKind::UFilter,
+        FilterKind::AuHeuristic { tau: 2 },
+        FilterKind::AuHeuristic { tau: 4 },
+        FilterKind::AuDp { tau: 2 },
+        FilterKind::AuDp { tau: 4 },
+    ]
+}
+
+#[test]
+fn csr_matches_legacy_on_med_corpora() {
+    for (n, seed) in [(60usize, 11u64), (150, 12)] {
+        let ds = au_bench_free_med(n, seed);
+        for theta in [0.7, 0.9] {
+            for filter in all_filters() {
+                let opts = JoinOptions {
+                    theta,
+                    filter,
+                    ..JoinOptions::u_filter(theta)
+                };
+                assert_equivalent(
+                    &ds,
+                    &opts,
+                    &format!("med n={n} θ={theta} {}", filter.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn csr_matches_legacy_on_wiki_corpora() {
+    let profile = DatasetProfile::wiki_like(1.0);
+    let ds = LabeledDataset::generate(&profile, 120, 120, 24, 21);
+    for theta in [0.8, 0.95] {
+        for filter in all_filters() {
+            let opts = JoinOptions {
+                theta,
+                filter,
+                ..JoinOptions::u_filter(theta)
+            };
+            assert_equivalent(&ds, &opts, &format!("wiki θ={theta} {}", filter.label()));
+        }
+    }
+}
+
+/// MED-like dataset without depending on the bench crate (the root facade
+/// only links the library crates).
+fn au_bench_free_med(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::med_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized corpora: sizes, seeds, θ and τ drawn by proptest; the
+    /// two engines must agree on every draw.
+    #[test]
+    fn csr_matches_legacy_on_random_corpora(
+        n in 20usize..90,
+        seed in 0u64..1_000,
+        theta_pct in 50u32..96,
+        tau in 1u32..5,
+        dp in proptest::bool::weighted(0.5),
+    ) {
+        let ds = au_bench_free_med(n, seed);
+        let theta = theta_pct as f64 / 100.0;
+        let filter = if dp {
+            FilterKind::AuDp { tau }
+        } else {
+            FilterKind::AuHeuristic { tau }
+        };
+        let opts = JoinOptions { theta, filter, ..JoinOptions::u_filter(theta) };
+        assert_equivalent(&ds, &opts, &format!("random n={n} seed={seed} θ={theta} τ={tau}"));
+    }
+}
