@@ -10,10 +10,10 @@
 //! * **determinism** — candidate counts, processed pairs, result pairs and
 //!   P/R/F must match the baseline exactly (they are pure functions of the
 //!   seed, so any drift is a behaviour change, not noise);
-//! * **throughput** — `records_per_second` may not regress by more than
-//!   `BENCH_GATE_TOL` (default 0.25, i.e. >25% fails) against the
-//!   baseline; rows whose baseline or current throughput is 0 (timings
-//!   disabled) are skipped;
+//! * **throughput** — `records_per_second` and `verify_cands_per_second`
+//!   may not regress by more than `BENCH_GATE_TOL` (default 0.25: a drop
+//!   past 25% fails) against the baseline; rows whose baseline or current
+//!   throughput is 0 (timings disabled) are skipped;
 //! * **engine** — in `BENCH_fig7.json`, both engines must agree on
 //!   candidates/processed pairs, and `csr_speedup` must be at least
 //!   `BENCH_GATE_MIN_SPEEDUP` (default 1.0: the CSR engine may never be
@@ -73,7 +73,7 @@ impl Gate {
         }
     }
 
-    fn check_throughput(&mut self, id: &str, base: f64, cur: f64) {
+    fn check_throughput(&mut self, id: &str, unit: &str, base: f64, cur: f64) {
         if base.is_nan() || cur.is_nan() || base <= 0.0 || cur <= 0.0 {
             return; // timings disabled (or absent) on either side
         }
@@ -81,14 +81,14 @@ impl Gate {
         let floor = base * (1.0 - self.tol);
         if cur < floor {
             self.fail(format!(
-                "{id}: throughput regressed {:.0} → {:.0} records/s (floor {:.0}, tol {:.0}%)",
+                "{id}: throughput regressed {:.0} → {:.0} {unit} (floor {:.0}, tol {:.0}%)",
                 base,
                 cur,
                 floor,
                 self.tol * 100.0
             ));
         } else {
-            println!("  ok {id}: {:.0} → {:.0} records/s", base, cur);
+            println!("  ok {id}: {:.0} → {:.0} {unit}", base, cur);
         }
     }
 
@@ -118,8 +118,19 @@ impl Gate {
             }
             self.check_throughput(
                 id,
+                "records/s",
                 f64_field(brow, "records_per_second"),
                 f64_field(crow, "records_per_second"),
+            );
+            // Verification owns the join's wall-clock; gate its throughput
+            // directly so a tiered-engine regression cannot hide behind
+            // faster earlier stages. Absent in pre-tiering baselines (the
+            // NaN/0 guard skips it then).
+            self.check_throughput(
+                id,
+                "candidates/s",
+                f64_field(brow, "verify_cands_per_second"),
+                f64_field(crow, "verify_cands_per_second"),
             );
         }
         // Engine self-consistency + speedup floor on the current artifact.

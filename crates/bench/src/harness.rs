@@ -44,11 +44,9 @@ pub struct Prf {
     pub f: f64,
 }
 
-/// Score id pairs against the dataset's planted ground truth.
-pub fn score_pairs(ds: &LabeledDataset, pairs: &[(u32, u32)]) -> Prf {
-    let truth: BTreeSet<(u32, u32)> = ds.truth.iter().map(|g| (g.s, g.t)).collect();
+fn prf_of(truth: &BTreeSet<(u32, u32)>, pairs: &[(u32, u32)]) -> Prf {
     let out: BTreeSet<(u32, u32)> = pairs.iter().copied().collect();
-    let tp = out.intersection(&truth).count() as f64;
+    let tp = out.intersection(truth).count() as f64;
     let p = if out.is_empty() {
         0.0
     } else {
@@ -67,10 +65,37 @@ pub fn score_pairs(ds: &LabeledDataset, pairs: &[(u32, u32)]) -> Prf {
     Prf { p, r, f }
 }
 
-/// Score a [`JoinResult`] against planted truth.
+/// Score id pairs against **all** planted pairs, regardless of whether
+/// they reach any θ. Kept for perturbation-recovery experiments (Table 8
+/// style: "how many planted relations does the pipeline recover?"); for
+/// scoring a θ-join use [`score_pairs_at`] — the generator plants related
+/// pairs, not pairs guaranteed to clear θ (see
+/// [`au_datagen::GroundTruthPair::sim`]).
+pub fn score_pairs(ds: &LabeledDataset, pairs: &[(u32, u32)]) -> Prf {
+    let truth: BTreeSet<(u32, u32)> = ds.truth.iter().map(|g| (g.s, g.t)).collect();
+    prf_of(&truth, pairs)
+}
+
+/// Score id pairs against the planted pairs whose unified similarity
+/// actually reaches `theta` — the correct ground truth for a θ-join
+/// (recall of a complete filter is 1.0 by construction; anything lower is
+/// a real pipeline bug, not a generator artifact).
+pub fn score_pairs_at(ds: &LabeledDataset, pairs: &[(u32, u32)], theta: f64) -> Prf {
+    let truth: BTreeSet<(u32, u32)> = ds.truth_at(theta).map(|g| (g.s, g.t)).collect();
+    prf_of(&truth, pairs)
+}
+
+/// Score a [`JoinResult`] against all planted truth (see [`score_pairs`]).
 pub fn score_join(ds: &LabeledDataset, res: &JoinResult) -> Prf {
     let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
     score_pairs(ds, &ids)
+}
+
+/// Score a θ-join [`JoinResult`] against the planted pairs reaching
+/// `theta` (see [`score_pairs_at`]).
+pub fn score_join_at(ds: &LabeledDataset, res: &JoinResult, theta: f64) -> Prf {
+    let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+    score_pairs_at(ds, &ids, theta)
 }
 
 /// Minimal aligned ASCII table builder.

@@ -18,7 +18,7 @@
 
 pub mod json;
 
-use crate::harness::{med_dataset, score_join, wiki_dataset, Prf};
+use crate::harness::{med_dataset, score_join_at, wiki_dataset, Prf};
 use au_core::config::SimConfig;
 use au_core::join::{
     apply_global_order, candidate_pass, candidate_pass_legacy, join, prepare_corpus, JoinOptions,
@@ -84,6 +84,11 @@ pub struct WorkloadRow {
     pub total_seconds: f64,
     /// End-to-end throughput: records (both sides) per second.
     pub records_per_second: f64,
+    /// Verification throughput: candidates verified per second (0 when
+    /// timings are disabled). Gated by `bench_gate` like
+    /// `records_per_second`, so a tiered-verification regression fails CI
+    /// even when the other stages mask it in the end-to-end number.
+    pub verify_cands_per_second: f64,
 }
 
 /// One workload (dataset × θ) across all filter/mode combinations.
@@ -177,8 +182,11 @@ pub fn run_workload(
                 ..JoinOptions::u_filter(theta)
             };
             let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
-            let prf = score_join(ds, &res);
+            // θ-aware scoring: planted pairs below θ are not recallable by
+            // any complete θ-join and must not count against it.
+            let prf = score_join_at(ds, &res, theta);
             let total = res.stats.total_time().as_secs_f64();
+            let verify_secs = res.stats.verify_time.as_secs_f64();
             rows.push(WorkloadRow {
                 id: format!("{name}/{fname}/{mode}"),
                 filter: fname.to_string(),
@@ -195,6 +203,14 @@ pub fn run_workload(
                     !timings,
                     if total > 0.0 {
                         (ds.s.len() + ds.t.len()) as f64 / total
+                    } else {
+                        0.0
+                    },
+                ),
+                verify_cands_per_second: zero_if(
+                    !timings,
+                    if verify_secs > 0.0 {
+                        res.stats.candidates as f64 / verify_secs
                     } else {
                         0.0
                     },
@@ -426,6 +442,13 @@ impl WorkloadReport {
                 "      ",
                 "records_per_second",
                 num(zero_if(!timings, r.records_per_second)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "verify_cands_per_second",
+                num(zero_if(!timings, r.verify_cands_per_second)),
                 true,
             );
             o.push_str(if i + 1 == self.rows.len() {

@@ -20,7 +20,7 @@ use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleOrder};
 use crate::segment::{segment_record, SegRecord};
 use crate::signature::{select_signature, FilterKind, MpMode, SignatureChoice};
-use crate::usim::usim_approx_seg_at_least;
+use crate::usim::{usim_approx_seg_at_least, Verifier, VerifyScratch};
 use au_text::record::Corpus;
 use au_text::FxHashMap;
 use std::time::{Duration, Instant};
@@ -412,7 +412,12 @@ fn unpack(k: u64) -> (u32, u32) {
     ((k >> 32) as u32, k as u32)
 }
 
-/// Stage 5: verify candidates with Algorithm 1.
+/// Stage 5: verify candidates with the tiered engine (record-level
+/// rejection → sparse vertex enumeration with a cross-candidate `msim`
+/// memo → allocation-free Algorithm 1; see [`crate::usim::verify`]).
+/// Accepted pairs and similarities are byte-identical to running
+/// [`crate::usim::usim_approx_seg_at_least`] per candidate — the
+/// equivalence harness (`tests/verify_equivalence.rs`) enforces it.
 pub fn verify_candidates(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -422,9 +427,36 @@ pub fn verify_candidates(
     theta: f64,
     parallel: bool,
 ) -> Vec<(u32, u32, f64)> {
-    // `par_filter_map` keeps results in candidate order, so serial and
-    // parallel runs return identical vectors (candidates arrive sorted
-    // from `filter_stage`).
+    let engine = Verifier::new(kn, cfg);
+    // `par_filter_map_scratch` keeps results in candidate order, so serial
+    // and parallel runs return identical vectors (candidates arrive sorted
+    // from `filter_stage`); the scratch — including the memo — is per
+    // worker, so the parallel path stays lock-free.
+    crate::parallel::par_filter_map_scratch(
+        candidates,
+        parallel,
+        VerifyScratch::default,
+        |scr, &(a, b)| {
+            let sim =
+                engine.sim_at_least(&s.segrecs[a as usize], &t.segrecs[b as usize], theta, scr);
+            (sim >= theta - cfg.eps).then_some((a, b, sim))
+        },
+    )
+}
+
+/// Stage 5 on the reference per-candidate path ([`usim_approx_seg_at_least`]
+/// with no cross-candidate sharing). Retained for the tier-equivalence
+/// harness and perf comparisons; must keep producing byte-identical
+/// output to [`verify_candidates`].
+pub fn verify_candidates_reference(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    parallel: bool,
+) -> Vec<(u32, u32, f64)> {
     crate::parallel::par_filter_map(candidates, parallel, |&(a, b)| {
         let sim = usim_approx_seg_at_least(
             kn,

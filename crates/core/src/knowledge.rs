@@ -10,6 +10,18 @@ use au_taxonomy::{EntityDict, NodeId, Taxonomy, TaxonomyBuilder};
 use au_text::record::{Corpus, Record, RecordId};
 use au_text::tokenize::{tokenize, TokenizeConfig};
 use au_text::{PhraseId, PhraseTable, TokenId, Vocab};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mint for [`Knowledge::generation`] ids: one per build *and* per
+/// vocabulary mutation, so two clones that diverge after the fork can
+/// never share a generation (their interners may assign the same fresh
+/// token id to different words — artifacts keyed on interned ids must not
+/// cross between them).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn mint_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Immutable-after-build knowledge context.
 ///
@@ -32,11 +44,34 @@ pub struct Knowledge {
     pub corpus: Corpus,
     /// Tokenizer settings shared by all record ingestion.
     pub tokenize: TokenizeConfig,
+    /// Process-unique id minted at [`KnowledgeBuilder::build`] time and
+    /// re-minted on every vocabulary mutation ([`Knowledge::add_record`],
+    /// [`Knowledge::corpus_from_lines`]). Un-mutated clones share it
+    /// (their semantic content is identical); independently built
+    /// contexts — or clones that diverged after the fork — never do, even
+    /// if one reuses the other's freed memory. The verification engine
+    /// keys its cross-candidate memo on this to rule out stale hits.
+    ///
+    /// Caveat: the knowledge sources above are `pub` (the read API lives
+    /// on them), so a caller *can* mutate e.g. `kn.synonyms` in place
+    /// without the generation changing. The supported workflow is
+    /// build-then-read — assemble rules/taxonomy through
+    /// [`KnowledgeBuilder`] and rebuild when they change; mutating the
+    /// sources of a built context directly invalidates any verification
+    /// scratch warmed against it.
+    pub(crate) generation: u64,
 }
 
 impl Knowledge {
+    /// Process-unique identity of this knowledge context (shared by
+    /// un-mutated clones, distinct across independent builds and across
+    /// post-clone divergence).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
     /// Tokenize `text` and append it to the built-in corpus.
     pub fn add_record(&mut self, text: &str) -> RecordId {
+        self.generation = mint_generation();
         self.corpus.push_str(text, &mut self.vocab, &self.tokenize)
     }
 
@@ -48,6 +83,7 @@ impl Knowledge {
     /// Tokenize a standalone string into a fresh corpus sharing this
     /// knowledge's vocabulary.
     pub fn corpus_from_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Corpus {
+        self.generation = mint_generation();
         let mut c = Corpus::new();
         for l in lines {
             c.push_str(l, &mut self.vocab, &self.tokenize);
@@ -193,6 +229,7 @@ impl KnowledgeBuilder {
             synonyms: self.synonyms,
             corpus: Corpus::new(),
             tokenize: self.tokenize,
+            generation: mint_generation(),
         }
     }
 }

@@ -66,6 +66,10 @@ pub fn msim_explained(
     a: &Segment,
     b: &Segment,
 ) -> (f64, MeasureKind) {
+    // Text comparison keeps this entry point context-free: segments from
+    // *different* Knowledge contexts are still compared correctly. The
+    // tiered engine's internal fast path uses the interned `Segment::key`
+    // instead, which is valid only within its single-context invariant.
     if a.text == b.text {
         return (1.0, MeasureKind::Jaccard);
     }
@@ -121,7 +125,7 @@ mod tests {
         let sr = segment_record(kn, cfg, &kn.record(id).tokens);
         sr.segments
             .iter()
-            .find(|s| s.text == want)
+            .find(|s| &*s.text == want)
             .unwrap_or_else(|| panic!("segment {want:?} not found in {text:?}"))
             .clone()
     }
@@ -181,7 +185,7 @@ mod tests {
         let a_j = sr
             .segments
             .iter()
-            .find(|s| s.text == "latte")
+            .find(|s| &*s.text == "latte")
             .unwrap()
             .clone();
         assert_eq!(msim(&kn, &cfg_j, &a_j, &b), 0.0);

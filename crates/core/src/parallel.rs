@@ -28,15 +28,36 @@ use std::sync::Mutex;
 /// callers run serially.
 pub const MIN_PARALLEL_ITEMS: usize = 256;
 
-/// Items claimed per cursor fetch. Large enough to amortise the atomic,
-/// small enough to keep the tail balanced.
-const BATCH: usize = 256;
+/// Upper bound on items claimed per cursor fetch — amortises the atomic
+/// on huge item lists.
+const MAX_BATCH: usize = 256;
+
+/// Lower bound on the adaptive batch size — keeps the cursor traffic sane
+/// on small lists of heavy items.
+const MIN_BATCH: usize = 4;
+
+/// How many batches each worker should get to claim (on average) so the
+/// work-stealing tail stays balanced when per-item cost is skewed.
+const BATCHES_PER_WORKER: usize = 8;
+
+/// Batch size for `len` items on `threads` workers.
+///
+/// A fixed 256-item batch (the original choice) starved verify-shaped
+/// workloads: with a few hundred *heavy* items — candidate verification
+/// after aggressive filtering, per-query search verification — `len / 256`
+/// rounds to one or two batches, so one or two workers did everything and
+/// "parallel" ran at serial speed. The batch size now shrinks until every
+/// worker has [`BATCHES_PER_WORKER`] batches to steal, and only grows back
+/// to [`MAX_BATCH`] when the list is long enough to amortise the cursor.
+fn batch_size(len: usize, threads: usize) -> usize {
+    (len / (threads * BATCHES_PER_WORKER)).clamp(MIN_BATCH, MAX_BATCH)
+}
 
 /// The one audited batch loop every public entry point delegates to:
-/// workers claim fixed-size batches off an atomic cursor, run `run_batch`
-/// on each with a per-worker scratch from `init`, and the per-batch
-/// outputs are concatenated in batch order — so the result is exactly the
-/// serial output regardless of thread count or scheduling.
+/// workers claim adaptively-sized batches off an atomic cursor, run
+/// `run_batch` on each with a per-worker scratch from `init`, and the
+/// per-batch outputs are concatenated in batch order — so the result is
+/// exactly the serial output regardless of thread count or scheduling.
 fn par_batches<T, U, S, I, F>(items: &[T], parallel: bool, init: I, run_batch: F) -> Vec<U>
 where
     T: Sync,
@@ -44,13 +65,31 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
 {
-    let threads = available_threads();
+    par_batches_on(items, parallel, available_threads(), init, run_batch)
+}
+
+/// [`par_batches`] with an explicit worker count (tests pin it; production
+/// callers go through [`available_threads`], which honours `AU_THREADS`).
+fn par_batches_on<T, U, S, I, F>(
+    items: &[T],
+    parallel: bool,
+    threads: usize,
+    init: I,
+    run_batch: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
+{
     if !parallel || threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
         let mut scratch = init();
         return run_batch(&mut scratch, items);
     }
 
-    let n_batches = items.len().div_ceil(BATCH);
+    let batch_len = batch_size(items.len(), threads);
+    let n_batches = items.len().div_ceil(batch_len);
     let cursor = AtomicUsize::new(0);
     // Batch outputs land in their slot; a Mutex per run (not per slot)
     // would serialise the tail, and per-slot locks are uncontended because
@@ -66,8 +105,8 @@ where
                     if batch >= n_batches {
                         return;
                     }
-                    let start = batch * BATCH;
-                    let end = (start + BATCH).min(items.len());
+                    let start = batch * batch_len;
+                    let end = (start + batch_len).min(items.len());
                     let out = run_batch(&mut scratch, &items[start..end]);
                     *slots[batch].lock().expect("parallel slot poisoned") = out;
                 }
@@ -111,6 +150,23 @@ where
     par_filter_map(items, parallel, |x| Some(f(x)))
 }
 
+/// Like [`par_filter_map`], but each worker carries a mutable scratch
+/// value created once by `init` and reused across every item that worker
+/// processes — the shape of tiered candidate verification, where the
+/// scratch holds the cross-candidate `msim` memo and the Algorithm 1
+/// buffers.
+pub fn par_filter_map_scratch<T, U, S, I, F>(items: &[T], parallel: bool, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Option<U> + Sync,
+{
+    par_batches(items, parallel, init, |scratch, chunk| {
+        chunk.iter().filter_map(|x| f(scratch, x)).collect()
+    })
+}
+
 /// Like [`par_map`], but each worker carries a mutable scratch value
 /// created once by `init` and reused across every item that worker
 /// processes.
@@ -136,7 +192,23 @@ where
 }
 
 /// Worker count for parallel sections (1 when parallelism is unavailable).
+///
+/// `AU_THREADS` overrides the detected count — containers and cgroup
+/// quotas routinely misreport `available_parallelism`, and benchmark runs
+/// need a pinned worker count to be comparable across hosts. The variable
+/// is read once per process (this sits on per-query hot paths; repeated
+/// `env::var` calls take the process-wide env lock for a constant).
 pub fn available_threads() -> usize {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let overridden = *OVERRIDE.get_or_init(|| {
+        std::env::var("AU_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    });
+    if let Some(n) = overridden {
+        return n;
+    }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
@@ -213,8 +285,62 @@ mod tests {
 
     #[test]
     fn exact_batch_boundary() {
-        let items: Vec<u32> = (0..(BATCH as u32 * 2)).collect();
+        let items: Vec<u32> = (0..(MAX_BATCH as u32 * 2)).collect();
         let out = par_filter_map(&items, true, |&x| Some(x));
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn scratch_filter_map_matches_serial() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let out = par_filter_map_scratch(&items, true, Vec::<u32>::new, |scratch, &x| {
+            scratch.push(x);
+            (x % 7 != 0).then_some(x * 2)
+        });
+        let serial: Vec<u32> = items
+            .iter()
+            .filter_map(|&x| (x % 7 != 0).then_some(x * 2))
+            .collect();
+        assert_eq!(out, serial);
+    }
+
+    /// Regression for the verify-shaped granularity bug: a few hundred
+    /// heavy items must offer work to every worker, not `len / 256` of
+    /// them. The guarantee is structural — enough batches exist for every
+    /// worker to claim several — because actual claim counts depend on OS
+    /// scheduling (on a single-core CI host one worker may legitimately
+    /// drain the cursor). With the old fixed 256-item batches, 400 items
+    /// made 2 batches, so at most 2 of N workers could ever be active.
+    #[test]
+    fn few_heavy_items_offer_work_to_all_workers() {
+        let items: Vec<u32> = (0..400).collect();
+        assert!(items.len() >= MIN_PARALLEL_ITEMS);
+        for threads in [2usize, 4, 8] {
+            let n_batches = items.len().div_ceil(batch_size(items.len(), threads));
+            assert!(
+                n_batches >= threads * 2,
+                "{threads} workers share only {n_batches} batches"
+            );
+        }
+        // And the adaptive path still returns the serial output.
+        let out = par_batches_on(
+            &items,
+            true,
+            4,
+            || (),
+            |_, chunk| chunk.iter().map(|&x| x * 3).collect(),
+        );
+        let serial: Vec<u32> = items.iter().map(|&x| x * 3).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn batch_size_adapts() {
+        // Huge lists keep the amortising maximum.
+        assert_eq!(batch_size(1_200_000, 8), MAX_BATCH);
+        // Verify-shaped lists shrink so every worker gets several batches.
+        assert_eq!(batch_size(400, 4), 400 / (4 * BATCHES_PER_WORKER).max(1));
+        // Never below the floor.
+        assert_eq!(batch_size(10, 64), MIN_BATCH);
     }
 }

@@ -24,7 +24,7 @@ use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleKey, PebbleOrder};
 use crate::segment::segment_record;
 use crate::signature::select_signature;
-use crate::usim::usim_approx_seg_at_least;
+use crate::usim::{Verifier, VerifyScratch};
 use au_text::record::Corpus;
 use au_text::TokenId;
 use std::sync::Mutex;
@@ -67,6 +67,13 @@ pub struct SearchIndex {
     /// (concurrent queries briefly serialise on the counting step only;
     /// verification, the expensive part, stays outside the lock).
     counter: Mutex<OverlapCounter>,
+    /// Pool of tiered-verification scratches reused across queries so the
+    /// cross-candidate `msim` memo warms over the query *stream* instead
+    /// of being rebuilt per query. The lock is held only to check a
+    /// scratch out/in — verification, the expensive part, stays outside
+    /// it (same rule as `counter`), so concurrent queries never
+    /// serialise; the pool grows to the peak query concurrency.
+    scratch_pool: Mutex<Vec<VerifyScratch>>,
 }
 
 impl Clone for SearchIndex {
@@ -80,6 +87,7 @@ impl Clone for SearchIndex {
             avg_sig_len: self.avg_sig_len,
             levels: self.levels.clone(),
             counter: Mutex::new(OverlapCounter::new(self.index.record_count())),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 }
@@ -134,6 +142,7 @@ impl SearchIndex {
             avg_sig_len: record_keys.avg_sig_len(),
             levels: choices.iter().map(|c| c.level).collect(),
             counter,
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -184,20 +193,45 @@ impl SearchIndex {
         );
         let (candidates, processed) = self.collect_candidates(&pebbles[..choice.len], choice.level);
         let theta = self.opts.theta;
-        // Same shared verification path as the joins: parallel for fat
-        // candidate sets when the index was built with `parallel`, and
-        // order-deterministic either way.
-        let mut matches: Vec<(u32, f64)> =
-            crate::parallel::par_filter_map(&candidates, self.opts.parallel, |&rid| {
-                let sim = usim_approx_seg_at_least(
-                    kn,
-                    &self.cfg,
-                    &sr,
-                    &self.prep.segrecs[rid as usize],
-                    theta,
-                );
-                (sim >= theta - self.cfg.eps).then_some((rid, sim))
-            });
+        // Same tiered verification engine as the joins, deterministic
+        // either way. Small candidate sets (the common search shape)
+        // check a scratch out of the index's pool — the msim memo warms
+        // across the query *stream*, and the pool lock is never held
+        // during verification; fat sets go parallel with per-worker
+        // scratches when the index was built with `parallel`.
+        let engine = Verifier::new(kn, &self.cfg);
+        let accept = |scr: &mut VerifyScratch, rid: u32| {
+            let sim = engine.sim_at_least(&sr, &self.prep.segrecs[rid as usize], theta, scr);
+            (sim >= theta - self.cfg.eps).then_some((rid, sim))
+        };
+        // The pool also catches the degenerate parallel case (one worker):
+        // par_filter_map_scratch would run serially with a cold scratch,
+        // wasting the stream-warmed memo on exactly single-core hosts.
+        let use_pool = !self.opts.parallel
+            || candidates.len() < crate::parallel::MIN_PARALLEL_ITEMS
+            || crate::parallel::available_threads() <= 1;
+        let mut matches: Vec<(u32, f64)> = if use_pool {
+            let mut scr = {
+                let mut pool = self.scratch_pool.lock().expect("search pool poisoned");
+                pool.pop().unwrap_or_default()
+            };
+            let out = candidates
+                .iter()
+                .filter_map(|&rid| accept(&mut scr, rid))
+                .collect();
+            self.scratch_pool
+                .lock()
+                .expect("search pool poisoned")
+                .push(scr);
+            out
+        } else {
+            crate::parallel::par_filter_map_scratch(
+                &candidates,
+                true,
+                VerifyScratch::default,
+                |scr, &rid| accept(scr, rid),
+            )
+        };
         matches.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         SearchOutcome {
             matches,

@@ -14,13 +14,14 @@
 
 use crate::config::{MeasureSet, SimConfig};
 use crate::knowledge::Knowledge;
-use au_matching::min_partition;
+use au_matching::{min_partition, IntervalsByEnd};
 use au_synonym::RuleId;
 use au_taxonomy::NodeId;
 use au_text::hash::FxHasher64;
 use au_text::qgram::qgrams;
 use au_text::{PhraseId, TokenId};
 use std::hash::Hasher;
+use std::sync::Arc;
 
 /// Hash one gram to its 64-bit pebble key payload.
 pub fn hash_gram(g: &str) -> u64 {
@@ -52,11 +53,25 @@ pub struct Segment {
     pub node: Option<NodeId>,
     /// Synonym rules having this span as lhs or rhs.
     pub rules: Vec<RuleId>,
-    /// Space-joined surface text of the span.
-    pub text: String,
+    /// Space-joined surface text of the span (shared, not cloned: the
+    /// explanation path and result plumbing bump a refcount instead of
+    /// copying the string per matched pair).
+    pub text: Arc<str>,
     /// Sorted distinct gram hashes of `text` (empty when J is disabled).
     pub grams: Vec<u64>,
+    /// Interned surface identity of the span: the single token's id for
+    /// length-1 segments, the phrase id (tagged with [`SEG_KEY_PHRASE`])
+    /// for multi-token segments. Tokens never contain whitespace and
+    /// phrase interning is injective on token sequences, so two segments
+    /// have equal `key` **iff** they have equal `text` — the identity the
+    /// cross-candidate `msim` memo and the sparse vertex enumeration are
+    /// keyed on.
+    pub key: u64,
 }
+
+/// Tag bit marking a multi-token phrase id in [`Segment::key`] (token and
+/// phrase interners use independent dense id spaces).
+pub const SEG_KEY_PHRASE: u64 = 1 << 32;
 
 impl Segment {
     /// Exclusive end position.
@@ -81,10 +96,26 @@ pub struct SegRecord {
     /// Intervals `(start, len)` of the multi-token segments — the input to
     /// the min-partition DP.
     pub multi_intervals: Vec<(usize, usize)>,
+    /// `multi_intervals` grouped by end position (CSR), precomputed so the
+    /// masked min-partition DP inside `GetSim` allocates nothing per call.
+    pub intervals_by_end: IntervalsByEnd,
     /// Exact minimum number of well-defined segments partitioning the
     /// record (cached; the `MP(S)` of Algorithms 2/4/5 and the denominator
     /// floor of every USIM upper bound).
     pub min_partition: u32,
+    /// Sorted postings `(gram hash, segment index)` over every segment's
+    /// distinct grams — the J side of the sparse vertex enumeration
+    /// (empty when J is disabled).
+    pub gram_posts: Vec<(u64, u32)>,
+    /// Sorted postings `(rule id, segment index)` over every segment's
+    /// applicable synonym rules — the S side of the sparse enumeration.
+    pub rule_posts: Vec<(u32, u32)>,
+    /// Indices of segments mapped to a taxonomy node — the T side.
+    pub node_segs: Vec<u32>,
+    /// Sorted postings `(segment key, segment index)` — the
+    /// surface-identity side (`msim`'s `a.text == b.text ⇒ 1` rule, which
+    /// applies under every measure subset).
+    pub key_posts: Vec<(u64, u32)>,
 }
 
 impl SegRecord {
@@ -138,11 +169,32 @@ pub fn segment_record(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> Se
         }
     }
     let mp = min_partition(n, &multi_intervals);
+    let mut gram_posts = Vec::new();
+    let mut rule_posts = Vec::new();
+    let mut node_segs = Vec::new();
+    let mut key_posts = Vec::with_capacity(segments.len());
+    for (i, seg) in segments.iter().enumerate() {
+        let i = i as u32;
+        gram_posts.extend(seg.grams.iter().map(|&g| (g, i)));
+        rule_posts.extend(seg.rules.iter().map(|&r| (r.0, i)));
+        if seg.node.is_some() {
+            node_segs.push(i);
+        }
+        key_posts.push((seg.key, i));
+    }
+    gram_posts.sort_unstable();
+    rule_posts.sort_unstable();
+    key_posts.sort_unstable();
     SegRecord {
         tokens: tokens.to_vec(),
         segments,
+        intervals_by_end: IntervalsByEnd::build(n, &multi_intervals),
         multi_intervals,
         min_partition: mp,
+        gram_posts,
+        rule_posts,
+        node_segs,
+        key_posts,
     }
 }
 
@@ -175,14 +227,22 @@ fn make_segment(
     } else {
         Vec::new()
     };
+    let key = if len == 1 {
+        span[0].0 as u64
+    } else {
+        // Multi-token segments only exist for interned phrases (the caller
+        // checked `kn.phrases.get(span)` before creating the span).
+        SEG_KEY_PHRASE | phrase.expect("multi-token segment without phrase").0 as u64
+    };
     Segment {
         start,
         len,
         phrase,
         node,
         rules,
-        text,
+        text: text.into(),
         grams,
+        key,
     }
 }
 
@@ -200,7 +260,7 @@ mod tests {
     }
 
     fn seg_texts(sr: &SegRecord) -> Vec<&str> {
-        sr.segments.iter().map(|s| s.text.as_str()).collect()
+        sr.segments.iter().map(|s| &*s.text).collect()
     }
 
     #[test]
@@ -233,7 +293,7 @@ mod tests {
         let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
         let multi: Vec<_> = sr.segments.iter().filter(|s| s.len > 1).collect();
         assert_eq!(multi.len(), 1);
-        assert_eq!(multi[0].text, "coffee drinks");
+        assert_eq!(&*multi[0].text, "coffee drinks");
         assert!(multi[0].node.is_some());
         assert!(multi[0].rules.is_empty());
     }

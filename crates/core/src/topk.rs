@@ -30,7 +30,7 @@ use crate::config::SimConfig;
 use crate::join::{join_prepared, prepare_corpus, JoinOptions, PreparedCorpus};
 use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
-use crate::usim::usim_approx_seg;
+use crate::usim::{Verifier, VerifyScratch};
 use au_text::record::Corpus;
 
 /// Parameters of the top-k descent.
@@ -110,18 +110,19 @@ fn descend(
                 None => sp,
             };
             // Re-scoring is the same independent-per-pair shape as join
-            // verification; share its parallel path (and its ordering
-            // guarantee).
-            let mut pairs: Vec<(u32, u32, f64)> =
-                crate::parallel::par_map(&res.pairs, opts.parallel, |&(a, b, _)| {
-                    let sim = usim_approx_seg(
-                        kn,
-                        cfg,
-                        &sp.segrecs[a as usize],
-                        &t_ref.segrecs[b as usize],
-                    );
+            // verification; share its tiered engine, parallel path and
+            // ordering guarantee (the full-value path equals
+            // `usim_approx_seg` bitwise).
+            let engine = Verifier::new(kn, cfg);
+            let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_map_scratch(
+                &res.pairs,
+                opts.parallel,
+                VerifyScratch::default,
+                |scr, &(a, b, _)| {
+                    let sim = engine.sim(&sp.segrecs[a as usize], &t_ref.segrecs[b as usize], scr);
                     (a, b, sim)
-                });
+                },
+            );
             pairs.sort_by(|x, y| {
                 y.2.total_cmp(&x.2)
                     .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
@@ -189,6 +190,7 @@ mod tests {
     use super::*;
     use crate::join::brute_force_join;
     use crate::knowledge::KnowledgeBuilder;
+    use crate::usim::usim_approx_seg;
 
     fn setup() -> (Knowledge, Corpus, Corpus) {
         let mut b = KnowledgeBuilder::new();

@@ -11,18 +11,20 @@ use crate::config::SimConfig;
 use crate::knowledge::Knowledge;
 pub use crate::msim::MeasureKind;
 use crate::segment::{segment_record, SegRecord};
-use crate::usim::eval::get_sim;
+use crate::usim::eval::{get_sim, get_sim_with, EvalScratch};
 use crate::usim::graph::{build_vertices, finish_graph, UsimGraph};
 use au_matching::{apply_swap, for_each_talon_set, square_imp, SquareImpConfig};
 use au_text::record::RecordId;
+use std::sync::Arc;
 
 /// One matched segment pair in an explanation.
 #[derive(Debug, Clone)]
 pub struct MatchedPair {
-    /// Matched segment text on the S side.
-    pub s_text: String,
-    /// Matched segment text on the T side.
-    pub t_text: String,
+    /// Matched segment text on the S side (shared with the segmentation —
+    /// no per-pair string copy).
+    pub s_text: Arc<str>,
+    /// Matched segment text on the T side (shared likewise).
+    pub t_text: Arc<str>,
     /// Segment score (`msim`).
     pub score: f64,
     /// Winning measure.
@@ -71,18 +73,63 @@ fn approx_set(
         let sim = get_sim(s, t, &g, &[]);
         return (sim, Vec::new(), g);
     }
+    let mut rs = RefineScratch::default();
+    let sim = refine_set(kn, cfg, s, t, &g, target, &mut rs);
+    (sim, rs.a, g)
+}
+
+/// Reusable buffers of the Algorithm 1 local search (`refine_set`): the
+/// current independent set, its membership mask, the candidate-solution
+/// scratch of the claw enumeration, the best talon set of a round, and
+/// the `GetSim` evaluation buffers. One instance lives per verification
+/// worker.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RefineScratch {
+    /// Final independent set after refinement (output).
+    pub a: Vec<usize>,
+    in_a: Vec<bool>,
+    cand: Vec<usize>,
+    best_talons: Vec<usize>,
+    pub eval: EvalScratch,
+}
+
+/// Algorithm 1's solution search on a prebuilt conflict graph: SquareImp
+/// w-MIS seed, then `1/t`-gain claw improvements on the similarity
+/// objective, early-stopping at `target` when given. Returns the (drift
+/// free, recomputed) similarity; the chosen set is left in `rs.a`. This is
+/// the single implementation behind both the reference
+/// [`usim_approx_seg`] path and the tiered verification engine
+/// ([`crate::usim::verify`]) — byte-identical results by construction.
+pub(crate) fn refine_set(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &SegRecord,
+    t: &SegRecord,
+    g: &UsimGraph,
+    target: Option<f64>,
+    rs: &mut RefineScratch,
+) -> f64 {
     let d = kn.claw_bound().min(cfg.max_talons).max(1);
     let sq_cfg = SquareImpConfig {
         max_talons: d,
         ..Default::default()
     };
+    let RefineScratch {
+        a,
+        in_a,
+        cand,
+        best_talons,
+        eval,
+    } = rs;
     // Line 1: w-MIS seed.
-    let mut a = square_imp(&g.graph, &sq_cfg);
-    let mut in_a = vec![false; g.graph.len()];
-    for &v in &a {
+    a.clear();
+    a.extend(square_imp(&g.graph, &sq_cfg));
+    in_a.clear();
+    in_a.resize(g.graph.len(), false);
+    for &v in a.iter() {
         in_a[v] = true;
     }
-    let mut cur = get_sim(s, t, &g, &a);
+    let mut cur = get_sim_with(s, t, g, a, eval);
     // Lines 3–4: claw improvements on the similarity objective. The talon
     // enumeration is additionally capped per round: on degenerate inputs
     // (many interchangeable segment pairs, e.g. heavily repeated tokens)
@@ -91,51 +138,50 @@ fn approx_set(
     const MAX_EVALS_PER_ROUND: usize = 2_000;
     let min_gain = 1.0 / cfg.t_param.max(1.0 + f64::EPSILON);
     let max_rounds = cfg.t_param.floor() as usize;
-    let mut scratch = Vec::new();
     let reached = |cur: f64| target.is_some_and(|th| cur >= th - cfg.eps);
     for _ in 0..max_rounds {
         if reached(cur) {
             break;
         }
         let mut best_gain = 0.0f64;
-        let mut best_talons: Option<Vec<usize>> = None;
+        let mut has_best = false;
         let mut evals = 0usize;
-        for_each_talon_set(&g.graph, &in_a, d, &mut |talons| {
+        for_each_talon_set(&g.graph, in_a, d, &mut |talons| {
             evals += 1;
             // Candidate solution: A ∪ T \ N(T, A).
-            scratch.clear();
-            scratch.extend(
+            cand.clear();
+            cand.extend(
                 a.iter()
                     .copied()
                     .filter(|&u| !talons.iter().any(|&v| v == u || g.graph.are_adjacent(v, u))),
             );
-            scratch.extend_from_slice(talons);
+            cand.extend_from_slice(talons);
             // Cheap upper bound: the denominator is at least |A'|, so a
             // candidate whose weight sum cannot beat the best similarity
             // seen this round even against that floor needs no exact
             // evaluation.
-            let w: f64 = scratch.iter().map(|&v| g.graph.weight(v)).sum();
-            if w > (cur + best_gain) * scratch.len() as f64 {
-                let sim = get_sim(s, t, &g, &scratch);
+            let w: f64 = cand.iter().map(|&v| g.graph.weight(v)).sum();
+            if w > (cur + best_gain) * cand.len() as f64 {
+                let sim = get_sim_with(s, t, g, cand, eval);
                 let gain = sim - cur;
                 if gain > best_gain {
                     best_gain = gain;
-                    best_talons = Some(talons.to_vec());
+                    has_best = true;
+                    best_talons.clear();
+                    best_talons.extend_from_slice(talons);
                 }
             }
             evals < MAX_EVALS_PER_ROUND
         });
-        match best_talons {
-            Some(talons) if best_gain >= min_gain - cfg.eps => {
-                apply_swap(&g.graph, &mut a, &mut in_a, &talons);
-                cur += best_gain;
-            }
-            _ => break,
+        if has_best && best_gain >= min_gain - cfg.eps {
+            apply_swap(&g.graph, a, in_a, best_talons);
+            cur += best_gain;
+        } else {
+            break;
         }
     }
     // Recompute to avoid accumulated float drift.
-    let sim = get_sim(s, t, &g, &a);
-    (sim, a, g)
+    get_sim_with(s, t, g, a, eval)
 }
 
 /// Cheap provable upper bound of USIM from the vertex set alone:
@@ -144,6 +190,21 @@ pub fn vertex_upper_bound(
     s: &SegRecord,
     t: &SegRecord,
     vertices: &[crate::usim::graph::VertexPair],
+) -> f64 {
+    vertex_upper_bound_with(s, t, vertices, &mut Vec::new(), &mut Vec::new())
+}
+
+/// Allocation-free core of [`vertex_upper_bound`]: the per-side
+/// best-weight tables live in the caller's reusable buffers. The single
+/// implementation behind both the reference decision fast path and the
+/// tiered engine's pre-graph rejection — identical float operations by
+/// construction.
+pub(crate) fn vertex_upper_bound_with(
+    s: &SegRecord,
+    t: &SegRecord,
+    vertices: &[crate::usim::graph::VertexPair],
+    best_s: &mut Vec<f64>,
+    best_t: &mut Vec<f64>,
 ) -> f64 {
     let denom = s.min_partition.max(t.min_partition);
     if denom == 0 {
@@ -155,8 +216,10 @@ pub fn vertex_upper_bound(
             0.0
         };
     }
-    let mut best_s = vec![0.0f64; s.segments.len()];
-    let mut best_t = vec![0.0f64; t.segments.len()];
+    best_s.clear();
+    best_s.resize(s.segments.len(), 0.0);
+    best_t.clear();
+    best_t.resize(t.segments.len(), 0.0);
     for v in vertices {
         if v.weight > best_s[v.s_seg] {
             best_s[v.s_seg] = v.weight;
@@ -337,8 +400,8 @@ mod tests {
         let cfg = SimConfig::default();
         let res = usim_approx_explained(&kn, s, t, &cfg);
         assert_eq!(res.matches.len(), 3);
-        assert_eq!(res.matches[0].s_text, "coffee shop");
-        assert_eq!(res.matches[0].t_text, "cafe");
+        assert_eq!(&*res.matches[0].s_text, "coffee shop");
+        assert_eq!(&*res.matches[0].t_text, "cafe");
         assert_eq!(res.matches[0].kind, MeasureKind::Synonym);
         let kinds: Vec<_> = res.matches.iter().map(|m| m.kind).collect();
         assert!(kinds.contains(&MeasureKind::Taxonomy));

@@ -12,11 +12,35 @@
 
 use crate::segment::SegRecord;
 use crate::usim::graph::UsimGraph;
-use au_matching::min_partition_masked;
+use au_matching::min_partition_masked_with;
+
+/// Reusable buffers for [`get_sim_with`]: the free-token masks of both
+/// sides and the min-partition DP table. One instance lives per
+/// verification worker; `GetSim` runs thousands of times per verified
+/// candidate (once per enumerated claw swap), so the per-call `vec!`
+/// allocations it used to make dominated the improvement loop.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    free_s: Vec<bool>,
+    free_t: Vec<bool>,
+    dp: Vec<u32>,
+}
 
 /// Score the independent set `set` (vertex indices of `g`). Both strings
 /// empty scores 1 (identical); one empty scores 0.
 pub fn get_sim(s: &SegRecord, t: &SegRecord, g: &UsimGraph, set: &[usize]) -> f64 {
+    get_sim_with(s, t, g, set, &mut EvalScratch::default())
+}
+
+/// Allocation-free form of [`get_sim`]: identical value, buffers reused
+/// from `ev`.
+pub fn get_sim_with(
+    s: &SegRecord,
+    t: &SegRecord,
+    g: &UsimGraph,
+    set: &[usize],
+    ev: &mut EvalScratch,
+) -> f64 {
     let ns = s.n_tokens();
     let nt = t.n_tokens();
     if ns == 0 && nt == 0 {
@@ -25,25 +49,27 @@ pub fn get_sim(s: &SegRecord, t: &SegRecord, g: &UsimGraph, set: &[usize]) -> f6
     if ns == 0 || nt == 0 {
         return 0.0;
     }
-    let mut free_s = vec![true; ns];
-    let mut free_t = vec![true; nt];
+    ev.free_s.clear();
+    ev.free_s.resize(ns, true);
+    ev.free_t.clear();
+    ev.free_t.resize(nt, true);
     let mut weight = 0.0;
     for &v in set {
         let vp = &g.vertices[v];
         weight += vp.weight;
         let ps = &s.segments[vp.s_seg];
         let pt = &t.segments[vp.t_seg];
-        for slot in &mut free_s[ps.start..ps.end()] {
+        for slot in &mut ev.free_s[ps.start..ps.end()] {
             debug_assert!(*slot, "independent set covers a token twice");
             *slot = false;
         }
-        for slot in &mut free_t[pt.start..pt.end()] {
+        for slot in &mut ev.free_t[pt.start..pt.end()] {
             debug_assert!(*slot, "independent set covers a token twice");
             *slot = false;
         }
     }
-    let r_s = min_partition_masked(ns, &s.multi_intervals, &free_s);
-    let r_t = min_partition_masked(nt, &t.multi_intervals, &free_t);
+    let r_s = min_partition_masked_with(ns, &s.intervals_by_end, &ev.free_s, &mut ev.dp);
+    let r_t = min_partition_masked_with(nt, &t.intervals_by_end, &ev.free_t, &mut ev.dp);
     let denom = (set.len() as u32 + r_s).max(set.len() as u32 + r_t);
     debug_assert!(denom > 0);
     weight / denom as f64
@@ -77,7 +103,7 @@ mod tests {
             g.vertices
                 .iter()
                 .position(|v| {
-                    srec.segments[v.s_seg].text == st && trec.segments[v.t_seg].text == tt
+                    &*srec.segments[v.s_seg].text == st && &*trec.segments[v.t_seg].text == tt
                 })
                 .unwrap()
         };
@@ -124,7 +150,8 @@ mod tests {
             .vertices
             .iter()
             .position(|v| {
-                srec.segments[v.s_seg].text == "espresso" && trec.segments[v.t_seg].text == "latte"
+                &*srec.segments[v.s_seg].text == "espresso"
+                    && &*trec.segments[v.t_seg].text == "latte"
             })
             .unwrap();
         let sim = get_sim(&srec, &trec, &g, &[v]);

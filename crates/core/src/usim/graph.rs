@@ -30,7 +30,7 @@ pub struct VertexPair {
 }
 
 /// The conflict graph plus its vertex annotations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UsimGraph {
     /// Weighted conflict graph (vertex i ↔ `vertices[i]`).
     pub graph: ConflictGraph,
@@ -63,10 +63,18 @@ pub fn build_vertices(
     vertices
 }
 
-/// Add the conflict edges (token overlap on either side) to a vertex set.
+/// Add the conflict edges (token overlap on either side) of `vertices` to
+/// `graph` (which must already hold exactly `vertices.len()` vertices).
+/// The single edge-insertion loop shared by [`finish_graph`] and the
+/// tiered engine's graph-reuse path — insertion order steers tie-breaks
+/// in the local search, so both paths **must** run this exact loop.
 #[allow(clippy::needless_range_loop)]
-pub fn finish_graph(s: &SegRecord, t: &SegRecord, vertices: Vec<VertexPair>) -> UsimGraph {
-    let mut graph = ConflictGraph::with_weights(vertices.iter().map(|v| v.weight).collect());
+pub(crate) fn add_conflict_edges(
+    graph: &mut ConflictGraph,
+    vertices: &[VertexPair],
+    s: &SegRecord,
+    t: &SegRecord,
+) {
     for i in 0..vertices.len() {
         let (a, b) = (vertices[i].s_seg, vertices[i].t_seg);
         for j in i + 1..vertices.len() {
@@ -78,6 +86,12 @@ pub fn finish_graph(s: &SegRecord, t: &SegRecord, vertices: Vec<VertexPair>) -> 
             }
         }
     }
+}
+
+/// Add the conflict edges (token overlap on either side) to a vertex set.
+pub fn finish_graph(s: &SegRecord, t: &SegRecord, vertices: Vec<VertexPair>) -> UsimGraph {
+    let mut graph = ConflictGraph::with_weights(vertices.iter().map(|v| v.weight).collect());
+    add_conflict_edges(&mut graph, &vertices, s, t);
     UsimGraph { graph, vertices }
 }
 
@@ -116,9 +130,9 @@ mod tests {
         // the raw strings; paper's 0.875 uses a different gram convention,
         // we assert ours.
         let find = |st: &str, tt: &str| {
-            g.vertices
-                .iter()
-                .find(|v| srec.segments[v.s_seg].text == st && trec.segments[v.t_seg].text == tt)
+            g.vertices.iter().find(|v| {
+                &*srec.segments[v.s_seg].text == st && &*trec.segments[v.t_seg].text == tt
+            })
         };
         let syn = find("coffee shop", "cafe").expect("synonym vertex");
         assert_eq!(syn.weight, 1.0);
@@ -142,7 +156,7 @@ mod tests {
             g.vertices
                 .iter()
                 .position(|v| {
-                    srec.segments[v.s_seg].text == st && trec.segments[v.t_seg].text == tt
+                    &*srec.segments[v.s_seg].text == st && &*trec.segments[v.t_seg].text == tt
                 })
                 .unwrap()
         };
@@ -168,7 +182,7 @@ mod tests {
         assert!(g.vertices.iter().all(|v| v.weight > 0.0));
         // e.g. ("shop", "espresso") shares no grams and no semantics.
         assert!(!g.vertices.iter().any(|v| {
-            srec.segments[v.s_seg].text == "shop" && trec.segments[v.t_seg].text == "espresso"
+            &*srec.segments[v.s_seg].text == "shop" && &*trec.segments[v.t_seg].text == "espresso"
         }));
     }
 

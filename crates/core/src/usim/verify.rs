@@ -1,0 +1,661 @@
+//! Tiered verification engine — the join's fifth stage, rebuilt.
+//!
+//! PR 2 made candidate generation nearly free, leaving Algorithm 1
+//! verification as 99% of join wall-clock. The cost there is dominated by
+//! the *vertex enumeration* of the conflict graph: the reference path
+//! ([`crate::usim::usim_approx_seg_at_least`]) evaluates `msim` for every
+//! `|segments(S)| × |segments(T)|` pair of every candidate. This engine
+//! keeps the reference semantics — byte-identical accepted `(pair, sim)`
+//! results, enforced by `tests/verify_equivalence.rs` — while sharing and
+//! short-circuiting work across candidates, in the spirit of PASS-JOIN's
+//! and MinJoin's shared verification stages:
+//!
+//! * **Tier 0 — record-level pre-graph rejection.** Every matched pair
+//!   scores `msim ≤ 1` (gram measures and taxonomy similarity are ratios
+//!   in `[0, 1]`; rule closeness is validated into `(0, 1]`), an
+//!   independent set has at most `min(|S|, |T|)` pairs (each consumes a
+//!   token per side), and Eq. 6's denominator is at least
+//!   `max(MP(S), MP(T))` (matched + residual segments partition each
+//!   side). Hence `USIM ≤ min(|S|, |T|) / max(MP(S), MP(T))` — two cached
+//!   integers per record, O(1) per candidate, no segment-pair work at all.
+//! * **Tier 1 — sparse vertex enumeration + cross-candidate `msim` memo.**
+//!   `msim > 0` requires a shared gram (J), a shared synonym rule (S),
+//!   taxonomy nodes on both sides (T), or surface equality — so instead of
+//!   the dense `msim` matrix, positive pairs are surfaced by merge-joining
+//!   per-record posting tables precomputed at segmentation time
+//!   ([`crate::segment::SegRecord::gram_posts`] and friends). The `msim`
+//!   of each surfaced pair is memoised across candidates, keyed by the
+//!   interned surface identity pair ([`crate::segment::Segment::key`]):
+//!   segments repeat heavily across a join's candidate set, and `msim` is
+//!   a pure function of the two surfaces under a fixed knowledge context.
+//!   The memo lives in per-worker scratch, so the parallel path stays
+//!   lock-free and deterministic.
+//! * **Tier 2 — allocation-free Algorithm 1.** Candidates surviving the
+//!   vertex upper bound run the same SquareImp + claw-improvement search
+//!   as the reference ([`crate::usim::approx`]'s `refine_set` *is* the
+//!   shared implementation), but every per-candidate buffer — vertex list,
+//!   conflict-graph adjacency, membership masks, `GetSim` masks, the
+//!   min-partition DP table — is reused from [`VerifyScratch`].
+//!
+//! Per-worker scratch composes with [`crate::parallel::par_filter_map_scratch`]:
+//! workers never share mutable state, and memo contents affect only speed,
+//! never values, so results are independent of scheduling.
+
+use crate::config::{GramMeasure, MeasureSet, SimConfig};
+use crate::knowledge::Knowledge;
+use crate::msim::MeasureKind;
+use crate::segment::SegRecord;
+use crate::usim::approx::{refine_set, vertex_upper_bound_with, RefineScratch};
+use crate::usim::eval::get_sim_with;
+use crate::usim::graph::{add_conflict_edges, UsimGraph, VertexPair};
+
+/// Slots in the direct-mapped cross-candidate `msim` memo (2^16 entries ≈
+/// 2.5 MB — sized to stay cache-resident; a bigger hash map was measured
+/// *slower* than recomputation because every probe became a DRAM miss).
+const MEMO_SLOTS: usize = 1 << 16;
+
+/// Sentinel key marking an empty memo slot (no segment key uses the high
+/// bits above bit 32, so this collides with nothing).
+const MEMO_EMPTY: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// Direct-mapped `msim` memo keyed by interned surface-identity pairs
+/// ([`crate::segment::Segment::key`]). Collisions overwrite — the memo is
+/// a performance cache, never a source of truth, and `msim` is a pure
+/// function of the key pair under a fixed knowledge context, so a stale
+/// hit is impossible and an evicted entry merely recomputes.
+#[derive(Debug, Clone, Default)]
+struct MsimMemo {
+    /// Lazily sized to [`MEMO_SLOTS`] on first insert — a scratch that
+    /// never verifies enough pairs to insert (tiny joins, single search
+    /// queries) pays no allocation or memset.
+    keys: Vec<(u64, u64)>,
+    vals: Vec<(f64, MeasureKind)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MsimMemo {
+    #[inline]
+    fn slot(key: (u64, u64)) -> usize {
+        // Fx-style multiplicative mix of both halves.
+        let h = (key.0 ^ key.1.rotate_left(32)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        (h >> 32) as usize & (MEMO_SLOTS - 1)
+    }
+
+    #[inline]
+    fn get(&mut self, key: (u64, u64)) -> Option<(f64, MeasureKind)> {
+        if self.keys.is_empty() {
+            self.misses += 1;
+            return None;
+        }
+        let s = Self::slot(key);
+        if self.keys[s] == key {
+            self.hits += 1;
+            Some(self.vals[s])
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, key: (u64, u64), val: (f64, MeasureKind)) {
+        if self.keys.is_empty() {
+            self.keys.resize(MEMO_SLOTS, MEMO_EMPTY);
+            self.vals.resize(MEMO_SLOTS, (0.0, MeasureKind::Jaccard));
+        }
+        let s = Self::slot(key);
+        self.keys[s] = key;
+        self.vals[s] = val;
+    }
+}
+
+/// Per-pair flags of the epoch-stamped surfacing table.
+const FLAG_RULE: u8 = 1;
+const FLAG_NODE: u8 = 2;
+
+/// Identity of the `(Knowledge, SimConfig)` context a memo's entries were
+/// computed under. The knowledge side is the process-unique
+/// [`Knowledge::generation`] id (minted per build and per vocabulary
+/// mutation, so diverged clones never share one — immune to
+/// address-reuse ABA); the config side is the `msim`-relevant fields. A
+/// [`VerifyScratch`] reused against a *different* context flushes its
+/// memo instead of serving stale similarities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MemoStamp {
+    generation: u64,
+    measures: MeasureSet,
+    gram: GramMeasure,
+    q: usize,
+}
+
+impl MemoStamp {
+    fn of(kn: &Knowledge, cfg: &SimConfig) -> Self {
+        Self {
+            generation: kn.generation(),
+            measures: cfg.measures,
+            gram: cfg.gram,
+            q: cfg.q,
+        }
+    }
+}
+
+/// Reusable per-worker state of the tiered engine. Create one per worker
+/// (e.g. via `Default` in `par_filter_map_scratch`'s `init`) and feed it
+/// to every [`Verifier`] call on that worker.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyScratch {
+    /// Cross-candidate `msim` memo.
+    memo: MsimMemo,
+    /// Epoch stamps of the dense per-candidate `(s_seg, t_seg)` table.
+    stamps: Vec<u32>,
+    /// Shared-gram counts per surfaced pair (valid where stamp == epoch).
+    counts: Vec<u32>,
+    /// Surfacing-source flags per pair (valid where stamp == epoch).
+    flags: Vec<u8>,
+    epoch: u32,
+    /// Surfaced pairs of the current candidate (sorted before scoring).
+    pairs: Vec<(u32, u32)>,
+    /// Vertex list of the current candidate.
+    vertices: Vec<VertexPair>,
+    /// Reused conflict graph + vertex annotations.
+    graph: UsimGraph,
+    weights: Vec<f64>,
+    /// Upper-bound per-side best-weight buffers.
+    best_s: Vec<f64>,
+    best_t: Vec<f64>,
+    /// Algorithm 1 local-search buffers (shared with the reference path).
+    refine: RefineScratch,
+    /// Context the memo entries belong to (see [`MemoStamp`]).
+    stamp: Option<MemoStamp>,
+}
+
+impl VerifyScratch {
+    /// Memo probes that hit (diagnostics).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits
+    }
+
+    /// Memo probes that missed (diagnostics).
+    pub fn memo_misses(&self) -> u64 {
+        self.memo.misses
+    }
+}
+
+/// The tiered verification engine: borrow the knowledge context once,
+/// verify many candidates through a per-worker [`VerifyScratch`].
+///
+/// **Single-lineage precondition:** both [`SegRecord`]s of a call must
+/// have been segmented against this engine's `Knowledge` (or an ancestor
+/// of it in the clone/mutate lineage — interners are append-only, so
+/// earlier segmentations stay valid). Mixing segment records from
+/// *diverged* clones is undefined: their interners can assign one id to
+/// different words, and the engine compares interned keys, not text.
+/// The reference path (`usim_approx_seg*`) compares text and has no such
+/// precondition.
+#[derive(Debug, Clone, Copy)]
+pub struct Verifier<'a> {
+    kn: &'a Knowledge,
+    cfg: &'a SimConfig,
+}
+
+impl<'a> Verifier<'a> {
+    /// New engine over a knowledge context and similarity configuration.
+    pub fn new(kn: &'a Knowledge, cfg: &'a SimConfig) -> Self {
+        Self { kn, cfg }
+    }
+
+    /// Flush the scratch's memo if it was populated under a different
+    /// `(Knowledge, SimConfig)` context — a reused scratch must never
+    /// serve `msim` values from another world.
+    fn restamp(&self, scr: &mut VerifyScratch) {
+        let stamp = MemoStamp::of(self.kn, self.cfg);
+        if scr.stamp != Some(stamp) {
+            if scr.stamp.is_some() {
+                scr.memo.keys.fill(MEMO_EMPTY);
+            }
+            scr.stamp = Some(stamp);
+        }
+    }
+
+    /// Decision-oriented verification: a valid lower bound of `USIM(s, t)`
+    /// whose `≥ θ − eps` decision — and accepted value — is byte-identical
+    /// to [`crate::usim::usim_approx_seg_at_least`].
+    pub fn sim_at_least(
+        &self,
+        s: &SegRecord,
+        t: &SegRecord,
+        theta: f64,
+        scr: &mut VerifyScratch,
+    ) -> f64 {
+        self.restamp(scr);
+        let ns = s.n_tokens();
+        let nt = t.n_tokens();
+        if ns == 0 && nt == 0 {
+            return 1.0;
+        }
+        if ns == 0 || nt == 0 {
+            return 0.0;
+        }
+        // Tier 0: record-level upper bound from two cached integers.
+        let ub0 = ns.min(nt) as f64 / s.min_partition.max(t.min_partition) as f64;
+        if ub0 < theta - self.cfg.eps {
+            return ub0.min(theta);
+        }
+        self.sim_tiered(s, t, Some(theta), scr)
+    }
+
+    /// Full-value verification: same value as
+    /// [`crate::usim::usim_approx_seg`] (no early stop), with all tier-1/2
+    /// sharing. Used by top-k re-scoring.
+    pub fn sim(&self, s: &SegRecord, t: &SegRecord, scr: &mut VerifyScratch) -> f64 {
+        self.restamp(scr);
+        self.sim_tiered(s, t, None, scr)
+    }
+
+    /// Tiers 1 and 2 (the caller has already applied tier 0 when a target
+    /// exists). Mirrors the reference `approx_set` step for step.
+    fn sim_tiered(
+        &self,
+        s: &SegRecord,
+        t: &SegRecord,
+        target: Option<f64>,
+        scr: &mut VerifyScratch,
+    ) -> f64 {
+        self.enumerate_vertices(s, t, scr);
+        // Pre-graph rejection on the vertex upper bound, exactly as the
+        // reference decision fast path (same formula, same eps slack).
+        if let Some(th) = target {
+            let ub = vertex_upper_bound_with(s, t, &scr.vertices, &mut scr.best_s, &mut scr.best_t);
+            if ub < th - self.cfg.eps {
+                return ub.min(th);
+            }
+        }
+        // Tier 2: rebuild the conflict graph in reused buffers. Edge
+        // insertion replicates `finish_graph`'s loop verbatim so adjacency
+        // order (which steers tie-breaks in the local search) is identical.
+        std::mem::swap(&mut scr.graph.vertices, &mut scr.vertices);
+        let UsimGraph { graph, vertices } = &mut scr.graph;
+        scr.weights.clear();
+        scr.weights.extend(vertices.iter().map(|v| v.weight));
+        graph.reset_with_weights(&scr.weights);
+        add_conflict_edges(graph, vertices, s, t);
+        if graph.is_empty() {
+            return get_sim_with(s, t, &scr.graph, &[], &mut scr.refine.eval);
+        }
+        refine_set(self.kn, self.cfg, s, t, &scr.graph, target, &mut scr.refine)
+    }
+
+    /// Tier 1: surface every segment pair that can have `msim > 0` via the
+    /// per-record posting tables, then score the surfaced pairs. Produces
+    /// exactly the vertex list of [`crate::usim::build_vertices`] (same
+    /// order, same weights, same winning measures).
+    ///
+    /// The gram merge **counts** shared distinct grams per pair as it
+    /// runs, so the J score is `score(count, |A|, |B|)` with no per-pair
+    /// re-intersection — the same arguments `msim` passes, hence the same
+    /// float. Synonym and taxonomy lookups fire only for pairs surfaced by
+    /// the rule/node joins (for any other pair those measures score 0 and
+    /// cannot beat the running best, mirroring `msim`'s strict-`>`
+    /// J-then-S-then-T order).
+    fn enumerate_vertices(&self, s: &SegRecord, t: &SegRecord, scr: &mut VerifyScratch) {
+        let nt_segs = t.segments.len();
+        let slots = s.segments.len() * nt_segs;
+        let VerifyScratch {
+            memo,
+            stamps,
+            counts,
+            flags,
+            epoch,
+            pairs,
+            vertices,
+            ..
+        } = scr;
+        if stamps.len() < slots {
+            stamps.resize(slots, 0);
+            counts.resize(slots, 0);
+            flags.resize(slots, 0);
+        }
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamps.fill(0);
+            *epoch = 1;
+        }
+        let epoch = *epoch;
+        pairs.clear();
+        {
+            let mut touch = |sa: u32, ta: u32, dcount: u32, flag: u8| {
+                let slot = sa as usize * nt_segs + ta as usize;
+                if stamps[slot] != epoch {
+                    stamps[slot] = epoch;
+                    counts[slot] = 0;
+                    flags[slot] = 0;
+                    pairs.push((sa, ta));
+                }
+                counts[slot] += dcount;
+                flags[slot] |= flag;
+            };
+            // Surface identity (`msim`'s text-equality rule, every config).
+            merge_join(&s.key_posts, &t.key_posts, &mut |sa, ta| {
+                touch(sa, ta, 0, 0);
+            });
+            // J: a positive gram score needs a shared distinct gram; count
+            // them (postings are empty when J is disabled).
+            merge_join(&s.gram_posts, &t.gram_posts, &mut |sa, ta| {
+                touch(sa, ta, 1, 0);
+            });
+            // S: a positive synonym score needs a rule with both surfaces
+            // as sides — that rule is in both segments' rule lists.
+            merge_join(&s.rule_posts, &t.rule_posts, &mut |sa, ta| {
+                touch(sa, ta, 0, FLAG_RULE);
+            });
+            // T: a positive taxonomy score needs nodes on both sides.
+            for &sa in &s.node_segs {
+                for &ta in &t.node_segs {
+                    touch(sa, ta, 0, FLAG_NODE);
+                }
+            }
+        }
+        // Dense enumeration order is s-major, t-minor.
+        pairs.sort_unstable();
+        vertices.clear();
+        for &(sa, ta) in pairs.iter() {
+            let a = &s.segments[sa as usize];
+            let b = &t.segments[ta as usize];
+            let key = (a.key, b.key);
+            let (w, kind) = match memo.get(key) {
+                Some(v) => v,
+                None => {
+                    let slot = sa as usize * nt_segs + ta as usize;
+                    let v = if a.key == b.key {
+                        // msim's identity rule (any measure subset).
+                        (1.0, MeasureKind::Jaccard)
+                    } else {
+                        let mut best = (0.0f64, MeasureKind::Jaccard);
+                        let inter = counts[slot] as usize;
+                        if inter > 0 {
+                            let j = self.cfg.gram.score(inter, a.grams.len(), b.grams.len());
+                            if j > best.0 {
+                                best = (j, MeasureKind::Jaccard);
+                            }
+                        }
+                        if flags[slot] & FLAG_RULE != 0 {
+                            if let (Some(pa), Some(pb)) = (a.phrase, b.phrase) {
+                                let sv = self.kn.synonyms.sim(pa, pb);
+                                if sv > best.0 {
+                                    best = (sv, MeasureKind::Synonym);
+                                }
+                            }
+                        }
+                        if flags[slot] & FLAG_NODE != 0 {
+                            if let (Some(na), Some(nb)) = (a.node, b.node) {
+                                let tv = self.kn.taxonomy.sim(na, nb);
+                                if tv > best.0 {
+                                    best = (tv, MeasureKind::Taxonomy);
+                                }
+                            }
+                        }
+                        best
+                    };
+                    debug_assert_eq!(
+                        {
+                            let m = crate::msim::msim_explained(self.kn, self.cfg, a, b);
+                            (m.0.to_bits(), m.1)
+                        },
+                        (v.0.to_bits(), v.1),
+                        "sparse msim diverged from reference for {:?} / {:?}",
+                        a.text,
+                        b.text
+                    );
+                    memo.put(key, v);
+                    v
+                }
+            };
+            if w > 0.0 {
+                vertices.push(VertexPair {
+                    s_seg: sa as usize,
+                    t_seg: ta as usize,
+                    weight: w,
+                    kind,
+                });
+            }
+        }
+    }
+}
+
+/// Two-pointer merge of key-sorted postings; `emit` fires for every cross
+/// pair of entries sharing a key.
+fn merge_join<K: Ord + Copy>(a: &[(K, u32)], b: &[(K, u32)], emit: &mut impl FnMut(u32, u32)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let k = a[i].0;
+                let i0 = i;
+                while i < a.len() && a[i].0 == k {
+                    i += 1;
+                }
+                let j0 = j;
+                while j < b.len() && b[j].0 == k {
+                    j += 1;
+                }
+                for &(_, x) in &a[i0..i] {
+                    for &(_, y) in &b[j0..j] {
+                        emit(x, y);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MeasureSet;
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
+    use crate::segment::segment_record;
+    use crate::usim::approx::{usim_approx_seg, usim_approx_seg_at_least};
+    use crate::usim::graph::build_vertices;
+
+    fn kn_figure1() -> Knowledge {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.synonym("cake", "gateau", 0.7);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        b.taxonomy_path(&["wikipedia", "food", "cake", "apple cake"]);
+        b.build()
+    }
+
+    fn corpus_texts() -> Vec<&'static str> {
+        vec![
+            "coffee shop latte helsingki",
+            "espresso cafe helsinki",
+            "latte corner cafe",
+            "apple cake and tea",
+            "gateau du jour",
+            "totally unrelated words",
+            "coffee coffee coffee",
+            "cake",
+            "",
+            "espresso",
+        ]
+    }
+
+    /// The sparse enumeration must reproduce the dense vertex list
+    /// byte for byte: same order, same weights, same winning measures.
+    #[test]
+    fn sparse_matches_dense_vertices() {
+        for measures in [MeasureSet::TJS, MeasureSet::J, MeasureSet::S, MeasureSet::T] {
+            let mut kn = kn_figure1();
+            let cfg = SimConfig::default().with_measures(measures);
+            let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+            let segs: Vec<_> = ids
+                .iter()
+                .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+                .collect();
+            let v = Verifier::new(&kn, &cfg);
+            let mut scr = VerifyScratch::default();
+            for a in &segs {
+                for b in &segs {
+                    let dense = build_vertices(&kn, &cfg, a, b);
+                    v.enumerate_vertices(a, b, &mut scr);
+                    assert_eq!(dense.len(), scr.vertices.len(), "vertex count");
+                    for (x, y) in dense.iter().zip(&scr.vertices) {
+                        assert_eq!((x.s_seg, x.t_seg), (y.s_seg, y.t_seg));
+                        assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                        assert_eq!(x.kind, y.kind);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tier 0 never rejects a pair the reference accepts, and accepted
+    /// values are bitwise equal to the reference.
+    #[test]
+    fn tiered_decisions_match_reference() {
+        let mut kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+        let segs: Vec<_> = ids
+            .iter()
+            .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+            .collect();
+        let v = Verifier::new(&kn, &cfg);
+        let mut scr = VerifyScratch::default();
+        for theta in [0.2, 0.5, 0.7, 0.9, 1.0] {
+            for a in &segs {
+                for b in &segs {
+                    let reference = usim_approx_seg_at_least(&kn, &cfg, a, b, theta);
+                    let tiered = v.sim_at_least(a, b, theta, &mut scr);
+                    let ref_accept = reference >= theta - cfg.eps;
+                    let tier_accept = tiered >= theta - cfg.eps;
+                    assert_eq!(ref_accept, tier_accept, "decision at θ={theta}");
+                    if ref_accept {
+                        assert_eq!(
+                            reference.to_bits(),
+                            tiered.to_bits(),
+                            "accepted value at θ={theta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full-value path equals `usim_approx_seg` bitwise (top-k
+    /// re-scoring relies on this).
+    #[test]
+    fn full_value_matches_reference() {
+        let mut kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+        let segs: Vec<_> = ids
+            .iter()
+            .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+            .collect();
+        let v = Verifier::new(&kn, &cfg);
+        let mut scr = VerifyScratch::default();
+        for a in &segs {
+            for b in &segs {
+                let reference = usim_approx_seg(&kn, &cfg, a, b);
+                let tiered = v.sim(a, b, &mut scr);
+                assert_eq!(reference.to_bits(), tiered.to_bits());
+            }
+        }
+    }
+
+    /// Tier 0's bound dominates the reference similarity (soundness).
+    #[test]
+    fn tier0_bound_is_sound() {
+        let mut kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+        let segs: Vec<_> = ids
+            .iter()
+            .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+            .collect();
+        for a in &segs {
+            for b in &segs {
+                if a.n_tokens() == 0 || b.n_tokens() == 0 {
+                    continue;
+                }
+                let ub0 = a.n_tokens().min(b.n_tokens()) as f64
+                    / a.min_partition.max(b.min_partition) as f64;
+                let sim = usim_approx_seg(&kn, &cfg, a, b);
+                assert!(ub0 >= sim - 1e-12, "tier0 {ub0} < sim {sim}");
+            }
+        }
+    }
+
+    /// A scratch reused against a different `(Knowledge, SimConfig)`
+    /// context must flush its memo instead of serving stale similarities.
+    #[test]
+    fn scratch_reuse_across_configs_is_safe() {
+        let mut kn = kn_figure1();
+        let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+        let mut scr = VerifyScratch::default();
+        for measures in [
+            MeasureSet::TJS,
+            MeasureSet::J,
+            MeasureSet::S,
+            MeasureSet::TJS, // back again — memo flushed in between
+        ] {
+            let cfg = SimConfig::default().with_measures(measures);
+            let segs: Vec<_> = ids
+                .iter()
+                .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+                .collect();
+            let v = Verifier::new(&kn, &cfg);
+            for a in &segs {
+                for b in &segs {
+                    let reference = usim_approx_seg_at_least(&kn, &cfg, a, b, 0.4);
+                    let tiered = v.sim_at_least(a, b, 0.4, &mut scr);
+                    let ra = reference >= 0.4 - cfg.eps;
+                    assert_eq!(ra, tiered >= 0.4 - cfg.eps);
+                    if ra {
+                        assert_eq!(reference.to_bits(), tiered.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The memo never changes values: a warm scratch returns the same
+    /// bits as a cold one.
+    #[test]
+    fn warm_memo_is_transparent() {
+        let mut kn = kn_figure1();
+        let cfg = SimConfig::default();
+        let ids: Vec<_> = corpus_texts().iter().map(|t| kn.add_record(t)).collect();
+        let segs: Vec<_> = ids
+            .iter()
+            .map(|&id| segment_record(&kn, &cfg, &kn.record(id).tokens))
+            .collect();
+        let v = Verifier::new(&kn, &cfg);
+        let mut warm = VerifyScratch::default();
+        // Warm the memo on every pair, then re-verify and compare against
+        // per-pair cold scratches.
+        for a in &segs {
+            for b in &segs {
+                v.sim_at_least(a, b, 0.5, &mut warm);
+            }
+        }
+        assert!(
+            warm.memo_hits() > 0,
+            "repeated surfaces should hit the memo"
+        );
+        for a in &segs {
+            for b in &segs {
+                let mut cold = VerifyScratch::default();
+                let x = v.sim_at_least(a, b, 0.5, &mut cold);
+                let y = v.sim_at_least(a, b, 0.5, &mut warm);
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -18,7 +18,10 @@ use crate::blueprint::KnowledgeBlueprint;
 use crate::profile::DatasetProfile;
 use crate::words::word;
 use crate::zipf::Zipf;
+use au_core::config::SimConfig;
 use au_core::knowledge::Knowledge;
+use au_core::segment::segment_record;
+use au_core::usim::usim_approx_seg;
 use au_text::record::Corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,6 +85,18 @@ pub struct GroundTruthPair {
     pub t: u32,
     /// Perturbations applied (non-empty).
     pub kinds: Vec<PerturbKind>,
+    /// Unified similarity of the pair (Algorithm 1 under the default
+    /// [`SimConfig`]), computed at generation time.
+    ///
+    /// Construction guarantees the pair is *related*, not that it clears
+    /// any particular θ: stacked perturbations (e.g. a typo plus a synonym
+    /// plus a taxonomy swap on a short record) can push the true
+    /// similarity below a high join threshold. Effectiveness metrics must
+    /// therefore compare a θ-join against [`LabeledDataset::truth_at`]
+    /// (the planted pairs that actually reach θ), not against the full
+    /// planted list — scoring against the full list under-reports recall
+    /// by exactly the pairs no θ-complete join could ever return.
+    pub sim: f64,
 }
 
 /// Generated corpora with ground truth and shared knowledge.
@@ -137,6 +152,7 @@ impl LabeledDataset {
                 s: i as u32,
                 t: i as u32,
                 kinds,
+                sim: 0.0,
             });
         }
         for _ in n_pairs..n_s {
@@ -150,6 +166,21 @@ impl LabeledDataset {
 
         let s = kn.corpus_from_lines(s_lines.iter().map(|x| x.as_str()));
         let t = kn.corpus_from_lines(t_lines.iter().map(|x| x.as_str()));
+        // Label every planted pair with its actual unified similarity so
+        // consumers can score θ-joins against [`Self::truth_at`]. Runs
+        // over the shared parallel layer (deterministic output) — the
+        // labeling is independent per pair and would otherwise dominate
+        // generation at large scales.
+        let cfg = SimConfig::default();
+        let ids: Vec<(u32, u32)> = truth.iter().map(|p| (p.s, p.t)).collect();
+        let sims = au_core::parallel::par_map(&ids, true, |&(sid, tid)| {
+            let sr = segment_record(&kn, &cfg, &s.get(au_text::record::RecordId(sid)).tokens);
+            let tr = segment_record(&kn, &cfg, &t.get(au_text::record::RecordId(tid)).tokens);
+            usim_approx_seg(&kn, &cfg, &sr, &tr)
+        });
+        for (p, sim) in truth.iter_mut().zip(sims) {
+            p.sim = sim;
+        }
         Self {
             kn,
             blueprint,
@@ -157,6 +188,15 @@ impl LabeledDataset {
             t,
             truth,
         }
+    }
+
+    /// The planted pairs whose unified similarity actually reaches `theta`
+    /// (under the default [`SimConfig`]'s eps slack, matching the join
+    /// verifier's acceptance test) — the correct ground truth for scoring
+    /// a θ-join. See [`GroundTruthPair::sim`].
+    pub fn truth_at(&self, theta: f64) -> impl Iterator<Item = &GroundTruthPair> {
+        let eps = SimConfig::default().eps;
+        self.truth.iter().filter(move |p| p.sim >= theta - eps)
     }
 
     /// Mean tokens per record over both corpora (Table 7 style).
@@ -473,6 +513,30 @@ mod tests {
             let t = typo(w, &mut rng);
             assert_eq!(levenshtein(w, &t), 1, "{w} → {t}");
             assert_eq!(w.len(), t.len());
+        }
+    }
+
+    #[test]
+    fn truth_sims_labeled_and_theta_filtered() {
+        let d = small();
+        let cfg = SimConfig::default();
+        for p in &d.truth {
+            assert!(p.sim >= 0.0 && p.sim <= 1.0 + 1e-12, "sim {}", p.sim);
+            // The label is exactly what the join verifier computes.
+            let sr = segment_record(&d.kn, &cfg, &d.s.get(au_text::record::RecordId(p.s)).tokens);
+            let tr = segment_record(&d.kn, &cfg, &d.t.get(au_text::record::RecordId(p.t)).tokens);
+            assert_eq!(
+                p.sim.to_bits(),
+                usim_approx_seg(&d.kn, &cfg, &sr, &tr).to_bits()
+            );
+        }
+        assert_eq!(d.truth_at(0.0).count(), d.truth.len());
+        // truth_at is monotone in θ.
+        let mut last = d.truth.len();
+        for theta in [0.5, 0.7, 0.9, 0.99] {
+            let n = d.truth_at(theta).count();
+            assert!(n <= last, "truth_at not monotone at {theta}");
+            last = n;
         }
     }
 

@@ -16,6 +16,14 @@ impl BitSet {
         }
     }
 
+    /// Clear all bits and resize to capacity `len`, reusing the word
+    /// buffer (no allocation when the capacity shrinks or stays).
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
     /// All-one bitset with capacity `len`.
     pub fn full(len: usize) -> Self {
         let mut s = Self::new(len);

@@ -17,6 +17,12 @@ pub struct ConflictGraph {
     weights: Vec<f64>,
     adj: Vec<Vec<u32>>,
     rows: Vec<BitSet>,
+    /// Vertex count every bitset row is currently sized for; when it
+    /// matches `weights.len()`, `ensure_rows` is a constant-time no-op
+    /// (the common case on the verification hot path, where
+    /// [`ConflictGraph::reset_with_weights`] pre-sizes all rows).
+    /// `add_vertex` leaves it stale, re-arming the resize scan.
+    sized_for: usize,
 }
 
 impl ConflictGraph {
@@ -32,7 +38,37 @@ impl ConflictGraph {
             weights,
             adj: vec![Vec::new(); n],
             rows: vec![BitSet::new(n); n],
+            sized_for: n,
         }
+    }
+
+    /// Reset to `weights.len()` vertices with no edges, **reusing** the
+    /// adjacency-list and bitset-row allocations of the previous graph.
+    ///
+    /// This is the hot-loop form of [`ConflictGraph::with_weights`]: the
+    /// verification engine builds one conflict graph per surviving
+    /// candidate, and per-candidate `Vec<Vec<u32>>`/`Vec<BitSet>`
+    /// allocations dominate when the graphs are small. The resulting graph
+    /// is observationally identical to a freshly constructed one (same
+    /// adjacency order under the same `add_edge` sequence).
+    pub fn reset_with_weights(&mut self, weights: &[f64]) {
+        let n = weights.len();
+        self.weights.clear();
+        self.weights.extend_from_slice(weights);
+        // Reuse existing rows/adj buffers; truncate or grow as needed.
+        self.adj.truncate(n);
+        for a in &mut self.adj {
+            a.clear();
+        }
+        self.adj.resize(n, Vec::new());
+        self.rows.truncate(n);
+        for r in &mut self.rows {
+            r.reset(n);
+        }
+        while self.rows.len() < n {
+            self.rows.push(BitSet::new(n));
+        }
+        self.sized_for = n;
     }
 
     /// Add a vertex; returns its index.
@@ -51,6 +87,9 @@ impl ConflictGraph {
 
     fn ensure_rows(&mut self) {
         let n = self.weights.len();
+        if self.sized_for == n {
+            return;
+        }
         for r in &mut self.rows {
             if r.len() < n {
                 let mut fresh = BitSet::new(n);
@@ -60,6 +99,7 @@ impl ConflictGraph {
                 *r = fresh;
             }
         }
+        self.sized_for = n;
     }
 
     /// Add an undirected edge `u – v`. Self-loops and duplicates are ignored.

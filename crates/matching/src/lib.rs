@@ -27,6 +27,8 @@ pub use conflict::ConflictGraph;
 pub use exact_mis::exact_wmis;
 pub use greedy_mis::greedy_wmis;
 pub use hungarian::max_weight_matching;
-pub use min_partition::{min_partition, min_partition_masked};
+pub use min_partition::{
+    min_partition, min_partition_masked, min_partition_masked_with, IntervalsByEnd,
+};
 pub use set_cover::greedy_cover_size;
 pub use squareimp::{apply_swap, for_each_talon_set, square_imp, SquareImpConfig};

@@ -11,6 +11,56 @@
 //! residual tokens must still be grouped into as few well-defined segments
 //! as possible, because the denominator of Eq. 6 counts them.
 
+/// Multi-token intervals of one record indexed by end position in CSR form
+/// — the precomputable half of the masked min-partition DP.
+///
+/// Built once per record (the interval set never changes after
+/// segmentation), so the per-call cost of [`min_partition_masked_with`] is
+/// the DP alone: no `Vec<Vec<_>>` bucket allocation per evaluation. `GetSim`
+/// runs the masked DP once per candidate independent set — thousands of
+/// times per verified pair — which made the bucket rebuild the dominant
+/// allocator traffic of verification.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalsByEnd {
+    /// `offsets[e]..offsets[e + 1]` indexes `starts` for intervals ending
+    /// at `e` (offsets has `n + 2` entries).
+    offsets: Vec<u32>,
+    /// Start positions, grouped by end.
+    starts: Vec<u32>,
+}
+
+impl IntervalsByEnd {
+    /// Group `segments` (intervals `(start, len)`) of a length-`n` token
+    /// span by their exclusive end position.
+    pub fn build(n: usize, segments: &[(usize, usize)]) -> Self {
+        debug_assert!(segments.iter().all(|&(s, l)| l >= 1 && s + l <= n));
+        let mut counts = vec![0u32; n + 2];
+        for &(s, l) in segments {
+            counts[s + l + 1] += 1;
+        }
+        for e in 1..counts.len() {
+            counts[e] += counts[e - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut starts = vec![0u32; segments.len()];
+        for &(s, l) in segments {
+            let slot = cursor[s + l] as usize;
+            starts[slot] = s as u32;
+            cursor[s + l] += 1;
+        }
+        Self { offsets, starts }
+    }
+
+    /// Start positions of intervals ending at `end`.
+    #[inline]
+    pub fn ending_at(&self, end: usize) -> &[u32] {
+        let lo = self.offsets[end] as usize;
+        let hi = self.offsets[end + 1] as usize;
+        &self.starts[lo..hi]
+    }
+}
+
 /// Minimum number of segments exactly partitioning `0..n` where the allowed
 /// pieces are `segments` (intervals `(start, len)`) plus all singletons.
 pub fn min_partition(n: usize, segments: &[(usize, usize)]) -> u32 {
@@ -21,14 +71,23 @@ pub fn min_partition(n: usize, segments: &[(usize, usize)]) -> u32 {
 /// covering; segments may only be used if entirely free. Blocked positions
 /// contribute no cost.
 pub fn min_partition_masked(n: usize, segments: &[(usize, usize)], free: &[bool]) -> u32 {
+    let by_end = IntervalsByEnd::build(n, segments);
+    let mut dp = Vec::new();
+    min_partition_masked_with(n, &by_end, free, &mut dp)
+}
+
+/// Allocation-free core of [`min_partition_masked`]: intervals arrive
+/// pre-grouped in `by_end` and the DP table is the caller's reusable
+/// scratch (`dp` is cleared and refilled; its capacity persists).
+pub fn min_partition_masked_with(
+    n: usize,
+    by_end: &IntervalsByEnd,
+    free: &[bool],
+    dp: &mut Vec<u32>,
+) -> u32 {
     assert_eq!(free.len(), n, "mask length mismatch");
-    debug_assert!(segments.iter().all(|&(s, l)| l >= 1 && s + l <= n));
-    // Index multi-token segments by end position.
-    let mut by_end: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // end → starts
-    for &(s, l) in segments {
-        by_end[s + l].push(s);
-    }
-    let mut dp = vec![u32::MAX; n + 1];
+    dp.clear();
+    dp.resize(n + 1, u32::MAX);
     dp[0] = 0;
     for j in 1..=n {
         if !free[j - 1] {
@@ -40,7 +99,8 @@ pub fn min_partition_masked(n: usize, segments: &[(usize, usize)], free: &[bool]
             dp[j] = dp[j - 1] + 1;
         }
         // Multi-token pieces ending at j, fully free.
-        for &s in &by_end[j] {
+        for &s in by_end.ending_at(j) {
+            let s = s as usize;
             if dp[s] == u32::MAX {
                 continue;
             }

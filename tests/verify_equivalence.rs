@@ -1,0 +1,207 @@
+//! Tier-equivalence harness: the tiered verification engine
+//! (`au_core::usim::verify`) must produce **byte-identical** `(pairs,
+//! sims)` to the reference per-candidate path
+//! (`usim_approx_seg_at_least`), on generated datasets and on adversarial
+//! proptest corpora, serial and parallel alike.
+//!
+//! This is the contract that lets the engine reject candidates before any
+//! segment-pair enumeration (tier 0), share `msim` across candidates
+//! (tier 1) and reuse every per-candidate buffer (tier 2): none of it may
+//! change a single output bit.
+
+use au_join::core::join::{
+    apply_global_order, filter_stage, prepare_corpus, verify_candidates,
+    verify_candidates_reference, JoinOptions,
+};
+use au_join::core::segment::segment_record;
+use au_join::core::usim::{usim_approx_seg, usim_approx_seg_at_least, Verifier, VerifyScratch};
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use au_join::prelude::*;
+use proptest::prelude::*;
+
+fn assert_bit_identical(a: &[(u32, u32, f64)], b: &[(u32, u32, f64)], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: result count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            (x.0, x.1, x.2.to_bits()),
+            (y.0, y.1, y.2.to_bits()),
+            "{ctx}: pair mismatch"
+        );
+    }
+}
+
+fn check_dataset(ds: &LabeledDataset, theta: f64, self_join: bool) {
+    let cfg = SimConfig::default();
+    let opts = JoinOptions::u_filter(theta);
+    let mut sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+    if self_join {
+        let mut empty = prepare_corpus(&ds.kn, &cfg, &au_join::text::record::Corpus::new());
+        apply_global_order(&mut sp, &mut empty);
+        let out = filter_stage(&sp, &sp, &opts, cfg.eps, true);
+        for parallel in [false, true] {
+            let tiered =
+                verify_candidates(&ds.kn, &cfg, &sp, &sp, &out.candidates, theta, parallel);
+            let reference = verify_candidates_reference(
+                &ds.kn,
+                &cfg,
+                &sp,
+                &sp,
+                &out.candidates,
+                theta,
+                parallel,
+            );
+            assert_bit_identical(
+                &tiered,
+                &reference,
+                &format!("self-join θ={theta} parallel={parallel}"),
+            );
+        }
+    } else {
+        let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+        apply_global_order(&mut sp, &mut tp);
+        let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
+        for parallel in [false, true] {
+            let tiered =
+                verify_candidates(&ds.kn, &cfg, &sp, &tp, &out.candidates, theta, parallel);
+            let reference = verify_candidates_reference(
+                &ds.kn,
+                &cfg,
+                &sp,
+                &tp,
+                &out.candidates,
+                theta,
+                parallel,
+            );
+            assert_bit_identical(
+                &tiered,
+                &reference,
+                &format!("R×S θ={theta} parallel={parallel}"),
+            );
+        }
+    }
+}
+
+fn med_ds() -> LabeledDataset {
+    let mut profile = DatasetProfile::med_like(0.05);
+    profile.taxonomy_nodes = 250;
+    profile.synonym_rules = 120;
+    LabeledDataset::generate(&profile, 260, 260, 80, 11)
+}
+
+fn wiki_ds() -> LabeledDataset {
+    let mut profile = DatasetProfile::wiki_like(0.05);
+    profile.taxonomy_nodes = 250;
+    profile.synonym_rules = 120;
+    LabeledDataset::generate(&profile, 200, 200, 60, 23)
+}
+
+#[test]
+fn tiered_equals_reference_on_med_rxs() {
+    let ds = med_ds();
+    for theta in [0.5, 0.7, 0.9] {
+        check_dataset(&ds, theta, false);
+    }
+}
+
+#[test]
+fn tiered_equals_reference_on_med_self_join() {
+    let ds = med_ds();
+    check_dataset(&ds, 0.8, true);
+}
+
+#[test]
+fn tiered_equals_reference_on_wiki() {
+    let ds = wiki_ds();
+    for theta in [0.6, 0.95] {
+        check_dataset(&ds, theta, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial proptest corpora: tiny alphabet → repeated tokens, shared
+// rules/entities, degenerate conflict graphs.
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "coffee",
+        "shop",
+        "cafe",
+        "latte",
+        "espresso",
+        "helsinki",
+        "helsingki",
+        "cake",
+        "apple",
+        "tea",
+        "house",
+        "bar",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn text_strategy(max_tokens: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(word_strategy(), 1..=max_tokens).prop_map(|v| v.join(" "))
+}
+
+fn test_knowledge() -> Knowledge {
+    let mut kb = KnowledgeBuilder::new();
+    kb.synonym("coffee shop", "cafe", 1.0);
+    kb.synonym("tea house", "tearoom", 0.9);
+    kb.synonym("apple cake", "cake", 0.6);
+    kb.taxonomy_path(&["root", "drinks", "coffee", "latte"]);
+    kb.taxonomy_path(&["root", "drinks", "coffee", "espresso"]);
+    kb.taxonomy_path(&["root", "food", "cake", "apple cake"]);
+    kb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-pair: decision parity at every θ, and bitwise value parity on
+    /// acceptance, including a warm scratch carried across cases.
+    #[test]
+    fn tiered_pair_decisions_match(a in text_strategy(7), b in text_strategy(7), theta in 0.05f64..1.0) {
+        let mut kn = test_knowledge();
+        let cfg = SimConfig::default();
+        let ra = kn.add_record(&a);
+        let rb = kn.add_record(&b);
+        let sa = segment_record(&kn, &cfg, &kn.record(ra).tokens);
+        let sb = segment_record(&kn, &cfg, &kn.record(rb).tokens);
+        let engine = Verifier::new(&kn, &cfg);
+        let mut scr = VerifyScratch::default();
+        let reference = usim_approx_seg_at_least(&kn, &cfg, &sa, &sb, theta);
+        let tiered = engine.sim_at_least(&sa, &sb, theta, &mut scr);
+        let ra = reference >= theta - cfg.eps;
+        let ta = tiered >= theta - cfg.eps;
+        prop_assert_eq!(ra, ta, "decision diverged at θ={}", theta);
+        if ra {
+            prop_assert_eq!(reference.to_bits(), tiered.to_bits());
+        }
+        // Full-value path (top-k re-scoring) is bitwise identical always.
+        let full_ref = usim_approx_seg(&kn, &cfg, &sa, &sb);
+        let full_tier = engine.sim(&sa, &sb, &mut scr);
+        prop_assert_eq!(full_ref.to_bits(), full_tier.to_bits());
+    }
+
+    /// Whole-corpus: the verify stage output is byte-identical, serial and
+    /// parallel.
+    #[test]
+    fn tiered_corpus_verify_matches(texts in prop::collection::vec(text_strategy(6), 4..16), theta in 0.3f64..0.95) {
+        let mut kn = test_knowledge();
+        let cfg = SimConfig::default();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let c = kn.corpus_from_lines(refs);
+        let sp = prepare_corpus(&kn, &cfg, &c);
+        // All pairs as candidates — stresses tier 0 on pairs the filter
+        // would normally never surface.
+        let all: Vec<(u32, u32)> = (0..c.len() as u32)
+            .flat_map(|x| (0..c.len() as u32).map(move |y| (x, y)))
+            .collect();
+        for parallel in [false, true] {
+            let tiered = verify_candidates(&kn, &cfg, &sp, &sp, &all, theta, parallel);
+            let reference =
+                verify_candidates_reference(&kn, &cfg, &sp, &sp, &all, theta, parallel);
+            assert_bit_identical(&tiered, &reference, "proptest corpus");
+        }
+    }
+}
