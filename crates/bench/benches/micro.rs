@@ -2,6 +2,9 @@
 //! in DESIGN.md (pebble order, MP bound mode, DP early termination, claw
 //! cap, verification mode).
 
+// The criterion suites benchmark the legacy one-shot paths on purpose
+// (they measure end-to-end cost including preparation).
+#![allow(deprecated)]
 use au_bench::harness::med_dataset;
 use au_core::config::{GramMeasure, SimConfig};
 use au_core::join::{apply_global_order, filter_stage, prepare_corpus, JoinOptions};

@@ -5,6 +5,9 @@
 //! (EXPERIMENTS.md). Scale is deliberately tiny to keep `cargo bench`
 //! minutes-sized.
 
+// The criterion suites benchmark the legacy one-shot paths on purpose
+// (they measure end-to-end cost including preparation).
+#![allow(deprecated)]
 use au_bench::harness::{med_dataset, wiki_dataset};
 use au_core::config::{MeasureSet, SimConfig};
 use au_core::estimate::CostModel;

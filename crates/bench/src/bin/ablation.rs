@@ -11,7 +11,8 @@
 use au_bench::harness::{fmt_secs, med_dataset, score_join, Table};
 use au_bench::scale_from_env;
 use au_core::config::{GramMeasure, SimConfig};
-use au_core::join::{apply_global_order, filter_stage, join, prepare_corpus, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
+use au_core::join::{apply_global_order, filter_stage, prepare_corpus, JoinOptions};
 use au_core::segment::segment_record;
 use au_core::signature::MpMode;
 use au_core::usim::{usim_approx_seg, usim_exact_seg};
@@ -84,12 +85,17 @@ fn ablate_mp_bound(n: usize) {
             "greedy time",
         ],
     );
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     for theta in [0.75, 0.85, 0.95] {
-        let mut opts = JoinOptions::au_dp(theta, 3);
-        opts.mp_mode = MpMode::ExactDp;
-        let a = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
-        opts.mp_mode = MpMode::GreedyLn;
-        let b = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+        let spec = JoinSpec::threshold(theta).au_dp(3);
+        let a = engine
+            .join(&ps, &pt, &spec.mp_mode(MpMode::ExactDp))
+            .expect("prepared join");
+        let b = engine
+            .join(&ps, &pt, &spec.mp_mode(MpMode::GreedyLn))
+            .expect("prepared join");
         assert_eq!(a.pairs, b.pairs, "MP mode must not change results");
         t.row(vec![
             format!("{theta:.2}"),
@@ -219,7 +225,12 @@ fn ablate_gram_measure(n: usize) {
     );
     for gram in GramMeasure::ALL {
         let cfg = SimConfig::default().with_gram(gram);
-        let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(0.85, 3));
+        let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
+        let res = engine
+            .join(&ps, &pt, &JoinSpec::threshold(0.85).au_dp(3))
+            .expect("prepared join");
         let prf = score_join(&ds, &res);
         t.row(vec![
             gram.label().into(),

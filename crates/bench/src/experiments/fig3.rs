@@ -7,12 +7,16 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 
 /// Run the experiment; returns the rendered tables.
 pub fn run(scale: f64) -> String {
     let ds = med_dataset(sized(1200, scale), 31);
     let cfg = SimConfig::default();
+    // One prepared artifact per side serves the whole τ×θ sweep.
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     let thetas = [0.75, 0.85, 0.95];
     let taus = [1u32, 2, 3, 4, 5];
 
@@ -33,13 +37,9 @@ pub fn run(scale: f64) -> String {
         let mut c_cells = vec![tau.to_string()];
         let mut t_cells = vec![tau.to_string()];
         for theta in thetas {
-            let res = join(
-                &ds.kn,
-                &cfg,
-                &ds.s,
-                &ds.t,
-                &JoinOptions::au_heuristic(theta, tau),
-            );
+            let res = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                .expect("prepared join");
             s_cells.push(format!("{:.1}", res.stats.avg_sig_len_s));
             c_cells.push(res.stats.candidates.to_string());
             t_cells.push(fmt_secs(res.stats.total_time().as_secs_f64()));
@@ -58,19 +58,17 @@ mod tests {
     #[test]
     fn signature_grows_candidates_shrink_with_tau() {
         let ds = med_dataset(250, 5);
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let theta = 0.85;
         let mut last_sig = 0.0f64;
         let mut first_cand = None;
         let mut last_cand = 0u64;
         for tau in [1u32, 3, 5] {
-            let res = join(
-                &ds.kn,
-                &cfg,
-                &ds.s,
-                &ds.t,
-                &JoinOptions::au_heuristic(theta, tau),
-            );
+            let res = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                .expect("prepared join");
             assert!(
                 res.stats.avg_sig_len_s >= last_sig - 1e-9,
                 "τ={tau}: signature shrank"

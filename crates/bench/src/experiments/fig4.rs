@@ -7,27 +7,23 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::estimate::CostModel;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec, Prepared};
 use au_core::signature::FilterKind;
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::suggest::SuggestConfig;
 
-/// Pick τ with Algorithm 7, then run the AU join with it.
+/// Pick τ with Algorithm 7, then run the AU join with it — all on the
+/// same prepared state (calibration, sampling and the join share one
+/// preparation).
 fn suggested_join(
-    ds: &au_datagen::LabeledDataset,
-    cfg: &SimConfig,
+    engine: &Engine,
+    ps: &Prepared,
+    pt: &Prepared,
     theta: f64,
     use_dp: bool,
 ) -> au_core::join::JoinResult {
-    let model = CostModel::calibrate(
-        &ds.kn,
-        cfg,
-        &ds.s,
-        &ds.t,
-        theta,
-        FilterKind::AuHeuristic { tau: 2 },
-        64,
-    );
+    let model = engine
+        .calibrate(ps, pt, theta, FilterKind::AuHeuristic { tau: 2 }, 64)
+        .expect("calibrate");
     let sc = SuggestConfig {
         ps: 0.1,
         pt: 0.1,
@@ -37,13 +33,15 @@ fn suggested_join(
         use_dp,
         ..Default::default()
     };
-    let pick = suggest_tau(&ds.kn, cfg, &ds.s, &ds.t, theta, &model, &sc);
-    let opts = if use_dp {
-        JoinOptions::au_dp(theta, pick.tau)
+    let pick = engine
+        .suggest_tau(ps, pt, theta, &model, &sc)
+        .expect("suggest");
+    let spec = if use_dp {
+        JoinSpec::threshold(theta).au_dp(pick.tau)
     } else {
-        JoinOptions::au_heuristic(theta, pick.tau)
+        JoinSpec::threshold(theta).au_heuristic(pick.tau)
     };
-    join(&ds.kn, cfg, &ds.s, &ds.t, &opts)
+    engine.join(ps, pt, &spec).expect("prepared join")
 }
 
 /// Run the experiment; returns the rendered tables.
@@ -54,14 +52,19 @@ pub fn run(scale: f64) -> String {
         ("MED-like", med_dataset(sized(1200, scale), 41)),
         ("WIKI-like", wiki_dataset(sized(1200, scale), 42)),
     ] {
+        let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let mut table = Table::new(
             &format!("Figure 4 — join time vs θ ({name})"),
             &["θ", "U-Filter", "AU-heur", "AU-DP"],
         );
         for theta in [0.75, 0.80, 0.85, 0.90, 0.95] {
-            let u = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::u_filter(theta));
-            let h = suggested_join(&ds, &cfg, theta, false);
-            let d = suggested_join(&ds, &cfg, theta, true);
+            let u = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).u_filter())
+                .expect("prepared join");
+            let h = suggested_join(&engine, &ps, &pt, theta, false);
+            let d = suggested_join(&engine, &ps, &pt, theta, true);
             table.row(vec![
                 format!("{theta:.2}"),
                 fmt_secs(u.stats.total_time().as_secs_f64()),
@@ -82,17 +85,14 @@ mod tests {
     fn all_filters_same_results() {
         // Timing aside, the three algorithms must return identical pairs.
         let ds = med_dataset(200, 9);
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let theta = 0.8;
-        let u = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::u_filter(theta));
-        let h = join(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            &JoinOptions::au_heuristic(theta, 3),
-        );
-        let d = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 3));
+        let spec = JoinSpec::threshold(theta);
+        let u = engine.join(&ps, &pt, &spec.u_filter()).expect("join");
+        let h = engine.join(&ps, &pt, &spec.au_heuristic(3)).expect("join");
+        let d = engine.join(&ps, &pt, &spec.au_dp(3)).expect("join");
         assert_eq!(u.pairs, h.pairs);
         assert_eq!(u.pairs, d.pairs);
         assert!(!u.pairs.is_empty(), "fixture should produce matches");

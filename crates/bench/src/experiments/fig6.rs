@@ -7,7 +7,7 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
 use au_core::config::{MeasureSet, SimConfig};
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 
 /// Run the experiment; returns the rendered tables.
 pub fn run(scale: f64) -> String {
@@ -21,10 +21,17 @@ pub fn run(scale: f64) -> String {
             &["measure", "θ=0.75", "θ=0.85", "θ=0.95"],
         );
         for m in MeasureSet::all_combinations() {
+            // Segmentation is measure-dependent, so each combination gets
+            // its own engine; the θ sweep reuses its prepared state.
             let cfg = SimConfig::default().with_measures(m);
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
             let mut cells = vec![m.label()];
             for theta in [0.75, 0.85, 0.95] {
-                let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+                let res = engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+                    .expect("prepared join");
                 cells.push(fmt_secs(res.stats.total_time().as_secs_f64()));
             }
             table.row(cells);
@@ -45,12 +52,20 @@ mod tests {
         let theta = 0.85;
         let time_of = |m: MeasureSet| -> Duration {
             let cfg = SimConfig::default().with_measures(m);
-            // median of 3 runs to damp noise
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
+            // median of 3 runs to damp noise; include the one-time
+            // preparation in every sample to keep the comparison on the
+            // measure's full cost, as before the session API.
             let mut times: Vec<Duration> = (0..3)
                 .map(|_| {
-                    join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2))
-                        .stats
-                        .total_time()
+                    let stats = engine
+                        .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+                        .expect("prepared join")
+                        .stats;
+                    stats.total_time()
+                        + Duration::from_secs_f64(ps.prepare_seconds() + pt.prepare_seconds())
                 })
                 .collect();
             times.sort();

@@ -7,7 +7,7 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 
 /// Run the experiment; returns the rendered tables.
 pub fn run(scale: f64) -> String {
@@ -25,15 +25,13 @@ pub fn run(scale: f64) -> String {
         for step in [1usize, 2, 3, 4, 5, 6] {
             let n = sized(400 * step, scale);
             let ds = mk(n, seed);
-            let u = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::u_filter(theta));
-            let h = join(
-                &ds.kn,
-                &cfg,
-                &ds.s,
-                &ds.t,
-                &JoinOptions::au_heuristic(theta, 3),
-            );
-            let d = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 3));
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
+            let spec = JoinSpec::threshold(theta);
+            let u = engine.join(&ps, &pt, &spec.u_filter()).expect("join");
+            let h = engine.join(&ps, &pt, &spec.au_heuristic(3)).expect("join");
+            let d = engine.join(&ps, &pt, &spec.au_dp(3)).expect("join");
             table.row(vec![
                 n.to_string(),
                 fmt_secs(u.stats.total_time().as_secs_f64()),
@@ -60,7 +58,13 @@ mod tests {
         let cfg = SimConfig::default();
         for n in [150usize, 600] {
             let ds = med_dataset(n, 3);
-            let stats = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(0.9, 3)).stats;
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
+            let stats = engine
+                .join(&ps, &pt, &JoinSpec::threshold(0.9).au_dp(3))
+                .expect("join")
+                .stats;
             let cross = (n as u64) * (n as u64);
             // ~50% pruning at τ=3 matches the paper's heuristic-filter
             // range (50–60%); demand at least a 20% cut at every scale.

@@ -7,24 +7,21 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::estimate::CostModel;
+use au_core::engine::Engine;
 use au_core::signature::FilterKind;
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::suggest::SuggestConfig;
 
 /// Run the experiment; returns the rendered table.
 pub fn run(scale: f64) -> String {
     let cfg = SimConfig::default();
     let ds = med_dataset(sized(1500, scale), 131);
     let theta = 0.80;
-    let model = CostModel::calibrate(
-        &ds.kn,
-        &cfg,
-        &ds.s,
-        &ds.t,
-        theta,
-        FilterKind::AuHeuristic { tau: 2 },
-        64,
-    );
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let model = engine
+        .calibrate(&ps, &pt, theta, FilterKind::AuHeuristic { tau: 2 }, 64)
+        .expect("calibrate");
     let mut table = Table::new(
         "Figure 8 — suggestion iterations & time vs sampling probability (MED-like, θ=0.80)",
         &["p", "iterations", "suggest time", "picked τ"],
@@ -39,7 +36,9 @@ pub fn run(scale: f64) -> String {
             universe: vec![1, 2, 3, 4],
             ..Default::default()
         };
-        let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+        let pick = engine
+            .suggest_tau(&ps, &pt, theta, &model, &sc)
+            .expect("suggest");
         table.row(vec![
             format!("{p:.2}"),
             pick.iterations.to_string(),
@@ -53,11 +52,14 @@ pub fn run(scale: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use au_core::estimate::CostModel;
 
     #[test]
     fn smaller_samples_need_more_iterations() {
         let ds = med_dataset(400, 23);
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let model = CostModel {
             c_f: 5e-8,
             c_v: 2e-6,
@@ -71,7 +73,10 @@ mod tests {
                 universe: vec![1, 2, 3],
                 ..Default::default()
             };
-            suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, 0.8, &model, &sc).iterations
+            engine
+                .suggest_tau(&ps, &pt, 0.8, &model, &sc)
+                .expect("suggest")
+                .iterations
         };
         let small = iters_at(0.03);
         let large = iters_at(0.5);

@@ -8,10 +8,9 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::estimate::CostModel;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 use au_core::signature::FilterKind;
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::suggest::SuggestConfig;
 
 /// Run the experiment; returns the rendered table.
 pub fn run(scale: f64) -> String {
@@ -24,15 +23,12 @@ pub fn run(scale: f64) -> String {
     for step in [1usize, 2, 3, 4, 5, 6] {
         let n = sized(400 * step, scale);
         let ds = med_dataset(n, 101);
-        let model = CostModel::calibrate(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            theta,
-            FilterKind::AuDp { tau: 2 },
-            64,
-        );
+        let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
+        let model = engine
+            .calibrate(&ps, &pt, theta, FilterKind::AuDp { tau: 2 }, 64)
+            .expect("calibrate");
         let sc = SuggestConfig {
             ps: (200.0 / n as f64).min(0.5),
             pt: (200.0 / n as f64).min(0.5),
@@ -42,14 +38,12 @@ pub fn run(scale: f64) -> String {
             use_dp: true,
             ..Default::default()
         };
-        let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
-        let res = join(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            &JoinOptions::au_dp(theta, pick.tau),
-        );
+        let pick = engine
+            .suggest_tau(&ps, &pt, theta, &model, &sc)
+            .expect("suggest");
+        let res = engine
+            .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(pick.tau))
+            .expect("prepared join");
         let suggest_s = pick.elapsed.as_secs_f64();
         let filter_s = (res.stats.sig_time + res.stats.filter_time).as_secs_f64();
         let verify_s = res.stats.verify_time.as_secs_f64();
@@ -72,9 +66,16 @@ mod tests {
     #[test]
     fn breakdown_parts_are_positive() {
         let ds = med_dataset(200, 13);
-        let cfg = SimConfig::default();
-        let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(0.9, 2));
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
+        let res = engine
+            .join(&ps, &pt, &JoinSpec::threshold(0.9).au_dp(2))
+            .expect("prepared join");
         assert!(res.stats.sig_time.as_nanos() > 0);
         assert!(res.stats.total_time() >= res.stats.verify_time);
+        // Prepared reuse: the operation itself never pays stage 1.
+        assert_eq!(res.stats.prepare_time.as_nanos(), 0);
+        assert!(ps.prepare_seconds() > 0.0);
     }
 }

@@ -7,15 +7,17 @@
 use crate::experiments::sized;
 use crate::harness::{fmt_secs, med_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::estimate::CostModel;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 use au_core::signature::FilterKind;
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::suggest::SuggestConfig;
 
 /// Run the experiment; returns the rendered table.
 pub fn run(scale: f64) -> String {
     let cfg = SimConfig::default();
     let ds = med_dataset(sized(1000, scale), 111);
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     let universe = [1u32, 2, 3, 4, 5];
     let mut table = Table::new(
         "Table 11 — AU-heuristic time by τ-selection policy (MED-like)",
@@ -26,27 +28,17 @@ pub fn run(scale: f64) -> String {
         let times: Vec<f64> = universe
             .iter()
             .map(|&tau| {
-                join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_heuristic(theta, tau),
-                )
-                .stats
-                .total_time()
-                .as_secs_f64()
+                engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                    .expect("prepared join")
+                    .stats
+                    .total_time()
+                    .as_secs_f64()
             })
             .collect();
-        let model = CostModel::calibrate(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            theta,
-            FilterKind::AuHeuristic { tau: 2 },
-            64,
-        );
+        let model = engine
+            .calibrate(&ps, &pt, theta, FilterKind::AuHeuristic { tau: 2 }, 64)
+            .expect("calibrate");
         let sc = SuggestConfig {
             ps: 0.1,
             pt: 0.1,
@@ -55,7 +47,9 @@ pub fn run(scale: f64) -> String {
             universe: universe.to_vec(),
             ..Default::default()
         };
-        let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+        let pick = engine
+            .suggest_tau(&ps, &pt, theta, &model, &sc)
+            .expect("suggest");
         let idx = universe.iter().position(|&t| t == pick.tau).unwrap();
         let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
         let worst = times.iter().copied().fold(0.0, f64::max);
@@ -73,23 +67,22 @@ pub fn run(scale: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use au_core::estimate::CostModel;
 
     #[test]
     fn suggested_not_worse_than_worst() {
         let ds = med_dataset(250, 17);
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let theta = 0.85;
         let universe = [1u32, 2, 3, 4];
         let costs: Vec<u64> = universe
             .iter()
             .map(|&tau| {
-                let r = join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_heuristic(theta, tau),
-                );
+                let r = engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                    .expect("prepared join");
                 // cost proxy: processed pairs + 20×candidates (stable,
                 // unlike wall-clock on tiny data)
                 r.stats.processed_pairs + 20 * r.stats.candidates
@@ -107,7 +100,9 @@ mod tests {
             universe: universe.to_vec(),
             ..Default::default()
         };
-        let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+        let pick = engine
+            .suggest_tau(&ps, &pt, theta, &model, &sc)
+            .expect("suggest");
         let idx = universe.iter().position(|&t| t == pick.tau).unwrap();
         let worst = *costs.iter().max().unwrap();
         let best = *costs.iter().min().unwrap();

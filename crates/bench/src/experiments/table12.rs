@@ -6,15 +6,17 @@
 use crate::experiments::sized;
 use crate::harness::{med_dataset, Table};
 use au_core::config::SimConfig;
-use au_core::estimate::CostModel;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 use au_core::signature::FilterKind;
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::suggest::SuggestConfig;
 
 /// Run the experiment; returns the rendered table.
 pub fn run(scale: f64) -> String {
     let cfg = SimConfig::default();
     let ds = med_dataset(sized(800, scale), 121);
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     let universe = [1u32, 2, 3, 4];
     let runs = 20usize;
     let mut table = Table::new(
@@ -22,27 +24,17 @@ pub fn run(scale: f64) -> String {
         &["θ", "accuracy", "time fraction", "true best τ"],
     );
     for theta in [0.75, 0.80, 0.85, 0.90, 0.95] {
-        let model = CostModel::calibrate(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            theta,
-            FilterKind::AuHeuristic { tau: 2 },
-            64,
-        );
+        let model = engine
+            .calibrate(&ps, &pt, theta, FilterKind::AuHeuristic { tau: 2 }, 64)
+            .expect("calibrate");
         // True best τ under the calibrated cost model, measured on the
         // full datasets.
         let true_costs: Vec<f64> = universe
             .iter()
             .map(|&tau| {
-                let r = join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_heuristic(theta, tau),
-                );
+                let r = engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                    .expect("prepared join");
                 model.c_f * r.stats.processed_pairs as f64 + model.c_v * r.stats.candidates as f64
             })
             .collect();
@@ -51,16 +43,12 @@ pub fn run(scale: f64) -> String {
             .unwrap();
         let best_tau = universe[best_idx];
 
-        let join_time = join(
-            &ds.kn,
-            &cfg,
-            &ds.s,
-            &ds.t,
-            &JoinOptions::au_heuristic(theta, best_tau),
-        )
-        .stats
-        .total_time()
-        .as_secs_f64();
+        let join_time = engine
+            .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(best_tau))
+            .expect("prepared join")
+            .stats
+            .total_time()
+            .as_secs_f64();
 
         let mut hits = 0usize;
         let mut sum_suggest = 0.0;
@@ -74,7 +62,9 @@ pub fn run(scale: f64) -> String {
                 seed: 0x5EED_0000 + run as u64,
                 ..Default::default()
             };
-            let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+            let pick = engine
+                .suggest_tau(&ps, &pt, theta, &model, &sc)
+                .expect("suggest");
             sum_suggest += pick.elapsed.as_secs_f64();
             // Count near-optimal picks: within 10% of the true best cost.
             let idx = universe.iter().position(|&t| t == pick.tau).unwrap();
@@ -97,11 +87,14 @@ pub fn run(scale: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use au_core::estimate::CostModel;
 
     #[test]
     fn accuracy_reasonable_on_small_fixture() {
         let ds = med_dataset(300, 19);
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let theta = 0.85;
         let universe = [1u32, 2, 3];
         let model = CostModel {
@@ -111,13 +104,9 @@ mod tests {
         let true_costs: Vec<f64> = universe
             .iter()
             .map(|&tau| {
-                let r = join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_heuristic(theta, tau),
-                );
+                let r = engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_heuristic(tau))
+                    .expect("prepared join");
                 model.c_f * r.stats.processed_pairs as f64 + model.c_v * r.stats.candidates as f64
             })
             .collect();
@@ -134,7 +123,9 @@ mod tests {
                 seed: run,
                 ..Default::default()
             };
-            let pick = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+            let pick = engine
+                .suggest_tau(&ps, &pt, theta, &model, &sc)
+                .expect("suggest");
             let idx = universe.iter().position(|&t| t == pick.tau).unwrap();
             if true_costs[idx] <= best * 1.15 {
                 hits += 1;

@@ -9,7 +9,7 @@ use crate::harness::{med_dataset, score_pairs, wiki_dataset, Table};
 use au_baselines::{adapt_join, combination_join, k_join, pkduck_join};
 use au_baselines::{AdaptJoinConfig, KJoinConfig, PkduckConfig};
 use au_core::config::SimConfig;
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 
 /// Run the experiment; returns the rendered tables.
 pub fn run(scale: f64) -> String {
@@ -23,6 +23,9 @@ pub fn run(scale: f64) -> String {
             &["method", "θ=0.70 P", "R", "F", "θ=0.75 P", "R", "F"],
         );
         let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         type Runner<'a> = Box<dyn Fn(f64) -> Vec<(u32, u32)> + 'a>;
         let methods: Vec<(&str, Runner)> = vec![
             (
@@ -50,7 +53,9 @@ pub fn run(scale: f64) -> String {
             (
                 "Ours (TJS)",
                 Box::new(|theta| {
-                    join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2))
+                    engine
+                        .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+                        .expect("prepared join")
                         .pairs
                         .iter()
                         .map(|&(a, b, _)| (a, b))
@@ -81,17 +86,20 @@ mod tests {
     fn ours_beats_combination_on_recall() {
         let ds = med_dataset(200, 29);
         let theta = 0.7;
-        let cfg = SimConfig::default();
+        let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&ds.s).expect("prepare S");
+        let pt = engine.prepare(&ds.t).expect("prepare T");
         let combo = score_pairs(
             &ds,
             &combination_join(&ds.kn, &ds.s, &ds.t, theta).id_pairs(),
         );
-        let ours_pairs: Vec<(u32, u32)> =
-            join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2))
-                .pairs
-                .iter()
-                .map(|&(a, b, _)| (a, b))
-                .collect();
+        let ours_pairs: Vec<(u32, u32)> = engine
+            .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+            .expect("prepared join")
+            .pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
         let ours = score_pairs(&ds, &ours_pairs);
         assert!(
             ours.r >= combo.r - 1e-9,

@@ -11,7 +11,7 @@ use crate::harness::{fmt_secs, med_dataset, wiki_dataset, Table};
 use au_baselines::{adapt_join, combination_join, k_join, pkduck_join};
 use au_baselines::{AdaptJoinConfig, KJoinConfig, PkduckConfig};
 use au_core::config::{MeasureSet, SimConfig};
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec, Prepared};
 
 /// Run the experiment; returns the rendered tables.
 pub fn run(scale: f64) -> String {
@@ -25,9 +25,27 @@ pub fn run(scale: f64) -> String {
             &format!("Table 14 — join time vs baselines ({name})"),
             &["method", "θ=0.75", "0.80", "0.85", "0.90", "0.95"],
         );
+        // One engine + prepared pair per measure restriction, shared by
+        // the whole θ sweep of its row.
+        let sessions: Vec<(MeasureSet, Engine, Prepared, Prepared)> =
+            [MeasureSet::T, MeasureSet::J, MeasureSet::S, MeasureSet::TJS]
+                .into_iter()
+                .map(|m| {
+                    let cfg = SimConfig::default().with_measures(m);
+                    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+                    let ps = engine.prepare(&ds.s).expect("prepare S");
+                    let pt = engine.prepare(&ds.t).expect("prepare T");
+                    (m, engine, ps, pt)
+                })
+                .collect();
         let ours = |m: MeasureSet, theta: f64| {
-            let cfg = SimConfig::default().with_measures(m);
-            join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2))
+            let (_, engine, ps, pt) = sessions
+                .iter()
+                .find(|(sm, ..)| *sm == m)
+                .expect("session for measure");
+            engine
+                .join(ps, pt, &JoinSpec::threshold(theta).au_dp(2))
+                .expect("prepared join")
                 .stats
                 .total_time()
                 .as_secs_f64()

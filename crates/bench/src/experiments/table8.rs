@@ -7,7 +7,7 @@
 use crate::experiments::sized;
 use crate::harness::{med_dataset, score_join, wiki_dataset, Table};
 use au_core::config::{MeasureSet, SimConfig};
-use au_core::join::{join, JoinOptions};
+use au_core::engine::{Engine, JoinSpec};
 
 /// Run the experiment; returns the rendered table.
 pub fn run(scale: f64) -> String {
@@ -22,9 +22,14 @@ pub fn run(scale: f64) -> String {
         );
         for m in MeasureSet::all_combinations() {
             let cfg = SimConfig::default().with_measures(m);
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
             let mut cells = vec![m.label()];
             for theta in [0.70, 0.75] {
-                let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+                let res = engine
+                    .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+                    .expect("prepared join");
                 let prf = score_join(&ds, &res);
                 cells.push(format!("{:.2}", prf.p));
                 cells.push(format!("{:.2}", prf.r));
@@ -48,7 +53,12 @@ mod tests {
         let theta = 0.7;
         let f_of = |m: MeasureSet| {
             let cfg = SimConfig::default().with_measures(m);
-            let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let ps = engine.prepare(&ds.s).expect("prepare S");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
+            let res = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))
+                .expect("prepared join");
             score_join(&ds, &res).f
         };
         let tjs = f_of(MeasureSet::TJS);

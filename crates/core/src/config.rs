@@ -198,7 +198,10 @@ impl GramMeasure {
 }
 
 /// Parameters of the unified similarity computation.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq` compares every field (the session API uses it to reject
+/// prepared artifacts built under a different configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Gram length `q` (the paper's examples use 2).
     pub q: usize,

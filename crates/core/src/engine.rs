@@ -1,0 +1,1524 @@
+//! The unified session API: one engine, one prepared artifact.
+//!
+//! The paper's whole point is that threshold joins, top-k joins and online
+//! search all run on the *same* USIM signatures and U-/AU-Filters. Before
+//! this module, the public surface contradicted that: `join`, `topk_join`,
+//! `SearchIndex::build`, `suggest_tau` and friends were disconnected free
+//! functions, each re-segmenting records and rebuilding posting tables on
+//! every call. A long-lived service answering many operations over the
+//! same corpora wants the opposite shape:
+//!
+//! ```text
+//! Engine (Knowledge + SimConfig, validated once)
+//!   └─ prepare(corpus) → Prepared        segmentation + SegRecord posting
+//!        │                               tables + cached tier-0 integers
+//!        ├─ join / join_self / join_sink  (threshold, streaming optional)
+//!        ├─ topk / topk_self              (threshold descent)
+//!        ├─ searcher(..).query(..)        (online search, no &mut)
+//!        └─ suggest_tau / calibrate / filter_counts / probe (tuning)
+//! ```
+//!
+//! A [`Prepared`] lazily memoizes the order-dependent artifacts — the
+//! global [`PebbleOrder`], order-sorted pebble lists, signature prefixes
+//! ([`SelectedSignatures`]) and the CSR inverted index — keyed by
+//! `(order, θ, filter, MP mode)`, so a `tune_tau`-then-join workflow, a
+//! top-k descent revisiting a θ, or a search following a join never
+//! prepares (or re-selects) the same thing twice. Every operation is
+//! byte-identical to the legacy free function it replaces — enforced by
+//! `tests/api_equivalence.rs`.
+//!
+//! **Staleness guard.** Every vocabulary mutation mints a new
+//! [`Knowledge::generation`], and each [`Prepared`] stamps the generation
+//! it was built under; an operation against a mismatched generation
+//! returns [`AuError::StaleKnowledge`]. The guard is deliberately
+//! conservative: interning into *one* knowledge context only appends, but
+//! generations exist to tell apart knowledge clones that diverged after a
+//! fork (two clones can assign the same fresh id to different words — the
+//! silently-wrong-score hazard), and a per-mutation mint is what makes
+//! that detection airtight. The cost of the conservatism is bounded:
+//! tokenize every corpus *before* handing the knowledge to the engine
+//! (or re-prepare after [`Engine::corpus_from_lines`], which documents
+//! the invalidation).
+
+use crate::config::SimConfig;
+use crate::error::AuError;
+use crate::estimate::{filter_counts_impl, CostModel, FilterCounts};
+use crate::index::{CsrIndex, OverlapCounter};
+use crate::join::{
+    candidate_pass_with_index, prepare_corpus, verify_candidates, FilterOutcome, JoinOptions,
+    JoinResult, JoinStats, PreparedCorpus, SelectedSignatures,
+};
+use crate::knowledge::Knowledge;
+use crate::pebble::{Pebble, PebbleOrder};
+use crate::probe::{probe_loop, ProbeOutcome};
+use crate::search::{run_query, QueryEnv, SearchOutcome};
+use crate::segment::{segment_record_with, SegRecord};
+use crate::signature::{FilterKind, MpMode};
+use crate::suggest::{suggest_loop, SuggestConfig, SuggestOutcome};
+use crate::topk::TopkResult;
+use crate::usim::{usim_approx_seg, Verifier, VerifyScratch};
+use au_text::record::Corpus;
+use au_text::{FxHashMap, ScratchVocab, TokenId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Mint for [`Prepared`] identities (memo keys for pair orders).
+static NEXT_PREPARED_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Candidates verified per batch by the streaming sink paths — bounds the
+/// materialized result memory without starving the parallel verifier.
+const SINK_CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// JoinSpec
+// ---------------------------------------------------------------------------
+
+/// Which result shape a [`JoinSpec`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecMode {
+    Threshold,
+    Topk,
+}
+
+/// Builder-style description of one join/search/top-k operation.
+///
+/// Construct with [`JoinSpec::threshold`] (θ-join, search) or
+/// [`JoinSpec::topk`] (descent), then chain filter and execution options:
+///
+/// ```
+/// use au_core::engine::JoinSpec;
+///
+/// let spec = JoinSpec::threshold(0.8).au_dp(2).serial();
+/// assert_eq!(spec.theta(), 0.8);
+/// let top = JoinSpec::topk(10).au_heuristic(3).descent(0.9, 0.4, 0.1);
+/// assert_eq!(top.k(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinSpec {
+    mode: SpecMode,
+    theta: f64,
+    filter: FilterKind,
+    mp_mode: MpMode,
+    parallel: bool,
+    k: usize,
+    theta_start: f64,
+    theta_floor: f64,
+    step: f64,
+}
+
+impl JoinSpec {
+    /// Threshold mode: report every pair with `USIM ≥ theta`.
+    ///
+    /// Defaults: U-Filter, exact-DP minimum partitions, parallel
+    /// execution.
+    pub fn threshold(theta: f64) -> Self {
+        Self {
+            mode: SpecMode::Threshold,
+            theta,
+            filter: FilterKind::UFilter,
+            mp_mode: MpMode::ExactDp,
+            parallel: true,
+            k: 0,
+            theta_start: 0.95,
+            theta_floor: 0.3,
+            step: 0.1,
+        }
+    }
+
+    /// Top-k mode: report the `k` most similar pairs via threshold
+    /// descent (defaults: AU-Filter DP τ=2, start 0.95, floor 0.3, step
+    /// 0.1 — the [`crate::topk::TopkOptions`] defaults).
+    pub fn topk(k: usize) -> Self {
+        Self {
+            mode: SpecMode::Topk,
+            k,
+            filter: FilterKind::AuDp { tau: 2 },
+            ..Self::threshold(0.95)
+        }
+    }
+
+    /// Use the U-Filter (Algorithm 3; one required overlap).
+    pub fn u_filter(mut self) -> Self {
+        self.filter = FilterKind::UFilter;
+        self
+    }
+
+    /// Use the AU-Filter with heuristic signatures (Algorithm 4/6).
+    pub fn au_heuristic(mut self, tau: u32) -> Self {
+        self.filter = FilterKind::AuHeuristic { tau };
+        self
+    }
+
+    /// Use the AU-Filter with DP signatures (Algorithm 5/6).
+    pub fn au_dp(mut self, tau: u32) -> Self {
+        self.filter = FilterKind::AuDp { tau };
+        self
+    }
+
+    /// Use an explicit [`FilterKind`].
+    pub fn filter(mut self, filter: FilterKind) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Minimum-partition bound mode (default exact DP).
+    pub fn mp_mode(mut self, mp: MpMode) -> Self {
+        self.mp_mode = mp;
+        self
+    }
+
+    /// Run single-threaded (deterministic output is identical either
+    /// way; serial mode exists for measurement and debugging).
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Enable/disable multi-threaded probing + verification (worker count
+    /// follows the host, overridable with `AU_THREADS`).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Top-k descent schedule: first-round θ, the floor below which the
+    /// descent stops, and the per-round subtractive step.
+    pub fn descent(mut self, theta_start: f64, theta_floor: f64, step: f64) -> Self {
+        self.theta_start = theta_start;
+        self.theta_floor = theta_floor;
+        self.step = step;
+        self
+    }
+
+    /// The threshold θ (threshold mode) or first-round θ (top-k mode).
+    pub fn theta(&self) -> f64 {
+        match self.mode {
+            SpecMode::Threshold => self.theta,
+            SpecMode::Topk => self.theta_start,
+        }
+    }
+
+    /// The `k` of a top-k spec (0 for threshold specs).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured filter.
+    pub fn filter_kind(&self) -> FilterKind {
+        self.filter
+    }
+
+    /// True for [`JoinSpec::topk`] specs.
+    pub fn is_topk(&self) -> bool {
+        self.mode == SpecMode::Topk
+    }
+
+    fn invalid(field: &'static str, message: String) -> AuError {
+        AuError::InvalidSpec { field, message }
+    }
+
+    /// Validate and convert for a threshold-mode operation.
+    fn threshold_options(&self) -> Result<JoinOptions, AuError> {
+        if self.mode != SpecMode::Threshold {
+            return Err(Self::invalid(
+                "mode",
+                "top-k spec passed to a threshold operation; use Engine::topk".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.theta) || self.theta.is_nan() {
+            return Err(Self::invalid(
+                "theta",
+                format!("threshold must be in [0, 1], got {}", self.theta),
+            ));
+        }
+        Ok(self.join_options(self.theta))
+    }
+
+    /// Validate a top-k spec (descent schedule sanity).
+    fn validate_topk(&self) -> Result<(), AuError> {
+        if self.mode != SpecMode::Topk {
+            return Err(Self::invalid(
+                "mode",
+                "threshold spec passed to Engine::topk; use JoinSpec::topk(k)".into(),
+            ));
+        }
+        if self.theta_floor <= 0.0 || self.theta_floor.is_nan() {
+            return Err(Self::invalid(
+                "theta_floor",
+                format!(
+                    "floor must be positive (a floor of 0 degrades to brute force), got {}",
+                    self.theta_floor
+                ),
+            ));
+        }
+        if self.theta_start < self.theta_floor || self.theta_start > 1.0 {
+            return Err(Self::invalid(
+                "theta_start",
+                format!(
+                    "need theta_floor <= theta_start <= 1, got start {} floor {}",
+                    self.theta_start, self.theta_floor
+                ),
+            ));
+        }
+        if self.step <= 0.0 || self.step.is_nan() {
+            return Err(Self::invalid(
+                "step",
+                format!("descent step must be positive, got {}", self.step),
+            ));
+        }
+        Ok(())
+    }
+
+    fn join_options(&self, theta: f64) -> JoinOptions {
+        JoinOptions {
+            theta,
+            filter: self.filter,
+            mp_mode: self.mp_mode,
+            parallel: self.parallel,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared
+// ---------------------------------------------------------------------------
+
+/// Key identifying which global pebble order an artifact was built under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OrderKey {
+    /// Order built from this corpus alone (self-joins, search indexes).
+    SelfOrder,
+    /// Order built over this corpus and the partner [`Prepared`] with the
+    /// given id (R×S joins). `Pair(own id)` means R×S of a corpus with
+    /// itself — frequencies count both sides, exactly like passing the
+    /// same corpus twice to the legacy `join`.
+    Pair(u64),
+}
+
+/// Memo key for signature prefixes and CSR indexes: everything selection
+/// depends on besides the corpus itself. (`eps` comes from the engine's
+/// [`SimConfig`], fixed for the engine's lifetime; parallelism affects
+/// only speed, never the selected prefixes.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SigKey {
+    order: OrderKey,
+    theta_bits: u64,
+    filter: FilterKind,
+    mp_mode: MpMode,
+}
+
+impl SigKey {
+    fn new(order: OrderKey, opts: &JoinOptions) -> Self {
+        Self {
+            order,
+            theta_bits: opts.theta.to_bits(),
+            filter: opts.filter,
+            mp_mode: opts.mp_mode,
+        }
+    }
+}
+
+/// Lazily built, memoized artifacts of one prepared corpus.
+#[derive(Debug, Default)]
+struct Memo {
+    orders: FxHashMap<OrderKey, Arc<PebbleOrder>>,
+    sorted: FxHashMap<OrderKey, Arc<Vec<Vec<Pebble>>>>,
+    sigs: FxHashMap<SigKey, Arc<SelectedSignatures>>,
+    csr: FxHashMap<SigKey, Arc<CsrIndex>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// One corpus, prepared once: segmentation, per-record posting tables
+/// (inside each [`SegRecord`]), pebbles, cached tier-0 integers, and a
+/// memo of order-dependent artifacts. Create with [`Engine::prepare`];
+/// every engine operation consumes `&Prepared`.
+#[derive(Debug)]
+pub struct Prepared {
+    id: u64,
+    gen: u64,
+    /// Configuration the artifact was segmented under (checked by every
+    /// engine operation — see [`AuError::ConfigMismatch`]).
+    cfg: SimConfig,
+    corpus: Corpus,
+    prep: PreparedCorpus,
+    /// `(|S|, MP(S))` per record — the two integers of the verifier's
+    /// tier-0 record-level bound `USIM ≤ min(|S|,|T|) / max(MP(S),MP(T))`,
+    /// packed for O(1) [`Engine::usim_upper_bound`] pre-screens.
+    tier0: Vec<(u32, u32)>,
+    prepare_time: Duration,
+    memo: Mutex<Memo>,
+}
+
+impl Prepared {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.prep.len()
+    }
+
+    /// True when the corpus has no records.
+    pub fn is_empty(&self) -> bool {
+        self.prep.is_empty()
+    }
+
+    /// The corpus this artifact was prepared from.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Knowledge generation this artifact was prepared under.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Wall-clock spent segmenting + pebbling at [`Engine::prepare`] time.
+    /// Operations on this artifact never pay it again — their
+    /// [`JoinStats::prepare_time`] is zero.
+    pub fn prepare_seconds(&self) -> f64 {
+        self.prepare_time.as_secs_f64()
+    }
+
+    /// The segmented record `id`.
+    pub fn seg_record(&self, id: u32) -> Result<&SegRecord, AuError> {
+        self.prep
+            .segrecs
+            .get(id as usize)
+            .ok_or(AuError::RecordOutOfBounds {
+                id,
+                len: self.prep.len(),
+            })
+    }
+
+    /// Memoized-artifact lookups served from cache so far (orders, sorted
+    /// pebble lists, signatures, CSR indexes).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.lock().expect("prepared memo poisoned").hits
+    }
+
+    /// Memoized-artifact builds (cache misses) so far.
+    pub fn memo_misses(&self) -> u64 {
+        self.memo.lock().expect("prepared memo poisoned").misses
+    }
+
+    /// Number of memoized artifacts currently retained.
+    ///
+    /// The memo grows by one entry per distinct `(order, θ, filter, MP
+    /// mode)` combination (plus one sorted-pebble list per distinct
+    /// order) and never evicts: a service exposing *user-chosen*
+    /// thresholds to a long-lived `Prepared` should either bucket them
+    /// to a fixed grid or call [`Prepared::clear_memo`] periodically —
+    /// entries for dropped join partners are likewise only reclaimed by
+    /// a clear.
+    pub fn memo_len(&self) -> usize {
+        let m = self.memo.lock().expect("prepared memo poisoned");
+        m.orders.len() + m.sorted.len() + m.sigs.len() + m.csr.len()
+    }
+
+    /// Drop every memoized artifact (the segmentation itself is kept —
+    /// subsequent operations rebuild orders/signatures/indexes lazily,
+    /// never stage 1). Bounds memory for services that stream distinct
+    /// thresholds or join partners through one long-lived `Prepared`.
+    pub fn clear_memo(&self) {
+        let mut m = self.memo.lock().expect("prepared memo poisoned");
+        m.orders.clear();
+        m.sorted.clear();
+        m.sigs.clear();
+        m.csr.clear();
+    }
+
+    fn memo(&self) -> std::sync::MutexGuard<'_, Memo> {
+        self.memo.lock().expect("prepared memo poisoned")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// The session root: an immutable knowledge context plus a validated
+/// similarity configuration.
+///
+/// ```
+/// use au_core::engine::{Engine, JoinSpec};
+/// use au_core::{KnowledgeBuilder, SimConfig};
+///
+/// let mut kb = KnowledgeBuilder::new();
+/// kb.synonym("coffee shop", "cafe", 1.0);
+/// let mut kn = kb.build();
+/// let s = kn.corpus_from_lines(["coffee shop latte"]);
+/// let t = kn.corpus_from_lines(["cafe latte", "tea house"]);
+///
+/// let engine = Engine::new(kn, SimConfig::default()).unwrap();
+/// let ps = engine.prepare(&s).unwrap();
+/// let pt = engine.prepare(&t).unwrap();
+/// let res = engine.join(&ps, &pt, &JoinSpec::threshold(0.7).au_dp(2)).unwrap();
+/// assert_eq!(res.pairs[0].0, 0);
+/// // Second operation on the same artifacts skips preparation entirely.
+/// let again = engine.join(&ps, &pt, &JoinSpec::threshold(0.7).au_dp(2)).unwrap();
+/// assert_eq!(again.stats.prepare_time.as_nanos(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    kn: Knowledge,
+    cfg: SimConfig,
+}
+
+fn validate_config(cfg: &SimConfig) -> Result<(), AuError> {
+    let bad = |field: &'static str, message: String| AuError::InvalidConfig { field, message };
+    if cfg.q == 0 {
+        return Err(bad("q", "gram length must be at least 1".into()));
+    }
+    if cfg.measures.is_empty() {
+        return Err(bad(
+            "measures",
+            "at least one measure must be enabled".into(),
+        ));
+    }
+    if cfg.t_param <= 1.0 || cfg.t_param.is_nan() {
+        return Err(bad(
+            "t_param",
+            format!("Algorithm 1 needs t > 1 (Theorem 2), got {}", cfg.t_param),
+        ));
+    }
+    if cfg.max_talons < 3 {
+        return Err(bad(
+            "max_talons",
+            format!(
+                "claw search needs at least 3 talons, got {}",
+                cfg.max_talons
+            ),
+        ));
+    }
+    if !(0.0..0.1).contains(&cfg.eps) {
+        return Err(bad(
+            "eps",
+            format!("float slack must be in [0, 0.1), got {}", cfg.eps),
+        ));
+    }
+    Ok(())
+}
+
+impl Engine {
+    /// Validate `cfg` once and take ownership of the knowledge context.
+    pub fn new(kn: Knowledge, cfg: SimConfig) -> Result<Self, AuError> {
+        validate_config(&cfg)?;
+        Ok(Self { kn, cfg })
+    }
+
+    /// The engine's knowledge context (read-only: every mutation path
+    /// goes through [`Engine::knowledge_mut`], which invalidates prepared
+    /// artifacts via the generation guard).
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.kn
+    }
+
+    /// The validated similarity configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the knowledge context. Any vocabulary mutation
+    /// mints a new [`Knowledge::generation`], after which every existing
+    /// [`Prepared`] returns [`AuError::StaleKnowledge`] — re-prepare.
+    pub fn knowledge_mut(&mut self) -> &mut Knowledge {
+        &mut self.kn
+    }
+
+    /// Tokenize lines into a corpus sharing this engine's vocabulary.
+    /// Interning mutates the vocabulary, so existing [`Prepared`]
+    /// artifacts become stale (see [`Engine::knowledge_mut`]).
+    pub fn corpus_from_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Corpus {
+        self.kn.corpus_from_lines(lines)
+    }
+
+    /// Recover the knowledge context.
+    pub fn into_knowledge(self) -> Knowledge {
+        self.kn
+    }
+
+    /// Stage 1, once per corpus: segment every record, build its posting
+    /// tables and pebbles, cache the tier-0 integers. Everything else an
+    /// operation needs is derived lazily (and memoized) from this.
+    pub fn prepare(&self, corpus: &Corpus) -> Result<Prepared, AuError> {
+        self.prepare_owned(corpus.clone())
+    }
+
+    /// [`Engine::prepare`] taking the corpus by value — the zero-copy
+    /// path for services that don't keep their own handle. The corpus is
+    /// retained inside the [`Prepared`] (sampling for
+    /// [`Engine::suggest_tau`]/[`Engine::probe`] and result rendering
+    /// need the records), so `prepare(&c)` costs one deep corpus clone
+    /// that this variant avoids.
+    pub fn prepare_owned(&self, corpus: Corpus) -> Result<Prepared, AuError> {
+        let vocab_len = self.kn.vocab.len();
+        for r in corpus.iter() {
+            if let Some(&bad) = r.tokens.iter().find(|t| t.idx() >= vocab_len) {
+                return Err(AuError::UnknownToken {
+                    id: bad.0,
+                    vocab_len,
+                });
+            }
+        }
+        let start = Instant::now();
+        let prep = prepare_corpus(&self.kn, &self.cfg, &corpus);
+        let tier0 = prep
+            .segrecs
+            .iter()
+            .map(|sr| (sr.n_tokens() as u32, sr.min_partition))
+            .collect();
+        Ok(Prepared {
+            id: NEXT_PREPARED_ID.fetch_add(1, Ordering::Relaxed),
+            gen: self.kn.generation(),
+            cfg: self.cfg,
+            corpus,
+            prep,
+            tier0,
+            prepare_time: start.elapsed(),
+            memo: Mutex::new(Memo::default()),
+        })
+    }
+
+    /// Artifact guard: the knowledge generation must match
+    /// ([`AuError::StaleKnowledge`]) and so must the configuration —
+    /// generations are shared by un-mutated [`Knowledge`] clones, so two
+    /// engines over the same knowledge but different [`SimConfig`]s would
+    /// otherwise accept each other's (config-dependent) artifacts.
+    fn check(&self, p: &Prepared) -> Result<(), AuError> {
+        let expected = self.kn.generation();
+        if p.gen != expected {
+            return Err(AuError::StaleKnowledge {
+                expected,
+                found: p.gen,
+            });
+        }
+        if p.cfg != self.cfg {
+            return Err(AuError::ConfigMismatch);
+        }
+        Ok(())
+    }
+
+    // -- memoized artifact builders -----------------------------------------
+
+    /// The global order over this corpus alone (self-joins, search).
+    fn order_self(&self, c: &Prepared) -> Arc<PebbleOrder> {
+        {
+            let mut m = c.memo();
+            if let Some(o) = m.orders.get(&OrderKey::SelfOrder).cloned() {
+                m.hits += 1;
+                return o;
+            }
+        }
+        let order = Arc::new(PebbleOrder::build(
+            c.prep.pebbles.iter().map(|v| v.as_slice()),
+        ));
+        let mut m = c.memo();
+        m.misses += 1;
+        m.orders
+            .entry(OrderKey::SelfOrder)
+            .or_insert_with(|| order.clone())
+            .clone()
+    }
+
+    /// The global order over both sides of an R×S join (document
+    /// frequencies counted across the pair, as in
+    /// [`crate::join::apply_global_order`]). Stored symmetrically in both
+    /// artifacts' memos.
+    fn order_pair(&self, s: &Prepared, t: &Prepared) -> Arc<PebbleOrder> {
+        let key_s = OrderKey::Pair(t.id);
+        {
+            let mut m = s.memo();
+            if let Some(o) = m.orders.get(&key_s).cloned() {
+                m.hits += 1;
+                return o;
+            }
+        }
+        let order = Arc::new(PebbleOrder::build(
+            s.prep
+                .pebbles
+                .iter()
+                .map(|v| v.as_slice())
+                .chain(t.prep.pebbles.iter().map(|v| v.as_slice())),
+        ));
+        let order = {
+            let mut m = s.memo();
+            m.misses += 1;
+            m.orders
+                .entry(key_s)
+                .or_insert_with(|| order.clone())
+                .clone()
+        };
+        if s.id != t.id {
+            t.memo()
+                .orders
+                .entry(OrderKey::Pair(s.id))
+                .or_insert_with(|| order.clone());
+        }
+        order
+    }
+
+    /// This corpus's pebble lists sorted under `order` (cloned once, then
+    /// shared by every θ/filter combination under the same order).
+    fn sorted_pebbles(
+        &self,
+        c: &Prepared,
+        key: OrderKey,
+        order: &PebbleOrder,
+    ) -> Arc<Vec<Vec<Pebble>>> {
+        {
+            let mut m = c.memo();
+            if let Some(p) = m.sorted.get(&key).cloned() {
+                m.hits += 1;
+                return p;
+            }
+        }
+        let mut pebbles = c.prep.pebbles.clone();
+        for p in pebbles.iter_mut() {
+            order.sort(p);
+        }
+        let pebbles = Arc::new(pebbles);
+        let mut m = c.memo();
+        m.misses += 1;
+        m.sorted
+            .entry(key)
+            .or_insert_with(|| pebbles.clone())
+            .clone()
+    }
+
+    /// Signature prefixes + guarantee levels for `(order, θ, filter, MP)`.
+    fn signatures(
+        &self,
+        c: &Prepared,
+        key: OrderKey,
+        order: &PebbleOrder,
+        opts: &JoinOptions,
+    ) -> Arc<SelectedSignatures> {
+        let sig_key = SigKey::new(key, opts);
+        {
+            let mut m = c.memo();
+            if let Some(s) = m.sigs.get(&sig_key).cloned() {
+                m.hits += 1;
+                return s;
+            }
+        }
+        let sorted = self.sorted_pebbles(c, key, order);
+        let sel = Arc::new(SelectedSignatures::select_from(
+            &c.prep.segrecs,
+            &sorted,
+            opts,
+            self.cfg.eps,
+        ));
+        let mut m = c.memo();
+        m.misses += 1;
+        m.sigs.entry(sig_key).or_insert_with(|| sel.clone()).clone()
+    }
+
+    /// CSR inverted index over `sel`'s signature keys for the same memo
+    /// key.
+    fn csr(&self, c: &Prepared, sig_key: SigKey, sel: &SelectedSignatures) -> Arc<CsrIndex> {
+        {
+            let mut m = c.memo();
+            if let Some(i) = m.csr.get(&sig_key).cloned() {
+                m.hits += 1;
+                return i;
+            }
+        }
+        let index = Arc::new(CsrIndex::from_record_keys(&sel.record_keys));
+        let mut m = c.memo();
+        m.misses += 1;
+        m.csr
+            .entry(sig_key)
+            .or_insert_with(|| index.clone())
+            .clone()
+    }
+
+    // -- pipeline stages ----------------------------------------------------
+
+    /// Stages 2–4 on prepared state: order, signatures, CSR probe.
+    fn filter_run(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        self_join: bool,
+        opts: &JoinOptions,
+    ) -> (FilterOutcome, Duration, Duration) {
+        let sig_start = Instant::now();
+        let (key_s, key_t, order) = if self_join {
+            (OrderKey::SelfOrder, OrderKey::SelfOrder, self.order_self(s))
+        } else {
+            (
+                OrderKey::Pair(t.id),
+                OrderKey::Pair(s.id),
+                self.order_pair(s, t),
+            )
+        };
+        let sel_s = self.signatures(s, key_s, &order, opts);
+        let sel_t = if self_join || s.id == t.id {
+            sel_s.clone()
+        } else {
+            self.signatures(t, key_t, &order, opts)
+        };
+        let sig_time = sig_start.elapsed();
+
+        let filter_start = Instant::now();
+        let index = self.csr(t, SigKey::new(key_t, opts), &sel_t);
+        let outcome = candidate_pass_with_index(
+            &sel_s,
+            &sel_t,
+            &index,
+            self_join,
+            opts.filter.tau(),
+            opts.parallel,
+        );
+        (outcome, sig_time, filter_start.elapsed())
+    }
+
+    /// Stages 2–5 on prepared state; `prepare_time` is always zero here —
+    /// the corpora were prepared exactly once, up front.
+    fn join_full(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        self_join: bool,
+        opts: &JoinOptions,
+    ) -> JoinResult {
+        let (outcome, sig_time, filter_time) = self.filter_run(s, t, self_join, opts);
+        let verify_start = Instant::now();
+        let pairs = verify_candidates(
+            &self.kn,
+            &self.cfg,
+            &s.prep,
+            &t.prep,
+            &outcome.candidates,
+            opts.theta,
+            opts.parallel,
+        );
+        let verify_time = verify_start.elapsed();
+        let stats = JoinStats {
+            prepare_time: Duration::ZERO,
+            sig_time,
+            filter_time,
+            verify_time,
+            processed_pairs: outcome.processed_pairs,
+            candidates: outcome.candidates.len() as u64,
+            avg_sig_len_s: outcome.avg_sig_len_s,
+            avg_sig_len_t: if self_join {
+                outcome.avg_sig_len_s
+            } else {
+                outcome.avg_sig_len_t
+            },
+            result_count: pairs.len(),
+        };
+        JoinResult { pairs, stats }
+    }
+
+    // -- joins --------------------------------------------------------------
+
+    /// Threshold R×S join of two prepared corpora.
+    pub fn join(&self, s: &Prepared, t: &Prepared, spec: &JoinSpec) -> Result<JoinResult, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        let opts = spec.threshold_options()?;
+        Ok(self.join_full(s, t, false, &opts))
+    }
+
+    /// Threshold self-join (pairs reported with `s < t`).
+    pub fn join_self(&self, c: &Prepared, spec: &JoinSpec) -> Result<JoinResult, AuError> {
+        self.check(c)?;
+        let opts = spec.threshold_options()?;
+        Ok(self.join_full(c, c, true, &opts))
+    }
+
+    /// Streaming threshold R×S join: accepted pairs are emitted to `sink`
+    /// in deterministic `(s, t)` order as verification batches complete,
+    /// instead of materializing one `Vec` of results. Returns the run's
+    /// statistics only.
+    pub fn join_sink(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        spec: &JoinSpec,
+        sink: impl FnMut(u32, u32, f64),
+    ) -> Result<JoinStats, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        let opts = spec.threshold_options()?;
+        Ok(self.join_sink_impl(s, t, false, &opts, sink))
+    }
+
+    /// Streaming threshold self-join (see [`Engine::join_sink`]).
+    pub fn join_self_sink(
+        &self,
+        c: &Prepared,
+        spec: &JoinSpec,
+        sink: impl FnMut(u32, u32, f64),
+    ) -> Result<JoinStats, AuError> {
+        self.check(c)?;
+        let opts = spec.threshold_options()?;
+        Ok(self.join_sink_impl(c, c, true, &opts, sink))
+    }
+
+    fn join_sink_impl(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        self_join: bool,
+        opts: &JoinOptions,
+        mut sink: impl FnMut(u32, u32, f64),
+    ) -> JoinStats {
+        let (outcome, sig_time, filter_time) = self.filter_run(s, t, self_join, opts);
+        let verify_start = Instant::now();
+        let mut result_count = 0usize;
+        // Bounded-memory verification: at most SINK_CHUNK candidates'
+        // results are ever materialized; chunk order preserves the
+        // deterministic (s, t) output order of the batch path.
+        for chunk in outcome.candidates.chunks(SINK_CHUNK) {
+            let accepted = verify_candidates(
+                &self.kn,
+                &self.cfg,
+                &s.prep,
+                &t.prep,
+                chunk,
+                opts.theta,
+                opts.parallel,
+            );
+            result_count += accepted.len();
+            for (a, b, sim) in accepted {
+                sink(a, b, sim);
+            }
+        }
+        JoinStats {
+            prepare_time: Duration::ZERO,
+            sig_time,
+            filter_time,
+            verify_time: verify_start.elapsed(),
+            processed_pairs: outcome.processed_pairs,
+            candidates: outcome.candidates.len() as u64,
+            avg_sig_len_s: outcome.avg_sig_len_s,
+            avg_sig_len_t: if self_join {
+                outcome.avg_sig_len_s
+            } else {
+                outcome.avg_sig_len_t
+            },
+            result_count,
+        }
+    }
+
+    // -- top-k --------------------------------------------------------------
+
+    /// Top-k R×S join via threshold descent over prepared state.
+    pub fn topk(&self, s: &Prepared, t: &Prepared, spec: &JoinSpec) -> Result<TopkResult, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        spec.validate_topk()?;
+        Ok(self.topk_impl(s, t, false, spec))
+    }
+
+    /// Top-k self-join (pairs reported with `s < t`).
+    pub fn topk_self(&self, c: &Prepared, spec: &JoinSpec) -> Result<TopkResult, AuError> {
+        self.check(c)?;
+        spec.validate_topk()?;
+        Ok(self.topk_impl(c, c, true, spec))
+    }
+
+    fn topk_impl(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        self_join: bool,
+        spec: &JoinSpec,
+    ) -> TopkResult {
+        if spec.k == 0 {
+            return TopkResult::default();
+        }
+        let mut theta = spec.theta_start;
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let opts = spec.join_options(theta);
+            let res = self.join_full(s, t, self_join, &opts);
+            let done = res.pairs.len() >= spec.k || theta <= spec.theta_floor + self.cfg.eps;
+            if done {
+                // Re-score fully (the verifier's early-accept may report a
+                // lower bound), rank, truncate — same shape as the legacy
+                // descent, sharing its tiered engine.
+                let verifier = Verifier::new(&self.kn, &self.cfg);
+                let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_map_scratch(
+                    &res.pairs,
+                    spec.parallel,
+                    VerifyScratch::default,
+                    |scr, &(a, b, _)| {
+                        let sim = verifier.sim(
+                            &s.prep.segrecs[a as usize],
+                            &t.prep.segrecs[b as usize],
+                            scr,
+                        );
+                        (a, b, sim)
+                    },
+                );
+                pairs.sort_by(|x, y| {
+                    y.2.total_cmp(&x.2)
+                        .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+                });
+                pairs.truncate(spec.k);
+                return TopkResult {
+                    pairs,
+                    rounds,
+                    final_theta: theta,
+                };
+            }
+            theta = (theta - spec.step).max(spec.theta_floor);
+        }
+    }
+
+    // -- search -------------------------------------------------------------
+
+    /// An online search session over one prepared collection: queries
+    /// arrive as free strings, results carry the same completeness
+    /// guarantee as the join at the spec's θ. Unknown query tokens are
+    /// interned into a searcher-private scratch vocabulary — the shared
+    /// knowledge context is never mutated by reads.
+    pub fn searcher<'e>(
+        &'e self,
+        c: &'e Prepared,
+        spec: &JoinSpec,
+    ) -> Result<Searcher<'e>, AuError> {
+        self.check(c)?;
+        let opts = spec.threshold_options()?;
+        let order = self.order_self(c);
+        let sel = self.signatures(c, OrderKey::SelfOrder, &order, &opts);
+        let index = self.csr(c, SigKey::new(OrderKey::SelfOrder, &opts), &sel);
+        let counter = Mutex::new(OverlapCounter::new(index.record_count()));
+        Ok(Searcher {
+            engine: self,
+            prepared: c,
+            opts,
+            order,
+            sel,
+            index,
+            counter,
+            pool: Mutex::new(Vec::new()),
+            scratch: Mutex::new(ScratchVocab::new()),
+        })
+    }
+
+    // -- tuning -------------------------------------------------------------
+
+    /// Stages 2–4 only (no verification) on prepared corpora: the raw
+    /// `T′τ` / `V′τ` counts of the Bernoulli estimator (Eq. 17).
+    pub fn filter_counts(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        theta: f64,
+        filter: FilterKind,
+    ) -> Result<FilterCounts, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        let opts = JoinSpec::threshold(theta)
+            .filter(filter)
+            .serial()
+            .threshold_options()?;
+        let (outcome, _, _) = self.filter_run(s, t, false, &opts);
+        Ok(FilterCounts {
+            processed: outcome.processed_pairs,
+            candidates: outcome.candidates.len() as u64,
+        })
+    }
+
+    /// Measure the per-unit costs `c_f` / `c_v` of Eq. 15 on prepared
+    /// corpora. Unlike the legacy `CostModel::calibrate`, preparation is
+    /// never repeated: both the filtering and the verification timing run
+    /// on this engine's memoized artifacts.
+    pub fn calibrate(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        theta: f64,
+        filter: FilterKind,
+        max_verifications: usize,
+    ) -> Result<CostModel, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        let opts = JoinSpec::threshold(theta)
+            .filter(filter)
+            .serial()
+            .threshold_options()?;
+        let f_start = Instant::now();
+        let (outcome, _, _) = self.filter_run(s, t, false, &opts);
+        let f_time = f_start.elapsed().as_secs_f64();
+        Ok(crate::estimate::cost_model_from_filter_run(
+            outcome.processed_pairs,
+            &outcome.candidates,
+            f_time,
+            s.len(),
+            t.len(),
+            max_verifications,
+            |pairs| {
+                let v_start = Instant::now();
+                let _ =
+                    verify_candidates(&self.kn, &self.cfg, &s.prep, &t.prep, pairs, theta, false);
+                v_start.elapsed().as_secs_f64()
+            },
+        ))
+    }
+
+    /// Algorithm 7 on prepared corpora: recommend the overlap constraint
+    /// τ minimising the estimated join cost at `theta`. Bernoulli samples
+    /// are drawn from the prepared corpora's records; the full corpora
+    /// themselves are never re-prepared.
+    pub fn suggest_tau(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        theta: f64,
+        model: &CostModel,
+        sc: &SuggestConfig,
+    ) -> Result<SuggestOutcome, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        if sc.universe.is_empty() {
+            return Err(AuError::InvalidSpec {
+                field: "universe",
+                message: "the τ universe must not be empty".into(),
+            });
+        }
+        for (name, p) in [("ps", sc.ps), ("pt", sc.pt)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(AuError::InvalidSpec {
+                    field: name,
+                    message: format!("sampling probability out of range: {p}"),
+                });
+            }
+        }
+        Ok(suggest_loop(&s.corpus, &t.corpus, model, sc, |a, b, f| {
+            filter_counts_impl(&self.kn, &self.cfg, a, b, theta, f)
+        }))
+    }
+
+    /// Pilot-based sampling-probability tuner (the paper's stated future
+    /// work) on prepared corpora.
+    pub fn probe(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        theta: f64,
+        model: &CostModel,
+        spec: &ProbeSpec,
+    ) -> Result<ProbeOutcome, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        if spec.candidates.is_empty() {
+            return Err(AuError::InvalidSpec {
+                field: "candidates",
+                message: "need at least one candidate probability".into(),
+            });
+        }
+        if spec.universe.is_empty() {
+            return Err(AuError::InvalidSpec {
+                field: "universe",
+                message: "the τ universe must not be empty".into(),
+            });
+        }
+        Ok(probe_loop(
+            &s.corpus,
+            &t.corpus,
+            model,
+            &spec.candidates,
+            &spec.universe,
+            spec.pilot_iters,
+            spec.seed,
+            |a, b, f| filter_counts_impl(&self.kn, &self.cfg, a, b, theta, f),
+        ))
+    }
+
+    // -- one-off similarities -----------------------------------------------
+
+    /// Unified similarity of two prepared records (Algorithm 1).
+    pub fn usim(&self, s: &Prepared, a: u32, t: &Prepared, b: u32) -> Result<f64, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        Ok(usim_approx_seg(
+            &self.kn,
+            &self.cfg,
+            s.seg_record(a)?,
+            t.seg_record(b)?,
+        ))
+    }
+
+    /// The verifier's tier-0 record-level bound
+    /// `USIM ≤ min(|S|,|T|) / max(MP(S),MP(T))` from the cached integers —
+    /// O(1), no segment-pair work; useful as a cheap pre-screen.
+    pub fn usim_upper_bound(
+        &self,
+        s: &Prepared,
+        a: u32,
+        t: &Prepared,
+        b: u32,
+    ) -> Result<f64, AuError> {
+        self.check(s)?;
+        self.check(t)?;
+        let &(ns, mps) = s.tier0.get(a as usize).ok_or(AuError::RecordOutOfBounds {
+            id: a,
+            len: s.len(),
+        })?;
+        let &(nt, mpt) = t.tier0.get(b as usize).ok_or(AuError::RecordOutOfBounds {
+            id: b,
+            len: t.len(),
+        })?;
+        Ok(if ns == 0 && nt == 0 {
+            1.0
+        } else if ns == 0 || nt == 0 {
+            0.0
+        } else {
+            ns.min(nt) as f64 / mps.max(mpt) as f64
+        })
+    }
+}
+
+/// Per-probe tuner parameters for [`Engine::probe`].
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Candidate sampling probabilities to pilot.
+    pub candidates: Vec<f64>,
+    /// τ universe the suggestion loop would use.
+    pub universe: Vec<u32>,
+    /// Pilot iterations per candidate (≥ 2; 5–8 is plenty).
+    pub pilot_iters: usize,
+    /// RNG seed (all sampling deterministic given this).
+    pub seed: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Searcher
+// ---------------------------------------------------------------------------
+
+/// An online similarity-search session bound to one [`Engine`] and one
+/// [`Prepared`] collection (see [`Engine::searcher`]).
+///
+/// Queries take `&self`: out-of-vocabulary tokens go to a
+/// searcher-private [`ScratchVocab`] overlay whose ids are stable for the
+/// searcher's lifetime, so repeated unknown tokens keep one identity (and
+/// the verification scratch pool's cross-candidate memo stays sound)
+/// without ever mutating the shared knowledge context.
+#[derive(Debug)]
+pub struct Searcher<'e> {
+    engine: &'e Engine,
+    prepared: &'e Prepared,
+    opts: JoinOptions,
+    order: Arc<PebbleOrder>,
+    sel: Arc<SelectedSignatures>,
+    index: Arc<CsrIndex>,
+    counter: Mutex<OverlapCounter>,
+    pool: Mutex<Vec<VerifyScratch>>,
+    scratch: Mutex<ScratchVocab>,
+}
+
+impl Searcher<'_> {
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// True when the collection holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// The threshold θ this searcher answers at.
+    pub fn theta(&self) -> f64 {
+        self.opts.theta
+    }
+
+    /// Mean signature length of the indexed records.
+    pub fn avg_sig_len(&self) -> f64 {
+        self.sel.record_keys.avg_sig_len()
+    }
+
+    /// Query with a raw string: every indexed record with
+    /// `USIM(query, record) ≥ θ`, sorted by descending similarity.
+    pub fn query(&self, text: &str) -> SearchOutcome {
+        let kn = &self.engine.kn;
+        let toks = au_text::tokenize::tokenize(text, &kn.tokenize);
+        // The overlay lock covers interning + a tiny per-query snapshot
+        // only; segmentation (the expensive part) runs outside it, so
+        // concurrent queries don't serialize.
+        let (ids, snap) = {
+            let mut scratch = self.scratch.lock().expect("searcher scratch poisoned");
+            let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
+            let snap = scratch.snapshot(&ids);
+            (ids, snap)
+        };
+        let sr = segment_record_with(kn, &self.engine.cfg, &ids, &|span| {
+            snap.join(&kn.vocab, span)
+        });
+        self.query_seg(&sr)
+    }
+
+    /// Query with pre-tokenized ids (vocabulary ids, or overlay ids this
+    /// searcher minted earlier).
+    pub fn query_tokens(&self, tokens: &[TokenId]) -> SearchOutcome {
+        let kn = &self.engine.kn;
+        let snap = self
+            .scratch
+            .lock()
+            .expect("searcher scratch poisoned")
+            .snapshot(tokens);
+        let sr = segment_record_with(kn, &self.engine.cfg, tokens, &|span| {
+            snap.join(&kn.vocab, span)
+        });
+        self.query_seg(&sr)
+    }
+
+    fn query_seg(&self, sr: &SegRecord) -> SearchOutcome {
+        run_query(
+            &QueryEnv {
+                kn: &self.engine.kn,
+                cfg: &self.engine.cfg,
+                opts: &self.opts,
+                segrecs: &self.prepared.prep.segrecs,
+                order: &self.order,
+                levels: &self.sel.levels,
+                index: &self.index,
+                counter: &self.counter,
+                pool: &self.pool,
+            },
+            sr,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeBuilder;
+
+    fn setup() -> (Knowledge, Corpus, Corpus) {
+        let mut b = KnowledgeBuilder::new();
+        b.synonym("coffee shop", "cafe", 1.0);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "latte"]);
+        b.taxonomy_path(&["wikipedia", "food", "coffee", "coffee drinks", "espresso"]);
+        let mut kn = b.build();
+        let s = kn.corpus_from_lines([
+            "coffee shop latte helsingki",
+            "cake and tea",
+            "espresso north",
+            "unrelated words entirely",
+        ]);
+        let t = kn.corpus_from_lines([
+            "espresso cafe helsinki",
+            "tea cake",
+            "latte south",
+            "different thing",
+        ]);
+        (kn, s, t)
+    }
+
+    #[test]
+    fn engine_join_finds_figure1_pair_and_memoizes() {
+        let (kn, s, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        let spec = JoinSpec::threshold(0.7).u_filter();
+        let first = engine.join(&ps, &pt, &spec).unwrap();
+        assert!(first.pairs.iter().any(|&(a, b, _)| a == 0 && b == 0));
+        assert_eq!(first.stats.prepare_time, Duration::ZERO);
+        let misses_after_first = ps.memo_misses() + pt.memo_misses();
+        let second = engine.join(&ps, &pt, &spec).unwrap();
+        assert_eq!(first.pairs, second.pairs);
+        assert_eq!(
+            ps.memo_misses() + pt.memo_misses(),
+            misses_after_first,
+            "second identical join must build nothing new"
+        );
+        assert!(ps.memo_hits() + pt.memo_hits() > 0);
+    }
+
+    #[test]
+    fn invalid_configs_and_specs_are_typed_errors() {
+        let (kn, s, _) = setup();
+        let bad_cfg = SimConfig {
+            q: 0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(kn.clone(), bad_cfg),
+            Err(AuError::InvalidConfig { field: "q", .. })
+        ));
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        assert!(matches!(
+            engine.join_self(&ps, &JoinSpec::threshold(1.5)),
+            Err(AuError::InvalidSpec { field: "theta", .. })
+        ));
+        assert!(matches!(
+            engine.join_self(&ps, &JoinSpec::topk(3)),
+            Err(AuError::InvalidSpec { field: "mode", .. })
+        ));
+        assert!(matches!(
+            engine.topk_self(&ps, &JoinSpec::threshold(0.8)),
+            Err(AuError::InvalidSpec { field: "mode", .. })
+        ));
+        assert!(matches!(
+            engine.topk_self(&ps, &JoinSpec::topk(3).descent(0.9, 0.0, 0.1)),
+            Err(AuError::InvalidSpec {
+                field: "theta_floor",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn clear_memo_reclaims_artifacts_and_rebuilds_lazily() {
+        let (kn, s, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        let spec = JoinSpec::threshold(0.7).au_dp(2);
+        let first = engine.join(&ps, &pt, &spec).unwrap();
+        assert!(ps.memo_len() > 0 && pt.memo_len() > 0);
+        ps.clear_memo();
+        pt.clear_memo();
+        assert_eq!(ps.memo_len() + pt.memo_len(), 0);
+        // Operations rebuild lazily and return identical results.
+        let again = engine.join(&ps, &pt, &spec).unwrap();
+        assert_eq!(first.pairs, again.pairs);
+        assert!(ps.memo_len() > 0);
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        // Un-mutated Knowledge clones share a generation, so two engines
+        // over the same knowledge but different configs must be told
+        // apart by the config stamp, not the generation.
+        let (kn, s, _) = setup();
+        let e1 = Engine::new(kn.clone(), SimConfig::default()).unwrap();
+        let e2 = Engine::new(
+            kn,
+            SimConfig::default().with_measures(crate::config::MeasureSet::J),
+        )
+        .unwrap();
+        let p1 = e1.prepare(&s).unwrap();
+        assert!(matches!(
+            e2.join_self(&p1, &JoinSpec::threshold(0.8)),
+            Err(AuError::ConfigMismatch)
+        ));
+        assert!(matches!(
+            e2.searcher(&p1, &JoinSpec::threshold(0.8)),
+            Err(AuError::ConfigMismatch)
+        ));
+        // Same config, distinct engine instances: artifacts interchange.
+        let e3 = Engine::new(e1.knowledge().clone(), SimConfig::default()).unwrap();
+        assert!(e3.join_self(&p1, &JoinSpec::threshold(0.8)).is_ok());
+    }
+
+    #[test]
+    fn stale_prepared_is_rejected() {
+        let (kn, s, t) = setup();
+        let mut engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        let fresh = engine.corpus_from_lines(["a brand new record"]);
+        let err = engine
+            .join(&ps, &pt, &JoinSpec::threshold(0.8))
+            .unwrap_err();
+        assert!(matches!(err, AuError::StaleKnowledge { .. }));
+        // Re-preparing against the new generation works again.
+        let ps2 = engine.prepare(&s).unwrap();
+        let pf = engine.prepare(&fresh).unwrap();
+        assert!(engine.join(&ps2, &pf, &JoinSpec::threshold(0.8)).is_ok());
+    }
+
+    #[test]
+    fn foreign_corpus_is_rejected() {
+        let (kn, s, _) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let mut other = KnowledgeBuilder::new().build();
+        let foreign = other.corpus_from_lines([
+            "tokens interned elsewhere one two three four five six seven eight nine",
+        ]);
+        // The foreign vocabulary is larger than anything these few tokens
+        // could legally reference... unless ids happen to be in range; use
+        // a corpus that must exceed the engine's vocabulary.
+        match engine.prepare(&foreign) {
+            Err(AuError::UnknownToken { .. }) => {}
+            Ok(_) => {
+                // All foreign ids were in range (coincidence of small
+                // vocabularies) — still prepared deterministically.
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        drop(s);
+    }
+
+    #[test]
+    fn sink_join_streams_the_batch_results() {
+        let (kn, s, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        let spec = JoinSpec::threshold(0.6).au_dp(2);
+        let batch = engine.join(&ps, &pt, &spec).unwrap();
+        let mut streamed = Vec::new();
+        let stats = engine
+            .join_sink(&ps, &pt, &spec, |a, b, sim| streamed.push((a, b, sim)))
+            .unwrap();
+        assert_eq!(streamed, batch.pairs);
+        assert_eq!(stats.result_count, batch.pairs.len());
+        assert_eq!(stats.candidates, batch.stats.candidates);
+    }
+
+    #[test]
+    fn searcher_handles_unknown_tokens_without_mut() {
+        let (kn, _, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        let searcher = engine
+            .searcher(&pt, &JoinSpec::threshold(0.6).au_dp(1))
+            .unwrap();
+        // "helsinky" is out of vocabulary; grams still match record 0.
+        let out = searcher.query("espresso cafe helsinky");
+        assert!(out.matches.iter().any(|&(rid, _)| rid == 0), "{out:?}");
+        // Repeat with the same unknown token: overlay ids are stable.
+        let again = searcher.query("espresso cafe helsinky");
+        assert_eq!(out.matches, again.matches);
+        // The engine's vocabulary was not touched.
+        assert!(engine.knowledge().vocab.get("helsinky").is_none());
+    }
+
+    #[test]
+    fn usim_upper_bound_dominates_usim() {
+        let (kn, s, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        for a in 0..s.len() as u32 {
+            for b in 0..t.len() as u32 {
+                let ub = engine.usim_upper_bound(&ps, a, &pt, b).unwrap();
+                let sim = engine.usim(&ps, a, &pt, b).unwrap();
+                assert!(ub + 1e-12 >= sim, "({a},{b}): bound {ub} < sim {sim}");
+            }
+        }
+        assert!(matches!(
+            engine.usim(&ps, 99, &pt, 0),
+            Err(AuError::RecordOutOfBounds { id: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn join_with_same_prepared_is_cross_product_semantics() {
+        let (kn, s, _) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let p = engine.prepare(&s).unwrap();
+        let spec = JoinSpec::threshold(0.9).serial();
+        let cross = engine.join(&p, &p, &spec).unwrap();
+        // Every record matches itself at θ = 0.9.
+        for a in 0..s.len() as u32 {
+            assert!(cross.pairs.iter().any(|&(x, y, _)| x == a && y == a));
+        }
+        // Self-join reports each unordered pair once, without (a, a).
+        let selfj = engine.join_self(&p, &spec).unwrap();
+        assert!(selfj.pairs.iter().all(|&(a, b, _)| a < b));
+    }
+}

@@ -1,0 +1,142 @@
+//! Typed errors of the session API.
+//!
+//! The pre-PR-4 surface panicked (or silently misbehaved) on invalid
+//! input: `Knowledge::record` indexed out of bounds, `suggest_tau`
+//! asserted on an empty universe, a `SearchIndex` kept answering after
+//! its knowledge base was mutated under it. The [`Engine`] methods
+//! validate once and return [`AuError`] instead, so a long-lived service
+//! can surface configuration mistakes to its callers rather than
+//! aborting the process.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use std::fmt;
+
+/// Everything the session API can reject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuError {
+    /// A [`crate::config::SimConfig`] field is out of range (checked once
+    /// at [`crate::engine::Engine::new`]).
+    InvalidConfig {
+        /// Offending field name.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        message: String,
+    },
+    /// A [`crate::engine::JoinSpec`] (or other per-operation parameter)
+    /// is out of range.
+    InvalidSpec {
+        /// Offending field name.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        message: String,
+    },
+    /// A [`crate::engine::Prepared`] (or searcher) was built against a
+    /// knowledge generation that no longer matches the engine's: the
+    /// knowledge base was mutated after preparation. Interning into one
+    /// context only appends, but generations also distinguish knowledge
+    /// clones that diverged after a fork (which *can* assign one id to
+    /// different words), so any mutation conservatively invalidates
+    /// prepared artifacts. Re-run [`crate::engine::Engine::prepare`].
+    StaleKnowledge {
+        /// Generation the engine's knowledge context is at now.
+        expected: u64,
+        /// Generation the artifact was prepared under.
+        found: u64,
+    },
+    /// A [`crate::engine::Prepared`] was built by an engine with a
+    /// different [`crate::config::SimConfig`]: segmentation, grams and
+    /// pebbles are config-dependent, so scoring the artifact under
+    /// another configuration would be silently wrong. Two engines may
+    /// share artifacts only when their configurations are identical.
+    ConfigMismatch,
+    /// A record id outside the corpus.
+    RecordOutOfBounds {
+        /// The requested id.
+        id: u32,
+        /// Number of records actually present.
+        len: usize,
+    },
+    /// A corpus contains token ids the engine's vocabulary has never
+    /// interned — it was tokenized against a different knowledge context.
+    UnknownToken {
+        /// First out-of-range token id encountered.
+        id: u32,
+        /// Size of the engine's vocabulary.
+        vocab_len: usize,
+    },
+    /// A phrase (synonym rule side, taxonomy label) tokenized to nothing.
+    EmptyPhrase {
+        /// The raw text that produced no tokens.
+        text: String,
+    },
+}
+
+impl fmt::Display for AuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuError::InvalidConfig { field, message } => {
+                write!(f, "invalid SimConfig: {field}: {message}")
+            }
+            AuError::InvalidSpec { field, message } => {
+                write!(f, "invalid spec: {field}: {message}")
+            }
+            AuError::StaleKnowledge { expected, found } => write!(
+                f,
+                "stale prepared artifact: knowledge generation {found}, engine at {expected}; \
+                 re-run Engine::prepare after mutating the knowledge base"
+            ),
+            AuError::ConfigMismatch => write!(
+                f,
+                "prepared artifact was built under a different SimConfig; \
+                 prepare the corpus with this engine"
+            ),
+            AuError::RecordOutOfBounds { id, len } => {
+                write!(
+                    f,
+                    "record id {id} out of bounds for corpus of {len} records"
+                )
+            }
+            AuError::UnknownToken { id, vocab_len } => write!(
+                f,
+                "token id {id} not in this engine's vocabulary ({vocab_len} tokens); \
+                 the corpus was tokenized against a different knowledge context"
+            ),
+            AuError::EmptyPhrase { text } => {
+                write!(f, "phrase {text:?} tokenizes to nothing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AuError::StaleKnowledge {
+            expected: 7,
+            found: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("generation 3") && s.contains("engine at 7"));
+        assert!(AuError::EmptyPhrase { text: "...".into() }
+            .to_string()
+            .contains("\"...\""));
+        assert!(AuError::RecordOutOfBounds { id: 9, len: 2 }
+            .to_string()
+            .contains("9"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(AuError::UnknownToken {
+            id: 1,
+            vocab_len: 0,
+        });
+        assert!(e.to_string().contains("token id 1"));
+    }
+}

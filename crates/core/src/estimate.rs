@@ -40,7 +40,23 @@ pub struct FilterCounts {
 /// [`filter_stage`] (CSR index + epoch-stamped counter probes) as the
 /// production join: Eq. 17 scales *this* path's counts, so sampling a
 /// different engine would calibrate the wrong cost model.
+#[deprecated(note = "use Engine::filter_counts on prepared corpora")]
 pub fn filter_counts(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    theta: f64,
+    filter: FilterKind,
+) -> FilterCounts {
+    filter_counts_impl(kn, cfg, s, t, theta, filter)
+}
+
+/// Non-deprecated implementation shared by the legacy free function and
+/// the session API's sample-counting closures (samples are fresh corpora,
+/// prepared exactly once here; the *full* corpora go through
+/// [`crate::engine::Engine::filter_counts`]'s memo instead).
+pub(crate) fn filter_counts_impl(
     kn: &Knowledge,
     cfg: &SimConfig,
     s: &Corpus,
@@ -82,6 +98,46 @@ pub fn estimate_from_counts(counts: FilterCounts, ps: f64, pt: f64) -> Bernoulli
     }
 }
 
+/// One calibration protocol for both the legacy `CostModel::calibrate`
+/// and `Engine::calibrate`: derive `c_f` from the measured filtering time
+/// over the processed pairs, pick up to `max_verifications` candidate
+/// pairs (or a small synthesized cross product when filtering produced
+/// none), and time them through `timed_verify` (which returns seconds).
+/// The protocol lives here exactly once so the shim and the engine cannot
+/// drift (same rationale as `suggest_loop`/`probe_loop`).
+pub(crate) fn cost_model_from_filter_run(
+    processed_pairs: u64,
+    candidates: &[(u32, u32)],
+    f_time: f64,
+    s_len: usize,
+    t_len: usize,
+    max_verifications: usize,
+    timed_verify: impl FnOnce(&[(u32, u32)]) -> f64,
+) -> CostModel {
+    let c_f = if processed_pairs > 0 {
+        f_time / processed_pairs as f64
+    } else {
+        5e-8
+    };
+    let pairs: Vec<(u32, u32)> = if candidates.is_empty() {
+        (0..s_len.min(16) as u32)
+            .flat_map(|a| (0..t_len.min(16) as u32).map(move |b| (a, b)))
+            .take(max_verifications)
+            .collect()
+    } else {
+        candidates.iter().copied().take(max_verifications).collect()
+    };
+    let c_v = if pairs.is_empty() {
+        2e-6
+    } else {
+        (timed_verify(&pairs) / pairs.len() as f64).max(1e-9)
+    };
+    CostModel {
+        c_f: c_f.max(1e-10),
+        c_v,
+    }
+}
+
 /// Calibrated per-unit costs (seconds) of Eq. 15.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
@@ -108,6 +164,9 @@ impl CostModel {
     /// `max_verifications` random-ish candidate pairs (timing per
     /// verification). Falls back to conservative defaults when a sample is
     /// too small to measure.
+    #[deprecated(
+        note = "use Engine::calibrate on prepared corpora (prepares each corpus exactly once)"
+    )]
     pub fn calibrate(
         kn: &Knowledge,
         cfg: &SimConfig,
@@ -129,36 +188,19 @@ impl CostModel {
         let f_start = Instant::now();
         let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
         let f_time = f_start.elapsed().as_secs_f64();
-        let c_f = if out.processed_pairs > 0 {
-            f_time / out.processed_pairs as f64
-        } else {
-            5e-8
-        };
-        // Verify a slice of candidates — or arbitrary pairs when filtering
-        // produced none — to time the verifier.
-        let pairs: Vec<(u32, u32)> = if out.candidates.is_empty() {
-            (0..sp.len().min(16) as u32)
-                .flat_map(|a| (0..tp.len().min(16) as u32).map(move |b| (a, b)))
-                .take(max_verifications)
-                .collect()
-        } else {
-            out.candidates
-                .iter()
-                .copied()
-                .take(max_verifications)
-                .collect()
-        };
-        let c_v = if pairs.is_empty() {
-            2e-6
-        } else {
-            let v_start = Instant::now();
-            let _ = verify_candidates(kn, cfg, &sp, &tp, &pairs, theta, false);
-            (v_start.elapsed().as_secs_f64() / pairs.len() as f64).max(1e-9)
-        };
-        Self {
-            c_f: c_f.max(1e-10),
-            c_v,
-        }
+        cost_model_from_filter_run(
+            out.processed_pairs,
+            &out.candidates,
+            f_time,
+            sp.len(),
+            tp.len(),
+            max_verifications,
+            |pairs| {
+                let v_start = Instant::now();
+                let _ = verify_candidates(kn, cfg, &sp, &tp, pairs, theta, false);
+                v_start.elapsed().as_secs_f64()
+            },
+        )
     }
 }
 
@@ -179,7 +221,7 @@ pub fn true_costs(
     universe
         .iter()
         .map(|&tau| {
-            let c = filter_counts(kn, cfg, s, t, theta, make_filter(tau));
+            let c = filter_counts_impl(kn, cfg, s, t, theta, make_filter(tau));
             (
                 tau,
                 model.c_f * c.processed as f64 + model.c_v * c.candidates as f64,
@@ -214,6 +256,7 @@ pub fn draw_sample_pair(s: &Corpus, t: &Corpus, ps: f64, pt: f64, seed: u64, n: 
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::knowledge::KnowledgeBuilder;

@@ -70,7 +70,14 @@ impl JoinOptions {
 /// Timing and cardinality statistics of one join run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JoinStats {
-    /// Segmentation + pebble generation + ordering + signature selection.
+    /// Stage 1 wall-clock: segmentation + pebble generation. Zero when the
+    /// operation ran on an already-prepared corpus
+    /// ([`crate::engine::Engine::join`] reusing a
+    /// [`crate::engine::Prepared`]) — the whole point of the session API.
+    pub prepare_time: Duration,
+    /// Ordering + signature selection (plus segmentation + pebble
+    /// generation on the legacy one-shot paths, which fold stage 1 in
+    /// here when `prepare_time` is not tracked separately).
     pub sig_time: Duration,
     /// Candidate generation over the inverted indexes.
     pub filter_time: Duration,
@@ -91,7 +98,7 @@ pub struct JoinStats {
 impl JoinStats {
     /// Total wall-clock of the measured stages.
     pub fn total_time(&self) -> Duration {
-        self.sig_time + self.filter_time + self.verify_time
+        self.prepare_time + self.sig_time + self.filter_time + self.verify_time
     }
 }
 
@@ -125,8 +132,20 @@ impl PreparedCorpus {
     }
 }
 
+/// Process-wide count of [`prepare_corpus`] invocations. Tests assert that
+/// session-API workflows (`tune_tau` + join, search after join) prepare a
+/// corpus exactly once; a service dashboard can watch it for accidental
+/// re-preparation.
+static PREPARE_INVOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times [`prepare_corpus`] has run in this process.
+pub fn prepare_invocations() -> u64 {
+    PREPARE_INVOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Stage 1: segment and generate pebbles for every record.
 pub fn prepare_corpus(kn: &Knowledge, cfg: &SimConfig, corpus: &Corpus) -> PreparedCorpus {
+    PREPARE_INVOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut segrecs = Vec::with_capacity(corpus.len());
     let mut pebbles = Vec::with_capacity(corpus.len());
     for r in corpus.iter() {
@@ -183,16 +202,24 @@ impl SelectedSignatures {
     /// Run signature selection (stage 3) and flatten the prefixes for the
     /// candidate pass.
     pub fn select(prep: &PreparedCorpus, opts: &JoinOptions, eps: f64) -> Self {
-        let choices = select_signatures(
-            prep,
-            opts.filter,
-            opts.theta,
-            eps,
-            opts.mp_mode,
-            opts.parallel,
-        );
-        let sigs: Vec<&[Pebble]> = prep
-            .pebbles
+        Self::select_from(&prep.segrecs, &prep.pebbles, opts, eps)
+    }
+
+    /// [`SelectedSignatures::select`] over raw slices — the session API
+    /// keeps order-sorted pebble lists separate from the canonical
+    /// [`PreparedCorpus`], so selection must not insist on one struct.
+    pub fn select_from(
+        segrecs: &[SegRecord],
+        pebbles: &[Vec<Pebble>],
+        opts: &JoinOptions,
+        eps: f64,
+    ) -> Self {
+        let items: Vec<(&SegRecord, &Vec<Pebble>)> = segrecs.iter().zip(pebbles).collect();
+        let choices: Vec<SignatureChoice> =
+            crate::parallel::par_map(&items, opts.parallel, |&(sr, p)| {
+                select_signature(sr, p, opts.filter, opts.theta, eps, opts.mp_mode)
+            });
+        let sigs: Vec<&[Pebble]> = pebbles
             .iter()
             .zip(&choices)
             .map(|(p, c)| &p[..c.len])
@@ -243,7 +270,22 @@ pub fn candidate_pass(
 ) -> FilterOutcome {
     let indexed = t.unwrap_or(s);
     let index = CsrIndex::from_record_keys(&indexed.record_keys);
-    let self_join = t.is_none();
+    candidate_pass_with_index(s, indexed, &index, t.is_none(), tau, parallel)
+}
+
+/// [`candidate_pass`] against a pre-built CSR index over `indexed`'s
+/// signatures. The session API memoizes the index per `(corpus, θ,
+/// filter)` so repeated operations skip the rebuild; output is
+/// byte-identical to [`candidate_pass`] (the index is a pure function of
+/// the signatures).
+pub fn candidate_pass_with_index(
+    s: &SelectedSignatures,
+    indexed: &SelectedSignatures,
+    index: &CsrIndex,
+    self_join: bool,
+    tau: u32,
+    parallel: bool,
+) -> FilterOutcome {
     let ids: Vec<u32> = (0..s.len() as u32).collect();
     let per_record: Vec<(Vec<u32>, u64)> = crate::parallel::par_map_scratch(
         &ids,
@@ -252,7 +294,7 @@ pub fn candidate_pass(
         |ctr, &a| {
             let mut hits = Vec::new();
             let processed = ctr.probe(
-                &index,
+                index,
                 s.record_keys.get(a),
                 s.levels[a as usize],
                 tau,
@@ -517,6 +559,7 @@ pub fn join_prepared(
     let verify_time = verify_start.elapsed();
 
     let stats = JoinStats {
+        prepare_time: Duration::ZERO,
         sig_time,
         filter_time,
         verify_time,
@@ -534,6 +577,7 @@ pub fn join_prepared(
 }
 
 /// R×S join of two corpora sharing the knowledge context.
+#[deprecated(note = "use Engine::prepare + Engine::join (see DESIGN.md \"Session API\")")]
 pub fn join(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -546,27 +590,32 @@ pub fn join(
     let mut tp = Some(prepare_corpus(kn, cfg, t));
     let prep_time = prep_start.elapsed();
     let mut res = join_prepared(kn, cfg, &mut sp, &mut tp, opts);
-    res.stats.sig_time += prep_time;
+    res.stats.prepare_time += prep_time;
     res
 }
 
 /// Self-join of one corpus (pairs are reported with `s < t`).
+#[deprecated(note = "use Engine::prepare + Engine::join_self")]
 pub fn join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, opts: &JoinOptions) -> JoinResult {
     let prep_start = Instant::now();
     let mut sp = prepare_corpus(kn, cfg, c);
     let prep_time = prep_start.elapsed();
     let mut none = None;
     let mut res = join_prepared(kn, cfg, &mut sp, &mut none, opts);
-    res.stats.sig_time += prep_time;
+    res.stats.prepare_time += prep_time;
     res
 }
 
 /// Algorithm 3: unified set join with U-Filter.
+#[deprecated(note = "use Engine::join with JoinSpec::threshold(theta).u_filter()")]
+#[allow(deprecated)]
 pub fn u_join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, theta: f64) -> JoinResult {
     join(kn, cfg, s, t, &JoinOptions::u_filter(theta))
 }
 
 /// Algorithm 6: unified set join with AU-Filter (DP signatures).
+#[deprecated(note = "use Engine::join with JoinSpec::threshold(theta).au_dp(tau)")]
+#[allow(deprecated)]
 pub fn au_join(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -595,6 +644,7 @@ pub fn brute_force_join(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::knowledge::KnowledgeBuilder;

@@ -76,8 +76,23 @@ impl Knowledge {
     }
 
     /// Borrow a record of the built-in corpus.
+    ///
+    /// Panics when `id` is out of bounds; service code should prefer
+    /// [`Knowledge::try_record`].
     pub fn record(&self, id: RecordId) -> &Record {
         self.corpus.get(id)
+    }
+
+    /// Non-panicking [`Knowledge::record`].
+    pub fn try_record(&self, id: RecordId) -> Result<&Record, crate::error::AuError> {
+        if id.idx() < self.corpus.len() {
+            Ok(self.corpus.get(id))
+        } else {
+            Err(crate::error::AuError::RecordOutOfBounds {
+                id: id.0,
+                len: self.corpus.len(),
+            })
+        }
     }
 
     /// Tokenize a standalone string into a fresh corpus sharing this
@@ -183,7 +198,8 @@ impl KnowledgeBuilder {
     /// Ensure a root-to-leaf taxonomy path exists; each element is an
     /// entity label (possibly multi-token, e.g. `"coffee drinks"`). Every
     /// node on the path is registered as an entity under its label.
-    /// Returns the leaf node.
+    /// Returns the leaf node, or `None` when a label tokenizes to nothing
+    /// ([`KnowledgeBuilder::try_taxonomy_path`] reports *which* label).
     pub fn taxonomy_path(&mut self, labels: &[&str]) -> Option<NodeId> {
         let mut interned = Vec::with_capacity(labels.len());
         for l in labels {
@@ -199,6 +215,46 @@ impl KnowledgeBuilder {
             self.entities.insert(p, len, node);
         }
         Some(leaf)
+    }
+
+    /// [`KnowledgeBuilder::taxonomy_path`] with a typed error naming the
+    /// label that tokenized to nothing (the path is only modified when
+    /// every label is valid).
+    pub fn try_taxonomy_path(&mut self, labels: &[&str]) -> Result<NodeId, crate::error::AuError> {
+        for l in labels {
+            if tokenize(l, &self.tokenize).is_empty() {
+                return Err(crate::error::AuError::EmptyPhrase {
+                    text: (*l).to_string(),
+                });
+            }
+        }
+        if labels.is_empty() {
+            return Err(crate::error::AuError::EmptyPhrase {
+                text: String::new(),
+            });
+        }
+        Ok(self
+            .taxonomy_path(labels)
+            .expect("labels pre-validated non-empty"))
+    }
+
+    /// [`KnowledgeBuilder::synonym`] with a typed error naming the side
+    /// that tokenized to nothing.
+    pub fn try_synonym(
+        &mut self,
+        lhs: &str,
+        rhs: &str,
+        c: f64,
+    ) -> Result<(), crate::error::AuError> {
+        for side in [lhs, rhs] {
+            if tokenize(side, &self.tokenize).is_empty() {
+                return Err(crate::error::AuError::EmptyPhrase {
+                    text: side.to_string(),
+                });
+            }
+        }
+        assert!(self.synonym(lhs, rhs, c), "sides pre-validated non-empty");
+        Ok(())
     }
 
     /// Add an alias phrase for an existing node.

@@ -11,6 +11,8 @@
 //!   AU-Filter DP (Alg. 5) signature selection.
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod estimate;
 pub mod index;
 pub mod io;
@@ -29,8 +31,11 @@ pub mod topk;
 pub mod usim;
 
 pub use config::{GramMeasure, MeasureSet, SimConfig};
+pub use engine::{Engine, JoinSpec, Prepared, ProbeSpec, Searcher};
+pub use error::AuError;
 pub use index::{CsrIndex, OverlapCounter, RecordKeys};
 pub use knowledge::{Knowledge, KnowledgeBuilder};
 pub use search::{SearchIndex, SearchOutcome};
+#[allow(deprecated)]
 pub use topk::{topk_join, topk_join_self, TopkOptions, TopkResult};
 pub use usim::{usim_approx, usim_approx_explained, usim_exact};

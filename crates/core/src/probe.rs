@@ -5,10 +5,10 @@
 //! optimum ... is an exciting direction for future research."* This module
 //! implements a pilot-based tuner.
 //!
-//! Pilot iterations run [`filter_counts`] and therefore the same CSR
-//! candidate-generation engine as the real join (the estimator re-runs
-//! stages 1–4 on samples; modelling a different filter path would tune `p`
-//! for costs the join never pays).
+//! Pilot iterations count through the same filtering stage — and
+//! therefore the same CSR candidate-generation engine — as the real join
+//! (the estimator re-runs stages 1–4 on samples; modelling a different
+//! filter path would tune `p` for costs the join never pays).
 //!
 //! The idea: suggestion time ≈ `iterations(p) × time_per_iteration(p)`.
 //! Per-iteration time grows roughly quadratically with `p` (sample pairs),
@@ -22,7 +22,7 @@
 //! would need, and pick the `p` minimising predicted total time.
 
 use crate::config::SimConfig;
-use crate::estimate::{draw_sample_pair, estimate_from_counts, filter_counts, CostModel};
+use crate::estimate::{draw_sample_pair, estimate_from_counts, CostModel};
 use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use crate::stats::OnlineStats;
@@ -58,6 +58,7 @@ pub struct ProbeOutcome {
 /// `pilot_iters` controls the pilot length per candidate (≥ 2 needed for a
 /// variance estimate; 5–8 is plenty). Deterministic given `seed`.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use Engine::probe on prepared corpora")]
 pub fn tune_sampling_probability(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -71,6 +72,33 @@ pub fn tune_sampling_probability(
     seed: u64,
 ) -> ProbeOutcome {
     assert!(!candidates.is_empty() && !universe.is_empty());
+    probe_loop(
+        s,
+        t,
+        model,
+        candidates,
+        universe,
+        pilot_iters,
+        seed,
+        |a, b, f| crate::estimate::filter_counts_impl(kn, cfg, a, b, theta, f),
+    )
+}
+
+/// The pilot loop with the per-sample counting step abstracted out (see
+/// [`crate::suggest::suggest_loop`] for the rationale — the session API
+/// counts through prepared state, the legacy function through a raw
+/// knowledge context, and the loop must not fork).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_loop(
+    s: &Corpus,
+    t: &Corpus,
+    model: &CostModel,
+    candidates: &[f64],
+    universe: &[u32],
+    pilot_iters: usize,
+    seed: u64,
+    mut counts_of: impl FnMut(&Corpus, &Corpus, FilterKind) -> crate::estimate::FilterCounts,
+) -> ProbeOutcome {
     let pilot_iters = pilot_iters.max(2);
     let mut points = Vec::with_capacity(candidates.len());
     for (ci, &p) in candidates.iter().enumerate() {
@@ -82,14 +110,7 @@ pub fn tune_sampling_probability(
         for n in 0..pilot_iters {
             let sample = draw_sample_pair(s, t, p, p, seed ^ (ci as u64) << 32, n as u64 + 1);
             for (i, &tau) in universe.iter().enumerate() {
-                let counts = filter_counts(
-                    kn,
-                    cfg,
-                    &sample.s,
-                    &sample.t,
-                    theta,
-                    FilterKind::AuHeuristic { tau },
-                );
+                let counts = counts_of(&sample.s, &sample.t, FilterKind::AuHeuristic { tau });
                 pilot_cost +=
                     model.c_f * counts.processed as f64 + model.c_v * counts.candidates as f64;
                 let est = estimate_from_counts(counts, p, p);
@@ -124,6 +145,7 @@ pub fn tune_sampling_probability(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::knowledge::KnowledgeBuilder;

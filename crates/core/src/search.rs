@@ -22,11 +22,11 @@ use crate::index::{CsrIndex, OverlapCounter, RecordKeys};
 use crate::join::{prepare_corpus, JoinOptions, PreparedCorpus};
 use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleKey, PebbleOrder};
-use crate::segment::segment_record;
+
 use crate::signature::select_signature;
 use crate::usim::{Verifier, VerifyScratch};
 use au_text::record::Corpus;
-use au_text::TokenId;
+use au_text::{ScratchVocab, TokenId};
 use std::sync::Mutex;
 
 /// A similarity-search index over one string collection.
@@ -47,7 +47,7 @@ use std::sync::Mutex;
 ///
 /// let cfg = SimConfig::default();
 /// let index = SearchIndex::build(&kn, &cfg, &gazetteer, &JoinOptions::au_dp(0.6, 2));
-/// let hits = index.query(&mut kn, "espresso coffee shop helsinki");
+/// let hits = index.query(&kn, "espresso coffee shop helsinki");
 /// assert_eq!(hits.matches[0].0, 0); // record 0 matches via the synonym rule
 /// ```
 #[derive(Debug)]
@@ -74,6 +74,12 @@ pub struct SearchIndex {
     /// it (same rule as `counter`), so concurrent queries never
     /// serialise; the pool grows to the peak query concurrency.
     scratch_pool: Mutex<Vec<VerifyScratch>>,
+    /// Query-side overlay for out-of-vocabulary tokens, so raw-string
+    /// queries no longer intern into (and therefore no longer need `&mut`
+    /// on) the shared knowledge context. Overlay ids are stable for the
+    /// index's lifetime, keeping the scratch pool's cross-candidate memo
+    /// sound across queries.
+    scratch_vocab: Mutex<ScratchVocab>,
 }
 
 impl Clone for SearchIndex {
@@ -88,6 +94,7 @@ impl Clone for SearchIndex {
             levels: self.levels.clone(),
             counter: Mutex::new(OverlapCounter::new(self.index.record_count())),
             scratch_pool: Mutex::new(Vec::new()),
+            scratch_vocab: Mutex::new(ScratchVocab::new()),
         }
     }
 }
@@ -112,6 +119,7 @@ impl SearchIndex {
     /// for would lose completeness. (Queries at a *higher* θ remain
     /// complete — the signatures only get more conservative — but
     /// [`SearchIndex::query`] intentionally keeps one θ to avoid misuse.)
+    #[deprecated(note = "use Engine::searcher on a prepared corpus")]
     pub fn build(kn: &Knowledge, cfg: &SimConfig, corpus: &Corpus, opts: &JoinOptions) -> Self {
         let mut prep = prepare_corpus(kn, cfg, corpus);
         let order = PebbleOrder::build(prep.pebbles.iter().map(|v| v.as_slice()));
@@ -143,6 +151,7 @@ impl SearchIndex {
             levels: choices.iter().map(|c| c.level).collect(),
             counter,
             scratch_pool: Mutex::new(Vec::new()),
+            scratch_vocab: Mutex::new(ScratchVocab::new()),
         }
     }
 
@@ -166,107 +175,157 @@ impl SearchIndex {
         self.avg_sig_len
     }
 
-    /// Query with a raw string. Tokenises with the knowledge's tokenizer
-    /// (interning any new tokens into its vocabulary, hence `&mut`); for a
-    /// read-only hot path pre-tokenise once and call
+    /// Query with a raw string. Out-of-vocabulary tokens are interned
+    /// into an index-private [`ScratchVocab`] overlay (ids stable for the
+    /// index's lifetime), so querying never mutates the shared knowledge
+    /// context; for a read-only hot path pre-tokenise once and call
     /// [`SearchIndex::query_tokens`].
-    pub fn query(&self, kn: &mut Knowledge, text: &str) -> SearchOutcome {
+    pub fn query(&self, kn: &Knowledge, text: &str) -> SearchOutcome {
         let toks = au_text::tokenize::tokenize(text, &kn.tokenize);
-        let ids: Vec<TokenId> = toks.iter().map(|t| kn.vocab.intern(t)).collect();
-        self.query_tokens(kn, &ids)
+        // Lock the overlay for interning + snapshot only; segmentation
+        // runs outside it (see `au_text::ScratchVocab::snapshot`).
+        let (ids, snap) = {
+            let mut scratch = self.scratch_vocab.lock().expect("search scratch poisoned");
+            let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
+            let snap = scratch.snapshot(&ids);
+            (ids, snap)
+        };
+        let sr = crate::segment::segment_record_with(kn, &self.cfg, &ids, &|span| {
+            snap.join(&kn.vocab, span)
+        });
+        run_query(&self.query_env(kn), &sr)
     }
 
     /// Query with a pre-tokenised string: returns every indexed record
     /// whose unified similarity with the query is at least the build-time
     /// θ.
     pub fn query_tokens(&self, kn: &Knowledge, tokens: &[TokenId]) -> SearchOutcome {
-        let sr = segment_record(kn, &self.cfg, tokens);
-        let mut pebbles = generate_pebbles(kn, &self.cfg, &sr);
-        self.order.sort(&mut pebbles);
-        let choice = select_signature(
-            &sr,
-            &pebbles,
-            self.opts.filter,
-            self.opts.theta,
-            self.cfg.eps,
-            self.opts.mp_mode,
-        );
-        let (candidates, processed) = self.collect_candidates(&pebbles[..choice.len], choice.level);
-        let theta = self.opts.theta;
-        // Same tiered verification engine as the joins, deterministic
-        // either way. Small candidate sets (the common search shape)
-        // check a scratch out of the index's pool — the msim memo warms
-        // across the query *stream*, and the pool lock is never held
-        // during verification; fat sets go parallel with per-worker
-        // scratches when the index was built with `parallel`.
-        let engine = Verifier::new(kn, &self.cfg);
-        let accept = |scr: &mut VerifyScratch, rid: u32| {
-            let sim = engine.sim_at_least(&sr, &self.prep.segrecs[rid as usize], theta, scr);
-            (sim >= theta - self.cfg.eps).then_some((rid, sim))
-        };
-        // The pool also catches the degenerate parallel case (one worker):
-        // par_filter_map_scratch would run serially with a cold scratch,
-        // wasting the stream-warmed memo on exactly single-core hosts.
-        let use_pool = !self.opts.parallel
-            || candidates.len() < crate::parallel::MIN_PARALLEL_ITEMS
-            || crate::parallel::available_threads() <= 1;
-        let mut matches: Vec<(u32, f64)> = if use_pool {
-            let mut scr = {
-                let mut pool = self.scratch_pool.lock().expect("search pool poisoned");
-                pool.pop().unwrap_or_default()
-            };
-            let out = candidates
-                .iter()
-                .filter_map(|&rid| accept(&mut scr, rid))
-                .collect();
-            self.scratch_pool
-                .lock()
-                .expect("search pool poisoned")
-                .push(scr);
-            out
-        } else {
-            crate::parallel::par_filter_map_scratch(
-                &candidates,
-                true,
-                VerifyScratch::default,
-                |scr, &rid| accept(scr, rid),
-            )
-        };
-        matches.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        SearchOutcome {
-            matches,
-            candidates: candidates.len() as u64,
-            processed,
-        }
+        let snap = self
+            .scratch_vocab
+            .lock()
+            .expect("search scratch poisoned")
+            .snapshot(tokens);
+        let sr = crate::segment::segment_record_with(kn, &self.cfg, tokens, &|span| {
+            snap.join(&kn.vocab, span)
+        });
+        run_query(&self.query_env(kn), &sr)
     }
 
-    /// Count distinct-key overlaps between the query signature and every
-    /// indexed record via the CSR probe; keep records reaching `min(τ,
-    /// query level, record level)` — the demand both sides can guarantee.
-    ///
-    /// The epoch-stamped counter is shared across queries (its whole point
-    /// is O(1) reuse), so per-query work is proportional to the postings
-    /// touched, never to the collection size.
-    fn collect_candidates(&self, signature: &[Pebble], query_level: u32) -> (Vec<u32>, u64) {
-        let mut distinct: Vec<PebbleKey> = signature.iter().map(|p| p.key).collect();
+    fn query_env<'a>(&'a self, kn: &'a Knowledge) -> QueryEnv<'a> {
+        QueryEnv {
+            kn,
+            cfg: &self.cfg,
+            opts: &self.opts,
+            segrecs: &self.prep.segrecs,
+            order: &self.order,
+            levels: &self.levels,
+            index: &self.index,
+            counter: &self.counter,
+            pool: &self.scratch_pool,
+        }
+    }
+}
+
+/// Everything one query evaluation needs, borrowed from whichever session
+/// owns the artifacts ([`SearchIndex`] here, [`crate::engine::Searcher`]
+/// in the session API).
+#[derive(Debug)]
+pub(crate) struct QueryEnv<'a> {
+    pub kn: &'a Knowledge,
+    pub cfg: &'a SimConfig,
+    pub opts: &'a JoinOptions,
+    pub segrecs: &'a [crate::segment::SegRecord],
+    pub order: &'a PebbleOrder,
+    pub levels: &'a [u32],
+    pub index: &'a CsrIndex,
+    pub counter: &'a Mutex<OverlapCounter>,
+    pub pool: &'a Mutex<Vec<VerifyScratch>>,
+}
+
+/// One query against a prepared collection: signature selection for the
+/// query record, CSR overlap probe, tiered verification. The single
+/// audited implementation behind both search front ends.
+pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> SearchOutcome {
+    let mut pebbles = generate_pebbles(env.kn, env.cfg, sr);
+    env.order.sort(&mut pebbles);
+    let choice = select_signature(
+        sr,
+        &pebbles,
+        env.opts.filter,
+        env.opts.theta,
+        env.cfg.eps,
+        env.opts.mp_mode,
+    );
+    // Count distinct-key overlaps between the query signature and every
+    // indexed record via the CSR probe; keep records reaching `min(τ,
+    // query level, record level)` — the demand both sides can guarantee.
+    // The epoch-stamped counter is shared across queries (its whole point
+    // is O(1) reuse), so per-query work is proportional to the postings
+    // touched, never to the collection size.
+    let (candidates, processed) = {
+        let mut distinct: Vec<PebbleKey> = pebbles[..choice.len].iter().map(|p| p.key).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        let mut ctr = self.counter.lock().expect("search counter poisoned");
+        let mut ctr = env.counter.lock().expect("search counter poisoned");
         let mut out = Vec::new();
         let processed = ctr.probe(
-            &self.index,
+            env.index,
             &distinct,
-            query_level,
-            self.opts.filter.tau(),
-            &self.levels,
+            choice.level,
+            env.opts.filter.tau(),
+            env.levels,
             None,
             &mut out,
         );
         (out, processed)
+    };
+    let theta = env.opts.theta;
+    // Same tiered verification engine as the joins, deterministic
+    // either way. Small candidate sets (the common search shape)
+    // check a scratch out of the session's pool — the msim memo warms
+    // across the query *stream*, and the pool lock is never held
+    // during verification; fat sets go parallel with per-worker
+    // scratches when the index was built with `parallel`.
+    let engine = Verifier::new(env.kn, env.cfg);
+    let accept = |scr: &mut VerifyScratch, rid: u32| {
+        let sim = engine.sim_at_least(sr, &env.segrecs[rid as usize], theta, scr);
+        (sim >= theta - env.cfg.eps).then_some((rid, sim))
+    };
+    // The pool also catches the degenerate parallel case (one worker):
+    // par_filter_map_scratch would run serially with a cold scratch,
+    // wasting the stream-warmed memo on exactly single-core hosts.
+    let use_pool = !env.opts.parallel
+        || candidates.len() < crate::parallel::MIN_PARALLEL_ITEMS
+        || crate::parallel::available_threads() <= 1;
+    let mut matches: Vec<(u32, f64)> = if use_pool {
+        let mut scr = {
+            let mut pool = env.pool.lock().expect("search pool poisoned");
+            pool.pop().unwrap_or_default()
+        };
+        let out = candidates
+            .iter()
+            .filter_map(|&rid| accept(&mut scr, rid))
+            .collect();
+        env.pool.lock().expect("search pool poisoned").push(scr);
+        out
+    } else {
+        crate::parallel::par_filter_map_scratch(
+            &candidates,
+            true,
+            VerifyScratch::default,
+            |scr, &rid| accept(scr, rid),
+        )
+    };
+    matches.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    SearchOutcome {
+        matches,
+        candidates: candidates.len() as u64,
+        processed,
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::join::{brute_force_join, join, JoinOptions};
@@ -291,10 +350,10 @@ mod tests {
 
     #[test]
     fn query_finds_figure1_record() {
-        let (mut kn, t) = setup();
+        let (kn, t) = setup();
         let cfg = SimConfig::default();
         let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.7, 2));
-        let out = idx.query(&mut kn, "coffee shop latte Helsingki");
+        let out = idx.query(&kn, "coffee shop latte Helsingki");
         assert!(
             out.matches.iter().any(|&(rid, _)| rid == 0),
             "expected record 0, got {:?}",
@@ -370,14 +429,14 @@ mod tests {
 
     #[test]
     fn unknown_tokens_still_match_by_grams() {
-        let (mut kn, t) = setup();
+        let (kn, t) = setup();
         let cfg = SimConfig::default();
         let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.6, 1));
         // "helsinky" is not in the vocabulary yet; it should still match
         // "helsinki" (and hence record 0) through shared grams... at the
         // record level the single-token query compares against 3-token
         // records, so use a full-length query.
-        let out = idx.query(&mut kn, "espresso cafe helsinky");
+        let out = idx.query(&kn, "espresso cafe helsinky");
         assert!(
             out.matches.iter().any(|&(rid, _)| rid == 0),
             "got {:?}",
@@ -387,31 +446,31 @@ mod tests {
 
     #[test]
     fn empty_query_matches_nothing() {
-        let (mut kn, t) = setup();
+        let (kn, t) = setup();
         let cfg = SimConfig::default();
         let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.7, 2));
-        let out = idx.query(&mut kn, "");
+        let out = idx.query(&kn, "");
         assert!(out.matches.is_empty());
         assert_eq!(out.candidates, 0);
     }
 
     #[test]
     fn empty_index() {
-        let (mut kn, _) = setup();
+        let (kn, _) = setup();
         let cfg = SimConfig::default();
         let empty = Corpus::new();
         let idx = SearchIndex::build(&kn, &cfg, &empty, &JoinOptions::u_filter(0.8));
         assert!(idx.is_empty());
-        let out = idx.query(&mut kn, "espresso cafe");
+        let out = idx.query(&kn, "espresso cafe");
         assert!(out.matches.is_empty());
     }
 
     #[test]
     fn results_sorted_by_similarity() {
-        let (mut kn, t) = setup();
+        let (kn, t) = setup();
         let cfg = SimConfig::default();
         let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.3, 1));
-        let out = idx.query(&mut kn, "espresso cafe helsinki");
+        let out = idx.query(&kn, "espresso cafe helsinki");
         assert!(!out.matches.is_empty());
         for w in out.matches.windows(2) {
             assert!(w[0].1 >= w[1].1 - 1e-12);

@@ -132,6 +132,22 @@ impl SegRecord {
 /// attached); with `T` disabled, entity spans don't. Single tokens are
 /// always well-defined.
 pub fn segment_record(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> SegRecord {
+    segment_record_with(kn, cfg, tokens, &|span| kn.vocab.join(span))
+}
+
+/// [`segment_record`] with an explicit span renderer, for token sequences
+/// that mix vocabulary ids with [`au_text::ScratchVocab`] overlay ids
+/// (query-side interning: overlay ids are unknown to `kn.vocab`, so the
+/// caller supplies an overlay-aware join). Overlay ids never match an
+/// interned phrase, rule side or entity — an out-of-vocabulary token
+/// cannot be part of known knowledge — so only the surface text needs the
+/// overlay.
+pub fn segment_record_with(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    tokens: &[TokenId],
+    join_span: &dyn Fn(&[TokenId]) -> String,
+) -> SegRecord {
     let n = tokens.len();
     let max_span = kn.max_segment_span().min(n.max(1));
     let want_gram = cfg.measures.contains(MeasureSet::J);
@@ -144,7 +160,7 @@ pub fn segment_record(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> Se
     // Single tokens first (stable order helps tests and determinism).
     for start in 0..n {
         segments.push(make_segment(
-            kn, cfg, tokens, start, 1, want_gram, want_syn, want_tax,
+            kn, cfg, tokens, start, 1, want_gram, want_syn, want_tax, join_span,
         ));
     }
     // Multi-token spans up to the knowledge base's longest phrase.
@@ -163,7 +179,7 @@ pub fn segment_record(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> Se
                 continue;
             }
             segments.push(make_segment(
-                kn, cfg, tokens, start, len, want_gram, want_syn, want_tax,
+                kn, cfg, tokens, start, len, want_gram, want_syn, want_tax, join_span,
             ));
             multi_intervals.push((start, len));
         }
@@ -208,6 +224,7 @@ fn make_segment(
     want_gram: bool,
     want_syn: bool,
     want_tax: bool,
+    join_span: &dyn Fn(&[TokenId]) -> String,
 ) -> Segment {
     let span = &tokens[start..start + len];
     let phrase = kn.phrases.get(span);
@@ -221,7 +238,7 @@ fn make_segment(
     } else {
         Vec::new()
     };
-    let text = kn.vocab.join(span);
+    let text = join_span(span);
     let grams = if want_gram {
         gram_hashes(&text, cfg.q)
     } else {

@@ -176,7 +176,7 @@ pub fn guarantee_level(
 }
 
 /// How to lower-bound the minimum partition size `MP(S)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MpMode {
     /// Exact interval DP (tighter filtering; the minimum is exact because
     /// segments are token intervals). Default.

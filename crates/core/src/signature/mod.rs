@@ -23,7 +23,7 @@ pub use heuristic::heuristic_prefix_len;
 pub use ufilter::ufilter_prefix_len;
 
 /// Which filter (and overlap constraint) to use for signature selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FilterKind {
     /// U-Filter: one overlap (Algorithm 2/3).
     UFilter,

@@ -15,7 +15,7 @@
 //! per-iteration totals observed so far.
 
 use crate::config::SimConfig;
-use crate::estimate::{draw_sample_pair, estimate_from_counts, filter_counts, CostModel};
+use crate::estimate::{draw_sample_pair, estimate_from_counts, CostModel};
 use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use crate::stats::OnlineStats;
@@ -74,6 +74,7 @@ pub struct SuggestOutcome {
 
 /// Run Algorithm 7 and return the τ minimising the estimated join cost
 /// at threshold `theta`.
+#[deprecated(note = "use Engine::suggest_tau on prepared corpora")]
 pub fn suggest_tau(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -84,6 +85,24 @@ pub fn suggest_tau(
     sc: &SuggestConfig,
 ) -> SuggestOutcome {
     assert!(!sc.universe.is_empty(), "universe of τ must not be empty");
+    suggest_loop(s, t, model, sc, |a, b, f| {
+        crate::estimate::filter_counts_impl(kn, cfg, a, b, theta, f)
+    })
+}
+
+/// The Algorithm 7 loop with the per-sample counting step abstracted out:
+/// the legacy free function counts via `filter_counts` on a raw knowledge
+/// context, the session API counts through an
+/// [`crate::engine::Engine`]'s prepared state. Both must produce the same
+/// counts for the same sample, so the loop (and its stopping rule) lives
+/// here exactly once.
+pub(crate) fn suggest_loop(
+    s: &Corpus,
+    t: &Corpus,
+    model: &CostModel,
+    sc: &SuggestConfig,
+    mut counts_of: impl FnMut(&Corpus, &Corpus, FilterKind) -> crate::estimate::FilterCounts,
+) -> SuggestOutcome {
     let start = Instant::now();
     let make_filter = |tau: u32| -> FilterKind {
         if sc.use_dp {
@@ -103,7 +122,7 @@ pub fn suggest_tau(
         let sample = draw_sample_pair(s, t, sc.ps, sc.pt, sc.seed, n as u64);
         let mut iter_cost = 0.0;
         for (i, &tau) in sc.universe.iter().enumerate() {
-            let counts = filter_counts(kn, cfg, &sample.s, &sample.t, theta, make_filter(tau));
+            let counts = counts_of(&sample.s, &sample.t, make_filter(tau));
             let est = estimate_from_counts(counts, sc.ps, sc.pt);
             t_stats[i].push(est.t_hat);
             v_stats[i].push(est.v_hat);
@@ -152,6 +171,7 @@ pub fn suggest_tau(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::knowledge::KnowledgeBuilder;

@@ -155,6 +155,7 @@ fn descend(
 /// assert_eq!(top.pairs.len(), 1);
 /// assert_eq!((top.pairs[0].0, top.pairs[0].1), (0, 0)); // the typo pair
 /// ```
+#[deprecated(note = "use Engine::topk with JoinSpec::topk(k)")]
 pub fn topk_join(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -171,6 +172,7 @@ pub fn topk_join(
 }
 
 /// Top-k self-join (pairs reported with `s < t`).
+#[deprecated(note = "use Engine::topk_self with JoinSpec::topk(k)")]
 pub fn topk_join_self(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -186,6 +188,7 @@ pub fn topk_join_self(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::join::brute_force_join;

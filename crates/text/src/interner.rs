@@ -105,6 +105,143 @@ impl Vocab {
     }
 }
 
+/// First id of the scratch range: ids at or above this belong to a
+/// [`ScratchVocab`] overlay, never to a base [`Vocab`].
+///
+/// The split keeps overlay ids stable even if the base vocabulary grows
+/// after the overlay is created (a base can hold up to 2³¹ tokens; an id
+/// can never be claimed by both sides).
+pub const SCRATCH_TOKEN_BASE: u32 = 1 << 31;
+
+/// A read-only view over a base [`Vocab`] plus a private overlay for
+/// tokens the base has never seen.
+///
+/// Query-side tokenization needs to assign ids to out-of-vocabulary
+/// words, but a shared knowledge context must not be mutated by reads
+/// (and `&mut` on the hot search path forces callers to serialize).
+/// A `ScratchVocab` interns unknown tokens into its own id range
+/// ([`SCRATCH_TOKEN_BASE`]`..`), leaving the base untouched; known tokens
+/// resolve to their base ids, so equal text always yields equal ids
+/// within one overlay's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchVocab {
+    by_str: FxHashMap<Box<str>, TokenId>,
+    strings: Vec<Box<str>>,
+}
+
+impl ScratchVocab {
+    /// New empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`: the base id when the base knows the token, otherwise a
+    /// stable overlay id (fresh on first sight, reused afterwards).
+    pub fn intern(&mut self, base: &Vocab, s: &str) -> TokenId {
+        if let Some(id) = base.get(s) {
+            return id;
+        }
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        assert!(
+            base.len() < SCRATCH_TOKEN_BASE as usize
+                && self.strings.len() < SCRATCH_TOKEN_BASE as usize,
+            "vocabulary exceeds the scratch id split"
+        );
+        let id = TokenId(SCRATCH_TOKEN_BASE + self.strings.len() as u32);
+        self.strings.push(s.into());
+        self.by_str.insert(self.strings.last().unwrap().clone(), id);
+        id
+    }
+
+    /// The string for `id`, wherever it lives. Panics on an id from
+    /// neither side (same contract as [`Vocab::resolve`]).
+    pub fn resolve<'a>(&'a self, base: &'a Vocab, id: TokenId) -> &'a str {
+        if id.0 >= SCRATCH_TOKEN_BASE {
+            &self.strings[(id.0 - SCRATCH_TOKEN_BASE) as usize]
+        } else {
+            base.resolve(id)
+        }
+    }
+
+    /// Render a token slice back into a space-joined string (overlay-aware
+    /// [`Vocab::join`]).
+    pub fn join(&self, base: &Vocab, tokens: &[TokenId]) -> String {
+        let mut out = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.resolve(base, *t));
+        }
+        out
+    }
+
+    /// Clone the overlay strings referenced by `tokens` into a
+    /// self-contained per-query snapshot, so segmentation can resolve
+    /// surface text *outside* whatever lock guards the overlay (queries
+    /// would otherwise serialize through segmentation).
+    pub fn snapshot(&self, tokens: &[TokenId]) -> OverlaySnapshot {
+        OverlaySnapshot {
+            entries: tokens
+                .iter()
+                .filter(|t| t.0 >= SCRATCH_TOKEN_BASE)
+                .map(|&t| (t, self.strings[(t.0 - SCRATCH_TOKEN_BASE) as usize].clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of overlay-only tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no unknown token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A per-query copy of the [`ScratchVocab`] overlay entries one token
+/// sequence references (see [`ScratchVocab::snapshot`]). Queries carry a
+/// handful of out-of-vocabulary tokens at most, so lookup is a linear
+/// scan.
+#[derive(Debug, Clone, Default)]
+pub struct OverlaySnapshot {
+    entries: Vec<(TokenId, Box<str>)>,
+}
+
+impl OverlaySnapshot {
+    /// The string for `id`: the base vocabulary for ordinary ids, the
+    /// snapshot for overlay ids. Panics on an overlay id the snapshot was
+    /// not built for (same contract as [`Vocab::resolve`]).
+    pub fn resolve<'a>(&'a self, base: &'a Vocab, id: TokenId) -> &'a str {
+        if id.0 >= SCRATCH_TOKEN_BASE {
+            &self
+                .entries
+                .iter()
+                .find(|(t, _)| *t == id)
+                .expect("overlay id missing from snapshot")
+                .1
+        } else {
+            base.resolve(id)
+        }
+    }
+
+    /// Snapshot-aware [`Vocab::join`].
+    pub fn join(&self, base: &Vocab, tokens: &[TokenId]) -> String {
+        let mut out = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.resolve(base, *t));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +288,29 @@ mod tests {
         let s = v.intern("shop");
         assert_eq!(v.join(&[c, s]), "coffee shop");
         assert_eq!(v.join(&[]), "");
+    }
+
+    #[test]
+    fn scratch_overlay_reuses_known_ids_and_mints_stable_fresh_ones() {
+        let mut base = Vocab::new();
+        let coffee = base.intern("coffee");
+        let mut scratch = ScratchVocab::new();
+        assert_eq!(scratch.intern(&base, "coffee"), coffee);
+        let novel = scratch.intern(&base, "qwyjibo");
+        assert!(novel.0 >= SCRATCH_TOKEN_BASE);
+        assert_eq!(scratch.intern(&base, "qwyjibo"), novel);
+        assert_eq!(scratch.resolve(&base, novel), "qwyjibo");
+        assert_eq!(scratch.resolve(&base, coffee), "coffee");
+        assert_eq!(scratch.len(), 1);
+        // Base growth after overlay creation cannot collide with overlay
+        // ids: new base ids stay below the split.
+        let late = base.intern("latecomer");
+        assert!(late.0 < SCRATCH_TOKEN_BASE);
+        assert_eq!(scratch.intern(&base, "latecomer"), late);
+        assert_eq!(scratch.join(&base, &[coffee, novel]), "coffee qwyjibo");
+        let snap = scratch.snapshot(&[coffee, novel]);
+        assert_eq!(snap.join(&base, &[coffee, novel]), "coffee qwyjibo");
+        assert_eq!(snap.resolve(&base, novel), "qwyjibo");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod setsim;
 pub mod tokenize;
 
 pub use hash::{FxHashMap, FxHashSet, FxHasher64};
-pub use interner::{TokenId, Vocab};
+pub use interner::{OverlaySnapshot, ScratchVocab, TokenId, Vocab, SCRATCH_TOKEN_BASE};
 pub use phrase::{PhraseId, PhraseTable};
 pub use qgram::{GramId, GramTable};
 pub use record::{Corpus, Record, RecordId};

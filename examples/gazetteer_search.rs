@@ -1,17 +1,18 @@
 //! Similarity *search* against a fixed gazetteer.
 //!
-//! A gazetteer of canonical place/venue names is indexed once with
-//! [`SearchIndex`]; free-form user strings are then resolved against it
-//! one at a time. This is the lookup-heavy workload where the join's
-//! two-sided indexing is the wrong shape — the collection is static, the
-//! queries arrive online.
+//! A gazetteer of canonical place/venue names is prepared once; free-form
+//! user strings are then resolved against it one at a time through an
+//! `Engine::searcher` session. This is the lookup-heavy workload where
+//! the join's two-sided indexing is the wrong shape — the collection is
+//! static, the queries arrive online. Queries take `&self`: unknown
+//! tokens go to a searcher-private scratch vocabulary, never into the
+//! shared knowledge context.
 //!
 //! Run: `cargo run --release --example gazetteer_search`
 
-use au_join::core::join::JoinOptions;
 use au_join::prelude::*;
 
-fn main() {
+fn main() -> Result<(), AuError> {
     // Knowledge: abbreviations and an IS-A slice, as a geocoder would
     // load from its alias tables.
     let mut kb = KnowledgeBuilder::new();
@@ -32,13 +33,14 @@ fn main() {
         "paris gare du nord",
     ]);
 
-    // Index once at θ = 0.55 with AU-Filter (DP), τ = 2.
-    let cfg = SimConfig::default();
-    let index = SearchIndex::build(&kn, &cfg, &gazetteer, &JoinOptions::au_dp(0.55, 2));
+    // One engine; the gazetteer is prepared (segmented, indexed) once.
+    let engine = Engine::new(kn, SimConfig::default())?;
+    let prepared = engine.prepare(&gazetteer)?;
+    let searcher = engine.searcher(&prepared, &JoinSpec::threshold(0.55).au_dp(2))?;
     println!(
         "indexed {} gazetteer entries (avg signature {:.1} pebbles)\n",
-        index.len(),
-        index.avg_sig_len()
+        searcher.len(),
+        searcher.avg_sig_len()
     );
 
     // Online queries with typos, abbreviations, and sibling categories.
@@ -51,10 +53,10 @@ fn main() {
         "london king's cross",       // no match expected
     ];
     for q in queries {
-        let out = index.query(&mut kn, q);
+        let out = searcher.query(q);
         print!("{q:<28} →");
         if out.matches.is_empty() {
-            println!(" (no match ≥ {:.2})", index.theta());
+            println!(" (no match ≥ {:.2})", searcher.theta());
         } else {
             for (rid, sim) in out.matches.iter().take(2) {
                 print!(
@@ -67,7 +69,8 @@ fn main() {
     }
     let resolved = queries
         .iter()
-        .filter(|q| !index.query(&mut kn, q).matches.is_empty())
+        .filter(|q| !searcher.query(q).matches.is_empty())
         .count();
     assert!(resolved >= 4, "expected most queries to resolve");
+    Ok(())
 }

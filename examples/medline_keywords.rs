@@ -4,16 +4,17 @@
 //!
 //! This mirrors the paper's flagship use case (research-paper keywords
 //! annotated with the MeSH tree) at laptop scale with the synthetic
-//! MED-like generator.
+//! MED-like generator, driven through the session API: the corpora are
+//! prepared once, then both the θ = 0.75 join and a follow-up search
+//! session run on the same prepared state.
 //!
 //! Run: `cargo run --release --example medline_keywords`
 
-use au_join::core::join::{join, JoinOptions};
 use au_join::datagen::{DatasetProfile, LabeledDataset};
 use au_join::prelude::*;
 use std::collections::BTreeSet;
 
-fn main() {
+fn main() -> Result<(), AuError> {
     // 1. Generate the MED-like dataset: 1200 records per side with 240
     //    planted similar pairs (mixtures of typo / synonym / taxonomy).
     let profile = DatasetProfile::med_like(0.6);
@@ -27,15 +28,18 @@ fn main() {
         ds.kn.synonyms.len()
     );
 
-    // 2. Join with the unified measure.
-    let cfg = SimConfig::default();
+    // 2. Prepare once, join with the unified measure.
     let theta = 0.75;
-    let res = join(&ds.kn, &cfg, &ds.s, &ds.t, &JoinOptions::au_dp(theta, 2));
+    let engine = Engine::new(ds.kn, SimConfig::default())?;
+    let ps = engine.prepare(&ds.s)?;
+    let pt = engine.prepare(&ds.t)?;
+    let res = engine.join(&ps, &pt, &JoinSpec::threshold(theta).au_dp(2))?;
     println!(
-        "\nAU-Join (DP, τ=2, θ={theta}): {} pairs in {:.2?} \
+        "\nAU-Join (DP, τ=2, θ={theta}): {} pairs in {:.2?} after a one-time {:.2?} prepare \
          ({} candidates from {} processed)",
         res.pairs.len(),
         res.stats.total_time(),
+        std::time::Duration::from_secs_f64(ps.prepare_seconds() + pt.prepare_seconds()),
         res.stats.candidates,
         res.stats.processed_pairs
     );
@@ -58,4 +62,19 @@ fn main() {
         );
     }
     assert!(recall > 0.5, "recall collapsed: {recall}");
+
+    // 5. Search after join on the same corpus: the searcher reuses pt's
+    //    prepared state — no second preparation happens.
+    let searcher = engine.searcher(&pt, &JoinSpec::threshold(theta).au_dp(2))?;
+    let probe =
+        ds.s.get(au_join::text::record::RecordId(res.pairs[0].0))
+            .raw
+            .clone();
+    let hits = searcher.query(&probe);
+    println!(
+        "\nsearch reuse: query {probe:?} → {} hits ≥ {theta}",
+        hits.matches.len()
+    );
+    assert!(hits.matches.iter().any(|&(rid, _)| rid == res.pairs[0].1));
+    Ok(())
 }

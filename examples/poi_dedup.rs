@@ -2,14 +2,15 @@
 //!
 //! A small POI directory contains duplicates written with different
 //! conventions: typos, synonyms/abbreviations, and category-level terms.
-//! An AU-Join self-join at θ = 0.7 clusters them.
+//! An AU-Join self-join at θ = 0.7 clusters them; the streaming sink
+//! variant shows how a service would emit matches without materializing
+//! the result vector.
 //!
 //! Run: `cargo run --release --example poi_dedup`
 
-use au_join::core::join::{join_self, JoinOptions};
 use au_join::prelude::*;
 
-fn main() {
+fn main() -> Result<(), AuError> {
     let mut kb = KnowledgeBuilder::new();
     // Synonyms and abbreviations common in POI data.
     kb.synonym("coffee shop", "cafe", 1.0);
@@ -34,8 +35,10 @@ fn main() {
     ];
     let corpus = kn.corpus_from_lines(pois);
 
-    let cfg = SimConfig::default();
-    let res = join_self(&kn, &cfg, &corpus, &JoinOptions::au_dp(0.70, 2));
+    let engine = Engine::new(kn, SimConfig::default())?;
+    let prepared = engine.prepare(&corpus)?;
+    let spec = JoinSpec::threshold(0.70).au_dp(2);
+    let res = engine.join_self(&prepared, &spec)?;
 
     println!("duplicate candidates at θ = 0.70:\n");
     for &(a, b, sim) in &res.pairs {
@@ -58,4 +61,18 @@ fn main() {
         res.pairs.iter().any(|&(a, b, _)| (a, b) == (2, 3)),
         "museum pair should match via abbreviation + typo"
     );
+
+    // The same join, streamed: pairs reach the sink in the same order,
+    // and the prepared artifact is reused — no re-segmentation.
+    let mut streamed = Vec::new();
+    let stats = engine.join_self_sink(&prepared, &spec, |a, b, sim| {
+        streamed.push((a, b, sim));
+    })?;
+    assert_eq!(streamed, res.pairs);
+    assert_eq!(stats.prepare_time.as_nanos(), 0);
+    println!(
+        "\nstreaming sink re-run: {} pairs, prepare 0s (reused)",
+        streamed.len()
+    );
+    Ok(())
 }

@@ -10,7 +10,7 @@
 
 use au_join::prelude::*;
 
-fn main() {
+fn main() -> Result<(), AuError> {
     // 1. Declare the knowledge: one synonym rule and a small taxonomy.
     let mut kb = KnowledgeBuilder::new();
     kb.synonym("coffee shop", "cafe", 1.0);
@@ -45,4 +45,15 @@ fn main() {
     let exact = usim_exact(&kn, s, t, &cfg).expect("tiny instance solves exactly");
     println!("\nexact USIM (enumeration): {exact:.3}");
     assert!((result.sim - exact).abs() < 1e-9);
+
+    // 5. The same pair through the session API: an Engine validates the
+    //    configuration once and serves every operation from prepared
+    //    state (Engine::usim reuses the cached segmentations).
+    let corpus = kn.corpus.clone();
+    let engine = Engine::new(kn, cfg)?;
+    let prepared = engine.prepare(&corpus)?;
+    let sim = engine.usim(&prepared, 0, &prepared, 1)?;
+    println!("session API USIM: {sim:.3}");
+    assert!((sim - result.sim).abs() < 1e-12);
+    Ok(())
 }

@@ -2,14 +2,15 @@
 //!
 //! Threshold joins need a θ guess; a data steward triaging a messy
 //! catalogue instead wants the most similar pairs first, however similar
-//! they happen to be. [`topk_join_self`] answers that with a threshold
-//! descent over the AU-Filter join — no θ tuning required.
+//! they happen to be. [`Engine::topk_self`] answers that with a threshold
+//! descent over the AU-Filter join — no θ tuning required, and every
+//! descent round reuses the one prepared artifact.
 //!
 //! Run: `cargo run --release --example topk_triage`
 
 use au_join::prelude::*;
 
-fn main() {
+fn main() -> Result<(), AuError> {
     let mut kb = KnowledgeBuilder::new();
     kb.synonym("db", "database", 1.0);
     kb.synonym("ml", "machine learning", 1.0);
@@ -33,8 +34,9 @@ fn main() {
         "watercolor painting workshop",
     ]);
 
-    let cfg = SimConfig::default();
-    let res = topk_join_self(&kn, &cfg, &catalogue, &TopkOptions::au_dp(5, 2));
+    let engine = Engine::new(kn, SimConfig::default())?;
+    let prepared = engine.prepare(&catalogue)?;
+    let res = engine.topk_self(&prepared, &JoinSpec::topk(5).au_dp(2))?;
 
     println!(
         "top-{} most similar pairs (descent: {} rounds, final θ = {:.2}):\n",
@@ -62,4 +64,5 @@ fn main() {
         "ml-abbreviation pair missing: {ids:?}"
     );
     assert!(ids.contains(&(4, 5)), "typo pair missing: {ids:?}");
+    Ok(())
 }

@@ -1,0 +1,307 @@
+//! Session-API ↔ legacy-free-function equivalence harness.
+//!
+//! The `Engine`/`Prepared` session API (PR 4) refactors every operation —
+//! threshold joins, top-k joins, search, τ tuning — to consume prepared,
+//! memoized state instead of re-running `prepare_corpus` per call. The
+//! refactor must be *observationally identical* to the free functions it
+//! deprecates: same pairs, same similarities (bitwise), same `Tτ`/`Vτ`
+//! counts, same top-k order, same search matches, same suggested τ — on
+//! datagen MED/WIKI corpora and randomized proptest corpora, serial and
+//! parallel. The deprecated shims stay in the tree exactly one PR for
+//! this harness; any divergence here is a correctness bug in the session
+//! layer (memo keyed wrongly, order built over the wrong sides, staleness
+//! guard missing), not a tuning difference.
+#![allow(deprecated)]
+
+use au_join::core::config::SimConfig;
+use au_join::core::engine::{Engine, JoinSpec};
+use au_join::core::error::AuError;
+use au_join::core::join::{join, join_self, JoinOptions};
+use au_join::core::search::SearchIndex;
+use au_join::core::signature::FilterKind;
+use au_join::core::suggest::{suggest_tau, SuggestConfig};
+use au_join::core::topk::{topk_join, topk_join_self, TopkOptions};
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use au_join::prelude::CostModel;
+use au_join::text::RecordId;
+use proptest::prelude::*;
+
+/// MED-like dataset without depending on the bench crate.
+fn med(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::med_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+fn wiki(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::wiki_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+fn all_filters() -> Vec<FilterKind> {
+    vec![
+        FilterKind::UFilter,
+        FilterKind::AuHeuristic { tau: 2 },
+        FilterKind::AuHeuristic { tau: 4 },
+        FilterKind::AuDp { tau: 2 },
+        FilterKind::AuDp { tau: 4 },
+    ]
+}
+
+/// Joins (R×S and self), serial and parallel: pairs, sims, Tτ, Vτ and
+/// signature lengths must match the legacy path bitwise.
+fn assert_join_equivalent(ds: &LabeledDataset, theta: f64, filter: FilterKind, label: &str) {
+    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    for parallel in [false, true] {
+        let opts = JoinOptions {
+            theta,
+            filter,
+            parallel,
+            ..JoinOptions::u_filter(theta)
+        };
+        let spec = JoinSpec::threshold(theta).filter(filter).parallel(parallel);
+
+        let old = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+        let new = engine.join(&ps, &pt, &spec).expect("prepared join");
+        assert_eq!(old.pairs, new.pairs, "{label} pairs (parallel={parallel})");
+        assert_eq!(
+            old.stats.processed_pairs, new.stats.processed_pairs,
+            "{label} Tτ (parallel={parallel})"
+        );
+        assert_eq!(
+            old.stats.candidates, new.stats.candidates,
+            "{label} Vτ (parallel={parallel})"
+        );
+        assert!(
+            (old.stats.avg_sig_len_s - new.stats.avg_sig_len_s).abs() < 1e-12
+                && (old.stats.avg_sig_len_t - new.stats.avg_sig_len_t).abs() < 1e-12,
+            "{label} avg signature lengths (parallel={parallel})"
+        );
+
+        // Streaming sink path: identical pairs in identical order.
+        let mut streamed = Vec::new();
+        let sink_stats = engine
+            .join_sink(&ps, &pt, &spec, |a, b, sim| streamed.push((a, b, sim)))
+            .expect("sink join");
+        assert_eq!(streamed, new.pairs, "{label} sink pairs");
+        assert_eq!(sink_stats.candidates, new.stats.candidates);
+
+        let old_self = join_self(&ds.kn, &cfg, &ds.s, &opts);
+        let new_self = engine.join_self(&ps, &spec).expect("prepared self-join");
+        assert_eq!(
+            old_self.pairs, new_self.pairs,
+            "{label} self pairs (parallel={parallel})"
+        );
+        assert_eq!(
+            old_self.stats.processed_pairs, new_self.stats.processed_pairs,
+            "{label} self Tτ (parallel={parallel})"
+        );
+    }
+}
+
+#[test]
+fn joins_match_on_med_corpora() {
+    for (n, seed) in [(60usize, 11u64), (140, 12)] {
+        let ds = med(n, seed);
+        for theta in [0.7, 0.9] {
+            for filter in all_filters() {
+                assert_join_equivalent(
+                    &ds,
+                    theta,
+                    filter,
+                    &format!("med n={n} θ={theta} {}", filter.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn joins_match_on_wiki_corpora() {
+    let ds = wiki(120, 21);
+    for theta in [0.8, 0.95] {
+        for filter in all_filters() {
+            assert_join_equivalent(
+                &ds,
+                theta,
+                filter,
+                &format!("wiki θ={theta} {}", filter.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn topk_matches_including_order() {
+    let ds = med(100, 31);
+    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    for k in [1usize, 5, 25] {
+        for parallel in [false, true] {
+            let mut opts = TopkOptions::au_dp(k, 2);
+            opts.parallel = parallel;
+            let spec = JoinSpec::topk(k).au_dp(2).parallel(parallel);
+
+            let old = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+            let new = engine.topk(&ps, &pt, &spec).expect("prepared topk");
+            assert_eq!(
+                old.pairs, new.pairs,
+                "k={k} pairs+order (parallel={parallel})"
+            );
+            assert_eq!(old.rounds, new.rounds, "k={k} rounds");
+            assert_eq!(old.final_theta, new.final_theta, "k={k} final θ");
+
+            let old_self = topk_join_self(&ds.kn, &cfg, &ds.s, &opts);
+            let new_self = engine.topk_self(&ps, &spec).expect("prepared self topk");
+            assert_eq!(old_self.pairs, new_self.pairs, "k={k} self pairs+order");
+        }
+    }
+}
+
+#[test]
+fn search_matches_legacy_index() {
+    let ds = med(90, 41);
+    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    for filter in [FilterKind::UFilter, FilterKind::AuDp { tau: 2 }] {
+        for theta in [0.6, 0.85] {
+            let opts = JoinOptions {
+                theta,
+                filter,
+                ..JoinOptions::u_filter(theta)
+            };
+            let legacy = SearchIndex::build(&ds.kn, &cfg, &ds.t, &opts);
+            let searcher = engine
+                .searcher(&pt, &JoinSpec::threshold(theta).filter(filter))
+                .expect("searcher");
+            for qi in 0..ds.s.len().min(25) {
+                let tokens = &ds.s.get(RecordId(qi as u32)).tokens;
+                let old = legacy.query_tokens(&ds.kn, tokens);
+                let new = searcher.query_tokens(tokens);
+                assert_eq!(
+                    old.matches,
+                    new.matches,
+                    "θ={theta} {} q={qi} matches",
+                    filter.label()
+                );
+                assert_eq!(old.candidates, new.candidates, "q={qi} candidates");
+                assert_eq!(old.processed, new.processed, "q={qi} processed");
+            }
+            // Raw-string queries with out-of-vocabulary tokens: both
+            // paths must agree without the searcher touching the shared
+            // vocabulary.
+            let raw = format!("{} zzqxj", ds.s.get(RecordId(0)).raw);
+            let old = legacy.query(&ds.kn, &raw);
+            let new = searcher.query(&raw);
+            assert_eq!(old.matches, new.matches, "oov query matches");
+            assert!(engine.knowledge().vocab.get("zzqxj").is_none());
+        }
+    }
+}
+
+#[test]
+fn suggest_and_filter_counts_match() {
+    let ds = med(120, 51);
+    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let theta = 0.8;
+    for filter in [
+        FilterKind::AuHeuristic { tau: 2 },
+        FilterKind::AuDp { tau: 3 },
+    ] {
+        let old = au_join::core::estimate::filter_counts(&ds.kn, &cfg, &ds.s, &ds.t, theta, filter);
+        let new = engine
+            .filter_counts(&ps, &pt, theta, filter)
+            .expect("filter counts");
+        assert_eq!(old.processed, new.processed, "{} T′τ", filter.label());
+        assert_eq!(old.candidates, new.candidates, "{} V′τ", filter.label());
+    }
+
+    let model = CostModel {
+        c_f: 5e-8,
+        c_v: 2e-6,
+    };
+    let sc = SuggestConfig {
+        ps: 0.25,
+        pt: 0.25,
+        n_star: 3,
+        max_iters: 12,
+        universe: vec![1, 2, 3],
+        seed: 99,
+        ..Default::default()
+    };
+    let old = suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, theta, &model, &sc);
+    let new = engine
+        .suggest_tau(&ps, &pt, theta, &model, &sc)
+        .expect("suggest");
+    assert_eq!(old.tau, new.tau, "suggested τ");
+    assert_eq!(old.iterations, new.iterations, "suggestion iterations");
+    assert_eq!(old.estimates, new.estimates, "per-τ cost estimates");
+}
+
+/// The generation guard: a `Prepared` built before a knowledge mutation
+/// must be rejected with `StaleKnowledge`, never silently rescored.
+#[test]
+fn staleness_guard_rejects_mutated_knowledge() {
+    let ds = med(40, 71);
+    let mut engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let spec = JoinSpec::threshold(0.8);
+    assert!(engine.join(&ps, &pt, &spec).is_ok());
+
+    // Interning a new record mints a new generation.
+    engine
+        .knowledge_mut()
+        .add_record("a freshly interned record");
+    for err in [
+        engine.join(&ps, &pt, &spec).unwrap_err(),
+        engine.join_self(&ps, &spec).unwrap_err(),
+        engine.topk(&ps, &pt, &JoinSpec::topk(3)).unwrap_err(),
+        engine.searcher(&pt, &spec).expect_err("stale searcher"),
+        engine
+            .filter_counts(&ps, &pt, 0.8, FilterKind::UFilter)
+            .unwrap_err(),
+        engine.usim(&ps, 0, &pt, 0).unwrap_err(),
+    ] {
+        assert!(
+            matches!(err, AuError::StaleKnowledge { expected, found } if expected != found),
+            "expected StaleKnowledge, got {err:?}"
+        );
+    }
+    // Re-preparing against the new generation restores service.
+    let ps2 = engine.prepare(&ds.s).expect("re-prepare S");
+    let pt2 = engine.prepare(&ds.t).expect("re-prepare T");
+    assert!(engine.join(&ps2, &pt2, &spec).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized corpora: sizes, seeds, θ and τ drawn by proptest; the
+    /// session API and the legacy free functions must agree on every draw.
+    #[test]
+    fn session_matches_legacy_on_random_corpora(
+        n in 20usize..80,
+        seed in 0u64..1_000,
+        theta_pct in 50u32..96,
+        tau in 1u32..5,
+        dp in proptest::bool::weighted(0.5),
+    ) {
+        let ds = med(n, seed);
+        let theta = theta_pct as f64 / 100.0;
+        let filter = if dp {
+            FilterKind::AuDp { tau }
+        } else {
+            FilterKind::AuHeuristic { tau }
+        };
+        assert_join_equivalent(&ds, theta, filter, &format!("random n={n} seed={seed} θ={theta} τ={tau}"));
+    }
+}

@@ -10,6 +10,9 @@
 //! Dice at θ = 0.6, τ = 3). Kept as a standing sweep so future signature
 //! work cannot silently trade completeness for pruning power.
 
+// These suites pin the legacy one-shot functions until their removal;
+// tests/api_equivalence.rs pins the session API against them.
+#![allow(deprecated)]
 use au_join::core::join::{brute_force_join, join, JoinOptions};
 use au_join::core::signature::{FilterKind, MpMode};
 use au_join::prelude::*;

@@ -5,6 +5,9 @@
 //! the parallel path actually engages (candidate sets past
 //! `MIN_PARALLEL_ITEMS`).
 
+// These suites pin the legacy one-shot functions until their removal;
+// tests/api_equivalence.rs pins the session API against them.
+#![allow(deprecated)]
 use au_join::core::join::{join, join_self, JoinOptions};
 use au_join::core::parallel::{par_filter_map, MIN_PARALLEL_ITEMS};
 use au_join::datagen::{DatasetProfile, LabeledDataset};

@@ -1,5 +1,8 @@
 //! Property-based tests (proptest) over the core invariants.
 
+// These suites pin the legacy one-shot functions until their removal;
+// tests/api_equivalence.rs pins the session API against them.
+#![allow(deprecated)]
 use au_join::core::join::{brute_force_join, join, JoinOptions};
 use au_join::core::segment::segment_record;
 use au_join::core::signature::{FilterKind, MpMode};
