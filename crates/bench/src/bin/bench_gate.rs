@@ -7,9 +7,10 @@
 //!
 //! Checks, per `BENCH_*.json` present in the baseline directory:
 //!
-//! * **determinism** — candidate counts, processed pairs, result pairs and
-//!   P/R/F must match the baseline exactly (they are pure functions of the
-//!   seed, so any drift is a behaviour change, not noise);
+//! * **determinism** — candidate counts, processed pairs, result pairs,
+//!   P/R/F and the per-tier verification rejection counters must match
+//!   the baseline exactly (they are pure functions of the seed, so any
+//!   drift is a behaviour change, not noise);
 //! * **throughput** — `records_per_second` and `verify_cands_per_second`
 //!   may not regress by more than `BENCH_GATE_TOL` (default 0.25: a drop
 //!   past 25% fails) against the baseline; rows whose baseline or current
@@ -111,6 +112,16 @@ impl Gate {
                 "precision",
                 "recall",
                 "f1",
+                // Per-tier verification counters: pure per-candidate
+                // functions — deterministic across runs, thread counts
+                // and hosts, so any drift is a cascade behaviour change.
+                // (Memo hit/miss counts are scheduling-dependent and are
+                // deliberately NOT gated.)
+                "tier0_rejects",
+                "enum_rejects",
+                "rowmax_rejects",
+                "greedy_rejects",
+                "tier2_rejects",
             ] {
                 if brow.get(key).is_some() {
                     self.check_exact(id, key, f64_field(brow, key), f64_field(crow, key));

@@ -20,7 +20,7 @@ fn main() {
         "perf: AU_SCALE={} seed={} timings={}",
         opts.scale, opts.seed, opts.timings
     );
-    let (workloads, engines) = run_all(&opts);
+    let (workloads, engines, verify) = run_all(&opts);
     for w in &workloads {
         for r in &w.rows {
             println!(
@@ -36,8 +36,18 @@ fn main() {
         );
     }
     println!("csr_speedup={:.2}x", engines.csr_speedup);
-    let paths =
-        write_reports(&out_dir, &workloads, &engines, opts.timings).expect("write BENCH_*.json");
+    for r in &verify.rows {
+        println!(
+            "{:<24} candidates={:<10} pairs={:<8} verify={:.3}s cands/s={:.0}",
+            r.id, r.candidates, r.result_pairs, r.verify_seconds, r.verify_cands_per_second
+        );
+    }
+    println!(
+        "verify_speedup: vs reference {:.2}x, vs PR3 tiered {:.2}x",
+        verify.grouped_speedup_vs_reference, verify.grouped_speedup_vs_tiered
+    );
+    let paths = write_reports(&out_dir, &workloads, &engines, &verify, opts.timings)
+        .expect("write BENCH_*.json");
     for p in paths {
         eprintln!("wrote {}", p.display());
     }

@@ -22,10 +22,12 @@ use crate::harness::{med_dataset, score_join_at, wiki_dataset, Prf};
 use au_core::config::SimConfig;
 use au_core::engine::{Engine, JoinSpec};
 use au_core::join::{
-    apply_global_order, candidate_pass, candidate_pass_legacy, prepare_corpus, JoinOptions,
+    apply_global_order, candidate_pass, candidate_pass_legacy, prepare_corpus,
+    verify_candidates_per_pair, verify_candidates_reference, verify_candidates_stats, JoinOptions,
     SelectedSignatures,
 };
 use au_core::signature::FilterKind;
+use au_core::usim::VerifyTiers;
 use au_datagen::LabeledDataset;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -79,6 +81,13 @@ pub struct WorkloadRow {
     pub processed_pairs: u64,
     /// Pairs accepted by verification.
     pub result_pairs: u64,
+    /// Per-tier verification telemetry (see
+    /// [`au_core::usim::VerifyTiers`]). The five tier counters are pure
+    /// per-candidate functions — deterministic across runs, thread
+    /// counts and hosts — and `bench_gate` exact-matches them; the memo
+    /// hit/miss counters depend on work scheduling and are zeroed with
+    /// the timings in deterministic mode.
+    pub tiers: VerifyTiers,
     /// Precision/recall/F1 against the planted ground truth.
     pub prf: Prf,
     /// Ordering + signature-selection wall-clock. On the prepared path
@@ -159,6 +168,138 @@ pub struct EngineReport {
     pub csr_speedup: f64,
 }
 
+/// One engine measurement of the `fig_verify` stage-5 comparison.
+#[derive(Debug, Clone)]
+pub struct VerifyEngineRow {
+    /// `fig_verify/grouped`, `fig_verify/tiered`, `fig_verify/reference`.
+    pub id: String,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Candidates verified (identical across engines; capped — see
+    /// [`VerifyReport::candidate_cap`]).
+    pub candidates: u64,
+    /// Accepted pairs (must agree across engines).
+    pub result_pairs: u64,
+    /// Verify wall-clock (best of the measured repetitions).
+    pub verify_seconds: f64,
+    /// Candidates verified per second.
+    pub verify_cands_per_second: f64,
+}
+
+/// The stage-5 verification engine comparison: the probe-grouped
+/// bound-cascade engine vs the PR 3 tiered per-pair engine vs the
+/// reference per-candidate path, on one shared candidate set.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Always `fig_verify`.
+    pub name: String,
+    /// Scale the run used.
+    pub au_scale: f64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Records per side.
+    pub n_records: usize,
+    /// Join threshold θ.
+    pub theta: f64,
+    /// Upper bound applied to the candidate list (the reference path is
+    /// ~30× slower than the grouped engine at scale 1 — the comparison
+    /// stays honest and the harness stays fast on a deterministic
+    /// prefix).
+    pub candidate_cap: u64,
+    /// Per-engine rows (`grouped` first).
+    pub rows: Vec<VerifyEngineRow>,
+    /// `reference verify_seconds / grouped verify_seconds` (0 when
+    /// timings are disabled).
+    pub grouped_speedup_vs_reference: f64,
+    /// `tiered verify_seconds / grouped verify_seconds` (0 when timings
+    /// are disabled).
+    pub grouped_speedup_vs_tiered: f64,
+}
+
+/// Candidate-list cap of the `fig_verify` comparison.
+const VERIFY_COMPARE_CAP: usize = 200_000;
+
+/// Run the stage-5 engine comparison: identical candidates, then the
+/// probe-grouped cascade vs the PR 3 tiered per-pair engine vs the
+/// reference verify, all serial, best of `reps` repetitions.
+pub fn run_verify_comparison(scale: f64, seed: u64, timings: bool) -> VerifyReport {
+    let theta = 0.90;
+    let n = crate::experiments::sized(1200, scale);
+    let ds = med_dataset(n, seed);
+    let cfg = SimConfig::default();
+    let opts = JoinOptions {
+        parallel: false,
+        ..JoinOptions::u_filter(theta)
+    };
+    let mut sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+    let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+    apply_global_order(&mut sp, &mut tp);
+    let out = au_core::join::filter_stage(&sp, &tp, &opts, cfg.eps, false);
+    let cands = &out.candidates[..out.candidates.len().min(VERIFY_COMPARE_CAP)];
+    let reps = if timings { 3 } else { 1 };
+
+    let time_verify = |f: &dyn Fn() -> u64| -> (u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut pairs = 0u64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            pairs = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (pairs, best)
+    };
+
+    let (grouped_pairs, grouped_secs) = time_verify(&|| {
+        verify_candidates_stats(&ds.kn, &cfg, &sp, &tp, cands, theta, false)
+            .0
+            .len() as u64
+    });
+    let (tiered_pairs, tiered_secs) = time_verify(&|| {
+        verify_candidates_per_pair(&ds.kn, &cfg, &sp, &tp, cands, theta, false).len() as u64
+    });
+    let (ref_pairs, ref_secs) = time_verify(&|| {
+        verify_candidates_reference(&ds.kn, &cfg, &sp, &tp, cands, theta, false).len() as u64
+    });
+
+    let throughput = |secs: f64| {
+        if timings && secs > 0.0 {
+            cands.len() as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let row = |id: &str, engine: &'static str, pairs: u64, secs: f64| VerifyEngineRow {
+        id: format!("fig_verify/{id}"),
+        engine,
+        candidates: cands.len() as u64,
+        result_pairs: pairs,
+        verify_seconds: zero_if(!timings, secs),
+        verify_cands_per_second: throughput(secs),
+    };
+    let speedup = |other: f64| {
+        if timings && grouped_secs > 0.0 {
+            other / grouped_secs
+        } else {
+            0.0
+        }
+    };
+    VerifyReport {
+        name: "fig_verify".into(),
+        au_scale: scale,
+        seed,
+        n_records: n,
+        theta,
+        candidate_cap: VERIFY_COMPARE_CAP as u64,
+        rows: vec![
+            row("grouped", "grouped-cascade", grouped_pairs, grouped_secs),
+            row("tiered", "tiered-per-pair", tiered_pairs, tiered_secs),
+            row("reference", "reference", ref_pairs, ref_secs),
+        ],
+        grouped_speedup_vs_reference: speedup(ref_secs),
+        grouped_speedup_vs_tiered: speedup(tiered_secs),
+    }
+}
+
 type FilterSpec = (&'static str, fn() -> FilterKind);
 
 const FILTERS: [FilterSpec; 3] = [
@@ -224,6 +365,7 @@ pub fn run_workload(
                 candidates: res.stats.candidates,
                 processed_pairs: res.stats.processed_pairs,
                 result_pairs: res.pairs.len() as u64,
+                tiers: res.stats.tiers,
                 prf,
                 sig_seconds: zero_if(!timings, res.stats.sig_time.as_secs_f64()),
                 filter_seconds: zero_if(!timings, res.stats.filter_time.as_secs_f64()),
@@ -340,9 +482,9 @@ pub fn run_engine_comparison(scale: f64, seed: u64, timings: bool) -> EngineRepo
     }
 }
 
-/// Run the full suite: `med` + `wiki` workloads and the `fig7` engine
-/// comparison.
-pub fn run_all(opts: &PerfOptions) -> (Vec<WorkloadReport>, EngineReport) {
+/// Run the full suite: `med` + `wiki` workloads, the `fig7` engine
+/// comparison and the `fig_verify` verification-engine comparison.
+pub fn run_all(opts: &PerfOptions) -> (Vec<WorkloadReport>, EngineReport, VerifyReport) {
     let mut reports = Vec::new();
     for (name, theta, seed) in [("med", 0.90, opts.seed), ("wiki", 0.95, opts.seed + 1)] {
         let n = crate::experiments::sized(1200, opts.scale);
@@ -362,7 +504,8 @@ pub fn run_all(opts: &PerfOptions) -> (Vec<WorkloadReport>, EngineReport) {
         ));
     }
     let engines = run_engine_comparison(opts.scale, opts.seed, opts.timings);
-    (reports, engines)
+    let verify = run_verify_comparison(opts.scale, opts.seed, opts.timings);
+    (reports, engines, verify)
 }
 
 fn push_field(out: &mut String, indent: &str, key: &str, value: String, last: bool) {
@@ -442,6 +585,58 @@ impl WorkloadReport {
                 "      ",
                 "result_pairs",
                 r.result_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "tier0_rejects",
+                r.tiers.tier0_rejects.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "enum_rejects",
+                r.tiers.enum_rejects.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "rowmax_rejects",
+                r.tiers.rowmax_rejects.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "greedy_rejects",
+                r.tiers.greedy_rejects.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "tier2_rejects",
+                r.tiers.tier2_rejects.to_string(),
+                false,
+            );
+            // Memo hit/miss counts depend on which worker verified which
+            // candidates — scheduling-dependent like the timings, so the
+            // deterministic form zeroes them.
+            push_field(
+                &mut o,
+                "      ",
+                "memo_hits",
+                if timings { r.tiers.memo_hits } else { 0 }.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "memo_misses",
+                if timings { r.tiers.memo_misses } else { 0 }.to_string(),
                 false,
             );
             push_field(&mut o, "      ", "precision", num(r.prf.p), false);
@@ -594,12 +789,117 @@ impl EngineReport {
     }
 }
 
+impl VerifyReport {
+    /// Stable-format JSON. Rows are emitted under `workloads` so
+    /// `bench_gate` exact-matches `candidates`/`result_pairs` and
+    /// throughput-gates `verify_cands_per_second` with its generic row
+    /// logic.
+    pub fn to_json(&self, timings: bool) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        push_field(
+            &mut o,
+            "  ",
+            "schema",
+            format!("\"{}\"", json::escape(SCHEMA)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "name",
+            format!("\"{}\"", json::escape(&self.name)),
+            false,
+        );
+        push_field(&mut o, "  ", "au_scale", num(self.au_scale), false);
+        push_field(&mut o, "  ", "seed", self.seed.to_string(), false);
+        push_field(&mut o, "  ", "n_records", self.n_records.to_string(), false);
+        push_field(&mut o, "  ", "theta", num(self.theta), false);
+        push_field(
+            &mut o,
+            "  ",
+            "candidate_cap",
+            self.candidate_cap.to_string(),
+            false,
+        );
+        o.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            o.push_str("    {\n");
+            push_field(
+                &mut o,
+                "      ",
+                "id",
+                format!("\"{}\"", json::escape(&r.id)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "engine",
+                format!("\"{}\"", r.engine),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "candidates",
+                r.candidates.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "result_pairs",
+                r.result_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "verify_seconds",
+                num(zero_if(!timings, r.verify_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "verify_cands_per_second",
+                num(zero_if(!timings, r.verify_cands_per_second)),
+                true,
+            );
+            o.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        o.push_str("  ],\n");
+        push_field(
+            &mut o,
+            "  ",
+            "grouped_speedup_vs_reference",
+            num(zero_if(!timings, self.grouped_speedup_vs_reference)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "grouped_speedup_vs_tiered",
+            num(zero_if(!timings, self.grouped_speedup_vs_tiered)),
+            true,
+        );
+        o.push_str("}\n");
+        o
+    }
+}
+
 /// Write every report as `BENCH_<name>.json` under `dir`; returns the
 /// written paths.
 pub fn write_reports(
     dir: &Path,
     workloads: &[WorkloadReport],
     engines: &EngineReport,
+    verify: &VerifyReport,
     timings: bool,
 ) -> std::io::Result<Vec<PathBuf>> {
     let mut paths = Vec::new();
@@ -610,6 +910,9 @@ pub fn write_reports(
     }
     let p = dir.join(format!("BENCH_{}.json", engines.name));
     std::fs::write(&p, engines.to_json(timings))?;
+    paths.push(p);
+    let p = dir.join(format!("BENCH_{}.json", verify.name));
+    std::fs::write(&p, verify.to_json(timings))?;
     paths.push(p);
     Ok(paths)
 }
@@ -655,5 +958,68 @@ mod tests {
         assert_eq!(rep.rows[0].processed_pairs, rep.rows[1].processed_pairs);
         let v = json::Value::parse(&rep.to_json(false)).expect("engine JSON parses");
         assert_eq!(v.get("csr_speedup").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn workload_rows_carry_consistent_tier_counters() {
+        let n = 48;
+        let ds = med_dataset(n, 6);
+        let rep = run_workload("med", &ds, n, 0.9, 6, 0.04, false);
+        for r in &rep.rows {
+            assert_eq!(
+                r.tiers.decisions(),
+                r.candidates,
+                "{}: every candidate lands in exactly one tier bucket",
+                r.id
+            );
+            assert_eq!(r.tiers.accepted, r.result_pairs, "{}", r.id);
+        }
+        // Serial and parallel rows agree on every tier bucket (pure
+        // per-candidate functions; memo diagnostics are
+        // scheduling-dependent and not compared).
+        let buckets = |t: &VerifyTiers| {
+            (
+                t.tier0_rejects,
+                t.enum_rejects,
+                t.rowmax_rejects,
+                t.greedy_rejects,
+                t.tier2_rejects,
+                t.accepted,
+            )
+        };
+        for pair in rep.rows.chunks(2) {
+            assert_eq!(
+                buckets(&pair[0].tiers),
+                buckets(&pair[1].tiers),
+                "{}",
+                pair[0].id
+            );
+        }
+        let v = json::Value::parse(&rep.to_json(false)).expect("JSON parses");
+        let rows = v.get("workloads").unwrap().as_arr().unwrap();
+        for r in rows {
+            assert!(r.get("tier0_rejects").unwrap().as_f64().is_some());
+            // Memo counters are scheduling-dependent → zeroed with the
+            // timings in the deterministic form.
+            assert_eq!(r.get("memo_hits").unwrap().as_f64(), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn verify_comparison_engines_agree() {
+        let rep = run_verify_comparison(0.04, 5, false);
+        assert_eq!(rep.rows.len(), 3);
+        for r in &rep.rows[1..] {
+            assert_eq!(rep.rows[0].candidates, r.candidates, "{}", r.id);
+            assert_eq!(rep.rows[0].result_pairs, r.result_pairs, "{}", r.id);
+        }
+        let v = json::Value::parse(&rep.to_json(false)).expect("verify JSON parses");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig_verify"));
+        let rows = v.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            v.get("grouped_speedup_vs_reference").unwrap().as_f64(),
+            Some(0.0)
+        );
     }
 }

@@ -45,8 +45,8 @@ use crate::error::AuError;
 use crate::estimate::{filter_counts_impl, CostModel, FilterCounts};
 use crate::index::{CsrIndex, OverlapCounter};
 use crate::join::{
-    candidate_pass_with_index, prepare_corpus, verify_candidates, FilterOutcome, JoinOptions,
-    JoinResult, JoinStats, PreparedCorpus, SelectedSignatures,
+    candidate_pass_with_index, prepare_corpus, verify_candidates, verify_candidates_stats,
+    FilterOutcome, JoinOptions, JoinResult, JoinStats, PreparedCorpus, SelectedSignatures,
 };
 use crate::knowledge::Knowledge;
 use crate::pebble::{Pebble, PebbleOrder};
@@ -784,7 +784,7 @@ impl Engine {
     ) -> JoinResult {
         let (outcome, sig_time, filter_time) = self.filter_run(s, t, self_join, opts);
         let verify_start = Instant::now();
-        let pairs = verify_candidates(
+        let (pairs, tiers) = verify_candidates_stats(
             &self.kn,
             &self.cfg,
             &s.prep,
@@ -808,6 +808,7 @@ impl Engine {
                 outcome.avg_sig_len_t
             },
             result_count: pairs.len(),
+            tiers,
         };
         JoinResult { pairs, stats }
     }
@@ -869,11 +870,18 @@ impl Engine {
         let (outcome, sig_time, filter_time) = self.filter_run(s, t, self_join, opts);
         let verify_start = Instant::now();
         let mut result_count = 0usize;
+        let mut tiers = crate::usim::VerifyTiers::default();
+        // One corpus-level verification index for the whole stream — the
+        // chunks share it instead of rebuilding it per SINK_CHUNK (same
+        // applicability rule as the batch path, so eligibility stays a
+        // pure function of sizes).
+        let index = crate::join::use_batched_verify(outcome.candidates.len(), &s.prep, &t.prep)
+            .then(|| crate::join::build_verify_index(&t.prep));
         // Bounded-memory verification: at most SINK_CHUNK candidates'
         // results are ever materialized; chunk order preserves the
         // deterministic (s, t) output order of the batch path.
         for chunk in outcome.candidates.chunks(SINK_CHUNK) {
-            let accepted = verify_candidates(
+            let (accepted, chunk_tiers) = crate::join::verify_candidates_stats_indexed(
                 &self.kn,
                 &self.cfg,
                 &s.prep,
@@ -881,7 +889,9 @@ impl Engine {
                 chunk,
                 opts.theta,
                 opts.parallel,
+                index.as_ref(),
             );
+            tiers.merge(&chunk_tiers);
             result_count += accepted.len();
             for (a, b, sim) in accepted {
                 sink(a, b, sim);
@@ -901,6 +911,7 @@ impl Engine {
                 outcome.avg_sig_len_t
             },
             result_count,
+            tiers,
         }
     }
 
@@ -940,21 +951,25 @@ impl Engine {
             let done = res.pairs.len() >= spec.k || theta <= spec.theta_floor + self.cfg.eps;
             if done {
                 // Re-score fully (the verifier's early-accept may report a
-                // lower bound), rank, truncate — same shape as the legacy
-                // descent, sharing its tiered engine.
+                // lower bound), rank, truncate. Accepted pairs arrive
+                // sorted by probe record, so re-scoring rides the same
+                // probe-grouped engine as stage-5 verification.
                 let verifier = Verifier::new(&self.kn, &self.cfg);
-                let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_map_scratch(
+                let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_filter_map_runs_scratch(
                     &res.pairs,
                     spec.parallel,
+                    |&(a, _, _)| a as u64,
                     VerifyScratch::default,
+                    |scr, &(a, _, _)| verifier.begin_probe(&s.prep.segrecs[a as usize], scr),
                     |scr, &(a, b, _)| {
-                        let sim = verifier.sim(
+                        let sim = verifier.probed_sim(
                             &s.prep.segrecs[a as usize],
                             &t.prep.segrecs[b as usize],
                             scr,
                         );
-                        (a, b, sim)
+                        Some((a, b, sim))
                     },
+                    |_| {},
                 );
                 pairs.sort_by(|x, y| {
                     y.2.total_cmp(&x.2)

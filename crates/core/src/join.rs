@@ -20,9 +20,10 @@ use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleOrder};
 use crate::segment::{segment_record, SegRecord};
 use crate::signature::{select_signature, FilterKind, MpMode, SignatureChoice};
-use crate::usim::{usim_approx_seg_at_least, Verifier, VerifyScratch};
+use crate::usim::{GramPostingsIndex, RunScratch, Verifier, VerifyScratch, VerifyTiers};
 use au_text::record::Corpus;
 use au_text::FxHashMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Join configuration.
@@ -93,6 +94,11 @@ pub struct JoinStats {
     pub avg_sig_len_t: f64,
     /// Number of result pairs.
     pub result_count: usize,
+    /// Per-tier verification telemetry: which cascade stage decided each
+    /// candidate, plus `msim` memo hit/miss diagnostics. The tier buckets
+    /// are pure per-candidate functions — deterministic across thread
+    /// counts and runs — and `tiers.decisions() == candidates`.
+    pub tiers: VerifyTiers,
 }
 
 impl JoinStats {
@@ -454,12 +460,14 @@ fn unpack(k: u64) -> (u32, u32) {
     ((k >> 32) as u32, k as u32)
 }
 
-/// Stage 5: verify candidates with the tiered engine (record-level
-/// rejection → sparse vertex enumeration with a cross-candidate `msim`
-/// memo → allocation-free Algorithm 1; see [`crate::usim::verify`]).
-/// Accepted pairs and similarities are byte-identical to running
-/// [`crate::usim::usim_approx_seg_at_least`] per candidate — the
-/// equivalence harness (`tests/verify_equivalence.rs`) enforces it.
+/// Stage 5: verify candidates with the probe-grouped bound-cascade
+/// engine (see [`crate::usim::verify`]). The sorted candidate list is
+/// partitioned into per-probe-record runs: each worker builds an indexed
+/// view of the probe side's posting tables once per run
+/// ([`Verifier::begin_probe`]) and streams every partner through it and
+/// the bound cascade. Accepted pairs and similarities are byte-identical
+/// to running [`crate::usim::usim_approx_seg_at_least`] per candidate —
+/// the equivalence harness (`tests/verify_equivalence.rs`) enforces it.
 pub fn verify_candidates(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -469,11 +477,179 @@ pub fn verify_candidates(
     theta: f64,
     parallel: bool,
 ) -> Vec<(u32, u32, f64)> {
+    verify_candidates_stats(kn, cfg, s, t, candidates, theta, parallel).0
+}
+
+/// [`verify_candidates`] also returning the per-tier decision telemetry
+/// ([`VerifyTiers`]). Worker tallies are folded in the parallel layer's
+/// drain hook; the tier buckets are pure per-candidate functions, so the
+/// aggregate is deterministic regardless of scheduling.
+/// Below this many candidates the run-batched path's one-time
+/// corpus-level gram index is not worth building (and per-pair probing
+/// already amortizes the probe view); results are identical either way.
+const BATCHED_VERIFY_MIN: usize = 2048;
+
+/// Should this verification run build the corpus-level posting index?
+/// A pure function of sizes, so the choice (and therefore which path a
+/// workload takes) is deterministic; results and tier counters are
+/// identical either way. Records exceeding the packed-event segment
+/// limit force the per-pair path.
+pub(crate) fn use_batched_verify(
+    n_candidates: usize,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+) -> bool {
+    n_candidates >= BATCHED_VERIFY_MIN
+        && n_candidates * 4 >= t.segrecs.len()
+        && !t.segrecs.is_empty()
+        && segments_fit_events(s, t)
+}
+
+/// Packed run events hold 13 bits per segment index; a record at or past
+/// [`crate::usim::verify::EVENT_SEG_LIMIT`] segments forces the per-pair
+/// path. Checked by [`use_batched_verify`] *and* re-checked inside
+/// [`verify_candidates_stats_indexed`] — a caller-supplied index must
+/// never reach event packing with an oversized record (the overflow
+/// would be silent in release builds).
+fn segments_fit_events(s: &PreparedCorpus, t: &PreparedCorpus) -> bool {
+    s.segrecs
+        .iter()
+        .chain(t.segrecs.iter())
+        .all(|r| r.segments.len() < crate::usim::verify::EVENT_SEG_LIMIT)
+}
+
+/// Build the corpus-level transposed posting index the run-batched
+/// verification path joins through (see
+/// [`crate::usim::GramPostingsIndex`]). [`verify_candidates_stats`]
+/// builds one per call; long-lived callers verifying many candidate
+/// batches against one partner corpus (the streaming sink path) build it
+/// once and pass it to [`verify_candidates_stats_indexed`].
+pub fn build_verify_index(t: &PreparedCorpus) -> GramPostingsIndex {
+    GramPostingsIndex::build(&t.segrecs)
+}
+
+pub fn verify_candidates_stats(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    parallel: bool,
+) -> (Vec<(u32, u32, f64)>, VerifyTiers) {
+    let index = use_batched_verify(candidates.len(), s, t).then(|| build_verify_index(t));
+    verify_candidates_stats_indexed(kn, cfg, s, t, candidates, theta, parallel, index.as_ref())
+}
+
+/// [`verify_candidates_stats`] with a caller-owned corpus-level index:
+/// `Some` runs the run-batched path through it, `None` the per-pair
+/// probe path. Output and tier counters are byte-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_candidates_stats_indexed(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    parallel: bool,
+    index: Option<&GramPostingsIndex>,
+) -> (Vec<(u32, u32, f64)>, VerifyTiers) {
     let engine = Verifier::new(kn, cfg);
-    // `par_filter_map_scratch` keeps results in candidate order, so serial
-    // and parallel runs return identical vectors (candidates arrive sorted
-    // from `filter_stage`); the scratch — including the memo — is per
-    // worker, so the parallel path stays lock-free.
+    let tally = Mutex::new(VerifyTiers::default());
+    // Both paths keep results in candidate order, so serial and parallel
+    // runs return identical vectors (candidates arrive sorted from
+    // `filter_stage`); the scratch — including the memo and the probe
+    // view — is per worker, so the parallel path stays lock-free. Runs
+    // are split across workers when one probe record owns a huge
+    // candidate list.
+    // Safety valve for caller-supplied indexes: packed events cannot
+    // represent records past the segment limit, so such corpora always
+    // take the per-pair path (results identical, no silent overflow).
+    let index = index.filter(|_| segments_fit_events(s, t));
+    let pairs = if let Some(gram_index) = index {
+        // Run-batched: the corpus-level transposed posting index is
+        // shared read-only by every worker; each run walks only the
+        // probe's keys' posting lists (work ∝ the probe's document
+        // frequencies + true shared-posting events) instead of every
+        // partner's full posting tables.
+        crate::parallel::par_fragments_scratch(
+            candidates,
+            parallel,
+            &|&(a, _): &(u32, u32)| a as u64,
+            RunScratch::default,
+            |rs, frag| {
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                while i < frag.len() {
+                    let a = frag[i].0;
+                    let mut j = i + 1;
+                    while j < frag.len() && frag[j].0 == a {
+                        j += 1;
+                    }
+                    engine.verify_run_at_least(
+                        &s.segrecs[a as usize],
+                        &t.segrecs,
+                        &frag[i..j],
+                        gram_index,
+                        theta,
+                        rs,
+                        &mut out,
+                    );
+                    i = j;
+                }
+                out
+            },
+            |rs| {
+                tally
+                    .lock()
+                    .expect("verify tally poisoned")
+                    .merge(&rs.take_tally());
+            },
+        )
+    } else {
+        crate::parallel::par_filter_map_runs_scratch(
+            candidates,
+            parallel,
+            |&(a, _)| a as u64,
+            VerifyScratch::default,
+            |scr, &(a, _)| engine.begin_probe(&s.segrecs[a as usize], scr),
+            |scr, &(a, b)| {
+                let sim = engine.probed_sim_at_least(
+                    &s.segrecs[a as usize],
+                    &t.segrecs[b as usize],
+                    theta,
+                    scr,
+                );
+                (sim >= theta - cfg.eps).then_some((a, b, sim))
+            },
+            |scr| {
+                tally
+                    .lock()
+                    .expect("verify tally poisoned")
+                    .merge(&scr.take_tally());
+            },
+        )
+    };
+    let tiers = tally.into_inner().expect("verify tally poisoned");
+    debug_assert_eq!(tiers.decisions(), candidates.len() as u64);
+    (pairs, tiers)
+}
+
+/// Stage 5 on the PR 3 engine: tiered per-candidate verification with no
+/// probe grouping and no bound cascade. Retained for the perf harness's
+/// `fig_verify` comparison; must keep producing byte-identical output to
+/// [`verify_candidates`].
+pub fn verify_candidates_per_pair(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &PreparedCorpus,
+    t: &PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    parallel: bool,
+) -> Vec<(u32, u32, f64)> {
+    let engine = Verifier::new(kn, cfg).with_cascade(false);
     crate::parallel::par_filter_map_scratch(
         candidates,
         parallel,
@@ -486,10 +662,11 @@ pub fn verify_candidates(
     )
 }
 
-/// Stage 5 on the reference per-candidate path ([`usim_approx_seg_at_least`]
-/// with no cross-candidate sharing). Retained for the tier-equivalence
-/// harness and perf comparisons; must keep producing byte-identical
-/// output to [`verify_candidates`].
+/// Stage 5 on the reference per-candidate path
+/// ([`crate::usim::usim_approx_seg_at_least`] with no cross-candidate
+/// sharing beyond per-worker bound/search buffers). Retained for the
+/// tier-equivalence harness and perf comparisons; must keep producing
+/// byte-identical output to [`verify_candidates`].
 pub fn verify_candidates_reference(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -499,16 +676,22 @@ pub fn verify_candidates_reference(
     theta: f64,
     parallel: bool,
 ) -> Vec<(u32, u32, f64)> {
-    crate::parallel::par_filter_map(candidates, parallel, |&(a, b)| {
-        let sim = usim_approx_seg_at_least(
-            kn,
-            cfg,
-            &s.segrecs[a as usize],
-            &t.segrecs[b as usize],
-            theta,
-        );
-        (sim >= theta - cfg.eps).then_some((a, b, sim))
-    })
+    crate::parallel::par_filter_map_scratch(
+        candidates,
+        parallel,
+        crate::usim::approx::RefineScratch::default,
+        |rs, &(a, b)| {
+            let sim = crate::usim::approx::usim_approx_seg_at_least_with(
+                kn,
+                cfg,
+                &s.segrecs[a as usize],
+                &t.segrecs[b as usize],
+                theta,
+                rs,
+            );
+            (sim >= theta - cfg.eps).then_some((a, b, sim))
+        },
+    )
 }
 
 /// Full join over prepared corpora (stages 2–5). `s` and `t` must share
@@ -547,7 +730,7 @@ pub fn join_prepared(
         Some(t) => t,
         None => s,
     };
-    let pairs = verify_candidates(
+    let (pairs, tiers) = verify_candidates_stats(
         kn,
         cfg,
         s,
@@ -572,6 +755,7 @@ pub fn join_prepared(
             outcome.avg_sig_len_t
         },
         result_count: pairs.len(),
+        tiers,
     };
     JoinResult { pairs, stats }
 }

@@ -83,33 +83,122 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
 {
+    par_units_on(
+        items,
+        parallel,
+        threads,
+        uniform_units,
+        init,
+        run_batch,
+        |_| {},
+    )
+}
+
+/// Uniform work-unit plan: `[start, end)` ranges of `batch_len` items.
+fn uniform_units(len: usize, batch_len: usize) -> Vec<(usize, usize)> {
+    (0..len.div_ceil(batch_len))
+        .map(|b| (b * batch_len, ((b + 1) * batch_len).min(len)))
+        .collect()
+}
+
+/// Work-unit plan aligned to *runs* — maximal stretches of consecutive
+/// items with equal `run_key`. Consecutive whole runs are packed into one
+/// unit of at most `target` items, and a single run longer than `target`
+/// is split into `target`-sized pieces, so one heavy run cannot starve
+/// the other workers. Every unit is ≤ `target` items, so the plan offers
+/// at least as many units as the uniform plan would.
+fn run_units<T>(
+    items: &[T],
+    run_key: &(impl Fn(&T) -> u64 + ?Sized),
+    target: usize,
+) -> Vec<(usize, usize)> {
+    let target = target.max(1);
+    let mut units = Vec::with_capacity(items.len().div_ceil(target) + 1);
+    // Invariant: the open unit `[unit_start, run_base)` holds ≤ target
+    // items, and `run_base` is the start of the run ending at `i`.
+    let mut unit_start = 0usize;
+    let mut run_base = 0usize;
+    for i in 1..=items.len() {
+        if i < items.len() && run_key(&items[i]) == run_key(&items[i - 1]) {
+            continue;
+        }
+        // A run `[run_base, i)` just ended.
+        if i - run_base > target {
+            // Oversized run: flush the packed prefix, split the run flat.
+            if run_base > unit_start {
+                units.push((unit_start, run_base));
+            }
+            let mut s = run_base;
+            while i - s > target {
+                units.push((s, s + target));
+                s += target;
+            }
+            unit_start = s;
+        } else if i - unit_start > target {
+            // Whole run fits but overflows the open unit: close before it.
+            units.push((unit_start, run_base));
+            unit_start = run_base;
+        }
+        run_base = i;
+    }
+    if unit_start < items.len() {
+        units.push((unit_start, items.len()));
+    }
+    units
+}
+
+/// Range-driven core of the batch loop: the unit plan is computed lazily
+/// (the serial path never needs it), units are claimed off the atomic
+/// cursor exactly like uniform batches, and `drain` runs once per worker
+/// scratch after that worker's last unit (serial: once, at the end) — the
+/// hook callers use to fold per-worker statistics without sharing mutable
+/// state inside the loop.
+fn par_units_on<T, U, S, P, I, F, D>(
+    items: &[T],
+    parallel: bool,
+    threads: usize,
+    plan: P,
+    init: I,
+    run_unit: F,
+    drain: D,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    P: Fn(usize, usize) -> Vec<(usize, usize)>,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
+    D: Fn(&mut S) + Sync,
+{
     if !parallel || threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
         let mut scratch = init();
-        return run_batch(&mut scratch, items);
+        let out = run_unit(&mut scratch, items);
+        drain(&mut scratch);
+        return out;
     }
 
-    let batch_len = batch_size(items.len(), threads);
-    let n_batches = items.len().div_ceil(batch_len);
+    let units = plan(items.len(), batch_size(items.len(), threads));
+    let n_units = units.len();
     let cursor = AtomicUsize::new(0);
-    // Batch outputs land in their slot; a Mutex per run (not per slot)
+    // Unit outputs land in their slot; a Mutex per run (not per slot)
     // would serialise the tail, and per-slot locks are uncontended because
-    // the cursor hands every batch index to exactly one worker.
-    let slots: Vec<Mutex<Vec<U>>> = (0..n_batches).map(|_| Mutex::new(Vec::new())).collect();
+    // the cursor hands every unit index to exactly one worker.
+    let slots: Vec<Mutex<Vec<U>>> = (0..n_units).map(|_| Mutex::new(Vec::new())).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n_batches) {
+        for _ in 0..threads.min(n_units) {
             scope.spawn(|| {
                 let mut scratch = init();
                 loop {
-                    let batch = cursor.fetch_add(1, Ordering::Relaxed);
-                    if batch >= n_batches {
-                        return;
+                    let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                    if unit >= n_units {
+                        break;
                     }
-                    let start = batch * batch_len;
-                    let end = (start + batch_len).min(items.len());
-                    let out = run_batch(&mut scratch, &items[start..end]);
-                    *slots[batch].lock().expect("parallel slot poisoned") = out;
+                    let (start, end) = units[unit];
+                    let out = run_unit(&mut scratch, &items[start..end]);
+                    *slots[unit].lock().expect("parallel slot poisoned") = out;
                 }
+                drain(&mut scratch);
             });
         }
     });
@@ -165,6 +254,104 @@ where
     par_batches(items, parallel, init, |scratch, chunk| {
         chunk.iter().filter_map(|x| f(scratch, x)).collect()
     })
+}
+
+/// Like [`par_filter_map_scratch`], but the items form *runs* — maximal
+/// stretches of consecutive items sharing `run_key` — and work units are
+/// aligned to them: consecutive whole runs pack into one unit, and a unit
+/// never holds more items than the adaptive batch size, so a single heavy
+/// run is split across workers instead of starving them. This is the
+/// shape of probe-grouped verification: candidates arrive sorted by probe
+/// record, and per-run setup (the probe-side posting view) is paid once
+/// per run fragment, not once per candidate.
+///
+/// `begin_run(scratch, item)` fires before the first item of every run
+/// *fragment* a worker processes — at the start of each unit and at every
+/// key change inside one — and must fully (re)initialize the per-run
+/// state: fragments of one run may land on different workers.
+/// `drain(scratch)` fires once per worker after its last unit (serial:
+/// once at the end); callers use it to fold per-worker statistics.
+///
+/// Output is the `Some` results in input order, byte-identical to the
+/// serial path regardless of thread count or scheduling.
+pub fn par_filter_map_runs_scratch<T, U, S, K, I, B, F, D>(
+    items: &[T],
+    parallel: bool,
+    run_key: K,
+    init: I,
+    begin_run: B,
+    f: F,
+    drain: D,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    K: Fn(&T) -> u64 + Sync,
+    I: Fn() -> S + Sync,
+    B: Fn(&mut S, &T) + Sync,
+    F: Fn(&mut S, &T) -> Option<U> + Sync,
+    D: Fn(&mut S) + Sync,
+{
+    par_fragments_scratch(
+        items,
+        parallel,
+        &run_key,
+        init,
+        |scratch, unit| {
+            let mut out = Vec::new();
+            let mut cur: Option<u64> = None;
+            for item in unit {
+                let key = run_key(item);
+                if cur != Some(key) {
+                    begin_run(scratch, item);
+                    cur = Some(key);
+                }
+                if let Some(u) = f(scratch, item) {
+                    out.push(u);
+                }
+            }
+            out
+        },
+        drain,
+    )
+}
+
+/// The fragment-level form of [`par_filter_map_runs_scratch`]: work units
+/// are the same run-aligned fragments, but `frag_fn` receives each whole
+/// fragment slice and returns its outputs — for callers that batch work
+/// *across* a run's items (e.g. collecting one run's gram events through
+/// a corpus-level index) instead of mapping them independently. A
+/// fragment holds whole runs back to back, or a piece of a single run
+/// longer than the adaptive batch size; `frag_fn` must detect run
+/// boundaries itself (compare `run_key` of consecutive items) and must
+/// treat a fragment-initial item as a fresh run (fragments of one run may
+/// land on different workers). Outputs are concatenated in fragment
+/// order — byte-identical to the serial path.
+pub fn par_fragments_scratch<T, U, S, K, I, F, D>(
+    items: &[T],
+    parallel: bool,
+    run_key: &K,
+    init: I,
+    frag_fn: F,
+    drain: D,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    K: Fn(&T) -> u64 + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
+    D: Fn(&mut S) + Sync,
+{
+    par_units_on(
+        items,
+        parallel,
+        available_threads(),
+        |_, target| run_units(items, run_key, target),
+        init,
+        frag_fn,
+        drain,
+    )
 }
 
 /// Like [`par_map`], but each worker carries a mutable scratch value
@@ -332,6 +519,98 @@ mod tests {
         );
         let serial: Vec<u32> = items.iter().map(|&x| x * 3).collect();
         assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn run_units_align_and_split() {
+        // Runs of mixed sizes: key = value / 10 → runs of 10, plus one
+        // giant run.
+        let mut items: Vec<u64> = (0..200).map(|x| x / 10).collect();
+        items.extend(std::iter::repeat_n(99u64, 500)); // one heavy run
+        items.extend(100u64..120);
+        let key = |x: &u64| *x;
+        let target = 64;
+        let units = run_units(&items, &key, target);
+        // Full coverage, in order, no overlaps.
+        assert_eq!(units[0].0, 0);
+        assert_eq!(units.last().unwrap().1, items.len());
+        for w in units.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        for &(s, e) in &units {
+            assert!(e > s && e - s <= target, "unit ({s},{e}) exceeds target");
+            // A unit boundary is a run boundary unless it splits a run
+            // longer than the target.
+            if s > 0 && items[s] == items[s - 1] {
+                let run_start = (0..s)
+                    .rev()
+                    .find(|&i| items[i] != items[s])
+                    .map_or(0, |i| i + 1);
+                let run_end = (s..items.len())
+                    .find(|&i| items[i] != items[s])
+                    .unwrap_or(items.len());
+                assert!(run_end - run_start > target, "needless split at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_scratch_matches_serial_and_begins_every_fragment() {
+        // Items grouped by key; begin_run must have set up the run state
+        // before any item of that run is mapped, on every worker.
+        let items: Vec<(u64, u32)> = (0..6000u32).map(|i| ((i / 37) as u64, i)).collect();
+        let f = |state: &mut u64, &(k, v): &(u64, u32)| {
+            assert_eq!(*state, k + 1, "begin_run missed a fragment start");
+            (v % 3 != 0).then_some((k, v * 2))
+        };
+        let serial: Vec<(u64, u32)> = items
+            .iter()
+            .filter_map(|&(k, v)| (v % 3 != 0).then_some((k, v * 2)))
+            .collect();
+        for parallel in [false, true] {
+            let drained = AtomicUsize::new(0);
+            let out = par_filter_map_runs_scratch(
+                &items,
+                parallel,
+                |&(k, _)| k,
+                || 0u64,
+                |state, &(k, _)| *state = k + 1,
+                f,
+                |_| {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out, serial, "parallel={parallel}");
+            let d = drained.load(Ordering::Relaxed);
+            assert!(d >= 1 && d <= available_threads().max(1));
+        }
+    }
+
+    #[test]
+    fn runs_scratch_single_heavy_run_is_split() {
+        // One run of 4096 items: the plan must offer more than one unit so
+        // a lone heavy record cannot starve the other workers.
+        let items: Vec<u32> = vec![7; 4096];
+        let units = run_units(&items, &|_: &u32| 0, batch_size(items.len(), 4));
+        assert!(
+            units.len() >= 8,
+            "heavy run not split: {} units",
+            units.len()
+        );
+        let begins = AtomicUsize::new(0);
+        let out = par_filter_map_runs_scratch(
+            &items,
+            true,
+            |_| 0,
+            || (),
+            |_, _| {
+                begins.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, &x| Some(x),
+            |_| {},
+        );
+        assert_eq!(out, items);
+        assert!(begins.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

@@ -280,42 +280,38 @@ pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> S
         (out, processed)
     };
     let theta = env.opts.theta;
-    // Same tiered verification engine as the joins, deterministic
-    // either way. Small candidate sets (the common search shape)
-    // check a scratch out of the session's pool — the msim memo warms
-    // across the query *stream*, and the pool lock is never held
-    // during verification; fat sets go parallel with per-worker
-    // scratches when the index was built with `parallel`.
+    // Same probe-grouped cascade engine as the joins, deterministic
+    // either way: the *query* is the probe record of every candidate, so
+    // one run covers the whole candidate list and the probe-side posting
+    // view is built once per worker fragment. Scratches come from the
+    // session's pool — the msim memo warms across the query *stream*
+    // (serial and parallel alike; workers check scratches out in `init`
+    // and return them in `drain`), and the pool lock is never held
+    // during verification.
     let engine = Verifier::new(env.kn, env.cfg);
-    let accept = |scr: &mut VerifyScratch, rid: u32| {
-        let sim = engine.sim_at_least(sr, &env.segrecs[rid as usize], theta, scr);
-        (sim >= theta - env.cfg.eps).then_some((rid, sim))
-    };
-    // The pool also catches the degenerate parallel case (one worker):
-    // par_filter_map_scratch would run serially with a cold scratch,
-    // wasting the stream-warmed memo on exactly single-core hosts.
-    let use_pool = !env.opts.parallel
-        || candidates.len() < crate::parallel::MIN_PARALLEL_ITEMS
-        || crate::parallel::available_threads() <= 1;
-    let mut matches: Vec<(u32, f64)> = if use_pool {
-        let mut scr = {
-            let mut pool = env.pool.lock().expect("search pool poisoned");
-            pool.pop().unwrap_or_default()
-        };
-        let out = candidates
-            .iter()
-            .filter_map(|&rid| accept(&mut scr, rid))
-            .collect();
-        env.pool.lock().expect("search pool poisoned").push(scr);
-        out
-    } else {
-        crate::parallel::par_filter_map_scratch(
-            &candidates,
-            true,
-            VerifyScratch::default,
-            |scr, &rid| accept(scr, rid),
-        )
-    };
+    let mut matches: Vec<(u32, f64)> = crate::parallel::par_filter_map_runs_scratch(
+        &candidates,
+        env.opts.parallel,
+        |_| 0,
+        || {
+            env.pool
+                .lock()
+                .expect("search pool poisoned")
+                .pop()
+                .unwrap_or_default()
+        },
+        |scr, _| engine.begin_probe(sr, scr),
+        |scr, &rid| {
+            let sim = engine.probed_sim_at_least(sr, &env.segrecs[rid as usize], theta, scr);
+            (sim >= theta - env.cfg.eps).then_some((rid, sim))
+        },
+        |scr| {
+            env.pool
+                .lock()
+                .expect("search pool poisoned")
+                .push(std::mem::take(scr));
+        },
+    );
     matches.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     SearchOutcome {
         matches,

@@ -105,16 +105,24 @@ pub struct SegRecord {
     pub min_partition: u32,
     /// Sorted postings `(gram hash, segment index)` over every segment's
     /// distinct grams — the J side of the sparse vertex enumeration
-    /// (empty when J is disabled).
+    /// (empty when J is disabled). The verification engine consumes
+    /// these three ways: merge-joined per pair, hash-indexed per probe
+    /// run, or transposed corpus-wide into a
+    /// [`crate::usim::GramPostingsIndex`] for run-batched event
+    /// collection.
     pub gram_posts: Vec<(u64, u32)>,
     /// Sorted postings `(rule id, segment index)` over every segment's
-    /// applicable synonym rules — the S side of the sparse enumeration.
+    /// applicable synonym rules — the S side of the sparse enumeration
+    /// (same three consumers as `gram_posts`).
     pub rule_posts: Vec<(u32, u32)>,
-    /// Indices of segments mapped to a taxonomy node — the T side.
+    /// Indices of segments mapped to a taxonomy node — the T side
+    /// (always cross-producted per candidate: every node pair is a
+    /// potential match, so there are no misses to skip).
     pub node_segs: Vec<u32>,
     /// Sorted postings `(segment key, segment index)` — the
     /// surface-identity side (`msim`'s `a.text == b.text ⇒ 1` rule, which
-    /// applies under every measure subset).
+    /// applies under every measure subset; same three consumers as
+    /// `gram_posts`).
     pub key_posts: Vec<(u64, u32)>,
 }
 

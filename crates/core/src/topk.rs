@@ -109,19 +109,23 @@ fn descend(
                 Some(t) => t,
                 None => sp,
             };
-            // Re-scoring is the same independent-per-pair shape as join
-            // verification; share its tiered engine, parallel path and
-            // ordering guarantee (the full-value path equals
-            // `usim_approx_seg` bitwise).
+            // Re-scoring shares the join's probe-grouped engine, parallel
+            // path and ordering guarantee (the full-value path equals
+            // `usim_approx_seg` bitwise); accepted pairs arrive sorted by
+            // probe record, so runs group naturally.
             let engine = Verifier::new(kn, cfg);
-            let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_map_scratch(
+            let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_filter_map_runs_scratch(
                 &res.pairs,
                 opts.parallel,
+                |&(a, _, _)| a as u64,
                 VerifyScratch::default,
+                |scr, &(a, _, _)| engine.begin_probe(&sp.segrecs[a as usize], scr),
                 |scr, &(a, b, _)| {
-                    let sim = engine.sim(&sp.segrecs[a as usize], &t_ref.segrecs[b as usize], scr);
-                    (a, b, sim)
+                    let sim =
+                        engine.probed_sim(&sp.segrecs[a as usize], &t_ref.segrecs[b as usize], scr);
+                    Some((a, b, sim))
                 },
+                |_| {},
             );
             pairs.sort_by(|x, y| {
                 y.2.total_cmp(&x.2)

@@ -11,7 +11,7 @@ use crate::config::SimConfig;
 use crate::knowledge::Knowledge;
 pub use crate::msim::MeasureKind;
 use crate::segment::{segment_record, SegRecord};
-use crate::usim::eval::{get_sim, get_sim_with, EvalScratch};
+use crate::usim::eval::{get_sim_with, EvalScratch};
 use crate::usim::graph::{build_vertices, finish_graph, UsimGraph};
 use au_matching::{apply_swap, for_each_talon_set, square_imp, SquareImpConfig};
 use au_text::record::RecordId;
@@ -52,6 +52,23 @@ fn approx_set(
     t: &SegRecord,
     target: Option<f64>,
 ) -> (f64, Vec<usize>, UsimGraph) {
+    let mut rs = RefineScratch::default();
+    let (sim, g) = approx_set_with(kn, cfg, s, t, target, &mut rs);
+    (sim, std::mem::take(&mut rs.a), g)
+}
+
+/// [`approx_set`] over a caller-owned [`RefineScratch`]: the upper-bound
+/// side tables and every local-search buffer come from `rs`, so a worker
+/// verifying many candidates through the reference path allocates nothing
+/// per pair. The chosen set is left in `rs.a`.
+fn approx_set_with(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &SegRecord,
+    t: &SegRecord,
+    target: Option<f64>,
+    rs: &mut RefineScratch,
+) -> (f64, UsimGraph) {
     let vertices = build_vertices(kn, cfg, s, t);
     // Decision fast path: a provable upper bound below the target rejects
     // before the O(V²) conflict edges are even built. Eq. 6's numerator is
@@ -59,30 +76,31 @@ fn approx_set(
     // weight (every matched pair charges its segment's best), and the
     // denominator is at least the larger minimum partition size.
     if let Some(th) = target {
-        let ub = vertex_upper_bound(s, t, &vertices);
+        let ub = vertex_upper_bound_with(s, t, &vertices, &mut rs.best_s, &mut rs.best_t);
         if ub < th - cfg.eps {
             let g = UsimGraph {
                 graph: au_matching::ConflictGraph::with_weights(Vec::new()),
                 vertices: Vec::new(),
             };
-            return (ub.min(th), Vec::new(), g);
+            rs.a.clear();
+            return (ub.min(th), g);
         }
     }
     let g = finish_graph(s, t, vertices);
     if g.graph.is_empty() {
-        let sim = get_sim(s, t, &g, &[]);
-        return (sim, Vec::new(), g);
+        rs.a.clear();
+        let sim = get_sim_with(s, t, &g, &[], &mut rs.eval);
+        return (sim, g);
     }
-    let mut rs = RefineScratch::default();
-    let sim = refine_set(kn, cfg, s, t, &g, target, &mut rs);
-    (sim, rs.a, g)
+    let sim = refine_set(kn, cfg, s, t, &g, target, rs);
+    (sim, g)
 }
 
 /// Reusable buffers of the Algorithm 1 local search (`refine_set`): the
 /// current independent set, its membership mask, the candidate-solution
-/// scratch of the claw enumeration, the best talon set of a round, and
-/// the `GetSim` evaluation buffers. One instance lives per verification
-/// worker.
+/// scratch of the claw enumeration, the best talon set of a round, the
+/// `GetSim` evaluation buffers, and the per-side best-weight tables of the
+/// vertex upper bound. One instance lives per verification worker.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RefineScratch {
     /// Final independent set after refinement (output).
@@ -91,6 +109,10 @@ pub(crate) struct RefineScratch {
     cand: Vec<usize>,
     best_talons: Vec<usize>,
     pub eval: EvalScratch,
+    /// Upper-bound per-side best-weight tables (see
+    /// [`vertex_upper_bound_with`]).
+    pub best_s: Vec<f64>,
+    pub best_t: Vec<f64>,
 }
 
 /// Algorithm 1's solution search on a prebuilt conflict graph: SquareImp
@@ -120,6 +142,7 @@ pub(crate) fn refine_set(
         cand,
         best_talons,
         eval,
+        ..
     } = rs;
     // Line 1: w-MIS seed.
     a.clear();
@@ -239,6 +262,61 @@ pub fn usim_upper_bound(s: &SegRecord, t: &SegRecord, g: &UsimGraph) -> f64 {
     vertex_upper_bound(s, t, &g.vertices)
 }
 
+/// Tier-1.5 **greedy-matching bound**: a provable upper bound of USIM
+/// that is strictly at least as tight as the row-max vertex bound, yet
+/// needs no conflict graph, no `GetSim` masks and no min-partition DP —
+/// only the per-side best-weight tables the row-max bound already built.
+///
+/// Any independent set `A` of size `m` uses `m` *distinct* segments per
+/// side (a segment overlaps itself), and each matched pair's weight is at
+/// most the best weight of its segment on **both** sides. Sorting the
+/// positive per-segment bests descending (`a₁ ≥ a₂ ≥ …` on S, `b₁ ≥ b₂ ≥
+/// …` on T), the sum-of-mins of the sorted-sorted pairing dominates every
+/// possible assignment of `m` distinct S-bests to `m` distinct T-bests
+/// (`min` is L-superadditive, so similarly-ordered pairing maximises the
+/// sum — and elementwise `xᵢ ≤ aᵢ`, `yᵢ ≤ bᵢ` for any choice of `m`
+/// entries per side). Eq. 6's denominator is at least `max(m, MP(S),
+/// MP(T))` (`|A| + residuals ≥ |A|` and matched + residual segments
+/// partition each side), hence
+///
+/// ```text
+/// USIM ≤ max over m of  Σ_{i≤m} min(aᵢ, bᵢ) / max(m, MP(S), MP(T))
+/// ```
+///
+/// with `m` capped by the positive-best counts and the token counts
+/// (each pair consumes ≥ 1 token per side). Every prefix term is ≤ the
+/// row-max bound (`Σ min(aᵢ,bᵢ) ≤ min(Σa, Σb)` and the denominator only
+/// grows), so this bound never rejects less than row-max does.
+///
+/// `buf_s`/`buf_t` are caller-owned sort buffers (per-worker scratch).
+pub(crate) fn greedy_matching_bound_with(
+    ns: usize,
+    nt: usize,
+    mp: u32,
+    best_s: &[f64],
+    best_t: &[f64],
+    buf_s: &mut Vec<f64>,
+    buf_t: &mut Vec<f64>,
+) -> f64 {
+    buf_s.clear();
+    buf_s.extend(best_s.iter().copied().filter(|&w| w > 0.0));
+    buf_t.clear();
+    buf_t.extend(best_t.iter().copied().filter(|&w| w > 0.0));
+    buf_s.sort_unstable_by(|a, b| b.total_cmp(a));
+    buf_t.sort_unstable_by(|a, b| b.total_cmp(a));
+    let m_max = buf_s.len().min(buf_t.len()).min(ns).min(nt);
+    let mut acc = 0.0f64;
+    let mut best = 0.0f64;
+    for m in 1..=m_max {
+        acc += buf_s[m - 1].min(buf_t[m - 1]);
+        let v = acc / (m as u32).max(mp) as f64;
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
 /// Approximate USIM over pre-segmented records (Algorithm 1).
 pub fn usim_approx_seg(kn: &Knowledge, cfg: &SimConfig, s: &SegRecord, t: &SegRecord) -> f64 {
     approx_set(kn, cfg, s, t, None).0
@@ -258,6 +336,22 @@ pub fn usim_approx_seg_at_least(
     target: f64,
 ) -> f64 {
     approx_set(kn, cfg, s, t, Some(target)).0
+}
+
+/// [`usim_approx_seg_at_least`] over a caller-owned scratch — the
+/// reference verification path's per-worker form
+/// ([`crate::join::verify_candidates_reference`]): identical value, but
+/// the upper-bound tables and local-search buffers are reused across
+/// candidates instead of freshly allocated per call.
+pub(crate) fn usim_approx_seg_at_least_with(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &SegRecord,
+    t: &SegRecord,
+    target: f64,
+    rs: &mut RefineScratch,
+) -> f64 {
+    approx_set_with(kn, cfg, s, t, Some(target), rs).0
 }
 
 /// Approximate USIM of two records of the knowledge's built-in corpus.

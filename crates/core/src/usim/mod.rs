@@ -7,11 +7,12 @@
 //!   (exponential; budgeted). Ground truth for Table 9.
 //! * [`approx`] — Algorithm 1: SquareImp seed plus `1/t`-improvement claw
 //!   local search on the similarity objective (Theorem 2's guarantee).
-//! * [`verify`] — the tiered verification engine behind the join/search
-//!   pipelines: record-level pre-graph rejection, sparse vertex
-//!   enumeration with a cross-candidate `msim` memo, and an
-//!   allocation-free Algorithm 1 over per-worker scratch — byte-identical
-//!   to the [`approx`] reference path.
+//! * [`verify`] — the probe-grouped bound-cascade verification engine
+//!   behind the join/search pipelines: record-level pre-graph rejection,
+//!   probe-grouped sparse vertex enumeration with a cross-candidate
+//!   `msim` memo and in-enumeration aborts, a greedy-matching bound, and
+//!   an allocation-free Algorithm 1 over per-worker scratch —
+//!   byte-identical to the [`approx`] reference path.
 
 pub mod approx;
 pub mod eval;
@@ -26,4 +27,6 @@ pub use approx::{
 pub use eval::{get_sim, get_sim_with, EvalScratch};
 pub use exact::{usim_exact, usim_exact_seg};
 pub use graph::{build_graph, build_vertices, finish_graph, UsimGraph, VertexPair};
-pub use verify::{Verifier, VerifyScratch};
+pub use verify::{
+    CascadeBounds, GramPostingsIndex, RunScratch, Verifier, VerifyScratch, VerifyTiers,
+};

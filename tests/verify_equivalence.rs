@@ -11,10 +11,12 @@
 
 use au_join::core::join::{
     apply_global_order, filter_stage, prepare_corpus, verify_candidates,
-    verify_candidates_reference, JoinOptions,
+    verify_candidates_per_pair, verify_candidates_reference, verify_candidates_stats, JoinOptions,
 };
 use au_join::core::segment::segment_record;
-use au_join::core::usim::{usim_approx_seg, usim_approx_seg_at_least, Verifier, VerifyScratch};
+use au_join::core::usim::{
+    usim_approx_seg, usim_approx_seg_at_least, usim_exact_seg, Verifier, VerifyScratch,
+};
 use au_join::datagen::{DatasetProfile, LabeledDataset};
 use au_join::prelude::*;
 use proptest::prelude::*;
@@ -30,6 +32,65 @@ fn assert_bit_identical(a: &[(u32, u32, f64)], b: &[(u32, u32, f64)], ctx: &str)
     }
 }
 
+/// Grouped-cascade vs PR 3 per-pair vs reference on one candidate set,
+/// serial and parallel — byte-identical `(pair, sim)` everywhere, plus
+/// the tier-telemetry invariants (every candidate in exactly one bucket,
+/// accepted == results, identical counters across schedules).
+fn check_candidates(
+    ds: &LabeledDataset,
+    sp: &au_join::core::join::PreparedCorpus,
+    tp: &au_join::core::join::PreparedCorpus,
+    candidates: &[(u32, u32)],
+    theta: f64,
+    ctx: &str,
+) {
+    let cfg = SimConfig::default();
+    let mut tallies = Vec::new();
+    for parallel in [false, true] {
+        let (grouped, tiers) =
+            verify_candidates_stats(&ds.kn, &cfg, sp, tp, candidates, theta, parallel);
+        let per_pair =
+            verify_candidates_per_pair(&ds.kn, &cfg, sp, tp, candidates, theta, parallel);
+        let reference =
+            verify_candidates_reference(&ds.kn, &cfg, sp, tp, candidates, theta, parallel);
+        assert_bit_identical(
+            &grouped,
+            &reference,
+            &format!("{ctx} parallel={parallel} grouped vs reference"),
+        );
+        assert_bit_identical(
+            &per_pair,
+            &reference,
+            &format!("{ctx} parallel={parallel} per-pair vs reference"),
+        );
+        assert_eq!(
+            tiers.decisions(),
+            candidates.len() as u64,
+            "{ctx}: tier buckets must partition the candidate set"
+        );
+        assert_eq!(tiers.accepted, grouped.len() as u64, "{ctx}: accepted");
+        tallies.push(tiers);
+    }
+    // Tier counters are pure per-candidate functions: serial == parallel.
+    // (The memo hit/miss diagnostics are scheduling-dependent — which
+    // worker verified which candidates — and deliberately not compared.)
+    let buckets = |t: &au_join::core::usim::VerifyTiers| {
+        (
+            t.tier0_rejects,
+            t.enum_rejects,
+            t.rowmax_rejects,
+            t.greedy_rejects,
+            t.tier2_rejects,
+            t.accepted,
+        )
+    };
+    assert_eq!(
+        buckets(&tallies[0]),
+        buckets(&tallies[1]),
+        "{ctx}: tier counters scheduling-dependent"
+    );
+}
+
 fn check_dataset(ds: &LabeledDataset, theta: f64, self_join: bool) {
     let cfg = SimConfig::default();
     let opts = JoinOptions::u_filter(theta);
@@ -38,46 +99,26 @@ fn check_dataset(ds: &LabeledDataset, theta: f64, self_join: bool) {
         let mut empty = prepare_corpus(&ds.kn, &cfg, &au_join::text::record::Corpus::new());
         apply_global_order(&mut sp, &mut empty);
         let out = filter_stage(&sp, &sp, &opts, cfg.eps, true);
-        for parallel in [false, true] {
-            let tiered =
-                verify_candidates(&ds.kn, &cfg, &sp, &sp, &out.candidates, theta, parallel);
-            let reference = verify_candidates_reference(
-                &ds.kn,
-                &cfg,
-                &sp,
-                &sp,
-                &out.candidates,
-                theta,
-                parallel,
-            );
-            assert_bit_identical(
-                &tiered,
-                &reference,
-                &format!("self-join θ={theta} parallel={parallel}"),
-            );
-        }
+        check_candidates(
+            ds,
+            &sp,
+            &sp,
+            &out.candidates,
+            theta,
+            &format!("self-join θ={theta}"),
+        );
     } else {
         let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
         apply_global_order(&mut sp, &mut tp);
         let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
-        for parallel in [false, true] {
-            let tiered =
-                verify_candidates(&ds.kn, &cfg, &sp, &tp, &out.candidates, theta, parallel);
-            let reference = verify_candidates_reference(
-                &ds.kn,
-                &cfg,
-                &sp,
-                &tp,
-                &out.candidates,
-                theta,
-                parallel,
-            );
-            assert_bit_identical(
-                &tiered,
-                &reference,
-                &format!("R×S θ={theta} parallel={parallel}"),
-            );
-        }
+        check_candidates(
+            ds,
+            &sp,
+            &tp,
+            &out.candidates,
+            theta,
+            &format!("R×S θ={theta}"),
+        );
     }
 }
 
@@ -114,6 +155,52 @@ fn tiered_equals_reference_on_wiki() {
     let ds = wiki_ds();
     for theta in [0.6, 0.95] {
         check_dataset(&ds, theta, false);
+    }
+}
+
+/// Soundness sweep on generated data: every cascade bound (tier 0,
+/// surfaced-segment cap, row-max, greedy matching) dominates the
+/// Algorithm 1 similarity on a broad sample of record pairs — planted
+/// matches and random non-matches alike.
+#[test]
+fn cascade_bounds_dominate_usim_on_datagen() {
+    for ds in [med_ds(), wiki_ds()] {
+        let cfg = SimConfig::default();
+        let sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+        let tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+        let v = Verifier::new(&ds.kn, &cfg);
+        let mut scr = VerifyScratch::default();
+        // Planted pairs (high similarity — bounds must not clip them).
+        for g in &ds.truth {
+            let (a, b) = (&sp.segrecs[g.s as usize], &tp.segrecs[g.t as usize]);
+            let bounds = v.upper_bounds(a, b, &mut scr);
+            let sim = usim_approx_seg(&ds.kn, &cfg, a, b);
+            for (name, ub) in [
+                ("tier0", bounds.tier0),
+                ("surfaced", bounds.surfaced),
+                ("rowmax", bounds.rowmax),
+                ("greedy", bounds.greedy),
+            ] {
+                assert!(
+                    ub >= sim - 1e-12,
+                    "{name} {ub} < sim {sim} ({}, {})",
+                    g.s,
+                    g.t
+                );
+            }
+            assert!(bounds.tier0 >= bounds.surfaced - 1e-12);
+            assert!(bounds.rowmax >= bounds.greedy - 1e-12);
+        }
+        // A deterministic stride of arbitrary pairs.
+        for i in (0..sp.segrecs.len()).step_by(17) {
+            for j in (0..tp.segrecs.len()).step_by(23) {
+                let (a, b) = (&sp.segrecs[i], &tp.segrecs[j]);
+                let bounds = v.upper_bounds(a, b, &mut scr);
+                let sim = usim_approx_seg(&ds.kn, &cfg, a, b);
+                assert!(bounds.greedy >= sim - 1e-12, "greedy < sim at ({i}, {j})");
+                assert!(bounds.rowmax >= bounds.greedy - 1e-12);
+            }
+        }
     }
 }
 
@@ -184,7 +271,7 @@ proptest! {
     }
 
     /// Whole-corpus: the verify stage output is byte-identical, serial and
-    /// parallel.
+    /// parallel, for the grouped-cascade and the per-pair engines alike.
     #[test]
     fn tiered_corpus_verify_matches(texts in prop::collection::vec(text_strategy(6), 4..16), theta in 0.3f64..0.95) {
         let mut kn = test_knowledge();
@@ -202,6 +289,43 @@ proptest! {
             let reference =
                 verify_candidates_reference(&kn, &cfg, &sp, &sp, &all, theta, parallel);
             assert_bit_identical(&tiered, &reference, "proptest corpus");
+            let per_pair =
+                verify_candidates_per_pair(&kn, &cfg, &sp, &sp, &all, theta, parallel);
+            assert_bit_identical(&per_pair, &reference, "proptest corpus per-pair");
+        }
+    }
+
+    /// Adversarial soundness: every cascade bound dominates **exact**
+    /// USIM (exponential enumeration) on small repeated-token corpora —
+    /// no recall loss by construction, for any bound in the cascade.
+    #[test]
+    fn cascade_bounds_dominate_exact_usim(a in text_strategy(6), b in text_strategy(6)) {
+        let mut kn = test_knowledge();
+        let cfg = SimConfig::default();
+        let ra = kn.add_record(&a);
+        let rb = kn.add_record(&b);
+        let sa = segment_record(&kn, &cfg, &kn.record(ra).tokens);
+        let sb = segment_record(&kn, &cfg, &kn.record(rb).tokens);
+        let v = Verifier::new(&kn, &cfg);
+        let mut scr = VerifyScratch::default();
+        let bounds = v.upper_bounds(&sa, &sb, &mut scr);
+        prop_assert!(bounds.tier0 >= bounds.surfaced - 1e-12);
+        prop_assert!(bounds.rowmax >= bounds.greedy - 1e-12);
+        let approx = usim_approx_seg(&kn, &cfg, &sa, &sb);
+        let floor = match usim_exact_seg(&kn, &cfg, &sa, &sb) {
+            Some(exact) => {
+                prop_assert!(exact >= approx - 1e-9, "approx above exact");
+                exact
+            }
+            None => approx, // enumeration budget exceeded — approx is still a valid floor
+        };
+        for (name, ub) in [
+            ("tier0", bounds.tier0),
+            ("surfaced", bounds.surfaced),
+            ("rowmax", bounds.rowmax),
+            ("greedy", bounds.greedy),
+        ] {
+            prop_assert!(ub >= floor - 1e-9, "{} bound {} < exact {}", name, ub, floor);
         }
     }
 }

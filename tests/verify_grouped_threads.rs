@@ -1,0 +1,69 @@
+//! Grouped-vs-reference verification equivalence under a pinned
+//! `AU_THREADS` override.
+//!
+//! `au_core::parallel::available_threads` reads `AU_THREADS` once per
+//! process, so this check lives in its own integration-test binary: the
+//! single test below sets the variable before any parallel code runs,
+//! guaranteeing the override is what the work-stealing layer sees. On
+//! multi-core hosts this exercises true 3-worker scheduling of the
+//! run-aligned fragments; on single-core CI it still pins the worker
+//! count deterministically.
+
+use au_join::core::join::{
+    apply_global_order, filter_stage, prepare_corpus, verify_candidates_reference,
+    verify_candidates_stats, JoinOptions,
+};
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use au_join::prelude::*;
+
+#[test]
+fn grouped_verify_is_byte_identical_with_pinned_workers() {
+    // Before any call into au-core: pin the worker count.
+    std::env::set_var("AU_THREADS", "3");
+    assert_eq!(au_join::core::parallel::available_threads(), 3);
+
+    let mut profile = DatasetProfile::med_like(0.05);
+    profile.taxonomy_nodes = 250;
+    profile.synonym_rules = 120;
+    let ds = LabeledDataset::generate(&profile, 220, 220, 60, 17);
+    let cfg = SimConfig::default();
+    let mut sp = prepare_corpus(&ds.kn, &cfg, &ds.s);
+    let mut tp = prepare_corpus(&ds.kn, &cfg, &ds.t);
+    apply_global_order(&mut sp, &mut tp);
+    for theta in [0.6, 0.9] {
+        let opts = JoinOptions::u_filter(theta);
+        let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
+        let (serial, serial_tiers) =
+            verify_candidates_stats(&ds.kn, &cfg, &sp, &tp, &out.candidates, theta, false);
+        let (parallel, parallel_tiers) =
+            verify_candidates_stats(&ds.kn, &cfg, &sp, &tp, &out.candidates, theta, true);
+        let reference =
+            verify_candidates_reference(&ds.kn, &cfg, &sp, &tp, &out.candidates, theta, true);
+        assert_eq!(serial.len(), parallel.len(), "θ={theta}");
+        for (x, y) in serial.iter().zip(&parallel) {
+            assert_eq!((x.0, x.1, x.2.to_bits()), (y.0, y.1, y.2.to_bits()));
+        }
+        for (x, y) in parallel.iter().zip(&reference) {
+            assert_eq!((x.0, x.1, x.2.to_bits()), (y.0, y.1, y.2.to_bits()));
+        }
+        // Tier counters are pure per-candidate functions — identical
+        // under any worker count. (The memo hit/miss diagnostics are
+        // scheduling-dependent and deliberately not compared.)
+        let buckets = |t: &au_join::core::usim::VerifyTiers| {
+            (
+                t.tier0_rejects,
+                t.enum_rejects,
+                t.rowmax_rejects,
+                t.greedy_rejects,
+                t.tier2_rejects,
+                t.accepted,
+            )
+        };
+        assert_eq!(
+            buckets(&serial_tiers),
+            buckets(&parallel_tiers),
+            "θ={theta}"
+        );
+        assert_eq!(serial_tiers.decisions(), out.candidates.len() as u64);
+    }
+}
