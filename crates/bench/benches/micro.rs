@@ -2,17 +2,13 @@
 //! in DESIGN.md (pebble order, MP bound mode, DP early termination, claw
 //! cap, verification mode).
 
-// The criterion suites benchmark the legacy one-shot paths on purpose
-// (they measure end-to-end cost including preparation).
-#![allow(deprecated)]
 use au_bench::harness::med_dataset;
 use au_core::config::{GramMeasure, SimConfig};
+use au_core::engine::{Engine, JoinSpec};
 use au_core::join::{apply_global_order, filter_stage, prepare_corpus, JoinOptions};
 use au_core::pebble::{generate_pebbles, PebbleOrder};
-use au_core::search::SearchIndex;
 use au_core::segment::segment_record;
 use au_core::signature::{dp_prefix_len, heuristic_prefix_len, MpMode};
-use au_core::topk::{topk_join, TopkOptions};
 use au_core::usim::usim_approx_seg;
 use au_matching::{exact_wmis, max_weight_matching, square_imp, ConflictGraph, SquareImpConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -183,26 +179,28 @@ fn bench_usim_verification(c: &mut Criterion) {
 fn bench_search_queries(c: &mut Criterion) {
     let ds = med_dataset(400, 11);
     let cfg = SimConfig::default();
-    let index = SearchIndex::build(&ds.kn, &cfg, &ds.t, &JoinOptions::au_dp(0.85, 3));
+    let spec = JoinSpec::threshold(0.85).au_dp(3);
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let searcher = engine.searcher(&pt, &spec).expect("searcher");
     let queries: Vec<Vec<au_text::TokenId>> = (0..16u32)
         .map(|i| ds.s.get(au_text::record::RecordId(i)).tokens.clone())
         .collect();
     let mut g = c.benchmark_group("micro_search");
     g.sample_size(20).measurement_time(Duration::from_secs(3));
     g.bench_function("build_400", |b| {
+        // End-to-end index construction: prepare + signature/CSR build on
+        // a fresh engine (no memo reuse between iterations).
         b.iter(|| {
-            black_box(SearchIndex::build(
-                &ds.kn,
-                &cfg,
-                &ds.t,
-                &JoinOptions::au_dp(0.85, 3),
-            ))
+            let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+            let pt = engine.prepare(&ds.t).expect("prepare T");
+            black_box(engine.searcher(&pt, &spec).expect("searcher"));
         })
     });
     g.bench_function("query_batch16", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(index.query_tokens(&ds.kn, q));
+                black_box(searcher.query_tokens(q));
             }
         })
     });
@@ -215,15 +213,14 @@ fn bench_topk_descent(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_topk");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     for k in [5usize, 25] {
+        let spec = JoinSpec::topk(k).au_dp(3);
         g.bench_function(format!("topk_{k}"), |b| {
+            // End-to-end like the legacy one-shot: preparation included.
             b.iter(|| {
-                black_box(topk_join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &TopkOptions::au_dp(k, 3),
-                ))
+                let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+                let ps = engine.prepare(&ds.s).expect("prepare S");
+                let pt = engine.prepare(&ds.t).expect("prepare T");
+                black_box(engine.topk(&ps, &pt, &spec).expect("topk"))
             })
         });
     }

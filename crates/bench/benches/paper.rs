@@ -5,17 +5,32 @@
 //! (EXPERIMENTS.md). Scale is deliberately tiny to keep `cargo bench`
 //! minutes-sized.
 
-// The criterion suites benchmark the legacy one-shot paths on purpose
-// (they measure end-to-end cost including preparation).
-#![allow(deprecated)]
 use au_bench::harness::{med_dataset, wiki_dataset};
 use au_core::config::{MeasureSet, SimConfig};
+use au_core::engine::{Engine, JoinSpec};
 use au_core::estimate::CostModel;
-use au_core::join::{join, JoinOptions};
-use au_core::suggest::{suggest_tau, SuggestConfig};
+use au_core::join::JoinResult;
+use au_core::knowledge::Knowledge;
+use au_core::suggest::SuggestConfig;
+use au_text::record::Corpus;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// End-to-end R×S join (preparation included, as the legacy one-shot
+/// functions measured) through the session API.
+fn run_join(
+    kn: &Knowledge,
+    cfg: &SimConfig,
+    s: &Corpus,
+    t: &Corpus,
+    spec: &JoinSpec,
+) -> JoinResult {
+    let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+    let ps = engine.prepare(s).expect("prepare S");
+    let pt = engine.prepare(t).expect("prepare T");
+    engine.join(&ps, &pt, spec).expect("join")
+}
 
 /// Table 8 / Table 13 path: effectiveness joins over measure combos.
 fn bench_effectiveness(c: &mut Criterion) {
@@ -24,16 +39,9 @@ fn bench_effectiveness(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for m in [MeasureSet::J, MeasureSet::TJS] {
         let cfg = SimConfig::default().with_measures(m);
+        let spec = JoinSpec::threshold(0.75).au_dp(2);
         g.bench_function(m.label(), |b| {
-            b.iter(|| {
-                black_box(join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_dp(0.75, 2),
-                ))
-            })
+            b.iter(|| black_box(run_join(&ds.kn, &cfg, &ds.s, &ds.t, &spec)))
         });
     }
     g.finish();
@@ -64,13 +72,13 @@ fn bench_filters(c: &mut Criterion) {
     let cfg = SimConfig::default();
     let mut g = c.benchmark_group("fig4_filters");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
-    for (name, opts) in [
-        ("u_filter", JoinOptions::u_filter(0.85)),
-        ("au_heuristic", JoinOptions::au_heuristic(0.85, 3)),
-        ("au_dp", JoinOptions::au_dp(0.85, 3)),
+    for (name, spec) in [
+        ("u_filter", JoinSpec::threshold(0.85).u_filter()),
+        ("au_heuristic", JoinSpec::threshold(0.85).au_heuristic(3)),
+        ("au_dp", JoinSpec::threshold(0.85).au_dp(3)),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(join(&ds.kn, &cfg, &ds.s, &ds.t, &opts)))
+            b.iter(|| black_box(run_join(&ds.kn, &cfg, &ds.s, &ds.t, &spec)))
         });
     }
     g.finish();
@@ -83,16 +91,9 @@ fn bench_measures(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for m in [MeasureSet::T, MeasureSet::S, MeasureSet::TJS] {
         let cfg = SimConfig::default().with_measures(m);
+        let spec = JoinSpec::threshold(0.85).au_dp(2);
         g.bench_function(m.label(), |b| {
-            b.iter(|| {
-                black_box(join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_dp(0.85, 2),
-                ))
-            })
+            b.iter(|| black_box(run_join(&ds.kn, &cfg, &ds.s, &ds.t, &spec)))
         });
     }
     g.finish();
@@ -105,16 +106,9 @@ fn bench_scalability(c: &mut Criterion) {
     for n in [100usize, 200, 400] {
         let ds = med_dataset(n, 71);
         let cfg = SimConfig::default();
+        let spec = JoinSpec::threshold(0.9).au_dp(3);
         g.bench_function(format!("n{n}"), |b| {
-            b.iter(|| {
-                black_box(join(
-                    &ds.kn,
-                    &cfg,
-                    &ds.s,
-                    &ds.t,
-                    &JoinOptions::au_dp(0.9, 3),
-                ))
-            })
+            b.iter(|| black_box(run_join(&ds.kn, &cfg, &ds.s, &ds.t, &spec)))
         });
     }
     g.finish();
@@ -128,6 +122,9 @@ fn bench_suggest(c: &mut Criterion) {
         c_f: 5e-8,
         c_v: 2e-6,
     };
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     let mut g = c.benchmark_group("fig8_suggest");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for p in [0.05, 0.2] {
@@ -141,7 +138,7 @@ fn bench_suggest(c: &mut Criterion) {
                     universe: vec![1, 2, 3],
                     ..Default::default()
                 };
-                black_box(suggest_tau(&ds.kn, &cfg, &ds.s, &ds.t, 0.85, &model, &sc))
+                black_box(engine.suggest_tau(&ps, &pt, 0.85, &model, &sc))
             })
         });
     }
@@ -161,16 +158,9 @@ fn bench_baselines(c: &mut Criterion) {
     g.bench_function("combination", |b| {
         b.iter(|| black_box(combination_join(&ds.kn, &ds.s, &ds.t, 0.85)))
     });
+    let spec = JoinSpec::threshold(0.85).au_dp(2);
     g.bench_function("ours_tjs", |b| {
-        b.iter(|| {
-            black_box(join(
-                &ds.kn,
-                &cfg,
-                &ds.s,
-                &ds.t,
-                &JoinOptions::au_dp(0.85, 2),
-            ))
-        })
+        b.iter(|| black_box(run_join(&ds.kn, &cfg, &ds.s, &ds.t, &spec)))
     });
     g.finish();
 }

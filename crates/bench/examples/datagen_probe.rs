@@ -1,0 +1,38 @@
+//! Measure the generator's memory boundedness at large `n`: streaming
+//! `LabeledDataset::generate` should keep peak RSS within a small
+//! multiple of the final corpus bytes (the only auxiliary buffer is the
+//! planted T lines — see the doc comment on `generate`).
+//!
+//! ```text
+//! cargo run --release -p au-bench --example datagen_probe -- 120000
+//! # n=120000 ... corpus=47.0MiB peak_rss=294.7MiB gen=9.47s
+//! ```
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000);
+    let t0 = std::time::Instant::now();
+    let ds = au_bench::med_dataset(n, 71);
+    let corpus_bytes = ds.s.memory_bytes() + ds.t.memory_bytes();
+    let hwm_kib = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM"))
+                .and_then(|l| l.split_whitespace().nth(1).map(str::to_owned))
+        })
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    println!(
+        "n={} s={} t={} truth={} corpus={:.1}MiB peak_rss={:.1}MiB gen={:.2}s",
+        n,
+        ds.s.len(),
+        ds.t.len(),
+        ds.truth.len(),
+        corpus_bytes as f64 / (1024.0 * 1024.0),
+        hwm_kib as f64 / 1024.0,
+        t0.elapsed().as_secs_f64()
+    );
+}

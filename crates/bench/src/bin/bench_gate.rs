@@ -18,7 +18,12 @@
 //! * **engine** — in `BENCH_fig7.json`, both engines must agree on
 //!   candidates/processed pairs, and `csr_speedup` must be at least
 //!   `BENCH_GATE_MIN_SPEEDUP` (default 1.0: the CSR engine may never be
-//!   slower than the legacy one).
+//!   slower than the legacy one);
+//! * **memory** — in `BENCH_fig_shard.json`, `memory_ratio` (sharded
+//!   peak bytes / monolithic whole-corpus prepare bytes) may not exceed
+//!   `BENCH_GATE_MAX_MEMORY_RATIO` (default 0.25 — the memory-lean
+//!   acceptance bound), and the sharded row must report pruned tasks
+//!   whenever the baseline did.
 //!
 //! Exit code 1 on any failure; every failure is printed.
 
@@ -55,6 +60,7 @@ fn rows_by_id<'a>(doc: &'a Value, list_key: &str) -> Vec<(&'a str, &'a Value)> {
 struct Gate {
     tol: f64,
     min_speedup: f64,
+    max_memory_ratio: f64,
     failures: Vec<String>,
     checks: usize,
 }
@@ -122,6 +128,13 @@ impl Gate {
                 "rowmax_rejects",
                 "greedy_rejects",
                 "tier2_rejects",
+                // fig_shard rows: the task grid and the deep memory
+                // accounting are pure functions of (scale, seed) and the
+                // fixed shard parameters — drift means the planner, the
+                // pruning bound or the accounting itself changed.
+                "shard_tasks",
+                "shard_tasks_pruned",
+                "memory_bytes",
             ] {
                 if brow.get(key).is_some() {
                     self.check_exact(id, key, f64_field(brow, key), f64_field(crow, key));
@@ -143,6 +156,27 @@ impl Gate {
                 f64_field(brow, "verify_cands_per_second"),
                 f64_field(crow, "verify_cands_per_second"),
             );
+        }
+        // Memory-lean ceiling on the current fig_shard artifact: the
+        // sharded peak may never exceed the configured fraction of a
+        // monolithic whole-corpus prepare. Checked on the current run
+        // (not diffed): this is an absolute acceptance bound, not a
+        // regression tolerance.
+        if let Some(ratio) = cur.get("memory_ratio").and_then(Value::as_f64) {
+            self.checks += 1;
+            if ratio <= 0.0 || ratio.is_nan() {
+                self.fail(format!("{name}: memory_ratio {ratio} not positive"));
+            } else if ratio > self.max_memory_ratio {
+                self.fail(format!(
+                    "{name}: memory_ratio {ratio:.3} above ceiling {:.3}",
+                    self.max_memory_ratio
+                ));
+            } else {
+                println!(
+                    "  ok {name}: memory_ratio {ratio:.3} ≤ {:.3}",
+                    self.max_memory_ratio
+                );
+            }
         }
         // Engine self-consistency + speedup floor on the current artifact.
         if list_key == "engines" {
@@ -180,6 +214,7 @@ fn main() {
     let mut gate = Gate {
         tol: env_f64("BENCH_GATE_TOL", 0.25),
         min_speedup: env_f64("BENCH_GATE_MIN_SPEEDUP", 1.0),
+        max_memory_ratio: env_f64("BENCH_GATE_MAX_MEMORY_RATIO", 0.25),
         failures: Vec::new(),
         checks: 0,
     };

@@ -20,7 +20,7 @@ fn main() {
         "perf: AU_SCALE={} seed={} timings={}",
         opts.scale, opts.seed, opts.timings
     );
-    let (workloads, engines, verify) = run_all(&opts);
+    let (workloads, engines, verify, shard) = run_all(&opts);
     for w in &workloads {
         for r in &w.rows {
             println!(
@@ -46,8 +46,35 @@ fn main() {
         "verify_speedup: vs reference {:.2}x, vs PR3 tiered {:.2}x",
         verify.grouped_speedup_vs_reference, verify.grouped_speedup_vs_tiered
     );
-    let paths = write_reports(&out_dir, &workloads, &engines, &verify, opts.timings)
-        .expect("write BENCH_*.json");
+    for r in &shard.rows {
+        println!(
+            "{:<24} pairs={:<8} tasks={}+{}p mem={:.1}MiB prep={:.3}s join={:.3}s",
+            r.id,
+            r.result_pairs,
+            r.shard_tasks,
+            r.shard_tasks_pruned,
+            r.memory_bytes as f64 / (1024.0 * 1024.0),
+            r.prepare_seconds,
+            r.join_seconds
+        );
+    }
+    println!(
+        "fig_shard: shards={} cache={} prune_fraction={:.3} memory_ratio={:.3} speedup={:.2}x",
+        shard.shards,
+        shard.cache_capacity,
+        shard.prune_fraction,
+        shard.memory_ratio,
+        shard.sharded_speedup
+    );
+    let paths = write_reports(
+        &out_dir,
+        &workloads,
+        &engines,
+        &verify,
+        &shard,
+        opts.timings,
+    )
+    .expect("write BENCH_*.json");
     for p in paths {
         eprintln!("wrote {}", p.display());
     }

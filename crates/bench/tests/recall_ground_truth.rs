@@ -15,12 +15,9 @@
 //! seed and the nil approximation gap, so a future datagen or verifier
 //! change that shifts either is surfaced immediately.
 
-// Pins the legacy one-shot path until its removal; the session API is
-// pinned equivalent by tests/api_equivalence.rs.
-#![allow(deprecated)]
 use au_bench::harness::{med_dataset, score_join_at};
 use au_core::config::SimConfig;
-use au_core::join::u_join;
+use au_core::engine::{Engine, JoinSpec};
 use au_core::segment::segment_record;
 use au_core::usim::{usim_approx_seg, usim_exact_seg};
 
@@ -86,7 +83,12 @@ fn complete_filter_has_full_recall_against_theta_truth() {
     // pipeline bug.
     let ds = med_dataset(120, 71);
     let cfg = SimConfig::default();
-    let res = u_join(&ds.kn, &cfg, &ds.s, &ds.t, THETA);
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let res = engine
+        .join(&ps, &pt, &JoinSpec::threshold(THETA).u_filter())
+        .expect("join");
     let prf = score_join_at(&ds, &res, THETA);
     assert_eq!(prf.r, 1.0, "complete filter lost a θ-reachable pair");
     assert_eq!(

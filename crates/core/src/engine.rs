@@ -52,7 +52,10 @@ use crate::knowledge::Knowledge;
 use crate::pebble::{Pebble, PebbleOrder};
 use crate::probe::{probe_loop, ProbeOutcome};
 use crate::search::{run_query, QueryEnv, SearchOutcome};
-use crate::segment::{segment_record_with, SegRecord};
+use crate::segment::{segment_record_with, segment_stats, SegRecord};
+use crate::shard::{
+    shard_pair_compatible, ShardCache, ShardInfo, ShardPlan, ShardSpec, ShardedPrepared,
+};
 use crate::signature::{FilterKind, MpMode};
 use crate::suggest::{suggest_loop, SuggestConfig, SuggestOutcome};
 use crate::topk::TopkResult;
@@ -69,6 +72,17 @@ static NEXT_PREPARED_ID: AtomicU64 = AtomicU64::new(1);
 /// Candidates verified per batch by the streaming sink paths — bounds the
 /// materialized result memory without starving the parallel verifier.
 const SINK_CHUNK: usize = 64 * 1024;
+
+/// The sink batch size, overridable with `AU_SINK_CHUNK` (positive
+/// integer; tests use tiny chunks to exercise the batching, benches may
+/// raise it).
+fn sink_chunk() -> usize {
+    std::env::var("AU_SINK_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(SINK_CHUNK)
+}
 
 // ---------------------------------------------------------------------------
 // JoinSpec
@@ -105,6 +119,7 @@ pub struct JoinSpec {
     theta_start: f64,
     theta_floor: f64,
     step: f64,
+    shards: usize,
 }
 
 impl JoinSpec {
@@ -123,12 +138,13 @@ impl JoinSpec {
             theta_start: 0.95,
             theta_floor: 0.3,
             step: 0.1,
+            shards: 0,
         }
     }
 
     /// Top-k mode: report the `k` most similar pairs via threshold
     /// descent (defaults: AU-Filter DP τ=2, start 0.95, floor 0.3, step
-    /// 0.1 — the [`crate::topk::TopkOptions`] defaults).
+    /// 0.1).
     pub fn topk(k: usize) -> Self {
         Self {
             mode: SpecMode::Topk,
@@ -180,6 +196,25 @@ impl JoinSpec {
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
         self
+    }
+
+    /// Execute threshold joins through the sharded executor: the corpus
+    /// is length-partitioned into `g` shards
+    /// ([`crate::shard::ShardPlan`]) and the join runs as shard-pair
+    /// tasks, skipping every pair whose
+    /// [`crate::shard::shard_pair_bound`] falls below θ. Results (pairs
+    /// and similarities) are byte-identical to the monolithic executor;
+    /// [`JoinStats::shard_tasks`] / [`JoinStats::shard_tasks_pruned`]
+    /// report the task census. `0` or `1` means monolithic (the
+    /// default); top-k descent and search ignore the knob.
+    pub fn sharded(mut self, g: usize) -> Self {
+        self.shards = g;
+        self
+    }
+
+    /// The configured shard count (0 = monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Top-k descent schedule: first-round θ, the floor below which the
@@ -377,6 +412,43 @@ impl Prepared {
     /// [`JoinStats::prepare_time`] is zero.
     pub fn prepare_seconds(&self) -> f64 {
         self.prepare_time.as_secs_f64()
+    }
+
+    /// Deep heap footprint of this artifact in bytes: corpus, segmented
+    /// records (posting tables included), pebbles, tier-0 integers, plus
+    /// every *currently memoized* order/sorted-list/signature/CSR
+    /// artifact. Length-based accounting (buffer lengths, not
+    /// capacities), so the figure is deterministic for a given corpus and
+    /// operation history — the number the sharded executor's peak-memory
+    /// claim and the perf harness's memory column are measured in.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<Self>();
+        total += self.corpus.memory_bytes();
+        for sr in &self.prep.segrecs {
+            total += sr.memory_bytes();
+        }
+        for p in &self.prep.pebbles {
+            total += p.len() * size_of::<Pebble>();
+        }
+        total += self.tier0.len() * size_of::<(u32, u32)>();
+        let m = self.memo();
+        for order in m.orders.values() {
+            total += order.memory_bytes();
+        }
+        for sorted in m.sorted.values() {
+            total += sorted
+                .iter()
+                .map(|v| v.len() * size_of::<Pebble>())
+                .sum::<usize>();
+        }
+        for sel in m.sigs.values() {
+            total += sel.memory_bytes();
+        }
+        for csr in m.csr.values() {
+            total += csr.memory_bytes();
+        }
+        total
     }
 
     /// The segmented record `id`.
@@ -809,6 +881,8 @@ impl Engine {
             },
             result_count: pairs.len(),
             tiers,
+            shard_tasks: 0,
+            shard_tasks_pruned: 0,
         };
         JoinResult { pairs, stats }
     }
@@ -820,6 +894,9 @@ impl Engine {
         self.check(s)?;
         self.check(t)?;
         let opts = spec.threshold_options()?;
+        if spec.shards > 1 {
+            return self.join_rs_sliced(s, t, spec.shards, &opts);
+        }
         Ok(self.join_full(s, t, false, &opts))
     }
 
@@ -827,6 +904,9 @@ impl Engine {
     pub fn join_self(&self, c: &Prepared, spec: &JoinSpec) -> Result<JoinResult, AuError> {
         self.check(c)?;
         let opts = spec.threshold_options()?;
+        if spec.shards > 1 {
+            return self.join_self_sliced(c, spec.shards, &opts);
+        }
         Ok(self.join_full(c, c, true, &opts))
     }
 
@@ -839,11 +919,22 @@ impl Engine {
         s: &Prepared,
         t: &Prepared,
         spec: &JoinSpec,
-        sink: impl FnMut(u32, u32, f64),
+        mut sink: impl FnMut(u32, u32, f64),
     ) -> Result<JoinStats, AuError> {
         self.check(s)?;
         self.check(t)?;
         let opts = spec.threshold_options()?;
+        if spec.shards > 1 {
+            // Sharded streaming: the result is materialized (memory is
+            // bounded by shard artifacts, not by the result set; the
+            // deterministic (s, t) emission order requires the final
+            // merge anyway) and then replayed into the sink.
+            let res = self.join_rs_sliced(s, t, spec.shards, &opts)?;
+            for &(a, b, sim) in &res.pairs {
+                sink(a, b, sim);
+            }
+            return Ok(res.stats);
+        }
         Ok(self.join_sink_impl(s, t, false, &opts, sink))
     }
 
@@ -852,10 +943,17 @@ impl Engine {
         &self,
         c: &Prepared,
         spec: &JoinSpec,
-        sink: impl FnMut(u32, u32, f64),
+        mut sink: impl FnMut(u32, u32, f64),
     ) -> Result<JoinStats, AuError> {
         self.check(c)?;
         let opts = spec.threshold_options()?;
+        if spec.shards > 1 {
+            let res = self.join_self_sliced(c, spec.shards, &opts)?;
+            for &(a, b, sim) in &res.pairs {
+                sink(a, b, sim);
+            }
+            return Ok(res.stats);
+        }
         Ok(self.join_sink_impl(c, c, true, &opts, sink))
     }
 
@@ -880,7 +978,7 @@ impl Engine {
         // Bounded-memory verification: at most SINK_CHUNK candidates'
         // results are ever materialized; chunk order preserves the
         // deterministic (s, t) output order of the batch path.
-        for chunk in outcome.candidates.chunks(SINK_CHUNK) {
+        for chunk in outcome.candidates.chunks(sink_chunk()) {
             let (accepted, chunk_tiers) = crate::join::verify_candidates_stats_indexed(
                 &self.kn,
                 &self.cfg,
@@ -912,7 +1010,408 @@ impl Engine {
             },
             result_count,
             tiers,
+            shard_tasks: 0,
+            shard_tasks_pruned: 0,
         }
+    }
+
+    // -- sharded joins ------------------------------------------------------
+
+    /// Plan a corpus for sharded joins **without preparing it**: only the
+    /// per-record tier-0 integers are computed (the lean
+    /// [`segment_stats`] pass — no gram hashing, no posting tables), then
+    /// length-partitioned into a [`ShardPlan`]. Shards are segmented on
+    /// demand during [`Engine::join_self_sharded`] /
+    /// [`Engine::join_sharded`], at most `spec.cache_capacity` at a time,
+    /// so peak memory stays a small fraction of a whole-corpus
+    /// [`Engine::prepare`] ([`ShardedPrepared::peak_memory_bytes`]).
+    pub fn prepare_sharded(
+        &self,
+        corpus: &Corpus,
+        spec: &ShardSpec,
+    ) -> Result<ShardedPrepared, AuError> {
+        let vocab_len = self.kn.vocab.len();
+        for r in corpus.iter() {
+            if let Some(&bad) = r.tokens.iter().find(|t| t.idx() >= vocab_len) {
+                return Err(AuError::UnknownToken {
+                    id: bad.0,
+                    vocab_len,
+                });
+            }
+        }
+        let tier0: Vec<(u32, u32)> = corpus
+            .iter()
+            .map(|r| segment_stats(&self.kn, &self.cfg, &r.tokens))
+            .collect();
+        let g = if spec.shards == 0 {
+            ShardPlan::auto_shard_count(corpus.len())
+        } else {
+            spec.shards
+        };
+        let plan = ShardPlan::build(&tier0, g);
+        Ok(ShardedPrepared {
+            gen: self.kn.generation(),
+            cfg: self.cfg,
+            corpus: corpus.clone(),
+            tier0,
+            plan,
+            cache_capacity: spec.effective_cache_capacity(),
+            cache: Mutex::new(ShardCache::default()),
+        })
+    }
+
+    /// Threshold self-join over a lazily-segmented [`ShardedPrepared`]
+    /// (pairs reported with `s < t`, byte-identical to
+    /// [`Engine::join_self`] on a full prepare of the same corpus).
+    pub fn join_self_sharded(
+        &self,
+        sp: &ShardedPrepared,
+        spec: &JoinSpec,
+    ) -> Result<JoinResult, AuError> {
+        self.check_sharded(sp)?;
+        let opts = spec.threshold_options()?;
+        let res = self.sharded_self_executor(
+            &sp.plan,
+            &opts,
+            &mut |i| self.shard_artifact(sp, i),
+            &mut || sp.cache.lock().expect("shard cache poisoned").end_task(),
+        );
+        sp.cache.lock().expect("shard cache poisoned").note_usage();
+        res
+    }
+
+    /// Threshold R×S join over two lazily-segmented [`ShardedPrepared`]
+    /// artifacts (byte-identical to [`Engine::join`] on full prepares).
+    pub fn join_sharded(
+        &self,
+        s: &ShardedPrepared,
+        t: &ShardedPrepared,
+        spec: &JoinSpec,
+    ) -> Result<JoinResult, AuError> {
+        self.check_sharded(s)?;
+        self.check_sharded(t)?;
+        let opts = spec.threshold_options()?;
+        let res = self.sharded_rs_executor(
+            &s.plan,
+            &t.plan,
+            &opts,
+            &mut |i| self.shard_artifact(s, i),
+            &mut |j| self.shard_artifact(t, j),
+            &mut || {
+                s.cache.lock().expect("shard cache poisoned").end_task();
+                t.cache.lock().expect("shard cache poisoned").end_task();
+            },
+        );
+        s.cache.lock().expect("shard cache poisoned").note_usage();
+        t.cache.lock().expect("shard cache poisoned").note_usage();
+        res
+    }
+
+    /// Generation/config guard for sharded artifacts (mirrors
+    /// [`Engine::check`]).
+    fn check_sharded(&self, sp: &ShardedPrepared) -> Result<(), AuError> {
+        let expected = self.kn.generation();
+        if sp.gen != expected {
+            return Err(AuError::StaleKnowledge {
+                expected,
+                found: sp.gen,
+            });
+        }
+        if sp.cfg != self.cfg {
+            return Err(AuError::ConfigMismatch);
+        }
+        Ok(())
+    }
+
+    /// Fetch shard `idx` of a [`ShardedPrepared`], segmenting its records
+    /// on a cache miss (bounded LRU; see [`ShardCache`]).
+    fn shard_artifact(&self, sp: &ShardedPrepared, idx: usize) -> Result<Arc<Prepared>, AuError> {
+        let info = sp.plan.shard(idx);
+        let mut cache = sp.cache.lock().expect("shard cache poisoned");
+        cache.get_or_build(idx, sp.cache_capacity, || {
+            let mut mask = vec![false; sp.corpus.len()];
+            for &id in info.records() {
+                mask[id as usize] = true;
+            }
+            let (sub, _) = sp.corpus.filter(|r| mask[r.id.idx()]);
+            self.prepare_owned(sub)
+        })
+    }
+
+    /// Cut one shard out of an already-prepared corpus: segmentation and
+    /// pebbles are pure per-record (given the knowledge context), so the
+    /// slice reuses them by clone instead of re-segmenting. Fresh id and
+    /// empty memo — per-shard orders/signatures/indexes are built (and
+    /// dropped with the slice) on demand.
+    fn slice_prepared(&self, p: &Prepared, info: &ShardInfo) -> Prepared {
+        let mut mask = vec![false; p.len()];
+        for &id in info.records() {
+            mask[id as usize] = true;
+        }
+        let (corpus, _) = p.corpus.filter(|r| mask[r.id.idx()]);
+        let segrecs = info
+            .records()
+            .iter()
+            .map(|&id| p.prep.segrecs[id as usize].clone())
+            .collect();
+        let pebbles = info
+            .records()
+            .iter()
+            .map(|&id| p.prep.pebbles[id as usize].clone())
+            .collect();
+        let tier0 = info
+            .records()
+            .iter()
+            .map(|&id| p.tier0[id as usize])
+            .collect();
+        Prepared {
+            id: NEXT_PREPARED_ID.fetch_add(1, Ordering::Relaxed),
+            gen: p.gen,
+            cfg: p.cfg,
+            corpus,
+            prep: PreparedCorpus { segrecs, pebbles },
+            tier0,
+            prepare_time: Duration::ZERO,
+            memo: Mutex::new(Memo::default()),
+        }
+    }
+
+    /// The [`JoinSpec::sharded`] knob on an existing [`Prepared`]:
+    /// self-join through the sharded executor over slices of `c`.
+    fn join_self_sliced(
+        &self,
+        c: &Prepared,
+        shards: usize,
+        opts: &JoinOptions,
+    ) -> Result<JoinResult, AuError> {
+        let plan = ShardPlan::build(&c.tier0, shards);
+        let cache = std::cell::RefCell::new(ShardCache::default());
+        let cap = ShardSpec::default().effective_cache_capacity();
+        self.sharded_self_executor(
+            &plan,
+            opts,
+            &mut |i| {
+                cache.borrow_mut().get_or_build(
+                    i,
+                    cap,
+                    || Ok(self.slice_prepared(c, plan.shard(i))),
+                )
+            },
+            &mut || cache.borrow_mut().end_task(),
+        )
+    }
+
+    /// The [`JoinSpec::sharded`] knob for R×S joins over slices.
+    fn join_rs_sliced(
+        &self,
+        s: &Prepared,
+        t: &Prepared,
+        shards: usize,
+        opts: &JoinOptions,
+    ) -> Result<JoinResult, AuError> {
+        let plan_s = ShardPlan::build(&s.tier0, shards);
+        let plan_t = ShardPlan::build(&t.tier0, shards);
+        let cache_s = std::cell::RefCell::new(ShardCache::default());
+        let cache_t = std::cell::RefCell::new(ShardCache::default());
+        let cap = ShardSpec::default().effective_cache_capacity();
+        self.sharded_rs_executor(
+            &plan_s,
+            &plan_t,
+            opts,
+            &mut |i| {
+                cache_s
+                    .borrow_mut()
+                    .get_or_build(i, cap, || Ok(self.slice_prepared(s, plan_s.shard(i))))
+            },
+            &mut |j| {
+                cache_t
+                    .borrow_mut()
+                    .get_or_build(j, cap, || Ok(self.slice_prepared(t, plan_t.shard(j))))
+            },
+            &mut || {
+                cache_s.borrow_mut().end_task();
+                cache_t.borrow_mut().end_task();
+            },
+        )
+    }
+
+    /// Self-join as shard-pair tasks over unordered pairs `(i, j ≥ i)`.
+    /// Tasks cover disjoint record-pair sets, so no dedup is needed; the
+    /// final `(s, t)` sort is the deterministic merge. Tasks run
+    /// sequentially (bounded memory: at most the cache capacity of
+    /// shards is live, and `end_task` trims task-scoped memos after
+    /// recording the peak) while each task's inner pipeline honours
+    /// `opts.parallel`.
+    fn sharded_self_executor(
+        &self,
+        plan: &ShardPlan,
+        opts: &JoinOptions,
+        fetch: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
+        end_task: &mut dyn FnMut(),
+    ) -> Result<JoinResult, AuError> {
+        let g = plan.shard_count();
+        let mut agg = StatAgg::default();
+        let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..g {
+            for j in i..g {
+                if !shard_pair_compatible(plan.shard(i), plan.shard(j), opts.theta, self.cfg.eps) {
+                    agg.pruned += 1;
+                    continue;
+                }
+                agg.tasks += 1;
+                if i == j {
+                    let pa = fetch(i)?;
+                    let ids = plan.shard(i).records();
+                    let res = self.join_full(&pa, &pa, true, opts);
+                    agg.absorb(&res.stats, pa.len(), pa.len());
+                    pairs.extend(
+                        res.pairs
+                            .iter()
+                            .map(|&(a, b, sim)| (ids[a as usize], ids[b as usize], sim)),
+                    );
+                } else {
+                    let pa = fetch(i)?;
+                    let pb = fetch(j)?;
+                    self.cross_self_task(
+                        &pa,
+                        &pb,
+                        plan.shard(i).records(),
+                        plan.shard(j).records(),
+                        opts,
+                        &mut agg,
+                        &mut pairs,
+                    );
+                }
+                end_task();
+            }
+        }
+        pairs.sort_unstable_by_key(|x| (x.0, x.1));
+        Ok(JoinResult {
+            stats: agg.into_stats(pairs.len()),
+            pairs,
+        })
+    }
+
+    /// One cross-shard task of a self-join: filter shard `A` against
+    /// shard `B` as an R×S pass, then orient each candidate by *global*
+    /// id before verifying. Shards partition by length, not by id range,
+    /// so a task sees both orientations; the monolithic self-join always
+    /// verifies `(min_id, max_id)` with the smaller id on the probe side,
+    /// and `usim` is not guaranteed bitwise-symmetric — splitting into a
+    /// forward and a reverse verification group reproduces its exact
+    /// similarity values.
+    #[allow(clippy::too_many_arguments)]
+    fn cross_self_task(
+        &self,
+        pa: &Prepared,
+        pb: &Prepared,
+        ids_a: &[u32],
+        ids_b: &[u32],
+        opts: &JoinOptions,
+        agg: &mut StatAgg,
+        pairs: &mut Vec<(u32, u32, f64)>,
+    ) {
+        let (outcome, sig_time, filter_time) = self.filter_run(pa, pb, false, opts);
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        let mut rev: Vec<(u32, u32)> = Vec::new();
+        for &(la, lb) in &outcome.candidates {
+            // Disjoint shards: global ids never tie.
+            if ids_a[la as usize] < ids_b[lb as usize] {
+                fwd.push((la, lb));
+            } else {
+                rev.push((lb, la));
+            }
+        }
+        // Probe-sorted inputs keep the grouped verifier's runs contiguous.
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        let verify_start = Instant::now();
+        let (pf, tf) = verify_candidates_stats(
+            &self.kn,
+            &self.cfg,
+            &pa.prep,
+            &pb.prep,
+            &fwd,
+            opts.theta,
+            opts.parallel,
+        );
+        let (pr, tr) = verify_candidates_stats(
+            &self.kn,
+            &self.cfg,
+            &pb.prep,
+            &pa.prep,
+            &rev,
+            opts.theta,
+            opts.parallel,
+        );
+        let verify_time = verify_start.elapsed();
+        pairs.extend(
+            pf.iter()
+                .map(|&(la, lb, sim)| (ids_a[la as usize], ids_b[lb as usize], sim)),
+        );
+        pairs.extend(
+            pr.iter()
+                .map(|&(lb, la, sim)| (ids_b[lb as usize], ids_a[la as usize], sim)),
+        );
+        agg.sig_time += sig_time;
+        agg.filter_time += filter_time;
+        agg.verify_time += verify_time;
+        agg.processed_pairs += outcome.processed_pairs;
+        agg.candidates += outcome.candidates.len() as u64;
+        agg.add_sig_len(
+            outcome.avg_sig_len_s,
+            pa.len(),
+            outcome.avg_sig_len_t,
+            pb.len(),
+        );
+        agg.tiers.merge(&tf);
+        agg.tiers.merge(&tr);
+    }
+
+    /// R×S join as all compatible shard-pair tasks (each one a plain
+    /// [`Engine::join_full`] over the two slices, ids mapped back to the
+    /// global spaces).
+    fn sharded_rs_executor(
+        &self,
+        plan_s: &ShardPlan,
+        plan_t: &ShardPlan,
+        opts: &JoinOptions,
+        fetch_s: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
+        fetch_t: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
+        end_task: &mut dyn FnMut(),
+    ) -> Result<JoinResult, AuError> {
+        let mut agg = StatAgg::default();
+        let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..plan_s.shard_count() {
+            for j in 0..plan_t.shard_count() {
+                if !shard_pair_compatible(
+                    plan_s.shard(i),
+                    plan_t.shard(j),
+                    opts.theta,
+                    self.cfg.eps,
+                ) {
+                    agg.pruned += 1;
+                    continue;
+                }
+                agg.tasks += 1;
+                let ps = fetch_s(i)?;
+                let pt = fetch_t(j)?;
+                let res = self.join_full(&ps, &pt, false, opts);
+                agg.absorb(&res.stats, ps.len(), pt.len());
+                let (ids_s, ids_t) = (plan_s.shard(i).records(), plan_t.shard(j).records());
+                pairs.extend(
+                    res.pairs
+                        .iter()
+                        .map(|&(a, b, sim)| (ids_s[a as usize], ids_t[b as usize], sim)),
+                );
+                end_task();
+            }
+        }
+        pairs.sort_unstable_by_key(|x| (x.0, x.1));
+        Ok(JoinResult {
+            stats: agg.into_stats(pairs.len()),
+            pairs,
+        })
     }
 
     // -- top-k --------------------------------------------------------------
@@ -1188,6 +1687,72 @@ impl Engine {
         } else {
             ns.min(nt) as f64 / mps.max(mpt) as f64
         })
+    }
+}
+
+/// Accumulator merging per-task [`JoinStats`] into the honest aggregate
+/// of a sharded run: times, `Tτ` and `Vτ` are sums over the executed
+/// tasks (each task runs its own order/signature/filter pipeline, so the
+/// totals are comparable across executors but not identical to the
+/// monolithic run's — see DESIGN.md "Sharded joins"); signature lengths
+/// are record-weighted means; tier telemetry merges exactly.
+#[derive(Default)]
+struct StatAgg {
+    sig_time: Duration,
+    filter_time: Duration,
+    verify_time: Duration,
+    processed_pairs: u64,
+    candidates: u64,
+    sig_len_s_weighted: f64,
+    sig_len_s_records: u64,
+    sig_len_t_weighted: f64,
+    sig_len_t_records: u64,
+    tiers: crate::usim::VerifyTiers,
+    tasks: u64,
+    pruned: u64,
+}
+
+impl StatAgg {
+    fn absorb(&mut self, st: &JoinStats, n_s: usize, n_t: usize) {
+        self.sig_time += st.sig_time;
+        self.filter_time += st.filter_time;
+        self.verify_time += st.verify_time;
+        self.processed_pairs += st.processed_pairs;
+        self.candidates += st.candidates;
+        self.add_sig_len(st.avg_sig_len_s, n_s, st.avg_sig_len_t, n_t);
+        self.tiers.merge(&st.tiers);
+    }
+
+    fn add_sig_len(&mut self, avg_s: f64, n_s: usize, avg_t: f64, n_t: usize) {
+        self.sig_len_s_weighted += avg_s * n_s as f64;
+        self.sig_len_s_records += n_s as u64;
+        self.sig_len_t_weighted += avg_t * n_t as f64;
+        self.sig_len_t_records += n_t as u64;
+    }
+
+    fn into_stats(self, result_count: usize) -> JoinStats {
+        JoinStats {
+            prepare_time: Duration::ZERO,
+            sig_time: self.sig_time,
+            filter_time: self.filter_time,
+            verify_time: self.verify_time,
+            processed_pairs: self.processed_pairs,
+            candidates: self.candidates,
+            avg_sig_len_s: if self.sig_len_s_records == 0 {
+                0.0
+            } else {
+                self.sig_len_s_weighted / self.sig_len_s_records as f64
+            },
+            avg_sig_len_t: if self.sig_len_t_records == 0 {
+                0.0
+            } else {
+                self.sig_len_t_weighted / self.sig_len_t_records as f64
+            },
+            result_count,
+            tiers: self.tiers,
+            shard_tasks: self.tasks,
+            shard_tasks_pruned: self.pruned,
+        }
     }
 }
 
@@ -1519,6 +2084,62 @@ mod tests {
             engine.usim(&ps, 99, &pt, 0),
             Err(AuError::RecordOutOfBounds { id: 99, .. })
         ));
+    }
+
+    #[test]
+    fn sharded_knob_matches_monolithic() {
+        let (kn, s, t) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let pt = engine.prepare(&t).unwrap();
+        for theta in [0.5, 0.7, 0.9] {
+            let mono = engine.join(&ps, &pt, &JoinSpec::threshold(theta)).unwrap();
+            let shard = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).sharded(3))
+                .unwrap();
+            assert_eq!(mono.pairs, shard.pairs, "R×S at θ = {theta}");
+            assert!(shard.stats.shard_tasks >= 1);
+            let mono_self = engine.join_self(&ps, &JoinSpec::threshold(theta)).unwrap();
+            let shard_self = engine
+                .join_self(&ps, &JoinSpec::threshold(theta).sharded(3))
+                .unwrap();
+            assert_eq!(mono_self.pairs, shard_self.pairs, "self at θ = {theta}");
+        }
+        assert_eq!(mono_tasks_are_zero(&engine, &ps, &pt), (0, 0));
+    }
+
+    fn mono_tasks_are_zero(engine: &Engine, ps: &Prepared, pt: &Prepared) -> (u64, u64) {
+        let st = engine
+            .join(ps, pt, &JoinSpec::threshold(0.8))
+            .unwrap()
+            .stats;
+        (st.shard_tasks, st.shard_tasks_pruned)
+    }
+
+    #[test]
+    fn lazy_sharded_prepare_matches_full_prepare() {
+        let (kn, s, _) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let ps = engine.prepare(&s).unwrap();
+        let sp = engine
+            .prepare_sharded(&s, &ShardSpec::auto().with_shards(2))
+            .unwrap();
+        let full: Vec<(u32, u32)> = (0..s.len() as u32)
+            .map(|i| {
+                let sr = ps.seg_record(i).unwrap();
+                (sr.n_tokens() as u32, sr.min_partition)
+            })
+            .collect();
+        assert_eq!(sp.tier0(), full.as_slice());
+        let spec = JoinSpec::threshold(0.6);
+        let mono = engine.join_self(&ps, &spec).unwrap();
+        let lazy = engine.join_self_sharded(&sp, &spec).unwrap();
+        assert_eq!(mono.pairs, lazy.pairs);
+        assert!(sp.shard_builds() >= 1);
+        assert!(sp.peak_memory_bytes() > 0);
+        let rs = engine.join_sharded(&sp, &sp, &spec).unwrap();
+        let mono_rs = engine.join(&ps, &ps, &spec).unwrap();
+        assert_eq!(mono_rs.pairs, rs.pairs);
     }
 
     #[test]

@@ -8,13 +8,12 @@
 //! with probability `p_s·p_t`.
 
 use crate::config::SimConfig;
-use crate::join::{filter_stage, prepare_corpus, verify_candidates, JoinOptions};
+use crate::join::{filter_stage, prepare_corpus, JoinOptions};
 use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use au_text::record::Corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Draw an independent Bernoulli sample of `corpus` with inclusion
 /// probability `p` (deterministic under `seed`).
@@ -39,23 +38,9 @@ pub struct FilterCounts {
 /// This is the estimator's inner loop and deliberately calls the same
 /// [`filter_stage`] (CSR index + epoch-stamped counter probes) as the
 /// production join: Eq. 17 scales *this* path's counts, so sampling a
-/// different engine would calibrate the wrong cost model.
-#[deprecated(note = "use Engine::filter_counts on prepared corpora")]
-pub fn filter_counts(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    theta: f64,
-    filter: FilterKind,
-) -> FilterCounts {
-    filter_counts_impl(kn, cfg, s, t, theta, filter)
-}
-
-/// Non-deprecated implementation shared by the legacy free function and
-/// the session API's sample-counting closures (samples are fresh corpora,
-/// prepared exactly once here; the *full* corpora go through
-/// [`crate::engine::Engine::filter_counts`]'s memo instead).
+/// different engine would calibrate the wrong cost model. Samples are
+/// fresh corpora, prepared exactly once here; the *full* corpora go
+/// through [`crate::engine::Engine::filter_counts`]'s memo instead.
 pub(crate) fn filter_counts_impl(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -158,50 +143,6 @@ impl CostModel {
     pub fn cost_var(&self, var_t: f64, var_v: f64) -> f64 {
         self.c_f * self.c_f * var_t + self.c_v * self.c_v * var_v
     }
-
-    /// Measure `c_f` and `c_v` on a calibration sample: runs the filtering
-    /// stage (timing per processed pair) and verifies up to
-    /// `max_verifications` random-ish candidate pairs (timing per
-    /// verification). Falls back to conservative defaults when a sample is
-    /// too small to measure.
-    #[deprecated(
-        note = "use Engine::calibrate on prepared corpora (prepares each corpus exactly once)"
-    )]
-    pub fn calibrate(
-        kn: &Knowledge,
-        cfg: &SimConfig,
-        s: &Corpus,
-        t: &Corpus,
-        theta: f64,
-        filter: FilterKind,
-        max_verifications: usize,
-    ) -> Self {
-        let mut sp = prepare_corpus(kn, cfg, s);
-        let mut tp = prepare_corpus(kn, cfg, t);
-        crate::join::apply_global_order(&mut sp, &mut tp);
-        let opts = JoinOptions {
-            theta,
-            filter,
-            mp_mode: crate::signature::MpMode::ExactDp,
-            parallel: false,
-        };
-        let f_start = Instant::now();
-        let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
-        let f_time = f_start.elapsed().as_secs_f64();
-        cost_model_from_filter_run(
-            out.processed_pairs,
-            &out.candidates,
-            f_time,
-            sp.len(),
-            tp.len(),
-            max_verifications,
-            |pairs| {
-                let v_start = Instant::now();
-                let _ = verify_candidates(kn, cfg, &sp, &tp, pairs, theta, false);
-                v_start.elapsed().as_secs_f64()
-            },
-        )
-    }
 }
 
 /// Exhaustively measure true `(Tτ, Vτ)` on the *full* corpora for every τ
@@ -256,7 +197,6 @@ pub fn draw_sample_pair(s: &Corpus, t: &Corpus, ps: f64, pt: f64, seed: u64, n: 
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
     use crate::knowledge::KnowledgeBuilder;
@@ -312,14 +252,14 @@ mod tests {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
         let filter = FilterKind::AuHeuristic { tau: 2 };
-        let truth = filter_counts(&kn, &cfg, &s, &t, 0.7, filter);
+        let truth = filter_counts_impl(&kn, &cfg, &s, &t, 0.7, filter);
         assert!(truth.processed > 0, "fixture must produce filter work");
         let (ps, pt) = (0.5, 0.5);
         let mut sum_t = 0.0;
         let runs = 60;
         for n in 0..runs {
             let sp = draw_sample_pair(&s, &t, ps, pt, 7, n);
-            let c = filter_counts(&kn, &cfg, &sp.s, &sp.t, 0.7, filter);
+            let c = filter_counts_impl(&kn, &cfg, &sp.s, &sp.t, 0.7, filter);
             sum_t += estimate_from_counts(c, ps, pt).t_hat;
         }
         let mean_t = sum_t / runs as f64;
@@ -346,7 +286,12 @@ mod tests {
     fn calibration_produces_positive_costs() {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
-        let m = CostModel::calibrate(&kn, &cfg, &s, &t, 0.7, FilterKind::UFilter, 50);
+        let engine = crate::engine::Engine::new(kn, cfg).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
+        let m = engine
+            .calibrate(&ps, &pt, 0.7, FilterKind::UFilter, 50)
+            .expect("calibrate");
         assert!(m.c_f > 0.0 && m.c_f.is_finite());
         assert!(m.c_v > 0.0 && m.c_v.is_finite());
         // Note: c_v > c_f holds on realistic data but is wall-clock-noisy

@@ -112,6 +112,12 @@ impl RecordKeys {
         }
         self.keys.len() as f64 / self.len() as f64
     }
+
+    /// Heap footprint in bytes (length-based, deterministic).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.keys.len() * std::mem::size_of::<PebbleKey>()
+    }
 }
 
 /// Flattened CSR inverted index: `PebbleKey → (offset, len)` over one
@@ -175,6 +181,15 @@ impl CsrIndex {
     /// the [`RecordKeys`] pass.
     pub fn build(signatures: &[&[Pebble]], parallel: bool) -> Self {
         Self::from_record_keys(&RecordKeys::build(signatures, parallel))
+    }
+
+    /// Heap footprint in bytes (length-based; the hash map is counted at
+    /// one entry's payload per key so the figure stays deterministic
+    /// across load-factor/capacity differences).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<(PebbleKey, u32)>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.postings.len() * std::mem::size_of::<u32>()
     }
 
     /// Records whose signature contains `key` (ascending ids).

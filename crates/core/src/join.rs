@@ -99,6 +99,12 @@ pub struct JoinStats {
     /// are pure per-candidate functions — deterministic across thread
     /// counts and runs — and `tiers.decisions() == candidates`.
     pub tiers: VerifyTiers,
+    /// Shard-pair tasks actually executed (0 on monolithic joins).
+    pub shard_tasks: u64,
+    /// Shard-pair tasks skipped wholesale by the shard-pair bound
+    /// ([`crate::shard::shard_pair_bound`] `< θ − ε`; 0 on monolithic
+    /// joins).
+    pub shard_tasks_pruned: u64,
 }
 
 impl JoinStats {
@@ -244,6 +250,11 @@ impl SelectedSignatures {
     /// True when the side has no records.
     pub fn is_empty(&self) -> bool {
         self.levels.is_empty()
+    }
+
+    /// Heap footprint in bytes (length-based, deterministic).
+    pub fn memory_bytes(&self) -> usize {
+        self.record_keys.memory_bytes() + self.levels.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -756,59 +767,10 @@ pub fn join_prepared(
         },
         result_count: pairs.len(),
         tiers,
+        shard_tasks: 0,
+        shard_tasks_pruned: 0,
     };
     JoinResult { pairs, stats }
-}
-
-/// R×S join of two corpora sharing the knowledge context.
-#[deprecated(note = "use Engine::prepare + Engine::join (see DESIGN.md \"Session API\")")]
-pub fn join(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    opts: &JoinOptions,
-) -> JoinResult {
-    let prep_start = Instant::now();
-    let mut sp = prepare_corpus(kn, cfg, s);
-    let mut tp = Some(prepare_corpus(kn, cfg, t));
-    let prep_time = prep_start.elapsed();
-    let mut res = join_prepared(kn, cfg, &mut sp, &mut tp, opts);
-    res.stats.prepare_time += prep_time;
-    res
-}
-
-/// Self-join of one corpus (pairs are reported with `s < t`).
-#[deprecated(note = "use Engine::prepare + Engine::join_self")]
-pub fn join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, opts: &JoinOptions) -> JoinResult {
-    let prep_start = Instant::now();
-    let mut sp = prepare_corpus(kn, cfg, c);
-    let prep_time = prep_start.elapsed();
-    let mut none = None;
-    let mut res = join_prepared(kn, cfg, &mut sp, &mut none, opts);
-    res.stats.prepare_time += prep_time;
-    res
-}
-
-/// Algorithm 3: unified set join with U-Filter.
-#[deprecated(note = "use Engine::join with JoinSpec::threshold(theta).u_filter()")]
-#[allow(deprecated)]
-pub fn u_join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, theta: f64) -> JoinResult {
-    join(kn, cfg, s, t, &JoinOptions::u_filter(theta))
-}
-
-/// Algorithm 6: unified set join with AU-Filter (DP signatures).
-#[deprecated(note = "use Engine::join with JoinSpec::threshold(theta).au_dp(tau)")]
-#[allow(deprecated)]
-pub fn au_join(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    theta: f64,
-    tau: u32,
-) -> JoinResult {
-    join(kn, cfg, s, t, &JoinOptions::au_dp(theta, tau))
 }
 
 /// Brute force: verify all |S|×|T| pairs (the oracle for filter tests).
@@ -828,11 +790,44 @@ pub fn brute_force_join(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
+    use crate::engine::{Engine, JoinSpec};
     use crate::knowledge::KnowledgeBuilder;
     use au_text::record::Corpus;
+
+    /// Threshold join through the session API (the legacy free functions
+    /// are gone); prepares fresh state per call like they used to.
+    fn join(
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        s: &Corpus,
+        t: &Corpus,
+        opts: &JoinOptions,
+    ) -> JoinResult {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let ps = engine.prepare(s).expect("prepare S");
+        let pt = engine.prepare(t).expect("prepare T");
+        let spec = JoinSpec::threshold(opts.theta)
+            .filter(opts.filter)
+            .mp_mode(opts.mp_mode)
+            .parallel(opts.parallel);
+        engine.join(&ps, &pt, &spec).expect("join")
+    }
+
+    fn join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, opts: &JoinOptions) -> JoinResult {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let pc = engine.prepare(c).expect("prepare");
+        let spec = JoinSpec::threshold(opts.theta)
+            .filter(opts.filter)
+            .mp_mode(opts.mp_mode)
+            .parallel(opts.parallel);
+        engine.join_self(&pc, &spec).expect("self join")
+    }
+
+    fn u_join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, theta: f64) -> JoinResult {
+        join(kn, cfg, s, t, &JoinOptions::u_filter(theta))
+    }
 
     fn setup() -> (Knowledge, Corpus, Corpus) {
         let mut b = KnowledgeBuilder::new();

@@ -106,6 +106,19 @@ impl Knowledge {
         c
     }
 
+    /// Streaming counterpart of [`Self::corpus_from_lines`]: tokenize one
+    /// line into a caller-held corpus under this knowledge's vocabulary.
+    ///
+    /// Feeding lines one at a time through this method produces a corpus
+    /// byte-identical to a single `corpus_from_lines` call over the same
+    /// sequence (the vocabulary evolves line-by-line either way), without
+    /// the caller ever materialising the full line buffer — this is what
+    /// keeps large-scale dataset generation memory-bounded.
+    pub fn push_line(&mut self, corpus: &mut Corpus, line: &str) -> RecordId {
+        self.generation = mint_generation();
+        corpus.push_str(line, &mut self.vocab, &self.tokenize)
+    }
+
     /// Longest multi-token span that can be a well-defined segment: the
     /// paper's `k` (max tokens on any rule side or entity phrase), at
     /// least 1.
@@ -366,6 +379,38 @@ mod tests {
         // both corpora share the vocabulary
         assert!(kn.vocab.get("espresso").is_some());
         assert!(kn.vocab.get("helsingki").is_some());
+    }
+
+    #[test]
+    fn push_line_streams_identically_to_corpus_from_lines() {
+        // The streaming API must evolve the vocabulary (ids, doc freqs)
+        // and the corpus exactly as the batch API does — datagen relies
+        // on this to stream large corpora without changing a byte.
+        let lines = [
+            "espresso cafe Helsinki",
+            "apple cake coffee shop",
+            "latte espresso latte gateau",
+        ];
+        let mut batch_kn = figure1_builder().build();
+        let batch = batch_kn.corpus_from_lines(lines);
+
+        let mut stream_kn = figure1_builder().build();
+        let mut stream = Corpus::new();
+        for l in lines {
+            stream_kn.push_line(&mut stream, l);
+        }
+
+        assert_eq!(batch.len(), stream.len());
+        for i in 0..batch.len() {
+            let id = RecordId(i as u32);
+            assert_eq!(batch.get(id).tokens, stream.get(id).tokens);
+            assert_eq!(batch.get(id).raw, stream.get(id).raw);
+        }
+        for w in ["espresso", "cafe", "latte", "gateau"] {
+            let tid = batch_kn.vocab.get(w).unwrap();
+            assert_eq!(Some(tid), stream_kn.vocab.get(w));
+            assert_eq!(batch_kn.vocab.doc_freq(tid), stream_kn.vocab.doc_freq(tid));
+        }
     }
 
     #[test]

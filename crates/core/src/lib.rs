@@ -24,6 +24,7 @@ pub mod pebble;
 pub mod probe;
 pub mod search;
 pub mod segment;
+pub mod shard;
 pub mod signature;
 pub mod stats;
 pub mod suggest;
@@ -35,7 +36,7 @@ pub use engine::{Engine, JoinSpec, Prepared, ProbeSpec, Searcher};
 pub use error::AuError;
 pub use index::{CsrIndex, OverlapCounter, RecordKeys};
 pub use knowledge::{Knowledge, KnowledgeBuilder};
-pub use search::{SearchIndex, SearchOutcome};
-#[allow(deprecated)]
-pub use topk::{topk_join, topk_join_self, TopkOptions, TopkResult};
+pub use search::SearchOutcome;
+pub use shard::{ShardPlan, ShardSpec, ShardedPrepared};
+pub use topk::TopkResult;
 pub use usim::{usim_approx, usim_approx_explained, usim_exact};

@@ -131,6 +131,12 @@ impl PebbleOrder {
         self.freq.get(&key).copied().unwrap_or(0)
     }
 
+    /// Heap footprint in bytes (length-based: one entry's payload per
+    /// distinct key, deterministic across map capacities).
+    pub fn memory_bytes(&self) -> usize {
+        self.freq.len() * std::mem::size_of::<(PebbleKey, u32)>()
+    }
+
     /// Sort a record's pebbles ascending by `(frequency, key, seg,
     /// measure)` — the paper's "global order" with deterministic ties.
     pub fn sort(&self, pebbles: &mut [Pebble]) {

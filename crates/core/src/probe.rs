@@ -21,9 +21,7 @@
 //! dispersion, extrapolate the iterations the stopping rule (Ineq. 24)
 //! would need, and pick the `p` minimising predicted total time.
 
-use crate::config::SimConfig;
 use crate::estimate::{draw_sample_pair, estimate_from_counts, CostModel};
-use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use crate::stats::OnlineStats;
 use au_text::record::Corpus;
@@ -44,7 +42,7 @@ pub struct ProbePoint {
     pub predicted_total: Duration,
 }
 
-/// Result of [`tune_sampling_probability`].
+/// Result of [`crate::engine::Engine::probe`].
 #[derive(Debug, Clone)]
 pub struct ProbeOutcome {
     /// The recommended probability.
@@ -53,41 +51,9 @@ pub struct ProbeOutcome {
     pub points: Vec<ProbePoint>,
 }
 
-/// Pick a sampling probability from `candidates` by pilot extrapolation.
-///
-/// `pilot_iters` controls the pilot length per candidate (≥ 2 needed for a
-/// variance estimate; 5–8 is plenty). Deterministic given `seed`.
-#[allow(clippy::too_many_arguments)]
-#[deprecated(note = "use Engine::probe on prepared corpora")]
-pub fn tune_sampling_probability(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    theta: f64,
-    model: &CostModel,
-    candidates: &[f64],
-    universe: &[u32],
-    pilot_iters: usize,
-    seed: u64,
-) -> ProbeOutcome {
-    assert!(!candidates.is_empty() && !universe.is_empty());
-    probe_loop(
-        s,
-        t,
-        model,
-        candidates,
-        universe,
-        pilot_iters,
-        seed,
-        |a, b, f| crate::estimate::filter_counts_impl(kn, cfg, a, b, theta, f),
-    )
-}
-
 /// The pilot loop with the per-sample counting step abstracted out (see
 /// [`crate::suggest::suggest_loop`] for the rationale — the session API
-/// counts through prepared state, the legacy function through a raw
-/// knowledge context, and the loop must not fork).
+/// counts through prepared state, and the loop must not fork).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn probe_loop(
     s: &Corpus,
@@ -145,10 +111,38 @@ pub(crate) fn probe_loop(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
-    use crate::knowledge::KnowledgeBuilder;
+    use crate::config::SimConfig;
+    use crate::engine::{Engine, ProbeSpec};
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
+
+    /// Sampling-probability tuning through the session API (prepares
+    /// fresh state per call, like the removed free function used to).
+    #[allow(clippy::too_many_arguments)]
+    fn tune_sampling_probability(
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        s: &Corpus,
+        t: &Corpus,
+        theta: f64,
+        model: &CostModel,
+        candidates: &[f64],
+        universe: &[u32],
+        pilot_iters: usize,
+        seed: u64,
+    ) -> ProbeOutcome {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let ps = engine.prepare(s).expect("prepare S");
+        let pt = engine.prepare(t).expect("prepare T");
+        let spec = ProbeSpec {
+            candidates: candidates.to_vec(),
+            universe: universe.to_vec(),
+            pilot_iters,
+            seed,
+        };
+        engine.probe(&ps, &pt, theta, model, &spec).expect("probe")
+    }
 
     fn setup(n: usize) -> (Knowledge, Corpus, Corpus) {
         let mut b = KnowledgeBuilder::new();

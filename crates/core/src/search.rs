@@ -3,9 +3,10 @@
 //! Joins (Algorithms 3/6) amortise signature selection and index
 //! construction over both collections; many applications instead hold one
 //! collection fixed (a product catalogue, a gazetteer, a keyword
-//! dictionary) and look up strings one at a time. [`SearchIndex`] builds
-//! the indexed side once — segmentation, pebbles, global frequency order,
-//! signature prefixes, inverted index — and answers queries with the same
+//! dictionary) and look up strings one at a time.
+//! [`crate::engine::Engine::searcher`] builds the indexed side once —
+//! segmentation, pebbles, global frequency order, signature prefixes,
+//! inverted index — and answers queries with the same
 //! filter-and-verification guarantee as the join: every record with
 //! `USIM(query, record) ≥ θ` is returned (Lemmas 1 and 2 are symmetric in
 //! the two strings, so a fresh query signature selected under the same
@@ -18,86 +19,14 @@
 //! consistent total order — `(frequency, key)` is one.
 
 use crate::config::SimConfig;
-use crate::index::{CsrIndex, OverlapCounter, RecordKeys};
-use crate::join::{prepare_corpus, JoinOptions, PreparedCorpus};
+use crate::index::{CsrIndex, OverlapCounter};
+use crate::join::JoinOptions;
 use crate::knowledge::Knowledge;
-use crate::pebble::{generate_pebbles, Pebble, PebbleKey, PebbleOrder};
+use crate::pebble::{generate_pebbles, PebbleKey, PebbleOrder};
 
 use crate::signature::select_signature;
 use crate::usim::{Verifier, VerifyScratch};
-use au_text::record::Corpus;
-use au_text::{ScratchVocab, TokenId};
 use std::sync::Mutex;
-
-/// A similarity-search index over one string collection.
-///
-/// Build once with [`SearchIndex::build`], query many times with
-/// [`SearchIndex::query`] / [`SearchIndex::query_tokens`].
-///
-/// # Examples
-///
-/// ```
-/// use au_core::join::JoinOptions;
-/// use au_core::{KnowledgeBuilder, SearchIndex, SimConfig};
-///
-/// let mut kb = KnowledgeBuilder::new();
-/// kb.synonym("coffee shop", "cafe", 1.0);
-/// let mut kn = kb.build();
-/// let gazetteer = kn.corpus_from_lines(["espresso cafe helsinki", "tea house"]);
-///
-/// let cfg = SimConfig::default();
-/// let index = SearchIndex::build(&kn, &cfg, &gazetteer, &JoinOptions::au_dp(0.6, 2));
-/// let hits = index.query(&kn, "espresso coffee shop helsinki");
-/// assert_eq!(hits.matches[0].0, 0); // record 0 matches via the synonym rule
-/// ```
-#[derive(Debug)]
-pub struct SearchIndex {
-    cfg: SimConfig,
-    opts: JoinOptions,
-    prep: PreparedCorpus,
-    order: PebbleOrder,
-    /// Flattened CSR postings over the collection's signatures.
-    index: CsrIndex,
-    /// Mean distinct-signature length (cached from the build-time key sets).
-    avg_sig_len: f64,
-    /// Per-record guarantee levels (see `signature::guarantee_level`).
-    levels: Vec<u32>,
-    /// Probe scratch, collection-sized and epoch-reset, shared across
-    /// queries so a query allocates nothing proportional to the index
-    /// (concurrent queries briefly serialise on the counting step only;
-    /// verification, the expensive part, stays outside the lock).
-    counter: Mutex<OverlapCounter>,
-    /// Pool of tiered-verification scratches reused across queries so the
-    /// cross-candidate `msim` memo warms over the query *stream* instead
-    /// of being rebuilt per query. The lock is held only to check a
-    /// scratch out/in — verification, the expensive part, stays outside
-    /// it (same rule as `counter`), so concurrent queries never
-    /// serialise; the pool grows to the peak query concurrency.
-    scratch_pool: Mutex<Vec<VerifyScratch>>,
-    /// Query-side overlay for out-of-vocabulary tokens, so raw-string
-    /// queries no longer intern into (and therefore no longer need `&mut`
-    /// on) the shared knowledge context. Overlay ids are stable for the
-    /// index's lifetime, keeping the scratch pool's cross-candidate memo
-    /// sound across queries.
-    scratch_vocab: Mutex<ScratchVocab>,
-}
-
-impl Clone for SearchIndex {
-    fn clone(&self) -> Self {
-        Self {
-            cfg: self.cfg,
-            opts: self.opts,
-            prep: self.prep.clone(),
-            order: self.order.clone(),
-            index: self.index.clone(),
-            avg_sig_len: self.avg_sig_len,
-            levels: self.levels.clone(),
-            counter: Mutex::new(OverlapCounter::new(self.index.record_count())),
-            scratch_pool: Mutex::new(Vec::new()),
-            scratch_vocab: Mutex::new(ScratchVocab::new()),
-        }
-    }
-}
 
 /// One query's outcome with filtering statistics.
 #[derive(Debug, Clone, Default)]
@@ -111,124 +40,8 @@ pub struct SearchOutcome {
     pub processed: u64,
 }
 
-impl SearchIndex {
-    /// Index `corpus` for queries at the threshold/filter in `opts`.
-    ///
-    /// The θ and τ of `opts` are fixed at build time: signature prefixes
-    /// are θ-dependent, so querying at a lower θ than the index was built
-    /// for would lose completeness. (Queries at a *higher* θ remain
-    /// complete — the signatures only get more conservative — but
-    /// [`SearchIndex::query`] intentionally keeps one θ to avoid misuse.)
-    #[deprecated(note = "use Engine::searcher on a prepared corpus")]
-    pub fn build(kn: &Knowledge, cfg: &SimConfig, corpus: &Corpus, opts: &JoinOptions) -> Self {
-        let mut prep = prepare_corpus(kn, cfg, corpus);
-        let order = PebbleOrder::build(prep.pebbles.iter().map(|v| v.as_slice()));
-        for p in prep.pebbles.iter_mut() {
-            order.sort(p);
-        }
-        let choices: Vec<_> = prep
-            .segrecs
-            .iter()
-            .zip(&prep.pebbles)
-            .map(|(sr, p)| select_signature(sr, p, opts.filter, opts.theta, cfg.eps, opts.mp_mode))
-            .collect();
-        let sigs: Vec<&[Pebble]> = prep
-            .pebbles
-            .iter()
-            .zip(&choices)
-            .map(|(p, c)| &p[..c.len])
-            .collect();
-        let record_keys = RecordKeys::build(&sigs, opts.parallel);
-        let index = CsrIndex::from_record_keys(&record_keys);
-        let counter = Mutex::new(OverlapCounter::new(index.record_count()));
-        Self {
-            cfg: *cfg,
-            opts: *opts,
-            prep,
-            order,
-            index,
-            avg_sig_len: record_keys.avg_sig_len(),
-            levels: choices.iter().map(|c| c.level).collect(),
-            counter,
-            scratch_pool: Mutex::new(Vec::new()),
-            scratch_vocab: Mutex::new(ScratchVocab::new()),
-        }
-    }
-
-    /// Number of indexed records.
-    pub fn len(&self) -> usize {
-        self.prep.len()
-    }
-
-    /// True when the index holds no records.
-    pub fn is_empty(&self) -> bool {
-        self.prep.is_empty()
-    }
-
-    /// The threshold θ the index was built for.
-    pub fn theta(&self) -> f64 {
-        self.opts.theta
-    }
-
-    /// Mean signature length of the indexed records.
-    pub fn avg_sig_len(&self) -> f64 {
-        self.avg_sig_len
-    }
-
-    /// Query with a raw string. Out-of-vocabulary tokens are interned
-    /// into an index-private [`ScratchVocab`] overlay (ids stable for the
-    /// index's lifetime), so querying never mutates the shared knowledge
-    /// context; for a read-only hot path pre-tokenise once and call
-    /// [`SearchIndex::query_tokens`].
-    pub fn query(&self, kn: &Knowledge, text: &str) -> SearchOutcome {
-        let toks = au_text::tokenize::tokenize(text, &kn.tokenize);
-        // Lock the overlay for interning + snapshot only; segmentation
-        // runs outside it (see `au_text::ScratchVocab::snapshot`).
-        let (ids, snap) = {
-            let mut scratch = self.scratch_vocab.lock().expect("search scratch poisoned");
-            let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
-            let snap = scratch.snapshot(&ids);
-            (ids, snap)
-        };
-        let sr = crate::segment::segment_record_with(kn, &self.cfg, &ids, &|span| {
-            snap.join(&kn.vocab, span)
-        });
-        run_query(&self.query_env(kn), &sr)
-    }
-
-    /// Query with a pre-tokenised string: returns every indexed record
-    /// whose unified similarity with the query is at least the build-time
-    /// θ.
-    pub fn query_tokens(&self, kn: &Knowledge, tokens: &[TokenId]) -> SearchOutcome {
-        let snap = self
-            .scratch_vocab
-            .lock()
-            .expect("search scratch poisoned")
-            .snapshot(tokens);
-        let sr = crate::segment::segment_record_with(kn, &self.cfg, tokens, &|span| {
-            snap.join(&kn.vocab, span)
-        });
-        run_query(&self.query_env(kn), &sr)
-    }
-
-    fn query_env<'a>(&'a self, kn: &'a Knowledge) -> QueryEnv<'a> {
-        QueryEnv {
-            kn,
-            cfg: &self.cfg,
-            opts: &self.opts,
-            segrecs: &self.prep.segrecs,
-            order: &self.order,
-            levels: &self.levels,
-            index: &self.index,
-            counter: &self.counter,
-            pool: &self.scratch_pool,
-        }
-    }
-}
-
-/// Everything one query evaluation needs, borrowed from whichever session
-/// owns the artifacts ([`SearchIndex`] here, [`crate::engine::Searcher`]
-/// in the session API).
+/// Everything one query evaluation needs, borrowed from the session that
+/// owns the artifacts ([`crate::engine::Searcher`]).
 #[derive(Debug)]
 pub(crate) struct QueryEnv<'a> {
     pub kn: &'a Knowledge,
@@ -244,7 +57,7 @@ pub(crate) struct QueryEnv<'a> {
 
 /// One query against a prepared collection: signature selection for the
 /// query record, CSR overlap probe, tiered verification. The single
-/// audited implementation behind both search front ends.
+/// audited implementation behind the search front end.
 pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> SearchOutcome {
     let mut pebbles = generate_pebbles(env.kn, env.cfg, sr);
     env.order.sort(&mut pebbles);
@@ -321,12 +134,13 @@ pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> S
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
-    use super::*;
-    use crate::join::{brute_force_join, join, JoinOptions};
-    use crate::knowledge::KnowledgeBuilder;
+    use crate::config::SimConfig;
+    use crate::engine::{Engine, JoinSpec};
+    use crate::join::brute_force_join;
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
     use crate::signature::FilterKind;
+    use au_text::record::Corpus;
 
     fn setup() -> (Knowledge, Corpus) {
         let mut b = KnowledgeBuilder::new();
@@ -348,8 +162,12 @@ mod tests {
     fn query_finds_figure1_record() {
         let (kn, t) = setup();
         let cfg = SimConfig::default();
-        let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.7, 2));
-        let out = idx.query(&kn, "coffee shop latte Helsingki");
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let pt = engine.prepare(&t).expect("prepare");
+        let searcher = engine
+            .searcher(&pt, &JoinSpec::threshold(0.7).au_dp(2))
+            .expect("searcher");
+        let out = searcher.query("coffee shop latte Helsingki");
         assert!(
             out.matches.iter().any(|&(rid, _)| rid == 0),
             "expected record 0, got {:?}",
@@ -372,21 +190,20 @@ mod tests {
             "unrelated words entirely",
         ];
         let s = kn.corpus_from_lines(queries);
+        let engine = Engine::new(kn.clone(), cfg).expect("valid config");
+        let pt = engine.prepare(&t).expect("prepare");
         for theta in [0.5, 0.7, 0.9] {
             for filter in [
                 FilterKind::UFilter,
                 FilterKind::AuHeuristic { tau: 2 },
                 FilterKind::AuDp { tau: 2 },
             ] {
-                let opts = JoinOptions {
-                    theta,
-                    filter,
-                    ..JoinOptions::u_filter(theta)
-                };
-                let idx = SearchIndex::build(&kn, &cfg, &t, &opts);
+                let searcher = engine
+                    .searcher(&pt, &JoinSpec::threshold(theta).filter(filter))
+                    .expect("searcher");
                 let oracle = brute_force_join(&kn, &cfg, &s, &t, theta);
                 for (qi, _) in queries.iter().enumerate() {
-                    let out = idx.query_tokens(&kn, &s.get(au_text::RecordId(qi as u32)).tokens);
+                    let out = searcher.query_tokens(&s.get(au_text::RecordId(qi as u32)).tokens);
                     let mut got: Vec<u32> = out.matches.iter().map(|&(r, _)| r).collect();
                     got.sort_unstable();
                     let want: Vec<u32> = oracle
@@ -406,11 +223,14 @@ mod tests {
         let cfg = SimConfig::default();
         let queries = ["espresso cafe helsinki", "latte north", "tea cake shop"];
         let s = kn.corpus_from_lines(queries);
-        let opts = JoinOptions::au_dp(0.6, 2);
-        let joined = join(&kn, &cfg, &s, &t, &opts);
-        let idx = SearchIndex::build(&kn, &cfg, &t, &opts);
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
+        let spec = JoinSpec::threshold(0.6).au_dp(2);
+        let joined = engine.join(&ps, &pt, &spec).expect("join");
+        let searcher = engine.searcher(&pt, &spec).expect("searcher");
         for qi in 0..queries.len() as u32 {
-            let out = idx.query_tokens(&kn, &s.get(au_text::RecordId(qi)).tokens);
+            let out = searcher.query_tokens(&s.get(au_text::RecordId(qi)).tokens);
             let mut got: Vec<u32> = out.matches.iter().map(|&(r, _)| r).collect();
             got.sort_unstable();
             let want: Vec<u32> = joined
@@ -427,12 +247,16 @@ mod tests {
     fn unknown_tokens_still_match_by_grams() {
         let (kn, t) = setup();
         let cfg = SimConfig::default();
-        let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.6, 1));
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let pt = engine.prepare(&t).expect("prepare");
+        let searcher = engine
+            .searcher(&pt, &JoinSpec::threshold(0.6).au_dp(1))
+            .expect("searcher");
         // "helsinky" is not in the vocabulary yet; it should still match
         // "helsinki" (and hence record 0) through shared grams... at the
         // record level the single-token query compares against 3-token
         // records, so use a full-length query.
-        let out = idx.query(&kn, "espresso cafe helsinky");
+        let out = searcher.query("espresso cafe helsinky");
         assert!(
             out.matches.iter().any(|&(rid, _)| rid == 0),
             "got {:?}",
@@ -444,8 +268,12 @@ mod tests {
     fn empty_query_matches_nothing() {
         let (kn, t) = setup();
         let cfg = SimConfig::default();
-        let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.7, 2));
-        let out = idx.query(&kn, "");
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let pt = engine.prepare(&t).expect("prepare");
+        let searcher = engine
+            .searcher(&pt, &JoinSpec::threshold(0.7).au_dp(2))
+            .expect("searcher");
+        let out = searcher.query("");
         assert!(out.matches.is_empty());
         assert_eq!(out.candidates, 0);
     }
@@ -455,9 +283,12 @@ mod tests {
         let (kn, _) = setup();
         let cfg = SimConfig::default();
         let empty = Corpus::new();
-        let idx = SearchIndex::build(&kn, &cfg, &empty, &JoinOptions::u_filter(0.8));
-        assert!(idx.is_empty());
-        let out = idx.query(&kn, "espresso cafe");
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let pe = engine.prepare(&empty).expect("prepare empty");
+        let searcher = engine
+            .searcher(&pe, &JoinSpec::threshold(0.8).u_filter())
+            .expect("searcher");
+        let out = searcher.query("espresso cafe");
         assert!(out.matches.is_empty());
     }
 
@@ -465,8 +296,12 @@ mod tests {
     fn results_sorted_by_similarity() {
         let (kn, t) = setup();
         let cfg = SimConfig::default();
-        let idx = SearchIndex::build(&kn, &cfg, &t, &JoinOptions::au_dp(0.3, 1));
-        let out = idx.query(&kn, "espresso cafe helsinki");
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let pt = engine.prepare(&t).expect("prepare");
+        let searcher = engine
+            .searcher(&pt, &JoinSpec::threshold(0.3).au_dp(1))
+            .expect("searcher");
+        let out = searcher.query("espresso cafe helsinki");
         assert!(!out.matches.is_empty());
         for w in out.matches.windows(2) {
             assert!(w[0].1 >= w[1].1 - 1e-12);

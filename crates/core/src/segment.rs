@@ -131,6 +131,29 @@ impl SegRecord {
     pub fn n_tokens(&self) -> usize {
         self.tokens.len()
     }
+
+    /// Deep heap footprint in bytes (length-based, so the figure is
+    /// deterministic across allocator growth policies). Counts every
+    /// owned buffer plus each segment's share; `Arc<str>` text is counted
+    /// once here even when the explanation path later shares it.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<Self>();
+        total += self.tokens.len() * size_of::<TokenId>();
+        total += self.multi_intervals.len() * size_of::<(usize, usize)>();
+        total += self.intervals_by_end.memory_bytes();
+        total += self.gram_posts.len() * size_of::<(u64, u32)>();
+        total += self.rule_posts.len() * size_of::<(u32, u32)>();
+        total += self.node_segs.len() * size_of::<u32>();
+        total += self.key_posts.len() * size_of::<(u64, u32)>();
+        for seg in &self.segments {
+            total += size_of::<Segment>();
+            total += seg.rules.len() * size_of::<RuleId>();
+            total += seg.grams.len() * size_of::<u64>();
+            total += seg.text.len();
+        }
+        total
+    }
 }
 
 /// Enumerate all well-defined segments of `tokens` under `cfg.measures`.
@@ -157,7 +180,6 @@ pub fn segment_record_with(
     join_span: &dyn Fn(&[TokenId]) -> String,
 ) -> SegRecord {
     let n = tokens.len();
-    let max_span = kn.max_segment_span().min(n.max(1));
     let want_gram = cfg.measures.contains(MeasureSet::J);
     let want_syn = cfg.measures.contains(MeasureSet::S);
     let want_tax = cfg.measures.contains(MeasureSet::T);
@@ -172,26 +194,12 @@ pub fn segment_record_with(
         ));
     }
     // Multi-token spans up to the knowledge base's longest phrase.
-    for len in 2..=max_span {
-        if len > n {
-            break;
-        }
-        for start in 0..=n - len {
-            let span = &tokens[start..start + len];
-            let Some(phrase) = kn.phrases.get(span) else {
-                continue;
-            };
-            let is_rule_side = want_syn && kn.synonyms.is_side(phrase);
-            let is_entity = want_tax && kn.entities.lookup(phrase).is_some();
-            if !is_rule_side && !is_entity {
-                continue;
-            }
-            segments.push(make_segment(
-                kn, cfg, tokens, start, len, want_gram, want_syn, want_tax, join_span,
-            ));
-            multi_intervals.push((start, len));
-        }
-    }
+    scan_multi_spans(kn, tokens, want_syn, want_tax, &mut |start, len| {
+        segments.push(make_segment(
+            kn, cfg, tokens, start, len, want_gram, want_syn, want_tax, join_span,
+        ));
+        multi_intervals.push((start, len));
+    });
     let mp = min_partition(n, &multi_intervals);
     let mut gram_posts = Vec::new();
     let mut rule_posts = Vec::new();
@@ -220,6 +228,55 @@ pub fn segment_record_with(
         node_segs,
         key_posts,
     }
+}
+
+/// The one multi-token span scan, shared by [`segment_record_with`] and
+/// [`segment_stats`]: visit every well-defined multi-token interval
+/// `(start, len)` of `tokens` in the canonical order (by length, then by
+/// position). Sharing the scan is what guarantees the lean stats pass and
+/// the full segmentation agree on `MP` exactly.
+fn scan_multi_spans(
+    kn: &Knowledge,
+    tokens: &[TokenId],
+    want_syn: bool,
+    want_tax: bool,
+    on_span: &mut dyn FnMut(usize, usize),
+) {
+    let n = tokens.len();
+    let max_span = kn.max_segment_span().min(n.max(1));
+    for len in 2..=max_span {
+        if len > n {
+            break;
+        }
+        for start in 0..=n - len {
+            let span = &tokens[start..start + len];
+            let Some(phrase) = kn.phrases.get(span) else {
+                continue;
+            };
+            let is_rule_side = want_syn && kn.synonyms.is_side(phrase);
+            let is_entity = want_tax && kn.entities.lookup(phrase).is_some();
+            if !is_rule_side && !is_entity {
+                continue;
+            }
+            on_span(start, len);
+        }
+    }
+}
+
+/// The tier-0 integers `(|S|, MP(S))` of a record, computed without
+/// building anything else: no gram hashing, no surface text, no posting
+/// tables — just the multi-span scan plus the min-partition DP. This is
+/// what lets [`crate::engine::Engine::prepare_sharded`] plan a shard
+/// layout over a corpus far larger than any full prepare could hold.
+pub fn segment_stats(kn: &Knowledge, cfg: &SimConfig, tokens: &[TokenId]) -> (u32, u32) {
+    let want_syn = cfg.measures.contains(MeasureSet::S);
+    let want_tax = cfg.measures.contains(MeasureSet::T);
+    let mut multi_intervals = Vec::new();
+    scan_multi_spans(kn, tokens, want_syn, want_tax, &mut |start, len| {
+        multi_intervals.push((start, len));
+    });
+    let n = tokens.len();
+    (n as u32, min_partition(n, &multi_intervals))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -373,6 +430,48 @@ mod tests {
         assert!(!latte.overlaps(coffee_shop));
         assert!(!coffee.overlaps(shop));
         assert!(coffee.overlaps(coffee));
+    }
+
+    #[test]
+    fn segment_stats_agrees_with_full_segmentation() {
+        let mut kn = kn_figure1();
+        let ids: Vec<_> = [
+            "coffee shop latte Helsingki",
+            "hot coffee drinks here",
+            "espresso cafe Helsinki",
+            "tea house",
+            "",
+        ]
+        .iter()
+        .map(|line| kn.add_record(line))
+        .collect();
+        for cfg in [
+            SimConfig::default(),
+            SimConfig::default().with_measures(MeasureSet::J),
+            SimConfig::default().with_measures(MeasureSet::S.with(MeasureSet::T)),
+        ] {
+            for &id in &ids {
+                let toks = kn.record(id).tokens.clone();
+                let sr = segment_record(&kn, &cfg, &toks);
+                let (n, mp) = segment_stats(&kn, &cfg, &toks);
+                assert_eq!(n as usize, sr.n_tokens());
+                assert_eq!(mp, sr.min_partition);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_counts_owned_buffers() {
+        let mut kn = kn_figure1();
+        let id = kn.add_record("coffee shop latte Helsingki");
+        let cfg = SimConfig::default();
+        let sr = segment_record(&kn, &cfg, &kn.record(id).tokens);
+        let bytes = sr.memory_bytes();
+        assert!(bytes > std::mem::size_of::<SegRecord>());
+        // Deterministic: same record, same figure.
+        assert_eq!(bytes, sr.clone().memory_bytes());
+        let empty = segment_record(&kn, &cfg, &[]);
+        assert!(empty.memory_bytes() < bytes);
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Length-partitioned shard plans: memory-lean joins for large corpora.
+//!
+//! PASS-JOIN partitions strings by length so only length-compatible
+//! partitions are ever compared. This module adapts the idea to the
+//! unified similarity: the verifier's tier-0 record bound
+//!
+//! ```text
+//! USIM(S, T) ≤ min(|S|, |T|) / max(MP(S), MP(T))
+//! ```
+//!
+//! depends only on two integers per record — the token count and the
+//! exact minimum partition size — which a lean stats pass
+//! ([`crate::segment::segment_stats`]) computes without gram hashing,
+//! surface text or posting tables. A [`ShardPlan`] sorts records by token
+//! count and splits them into contiguous shards; per shard it keeps the
+//! maximum length `lmax` and minimum partition floor `mpmin`, and for any
+//! two shards `A`, `B` the **shard-pair bound**
+//!
+//! ```text
+//! ub(A, B) = min(lmax_A, lmax_B) / max(mpmin_A, mpmin_B)
+//! ```
+//!
+//! dominates the tier-0 bound of every record pair drawn from them
+//! (`min(|S|,|T|) ≤ min(lmax_A, lmax_B)` and
+//! `max(MP(S),MP(T)) ≥ max(mpmin_A, mpmin_B)`), so a θ-join may skip the
+//! whole shard pair whenever `ub(A, B) < θ − ε`: no record pair across it
+//! can verify at θ. The join over the remaining shard-pair tasks is a
+//! partition of the full cross product, so results are exactly the
+//! monolithic join's (`tests/shard_equivalence.rs` pins them bitwise).
+//!
+//! Two ways to shard:
+//!
+//! * [`crate::engine::JoinSpec::sharded`] — slice an existing
+//!   [`crate::engine::Prepared`] at join time (segmentation reused, only
+//!   the per-shard order/signature/CSR artifacts are built, at most a few
+//!   shards' worth at a time).
+//! * [`crate::engine::Engine::prepare_sharded`] — the memory-lean path
+//!   for corpora too large to prepare whole: only the tier-0 integers are
+//!   computed up front, and each shard is segmented on demand inside a
+//!   bounded LRU cache ([`ShardedPrepared::peak_memory_bytes`] reports
+//!   the high-water mark, a small fraction of a whole-corpus prepare).
+
+use crate::config::SimConfig;
+use crate::engine::Prepared;
+use crate::error::AuError;
+use au_text::record::Corpus;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// How a corpus should be sharded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of length-ordered shards (0 = choose automatically from the
+    /// corpus size, [`ShardPlan::auto_shard_count`]).
+    pub shards: usize,
+    /// Shards kept segmented at once by the lazy path (0 = default 3;
+    /// clamped to ≥ 2 — a cross-shard task needs both sides live).
+    pub cache_capacity: usize,
+}
+
+impl ShardSpec {
+    /// Automatic shard count and default cache capacity.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Exactly `shards` shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Keep up to `cap` shards segmented at once on the lazy path.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    pub(crate) fn effective_cache_capacity(&self) -> usize {
+        if self.cache_capacity == 0 {
+            3
+        } else {
+            self.cache_capacity.max(2)
+        }
+    }
+}
+
+/// One shard: a set of record ids with the aggregates the shard-pair
+/// bound needs.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// Global record ids, ascending. Local id `i` inside any per-shard
+    /// artifact maps to global id `ids[i]`; because the ids ascend, local
+    /// order agrees with global order (self-join orientation is
+    /// preserved).
+    ids: Vec<u32>,
+    len_min: u32,
+    len_max: u32,
+    mp_min: u32,
+}
+
+impl ShardInfo {
+    /// Global record ids (ascending).
+    pub fn records(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the shard holds no records (never produced by
+    /// [`ShardPlan::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Token-count range `[len_min, len_max]` of the shard's records.
+    pub fn len_range(&self) -> (u32, u32) {
+        (self.len_min, self.len_max)
+    }
+
+    /// Smallest exact minimum-partition value in the shard.
+    pub fn mp_min(&self) -> u32 {
+        self.mp_min
+    }
+}
+
+/// Upper bound on `USIM(S, T)` over every record pair `S ∈ a`, `T ∈ b`.
+///
+/// Dominates the per-pair tier-0 bound: `min(|S|,|T|)` never exceeds
+/// `min(lmax_a, lmax_b)` and `max(MP(S),MP(T))` never undercuts
+/// `max(mpmin_a, mpmin_b)` (clamped to ≥ 1: empty records have `MP = 0`,
+/// but they carry no pebbles, so no join path ever emits them — the
+/// clamp only keeps the division defined).
+pub fn shard_pair_bound(a: &ShardInfo, b: &ShardInfo) -> f64 {
+    let lmax = a.len_max.min(b.len_max);
+    let mp = a.mp_min.max(b.mp_min).max(1);
+    lmax as f64 / mp as f64
+}
+
+/// May a θ-join skip the shard pair entirely? Mirrors the verifier's
+/// acceptance test `sim ≥ θ − ε`: a pair is skippable only when even its
+/// bound falls below that.
+pub fn shard_pair_compatible(a: &ShardInfo, b: &ShardInfo, theta: f64, eps: f64) -> bool {
+    shard_pair_bound(a, b) >= theta - eps
+}
+
+/// A length-ordered partition of one corpus into shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<ShardInfo>,
+    n_records: usize,
+}
+
+impl ShardPlan {
+    /// Default shard count for an `n`-record corpus: one shard per ~4096
+    /// records, at least 8, at most 64 (small corpora still exercise the
+    /// sharded executor; huge corpora keep per-shard artifacts a small
+    /// fraction of the whole).
+    pub fn auto_shard_count(n: usize) -> usize {
+        (n / 4096).clamp(8, 64)
+    }
+
+    /// Partition `tier0` (the per-record `(|S|, MP(S))` integers, indexed
+    /// by record id) into `shards` near-equal contiguous ranges of the
+    /// length-sorted record list. Empty chunks are dropped, so every
+    /// shard is non-empty and the plan may hold fewer shards than asked
+    /// for (at most one per record).
+    pub fn build(tier0: &[(u32, u32)], shards: usize) -> Self {
+        let n = tier0.len();
+        let g = shards.max(1).min(n.max(1));
+        let mut by_len: Vec<u32> = (0..n as u32).collect();
+        by_len.sort_unstable_by_key(|&i| (tier0[i as usize].0, i));
+        let base = n / g;
+        let extra = n % g;
+        let mut out = Vec::with_capacity(g);
+        let mut cursor = 0usize;
+        for k in 0..g {
+            let size = base + usize::from(k < extra);
+            if size == 0 {
+                continue;
+            }
+            let mut ids: Vec<u32> = by_len[cursor..cursor + size].to_vec();
+            cursor += size;
+            let len_min = tier0[ids[0] as usize].0;
+            let len_max = tier0[ids[size - 1] as usize].0;
+            let mp_min = ids
+                .iter()
+                .map(|&i| tier0[i as usize].1)
+                .min()
+                .expect("non-empty shard");
+            ids.sort_unstable();
+            out.push(ShardInfo {
+                ids,
+                len_min,
+                len_max,
+                mp_min,
+            });
+        }
+        Self {
+            shards: out,
+            n_records: n,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the plan covers no records.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Records covered by the plan.
+    pub fn record_count(&self) -> usize {
+        self.n_records
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &ShardInfo {
+        &self.shards[i]
+    }
+
+    /// Iterate the shards in length order.
+    pub fn iter(&self) -> impl Iterator<Item = &ShardInfo> {
+        self.shards.iter()
+    }
+
+    /// Shard-pair pruning census for a join at `theta`: `(run, pruned)`
+    /// task counts. `other = None` is the self-join census over unordered
+    /// shard pairs `(i, j ≥ i)` of this plan; `Some(t)` the R×S census
+    /// over this plan's shards × `t`'s shards.
+    pub fn prune_census(&self, other: Option<&ShardPlan>, theta: f64, eps: f64) -> (usize, usize) {
+        let mut run = 0usize;
+        let mut pruned = 0usize;
+        match other {
+            None => {
+                for i in 0..self.shards.len() {
+                    for j in i..self.shards.len() {
+                        if shard_pair_compatible(&self.shards[i], &self.shards[j], theta, eps) {
+                            run += 1;
+                        } else {
+                            pruned += 1;
+                        }
+                    }
+                }
+            }
+            Some(t) => {
+                for a in &self.shards {
+                    for b in &t.shards {
+                        if shard_pair_compatible(a, b, theta, eps) {
+                            run += 1;
+                        } else {
+                            pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (run, pruned)
+    }
+}
+
+/// Bounded LRU of segmented shards plus the peak-memory high-water mark.
+/// Front of the deque is most recently used.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCache {
+    entries: VecDeque<(usize, Arc<Prepared>)>,
+    peak_bytes: usize,
+    builds: u64,
+    hits: u64,
+}
+
+impl ShardCache {
+    /// Fetch shard `idx`, building (and caching) it on a miss. `cap`
+    /// bounds how many segmented shards stay live; the peak accounting
+    /// re-measures every cached shard on each touch, so memo growth
+    /// during join tasks is captured before eviction drops it.
+    pub(crate) fn get_or_build(
+        &mut self,
+        idx: usize,
+        cap: usize,
+        build: impl FnOnce() -> Result<Prepared, AuError>,
+    ) -> Result<Arc<Prepared>, AuError> {
+        if let Some(pos) = self.entries.iter().position(|(i, _)| *i == idx) {
+            let entry = self.entries.remove(pos).expect("position just found");
+            self.entries.push_front(entry);
+            self.hits += 1;
+            let arc = self.entries.front().expect("just pushed").1.clone();
+            self.note_usage();
+            return Ok(arc);
+        }
+        let p = Arc::new(build()?);
+        self.builds += 1;
+        self.entries.push_front((idx, p.clone()));
+        self.note_usage();
+        while self.entries.len() > cap.max(1) {
+            self.entries.pop_back();
+        }
+        Ok(p)
+    }
+
+    /// Record the current live total against the peak (called on every
+    /// touch and once more when a join finishes, so post-task memo growth
+    /// is never missed).
+    pub(crate) fn note_usage(&mut self) {
+        let total: usize = self.entries.iter().map(|(_, p)| p.memory_bytes()).sum();
+        self.peak_bytes = self.peak_bytes.max(total);
+    }
+
+    /// End-of-task hook for the sharded executors: measure the resident
+    /// set at its fullest — the just-finished task's order/signature/CSR
+    /// memos included — then drop those memos from every cached shard.
+    /// Pair memos are keyed by join partner and every shard pair is
+    /// visited exactly once per join, so no task later in the same join
+    /// could have reused them; without the trim a shard that stays
+    /// cache-resident across a row of tasks accumulates one partner's
+    /// worth of artifacts per task and the "peak ≈ cache/shards of a
+    /// full prepare" claim erodes. (The expensive part of a cached shard
+    /// — its segmentation and posting tables — is exactly what the trim
+    /// keeps.)
+    pub(crate) fn end_task(&mut self) {
+        self.note_usage();
+        for (_, p) in &self.entries {
+            p.clear_memo();
+        }
+    }
+
+    pub(crate) fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    pub(crate) fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// A corpus prepared for sharded joins without ever segmenting it whole:
+/// the tier-0 integers come from the lean stats pass, shards are
+/// segmented on demand into a bounded cache. Create with
+/// [`crate::engine::Engine::prepare_sharded`]; join with
+/// [`crate::engine::Engine::join_self_sharded`] /
+/// [`crate::engine::Engine::join_sharded`].
+#[derive(Debug)]
+pub struct ShardedPrepared {
+    pub(crate) gen: u64,
+    pub(crate) cfg: SimConfig,
+    pub(crate) corpus: Corpus,
+    pub(crate) tier0: Vec<(u32, u32)>,
+    pub(crate) plan: ShardPlan,
+    pub(crate) cache_capacity: usize,
+    pub(crate) cache: Mutex<ShardCache>,
+}
+
+impl ShardedPrepared {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when the corpus has no records.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// The corpus this artifact was planned from.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Knowledge generation this artifact was planned under.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// The length-ordered shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The per-record `(|S|, MP(S))` tier-0 integers (indexed by record
+    /// id) from the lean stats pass — identical to what a full prepare
+    /// caches, at a fraction of the cost.
+    pub fn tier0(&self) -> &[(u32, u32)] {
+        &self.tier0
+    }
+
+    /// High-water mark of segmented-shard bytes held simultaneously
+    /// (deep, length-based accounting via
+    /// [`crate::engine::Prepared::memory_bytes`]). The memory-lean
+    /// claim: with `G` shards and a cache of `c`, this stays near `c/G`
+    /// of a whole-corpus prepare.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("shard cache poisoned")
+            .peak_bytes()
+    }
+
+    /// Shards segmented so far (cache misses; re-builds after eviction
+    /// count again).
+    pub fn shard_builds(&self) -> u64 {
+        self.cache.lock().expect("shard cache poisoned").builds()
+    }
+
+    /// Shard fetches served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.lock().expect("shard cache poisoned").hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// tier0 fixture: record i has i+1 tokens, MP = ceil(len / 2).
+    fn tier0_ramp(n: usize) -> Vec<(u32, u32)> {
+        (0..n as u32)
+            .map(|i| (i + 1, (i + 1).div_ceil(2)))
+            .collect()
+    }
+
+    #[test]
+    fn plan_partitions_all_records_with_sorted_ranges() {
+        let tier0 = tier0_ramp(103);
+        let plan = ShardPlan::build(&tier0, 8);
+        assert_eq!(plan.shard_count(), 8);
+        assert_eq!(plan.record_count(), 103);
+        let mut seen = [false; 103];
+        let mut prev_max = 0u32;
+        for s in plan.iter() {
+            assert!(!s.is_empty());
+            assert!(s.records().windows(2).all(|w| w[0] < w[1]), "ids ascend");
+            let (lo, hi) = s.len_range();
+            assert!(lo <= hi);
+            assert!(lo >= prev_max, "length ranges are ordered");
+            prev_max = hi;
+            for &id in s.records() {
+                assert!(!seen[id as usize], "record {id} in two shards");
+                seen[id as usize] = true;
+                let len = tier0[id as usize].0;
+                assert!(lo <= len && len <= hi);
+                assert!(tier0[id as usize].1 >= s.mp_min());
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "every record in some shard");
+    }
+
+    #[test]
+    fn more_shards_than_records_degrades_to_singletons() {
+        let tier0 = tier0_ramp(3);
+        let plan = ShardPlan::build(&tier0, 16);
+        assert_eq!(plan.shard_count(), 3);
+        assert!(plan.iter().all(|s| s.len() == 1));
+        let empty = ShardPlan::build(&[], 4);
+        assert_eq!(empty.shard_count(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pair_bound_dominates_every_record_pair_bound() {
+        let tier0 = tier0_ramp(60);
+        let plan = ShardPlan::build(&tier0, 6);
+        for i in 0..plan.shard_count() {
+            for j in 0..plan.shard_count() {
+                let (a, b) = (plan.shard(i), plan.shard(j));
+                let ub = shard_pair_bound(a, b);
+                for &x in a.records() {
+                    for &y in b.records() {
+                        let (nx, mx) = tier0[x as usize];
+                        let (ny, my) = tier0[y as usize];
+                        let pair = nx.min(ny) as f64 / mx.max(my).max(1) as f64;
+                        assert!(
+                            ub + 1e-12 >= pair,
+                            "shards ({i},{j}) records ({x},{y}): {ub} < {pair}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn census_counts_all_unordered_pairs() {
+        let tier0 = tier0_ramp(40);
+        let plan = ShardPlan::build(&tier0, 5);
+        let g = plan.shard_count();
+        let (run, pruned) = plan.prune_census(None, 0.9, 1e-9);
+        assert_eq!(run + pruned, g * (g + 1) / 2);
+        // θ = 0 prunes nothing; θ just above every bound prunes all.
+        let (run0, pruned0) = plan.prune_census(None, 0.0, 0.0);
+        assert_eq!((run0, pruned0), (g * (g + 1) / 2, 0));
+        // θ above every shard-pair bound (max possible bound here is
+        // len_max / 1 = 40) prunes every task.
+        let (run1, pruned1) = plan.prune_census(Some(&plan), 41.0, 0.0);
+        assert_eq!((run1, pruned1), (0, g * g));
+    }
+
+    #[test]
+    fn empty_records_do_not_poison_the_bound() {
+        // Two empty records (len 0, MP 0) plus normal ones: the all-empty
+        // shard gets bound 0 (pruned at any positive θ), and mixed pairs
+        // stay finite thanks to the ≥1 clamp.
+        let tier0 = vec![(0, 0), (0, 0), (4, 2), (6, 3)];
+        let plan = ShardPlan::build(&tier0, 2);
+        assert_eq!(plan.shard_count(), 2);
+        let empties = plan.shard(0);
+        assert_eq!(empties.len_range(), (0, 0));
+        assert_eq!(shard_pair_bound(empties, empties), 0.0);
+        assert!(!shard_pair_compatible(empties, plan.shard(1), 0.5, 0.0));
+        assert!(shard_pair_bound(plan.shard(1), plan.shard(1)).is_finite());
+    }
+
+    #[test]
+    fn auto_shard_count_clamps() {
+        assert_eq!(ShardPlan::auto_shard_count(0), 8);
+        assert_eq!(ShardPlan::auto_shard_count(10_000), 8);
+        assert_eq!(ShardPlan::auto_shard_count(120_000), 29);
+        assert_eq!(ShardPlan::auto_shard_count(10_000_000), 64);
+    }
+
+    #[test]
+    fn spec_defaults() {
+        let spec = ShardSpec::auto();
+        assert_eq!(spec.shards, 0);
+        assert_eq!(spec.effective_cache_capacity(), 3);
+        assert_eq!(
+            ShardSpec::auto()
+                .with_cache_capacity(1)
+                .effective_cache_capacity(),
+            2,
+            "cross-shard tasks need both sides live"
+        );
+        assert_eq!(ShardSpec::auto().with_shards(12).shards, 12);
+    }
+}

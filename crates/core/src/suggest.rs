@@ -14,9 +14,7 @@
 //! before drawing the sample; we predict it with the running mean of the
 //! per-iteration totals observed so far.
 
-use crate::config::SimConfig;
 use crate::estimate::{draw_sample_pair, estimate_from_counts, CostModel};
-use crate::knowledge::Knowledge;
 use crate::signature::FilterKind;
 use crate::stats::OnlineStats;
 use au_text::record::Corpus;
@@ -72,30 +70,10 @@ pub struct SuggestOutcome {
     pub elapsed: Duration,
 }
 
-/// Run Algorithm 7 and return the τ minimising the estimated join cost
-/// at threshold `theta`.
-#[deprecated(note = "use Engine::suggest_tau on prepared corpora")]
-pub fn suggest_tau(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    theta: f64,
-    model: &CostModel,
-    sc: &SuggestConfig,
-) -> SuggestOutcome {
-    assert!(!sc.universe.is_empty(), "universe of τ must not be empty");
-    suggest_loop(s, t, model, sc, |a, b, f| {
-        crate::estimate::filter_counts_impl(kn, cfg, a, b, theta, f)
-    })
-}
-
 /// The Algorithm 7 loop with the per-sample counting step abstracted out:
-/// the legacy free function counts via `filter_counts` on a raw knowledge
-/// context, the session API counts through an
-/// [`crate::engine::Engine`]'s prepared state. Both must produce the same
-/// counts for the same sample, so the loop (and its stopping rule) lives
-/// here exactly once.
+/// the session API ([`crate::engine::Engine::suggest_tau`]) counts through
+/// prepared state; the loop (and its stopping rule) lives here exactly
+/// once.
 pub(crate) fn suggest_loop(
     s: &Corpus,
     t: &Corpus,
@@ -171,10 +149,30 @@ pub(crate) fn suggest_loop(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
-    use crate::knowledge::KnowledgeBuilder;
+    use crate::config::SimConfig;
+    use crate::engine::Engine;
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
+
+    /// τ suggestion through the session API (prepares fresh state per
+    /// call, like the removed free function used to).
+    fn suggest_tau(
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        s: &Corpus,
+        t: &Corpus,
+        theta: f64,
+        model: &CostModel,
+        sc: &SuggestConfig,
+    ) -> SuggestOutcome {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let ps = engine.prepare(s).expect("prepare S");
+        let pt = engine.prepare(t).expect("prepare T");
+        engine
+            .suggest_tau(&ps, &pt, theta, model, sc)
+            .expect("suggest")
+    }
 
     fn setup(n: usize) -> (Knowledge, Corpus, Corpus) {
         let mut b = KnowledgeBuilder::new();

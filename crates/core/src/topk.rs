@@ -2,70 +2,29 @@
 //!
 //! Threshold joins require the caller to guess a good θ; exploratory
 //! workloads (data profiling, duplicate triage) instead ask for "the k
-//! most similar pairs". This module answers that with a *threshold
-//! descent*: run the threshold join at a high θ, and while it yields fewer
-//! than `k` pairs, lower θ and rerun. Correctness is immediate from the
-//! threshold join's completeness: once a round at θ returns ≥ k pairs,
-//! every pair it did **not** return has similarity < θ ≤ (k-th best), so
-//! the true top-k are all in hand.
+//! most similar pairs". [`crate::engine::Engine::topk`] answers that with
+//! a *threshold descent*: run the threshold join at a high θ, and while it
+//! yields fewer than `k` pairs, lower θ and rerun. Correctness is
+//! immediate from the threshold join's completeness: once a round at θ
+//! returns ≥ k pairs, every pair it did **not** return has similarity
+//! < θ ≤ (k-th best), so the true top-k are all in hand.
 //!
 //! Cost: corpora are prepared (segmented, pebbled) once; each round redoes
 //! signature selection + filtering + verification at its θ. Rounds form a
 //! geometric-ish schedule, and in practice the last (cheapest-θ) round
 //! dominates, so the total stays within a small factor of a single join at
 //! the final θ — the price of not knowing that θ in advance. Every round
-//! runs through [`join_prepared`] and therefore through the CSR
-//! candidate-generation engine ([`crate::join::candidate_pass`]): the
-//! signature prefixes are θ-dependent and rebuilt per round, but each
-//! round's filtering cost is a flat index build plus dense-counter probes
-//! rather than a per-pair hashmap.
+//! runs through the CSR candidate-generation engine
+//! ([`crate::join::candidate_pass`]): the signature prefixes are
+//! θ-dependent and rebuilt per round, but each round's filtering cost is a
+//! flat index build plus dense-counter probes rather than a per-pair
+//! hashmap.
 //!
 //! Similarities are the Algorithm 1 approximation, like the threshold
 //! join's verification; the ranking is exact with respect to that measure.
 //! Accepted pairs are re-scored with the full (non-early-exit) Algorithm 1
 //! before ranking, because the verifier's early-accept may undershoot the
 //! final value.
-
-use crate::config::SimConfig;
-use crate::join::{join_prepared, prepare_corpus, JoinOptions, PreparedCorpus};
-use crate::knowledge::Knowledge;
-use crate::signature::FilterKind;
-use crate::usim::{Verifier, VerifyScratch};
-use au_text::record::Corpus;
-
-/// Parameters of the top-k descent.
-#[derive(Debug, Clone, Copy)]
-pub struct TopkOptions {
-    /// How many pairs to return.
-    pub k: usize,
-    /// Filter used in every round (its τ applies unchanged).
-    pub filter: FilterKind,
-    /// First-round threshold (default 0.95).
-    pub theta_start: f64,
-    /// θ is never lowered below this floor — pairs less similar than the
-    /// floor are never reported, and the descent stops here even with
-    /// fewer than `k` results (default 0.3; a floor of 0 would degrade the
-    /// final round to a brute-force join).
-    pub theta_floor: f64,
-    /// Subtractive per-round θ step (default 0.1).
-    pub step: f64,
-    /// Parallel verification (as in [`JoinOptions`]).
-    pub parallel: bool,
-}
-
-impl TopkOptions {
-    /// Defaults with AU-Filter (DP) at overlap constraint `tau`.
-    pub fn au_dp(k: usize, tau: u32) -> Self {
-        Self {
-            k,
-            filter: FilterKind::AuDp { tau },
-            theta_start: 0.95,
-            theta_floor: 0.3,
-            step: 0.1,
-            parallel: true,
-        }
-    }
-}
 
 /// Result of a top-k join.
 #[derive(Debug, Clone, Default)]
@@ -80,124 +39,15 @@ pub struct TopkResult {
     pub final_theta: f64,
 }
 
-fn descend(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    sp: &mut PreparedCorpus,
-    tp: &mut Option<PreparedCorpus>,
-    opts: &TopkOptions,
-) -> TopkResult {
-    assert!(
-        opts.theta_floor > 0.0 && opts.theta_start >= opts.theta_floor,
-        "need 0 < theta_floor <= theta_start"
-    );
-    assert!(opts.step > 0.0, "step must be positive");
-    let mut theta = opts.theta_start;
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let jo = JoinOptions {
-            theta,
-            filter: opts.filter,
-            parallel: opts.parallel,
-            ..JoinOptions::u_filter(theta)
-        };
-        let res = join_prepared(kn, cfg, sp, tp, &jo);
-        let done = res.pairs.len() >= opts.k || theta <= opts.theta_floor + cfg.eps;
-        if done {
-            let t_ref: &PreparedCorpus = match tp {
-                Some(t) => t,
-                None => sp,
-            };
-            // Re-scoring shares the join's probe-grouped engine, parallel
-            // path and ordering guarantee (the full-value path equals
-            // `usim_approx_seg` bitwise); accepted pairs arrive sorted by
-            // probe record, so runs group naturally.
-            let engine = Verifier::new(kn, cfg);
-            let mut pairs: Vec<(u32, u32, f64)> = crate::parallel::par_filter_map_runs_scratch(
-                &res.pairs,
-                opts.parallel,
-                |&(a, _, _)| a as u64,
-                VerifyScratch::default,
-                |scr, &(a, _, _)| engine.begin_probe(&sp.segrecs[a as usize], scr),
-                |scr, &(a, b, _)| {
-                    let sim =
-                        engine.probed_sim(&sp.segrecs[a as usize], &t_ref.segrecs[b as usize], scr);
-                    Some((a, b, sim))
-                },
-                |_| {},
-            );
-            pairs.sort_by(|x, y| {
-                y.2.total_cmp(&x.2)
-                    .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
-            });
-            pairs.truncate(opts.k);
-            return TopkResult {
-                pairs,
-                rounds,
-                final_theta: theta,
-            };
-        }
-        theta = (theta - opts.step).max(opts.theta_floor);
-    }
-}
-
-/// Top-k R×S join of two corpora sharing the knowledge context.
-///
-/// # Examples
-///
-/// ```
-/// use au_core::topk::{topk_join, TopkOptions};
-/// use au_core::{KnowledgeBuilder, SimConfig};
-///
-/// let mut kn = KnowledgeBuilder::new().build();
-/// let s = kn.corpus_from_lines(["apple pie", "banana split"]);
-/// let t = kn.corpus_from_lines(["aple pie", "something else"]);
-///
-/// let cfg = SimConfig::default();
-/// let top = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(1, 2));
-/// assert_eq!(top.pairs.len(), 1);
-/// assert_eq!((top.pairs[0].0, top.pairs[0].1), (0, 0)); // the typo pair
-/// ```
-#[deprecated(note = "use Engine::topk with JoinSpec::topk(k)")]
-pub fn topk_join(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    s: &Corpus,
-    t: &Corpus,
-    opts: &TopkOptions,
-) -> TopkResult {
-    if opts.k == 0 {
-        return TopkResult::default();
-    }
-    let mut sp = prepare_corpus(kn, cfg, s);
-    let mut tp = Some(prepare_corpus(kn, cfg, t));
-    descend(kn, cfg, &mut sp, &mut tp, opts)
-}
-
-/// Top-k self-join (pairs reported with `s < t`).
-#[deprecated(note = "use Engine::topk_self with JoinSpec::topk(k)")]
-pub fn topk_join_self(
-    kn: &Knowledge,
-    cfg: &SimConfig,
-    c: &Corpus,
-    opts: &TopkOptions,
-) -> TopkResult {
-    if opts.k == 0 {
-        return TopkResult::default();
-    }
-    let mut sp = prepare_corpus(kn, cfg, c);
-    let mut none = None;
-    descend(kn, cfg, &mut sp, &mut none, opts)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims keep their tests until removal
 mod tests {
     use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::{Engine, JoinSpec};
     use crate::join::brute_force_join;
-    use crate::knowledge::KnowledgeBuilder;
+    use crate::knowledge::{Knowledge, KnowledgeBuilder};
     use crate::usim::usim_approx_seg;
+    use au_text::record::Corpus;
 
     fn setup() -> (Knowledge, Corpus, Corpus) {
         let mut b = KnowledgeBuilder::new();
@@ -221,6 +71,27 @@ mod tests {
         ]);
         (kn, s, t)
     }
+
+    /// Top-k through the session API with the historical `au_dp(k, 2)`
+    /// defaults (start 0.95, floor 0.3, step 0.1, parallel).
+    fn topk_join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, k: usize) -> TopkResult {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let ps = engine.prepare(s).expect("prepare S");
+        let pt = engine.prepare(t).expect("prepare T");
+        engine
+            .topk(&ps, &pt, &JoinSpec::topk(k).au_dp(2).parallel(true))
+            .expect("topk")
+    }
+
+    fn topk_join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, k: usize) -> TopkResult {
+        let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+        let pc = engine.prepare(c).expect("prepare");
+        engine
+            .topk_self(&pc, &JoinSpec::topk(k).au_dp(2).parallel(true))
+            .expect("topk self")
+    }
+
+    const FLOOR: f64 = 0.3;
 
     /// Oracle: brute-force at the floor, re-score fully (the join verifier
     /// early-accepts at the threshold and may report a lower bound), rank,
@@ -255,9 +126,8 @@ mod tests {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
         for k in [1usize, 3, 5, 10] {
-            let opts = TopkOptions::au_dp(k, 2);
-            let got = topk_join(&kn, &cfg, &s, &t, &opts);
-            let want = oracle_topk(&kn, &cfg, &s, &t, k, opts.theta_floor);
+            let got = topk_join(&kn, &cfg, &s, &t, k);
+            let want = oracle_topk(&kn, &cfg, &s, &t, k, FLOOR);
             assert_eq!(
                 got.pairs.len(),
                 want.len(),
@@ -287,12 +157,12 @@ mod tests {
         let cfg = SimConfig::default();
         // k=1 finds the identical pair at θ=0.95 in round 1; a large k
         // must descend further.
-        let r1 = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(1, 2));
+        let r1 = topk_join(&kn, &cfg, &s, &t, 1);
         assert_eq!(r1.rounds, 1);
         assert_eq!(r1.pairs.len(), 1);
         assert_eq!((r1.pairs[0].0, r1.pairs[0].1), (0, 3)); // identical strings
         assert!(r1.pairs[0].2 > 0.999);
-        let r8 = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(8, 2));
+        let r8 = topk_join(&kn, &cfg, &s, &t, 8);
         assert!(r8.rounds > 1);
         assert!(r8.final_theta < 0.95);
     }
@@ -301,12 +171,11 @@ mod tests {
     fn fewer_results_than_k_stops_at_floor() {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
-        let opts = TopkOptions::au_dp(500, 2);
-        let res = topk_join(&kn, &cfg, &s, &t, &opts);
-        assert!((res.final_theta - opts.theta_floor).abs() < 1e-9);
+        let res = topk_join(&kn, &cfg, &s, &t, 500);
+        assert!((res.final_theta - FLOOR).abs() < 1e-9);
         assert!(res.pairs.len() < 500);
         // Everything the floor-level join finds must be here.
-        let want = oracle_topk(&kn, &cfg, &s, &t, 500, opts.theta_floor);
+        let want = oracle_topk(&kn, &cfg, &s, &t, 500, FLOOR);
         assert_eq!(res.pairs.len(), want.len());
     }
 
@@ -314,7 +183,7 @@ mod tests {
     fn k_zero_is_empty_and_free() {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
-        let res = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(0, 2));
+        let res = topk_join(&kn, &cfg, &s, &t, 0);
         assert!(res.pairs.is_empty());
         assert_eq!(res.rounds, 0);
     }
@@ -323,7 +192,7 @@ mod tests {
     fn self_join_topk() {
         let (kn, s, _) = setup();
         let cfg = SimConfig::default();
-        let res = topk_join_self(&kn, &cfg, &s, &TopkOptions::au_dp(3, 2));
+        let res = topk_join_self(&kn, &cfg, &s, 3);
         for &(a, b, _) in &res.pairs {
             assert!(a < b);
         }
@@ -338,7 +207,12 @@ mod tests {
     fn ranking_is_descending() {
         let (kn, s, t) = setup();
         let cfg = SimConfig::default();
-        let res = topk_join(&kn, &cfg, &s, &t, &TopkOptions::au_dp(10, 1));
+        let engine = Engine::new(kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
+        let res = engine
+            .topk(&ps, &pt, &JoinSpec::topk(10).au_dp(1))
+            .expect("topk");
         for w in res.pairs.windows(2) {
             assert!(w[0].2 >= w[1].2 - 1e-12);
         }

@@ -119,6 +119,18 @@ impl LabeledDataset {
     ///
     /// Pair `i` occupies S record `i` and T record `i`; the remaining
     /// records are independent random sketches. Deterministic in `seed`.
+    ///
+    /// Generation streams: every rendered line is tokenized into its
+    /// corpus immediately ([`Knowledge::push_line`]) and dropped, so the
+    /// only auxiliary buffer is the planted T-side lines (`n_pairs`
+    /// strings, one planted fraction of one corpus) — those are rendered
+    /// during the planted loop but must intern *after* every S line to
+    /// keep the vocabulary's intern/doc-frequency order identical to the
+    /// historical two-phase implementation. Output corpora are
+    /// byte-for-byte unchanged; peak auxiliary memory drops from all
+    /// `n_s + n_t` rendered lines to `n_pairs`, which is what lets the
+    /// `AU_SCALE=100` tier (hundreds of thousands of records) generate
+    /// without the generator itself becoming the memory high-water mark.
     pub fn generate(
         profile: &DatasetProfile,
         n_s: usize,
@@ -138,16 +150,17 @@ impl LabeledDataset {
             zipf: &zipf,
         };
 
-        let mut s_lines: Vec<String> = Vec::with_capacity(n_s);
-        let mut t_lines: Vec<String> = Vec::with_capacity(n_t);
+        let mut s = Corpus::new();
+        let mut t = Corpus::new();
+        let mut planted_t: Vec<String> = Vec::with_capacity(n_pairs);
         let mut truth = Vec::with_capacity(n_pairs);
 
         for i in 0..n_pairs {
             let kinds = pick_kinds(profile.kind_weights, &mut rng);
             let base = gen.sketch_with(&kinds, &mut rng);
             let variant = perturb(&base, &kinds, &blueprint, &mut rng);
-            s_lines.push(base.render(&blueprint));
-            t_lines.push(variant.render(&blueprint));
+            kn.push_line(&mut s, &base.render(&blueprint));
+            planted_t.push(variant.render(&blueprint));
             truth.push(GroundTruthPair {
                 s: i as u32,
                 t: i as u32,
@@ -157,15 +170,16 @@ impl LabeledDataset {
         }
         for _ in n_pairs..n_s {
             let sk = gen.sketch(&mut rng);
-            s_lines.push(sk.render(&blueprint));
+            kn.push_line(&mut s, &sk.render(&blueprint));
+        }
+        for line in planted_t.drain(..) {
+            kn.push_line(&mut t, &line);
         }
         for _ in n_pairs..n_t {
             let sk = gen.sketch(&mut rng);
-            t_lines.push(sk.render(&blueprint));
+            kn.push_line(&mut t, &sk.render(&blueprint));
         }
-
-        let s = kn.corpus_from_lines(s_lines.iter().map(|x| x.as_str()));
-        let t = kn.corpus_from_lines(t_lines.iter().map(|x| x.as_str()));
+        drop(planted_t);
         // Label every planted pair with its actual unified similarity so
         // consumers can score θ-joins against [`Self::truth_at`]. Runs
         // over the shared parallel layer (deterministic output) — the

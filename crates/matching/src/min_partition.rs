@@ -59,6 +59,11 @@ impl IntervalsByEnd {
         let hi = self.offsets[end + 1] as usize;
         &self.starts[lo..hi]
     }
+
+    /// Heap footprint in bytes (length-based, deterministic).
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.starts.len()) * std::mem::size_of::<u32>()
+    }
 }
 
 /// Minimum number of segments exactly partitioning `0..n` where the allowed

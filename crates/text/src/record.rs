@@ -122,6 +122,18 @@ impl Corpus {
         c
     }
 
+    /// Deep heap footprint in bytes (length-based, deterministic): every
+    /// record's token buffer and raw text plus the record table itself.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for r in &self.records {
+            total += std::mem::size_of::<Record>();
+            total += r.tokens.len() * std::mem::size_of::<TokenId>();
+            total += r.raw.len();
+        }
+        total
+    }
+
     /// Corpus restricted to the records selected by `keep[i]`.
     ///
     /// Record ids are re-densified; the mapping `new → old` is returned

@@ -86,32 +86,22 @@ pub use au_text as text;
 ///
 /// The session API ([`Engine`](au_core::engine::Engine) and friends) is
 /// the supported surface; the legacy free functions (`u_join`,
-/// `topk_join`, `SearchIndex`, `suggest_tau`, …) are re-exported one more
-/// PR behind `#[deprecated]` shims — see DESIGN.md "Session API" for the
-/// migration table.
+/// `topk_join`, `SearchIndex::build`, `suggest_tau`, …) were removed
+/// after their one-PR `#[deprecated]` grace period — see DESIGN.md
+/// "Session API" for the migration table.
 pub mod prelude {
     pub use au_core::engine::{Engine, JoinSpec, Prepared, ProbeSpec, Searcher};
     pub use au_core::error::AuError;
 
     pub use au_core::config::{GramMeasure, MeasureSet, SimConfig};
     pub use au_core::estimate::{CostModel, FilterCounts};
-    pub use au_core::join::{JoinResult, JoinStats};
+    pub use au_core::join::{JoinOptions, JoinResult, JoinStats};
     pub use au_core::knowledge::{Knowledge, KnowledgeBuilder};
     pub use au_core::search::SearchOutcome;
+    pub use au_core::shard::{ShardPlan, ShardSpec, ShardedPrepared};
     pub use au_core::signature::FilterKind;
     pub use au_core::suggest::{SuggestConfig, SuggestOutcome};
     pub use au_core::topk::TopkResult;
     pub use au_core::usim::{usim_approx, usim_exact};
     pub use au_text::record::{Corpus, Record, RecordId};
-
-    // Deprecated legacy surface (one PR of grace; each shim's note names
-    // its Engine replacement).
-    #[allow(deprecated)]
-    pub use au_core::join::{au_join, u_join, JoinOptions};
-    #[allow(deprecated)]
-    pub use au_core::search::SearchIndex;
-    #[allow(deprecated)]
-    pub use au_core::suggest::suggest_tau;
-    #[allow(deprecated)]
-    pub use au_core::topk::{topk_join, topk_join_self, TopkOptions};
 }

@@ -1,14 +1,24 @@
 //! Adversarial and edge-case integration tests: weird knowledge bases,
 //! unicode, degenerate records, overlapping knowledge sources.
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
-use au_join::core::join::{brute_force_join, join, JoinOptions};
+use au_join::core::join::{brute_force_join, JoinOptions, JoinResult};
 use au_join::core::segment::segment_record;
 use au_join::core::signature::{FilterKind, MpMode};
 use au_join::core::usim::{usim_approx_seg, usim_exact_seg};
 use au_join::prelude::*;
+
+/// One-shot R×S join through the session API (the legacy free function
+/// this suite used was removed after its deprecation window).
+fn join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, opts: &JoinOptions) -> JoinResult {
+    let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+    let ps = engine.prepare(s).expect("prepare S");
+    let pt = engine.prepare(t).expect("prepare T");
+    let spec = JoinSpec::threshold(opts.theta)
+        .filter(opts.filter)
+        .mp_mode(opts.mp_mode)
+        .parallel(opts.parallel);
+    engine.join(&ps, &pt, &spec).expect("join")
+}
 
 #[test]
 fn rule_side_that_is_also_an_entity() {

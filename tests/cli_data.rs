@@ -1,11 +1,7 @@
 //! Integration test driving the shipped sample data (data/) through the
 //! library exactly as the `aujoin` CLI does.
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
 use au_join::core::io::{load_rules, load_taxonomy};
-use au_join::core::join::{join_self, JoinOptions};
 use au_join::prelude::*;
 
 #[test]
@@ -22,8 +18,11 @@ fn sample_data_self_join_finds_the_planted_duplicates() {
 
     let lines: Vec<&str> = pois.lines().filter(|l| !l.trim().is_empty()).collect();
     let corpus = kn.corpus_from_lines(lines.iter().copied());
-    let cfg = SimConfig::default();
-    let res = join_self(&kn, &cfg, &corpus, &JoinOptions::au_dp(0.65, 2));
+    let engine = Engine::new(kn, SimConfig::default()).expect("valid config");
+    let prepared = engine.prepare(&corpus).expect("prepare");
+    let res = engine
+        .join_self(&prepared, &JoinSpec::threshold(0.65).au_dp(2))
+        .expect("join");
     let ids: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
 
     // The sample file plants four duplicate pairs (adjacent lines).

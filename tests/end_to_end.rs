@@ -2,13 +2,34 @@
 //! spanning au-text, au-taxonomy, au-synonym, au-matching, au-core and
 //! au-datagen through the facade crate.
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
-use au_join::core::join::{brute_force_join, join, join_self, JoinOptions};
+use au_join::core::join::{brute_force_join, JoinOptions, JoinResult};
 use au_join::core::signature::{FilterKind, MpMode};
 use au_join::datagen::{DatasetProfile, LabeledDataset};
 use au_join::prelude::*;
+
+/// One-shot R×S join through the session API (the legacy free function
+/// this suite used was removed after its deprecation window).
+fn join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, opts: &JoinOptions) -> JoinResult {
+    let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+    let ps = engine.prepare(s).expect("prepare S");
+    let pt = engine.prepare(t).expect("prepare T");
+    let spec = JoinSpec::threshold(opts.theta)
+        .filter(opts.filter)
+        .mp_mode(opts.mp_mode)
+        .parallel(opts.parallel);
+    engine.join(&ps, &pt, &spec).expect("join")
+}
+
+/// One-shot self-join through the session API.
+fn join_self(kn: &Knowledge, cfg: &SimConfig, c: &Corpus, opts: &JoinOptions) -> JoinResult {
+    let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+    let pc = engine.prepare(c).expect("prepare");
+    let spec = JoinSpec::threshold(opts.theta)
+        .filter(opts.filter)
+        .mp_mode(opts.mp_mode)
+        .parallel(opts.parallel);
+    engine.join_self(&pc, &spec).expect("join_self")
+}
 
 fn figure1_knowledge() -> Knowledge {
     let mut kb = KnowledgeBuilder::new();
@@ -202,25 +223,26 @@ fn exact_and_approx_agree_on_generated_records() {
 
 #[test]
 fn search_and_topk_on_generated_data() {
-    // SearchIndex and topk_join on a MED-like dataset with planted pairs:
+    // Searcher and top-k descent on a MED-like dataset with planted pairs:
     // querying a planted S string must surface its T partner, and the
-    // top-k self-join must rank planted duplicates above noise.
-    use au_join::core::join::JoinOptions;
-    use au_join::core::search::SearchIndex;
-    use au_join::core::topk::{topk_join, TopkOptions};
-
+    // top-k join must rank planted duplicates above noise.
     let profile = DatasetProfile::med_like(0.05);
     let ds = LabeledDataset::generate(&profile, 100, 100, 25, 4242);
     let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
 
     // Search: planted partners must be retrievable at a moderate θ.
     let theta = 0.6;
-    let index = SearchIndex::build(&ds.kn, &cfg, &ds.t, &JoinOptions::au_dp(theta, 2));
+    let searcher = engine
+        .searcher(&pt, &JoinSpec::threshold(theta).au_dp(2))
+        .expect("searcher");
     let oracle = brute_force_join(&ds.kn, &cfg, &ds.s, &ds.t, theta);
     let mut hits = 0usize;
     let mut expected = 0usize;
     for g in &ds.truth {
-        let out = index.query_tokens(&ds.kn, &ds.s.get(RecordId(g.s)).tokens);
+        let out = searcher.query_tokens(&ds.s.get(RecordId(g.s)).tokens);
         let oracle_says = oracle.iter().any(|&(a, b, _)| (a, b) == (g.s, g.t));
         if oracle_says {
             expected += 1;
@@ -242,7 +264,9 @@ fn search_and_topk_on_generated_data() {
     // pairs (generated noise pairs are far less similar).
     let truth_pairs: Vec<(u32, u32)> = ds.truth.iter().map(|g| (g.s, g.t)).collect();
     let k = truth_pairs.len();
-    let top = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &TopkOptions::au_dp(k, 2));
+    let top = engine
+        .topk(&ps, &pt, &JoinSpec::topk(k).au_dp(2))
+        .expect("topk");
     let planted_in_top = top
         .pairs
         .iter()

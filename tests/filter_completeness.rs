@@ -10,11 +10,8 @@
 //! Dice at θ = 0.6, τ = 3). Kept as a standing sweep so future signature
 //! work cannot silently trade completeness for pruning power.
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
-use au_join::core::join::{brute_force_join, join, JoinOptions};
-use au_join::core::signature::{FilterKind, MpMode};
+use au_join::core::join::brute_force_join;
+use au_join::core::signature::FilterKind;
 use au_join::prelude::*;
 
 const WORDS: [&str; 15] = [
@@ -85,18 +82,18 @@ fn filters_complete_on_randomized_small_corpora() {
             .map(|&(a, b, _)| (a, b))
             .collect();
         let tau = 1 + (seed % 5) as u32;
+        let engine = Engine::new(kn, cfg).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
         for filter in [
             FilterKind::UFilter,
             FilterKind::AuHeuristic { tau },
             FilterKind::AuDp { tau },
         ] {
-            let opts = JoinOptions {
-                theta,
-                filter,
-                mp_mode: MpMode::ExactDp,
-                parallel: false,
-            };
-            let got: Vec<(u32, u32)> = join(&kn, &cfg, &s, &t, &opts)
+            let spec = JoinSpec::threshold(theta).filter(filter).parallel(false);
+            let got: Vec<(u32, u32)> = engine
+                .join(&ps, &pt, &spec)
+                .expect("join")
                 .pairs
                 .iter()
                 .map(|&(a, b, _)| (a, b))

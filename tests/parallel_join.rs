@@ -5,10 +5,6 @@
 //! the parallel path actually engages (candidate sets past
 //! `MIN_PARALLEL_ITEMS`).
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
-use au_join::core::join::{join, join_self, JoinOptions};
 use au_join::core::parallel::{par_filter_map, MIN_PARALLEL_ITEMS};
 use au_join::datagen::{DatasetProfile, LabeledDataset};
 use au_join::prelude::*;
@@ -23,13 +19,13 @@ fn dataset() -> LabeledDataset {
 #[test]
 fn join_results_identical_serial_vs_parallel() {
     let ds = dataset();
-    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
     for theta in [0.5, 0.7] {
-        let mut opts = JoinOptions::au_dp(theta, 2);
-        opts.parallel = false;
-        let serial = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
-        opts.parallel = true;
-        let parallel = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+        let spec = JoinSpec::threshold(theta).au_dp(2);
+        let serial = engine.join(&ps, &pt, &spec.parallel(false)).expect("join");
+        let parallel = engine.join(&ps, &pt, &spec.parallel(true)).expect("join");
         // Not just the same set: the same Vec, scores and order included.
         assert_eq!(serial.pairs, parallel.pairs, "θ={theta}");
         assert!(
@@ -48,24 +44,43 @@ fn join_results_identical_serial_vs_parallel() {
 #[test]
 fn self_join_identical_serial_vs_parallel() {
     let ds = dataset();
-    let cfg = SimConfig::default();
-    let mut opts = JoinOptions::au_heuristic(0.6, 2);
-    opts.parallel = false;
-    let serial = join_self(&ds.kn, &cfg, &ds.s, &opts);
-    opts.parallel = true;
-    let parallel = join_self(&ds.kn, &cfg, &ds.s, &opts);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let spec = JoinSpec::threshold(0.6).au_heuristic(2);
+    let serial = engine.join_self(&ps, &spec.parallel(false)).expect("join");
+    let parallel = engine.join_self(&ps, &spec.parallel(true)).expect("join");
     assert_eq!(serial.pairs, parallel.pairs);
+}
+
+#[test]
+fn sharded_join_identical_serial_vs_parallel() {
+    // The sharded executor runs shard-pair tasks sequentially but honours
+    // the parallel knob inside each task's filter/verify pipeline; the
+    // merged output must stay byte-identical either way.
+    let ds = dataset();
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let spec = JoinSpec::threshold(0.6).au_dp(2).sharded(4);
+    let serial = engine.join_self(&ps, &spec.parallel(false)).expect("join");
+    let parallel = engine.join_self(&ps, &spec.parallel(true)).expect("join");
+    assert_eq!(serial.pairs, parallel.pairs);
+    // Cross-check against the R×S grid too: the sharded self-join must
+    // equal the strict upper triangle of the sharded cross join.
+    let pt = engine.prepare(&ds.s).expect("prepare T-copy");
+    let cross = engine.join(&ps, &pt, &spec.parallel(false)).expect("join");
+    let upper: Vec<(u32, u32, f64)> = cross.pairs.into_iter().filter(|&(a, b, _)| a < b).collect();
+    assert_eq!(serial.pairs, upper);
 }
 
 #[test]
 fn topk_identical_serial_vs_parallel() {
     let ds = dataset();
-    let cfg = SimConfig::default();
-    let mut opts = TopkOptions::au_dp(25, 2);
-    opts.parallel = false;
-    let serial = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
-    opts.parallel = true;
-    let parallel = topk_join(&ds.kn, &cfg, &ds.s, &ds.t, &opts);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let spec = JoinSpec::topk(25).au_dp(2);
+    let serial = engine.topk(&ps, &pt, &spec.parallel(false)).expect("topk");
+    let parallel = engine.topk(&ps, &pt, &spec.parallel(true)).expect("topk");
     assert_eq!(serial.pairs, parallel.pairs);
     assert_eq!(serial.rounds, parallel.rounds);
 }
@@ -73,16 +88,19 @@ fn topk_identical_serial_vs_parallel() {
 #[test]
 fn search_identical_serial_vs_parallel() {
     let ds = dataset();
-    let cfg = SimConfig::default();
-    let mut opts = JoinOptions::au_dp(0.5, 2);
-    opts.parallel = false;
-    let idx_serial = SearchIndex::build(&ds.kn, &cfg, &ds.t, &opts);
-    opts.parallel = true;
-    let idx_parallel = SearchIndex::build(&ds.kn, &cfg, &ds.t, &opts);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let spec = JoinSpec::threshold(0.5).au_dp(2);
+    let idx_serial = engine
+        .searcher(&pt, &spec.parallel(false))
+        .expect("searcher");
+    let idx_parallel = engine
+        .searcher(&pt, &spec.parallel(true))
+        .expect("searcher");
     for qi in 0..50u32 {
         let q = &ds.s.get(RecordId(qi)).tokens;
-        let a = idx_serial.query_tokens(&ds.kn, q);
-        let b = idx_parallel.query_tokens(&ds.kn, q);
+        let a = idx_serial.query_tokens(q);
+        let b = idx_parallel.query_tokens(q);
         assert_eq!(a.matches, b.matches, "query {qi}");
     }
 }

@@ -1,9 +1,6 @@
 //! Property-based tests (proptest) over the core invariants.
 
-// These suites pin the legacy one-shot functions until their removal;
-// tests/api_equivalence.rs pins the session API against them.
-#![allow(deprecated)]
-use au_join::core::join::{brute_force_join, join, JoinOptions};
+use au_join::core::join::{brute_force_join, JoinOptions, JoinResult};
 use au_join::core::segment::segment_record;
 use au_join::core::signature::{FilterKind, MpMode};
 use au_join::core::usim::{usim_approx_seg, usim_exact_seg};
@@ -37,6 +34,19 @@ fn word_strategy() -> impl Strategy<Value = String> {
 
 fn text_strategy(max_tokens: usize) -> impl Strategy<Value = String> {
     prop::collection::vec(word_strategy(), 1..=max_tokens).prop_map(|v| v.join(" "))
+}
+
+/// One-shot R×S join through the session API (the legacy free function
+/// this suite used was removed after its deprecation window).
+fn join(kn: &Knowledge, cfg: &SimConfig, s: &Corpus, t: &Corpus, opts: &JoinOptions) -> JoinResult {
+    let engine = Engine::new(kn.clone(), *cfg).expect("valid config");
+    let ps = engine.prepare(s).expect("prepare S");
+    let pt = engine.prepare(t).expect("prepare T");
+    let spec = JoinSpec::threshold(opts.theta)
+        .filter(opts.filter)
+        .mp_mode(opts.mp_mode)
+        .parallel(opts.parallel);
+    engine.join(&ps, &pt, &spec).expect("join")
 }
 
 fn test_knowledge() -> Knowledge {
@@ -146,12 +156,14 @@ proptest! {
         let mut kn = test_knowledge();
         let s = kn.corpus_from_lines(lines_s.iter().map(|x| x.as_str()));
         let t = kn.corpus_from_lines(lines_t.iter().map(|x| x.as_str()));
-        let cfg = SimConfig::default();
-        let opts = JoinOptions::au_dp(theta, tau);
-        let joined = join(&kn, &cfg, &s, &t, &opts);
-        let index = SearchIndex::build(&kn, &cfg, &t, &opts);
+        let spec = JoinSpec::threshold(theta).au_dp(tau);
+        let engine = Engine::new(kn, SimConfig::default()).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
+        let joined = engine.join(&ps, &pt, &spec).expect("join");
+        let searcher = engine.searcher(&pt, &spec).expect("searcher");
         for qi in 0..s.len() as u32 {
-            let out = index.query_tokens(&kn, &s.get(RecordId(qi)).tokens);
+            let out = searcher.query_tokens(&s.get(RecordId(qi)).tokens);
             let mut got: Vec<u32> = out.matches.iter().map(|&(r, _)| r).collect();
             got.sort_unstable();
             let want: Vec<u32> = joined.pairs.iter()
@@ -170,11 +182,14 @@ proptest! {
         let s = kn.corpus_from_lines(lines_s.iter().map(|x| x.as_str()));
         let t = kn.corpus_from_lines(lines_t.iter().map(|x| x.as_str()));
         let cfg = SimConfig::default();
-        let opts = TopkOptions::au_dp(k, 2);
-        let got = topk_join(&kn, &cfg, &s, &t, &opts);
+        let spec = JoinSpec::topk(k).au_dp(2).descent(0.95, 0.3, 0.1);
+        let engine = Engine::new(kn.clone(), cfg).expect("valid config");
+        let ps = engine.prepare(&s).expect("prepare S");
+        let pt = engine.prepare(&t).expect("prepare T");
+        let got = engine.topk(&ps, &pt, &spec).expect("topk");
         // brute_force_join's verifier early-accepts at the threshold and
         // may report a lower-bound score; re-score fully before ranking.
-        let mut oracle: Vec<(u32, u32, f64)> = brute_force_join(&kn, &cfg, &s, &t, opts.theta_floor)
+        let mut oracle: Vec<(u32, u32, f64)> = brute_force_join(&kn, &cfg, &s, &t, 0.3)
             .iter()
             .map(|&(a, b, _)| {
                 let sa = segment_record(&kn, &cfg, &s.get(RecordId(a)).tokens);

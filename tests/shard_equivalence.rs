@@ -1,0 +1,313 @@
+//! Sharded ↔ monolithic equivalence harness.
+//!
+//! The sharded join architecture (length-partitioned shard pairs with the
+//! PASS-JOIN-style compatibility bound, both the `JoinSpec::sharded` knob
+//! over an ordinary `Prepared` and the memory-lean lazy `ShardedPrepared`
+//! path) must be *observationally identical* to the monolithic engine:
+//! same pairs, same similarities (bitwise), same deterministic `(s, t)`
+//! order — on datagen MED/WIKI corpora and randomized proptest corpora,
+//! serial and parallel, for every filter. Join *statistics* are the one
+//! sanctioned difference: sharded runs report honest per-task sums for
+//! `Tτ`/`Vτ` (each shard pair selects signatures against its own local
+//! pebble order), so only invariants — never equality — are asserted on
+//! them. Any pair/sim divergence here is a correctness bug in the shard
+//! layer (an unsound pair bound, a lost orientation on cross-shard tasks,
+//! a broken merge), not a tuning difference.
+
+use au_join::core::config::SimConfig;
+use au_join::core::engine::{Engine, JoinSpec};
+use au_join::core::error::AuError;
+use au_join::core::shard::ShardSpec;
+use au_join::core::signature::FilterKind;
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use proptest::prelude::*;
+
+/// MED-like dataset without depending on the bench crate.
+fn med(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::med_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+fn wiki(n: usize, seed: u64) -> LabeledDataset {
+    let profile = DatasetProfile::wiki_like((n as f64 / 2000.0).max(1.0));
+    LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+fn all_filters() -> Vec<FilterKind> {
+    vec![
+        FilterKind::UFilter,
+        FilterKind::AuHeuristic { tau: 2 },
+        FilterKind::AuHeuristic { tau: 4 },
+        FilterKind::AuDp { tau: 2 },
+        FilterKind::AuDp { tau: 4 },
+    ]
+}
+
+/// Joins (R×S and self), serial and parallel, knob path and lazy path:
+/// pairs and sims must match the monolithic engine bitwise, and the
+/// shard-task accounting must cover the full pair grid.
+fn assert_sharded_equivalent(
+    ds: &LabeledDataset,
+    theta: f64,
+    filter: FilterKind,
+    shards: usize,
+    label: &str,
+) {
+    let cfg = SimConfig::default();
+    let engine = Engine::new(ds.kn.clone(), cfg).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let sspec = ShardSpec::auto().with_shards(shards);
+    let sps = engine.prepare_sharded(&ds.s, &sspec).expect("shard S");
+    let spt = engine.prepare_sharded(&ds.t, &sspec).expect("shard T");
+    for parallel in [false, true] {
+        let mono = JoinSpec::threshold(theta).filter(filter).parallel(parallel);
+        let spec = mono.sharded(shards);
+
+        let base = engine.join(&ps, &pt, &mono).expect("monolithic join");
+        assert_eq!(base.stats.shard_tasks, 0, "{label} mono task count");
+
+        // Knob path: same Prepared, sliced on the fly.
+        let knob = engine.join(&ps, &pt, &spec).expect("sharded join");
+        assert_eq!(
+            base.pairs, knob.pairs,
+            "{label} knob pairs (parallel={parallel})"
+        );
+
+        // Lazy path: shards segmented on demand from raw corpora.
+        let lazy = engine.join_sharded(&sps, &spt, &spec).expect("lazy join");
+        assert_eq!(
+            base.pairs, lazy.pairs,
+            "{label} lazy pairs (parallel={parallel})"
+        );
+
+        // Task accounting must cover the full shard-pair grid.
+        let grid = (sps.plan().shard_count() * spt.plan().shard_count()) as u64;
+        assert_eq!(
+            lazy.stats.shard_tasks + lazy.stats.shard_tasks_pruned,
+            grid,
+            "{label} R×S task grid"
+        );
+
+        // Streaming sink over the sharded path: identical pairs in
+        // identical order, stats consistent with the materialized run.
+        let mut streamed = Vec::new();
+        let sink_stats = engine
+            .join_sink(&ps, &pt, &spec, |a, b, sim| streamed.push((a, b, sim)))
+            .expect("sharded sink join");
+        assert_eq!(streamed, base.pairs, "{label} sharded sink pairs");
+        assert_eq!(sink_stats.shard_tasks, knob.stats.shard_tasks);
+
+        // Self-joins through both sharded paths.
+        let base_self = engine.join_self(&ps, &mono).expect("monolithic self");
+        let knob_self = engine.join_self(&ps, &spec).expect("sharded self");
+        assert_eq!(
+            base_self.pairs, knob_self.pairs,
+            "{label} self pairs (parallel={parallel})"
+        );
+        let lazy_self = engine.join_self_sharded(&sps, &spec).expect("lazy self");
+        assert_eq!(
+            base_self.pairs, lazy_self.pairs,
+            "{label} lazy self pairs (parallel={parallel})"
+        );
+        let g = sps.plan().shard_count() as u64;
+        assert_eq!(
+            lazy_self.stats.shard_tasks + lazy_self.stats.shard_tasks_pruned,
+            g * (g + 1) / 2,
+            "{label} self task grid"
+        );
+    }
+}
+
+#[test]
+fn sharded_joins_match_on_med_corpora() {
+    for (n, seed, shards) in [(60usize, 11u64, 3usize), (140, 12, 5)] {
+        let ds = med(n, seed);
+        for theta in [0.7, 0.9] {
+            for filter in all_filters() {
+                assert_sharded_equivalent(
+                    &ds,
+                    theta,
+                    filter,
+                    shards,
+                    &format!("med n={n} θ={theta} {}", filter.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_joins_match_on_wiki_corpora() {
+    let ds = wiki(120, 21);
+    for theta in [0.8, 0.95] {
+        for filter in all_filters() {
+            assert_sharded_equivalent(
+                &ds,
+                theta,
+                filter,
+                4,
+                &format!("wiki θ={theta} {}", filter.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn high_theta_prunes_shard_pairs_without_losing_results() {
+    // At a high threshold on a length-diverse corpus the compatibility
+    // bound must actually skip work (pruned > 0) while the surviving
+    // tasks still reproduce the monolithic result exactly.
+    let ds = med(160, 33);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let mono = engine
+        .join_self(&ps, &JoinSpec::threshold(0.9).au_dp(2))
+        .expect("monolithic");
+    let sharded = engine
+        .join_self(&ps, &JoinSpec::threshold(0.9).au_dp(2).sharded(8))
+        .expect("sharded");
+    assert_eq!(mono.pairs, sharded.pairs);
+    assert!(
+        sharded.stats.shard_tasks_pruned > 0,
+        "θ=0.9 over 8 length shards pruned nothing: {:?}",
+        (sharded.stats.shard_tasks, sharded.stats.shard_tasks_pruned)
+    );
+}
+
+#[test]
+fn lazy_cache_evicts_and_rebuilds_without_changing_results() {
+    // A cache capacity of 2 over 6 shards forces evictions mid-join; the
+    // rebuilt shards must be bitwise-identical to the first build.
+    let ds = med(120, 44);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let spec = JoinSpec::threshold(0.6).au_dp(2);
+    let mono = engine.join_self(&ps, &spec).expect("monolithic");
+    let sp = engine
+        .prepare_sharded(
+            &ds.s,
+            &ShardSpec::auto().with_shards(6).with_cache_capacity(2),
+        )
+        .expect("shard");
+    let lazy = engine
+        .join_self_sharded(&sp, &spec.sharded(6))
+        .expect("lazy");
+    assert_eq!(mono.pairs, lazy.pairs);
+    assert!(
+        sp.shard_builds() > 6,
+        "cache cap 2 over 6 shards must rebuild at least one evicted shard, built {}",
+        sp.shard_builds()
+    );
+    assert!(sp.peak_memory_bytes() > 0);
+}
+
+#[test]
+fn sink_chunk_size_does_not_change_the_stream() {
+    // The streaming path re-chunks verification at AU_SINK_CHUNK; a tiny
+    // chunk size must produce the identical pair stream (order included)
+    // on both the monolithic and the sharded sink.
+    let ds = med(100, 55);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let spec = JoinSpec::threshold(0.7).au_dp(2);
+    let reference = engine.join(&ps, &pt, &spec).expect("join");
+    std::env::set_var("AU_SINK_CHUNK", "7");
+    let mut tiny = Vec::new();
+    engine
+        .join_sink(&ps, &pt, &spec, |a, b, s| tiny.push((a, b, s)))
+        .expect("tiny-chunk sink");
+    let mut tiny_sharded = Vec::new();
+    engine
+        .join_sink(&ps, &pt, &spec.sharded(4), |a, b, s| {
+            tiny_sharded.push((a, b, s))
+        })
+        .expect("tiny-chunk sharded sink");
+    std::env::remove_var("AU_SINK_CHUNK");
+    assert_eq!(tiny, reference.pairs, "chunk=7 stream diverged");
+    assert_eq!(
+        tiny_sharded, reference.pairs,
+        "sharded chunk=7 stream diverged"
+    );
+}
+
+/// The generation guard: artifacts built before a knowledge mutation must
+/// be rejected with `StaleKnowledge`, never silently rescored — on the
+/// sharded paths too.
+#[test]
+fn staleness_guard_rejects_mutated_knowledge() {
+    let ds = med(40, 71);
+    let mut engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let sps = engine
+        .prepare_sharded(&ds.s, &ShardSpec::auto().with_shards(3))
+        .expect("shard S");
+    let spec = JoinSpec::threshold(0.8);
+    assert!(engine.join(&ps, &pt, &spec).is_ok());
+    assert!(engine.join_self_sharded(&sps, &spec).is_ok());
+
+    // Interning a new record mints a new generation.
+    engine
+        .knowledge_mut()
+        .add_record("a freshly interned record");
+    for err in [
+        engine.join(&ps, &pt, &spec).unwrap_err(),
+        engine.join_self(&ps, &spec).unwrap_err(),
+        engine.join(&ps, &pt, &spec.sharded(3)).unwrap_err(),
+        engine.join_self_sharded(&sps, &spec).unwrap_err(),
+        engine.join_sharded(&sps, &sps, &spec).unwrap_err(),
+        engine.topk(&ps, &pt, &JoinSpec::topk(3)).unwrap_err(),
+        engine.searcher(&pt, &spec).expect_err("stale searcher"),
+        engine
+            .filter_counts(&ps, &pt, 0.8, FilterKind::UFilter)
+            .unwrap_err(),
+        engine.usim(&ps, 0, &pt, 0).unwrap_err(),
+    ] {
+        assert!(
+            matches!(err, AuError::StaleKnowledge { expected, found } if expected != found),
+            "expected StaleKnowledge, got {err:?}"
+        );
+    }
+    // Re-preparing against the new generation restores service.
+    let ps2 = engine.prepare(&ds.s).expect("re-prepare S");
+    let pt2 = engine.prepare(&ds.t).expect("re-prepare T");
+    assert!(engine.join(&ps2, &pt2, &spec).is_ok());
+    let sps2 = engine
+        .prepare_sharded(&ds.s, &ShardSpec::auto().with_shards(3))
+        .expect("re-shard S");
+    assert!(engine.join_self_sharded(&sps2, &spec).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized corpora: sizes, seeds, θ, τ and shard counts drawn by
+    /// proptest; the sharded paths and the monolithic engine must agree
+    /// on every draw.
+    #[test]
+    fn sharded_matches_monolithic_on_random_corpora(
+        n in 20usize..80,
+        seed in 0u64..1_000,
+        theta_pct in 50u32..96,
+        tau in 1u32..5,
+        dp in proptest::bool::weighted(0.5),
+        shards in 2usize..7,
+    ) {
+        let ds = med(n, seed);
+        let theta = theta_pct as f64 / 100.0;
+        let filter = if dp {
+            FilterKind::AuDp { tau }
+        } else {
+            FilterKind::AuHeuristic { tau }
+        };
+        assert_sharded_equivalent(
+            &ds,
+            theta,
+            filter,
+            shards,
+            &format!("random n={n} seed={seed} θ={theta} τ={tau} g={shards}"),
+        );
+    }
+}
