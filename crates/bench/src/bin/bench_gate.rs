@@ -23,7 +23,13 @@
 //!   peak bytes / monolithic whole-corpus prepare bytes) may not exceed
 //!   `BENCH_GATE_MAX_MEMORY_RATIO` (default 0.25 — the memory-lean
 //!   acceptance bound), and the sharded row must report pruned tasks
-//!   whenever the baseline did.
+//!   whenever the baseline did;
+//! * **candidate cut** — in `BENCH_fig_position.json`, the in-probe
+//!   rejection counters (`pos_rejected`, `compat_rejected`) are
+//!   exact-matched like every other deterministic counter, and the
+//!   current `candidate_cut` (unfiltered Vτ / filtered Vτ) may not drop
+//!   below `BENCH_GATE_MIN_CANDIDATE_CUT` (default 1.0 — the position
+//!   filter may never grow the candidate set).
 //!
 //! Exit code 1 on any failure; every failure is printed.
 
@@ -61,6 +67,7 @@ struct Gate {
     tol: f64,
     min_speedup: f64,
     max_memory_ratio: f64,
+    min_candidate_cut: f64,
     failures: Vec<String>,
     checks: usize,
 }
@@ -128,6 +135,11 @@ impl Gate {
                 "rowmax_rejects",
                 "greedy_rejects",
                 "tier2_rejects",
+                // In-probe position-filter counters (workload rows and
+                // fig_position rows): exact functions of (scale, seed,
+                // θ) — drift means the positional/compat bound changed.
+                "pos_rejected",
+                "compat_rejected",
                 // fig_shard rows: the task grid and the deep memory
                 // accounting are pure functions of (scale, seed) and the
                 // fixed shard parameters — drift means the planner, the
@@ -178,6 +190,23 @@ impl Gate {
                 );
             }
         }
+        // Candidate-cut floor on the current fig_position artifact: the
+        // ratio of exact counters is deterministic, so like memory_ratio
+        // it is an absolute acceptance bound, not a regression tolerance.
+        if let Some(cut) = cur.get("candidate_cut").and_then(Value::as_f64) {
+            self.checks += 1;
+            if cut.is_nan() || cut < self.min_candidate_cut {
+                self.fail(format!(
+                    "{name}: candidate_cut {cut:.2}x below floor {:.2}x",
+                    self.min_candidate_cut
+                ));
+            } else {
+                println!(
+                    "  ok {name}: candidate_cut {cut:.2}x ≥ {:.2}x",
+                    self.min_candidate_cut
+                );
+            }
+        }
         // Engine self-consistency + speedup floor on the current artifact.
         if list_key == "engines" {
             let rows = rows_by_id(cur, "engines");
@@ -215,6 +244,7 @@ fn main() {
         tol: env_f64("BENCH_GATE_TOL", 0.25),
         min_speedup: env_f64("BENCH_GATE_MIN_SPEEDUP", 1.0),
         max_memory_ratio: env_f64("BENCH_GATE_MAX_MEMORY_RATIO", 0.25),
+        min_candidate_cut: env_f64("BENCH_GATE_MIN_CANDIDATE_CUT", 1.0),
         failures: Vec::new(),
         checks: 0,
     };

@@ -20,7 +20,7 @@ fn main() {
         "perf: AU_SCALE={} seed={} timings={}",
         opts.scale, opts.seed, opts.timings
     );
-    let (workloads, engines, verify, shard) = run_all(&opts);
+    let (workloads, engines, verify, shard, position) = run_all(&opts);
     for w in &workloads {
         for r in &w.rows {
             println!(
@@ -66,12 +66,20 @@ fn main() {
         shard.memory_ratio,
         shard.sharded_speedup
     );
+    for r in &position.rows {
+        println!(
+            "{:<24} candidates={:<10} pos_rej={:<10} compat_rej={:<8} pairs={:<8} verify={:.3}s",
+            r.id, r.candidates, r.pos_rejected, r.compat_rejected, r.result_pairs, r.verify_seconds
+        );
+    }
+    println!("fig_position: candidate_cut={:.2}x", position.candidate_cut);
     let paths = write_reports(
         &out_dir,
         &workloads,
         &engines,
         &verify,
         &shard,
+        &position,
         opts.timings,
     )
     .expect("write BENCH_*.json");

@@ -44,6 +44,7 @@ pub fn run(scale: f64) -> String {
                     filter,
                     mp_mode: au_core::signature::MpMode::ExactDp,
                     parallel: false,
+                    pos_filter: true,
                 };
                 let o = filter_stage(&sp, &tp, &opts, cfg.eps, false);
                 s_cells.push(format!("{:.1}", o.avg_sig_len_s));
@@ -75,6 +76,7 @@ mod tests {
                 filter,
                 mp_mode: au_core::signature::MpMode::ExactDp,
                 parallel: false,
+                pos_filter: true,
             };
             let h = filter_stage(
                 &sp,

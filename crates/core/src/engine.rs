@@ -46,7 +46,8 @@ use crate::estimate::{filter_counts_impl, CostModel, FilterCounts};
 use crate::index::{CsrIndex, OverlapCounter};
 use crate::join::{
     candidate_pass_with_index, prepare_corpus, verify_candidates, verify_candidates_stats,
-    FilterOutcome, JoinOptions, JoinResult, JoinStats, PreparedCorpus, SelectedSignatures,
+    FilterOutcome, JoinOptions, JoinResult, JoinStats, PosFilterCtx, PreparedCorpus,
+    SelectedSignatures,
 };
 use crate::knowledge::Knowledge;
 use crate::pebble::{Pebble, PebbleOrder};
@@ -120,6 +121,7 @@ pub struct JoinSpec {
     theta_floor: f64,
     step: f64,
     shards: usize,
+    pos_filter: bool,
 }
 
 impl JoinSpec {
@@ -139,6 +141,7 @@ impl JoinSpec {
             theta_floor: 0.3,
             step: 0.1,
             shards: 0,
+            pos_filter: true,
         }
     }
 
@@ -207,6 +210,22 @@ impl JoinSpec {
     /// [`JoinStats::shard_tasks`] / [`JoinStats::shard_tasks_pruned`]
     /// report the task census. `0` or `1` means monolithic (the
     /// default); top-k descent and search ignore the knob.
+    ///
+    /// ```
+    /// use au_core::engine::{Engine, JoinSpec};
+    /// use au_core::{KnowledgeBuilder, SimConfig};
+    ///
+    /// let mut kn = KnowledgeBuilder::new().build();
+    /// let c = kn.corpus_from_lines(["coffee shop", "coffee shop", "tea"]);
+    /// let engine = Engine::new(kn, SimConfig::default()).unwrap();
+    /// let p = engine.prepare(&c).unwrap();
+    /// let mono = engine.join_self(&p, &JoinSpec::threshold(0.8)).unwrap();
+    /// let sharded = engine
+    ///     .join_self(&p, &JoinSpec::threshold(0.8).sharded(2))
+    ///     .unwrap();
+    /// assert_eq!(mono.pairs, sharded.pairs); // byte-identical results
+    /// assert!(sharded.stats.shard_tasks + sharded.stats.shard_tasks_pruned > 0);
+    /// ```
     pub fn sharded(mut self, g: usize) -> Self {
         self.shards = g;
         self
@@ -215,6 +234,28 @@ impl JoinSpec {
     /// The configured shard count (0 = monolithic).
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Enable/disable the in-probe position/compatibility filter (on by
+    /// default). Output is byte-identical either way — the knob exists
+    /// for A/B measurement of candidate volume
+    /// ([`JoinStats::pos_rejected`] / [`JoinStats::compat_rejected`]).
+    ///
+    /// ```
+    /// use au_core::engine::JoinSpec;
+    ///
+    /// let spec = JoinSpec::threshold(0.8).position_filter(false);
+    /// assert!(!spec.position_filter_enabled());
+    /// assert!(JoinSpec::threshold(0.8).position_filter_enabled());
+    /// ```
+    pub fn position_filter(mut self, on: bool) -> Self {
+        self.pos_filter = on;
+        self
+    }
+
+    /// Whether the in-probe position/compatibility filter is enabled.
+    pub fn position_filter_enabled(&self) -> bool {
+        self.pos_filter
     }
 
     /// Top-k descent schedule: first-round θ, the floor below which the
@@ -311,6 +352,7 @@ impl JoinSpec {
             filter: self.filter,
             mp_mode: self.mp_mode,
             parallel: self.parallel,
+            pos_filter: self.pos_filter,
         }
     }
 }
@@ -369,6 +411,18 @@ struct Memo {
 /// (inside each [`SegRecord`]), pebbles, cached tier-0 integers, and a
 /// memo of order-dependent artifacts. Create with [`Engine::prepare`];
 /// every engine operation consumes `&Prepared`.
+///
+/// ```
+/// use au_core::engine::Engine;
+/// use au_core::{KnowledgeBuilder, SimConfig};
+///
+/// let mut kn = KnowledgeBuilder::new().build();
+/// let c = kn.corpus_from_lines(["coffee shop", "tea house"]);
+/// let engine = Engine::new(kn, SimConfig::default()).unwrap();
+/// let prepared = engine.prepare(&c).unwrap();
+/// assert_eq!(prepared.len(), 2);
+/// assert!(prepared.memory_bytes() > 0);
+/// ```
 #[derive(Debug)]
 pub struct Prepared {
     id: u64,
@@ -834,6 +888,11 @@ impl Engine {
 
         let filter_start = Instant::now();
         let index = self.csr(t, SigKey::new(key_t, opts), &sel_t);
+        let ctx = opts.pos_filter.then(|| PosFilterCtx {
+            tier0_s: &s.tier0,
+            tier0_t: &t.tier0,
+            min_sim: opts.theta - self.cfg.eps,
+        });
         let outcome = candidate_pass_with_index(
             &sel_s,
             &sel_t,
@@ -841,6 +900,7 @@ impl Engine {
             self_join,
             opts.filter.tau(),
             opts.parallel,
+            ctx.as_ref(),
         );
         (outcome, sig_time, filter_start.elapsed())
     }
@@ -873,6 +933,8 @@ impl Engine {
             verify_time,
             processed_pairs: outcome.processed_pairs,
             candidates: outcome.candidates.len() as u64,
+            pos_rejected: outcome.pos_rejected,
+            compat_rejected: outcome.compat_rejected,
             avg_sig_len_s: outcome.avg_sig_len_s,
             avg_sig_len_t: if self_join {
                 outcome.avg_sig_len_s
@@ -1002,6 +1064,8 @@ impl Engine {
             verify_time: verify_start.elapsed(),
             processed_pairs: outcome.processed_pairs,
             candidates: outcome.candidates.len() as u64,
+            pos_rejected: outcome.pos_rejected,
+            compat_rejected: outcome.compat_rejected,
             avg_sig_len_s: outcome.avg_sig_len_s,
             avg_sig_len_t: if self_join {
                 outcome.avg_sig_len_s
@@ -1358,6 +1422,8 @@ impl Engine {
         agg.verify_time += verify_time;
         agg.processed_pairs += outcome.processed_pairs;
         agg.candidates += outcome.candidates.len() as u64;
+        agg.pos_rejected += outcome.pos_rejected;
+        agg.compat_rejected += outcome.compat_rejected;
         agg.add_sig_len(
             outcome.avg_sig_len_s,
             pa.len(),
@@ -1703,6 +1769,8 @@ struct StatAgg {
     verify_time: Duration,
     processed_pairs: u64,
     candidates: u64,
+    pos_rejected: u64,
+    compat_rejected: u64,
     sig_len_s_weighted: f64,
     sig_len_s_records: u64,
     sig_len_t_weighted: f64,
@@ -1719,6 +1787,8 @@ impl StatAgg {
         self.verify_time += st.verify_time;
         self.processed_pairs += st.processed_pairs;
         self.candidates += st.candidates;
+        self.pos_rejected += st.pos_rejected;
+        self.compat_rejected += st.compat_rejected;
         self.add_sig_len(st.avg_sig_len_s, n_s, st.avg_sig_len_t, n_t);
         self.tiers.merge(&st.tiers);
     }
@@ -1738,6 +1808,8 @@ impl StatAgg {
             verify_time: self.verify_time,
             processed_pairs: self.processed_pairs,
             candidates: self.candidates,
+            pos_rejected: self.pos_rejected,
+            compat_rejected: self.compat_rejected,
             avg_sig_len_s: if self.sig_len_s_records == 0 {
                 0.0
             } else {
@@ -1862,6 +1934,7 @@ impl Searcher<'_> {
                 index: &self.index,
                 counter: &self.counter,
                 pool: &self.pool,
+                tier0: &self.prepared.tier0,
             },
             sr,
         )

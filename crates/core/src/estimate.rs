@@ -57,6 +57,7 @@ pub(crate) fn filter_counts_impl(
         filter,
         mp_mode: crate::signature::MpMode::ExactDp,
         parallel: false,
+        pos_filter: true,
     };
     let out = filter_stage(&sp, &tp, &opts, cfg.eps, false);
     FilterCounts {

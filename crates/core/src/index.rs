@@ -28,6 +28,45 @@
 //! `min(τ, level_probe, level_record).max(1)`. Records that can no longer
 //! qualify are never added to the touched set (their posting entries are
 //! still read, so the processed-pairs count `Tτ` of Eq. 16 is unchanged).
+//!
+//! On top of the τ-skip, [`OverlapCounter::probe_filtered`] layers two
+//! *per-pair* rejection bounds applied during the posting scan (the
+//! PPJoin family's positional reasoning, transplanted to pebble
+//! signatures):
+//!
+//! * **positional** — every posting entry carries the key's position in
+//!   the indexed record's sorted distinct-key list. Both sides sort keys
+//!   by the same `PebbleKey` total order, so when the probe's key `i`
+//!   matches the indexed record's position `p`, every further shared key
+//!   lies strictly after both: the final overlap is at most
+//!   `overlap_so_far + min(m − i − 1, |sig_t| − p − 1)`. When that upper
+//!   bound cannot reach the pair's demand the record is marked dead and
+//!   never becomes a candidate;
+//! * **compatibility** — the verifier's tier-0 record-level bound
+//!   `USIM ≤ min(|S|,|T|) / max(MP(S),MP(T))` evaluated from cached
+//!   integers at the record's first touch; pairs whose bound falls below
+//!   `θ − ε` would be rejected by verification tier 0 anyway, so they are
+//!   dropped here, before they are ever materialized.
+//!
+//! Both bounds reject pairs that verification would reject, so the join
+//! *output* is byte-identical with the filter on or off; `Tτ` is also
+//! unchanged (posting entries are still read). Only the candidate set
+//! shrinks — the whole point.
+//!
+//! ## Why there is no *weighted* (mass) positional bound
+//!
+//! A natural-looking refinement would track matched pebble *mass* per
+//! pair against the `(θ − ε) · max(MP)` demand, the way the signature
+//! selectors budget mass via AS (Definition 4). It cannot be made both
+//! sound and useful here: the probe observes only `sig(S) ∩ sig(T)`, yet
+//! a key can be shared through one side's *non-signature tail* (it is in
+//! `sig(T)` but past S's prefix, or vice versa). Covering that unseen
+//! mass requires charging the bound with a full tail's AS — and the
+//! selectors cut prefixes precisely so each tail holds *just under*
+//! `θ · MP` of mass, which drives any such bound's slack to ≈ 0. The
+//! sound per-pair information available in-probe is exactly the tier-0
+//! scalars plus count-level prefix overlap — the two bounds above. See
+//! `docs/ARCHITECTURE.md` for the measured consequences.
 
 use crate::parallel::par_map;
 use crate::pebble::{Pebble, PebbleKey};
@@ -124,19 +163,30 @@ impl RecordKeys {
 /// postings arena.
 ///
 /// Postings of one key are record ids in ascending order (records are
-/// scattered in id order). Probing is done with [`OverlapCounter::probe`].
+/// scattered in id order). A parallel `positions` arena stores, for each
+/// posting entry, the key's position inside that record's sorted distinct
+/// key list — the payload of the positional filter
+/// ([`OverlapCounter::probe_filtered`]). Probing is done with
+/// [`OverlapCounter::probe`] / [`OverlapCounter::probe_filtered`].
 #[derive(Debug, Default, Clone)]
 pub struct CsrIndex {
     /// Key → slot. Slot `k` owns `postings[offsets[k] .. offsets[k+1]]`.
     slots: FxHashMap<PebbleKey, u32>,
     offsets: Vec<u32>,
     postings: Vec<u32>,
+    /// `positions[e]` = position of the slot's key in record
+    /// `postings[e]`'s sorted distinct key list (same arena layout).
+    positions: Vec<u32>,
+    /// Per-record distinct-key signature length (the `|sig_t|` of the
+    /// positional bound), indexed by record id.
+    sig_lens: Vec<u32>,
     total_records: usize,
 }
 
 impl CsrIndex {
     /// Build from per-record distinct key sets (two-pass counting sort:
-    /// count per key, prefix-sum into offsets, scatter record ids).
+    /// count per key, prefix-sum into offsets, scatter record ids and key
+    /// positions).
     pub fn from_record_keys(rk: &RecordKeys) -> Self {
         debug_assert!(
             rk.keys.len() < u32::MAX as usize,
@@ -162,10 +212,15 @@ impl CsrIndex {
         // Scatter in record order so every posting list stays ascending.
         let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
         let mut postings = vec![0u32; rk.keys.len()];
+        let mut positions = vec![0u32; rk.keys.len()];
+        let mut sig_lens = Vec::with_capacity(rk.len());
         for r in 0..rk.len() as u32 {
-            for &key in rk.get(r) {
+            let keys = rk.get(r);
+            sig_lens.push(keys.len() as u32);
+            for (pos, &key) in keys.iter().enumerate() {
                 let slot = slots[&key] as usize;
                 postings[cursor[slot] as usize] = r;
+                positions[cursor[slot] as usize] = pos as u32;
                 cursor[slot] += 1;
             }
         }
@@ -173,6 +228,8 @@ impl CsrIndex {
             slots,
             offsets,
             postings,
+            positions,
+            sig_lens,
             total_records: rk.len(),
         }
     }
@@ -190,6 +247,8 @@ impl CsrIndex {
         self.slots.len() * std::mem::size_of::<(PebbleKey, u32)>()
             + self.offsets.len() * std::mem::size_of::<u32>()
             + self.postings.len() * std::mem::size_of::<u32>()
+            + self.positions.len() * std::mem::size_of::<u32>()
+            + self.sig_lens.len() * std::mem::size_of::<u32>()
     }
 
     /// Records whose signature contains `key` (ascending ids).
@@ -198,6 +257,24 @@ impl CsrIndex {
             let (a, b) = (self.offsets[slot as usize], self.offsets[slot as usize + 1]);
             &self.postings[a as usize..b as usize]
         })
+    }
+
+    /// Records whose signature contains `key`, paired with the key's
+    /// position in each record's sorted distinct key list (the positional
+    /// filter payload). Both slices share the posting-list order.
+    pub fn get_with_positions(&self, key: PebbleKey) -> Option<(&[u32], &[u32])> {
+        self.slots.get(&key).map(|&slot| {
+            let (a, b) = (
+                self.offsets[slot as usize] as usize,
+                self.offsets[slot as usize + 1] as usize,
+            );
+            (&self.postings[a..b], &self.positions[a..b])
+        })
+    }
+
+    /// Signature length (distinct keys) of one indexed record.
+    pub fn sig_len(&self, record: u32) -> u32 {
+        self.sig_lens[record as usize]
     }
 
     /// Iterate `(key, postings)` pairs (arbitrary order).
@@ -245,6 +322,72 @@ pub struct OverlapCounter {
 /// argument of [`OverlapCounter::probe`]; the posting entries read come
 /// back as this count (`Tτ` contribution, Eq. 16).
 pub type ProcessedEntries = u64;
+
+/// Funnel telemetry of one [`OverlapCounter::probe_filtered`] call.
+///
+/// Every field is a pure function of the probe inputs (the loop is
+/// sequential per probe), so per-record stats — and any sum of them over
+/// a deterministic probe set — are identical across runs, thread counts
+/// and hosts. The perf gate exact-matches them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Posting entries read (`Tτ` contribution, Eq. 16) — identical with
+    /// the filter on or off: rejection never skips reading an entry.
+    pub processed: u64,
+    /// Pairs whose positional upper bound `overlap + min(remaining_s,
+    /// remaining_t)` fell below their demand.
+    pub pos_rejected: u64,
+    /// Pairs killed at first touch by the tier-0 compatibility bound
+    /// `min(|S|,|T|) / max(MP(S),MP(T)) < θ − ε`.
+    pub compat_rejected: u64,
+}
+
+impl ProbeStats {
+    /// Accumulate another probe's stats (used when folding per-record
+    /// outcomes into a join-level total).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.processed += other.processed;
+        self.pos_rejected += other.pos_rejected;
+        self.compat_rejected += other.compat_rejected;
+    }
+}
+
+/// Parameters of the in-probe position/compatibility filter
+/// ([`OverlapCounter::probe_filtered`]).
+///
+/// `tier0` holds the indexed side's cached `(|T|, MP(T))` integers (one
+/// per record id); `probe_tier0` is the probe record's `(|S|, MP(S))`;
+/// `min_sim` is `θ − ε` — exactly the verifier's acceptance threshold, so
+/// a pair rejected here is a pair tier-0 verification would reject.
+#[derive(Debug, Clone, Copy)]
+pub struct PositionFilter<'a> {
+    /// Indexed-side `(n_tokens, min_partition)` per record id.
+    pub tier0: &'a [(u32, u32)],
+    /// Probe-side `(n_tokens, min_partition)`.
+    pub probe_tier0: (u32, u32),
+    /// `θ − ε`: the verifier's acceptance threshold.
+    pub min_sim: f64,
+}
+
+/// The verifier's tier-0 record-level bound `USIM ≤ min(|S|,|T|) /
+/// max(MP(S),MP(T))` from cached integers (mirrors
+/// [`crate::engine::Engine::usim_upper_bound`], including the empty-record
+/// conventions — the two must agree or filtering would not be sound).
+#[inline]
+fn tier0_upper_bound(ns: u32, mps: u32, nt: u32, mpt: u32) -> f64 {
+    if ns == 0 && nt == 0 {
+        1.0
+    } else if ns == 0 || nt == 0 {
+        0.0
+    } else {
+        ns.min(nt) as f64 / mps.max(mpt) as f64
+    }
+}
+
+/// Count sentinel marking a record rejected for the rest of the probe: a
+/// dead record's posting entries are still *read* (`Tτ` unchanged) but
+/// never re-counted, and the final pass never reports it.
+const DEAD: u32 = u32::MAX;
 
 impl OverlapCounter {
     /// Counter for an indexed side of `n_records` records.
@@ -296,13 +439,66 @@ impl OverlapCounter {
         min_excl: Option<u32>,
         out: &mut Vec<u32>,
     ) -> ProcessedEntries {
+        self.probe_filtered(index, keys, probe_level, tau, levels, min_excl, None, out)
+            .processed
+    }
+
+    /// [`OverlapCounter::probe`] with the optional in-probe
+    /// position/compatibility filter (see the module docs for the two
+    /// bounds and their soundness argument).
+    ///
+    /// With `pos = None` the behaviour — candidates, order, `Tτ` — is
+    /// byte-identical to [`OverlapCounter::probe`]. With `pos = Some`,
+    /// pairs provably below the verifier's acceptance threshold are
+    /// marked dead during the scan and never reported; the candidate set
+    /// is a subset of the unfiltered one that still contains every pair
+    /// verification would accept, and `Tτ` is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_filtered(
+        &mut self,
+        index: &CsrIndex,
+        keys: &[PebbleKey],
+        probe_level: u32,
+        tau: u32,
+        levels: &[u32],
+        min_excl: Option<u32>,
+        pos: Option<&PositionFilter<'_>>,
+        out: &mut Vec<u32>,
+    ) -> ProbeStats {
         debug_assert!(self.counts.len() >= index.record_count());
         self.begin();
-        let epoch = self.epoch;
-        let m = keys.len();
         // Maximum demand any indexed record can pose against this probe.
         let dmax = tau.min(probe_level).max(1);
-        let mut processed: ProcessedEntries = 0;
+        let mut stats = ProbeStats::default();
+        match pos {
+            None => self.scan_unfiltered(index, keys, dmax, levels, min_excl, &mut stats),
+            Some(pf) => self.scan_filtered(index, keys, dmax, levels, min_excl, pf, &mut stats),
+        }
+        self.touched.sort_unstable();
+        for &b in &self.touched {
+            let bi = b as usize;
+            let c = self.counts[bi];
+            if c != DEAD && c >= dmax.min(levels[bi]).max(1) {
+                out.push(b);
+            }
+        }
+        stats
+    }
+
+    /// The original counting scan (no per-pair rejection; `counts` never
+    /// holds [`DEAD`], so the shared final pass behaves exactly as
+    /// before).
+    fn scan_unfiltered(
+        &mut self,
+        index: &CsrIndex,
+        keys: &[PebbleKey],
+        dmax: u32,
+        levels: &[u32],
+        min_excl: Option<u32>,
+        stats: &mut ProbeStats,
+    ) {
+        let epoch = self.epoch;
+        let m = keys.len();
         for (i, &key) in keys.iter().enumerate() {
             let Some(mut list) = index.get(key) else {
                 continue;
@@ -310,7 +506,7 @@ impl OverlapCounter {
             if let Some(a) = min_excl {
                 list = &list[list.partition_point(|&b| b <= a)..];
             }
-            processed += list.len() as u64;
+            stats.processed += list.len() as u64;
             let rem = (m - i) as u32;
             if rem >= dmax {
                 // Every untouched record can still reach its demand.
@@ -339,14 +535,85 @@ impl OverlapCounter {
                 }
             }
         }
-        self.touched.sort_unstable();
-        for &b in &self.touched {
-            let bi = b as usize;
-            if self.counts[bi] >= dmax.min(levels[bi]).max(1) {
-                out.push(b);
+    }
+
+    /// The position/compat-filtered scan. Per entry: dead records are
+    /// skipped; live ones are counted and then checked against the
+    /// positional upper bound; first touches additionally pass the τ-skip
+    /// and the tier-0 compatibility bound. A record that fails a bound is
+    /// stamped [`DEAD`] — final, never re-admitted, never re-counted.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_filtered(
+        &mut self,
+        index: &CsrIndex,
+        keys: &[PebbleKey],
+        dmax: u32,
+        levels: &[u32],
+        min_excl: Option<u32>,
+        pf: &PositionFilter<'_>,
+        stats: &mut ProbeStats,
+    ) {
+        let epoch = self.epoch;
+        let m = keys.len();
+        let (ns, mps) = pf.probe_tier0;
+        for (i, &key) in keys.iter().enumerate() {
+            let Some((mut list, mut list_pos)) = index.get_with_positions(key) else {
+                continue;
+            };
+            if let Some(a) = min_excl {
+                let cut = list.partition_point(|&b| b <= a);
+                list = &list[cut..];
+                list_pos = &list_pos[cut..];
+            }
+            stats.processed += list.len() as u64;
+            let rem = (m - i) as u32;
+            // Probe keys strictly after this one (the probe side of the
+            // positional bound).
+            let rem_s = rem - 1;
+            for (&b, &p) in list.iter().zip(list_pos) {
+                let bi = b as usize;
+                if self.stamps[bi] == epoch {
+                    let c = self.counts[bi];
+                    if c == DEAD {
+                        continue;
+                    }
+                    let c = c + 1;
+                    self.counts[bi] = c;
+                    // Cheap pre-screen: rejection needs ub < demand and
+                    // demand ≤ dmax, so ub ≥ dmax can never reject — skip
+                    // the level lookup on the common path.
+                    let ub = c + rem_s.min(index.sig_lens[bi] - p - 1);
+                    if ub < dmax && ub < dmax.min(levels[bi]).max(1) {
+                        self.counts[bi] = DEAD;
+                        stats.pos_rejected += 1;
+                    }
+                } else {
+                    let demand = dmax.min(levels[bi]).max(1);
+                    if rem < demand {
+                        // τ-skip — same non-admission as the unfiltered
+                        // scan (not a filter rejection; never counted).
+                        continue;
+                    }
+                    let (nt, mpt) = pf.tier0[bi];
+                    if tier0_upper_bound(ns, mps, nt, mpt) < pf.min_sim {
+                        self.stamps[bi] = epoch;
+                        self.counts[bi] = DEAD;
+                        stats.compat_rejected += 1;
+                        continue;
+                    }
+                    let ub = 1 + rem_s.min(index.sig_lens[bi] - p - 1);
+                    if ub < demand {
+                        self.stamps[bi] = epoch;
+                        self.counts[bi] = DEAD;
+                        stats.pos_rejected += 1;
+                        continue;
+                    }
+                    self.stamps[bi] = epoch;
+                    self.counts[bi] = 1;
+                    self.touched.push(b);
+                }
             }
         }
-        processed
     }
 }
 
@@ -611,6 +878,133 @@ mod tests {
                 &mut out,
             );
             assert_eq!(out, vec![0]); // exactly 2 overlaps every round, never 4
+        }
+    }
+
+    /// A loose tier0/min_sim pairing that disables the compatibility
+    /// bound, isolating the positional bound.
+    fn loose_pf(tier0: &[(u32, u32)]) -> PositionFilter<'_> {
+        PositionFilter {
+            tier0,
+            probe_tier0: (10, 1),
+            min_sim: 0.0,
+        }
+    }
+
+    #[test]
+    fn position_filter_rejects_hopeless_suffix_overlap() {
+        // Record 1 holds keys {0, 2}; its match with probe key 2 sits at
+        // the *end* of its own list (position 1 of 2). At τ = 2 the τ-skip
+        // admits it (3 probe keys remain ≥ demand 2), but the positional
+        // bound sees ub = 1 + min(rem_s = 2, record remaining = 0) = 1 < 2
+        // — dead on first touch. Record 0 shares all three keys and must
+        // survive. The unfiltered probe also excludes record 1, but only
+        // in the final pass (overlap 1 < 2), so candidates agree while
+        // only the filtered probe reports the early rejection.
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[2, 3, 4]), grams(&[0, 2])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let rk = RecordKeys::build(&sigs, false);
+        let idx = CsrIndex::from_record_keys(&rk);
+        let levels = vec![2, 2];
+        let tier0 = vec![(3, 1), (2, 1)];
+        let keys = [PebbleKey::Gram(2), PebbleKey::Gram(3), PebbleKey::Gram(4)];
+        let mut ctr = OverlapCounter::new(2);
+        let mut unf = Vec::new();
+        let ustats = ctr.probe_filtered(&idx, &keys, 3, 2, &levels, None, None, &mut unf);
+        let pf = loose_pf(&tier0);
+        let mut fil = Vec::new();
+        let fstats = ctr.probe_filtered(&idx, &keys, 3, 2, &levels, None, Some(&pf), &mut fil);
+        assert_eq!(unf, vec![0]);
+        assert_eq!(fil, vec![0]);
+        assert_eq!(fstats.processed, ustats.processed, "Tτ must be unchanged");
+        assert_eq!(
+            fstats.pos_rejected, 1,
+            "record 1 dies on the positional bound"
+        );
+        assert_eq!(fstats.compat_rejected, 0);
+        assert_eq!(ustats.pos_rejected + ustats.compat_rejected, 0);
+    }
+
+    #[test]
+    fn position_filter_mid_scan_death_is_final() {
+        // Record 1 = {1, 3, 8, 9} vs probe {1, 2, 3, 4} at τ = 4. First
+        // touch on key 1: ub = 1 + min(3, 3) = 4 ≥ 4 → admitted alive
+        // (and pushed to `touched`). Second match on key 3:
+        // ub = 2 + min(1, 2) = 3 < 4 → dead mid-scan. The final pass must
+        // not resurrect it even though it sits in `touched`, and the DEAD
+        // sentinel must not leak into the next probe epoch.
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1, 2, 3, 4]), grams(&[1, 3, 8, 9])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let rk = RecordKeys::build(&sigs, false);
+        let idx = CsrIndex::from_record_keys(&rk);
+        let levels = vec![4, 4];
+        let tier0 = vec![(4, 1), (4, 1)];
+        let keys = [
+            PebbleKey::Gram(1),
+            PebbleKey::Gram(2),
+            PebbleKey::Gram(3),
+            PebbleKey::Gram(4),
+        ];
+        let pf = loose_pf(&tier0);
+        let mut ctr = OverlapCounter::new(2);
+        let mut fil = Vec::new();
+        let stats = ctr.probe_filtered(&idx, &keys, 4, 4, &levels, None, Some(&pf), &mut fil);
+        assert_eq!(fil, vec![0]);
+        assert_eq!(stats.pos_rejected, 1);
+        // Reusing the counter afterwards stays sound (DEAD does not leak
+        // into the next epoch).
+        let mut again = Vec::new();
+        ctr.probe_filtered(&idx, &keys, 4, 1, &levels, None, None, &mut again);
+        assert_eq!(again, vec![0, 1]);
+    }
+
+    #[test]
+    fn compat_bound_rejects_incompatible_lengths_at_first_touch() {
+        // Probe tier0 (2, 1) vs record 1 tier0 (30, 15): upper bound
+        // min(2,30)/max(1,15) = 2/15 < 0.9 → compat-rejected at first
+        // touch. Record 0 is same-sized and survives.
+        let recs: Vec<Vec<Pebble>> = vec![grams(&[1, 2]), grams(&[1, 2])];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let rk = RecordKeys::build(&sigs, false);
+        let idx = CsrIndex::from_record_keys(&rk);
+        let levels = vec![2, 2];
+        let tier0 = vec![(2, 1), (30, 15)];
+        let pf = PositionFilter {
+            tier0: &tier0,
+            probe_tier0: (2, 1),
+            min_sim: 0.9,
+        };
+        let keys = [PebbleKey::Gram(1), PebbleKey::Gram(2)];
+        let mut ctr = OverlapCounter::new(2);
+        let mut fil = Vec::new();
+        let stats = ctr.probe_filtered(&idx, &keys, 2, 2, &levels, None, Some(&pf), &mut fil);
+        assert_eq!(fil, vec![0]);
+        assert_eq!(stats.compat_rejected, 1);
+        assert_eq!(stats.pos_rejected, 0);
+        assert_eq!(stats.processed, 4, "dead entries still count toward Tτ");
+    }
+
+    #[test]
+    fn filtered_probe_without_filter_matches_probe() {
+        let recs: Vec<Vec<Pebble>> = vec![
+            grams(&[1, 2, 3]),
+            grams(&[2, 3, 4]),
+            grams(&[5]),
+            grams(&[1, 5, 9]),
+        ];
+        let sigs: Vec<&[Pebble]> = recs.iter().map(|v| v.as_slice()).collect();
+        let rk = RecordKeys::build(&sigs, false);
+        let idx = CsrIndex::from_record_keys(&rk);
+        let levels = vec![3, 3, 1, 2];
+        let keys = [PebbleKey::Gram(2), PebbleKey::Gram(3), PebbleKey::Gram(5)];
+        let mut ctr = OverlapCounter::new(4);
+        for tau in 1..=3u32 {
+            let mut a = Vec::new();
+            let pa = ctr.probe(&idx, &keys, 3, tau, &levels, None, &mut a);
+            let mut b = Vec::new();
+            let sb = ctr.probe_filtered(&idx, &keys, 3, tau, &levels, None, None, &mut b);
+            assert_eq!(a, b, "τ={tau}");
+            assert_eq!(pa, sb.processed, "τ={tau}");
         }
     }
 

@@ -15,7 +15,9 @@
 //! (Section 4) re-runs stages 1–4 on small samples.
 
 use crate::config::SimConfig;
-use crate::index::{CsrIndex, InvertedIndex, OverlapCounter, RecordKeys};
+use crate::index::{
+    CsrIndex, InvertedIndex, OverlapCounter, PositionFilter, ProbeStats, RecordKeys,
+};
 use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, Pebble, PebbleOrder};
 use crate::segment::{segment_record, SegRecord};
@@ -38,6 +40,12 @@ pub struct JoinOptions {
     pub mp_mode: MpMode,
     /// Verify candidates on multiple threads.
     pub parallel: bool,
+    /// Apply the in-probe position/compatibility filter
+    /// ([`crate::index::OverlapCounter::probe_filtered`]) during the
+    /// candidate pass. On by default; the opt-out exists for A/B
+    /// measurement — output is byte-identical either way, only the
+    /// candidate set (and therefore verification work) changes.
+    pub pos_filter: bool,
 }
 
 impl JoinOptions {
@@ -48,6 +56,7 @@ impl JoinOptions {
             filter: FilterKind::UFilter,
             mp_mode: MpMode::ExactDp,
             parallel: true,
+            pos_filter: true,
         }
     }
 
@@ -85,9 +94,27 @@ pub struct JoinStats {
     /// Verification.
     pub verify_time: Duration,
     /// `Tτ`: index pairs touched during filtering (Eq. 16).
+    ///
+    /// **Sharded-join invariant:** on a sharded run this is the honest
+    /// *sum of the per-task counts* — each shard-pair task runs its own
+    /// order/signature/filter pipeline over its slices, so per-task
+    /// signature prefixes (and hence posting lists) differ from the
+    /// monolithic run's and the sum is structurally *not* the monolithic
+    /// `Tτ`. Pruned tasks contribute zero. The relationship is pinned by
+    /// `sharded_t_tau_is_per_task_sum` in `tests/shard_equivalence.rs`;
+    /// result pairs, by contrast, are byte-identical across executors.
     pub processed_pairs: u64,
-    /// `Vτ`: candidates surviving the τ-overlap test.
+    /// `Vτ`: candidates surviving the τ-overlap test (after in-probe
+    /// position/compat rejection when [`JoinOptions::pos_filter`] is on).
     pub candidates: u64,
+    /// Pairs rejected during the posting scan by the positional upper
+    /// bound (see [`crate::index::ProbeStats::pos_rejected`]). Zero when
+    /// the position filter is off.
+    pub pos_rejected: u64,
+    /// Pairs rejected at first touch by the tier-0 compatibility bound
+    /// (see [`crate::index::ProbeStats::compat_rejected`]). Zero when the
+    /// position filter is off.
+    pub compat_rejected: u64,
     /// Mean signature length (distinct pebbles), S side.
     pub avg_sig_len_s: f64,
     /// Mean signature length (distinct pebbles), T side.
@@ -261,14 +288,46 @@ impl SelectedSignatures {
 /// Output of the filtering stage (stages 3–4).
 #[derive(Debug, Clone, Default)]
 pub struct FilterOutcome {
-    /// Candidate pairs with ≥ τ common signature pebbles.
+    /// Candidate pairs with ≥ τ common signature pebbles (minus the pairs
+    /// the in-probe position/compat filter rejected, when enabled).
     pub candidates: Vec<(u32, u32)>,
-    /// `Tτ` (Eq. 16).
+    /// `Tτ` (Eq. 16) — unchanged by the position filter.
     pub processed_pairs: u64,
+    /// Pairs rejected in-probe by the positional bound (0 when the
+    /// filter is off).
+    pub pos_rejected: u64,
+    /// Pairs rejected in-probe by the tier-0 compatibility bound (0 when
+    /// the filter is off).
+    pub compat_rejected: u64,
     /// Mean signature length on the S side.
     pub avg_sig_len_s: f64,
     /// Mean signature length on the T side.
     pub avg_sig_len_t: f64,
+}
+
+/// Everything the in-probe position/compatibility filter needs from the
+/// two join sides: the cached tier-0 `(n_tokens, min_partition)` integers
+/// and the verifier's acceptance threshold `θ − ε`. Borrowed from
+/// [`crate::engine::Prepared`] on the session paths; derived from the
+/// [`PreparedCorpus`] segmentations on the free-function paths.
+#[derive(Debug, Clone, Copy)]
+pub struct PosFilterCtx<'a> {
+    /// Probe-side `(|S|, MP(S))` per record id.
+    pub tier0_s: &'a [(u32, u32)],
+    /// Indexed-side `(|T|, MP(T))` per record id.
+    pub tier0_t: &'a [(u32, u32)],
+    /// `θ − ε`.
+    pub min_sim: f64,
+}
+
+/// Per-record tier-0 integers of a [`PreparedCorpus`] — the free-function
+/// path's source for [`PosFilterCtx`] (the session API reuses the copy
+/// cached in [`crate::engine::Prepared`] instead).
+pub fn tier0_of(prep: &PreparedCorpus) -> Vec<(u32, u32)> {
+    prep.segrecs
+        .iter()
+        .map(|sr| (sr.n_tokens() as u32, sr.min_partition))
+        .collect()
 }
 
 /// Stage 4 on pre-selected signatures: build the CSR index over the
@@ -279,15 +338,20 @@ pub struct FilterOutcome {
 /// each record `a` probes only ids `> a`, producing every pair exactly
 /// once. Probing is parallelised over [`crate::parallel::par_map_scratch`]
 /// (one counter per worker); output order is deterministic either way.
+///
+/// `pos = Some` enables the in-probe position/compatibility filter;
+/// `None` reproduces the unfiltered candidate set (the legacy-engine
+/// oracle's behaviour — the equivalence harness relies on it).
 pub fn candidate_pass(
     s: &SelectedSignatures,
     t: Option<&SelectedSignatures>,
     tau: u32,
     parallel: bool,
+    pos: Option<&PosFilterCtx<'_>>,
 ) -> FilterOutcome {
     let indexed = t.unwrap_or(s);
     let index = CsrIndex::from_record_keys(&indexed.record_keys);
-    candidate_pass_with_index(s, indexed, &index, t.is_none(), tau, parallel)
+    candidate_pass_with_index(s, indexed, &index, t.is_none(), tau, parallel, pos)
 }
 
 /// [`candidate_pass`] against a pre-built CSR index over `indexed`'s
@@ -295,6 +359,7 @@ pub fn candidate_pass(
 /// filter)` so repeated operations skip the rebuild; output is
 /// byte-identical to [`candidate_pass`] (the index is a pure function of
 /// the signatures).
+#[allow(clippy::too_many_arguments)]
 pub fn candidate_pass_with_index(
     s: &SelectedSignatures,
     indexed: &SelectedSignatures,
@@ -302,42 +367,54 @@ pub fn candidate_pass_with_index(
     self_join: bool,
     tau: u32,
     parallel: bool,
+    pos: Option<&PosFilterCtx<'_>>,
 ) -> FilterOutcome {
     let ids: Vec<u32> = (0..s.len() as u32).collect();
-    let per_record: Vec<(Vec<u32>, u64)> = crate::parallel::par_map_scratch(
+    let per_record: Vec<(Vec<u32>, ProbeStats)> = crate::parallel::par_map_scratch(
         &ids,
         parallel,
         || OverlapCounter::new(index.record_count()),
         |ctr, &a| {
             let mut hits = Vec::new();
-            let processed = ctr.probe(
+            let pf = pos.map(|ctx| PositionFilter {
+                tier0: ctx.tier0_t,
+                probe_tier0: ctx.tier0_s[a as usize],
+                min_sim: ctx.min_sim,
+            });
+            let stats = ctr.probe_filtered(
                 index,
                 s.record_keys.get(a),
                 s.levels[a as usize],
                 tau,
                 &indexed.levels,
                 self_join.then_some(a),
+                pf.as_ref(),
                 &mut hits,
             );
-            (hits, processed)
+            (hits, stats)
         },
     );
     let mut candidates = Vec::new();
-    let mut processed = 0u64;
-    for (a, (hits, p)) in per_record.into_iter().enumerate() {
-        processed += p;
+    let mut totals = ProbeStats::default();
+    for (a, (hits, stats)) in per_record.into_iter().enumerate() {
+        totals.merge(&stats);
         candidates.extend(hits.into_iter().map(|b| (a as u32, b)));
     }
     FilterOutcome {
         candidates,
-        processed_pairs: processed,
+        processed_pairs: totals.processed,
+        pos_rejected: totals.pos_rejected,
+        compat_rejected: totals.compat_rejected,
         avg_sig_len_s: s.record_keys.avg_sig_len(),
         avg_sig_len_t: indexed.record_keys.avg_sig_len(),
     }
 }
 
 /// Run stages 3–4 for an R×S join (`self_join = false`) or a self-join
-/// (both sides must then be the same `PreparedCorpus`).
+/// (both sides must then be the same `PreparedCorpus`). The in-probe
+/// position/compat filter follows [`JoinOptions::pos_filter`]; its tier-0
+/// integers are derived from the segmentations here (the session API
+/// passes [`crate::engine::Prepared`]'s cached copy instead).
 pub fn filter_stage(
     s: &PreparedCorpus,
     t: &PreparedCorpus,
@@ -346,11 +423,24 @@ pub fn filter_stage(
     self_join: bool,
 ) -> FilterOutcome {
     let sel_s = SelectedSignatures::select(s, opts, eps);
+    let tau = opts.filter.tau();
     if self_join {
-        candidate_pass(&sel_s, None, opts.filter.tau(), opts.parallel)
+        let tier0 = opts.pos_filter.then(|| tier0_of(s));
+        let ctx = tier0.as_ref().map(|t0| PosFilterCtx {
+            tier0_s: t0,
+            tier0_t: t0,
+            min_sim: opts.theta - eps,
+        });
+        candidate_pass(&sel_s, None, tau, opts.parallel, ctx.as_ref())
     } else {
         let sel_t = SelectedSignatures::select(t, opts, eps);
-        candidate_pass(&sel_s, Some(&sel_t), opts.filter.tau(), opts.parallel)
+        let tier0 = opts.pos_filter.then(|| (tier0_of(s), tier0_of(t)));
+        let ctx = tier0.as_ref().map(|(t0s, t0t)| PosFilterCtx {
+            tier0_s: t0s,
+            tier0_t: t0t,
+            min_sim: opts.theta - eps,
+        });
+        candidate_pass(&sel_s, Some(&sel_t), tau, opts.parallel, ctx.as_ref())
     }
 }
 
@@ -439,6 +529,8 @@ pub fn candidate_pass_legacy(
     FilterOutcome {
         candidates,
         processed_pairs: processed,
+        pos_rejected: 0,
+        compat_rejected: 0,
         avg_sig_len_s: idx_s.avg_sig_len(),
         avg_sig_len_t: avg_t,
     }
@@ -539,6 +631,8 @@ pub fn build_verify_index(t: &PreparedCorpus) -> GramPostingsIndex {
     GramPostingsIndex::build(&t.segrecs)
 }
 
+/// Stage 5 with telemetry: [`verify_candidates`] plus the per-tier
+/// cascade decision counts ([`VerifyTiers`]).
 pub fn verify_candidates_stats(
     kn: &Knowledge,
     cfg: &SimConfig,
@@ -759,6 +853,8 @@ pub fn join_prepared(
         verify_time,
         processed_pairs: outcome.processed_pairs,
         candidates: outcome.candidates.len() as u64,
+        pos_rejected: outcome.pos_rejected,
+        compat_rejected: outcome.compat_rejected,
         avg_sig_len_s: outcome.avg_sig_len_s,
         avg_sig_len_t: if self_join {
             outcome.avg_sig_len_s
@@ -882,6 +978,7 @@ mod tests {
                     filter,
                     mp_mode: MpMode::ExactDp,
                     parallel: false,
+                    pos_filter: true,
                 };
                 let res = join(&kn, &cfg, &s, &t, &opts);
                 let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
@@ -909,6 +1006,7 @@ mod tests {
                         filter,
                         mp_mode: MpMode::ExactDp,
                         parallel: false,
+                        pos_filter: true,
                     };
                     let res = join(&kn, &cfg, &s, &t, &opts);
                     let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();
@@ -940,6 +1038,7 @@ mod tests {
                 filter,
                 mp_mode: MpMode::ExactDp,
                 parallel: false,
+                pos_filter: true,
             };
             let res = join(&kn, &cfg, &s, &t, &opts);
             let got: Vec<(u32, u32)> = res.pairs.iter().map(|&(a, b, _)| (a, b)).collect();

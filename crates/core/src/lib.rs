@@ -10,6 +10,8 @@
 //! * [`signature`] — U-Filter (Alg. 2), AU-Filter heuristics (Alg. 4) and
 //!   AU-Filter DP (Alg. 5) signature selection.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod error;

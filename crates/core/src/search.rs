@@ -19,7 +19,7 @@
 //! consistent total order — `(frequency, key)` is one.
 
 use crate::config::SimConfig;
-use crate::index::{CsrIndex, OverlapCounter};
+use crate::index::{CsrIndex, OverlapCounter, PositionFilter};
 use crate::join::JoinOptions;
 use crate::knowledge::Knowledge;
 use crate::pebble::{generate_pebbles, PebbleKey, PebbleOrder};
@@ -38,6 +38,14 @@ pub struct SearchOutcome {
     pub candidates: u64,
     /// Posting entries touched while counting overlaps.
     pub processed: u64,
+    /// Records rejected in-probe by the positional upper bound
+    /// ([`crate::index::ProbeStats::pos_rejected`]); zero when
+    /// [`JoinOptions::pos_filter`] is off.
+    pub pos_rejected: u64,
+    /// Records rejected in-probe by the tier-0 compatibility bound
+    /// ([`crate::index::ProbeStats::compat_rejected`]); zero when
+    /// [`JoinOptions::pos_filter`] is off.
+    pub compat_rejected: u64,
 }
 
 /// Everything one query evaluation needs, borrowed from the session that
@@ -53,6 +61,9 @@ pub(crate) struct QueryEnv<'a> {
     pub index: &'a CsrIndex,
     pub counter: &'a Mutex<OverlapCounter>,
     pub pool: &'a Mutex<Vec<VerifyScratch>>,
+    /// Per-record tier-0 integers `(|S|, MP(S))` of the indexed
+    /// collection, for the in-probe compatibility bound.
+    pub tier0: &'a [(u32, u32)],
 }
 
 /// One query against a prepared collection: signature selection for the
@@ -75,22 +86,28 @@ pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> S
     // The epoch-stamped counter is shared across queries (its whole point
     // is O(1) reuse), so per-query work is proportional to the postings
     // touched, never to the collection size.
-    let (candidates, processed) = {
+    let (candidates, probe_stats) = {
         let mut distinct: Vec<PebbleKey> = pebbles[..choice.len].iter().map(|p| p.key).collect();
         distinct.sort_unstable();
         distinct.dedup();
+        let pf = env.opts.pos_filter.then(|| PositionFilter {
+            tier0: env.tier0,
+            probe_tier0: (sr.n_tokens() as u32, sr.min_partition),
+            min_sim: env.opts.theta - env.cfg.eps,
+        });
         let mut ctr = env.counter.lock().expect("search counter poisoned");
         let mut out = Vec::new();
-        let processed = ctr.probe(
+        let stats = ctr.probe_filtered(
             env.index,
             &distinct,
             choice.level,
             env.opts.filter.tau(),
             env.levels,
             None,
+            pf.as_ref(),
             &mut out,
         );
-        (out, processed)
+        (out, stats)
     };
     let theta = env.opts.theta;
     // Same probe-grouped cascade engine as the joins, deterministic
@@ -129,7 +146,9 @@ pub(crate) fn run_query(env: &QueryEnv<'_>, sr: &crate::segment::SegRecord) -> S
     SearchOutcome {
         matches,
         candidates: candidates.len() as u64,
-        processed,
+        processed: probe_stats.processed,
+        pos_rejected: probe_stats.pos_rejected,
+        compat_rejected: probe_stats.compat_rejected,
     }
 }
 

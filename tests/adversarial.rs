@@ -92,6 +92,7 @@ fn degenerate_records_never_crash_or_match() {
             filter,
             mp_mode: MpMode::ExactDp,
             parallel: false,
+            pos_filter: true,
         };
         let res = join(&kn, &cfg, &s, &t, &opts);
         // identical "a" records must match; empty/punctuation must not
@@ -158,6 +159,7 @@ fn long_rule_chains_stay_lossless() {
                     filter: FilterKind::AuDp { tau },
                     mp_mode: MpMode::ExactDp,
                     parallel: false,
+                    pos_filter: true,
                 },
             )
             .pairs

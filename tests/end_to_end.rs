@@ -58,6 +58,7 @@ fn figure1_pair_survives_every_filter() {
             filter,
             mp_mode: MpMode::ExactDp,
             parallel: false,
+            pos_filter: true,
         };
         let res = join(&kn, &cfg, &s, &t, &opts);
         assert!(
@@ -91,6 +92,7 @@ fn no_false_negatives_on_generated_data() {
                 filter,
                 mp_mode: MpMode::ExactDp,
                 parallel: false,
+                pos_filter: true,
             };
             let got: Vec<(u32, u32)> = join(&ds.kn, &cfg, &ds.s, &ds.t, &opts)
                 .pairs
@@ -120,6 +122,7 @@ fn greedy_mp_mode_also_lossless() {
             filter: FilterKind::AuDp { tau: 2 },
             mp_mode: MpMode::ExactDp,
             parallel: false,
+            pos_filter: true,
         },
     );
     let greedy = join(
@@ -132,6 +135,7 @@ fn greedy_mp_mode_also_lossless() {
             filter: FilterKind::AuDp { tau: 2 },
             mp_mode: MpMode::GreedyLn,
             parallel: false,
+            pos_filter: true,
         },
     );
     assert_eq!(exact.pairs, greedy.pairs);

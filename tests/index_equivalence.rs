@@ -12,8 +12,8 @@
 
 use au_join::core::config::SimConfig;
 use au_join::core::join::{
-    apply_global_order, candidate_pass, candidate_pass_legacy, prepare_corpus, JoinOptions,
-    SelectedSignatures,
+    apply_global_order, candidate_pass, candidate_pass_legacy, prepare_corpus, tier0_of,
+    verify_candidates, JoinOptions, PosFilterCtx, SelectedSignatures,
 };
 use au_join::core::signature::FilterKind;
 use au_join::datagen::{DatasetProfile, LabeledDataset};
@@ -31,7 +31,7 @@ fn assert_equivalent(ds: &LabeledDataset, opts: &JoinOptions, label: &str) {
     // R×S join, serial and parallel CSR vs legacy.
     let legacy = candidate_pass_legacy(&sel_s, Some(&sel_t), tau);
     for parallel in [false, true] {
-        let csr = candidate_pass(&sel_s, Some(&sel_t), tau, parallel);
+        let csr = candidate_pass(&sel_s, Some(&sel_t), tau, parallel, None);
         assert_eq!(
             csr.candidates, legacy.candidates,
             "{label} candidates (parallel={parallel})"
@@ -53,7 +53,7 @@ fn assert_equivalent(ds: &LabeledDataset, opts: &JoinOptions, label: &str) {
     // Self-join on the S side.
     let legacy_self = candidate_pass_legacy(&sel_s, None, tau);
     for parallel in [false, true] {
-        let csr_self = candidate_pass(&sel_s, None, tau, parallel);
+        let csr_self = candidate_pass(&sel_s, None, tau, parallel, None);
         assert_eq!(
             csr_self.candidates, legacy_self.candidates,
             "{label} self candidates (parallel={parallel})"
@@ -61,6 +61,107 @@ fn assert_equivalent(ds: &LabeledDataset, opts: &JoinOptions, label: &str) {
         assert_eq!(
             csr_self.processed_pairs, legacy_self.processed_pairs,
             "{label} self Tτ (parallel={parallel})"
+        );
+    }
+
+    // Position/compat-filtered probe vs the unfiltered probe: the filter
+    // may only shrink the candidate set; Tτ, every verified result pair,
+    // and the final output must be byte-identical.
+    let t0s = tier0_of(&sp);
+    let t0t = tier0_of(&tp);
+    let ctx = PosFilterCtx {
+        tier0_s: &t0s,
+        tier0_t: &t0t,
+        min_sim: opts.theta - cfg.eps,
+    };
+    for parallel in [false, true] {
+        let unf = candidate_pass(&sel_s, Some(&sel_t), tau, parallel, None);
+        let fil = candidate_pass(&sel_s, Some(&sel_t), tau, parallel, Some(&ctx));
+        assert_eq!(
+            fil.processed_pairs, unf.processed_pairs,
+            "{label} filtered Tτ (parallel={parallel})"
+        );
+        assert!(
+            fil.candidates.len() <= unf.candidates.len(),
+            "{label} filtered candidate count (parallel={parallel})"
+        );
+        assert!(
+            fil.candidates
+                .iter()
+                .all(|c| unf.candidates.binary_search(c).is_ok()),
+            "{label} filtered ⊆ unfiltered (parallel={parallel})"
+        );
+        let dropped = unf.candidates.len() - fil.candidates.len();
+        assert!(
+            dropped <= (fil.pos_rejected + fil.compat_rejected) as usize,
+            "{label} rejection accounting: dropped {dropped} > pos {} + compat {}",
+            fil.pos_rejected,
+            fil.compat_rejected
+        );
+        let pairs_unf = verify_candidates(
+            &ds.kn,
+            &cfg,
+            &sp,
+            &tp,
+            &unf.candidates,
+            opts.theta,
+            parallel,
+        );
+        let pairs_fil = verify_candidates(
+            &ds.kn,
+            &cfg,
+            &sp,
+            &tp,
+            &fil.candidates,
+            opts.theta,
+            parallel,
+        );
+        assert_eq!(
+            pairs_fil, pairs_unf,
+            "{label} filtered output (parallel={parallel})"
+        );
+    }
+
+    // Same sweep on the self-join path (min_excl slicing + tier0 shared).
+    let ctx_self = PosFilterCtx {
+        tier0_s: &t0s,
+        tier0_t: &t0s,
+        min_sim: opts.theta - cfg.eps,
+    };
+    for parallel in [false, true] {
+        let unf = candidate_pass(&sel_s, None, tau, parallel, None);
+        let fil = candidate_pass(&sel_s, None, tau, parallel, Some(&ctx_self));
+        assert_eq!(
+            fil.processed_pairs, unf.processed_pairs,
+            "{label} self filtered Tτ (parallel={parallel})"
+        );
+        assert!(
+            fil.candidates
+                .iter()
+                .all(|c| unf.candidates.binary_search(c).is_ok()),
+            "{label} self filtered ⊆ unfiltered (parallel={parallel})"
+        );
+        let pairs_unf = verify_candidates(
+            &ds.kn,
+            &cfg,
+            &sp,
+            &sp,
+            &unf.candidates,
+            opts.theta,
+            parallel,
+        );
+        let pairs_fil = verify_candidates(
+            &ds.kn,
+            &cfg,
+            &sp,
+            &sp,
+            &fil.candidates,
+            opts.theta,
+            parallel,
+        );
+        assert_eq!(
+            pairs_fil, pairs_unf,
+            "{label} self filtered output (parallel={parallel})"
         );
     }
 }
@@ -117,6 +218,69 @@ fn csr_matches_legacy_on_wiki_corpora() {
 fn au_bench_free_med(n: usize, seed: u64) -> LabeledDataset {
     let profile = DatasetProfile::med_like((n as f64 / 2000.0).max(1.0));
     LabeledDataset::generate(&profile, n, n, n / 5, seed)
+}
+
+/// Session-API byte-equality of the position-filter knob: joins with the
+/// filter on and off must return identical pairs and similarities on the
+/// monolithic (serial and parallel) and sharded executors, and the on-run
+/// must report a (weakly) smaller candidate count plus matching rejection
+/// telemetry.
+#[test]
+fn engine_position_filter_byte_equality() {
+    use au_join::core::engine::{Engine, JoinSpec};
+    let ds = au_bench_free_med(140, 33);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("engine");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    for theta in [0.7, 0.9] {
+        for filter in all_filters() {
+            for parallel in [false, true] {
+                let spec = JoinSpec::threshold(theta).filter(filter).parallel(parallel);
+                let on = engine.join(&ps, &pt, &spec).expect("filtered join");
+                let off = engine
+                    .join(&ps, &pt, &spec.position_filter(false))
+                    .expect("unfiltered join");
+                let label = format!("θ={theta} {} parallel={parallel}", filter.label());
+                assert_eq!(on.pairs, off.pairs, "{label} pairs");
+                assert_eq!(
+                    on.stats.processed_pairs, off.stats.processed_pairs,
+                    "{label} Tτ"
+                );
+                assert!(on.stats.candidates <= off.stats.candidates, "{label} Vτ");
+                assert_eq!(
+                    off.stats.pos_rejected + off.stats.compat_rejected,
+                    0,
+                    "{label} off-run must report zero rejections"
+                );
+                assert!(
+                    off.stats.candidates - on.stats.candidates
+                        <= on.stats.pos_rejected + on.stats.compat_rejected,
+                    "{label} rejection accounting"
+                );
+            }
+            // Sharded executor inherits the filter through the same
+            // filter_run choke point; pairs stay byte-identical.
+            let spec = JoinSpec::threshold(theta).filter(filter).sharded(3);
+            let sharded_on = engine.join(&ps, &pt, &spec).expect("sharded filtered");
+            let sharded_off = engine
+                .join(&ps, &pt, &spec.position_filter(false))
+                .expect("sharded unfiltered");
+            let mono = engine
+                .join(&ps, &pt, &JoinSpec::threshold(theta).filter(filter))
+                .expect("monolithic");
+            assert_eq!(sharded_on.pairs, mono.pairs, "θ={theta} sharded=mono");
+            assert_eq!(
+                sharded_on.pairs, sharded_off.pairs,
+                "θ={theta} sharded on=off"
+            );
+            // Self-join flavor too.
+            let self_on = engine.join_self(&ps, &spec).expect("sharded self");
+            let self_off = engine
+                .join_self(&ps, &spec.position_filter(false))
+                .expect("sharded self unfiltered");
+            assert_eq!(self_on.pairs, self_off.pairs, "θ={theta} self on=off");
+        }
+    }
 }
 
 proptest! {

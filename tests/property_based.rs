@@ -117,7 +117,7 @@ proptest! {
         let oracle: Vec<(u32, u32)> = brute_force_join(&kn, &cfg, &s, &t, theta)
             .iter().map(|&(a, b, _)| (a, b)).collect();
         for filter in [FilterKind::UFilter, FilterKind::AuHeuristic { tau }, FilterKind::AuDp { tau }] {
-            let opts = JoinOptions { theta, filter, mp_mode: MpMode::ExactDp, parallel: false };
+            let opts = JoinOptions { theta, filter, mp_mode: MpMode::ExactDp, parallel: false, pos_filter: true };
             let got: Vec<(u32, u32)> = join(&kn, &cfg, &s, &t, &opts)
                 .pairs.iter().map(|&(a, b, _)| (a, b)).collect();
             prop_assert_eq!(got, oracle.clone(), "θ={} {:?}", theta, filter);
@@ -139,7 +139,7 @@ proptest! {
         let oracle: Vec<(u32, u32)> = brute_force_join(&kn, &cfg, &s, &t, theta)
             .iter().map(|&(a, b, _)| (a, b)).collect();
         for filter in [FilterKind::AuHeuristic { tau: 2 }, FilterKind::AuDp { tau: 3 }] {
-            let opts = JoinOptions { theta, filter, mp_mode: MpMode::ExactDp, parallel: false };
+            let opts = JoinOptions { theta, filter, mp_mode: MpMode::ExactDp, parallel: false, pos_filter: true };
             let got: Vec<(u32, u32)> = join(&kn, &cfg, &s, &t, &opts)
                 .pairs.iter().map(|&(a, b, _)| (a, b)).collect();
             prop_assert_eq!(got, oracle.clone(), "{:?} θ={} {:?}", gram, theta, filter);

@@ -175,6 +175,71 @@ fn high_theta_prunes_shard_pairs_without_losing_results() {
     );
 }
 
+/// Pins the `Tτ` invariant documented on `JoinStats::processed_pairs`: a
+/// sharded run reports the *sum of the per-task counts*. On a corpus with
+/// two well-separated length groups and `g = 2`, the cross task is pruned
+/// (contributing zero), so the sharded `Tτ` must equal the sum of the two
+/// standalone self-joins over the groups — while the pairs themselves stay
+/// byte-identical to the monolithic run over the full corpus.
+#[test]
+fn sharded_t_tau_is_per_task_sum() {
+    use au_join::core::knowledge::KnowledgeBuilder;
+    let short_lines = ["alpha beta", "alpha gamma", "beta gamma", "alpha beta"];
+    let long_tail = "one two three four five six seven eight nine ten \
+                     eleven twelve thirteen fourteen fifteen sixteen seventeen \
+                     eighteen nineteen twenty twentyone twentytwo twentythree \
+                     twentyfour twentyfive twentysix twentyseven twentyeight";
+    let long_lines = [
+        format!("delta {long_tail}"),
+        format!("delta {long_tail}"),
+        format!("epsilon {long_tail}"),
+        format!("zeta {long_tail} extra"),
+    ];
+    let mut kn = KnowledgeBuilder::new().build();
+    let all_lines: Vec<String> = short_lines
+        .iter()
+        .map(|s| s.to_string())
+        .chain(long_lines.iter().cloned())
+        .collect();
+    let full = kn.corpus_from_lines(all_lines.iter().map(|s| s.as_str()));
+    let short = kn.corpus_from_lines(short_lines);
+    let long = kn.corpus_from_lines(long_lines.iter().map(|s| s.as_str()));
+    let engine = Engine::new(kn, SimConfig::default()).expect("valid config");
+    let p_full = engine.prepare(&full).expect("prepare full");
+    let p_short = engine.prepare(&short).expect("prepare short");
+    let p_long = engine.prepare(&long).expect("prepare long");
+
+    let spec = JoinSpec::threshold(0.9);
+    let mono = engine.join_self(&p_full, &spec).expect("monolithic");
+    let sharded = engine
+        .join_self(&p_full, &spec.sharded(2))
+        .expect("sharded");
+    assert_eq!(mono.pairs, sharded.pairs, "pairs must stay byte-identical");
+
+    // 2-token vs ≥29-token shards cannot meet θ=0.9: the cross task of the
+    // g(g+1)/2 = 3-task self-join grid is pruned.
+    assert_eq!(sharded.stats.shard_tasks, 2, "both diagonal tasks run");
+    assert_eq!(sharded.stats.shard_tasks_pruned, 1, "cross task pruned");
+
+    // Each diagonal task runs the full order/signature/filter pipeline on
+    // its slice — identical to a standalone self-join over that group —
+    // and the pruned task contributes zero, so the sharded Tτ is exactly
+    // the per-task sum.
+    let t_short = engine.join_self(&p_short, &spec).expect("short self");
+    let t_long = engine.join_self(&p_long, &spec).expect("long self");
+    assert!(
+        t_long.stats.processed_pairs > 0,
+        "long group must generate filter work for the sum to be meaningful"
+    );
+    assert_eq!(
+        sharded.stats.processed_pairs,
+        t_short.stats.processed_pairs + t_long.stats.processed_pairs,
+        "sharded Tτ must be the per-task sum (short {} + long {})",
+        t_short.stats.processed_pairs,
+        t_long.stats.processed_pairs
+    );
+}
+
 #[test]
 fn lazy_cache_evicts_and_rebuilds_without_changing_results() {
     // A cache capacity of 2 over 6 shards forces evictions mid-join; the
