@@ -1,0 +1,231 @@
+//! The `C` lint: dependency policy over `Cargo.toml` manifests.
+//!
+//! Policy (DESIGN.md "Dependency policy"): every dependency of every
+//! workspace manifest must resolve *inside* the repository — a
+//! `path = "…"` under the workspace root (crates or `shims/`) or a
+//! `workspace = true` reference to the root's `[workspace.dependencies]`
+//! (which this lint checks by the same rule). A bare version
+//! requirement (`foo = "1.0"`, `{ version = … }`, git URLs) would pull
+//! from the network and is flagged. `# dep-ok:` justifies an exception.
+//!
+//! The parser is a deliberately small line-oriented TOML subset matching
+//! how this workspace writes manifests: section headers, one `key =
+//! value` per line, inline tables on one line.
+
+use crate::lints::{Finding, Lint};
+
+/// Lint one manifest. `rel_path` is the manifest path relative to the
+/// workspace root; `rel_dir` its containing directory ("" for the root).
+pub fn lint_manifest(rel_path: &str, rel_dir: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.foo]`-style table sections: collect the body and
+    // validate at section end.
+    let mut table_dep: Option<(usize, String, bool)> = None; // (line, name, ok)
+    let mut last_comment_has_marker = false;
+
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            last_comment_has_marker =
+                last_comment_has_marker || line.contains(Lint::DepPolicy.marker());
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table_dep(&mut table_dep, rel_path, &mut out);
+            section = line.trim_matches(['[', ']']).to_string();
+            if let Some(dep) = section
+                .strip_prefix("dependencies.")
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .or_else(|| section.strip_prefix("build-dependencies."))
+                .or_else(|| section.strip_prefix("workspace.dependencies."))
+            {
+                table_dep = Some((idx + 1, dep.to_string(), false));
+            }
+            if !line.is_empty() {
+                last_comment_has_marker = false;
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(td) = table_dep.as_mut() {
+            if entry_is_local(line, rel_dir) {
+                td.2 = true;
+            }
+            continue;
+        }
+        if is_dep_section(&section) {
+            if let Some((name, value)) = line.split_once('=') {
+                let name = name.trim();
+                let value = value.trim();
+                let justified = value.contains(Lint::DepPolicy.marker())
+                    || raw.contains(Lint::DepPolicy.marker())
+                    || last_comment_has_marker;
+                if !entry_is_local(line, rel_dir) {
+                    out.push(Finding {
+                        file: rel_path.to_string(),
+                        line: idx + 1,
+                        lint: Lint::DepPolicy,
+                        message: format!(
+                            "dependency `{name}` does not resolve inside the workspace \
+                             (need `path = …` under the repo or `workspace = true`)"
+                        ),
+                        justification: if justified {
+                            Some(extract_justification(raw, &lines, idx))
+                        } else {
+                            None
+                        },
+                    });
+                }
+            }
+        }
+        last_comment_has_marker = false;
+    }
+    flush_table_dep(&mut table_dep, rel_path, &mut out);
+    out
+}
+
+fn flush_table_dep(td: &mut Option<(usize, String, bool)>, rel_path: &str, out: &mut Vec<Finding>) {
+    if let Some((line, name, ok)) = td.take() {
+        if !ok {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                lint: Lint::DepPolicy,
+                message: format!(
+                    "dependency table `{name}` has neither a workspace-local `path` nor \
+                     `workspace = true`"
+                ),
+                justification: None,
+            });
+        }
+    }
+}
+
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// Does this entry line pin the dependency to the local workspace?
+fn entry_is_local(line: &str, rel_dir: &str) -> bool {
+    if line.contains("workspace = true") || line.contains("workspace=true") {
+        return true;
+    }
+    if let Some(p) = extract_path_value(line) {
+        return path_stays_inside(rel_dir, &p);
+    }
+    false
+}
+
+/// The string value of a `path = "…"` key on this line, if any.
+fn extract_path_value(line: &str) -> Option<String> {
+    let p = line.find("path")?;
+    let rest = line[p + "path".len()..].trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Resolve `rel_dir/path` lexically and require it to stay inside the
+/// workspace root (no net `..` escaping).
+fn path_stays_inside(rel_dir: &str, path: &str) -> bool {
+    if path.starts_with('/') || path.contains(':') {
+        return false; // absolute or URL-ish
+    }
+    let mut stack: Vec<&str> = rel_dir.split('/').filter(|c| !c.is_empty()).collect();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                if stack.pop().is_none() {
+                    return false;
+                }
+            }
+            c => stack.push(c),
+        }
+    }
+    true
+}
+
+/// Justification text: from this line's `#` comment or the closest
+/// preceding comment line carrying the marker.
+fn extract_justification(raw: &str, lines: &[&str], idx: usize) -> String {
+    let marker = Lint::DepPolicy.marker();
+    if let Some((_, rest)) = raw.split_once(marker) {
+        return rest.trim().to_string();
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = lines[i].trim();
+        if !l.starts_with('#') {
+            break;
+        }
+        if let Some((_, rest)) = l.split_once(marker) {
+            return rest.trim().to_string();
+        }
+    }
+    String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_paths_and_workspace_refs_pass() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                    au-core = { path = \"../core\" }\n\
+                    rand.workspace = true\n\
+                    proptest = { workspace = true }\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", "crates/x", toml).is_empty());
+    }
+
+    #[test]
+    fn version_and_git_deps_flagged() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n\
+                    tokio = { version = \"1\", features = [\"full\"] }\n\
+                    dep3 = { git = \"https://example.com/x\" }\n";
+        let f = lint_manifest("crates/x/Cargo.toml", "crates/x", toml);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.is_violation()));
+    }
+
+    #[test]
+    fn escaping_path_flagged_justification_honored() {
+        let toml = "[dependencies]\n\
+                    evil = { path = \"../../../elsewhere\" }\n\
+                    # dep-ok: vendored test-only stub\n\
+                    odd = \"0.1\"\n";
+        let f = lint_manifest("crates/x/Cargo.toml", "crates/x", toml);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].is_violation());
+        assert!(!f[1].is_violation());
+        assert!(f[1].justification.as_deref().unwrap().contains("vendored"));
+    }
+
+    #[test]
+    fn dotted_table_sections_checked() {
+        let toml = "[dependencies.remote]\nversion = \"1.0\"\n\n\
+                    [dependencies.local]\npath = \"../local\"\n";
+        let f = lint_manifest("crates/x/Cargo.toml", "crates/x", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("remote"));
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n\
+                    [profile.test]\nopt-level = 2\n";
+        assert!(lint_manifest("Cargo.toml", "", toml).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! `au-analyze` CLI: lint the workspace, exit non-zero on violations.
+//!
+//! ```text
+//! au-analyze [--root PATH] [--format text|json] [--list]
+//! ```
+//!
+//! * `--root PATH` — workspace root to analyze (default: the current
+//!   directory, or the enclosing workspace when run via `cargo run -p
+//!   au-analyze`, which sets the cwd to the workspace root).
+//! * `--format json` — machine-readable findings (audited sites
+//!   included); `text` (default) prints `file:line: LINT[X]: message`.
+//! * `--list` — print the lint catalog and exit.
+//!
+//! Exit status: 0 when the tree is clean (no unjustified findings),
+//! 1 when violations exist, 2 on usage or I/O errors. `-D warnings`
+//! semantics are the default — there is no "warn only" mode.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use au_analyze::{analyze_workspace, report, Lint};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage("--format needs `text` or `json`"),
+            },
+            "--list" => {
+                for lint in Lint::all() {
+                    println!("LINT[{}]  marker `// {}`", lint.code(), lint.marker());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: au-analyze [--root PATH] [--format text|json] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("au-analyze: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", report::json(&findings)),
+        _ => print!("{}", report::text(&findings)),
+    }
+    if findings.iter().any(|f| f.is_violation()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("au-analyze: {msg}");
+    eprintln!("usage: au-analyze [--root PATH] [--format text|json] [--list]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,121 @@
+//! Report rendering: human text and machine-readable JSON.
+
+use crate::lints::{Finding, Lint};
+
+/// Render findings as `file:line: LINT[X]: message` lines, violations
+/// first, followed by a one-line summary.
+pub fn text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let (violations, audited): (Vec<_>, Vec<_>) = findings.iter().partition(|f| f.is_violation());
+    for f in &violations {
+        out.push_str(&format!(
+            "{}:{}: LINT[{}]: {}\n",
+            f.file,
+            f.line,
+            f.lint.code(),
+            f.message
+        ));
+    }
+    for lint in Lint::all() {
+        let n = audited.iter().filter(|f| f.lint == lint).count();
+        if n > 0 {
+            out.push_str(&format!(
+                "audited: {n} justified LINT[{}] site{}\n",
+                lint.code(),
+                if n == 1 { "" } else { "s" }
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "au-analyze: {} violation{}, {} audited site{}\n",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+        audited.len(),
+        if audited.len() == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Render findings as a JSON array of
+/// `{file, line, lint, message, justified, justification}` objects.
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\":{},\"line\":{},\"lint\":\"{}\",\"message\":{},\"justified\":{},\
+             \"justification\":{}}}{}\n",
+            json_str(&f.file),
+            f.line,
+            f.lint.code(),
+            json_str(&f.message),
+            !f.is_violation(),
+            f.justification
+                .as_deref()
+                .map(json_str)
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/core/src/join.rs".into(),
+                line: 7,
+                lint: Lint::Determinism,
+                message: "hash-map iteration".into(),
+                justification: None,
+            },
+            Finding {
+                file: "crates/core/src/parallel.rs".into(),
+                line: 9,
+                lint: Lint::AtomicOrdering,
+                message: "atomic \"Ordering::Relaxed\"".into(),
+                justification: Some("cursor: atomicity suffices".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_lists_violations_and_summary() {
+        let t = text(&sample());
+        assert!(t.contains("crates/core/src/join.rs:7: LINT[D]:"));
+        assert!(t.contains("1 violation"));
+        assert!(t.contains("1 audited site"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let j = json(&sample());
+        assert!(j.contains("\"lint\":\"D\""));
+        assert!(j.contains("\"justified\":true"));
+        assert!(j.contains("\\\"Ordering::Relaxed\\\""));
+        assert!(j.trim_start().starts_with('[') && j.trim_end().ends_with(']'));
+    }
+}

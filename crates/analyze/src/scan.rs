@@ -1,0 +1,327 @@
+//! Line-level lexical scanning of Rust sources.
+//!
+//! The analyzer deliberately stops short of real parsing (see the crate
+//! docs): each file is reduced to a per-line record holding the **code
+//! portion** (string/char literals blanked, comments removed), the
+//! **comment portion** (text after `//`, where justification markers
+//! live), and whether the line sits inside a `#[cfg(test)]` item. That
+//! is enough signal for every lint in the catalog, and the whole pass
+//! stays a single forward scan with O(file) state.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked to spaces (delimiters kept, so column positions survive).
+    pub code: String,
+    /// Comment text of the line: everything after `//` (including doc
+    /// comments) plus any block-comment text, concatenated.
+    pub comment: String,
+    /// True when the line is inside an item annotated `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// A scanned file: 1-indexed lines via `lines[i - 1]`.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Scanned lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state that survives across lines.
+#[derive(Default)]
+struct LexState {
+    /// Nesting depth of `/* */` block comments (Rust block comments nest).
+    block_comment: u32,
+    /// `Some(hashes)` while inside a raw string `r##"…"##`.
+    raw_string: Option<u32>,
+    /// Inside an ordinary `"…"` string that spans lines.
+    in_string: bool,
+}
+
+/// Tracks `#[cfg(test)]` regions by brace depth: when the attribute is
+/// seen, the next `{` opens a test region that ends when the depth
+/// returns to its opening value.
+#[derive(Default)]
+struct TestRegion {
+    depth: i64,
+    /// Brace depths at which a `#[cfg(test)]` item's body opened.
+    starts: Vec<i64>,
+    /// Attribute seen; waiting for the item's opening brace.
+    pending: bool,
+}
+
+impl TestRegion {
+    fn in_test(&self) -> bool {
+        self.pending || !self.starts.is_empty()
+    }
+
+    fn feed(&mut self, code: &str) {
+        if code.contains("#[cfg(test)]") {
+            self.pending = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    self.depth += 1;
+                    if self.pending {
+                        self.starts.push(self.depth);
+                        self.pending = false;
+                    }
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if self.starts.last().is_some_and(|&s| self.depth < s) {
+                        self.starts.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Scan one file's source text.
+pub fn scan(src: &str) -> ScannedFile {
+    let mut state = LexState::default();
+    let mut tests = TestRegion::default();
+    let mut lines = Vec::new();
+    for raw in src.lines() {
+        let (code, comment) = split_line(raw, &mut state);
+        // The attribute itself and the opening brace may sit on the same
+        // line as code; feed before recording so the `#[cfg(test)]` line
+        // itself counts as test code (it can only introduce test items).
+        let was_in_test = tests.in_test();
+        tests.feed(&code);
+        lines.push(Line {
+            code,
+            comment,
+            in_test: was_in_test || tests.in_test(),
+        });
+    }
+    ScannedFile { lines }
+}
+
+/// Split one raw line into (code, comment), updating multi-line lexer
+/// state. String and char literal contents are blanked to spaces so lint
+/// patterns never match inside them.
+fn split_line(raw: &str, state: &mut LexState) -> (String, String) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    // Resume an ordinary string left open on a previous line.
+    if state.in_string {
+        i = consume_string_body(&b, 0, &mut code, state);
+    }
+    while i < b.len() {
+        // Inside a raw string: look for the closing `"##…#`.
+        if let Some(hashes) = state.raw_string {
+            if b[i] == '"' && closes_raw(&b, i, hashes) {
+                state.raw_string = None;
+                code.push('"');
+                i += 1 + hashes as usize;
+            } else {
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Inside a block comment: look for `*/` / nested `/*`.
+        if state.block_comment > 0 {
+            if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                state.block_comment -= 1;
+                i += 2;
+            } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                state.block_comment += 1;
+                i += 2;
+            } else {
+                comment.push(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        match b[i] {
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment: the rest of the line is comment text.
+                comment.push_str(&raw[char_byte_offset(raw, i)..]);
+                break;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                state.block_comment += 1;
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                i = consume_string_body(&b, i, &mut code, state);
+            }
+            'r' if is_raw_string_start(&b, i) => {
+                let mut j = i + 1;
+                let mut hashes = 0u32;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // b[j] == '"' guaranteed by is_raw_string_start.
+                code.push('r');
+                for _ in 0..hashes {
+                    code.push('#');
+                }
+                code.push('"');
+                state.raw_string = Some(hashes);
+                i = j + 1;
+            }
+            '\'' if is_char_literal(&b, i) => {
+                // Blank the char's content, keep the quotes.
+                code.push('\'');
+                let mut j = i + 1;
+                if b.get(j) == Some(&'\\') {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                while j < b.len() && b[j] != '\'' {
+                    j += 1;
+                }
+                for _ in i + 1..j {
+                    code.push(' ');
+                }
+                if j < b.len() {
+                    code.push('\'');
+                    j += 1;
+                }
+                i = j;
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Blank an ordinary string's body starting at `i` (just past the
+/// opening quote or at the start of a continuation line). Returns the
+/// index past the closing quote; sets `state.in_string` when the string
+/// is still open at end of line (ordinary strings may span lines).
+fn consume_string_body(b: &[char], mut i: usize, code: &mut String, state: &mut LexState) -> usize {
+    state.in_string = true;
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                code.push(' ');
+                if i + 1 < b.len() {
+                    code.push(' ');
+                }
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                state.in_string = false;
+                return i + 1;
+            }
+            _ => {
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Does `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// `r"` or `r#…#"` — but not a plain identifier ending in `r`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// Distinguish `'x'` / `'\n'` char literals from `'a` lifetimes: a char
+/// literal has a closing quote within a couple of characters.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true, // escape: always a char literal
+        Some(_) => b.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Byte offset of the `idx`-th char of `s` (for slicing the raw line).
+fn char_byte_offset(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(o, _)| o).unwrap_or(s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let f = scan("let x = 1; // trailing note\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("trailing note"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let f = scan("let s = \"HashMap.iter() // not code\";\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[0].code.contains("//"));
+        assert!(f.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let f = scan("a /* one /* two */ still */ b\nc /* open\nmid\n*/ d\n");
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(f.lines[1].code.contains('c') && !f.lines[1].code.contains("open"));
+        assert!(!f.lines[2].code.contains("mid"));
+        assert!(f.lines[3].code.contains('d'));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = scan("let r = r#\"has \"quote\" inside\"#; fn f<'a>(x: &'a str) {}\n");
+        assert!(!f.lines[0].code.contains("inside"));
+        assert!(f.lines[0].code.contains("&'a str") || f.lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn char_literal_not_a_string_opener() {
+        let f = scan("let c = '\"'; let d = 1; // after\n");
+        assert!(f.lines[0].code.contains("let d = 1;"));
+        assert!(f.lines[0].comment.contains("after"));
+    }
+
+    #[test]
+    fn strings_spanning_lines_stay_blanked() {
+        let f = scan("let s = \"first line\nOrdering::Relaxed\nstill string\";\nlet t = 1;\n");
+        assert!(!f.lines[1].code.contains("Ordering"));
+        assert!(!f.lines[2].code.contains("still"));
+        assert!(f.lines[3].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test); // the attribute line itself
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test); // closing brace
+        assert!(!f.lines[5].in_test);
+    }
+}

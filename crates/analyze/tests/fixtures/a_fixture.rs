@@ -1,0 +1,19 @@
+// Fixture: atomic-ordering sites — two unjustified (fetch_add + load),
+// one justified, one std::cmp::Ordering red herring.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn trip() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst); // violation: no note
+    COUNTER.load(Ordering::Acquire) // violation: no note
+}
+
+pub fn justified() -> u64 {
+    // ordering: Relaxed — advisory counter, atomicity alone suffices.
+    COUNTER.load(Ordering::Relaxed)
+}
+
+pub fn red_herring(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less // not an atomic ordering
+}

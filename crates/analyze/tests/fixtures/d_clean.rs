@@ -1,0 +1,32 @@
+// Fixture: map usage that must NOT trip the D lint — lookups, inserts,
+// Vec iteration sharing a map-like name shape, justified sites, and
+// map iteration inside #[cfg(test)].
+use au_text::FxHashMap;
+
+pub fn clean(xs: &[u64]) -> u64 {
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1; // lookups/inserts are fine
+    }
+    let v: Vec<u64> = xs.to_vec();
+    let mut total = 0;
+    for x in &v {
+        total += *x; // Vec iteration is fine
+    }
+    total += counts.get(&7).copied().unwrap_or(0) as u64;
+    // det: folded into a commutative sum; order cannot reach output.
+    let s: u64 = counts.values().map(|&c| c as u64).sum();
+    total + s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let mut m: FxHashMap<u8, u8> = FxHashMap::default();
+        m.insert(1, 2);
+        for (_k, _v) in &m {} // D skips test code
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: every D-lint site shape, all unjustified. Linted under a
+// synthetic crates/core/src path by tests/fixture_suite.rs; this file is
+// never compiled (the workspace walk skips `fixtures/` directories).
+use au_text::FxHashMap;
+use std::collections::{HashMap, HashSet};
+
+pub fn trip() -> Vec<(u64, u32)> {
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    counts.insert(1, 2);
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(9);
+    let mut total = 0u64;
+    for (k, _v) in &counts {
+        total += k; // violation: for-loop over a map reference
+    }
+    let keys: Vec<u64> = counts.keys().copied().collect(); // violation
+    let _ = counts.values().count(); // violation
+    let drained: Vec<(u64, u32)> = counts.drain().collect(); // violation
+    let wrapped: Vec<u64> = seen
+        .into_iter() // violation: wrapped chain
+        .collect();
+    let _ = (total, keys, drained, wrapped);
+    let map: HashMap<u32, u32> = HashMap::new();
+    map.into_iter().collect() // violation (same-line into_iter)
+}

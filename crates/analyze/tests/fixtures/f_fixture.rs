@@ -1,0 +1,16 @@
+// Fixture: float-totality sites — partial_cmp and float-literal
+// equality trip; total_cmp, epsilon bands, integer compares and tuple
+// field access stay clean; one justified site.
+pub fn trip(a: f64, b: f64, xs: &mut [f64]) -> bool {
+    xs.sort_by(|x, y| x.partial_cmp(y).unwrap()); // violation
+    a == 1.0 || b != 0.5 // violation (float-literal equality)
+}
+
+pub fn clean(a: f64, b: f64, xs: &mut [f64], t: (f64, u32), u: (f64, u32)) -> bool {
+    xs.sort_by(|x, y| x.total_cmp(y));
+    let close = (a - b).abs() < 1e-12;
+    let ints_fine = t.1 == u.1 && xs.len() >= 2;
+    // float-ok: exact representable sentinel, written by this module only.
+    let sentinel = a == -1.0;
+    close && ints_fine && !sentinel && t.0 < u.0
+}

@@ -1,0 +1,28 @@
+// Fixture: panic-surface sites, linted under a synthetic engine.rs
+// path. Three unjustified (unwrap, expect, panic!), one justified, one
+// unwrap_or red herring, plus test-code unwraps that stay out of scope.
+pub fn trip(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // violation
+    let b = x.expect("present"); // violation
+    if a + b > 100 {
+        panic!("too big"); // violation
+    }
+    a + b
+}
+
+pub fn clean(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(0); // unwrap_or never panics
+    // panic-ok: poisoning is recovered by relock everywhere else; this
+    // fixture documents the allow-comment grammar.
+    let b = x.expect("fixture");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

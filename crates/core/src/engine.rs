@@ -70,6 +70,22 @@ use std::time::{Duration, Instant};
 /// Mint for [`Prepared`] identities (memo keys for pair orders).
 static NEXT_PREPARED_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Lock a session mutex, recovering from poisoning instead of panicking.
+///
+/// Every mutex in the session API guards cache or scratch state whose
+/// contents are correctness-neutral: memoized artifacts equal what a
+/// rebuild would produce byte-for-byte, shard-cache bookkeeping only
+/// tunes evictions, and the searcher overlay is a lookup-or-append
+/// interner. A panic on another thread while holding one of these locks
+/// therefore cannot leave state a later reader must not observe — at
+/// worst an entry is missing and gets rebuilt — so the poison flag is
+/// cleared and the guard handed out. This keeps `unwrap`/`expect` out of
+/// the public engine paths (the `P` lint): a long-lived service survives
+/// a stray panic in one request instead of unwinding every later caller.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Candidates verified per batch by the streaming sink paths — bounds the
 /// materialized result memory without starving the parallel verifier.
 const SINK_CHUNK: usize = 64 * 1024;
@@ -487,18 +503,23 @@ impl Prepared {
         }
         total += self.tier0.len() * size_of::<(u32, u32)>();
         let m = self.memo();
+        // det: the four memo walks below fold into a commutative +=
+        // sum, so map iteration order cannot reach the returned total.
         for order in m.orders.values() {
             total += order.memory_bytes();
         }
-        for sorted in m.sorted.values() {
-            total += sorted
+        // det: order-insensitive sum (see above).
+        for lists in m.sorted.values() {
+            total += lists
                 .iter()
                 .map(|v| v.len() * size_of::<Pebble>())
                 .sum::<usize>();
         }
+        // det: order-insensitive sum (see above).
         for sel in m.sigs.values() {
             total += sel.memory_bytes();
         }
+        // det: order-insensitive sum (see above).
         for csr in m.csr.values() {
             total += csr.memory_bytes();
         }
@@ -519,12 +540,12 @@ impl Prepared {
     /// Memoized-artifact lookups served from cache so far (orders, sorted
     /// pebble lists, signatures, CSR indexes).
     pub fn memo_hits(&self) -> u64 {
-        self.memo.lock().expect("prepared memo poisoned").hits
+        relock(&self.memo).hits
     }
 
     /// Memoized-artifact builds (cache misses) so far.
     pub fn memo_misses(&self) -> u64 {
-        self.memo.lock().expect("prepared memo poisoned").misses
+        relock(&self.memo).misses
     }
 
     /// Number of memoized artifacts currently retained.
@@ -537,7 +558,7 @@ impl Prepared {
     /// entries for dropped join partners are likewise only reclaimed by
     /// a clear.
     pub fn memo_len(&self) -> usize {
-        let m = self.memo.lock().expect("prepared memo poisoned");
+        let m = relock(&self.memo);
         m.orders.len() + m.sorted.len() + m.sigs.len() + m.csr.len()
     }
 
@@ -546,7 +567,7 @@ impl Prepared {
     /// never stage 1). Bounds memory for services that stream distinct
     /// thresholds or join partners through one long-lived `Prepared`.
     pub fn clear_memo(&self) {
-        let mut m = self.memo.lock().expect("prepared memo poisoned");
+        let mut m = relock(&self.memo);
         m.orders.clear();
         m.sorted.clear();
         m.sigs.clear();
@@ -554,7 +575,7 @@ impl Prepared {
     }
 
     fn memo(&self) -> std::sync::MutexGuard<'_, Memo> {
-        self.memo.lock().expect("prepared memo poisoned")
+        relock(&self.memo)
     }
 }
 
@@ -694,6 +715,11 @@ impl Engine {
             .map(|sr| (sr.n_tokens() as u32, sr.min_partition))
             .collect();
         Ok(Prepared {
+            // ordering: Relaxed — the id only needs uniqueness, which the
+            // RMW atomicity of fetch_add alone guarantees; no other memory
+            // is published through this counter (the Prepared itself is
+            // handed to other threads via &-reference or Arc, whose
+            // construction/send provides the happens-before edge).
             id: NEXT_PREPARED_ID.fetch_add(1, Ordering::Relaxed),
             gen: self.kn.generation(),
             cfg: self.cfg,
@@ -1138,9 +1164,9 @@ impl Engine {
             &sp.plan,
             &opts,
             &mut |i| self.shard_artifact(sp, i),
-            &mut || sp.cache.lock().expect("shard cache poisoned").end_task(),
+            &mut || relock(&sp.cache).end_task(),
         );
-        sp.cache.lock().expect("shard cache poisoned").note_usage();
+        relock(&sp.cache).note_usage();
         res
     }
 
@@ -1162,12 +1188,12 @@ impl Engine {
             &mut |i| self.shard_artifact(s, i),
             &mut |j| self.shard_artifact(t, j),
             &mut || {
-                s.cache.lock().expect("shard cache poisoned").end_task();
-                t.cache.lock().expect("shard cache poisoned").end_task();
+                relock(&s.cache).end_task();
+                relock(&t.cache).end_task();
             },
         );
-        s.cache.lock().expect("shard cache poisoned").note_usage();
-        t.cache.lock().expect("shard cache poisoned").note_usage();
+        relock(&s.cache).note_usage();
+        relock(&t.cache).note_usage();
         res
     }
 
@@ -1191,7 +1217,7 @@ impl Engine {
     /// on a cache miss (bounded LRU; see [`ShardCache`]).
     fn shard_artifact(&self, sp: &ShardedPrepared, idx: usize) -> Result<Arc<Prepared>, AuError> {
         let info = sp.plan.shard(idx);
-        let mut cache = sp.cache.lock().expect("shard cache poisoned");
+        let mut cache = relock(&sp.cache);
         cache.get_or_build(idx, sp.cache_capacity, || {
             let mut mask = vec![false; sp.corpus.len()];
             for &id in info.records() {
@@ -1229,6 +1255,11 @@ impl Engine {
             .map(|&id| p.tier0[id as usize])
             .collect();
         Prepared {
+            // ordering: Relaxed — the id only needs uniqueness, which the
+            // RMW atomicity of fetch_add alone guarantees; no other memory
+            // is published through this counter (the Prepared itself is
+            // handed to other threads via &-reference or Arc, whose
+            // construction/send provides the happens-before edge).
             id: NEXT_PREPARED_ID.fetch_add(1, Ordering::Relaxed),
             gen: p.gen,
             cfg: p.cfg,
@@ -1896,7 +1927,7 @@ impl Searcher<'_> {
         // only; segmentation (the expensive part) runs outside it, so
         // concurrent queries don't serialize.
         let (ids, snap) = {
-            let mut scratch = self.scratch.lock().expect("searcher scratch poisoned");
+            let mut scratch = relock(&self.scratch);
             let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
             let snap = scratch.snapshot(&ids);
             (ids, snap)
@@ -1911,11 +1942,7 @@ impl Searcher<'_> {
     /// searcher minted earlier).
     pub fn query_tokens(&self, tokens: &[TokenId]) -> SearchOutcome {
         let kn = &self.engine.kn;
-        let snap = self
-            .scratch
-            .lock()
-            .expect("searcher scratch poisoned")
-            .snapshot(tokens);
+        let snap = relock(&self.scratch).snapshot(tokens);
         let sr = segment_record_with(kn, &self.engine.cfg, tokens, &|span| {
             snap.join(&kn.vocab, span)
         });

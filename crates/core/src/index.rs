@@ -278,7 +278,15 @@ impl CsrIndex {
     }
 
     /// Iterate `(key, postings)` pairs (arbitrary order).
+    ///
+    /// The arbitrary order is part of this method's contract: callers on
+    /// output paths must sort or fold commutatively, exactly as
+    /// [`candidate_pass_legacy`](crate::join::candidate_pass_legacy) —
+    /// the one output-path consumer of the twin
+    /// [`InvertedIndex::iter`] — does.
     pub fn iter(&self) -> impl Iterator<Item = (PebbleKey, &[u32])> {
+        // det: order is documented arbitrary; every output-path caller
+        // sorts its result or folds order-insensitively (see above).
         self.slots.iter().map(|(&k, &slot)| {
             let (a, b) = (self.offsets[slot as usize], self.offsets[slot as usize + 1]);
             (k, &self.postings[a as usize..b as usize])
@@ -661,7 +669,14 @@ impl InvertedIndex {
     }
 
     /// Iterate `(key, postings)` pairs (arbitrary order).
+    ///
+    /// Arbitrary order is part of the contract; the one output-path
+    /// caller ([`candidate_pass_legacy`](crate::join::candidate_pass_legacy))
+    /// sorts its candidate list and folds its counters commutatively, so
+    /// map order never reaches join output.
     pub fn iter(&self) -> impl Iterator<Item = (PebbleKey, &[u32])> {
+        // det: order is documented arbitrary; output-path callers sort
+        // or fold order-insensitively (see above).
         self.map.iter().map(|(&k, v)| (k, v.as_slice()))
     }
 

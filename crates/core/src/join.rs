@@ -179,11 +179,18 @@ static PREPARE_INVOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::At
 
 /// How many times [`prepare_corpus`] has run in this process.
 pub fn prepare_invocations() -> u64 {
+    // ordering: Relaxed — an advisory monotonic counter; readers tolerate
+    // any in-flight increment, and tests that need an exact value create
+    // the happens-before edge themselves by joining the preparing thread
+    // (or running single-threaded) before loading.
     PREPARE_INVOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Stage 1: segment and generate pebbles for every record.
 pub fn prepare_corpus(kn: &Knowledge, cfg: &SimConfig, corpus: &Corpus) -> PreparedCorpus {
+    // ordering: Relaxed — the count only needs each increment applied
+    // exactly once, which RMW atomicity guarantees; nothing else is
+    // published through this counter (see `prepare_invocations`).
     PREPARE_INVOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut segrecs = Vec::with_capacity(corpus.len());
     let mut pebbles = Vec::with_capacity(corpus.len());
@@ -517,6 +524,10 @@ pub fn candidate_pass_legacy(
         }
     }
 
+    // det: map order cannot reach output — surviving pairs are collected
+    // into `candidates` and fully ordered by the sort_unstable below
+    // (pair keys are distinct, so the sort admits no ties), and
+    // `processed` folds as a commutative sum.
     let mut candidates: Vec<(u32, u32)> = counts
         .into_iter()
         .filter(|&(k, c)| {

@@ -20,6 +20,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 fn mint_generation() -> u64 {
+    // ordering: Relaxed — generations only need global uniqueness, which
+    // the RMW atomicity of fetch_add guarantees by itself; the staleness
+    // checks that *compare* generations always read them through a
+    // `&Knowledge`/`&Prepared` whose transfer between threads already
+    // establishes the happens-before edge for the stored value.
     NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -190,6 +190,14 @@ where
             scope.spawn(|| {
                 let mut scratch = init();
                 loop {
+                    // ordering: Relaxed — the cursor is a pure work
+                    // ticket: RMW atomicity alone guarantees each unit
+                    // index is claimed exactly once. No data is published
+                    // through it — workers read `units`/`items` captured
+                    // before spawn, and unit outputs are published to the
+                    // main thread by the slot Mutex plus the
+                    // thread::scope join, which orders every worker
+                    // write before the collection loop below.
                     let unit = cursor.fetch_add(1, Ordering::Relaxed);
                     if unit >= n_units {
                         break;
@@ -456,6 +464,10 @@ mod tests {
             &items,
             true,
             || {
+                // ordering: Relaxed — counting only; the assertion below
+                // reads after par_map_scratch returns, and the
+                // thread::scope join inside it orders every increment
+                // before that read.
                 inits.fetch_add(1, Ordering::Relaxed);
                 Vec::<u32>::new()
             },
@@ -467,6 +479,7 @@ mod tests {
         let serial: Vec<u32> = items.iter().map(|&x| x * 3).collect();
         assert_eq!(out, serial);
         // One scratch per worker (or one, serially) — never one per item.
+        // ordering: Relaxed — reads after the scope join (see above).
         assert!(inits.load(Ordering::Relaxed) <= available_threads());
     }
 
@@ -577,10 +590,14 @@ mod tests {
                 |state, &(k, _)| *state = k + 1,
                 f,
                 |_| {
+                    // ordering: Relaxed — counting only; the load below
+                    // runs after the call returns, and the scope join
+                    // inside it orders every increment before that load.
                     drained.fetch_add(1, Ordering::Relaxed);
                 },
             );
             assert_eq!(out, serial, "parallel={parallel}");
+            // ordering: Relaxed — reads after the scope join (see above).
             let d = drained.load(Ordering::Relaxed);
             assert!(d >= 1 && d <= available_threads().max(1));
         }
@@ -604,12 +621,15 @@ mod tests {
             |_| 0,
             || (),
             |_, _| {
+                // ordering: Relaxed — counting only; ordered before the
+                // assertion below by the scope join inside the call.
                 begins.fetch_add(1, Ordering::Relaxed);
             },
             |_, &x| Some(x),
             |_| {},
         );
         assert_eq!(out, items);
+        // ordering: Relaxed — reads after the scope join (see above).
         assert!(begins.load(Ordering::Relaxed) >= 1);
     }
 

@@ -157,6 +157,10 @@ pub fn guarantee_level(
     for p in pebbles {
         *agg.entry(p.key).or_insert(0.0) += p.weight;
     }
+    // det: map order cannot reach output — the values are sorted by
+    // `total_cmp` immediately below, a *total* order on f64 bits, so the
+    // sorted sequence is a pure function of the value multiset no matter
+    // what order the map yields it in.
     let mut weights: Vec<f64> = agg.into_values().collect();
     weights.sort_by(|a, b| b.total_cmp(a));
     let mut tw = 0.0f64; // TW_{τ'−1} for the current τ'

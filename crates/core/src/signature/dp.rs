@@ -121,8 +121,12 @@ pub fn dp_prefix_len(
             slots[p.seg as usize][p.measure.idx()].insert(p.weight);
         }
     }
+    // det: map order cannot reach output — the pool is fully ordered by
+    // the (weight, key) sort below (key tie-break makes it total), and
+    // its consumer reads only prefix sums of weights, which are
+    // invariant under any permutation of equal-weight entries anyway.
     let mut pool: Vec<(f64, PebbleKey)> = pooled.iter().map(|(&k, &w)| (w, k)).collect();
-    pool.sort_by(|a, b| b.0.total_cmp(&a.0));
+    pool.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     drop(pooled);
     // Suffix sums: initially B[n−1..n).
     let mut suffix = SuffixState::new(t_segs);

@@ -1,0 +1,97 @@
+//! Byte-level determinism pin (the `D` lint's runtime counterpart).
+//!
+//! The static analyzer (`au-analyze`) proves no hash-map iteration order
+//! can *reach* output; this suite pins what the output bytes actually
+//! are. Every pair id and every similarity score is folded bit-exactly
+//! (`f64::to_bits`) into one FxHash fingerprint and compared against a
+//! checked-in constant, so any change to result content, order, or
+//! scoring — however it sneaks in — fails loudly and must be a conscious
+//! baseline update, reviewed alongside the change that caused it.
+//!
+//! The fingerprint is pure integer/float arithmetic over the result Vec:
+//! no timings, no platform-dependent state, no map order anywhere on the
+//! path (which is exactly what the analyzer enforces at the source
+//! level).
+
+use std::hash::Hasher;
+
+use au_join::datagen::{DatasetProfile, LabeledDataset};
+use au_join::prelude::*;
+use au_join::text::FxHasher64;
+
+fn dataset() -> LabeledDataset {
+    let mut profile = DatasetProfile::med_like(0.05);
+    profile.taxonomy_nodes = 200;
+    profile.synonym_rules = 80;
+    LabeledDataset::generate(&profile, 260, 260, 80, 7)
+}
+
+/// Bit-exact fingerprint of a result: ids and score bits, in order.
+fn fingerprint(pairs: &[(u32, u32, f64)]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write_u64(pairs.len() as u64);
+    for &(s, t, sim) in pairs {
+        h.write_u32(s);
+        h.write_u32(t);
+        h.write_u64(sim.to_bits());
+    }
+    h.finish()
+}
+
+#[test]
+fn join_output_bytes_are_pinned() {
+    let ds = dataset();
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare S");
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+
+    let mut prints = Vec::new();
+    for theta in [0.5, 0.8] {
+        for parallel in [false, true] {
+            let spec = JoinSpec::threshold(theta).au_dp(2).parallel(parallel);
+            let res = engine.join(&ps, &pt, &spec).expect("join");
+            assert!(!res.pairs.is_empty(), "fixture empty at θ={theta}");
+            prints.push((theta, parallel, res.pairs.len(), fingerprint(&res.pairs)));
+        }
+    }
+    // Serial and parallel must agree bit-for-bit…
+    assert_eq!(prints[0].3, prints[1].3, "θ=0.5 serial vs parallel");
+    assert_eq!(prints[2].3, prints[3].3, "θ=0.8 serial vs parallel");
+    // …and match the checked-in baseline. If a PR changes these bytes it
+    // must say so: regenerate by running this test and copying the
+    // values from the assertion message.
+    let got: Vec<(usize, u64)> = prints.iter().map(|p| (p.2, p.3)).collect();
+    let want: &[(usize, u64)] = &[
+        (PIN_05_LEN, PIN_05_HASH),
+        (PIN_05_LEN, PIN_05_HASH),
+        (PIN_08_LEN, PIN_08_HASH),
+        (PIN_08_LEN, PIN_08_HASH),
+    ];
+    assert_eq!(got, want, "output bytes drifted: {prints:?}");
+}
+
+#[test]
+fn self_join_output_bytes_are_pinned() {
+    let ds = dataset();
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let res = engine
+        .join_self(&ps, &JoinSpec::threshold(0.5).au_dp(2))
+        .expect("join_self");
+    assert!(!res.pairs.is_empty());
+    assert_eq!(
+        (res.pairs.len(), fingerprint(&res.pairs)),
+        (PIN_SELF_LEN, PIN_SELF_HASH),
+        "self-join output bytes drifted: {} pairs, fp {:#018x}",
+        res.pairs.len(),
+        fingerprint(&res.pairs)
+    );
+}
+
+// Checked-in output fingerprints (see module docs for the update rule).
+const PIN_05_LEN: usize = 85;
+const PIN_05_HASH: u64 = 15820778713855170874;
+const PIN_08_LEN: usize = 80;
+const PIN_08_HASH: u64 = 17395305913487146034;
+const PIN_SELF_LEN: usize = 9;
+const PIN_SELF_HASH: u64 = 0x8609d6b30db5f836;
