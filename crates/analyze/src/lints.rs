@@ -89,9 +89,11 @@ impl Finding {
 /// the whole of `au-core` (`join`, `search`, `topk`, `shard`, `usim`,
 /// `index` per the invariant list, plus `engine`, `pebble`, `signature`
 /// and the rest — every `au-core` module sits on the path from corpus to
-/// output bytes).
+/// output bytes), and the whole of `au-serve` (snapshot merge ordering,
+/// tombstone masking and delta/base result merging all sit directly on
+/// the path from query to response bytes).
 fn output_affecting(rel_path: &str) -> bool {
-    rel_path.contains("crates/core/src/")
+    rel_path.contains("crates/core/src/") || rel_path.contains("crates/serve/src/")
 }
 
 /// Methods whose call on a hash map/set observes iteration order.
@@ -117,7 +119,7 @@ pub fn lint_file(rel_path: &str, file: &ScannedFile) -> Vec<Finding> {
         lint_determinism(rel_path, file, &mut out);
         lint_float_totality(rel_path, file, &mut out);
     }
-    if rel_path.ends_with("engine.rs") {
+    if rel_path.ends_with("engine.rs") || rel_path.contains("crates/serve/src/") {
         lint_panic_surface(rel_path, file, &mut out);
     }
     out
@@ -444,9 +446,11 @@ fn find_word(code: &str, word: &str) -> Option<usize> {
 // P — panic surface
 // ---------------------------------------------------------------------
 
-/// No `unwrap`/`expect`/`panic!`/`unreachable!` in `engine.rs` non-test
-/// code: public session paths return [`AuError`] instead of aborting a
-/// long-lived service. `// panic-ok:` documents the sites that stay.
+/// No `unwrap`/`expect`/`panic!`/`unreachable!` in `engine.rs` or
+/// `crates/serve/src/` non-test code: public session paths return
+/// `AuError`/`ServeError` instead of aborting a long-lived service (the
+/// serving layer is exactly the long-lived process the rule exists for).
+/// `// panic-ok:` documents the sites that stay.
 fn lint_panic_surface(rel_path: &str, file: &ScannedFile, out: &mut Vec<Finding>) {
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test {
@@ -724,6 +728,24 @@ mod tests {
         assert!(lint_file("crates/core/src/join.rs", &f)
             .iter()
             .all(|f| f.lint != Lint::PanicSurface));
+    }
+
+    #[test]
+    fn serve_crate_is_fully_in_scope() {
+        // The serving layer gets the engine treatment: D and F (it is
+        // output-affecting) plus the whole-crate panic-surface rule.
+        let src = "let m: FxHashMap<u8, u8> = FxHashMap::default();\n\
+                   for x in &m {}\n\
+                   let y = z.unwrap();\n\
+                   let o = a.partial_cmp(&b);\n";
+        let f = scan(src);
+        let findings = lint_file("crates/serve/src/snapshot.rs", &f);
+        for lint in [Lint::Determinism, Lint::PanicSurface, Lint::FloatTotality] {
+            assert!(
+                findings.iter().any(|x| x.lint == lint && x.is_violation()),
+                "{lint:?} must fire in crates/serve/src/"
+            );
+        }
     }
 
     #[test]

@@ -62,6 +62,17 @@ fn workspace_audit_is_present() {
         .iter()
         .filter(|f| f.lint == Lint::AtomicOrdering && f.file.starts_with("crates/core/"))
         .all(|f| !f.is_violation()));
+    // The serving layer is all swap-path atomics: each one must be
+    // present (admission counters, generation watermark) and justified.
+    let serve_a = findings
+        .iter()
+        .filter(|f| f.lint == Lint::AtomicOrdering && f.file.starts_with("crates/serve/"))
+        .count();
+    assert!(serve_a >= 5, "serve atomic audit sites missing: {serve_a}");
+    assert!(findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/serve/"))
+        .all(|f| !f.is_violation()));
 }
 
 #[test]

@@ -359,6 +359,230 @@ pub struct PositionReport {
     pub candidate_cut: f64,
 }
 
+/// One phase measurement of the `fig_serve` serving workload.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// `serve/steady` or `serve/mixed`.
+    pub id: String,
+    /// `steady` (reads against the initial base) or `mixed` (reads
+    /// interleaved with insert/delete/compact).
+    pub phase: &'static str,
+    /// Queries issued in this phase (deterministic scenario count).
+    pub queries: u64,
+    /// `Vτ` summed over every query (base + delta probes).
+    pub candidates: u64,
+    /// `Tτ` summed over every query.
+    pub processed_pairs: u64,
+    /// Matches returned, summed over every query. Pure function of
+    /// (scale, seed) — `bench_gate` exact-matches it.
+    pub result_pairs: u64,
+    /// Median per-query latency in seconds (0 when timings disabled).
+    pub p50_seconds: f64,
+    /// 99th-percentile per-query latency in seconds (0 when timings
+    /// disabled).
+    pub p99_seconds: f64,
+    /// Queries per second over the phase (0 when timings disabled).
+    pub records_per_second: f64,
+}
+
+/// The `fig_serve` workload: a [`au_serve::Service`] driven through a
+/// deterministic steady-read phase and a mixed phase of reads racing a
+/// scripted insert/delete/compact sequence, then checked byte-identical
+/// against a fresh monolithic prepare of the final corpus state.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Always `fig_serve`.
+    pub name: String,
+    /// Scale the run used.
+    pub au_scale: f64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Service threshold θ.
+    pub theta: f64,
+    /// Initial corpus size.
+    pub n_initial: usize,
+    /// Records inserted by the mixed-phase script.
+    pub n_inserts: usize,
+    /// Records deleted by the mixed-phase script.
+    pub n_deletes: usize,
+    /// Compactions performed (scripted + final).
+    pub compactions: u64,
+    /// Responses whose generation was below the watermark observed
+    /// before the query — the generation guard's anomaly count. Asserted
+    /// zero before the report is emitted; emitted anyway so the artifact
+    /// records the claim.
+    pub stale_anomalies: u64,
+    /// Per-phase rows (`steady` first).
+    pub rows: Vec<ServeRow>,
+    /// Longest single compaction in seconds (0 when timings disabled).
+    /// Readers never block on it — this is writer-path latency.
+    pub compact_pause_seconds: f64,
+}
+
+/// Run the `fig_serve` serving workload: MED-like base corpus, T-side
+/// texts as the query battery and the insert stream, scripted deletes of
+/// early base ids and periodic compactions. Deterministic counters are
+/// pure functions of (scale, seed); the final served state is asserted
+/// byte-identical to a monolithic rebuild before the report is returned.
+pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
+    use au_serve::{ServeConfig, Service};
+
+    let theta = 0.90;
+    let n = crate::experiments::sized(400, scale).max(8);
+    let ds = med_dataset(n, seed);
+    let cfg = ServeConfig {
+        theta,
+        filter: FilterKind::AuDp { tau: 2 },
+        compact_threshold: 0, // the script compacts explicitly
+        ..ServeConfig::default()
+    };
+    let initial: Vec<&str> = ds.s.iter().map(|r| r.raw.as_str()).collect();
+    let battery: Vec<&str> = ds.t.iter().map(|r| r.raw.as_str()).collect();
+    let svc = Service::build(ds.kn.clone(), initial.iter().copied(), cfg)
+        .expect("serve build on datagen corpus");
+
+    let mut stale_anomalies = 0u64;
+    let mut run_queries = |texts: &[&str]| -> (u64, u64, u64, Vec<f64>) {
+        let (mut cands, mut procd, mut results) = (0u64, 0u64, 0u64);
+        let mut lat = Vec::with_capacity(texts.len());
+        for q in texts {
+            let before = svc.generation();
+            let t0 = Instant::now();
+            let resp = svc.search(q).expect("admission unbounded by default");
+            lat.push(t0.elapsed().as_secs_f64());
+            if resp.generation < before {
+                stale_anomalies += 1;
+            }
+            cands += resp.candidates;
+            procd += resp.processed;
+            results += resp.matches.len() as u64;
+        }
+        (cands, procd, results, lat)
+    };
+
+    // Phase 1: steady reads against the untouched base snapshot.
+    let t_phase = Instant::now();
+    let (s_cands, s_proc, s_res, s_lat) = run_queries(&battery);
+    let steady_secs = t_phase.elapsed().as_secs_f64();
+
+    // Phase 2: the same battery interleaved with the mutation script —
+    // every T record inserted, every third step deletes an early base
+    // id, periodic compactions fold the delta.
+    let compact_every = (n / 8).max(8);
+    let mut compact_pause = 0.0f64;
+    let (mut m_cands, mut m_proc, mut m_res) = (0u64, 0u64, 0u64);
+    let mut m_lat = Vec::new();
+    let mut n_deletes = 0usize;
+    let t_phase = Instant::now();
+    for (i, text) in battery.iter().enumerate() {
+        svc.insert_record(text).expect("insert interned text");
+        if i % 3 == 2 {
+            svc.delete_record((i / 3) as u64).expect("scripted delete");
+            n_deletes += 1;
+        }
+        if (i + 1) % compact_every == 0 {
+            svc.compact().expect("scripted compaction");
+            compact_pause = compact_pause.max(svc.stats().last_compact_nanos as f64 / 1e9);
+        }
+        let probes = [
+            battery[(2 * i) % battery.len()],
+            battery[(2 * i + 1) % battery.len()],
+        ];
+        let (c, p, r, lat) = run_queries(&probes);
+        m_cands += c;
+        m_proc += p;
+        m_res += r;
+        m_lat.extend(lat);
+    }
+    svc.compact().expect("final compaction");
+    compact_pause = compact_pause.max(svc.stats().last_compact_nanos as f64 / 1e9);
+    let mixed_secs = t_phase.elapsed().as_secs_f64();
+
+    assert_eq!(stale_anomalies, 0, "generation guard violated");
+
+    // Acceptance: the served final state answers byte-identically to a
+    // fresh monolithic prepare of the same live corpus.
+    let snap = svc.snapshot();
+    let kn = snap.knowledge().clone();
+    let engine = Engine::new(kn, svc.config().sim).expect("reference engine");
+    let mut corpus = au_text::record::Corpus::new();
+    let mut gids: Vec<u64> = Vec::new();
+    for (gid, rec) in snap.live_records() {
+        corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+        gids.push(gid);
+    }
+    let prepared = engine.prepare_owned(corpus).expect("reference prepare");
+    let spec = JoinSpec::threshold(theta).filter(FilterKind::AuDp { tau: 2 });
+    let searcher = engine
+        .searcher(&prepared, &spec)
+        .expect("reference searcher");
+    for q in &battery {
+        let served: Vec<(u64, f64)> = svc.search(q).expect("served query").matches;
+        let reference: Vec<(u64, f64)> = searcher
+            .query(q)
+            .matches
+            .iter()
+            .map(|&(row, sim)| (gids[row as usize], sim))
+            .collect();
+        assert_eq!(served, reference, "served ≠ monolithic for {q:?}");
+    }
+
+    let percentile = |lat: &[f64], p: f64| -> f64 {
+        if lat.is_empty() || !timings {
+            return 0.0;
+        }
+        let mut sorted = lat.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let qps = |queries: u64, secs: f64| -> f64 {
+        if !timings || secs <= 0.0 {
+            0.0
+        } else {
+            queries as f64 / secs
+        }
+    };
+
+    let stats = svc.stats();
+    ServeReport {
+        name: "fig_serve".into(),
+        au_scale: scale,
+        seed,
+        theta,
+        n_initial: n,
+        n_inserts: battery.len(),
+        n_deletes,
+        compactions: stats.compactions,
+        stale_anomalies,
+        rows: vec![
+            ServeRow {
+                id: "serve/steady".into(),
+                phase: "steady",
+                queries: battery.len() as u64,
+                candidates: s_cands,
+                processed_pairs: s_proc,
+                result_pairs: s_res,
+                p50_seconds: percentile(&s_lat, 0.50),
+                p99_seconds: percentile(&s_lat, 0.99),
+                records_per_second: qps(battery.len() as u64, steady_secs),
+            },
+            ServeRow {
+                id: "serve/mixed".into(),
+                phase: "mixed",
+                queries: m_lat.len() as u64,
+                candidates: m_cands,
+                processed_pairs: m_proc,
+                result_pairs: m_res,
+                p50_seconds: percentile(&m_lat, 0.50),
+                p99_seconds: percentile(&m_lat, 0.99),
+                records_per_second: qps(m_lat.len() as u64, mixed_secs),
+            },
+        ],
+        compact_pause_seconds: if timings { compact_pause } else { 0.0 },
+    }
+}
+
 /// Run the `fig_position` comparison: the same prepared U-Filter join
 /// with [`JoinSpec::position_filter`] on vs off, byte-identical results
 /// asserted, serial, best of `reps` repetitions.
@@ -1558,6 +1782,136 @@ impl ShardReport {
     }
 }
 
+impl ServeReport {
+    /// Stable-format JSON. Rows are emitted under `workloads` so
+    /// `bench_gate` exact-matches the deterministic counters
+    /// (`candidates`, `processed_pairs`, `result_pairs`) and
+    /// throughput-gates `records_per_second` (QPS) with its generic row
+    /// logic; `stale_anomalies` is asserted zero before emission and
+    /// recorded for the artifact trail.
+    pub fn to_json(&self, timings: bool) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        push_field(
+            &mut o,
+            "  ",
+            "schema",
+            format!("\"{}\"", json::escape(SCHEMA)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "name",
+            format!("\"{}\"", json::escape(&self.name)),
+            false,
+        );
+        push_field(&mut o, "  ", "au_scale", num(self.au_scale), false);
+        push_field(&mut o, "  ", "seed", self.seed.to_string(), false);
+        push_field(&mut o, "  ", "theta", num(self.theta), false);
+        push_field(&mut o, "  ", "n_initial", self.n_initial.to_string(), false);
+        push_field(&mut o, "  ", "n_inserts", self.n_inserts.to_string(), false);
+        push_field(&mut o, "  ", "n_deletes", self.n_deletes.to_string(), false);
+        push_field(
+            &mut o,
+            "  ",
+            "compactions",
+            self.compactions.to_string(),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "stale_anomalies",
+            self.stale_anomalies.to_string(),
+            false,
+        );
+        o.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            o.push_str("    {\n");
+            push_field(
+                &mut o,
+                "      ",
+                "id",
+                format!("\"{}\"", json::escape(&r.id)),
+                false,
+            );
+            push_field(&mut o, "      ", "phase", format!("\"{}\"", r.phase), false);
+            push_field(&mut o, "      ", "queries", r.queries.to_string(), false);
+            push_field(
+                &mut o,
+                "      ",
+                "candidates",
+                r.candidates.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "processed_pairs",
+                r.processed_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "result_pairs",
+                r.result_pairs.to_string(),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "p50_seconds",
+                num(zero_if(!timings, r.p50_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "p99_seconds",
+                num(zero_if(!timings, r.p99_seconds)),
+                false,
+            );
+            push_field(
+                &mut o,
+                "      ",
+                "records_per_second",
+                num(zero_if(!timings, r.records_per_second)),
+                true,
+            );
+            o.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        o.push_str("  ],\n");
+        push_field(
+            &mut o,
+            "  ",
+            "compact_pause_seconds",
+            num(zero_if(!timings, self.compact_pause_seconds)),
+            true,
+        );
+        o.push_str("}\n");
+        o
+    }
+}
+
+/// Write just the `BENCH_fig_serve.json` artifact — the standalone
+/// serving smoke (`perf_serve` binary) uses this to produce a gateable
+/// artifact without paying for the workload sweep.
+pub fn write_serve_report(
+    dir: &Path,
+    serve: &ServeReport,
+    timings: bool,
+) -> std::io::Result<PathBuf> {
+    let p = dir.join(format!("BENCH_{}.json", serve.name));
+    std::fs::write(&p, serve.to_json(timings))?;
+    Ok(p)
+}
+
 /// Write every report as `BENCH_<name>.json` under `dir`; returns the
 /// written paths.
 #[allow(clippy::too_many_arguments)]
@@ -1632,6 +1986,23 @@ mod tests {
             assert_eq!(pair[0].processed_pairs, pair[1].processed_pairs);
             assert_eq!(pair[0].result_pairs, pair[1].result_pairs);
             assert_eq!(pair[0].prf, pair[1].prf);
+        }
+    }
+
+    #[test]
+    fn serve_report_is_deterministic_and_anomaly_free() {
+        let a = run_serve_workload(0.04, 9, false);
+        let b = run_serve_workload(0.04, 9, false);
+        assert_eq!(a.stale_anomalies, 0);
+        assert_eq!(a.to_json(false), b.to_json(false), "same seed, same bytes");
+        let v = json::Value::parse(&a.to_json(false)).expect("emitted JSON parses");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let rows = v.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(a.compactions >= 2, "script + final compactions ran");
+        for r in rows {
+            assert!(r.get("result_pairs").unwrap().as_f64().unwrap() > 0.0);
+            assert_eq!(r.get("records_per_second").unwrap().as_f64(), Some(0.0));
         }
     }
 

@@ -1,0 +1,208 @@
+//! `auserve` — an interactive serving session over one corpus file.
+//!
+//! ```text
+//! auserve <corpus.txt> [--theta T] [--rules rules.tsv] [--taxonomy tax.txt]
+//! ```
+//!
+//! Reads one string per line from `<corpus.txt>` into a live
+//! [`Service`], then answers commands from stdin (one per line):
+//!
+//! ```text
+//! q <text>          θ-search the live corpus
+//! topk <k> <text>   best k matches by threshold descent
+//! add <text>        insert a record (prints id@generation)
+//! del <id>          tombstone a record
+//! join <lo> <hi>    self-join live records with ids in [lo, hi)
+//! compact           fold delta + tombstones into a fresh base
+//! stats             generation, live count, counters
+//! quit              exit
+//! ```
+//!
+//! Every answer is prefixed with the generation that served it, so a
+//! scripted session can assert the monotone-publication contract from
+//! the outside.
+
+use au_core::io::{load_rules, load_taxonomy};
+use au_core::knowledge::KnowledgeBuilder;
+use au_serve::{ServeConfig, Service};
+use std::io::BufRead;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: auserve <corpus.txt> [--theta T] [--rules rules.tsv] [--taxonomy tax.txt]";
+
+struct Opts {
+    corpus: String,
+    theta: f64,
+    rules: Option<String>,
+    taxonomy: Option<String>,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut corpus = None;
+    let mut theta = 0.7;
+    let mut rules = None;
+    let mut taxonomy = None;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--theta" => {
+                theta = value("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?;
+            }
+            "--rules" => rules = Some(value("--rules")?),
+            "--taxonomy" => taxonomy = Some(value("--taxonomy")?),
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
+            _ if corpus.is_none() => corpus = Some(a),
+            _ => return Err(format!("unexpected argument {a}")),
+        }
+    }
+    Ok(Opts {
+        corpus: corpus.ok_or("missing corpus path")?,
+        theta,
+        rules,
+        taxonomy,
+    })
+}
+
+fn build_service(opts: &Opts) -> Result<Service, String> {
+    let mut kb = KnowledgeBuilder::new();
+    if let Some(path) = &opts.rules {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n = load_rules(&mut kb, &text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loaded {n} synonym rules");
+    }
+    if let Some(path) = &opts.taxonomy {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n = load_taxonomy(&mut kb, &text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loaded {n} taxonomy paths");
+    }
+    let text =
+        std::fs::read_to_string(&opts.corpus).map_err(|e| format!("{}: {e}", opts.corpus))?;
+    let cfg = ServeConfig {
+        theta: opts.theta,
+        ..ServeConfig::default()
+    };
+    let svc = Service::build(kb.build(), text.lines(), cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} records at θ={} (generation {})",
+        svc.snapshot().live_len(),
+        opts.theta,
+        svc.generation()
+    );
+    Ok(svc)
+}
+
+fn handle(svc: &Service, line: &str) -> Result<bool, String> {
+    let line = line.trim();
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "" => {}
+        "q" => {
+            let r = svc.search(rest).map_err(|e| e.to_string())?;
+            for (id, sim) in &r.matches {
+                println!("[gen {}] {id}\t{sim:.6}", r.generation);
+            }
+            eprintln!(
+                "gen {}: {} matches, {} candidates, {} masked",
+                r.generation,
+                r.matches.len(),
+                r.candidates,
+                r.masked
+            );
+        }
+        "topk" => {
+            let (k, text) = rest.split_once(' ').ok_or("usage: topk <k> <text>")?;
+            let k: usize = k.parse().map_err(|e| format!("topk: {e}"))?;
+            let r = svc.topk(text, k).map_err(|e| e.to_string())?;
+            for (id, sim) in &r.matches {
+                println!("[gen {}] {id}\t{sim:.6}", r.generation);
+            }
+            eprintln!(
+                "gen {}: {} matches (descended to θ={:.2})",
+                r.generation,
+                r.matches.len(),
+                r.theta
+            );
+        }
+        "add" => {
+            let m = svc.insert_record(rest).map_err(|e| e.to_string())?;
+            println!("added {}@{}", m.id, m.generation);
+        }
+        "del" => {
+            let id: u64 = rest.trim().parse().map_err(|e| format!("del: {e}"))?;
+            let m = svc.delete_record(id).map_err(|e| e.to_string())?;
+            println!("deleted {}@{}", m.id, m.generation);
+        }
+        "join" => {
+            let (lo, hi) = rest.split_once(' ').ok_or("usage: join <lo> <hi>")?;
+            let lo: u64 = lo.parse().map_err(|e| format!("join: {e}"))?;
+            let hi: u64 = hi.trim().parse().map_err(|e| format!("join: {e}"))?;
+            let r = svc.join_window(lo, hi).map_err(|e| e.to_string())?;
+            for (s, t, sim) in &r.pairs {
+                println!("[gen {}] {s}\t{t}\t{sim:.6}", r.generation);
+            }
+            eprintln!("gen {}: {} pairs", r.generation, r.pairs.len());
+        }
+        "compact" => {
+            let gen = svc.compact().map_err(|e| e.to_string())?;
+            println!("compacted@{gen}");
+        }
+        "stats" => {
+            let s = svc.stats();
+            println!(
+                "gen {} live {} delta {} tombstones {} | q {} +{} -{} compactions {} pause {:.2}ms",
+                s.generation,
+                s.live,
+                s.delta_len,
+                s.tombstones,
+                s.queries,
+                s.inserts,
+                s.deletes,
+                s.compactions,
+                s.last_compact_nanos as f64 / 1e6
+            );
+        }
+        "quit" | "exit" => return Ok(false),
+        other => {
+            return Err(format!(
+                "unknown command {other:?} (q/topk/add/del/join/compact/stats/quit)"
+            ))
+        }
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let svc = match build_service(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match handle(&svc, &line) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -63,6 +63,7 @@ use crate::topk::TopkResult;
 use crate::usim::{usim_approx_seg, Verifier, VerifyScratch};
 use au_text::record::Corpus;
 use au_text::{FxHashMap, ScratchVocab, TokenId};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -412,6 +413,16 @@ impl SigKey {
     }
 }
 
+/// One resident memo entry, queued in arrival order for capacity
+/// eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemoSlot {
+    Order(OrderKey),
+    Sorted(OrderKey),
+    Sig(SigKey),
+    Csr(SigKey),
+}
+
 /// Lazily built, memoized artifacts of one prepared corpus.
 #[derive(Debug, Default)]
 struct Memo {
@@ -421,6 +432,58 @@ struct Memo {
     csr: FxHashMap<SigKey, Arc<CsrIndex>>,
     hits: u64,
     misses: u64,
+    /// Arrival order of every resident entry (front = oldest), kept in
+    /// lockstep with the four maps; drives capacity eviction.
+    arrivals: VecDeque<MemoSlot>,
+    /// Max resident entries across the four maps; 0 = unbounded.
+    capacity: usize,
+    evictions: u64,
+}
+
+impl Memo {
+    fn resident(&self) -> usize {
+        self.orders.len() + self.sorted.len() + self.sigs.len() + self.csr.len()
+    }
+
+    /// Record that `slot` is (still) resident, then evict the oldest
+    /// entries past the capacity bound. Evicting an entry a caller just
+    /// received is harmless — the caller holds its own `Arc`, the memo is
+    /// purely a cache — and cannot happen to the entry recorded here
+    /// while anything older remains (`slot` sits at the back of the
+    /// queue, eviction pops the front).
+    fn note_insert(&mut self, slot: MemoSlot) {
+        if !self.arrivals.contains(&slot) {
+            self.arrivals.push_back(slot);
+        }
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.resident() > self.capacity {
+            let old = match self.arrivals.pop_front() {
+                Some(s) => s,
+                None => break,
+            };
+            match old {
+                MemoSlot::Order(k) => {
+                    self.orders.remove(&k);
+                }
+                MemoSlot::Sorted(k) => {
+                    self.sorted.remove(&k);
+                }
+                MemoSlot::Sig(k) => {
+                    self.sigs.remove(&k);
+                }
+                MemoSlot::Csr(k) => {
+                    self.csr.remove(&k);
+                }
+            }
+            self.evictions += 1;
+        }
+    }
 }
 
 /// One corpus, prepared once: segmentation, per-record posting tables
@@ -552,14 +615,44 @@ impl Prepared {
     ///
     /// The memo grows by one entry per distinct `(order, θ, filter, MP
     /// mode)` combination (plus one sorted-pebble list per distinct
-    /// order) and never evicts: a service exposing *user-chosen*
-    /// thresholds to a long-lived `Prepared` should either bucket them
-    /// to a fixed grid or call [`Prepared::clear_memo`] periodically —
-    /// entries for dropped join partners are likewise only reclaimed by
-    /// a clear.
+    /// order). By default it never evicts: a service exposing
+    /// *user-chosen* thresholds to a long-lived `Prepared` should either
+    /// bucket them to a fixed grid, set a bound with
+    /// [`Prepared::with_memo_capacity`], or call
+    /// [`Prepared::clear_memo`] periodically — entries for dropped join
+    /// partners are likewise only reclaimed by eviction or a clear.
     pub fn memo_len(&self) -> usize {
-        let m = relock(&self.memo);
-        m.orders.len() + m.sorted.len() + m.sigs.len() + m.csr.len()
+        relock(&self.memo).resident()
+    }
+
+    /// Cap the memo at `capacity` resident artifacts (0 = unbounded, the
+    /// default). Past the bound the oldest entries are evicted on every
+    /// insert — the pressure valve that keeps a threshold-sweeping
+    /// service's footprint flat without giving up warm-path memo hits.
+    /// Builder-style wrapper over [`Prepared::set_memo_capacity`] for
+    /// use at prepare time.
+    pub fn with_memo_capacity(self, capacity: usize) -> Self {
+        self.set_memo_capacity(capacity);
+        self
+    }
+
+    /// Set the memo capacity on a shared artifact (0 = unbounded). When
+    /// the new bound is below the current population the oldest entries
+    /// are evicted immediately.
+    pub fn set_memo_capacity(&self, capacity: usize) {
+        let mut m = relock(&self.memo);
+        m.capacity = capacity;
+        m.enforce_capacity();
+    }
+
+    /// Current memo capacity (0 = unbounded).
+    pub fn memo_capacity(&self) -> usize {
+        relock(&self.memo).capacity
+    }
+
+    /// Memo entries evicted by the capacity bound so far.
+    pub fn memo_evictions(&self) -> u64 {
+        relock(&self.memo).evictions
     }
 
     /// Drop every memoized artifact (the segmentation itself is kept —
@@ -572,6 +665,7 @@ impl Prepared {
         m.sorted.clear();
         m.sigs.clear();
         m.csr.clear();
+        m.arrivals.clear();
     }
 
     fn memo(&self) -> std::sync::MutexGuard<'_, Memo> {
@@ -766,10 +860,13 @@ impl Engine {
         ));
         let mut m = c.memo();
         m.misses += 1;
-        m.orders
+        let out = m
+            .orders
             .entry(OrderKey::SelfOrder)
             .or_insert_with(|| order.clone())
-            .clone()
+            .clone();
+        m.note_insert(MemoSlot::Order(OrderKey::SelfOrder));
+        out
     }
 
     /// The global order over both sides of an R×S join (document
@@ -795,16 +892,19 @@ impl Engine {
         let order = {
             let mut m = s.memo();
             m.misses += 1;
-            m.orders
+            let out = m
+                .orders
                 .entry(key_s)
                 .or_insert_with(|| order.clone())
-                .clone()
+                .clone();
+            m.note_insert(MemoSlot::Order(key_s));
+            out
         };
         if s.id != t.id {
-            t.memo()
-                .orders
-                .entry(OrderKey::Pair(s.id))
-                .or_insert_with(|| order.clone());
+            let key_t = OrderKey::Pair(s.id);
+            let mut m = t.memo();
+            m.orders.entry(key_t).or_insert_with(|| order.clone());
+            m.note_insert(MemoSlot::Order(key_t));
         }
         order
     }
@@ -831,10 +931,13 @@ impl Engine {
         let pebbles = Arc::new(pebbles);
         let mut m = c.memo();
         m.misses += 1;
-        m.sorted
+        let out = m
+            .sorted
             .entry(key)
             .or_insert_with(|| pebbles.clone())
-            .clone()
+            .clone();
+        m.note_insert(MemoSlot::Sorted(key));
+        out
     }
 
     /// Signature prefixes + guarantee levels for `(order, θ, filter, MP)`.
@@ -862,7 +965,9 @@ impl Engine {
         ));
         let mut m = c.memo();
         m.misses += 1;
-        m.sigs.entry(sig_key).or_insert_with(|| sel.clone()).clone()
+        let out = m.sigs.entry(sig_key).or_insert_with(|| sel.clone()).clone();
+        m.note_insert(MemoSlot::Sig(sig_key));
+        out
     }
 
     /// CSR inverted index over `sel`'s signature keys for the same memo
@@ -878,10 +983,13 @@ impl Engine {
         let index = Arc::new(CsrIndex::from_record_keys(&sel.record_keys));
         let mut m = c.memo();
         m.misses += 1;
-        m.csr
+        let out = m
+            .csr
             .entry(sig_key)
             .or_insert_with(|| index.clone())
-            .clone()
+            .clone();
+        m.note_insert(MemoSlot::Csr(sig_key));
+        out
     }
 
     // -- pipeline stages ----------------------------------------------------
@@ -1163,7 +1271,9 @@ impl Engine {
         let res = self.sharded_self_executor(
             &sp.plan,
             &opts,
+            sp.cache_capacity,
             &mut |i| self.shard_artifact(sp, i),
+            &mut |ids| relock(&sp.cache).set_pinned(ids),
             &mut || relock(&sp.cache).end_task(),
         );
         relock(&sp.cache).note_usage();
@@ -1185,8 +1295,10 @@ impl Engine {
             &s.plan,
             &t.plan,
             &opts,
+            s.cache_capacity,
             &mut |i| self.shard_artifact(s, i),
             &mut |j| self.shard_artifact(t, j),
+            &mut |ids| relock(&s.cache).set_pinned(ids),
             &mut || {
                 relock(&s.cache).end_task();
                 relock(&t.cache).end_task();
@@ -1285,6 +1397,7 @@ impl Engine {
         self.sharded_self_executor(
             &plan,
             opts,
+            cap,
             &mut |i| {
                 cache.borrow_mut().get_or_build(
                     i,
@@ -1292,6 +1405,7 @@ impl Engine {
                     || Ok(self.slice_prepared(c, plan.shard(i))),
                 )
             },
+            &mut |ids| cache.borrow_mut().set_pinned(ids),
             &mut || cache.borrow_mut().end_task(),
         )
     }
@@ -1313,6 +1427,7 @@ impl Engine {
             &plan_s,
             &plan_t,
             opts,
+            cap,
             &mut |i| {
                 cache_s
                     .borrow_mut()
@@ -1323,6 +1438,7 @@ impl Engine {
                     .borrow_mut()
                     .get_or_build(j, cap, || Ok(self.slice_prepared(t, plan_t.shard(j))))
             },
+            &mut |ids| cache_s.borrow_mut().set_pinned(ids),
             &mut || {
                 cache_s.borrow_mut().end_task();
                 cache_t.borrow_mut().end_task();
@@ -1332,8 +1448,15 @@ impl Engine {
 
     /// Self-join as shard-pair tasks over unordered pairs `(i, j ≥ i)`.
     /// Tasks cover disjoint record-pair sets, so no dedup is needed; the
-    /// final `(s, t)` sort is the deterministic merge. Tasks run
-    /// sequentially (bounded memory: at most the cache capacity of
+    /// final `(s, t)` sort is the deterministic merge — which also frees
+    /// the task *order*, so the grid is walked as a blocked traversal
+    /// matched to the LRU cache: a band of `cache_capacity − 1` i-shards
+    /// is pinned resident while every partner j streams through the one
+    /// remaining slot. Each shard is then built once as a band member
+    /// plus once per later band that streams it, cutting rebuilds
+    /// roughly `capacity`-fold versus the row-major walk (where the LRU
+    /// recency order ran exactly opposite to the revisit order). Tasks
+    /// run sequentially (bounded memory: at most the cache capacity of
     /// shards is live, and `end_task` trims task-scoped memos after
     /// recording the peak) while each task's inner pipeline honours
     /// `opts.parallel`.
@@ -1341,45 +1464,61 @@ impl Engine {
         &self,
         plan: &ShardPlan,
         opts: &JoinOptions,
+        cache_capacity: usize,
         fetch: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
+        pin: &mut dyn FnMut(&[usize]),
         end_task: &mut dyn FnMut(),
     ) -> Result<JoinResult, AuError> {
         let g = plan.shard_count();
         let mut agg = StatAgg::default();
         let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
-        for i in 0..g {
-            for j in i..g {
-                if !shard_pair_compatible(plan.shard(i), plan.shard(j), opts.theta, self.cfg.eps) {
-                    agg.pruned += 1;
-                    continue;
+        let band = cache_capacity.saturating_sub(1).max(1);
+        let mut b0 = 0;
+        while b0 < g {
+            let b1 = (b0 + band).min(g);
+            let band_ids: Vec<usize> = (b0..b1).collect();
+            pin(&band_ids);
+            for j in b0..g {
+                for i in b0..b1.min(j + 1) {
+                    if !shard_pair_compatible(
+                        plan.shard(i),
+                        plan.shard(j),
+                        opts.theta,
+                        self.cfg.eps,
+                    ) {
+                        agg.pruned += 1;
+                        continue;
+                    }
+                    agg.tasks += 1;
+                    if i == j {
+                        let pa = fetch(i)?;
+                        let ids = plan.shard(i).records();
+                        let res = self.join_full(&pa, &pa, true, opts);
+                        agg.absorb(&res.stats, pa.len(), pa.len());
+                        pairs.extend(
+                            res.pairs
+                                .iter()
+                                .map(|&(a, b, sim)| (ids[a as usize], ids[b as usize], sim)),
+                        );
+                    } else {
+                        let pa = fetch(i)?;
+                        let pb = fetch(j)?;
+                        self.cross_self_task(
+                            &pa,
+                            &pb,
+                            plan.shard(i).records(),
+                            plan.shard(j).records(),
+                            opts,
+                            &mut agg,
+                            &mut pairs,
+                        );
+                    }
+                    end_task();
                 }
-                agg.tasks += 1;
-                if i == j {
-                    let pa = fetch(i)?;
-                    let ids = plan.shard(i).records();
-                    let res = self.join_full(&pa, &pa, true, opts);
-                    agg.absorb(&res.stats, pa.len(), pa.len());
-                    pairs.extend(
-                        res.pairs
-                            .iter()
-                            .map(|&(a, b, sim)| (ids[a as usize], ids[b as usize], sim)),
-                    );
-                } else {
-                    let pa = fetch(i)?;
-                    let pb = fetch(j)?;
-                    self.cross_self_task(
-                        &pa,
-                        &pb,
-                        plan.shard(i).records(),
-                        plan.shard(j).records(),
-                        opts,
-                        &mut agg,
-                        &mut pairs,
-                    );
-                }
-                end_task();
             }
+            b0 = b1;
         }
+        pin(&[]);
         pairs.sort_unstable_by_key(|x| (x.0, x.1));
         Ok(JoinResult {
             stats: agg.into_stats(pairs.len()),
@@ -1467,43 +1606,61 @@ impl Engine {
 
     /// R×S join as all compatible shard-pair tasks (each one a plain
     /// [`Engine::join_full`] over the two slices, ids mapped back to the
-    /// global spaces).
+    /// global spaces). Like the self executor, the grid is walked as a
+    /// blocked traversal: a band of S-shards (sized to the S cache,
+    /// whose slots are all pinnable because T lives in its own cache)
+    /// stays pinned while every T-shard streams past it once, so T
+    /// rebuilds drop from `g_s·g_t` to `g_t·⌈g_s/capacity⌉`.
+    #[allow(clippy::too_many_arguments)]
     fn sharded_rs_executor(
         &self,
         plan_s: &ShardPlan,
         plan_t: &ShardPlan,
         opts: &JoinOptions,
+        cache_capacity: usize,
         fetch_s: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
         fetch_t: &mut dyn FnMut(usize) -> Result<Arc<Prepared>, AuError>,
+        pin_s: &mut dyn FnMut(&[usize]),
         end_task: &mut dyn FnMut(),
     ) -> Result<JoinResult, AuError> {
+        let g_s = plan_s.shard_count();
+        let g_t = plan_t.shard_count();
         let mut agg = StatAgg::default();
         let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
-        for i in 0..plan_s.shard_count() {
-            for j in 0..plan_t.shard_count() {
-                if !shard_pair_compatible(
-                    plan_s.shard(i),
-                    plan_t.shard(j),
-                    opts.theta,
-                    self.cfg.eps,
-                ) {
-                    agg.pruned += 1;
-                    continue;
+        let band = cache_capacity.max(1);
+        let mut b0 = 0;
+        while b0 < g_s {
+            let b1 = (b0 + band).min(g_s);
+            let band_ids: Vec<usize> = (b0..b1).collect();
+            pin_s(&band_ids);
+            for j in 0..g_t {
+                for i in b0..b1 {
+                    if !shard_pair_compatible(
+                        plan_s.shard(i),
+                        plan_t.shard(j),
+                        opts.theta,
+                        self.cfg.eps,
+                    ) {
+                        agg.pruned += 1;
+                        continue;
+                    }
+                    agg.tasks += 1;
+                    let ps = fetch_s(i)?;
+                    let pt = fetch_t(j)?;
+                    let res = self.join_full(&ps, &pt, false, opts);
+                    agg.absorb(&res.stats, ps.len(), pt.len());
+                    let (ids_s, ids_t) = (plan_s.shard(i).records(), plan_t.shard(j).records());
+                    pairs.extend(
+                        res.pairs
+                            .iter()
+                            .map(|&(a, b, sim)| (ids_s[a as usize], ids_t[b as usize], sim)),
+                    );
+                    end_task();
                 }
-                agg.tasks += 1;
-                let ps = fetch_s(i)?;
-                let pt = fetch_t(j)?;
-                let res = self.join_full(&ps, &pt, false, opts);
-                agg.absorb(&res.stats, ps.len(), pt.len());
-                let (ids_s, ids_t) = (plan_s.shard(i).records(), plan_t.shard(j).records());
-                pairs.extend(
-                    res.pairs
-                        .iter()
-                        .map(|&(a, b, sim)| (ids_s[a as usize], ids_t[b as usize], sim)),
-                );
-                end_task();
             }
+            b0 = b1;
         }
+        pin_s(&[]);
         pairs.sort_unstable_by_key(|x| (x.0, x.1));
         Ok(JoinResult {
             stats: agg.into_stats(pairs.len()),
@@ -1594,15 +1751,41 @@ impl Engine {
         c: &'e Prepared,
         spec: &JoinSpec,
     ) -> Result<Searcher<'e>, AuError> {
+        Ok(Searcher {
+            engine: self,
+            prepared: c,
+            core: self.search_core(c, spec)?,
+        })
+    }
+
+    /// Owning variant of [`Engine::searcher`] for long-lived services:
+    /// the engine and collection travel by `Arc`, so the returned
+    /// [`SnapshotSearcher`] is `'static` and can be stored inside an
+    /// atomically-swapped snapshot and shared across worker threads.
+    /// Artifact selection is identical (and served from the same
+    /// [`Prepared`] memo, so building a second searcher against a warm
+    /// collection is cheap).
+    pub fn snapshot_searcher(
+        engine: Arc<Engine>,
+        prepared: Arc<Prepared>,
+        spec: &JoinSpec,
+    ) -> Result<SnapshotSearcher, AuError> {
+        let core = engine.search_core(&prepared, spec)?;
+        Ok(SnapshotSearcher {
+            engine,
+            prepared,
+            core,
+        })
+    }
+
+    fn search_core(&self, c: &Prepared, spec: &JoinSpec) -> Result<SearchCore, AuError> {
         self.check(c)?;
         let opts = spec.threshold_options()?;
         let order = self.order_self(c);
         let sel = self.signatures(c, OrderKey::SelfOrder, &order, &opts);
         let index = self.csr(c, SigKey::new(OrderKey::SelfOrder, &opts), &sel);
         let counter = Mutex::new(OverlapCounter::new(index.record_count()));
-        Ok(Searcher {
-            engine: self,
-            prepared: c,
+        Ok(SearchCore {
             opts,
             order,
             sel,
@@ -1888,6 +2071,16 @@ pub struct ProbeSpec {
 pub struct Searcher<'e> {
     engine: &'e Engine,
     prepared: &'e Prepared,
+    core: SearchCore,
+}
+
+/// The engine-independent guts of a search session: selected artifacts
+/// plus the per-session mutable scratch (overlap counter, verification
+/// pool, OOV overlay). Shared by the borrowing [`Searcher`] and the
+/// `Arc`-owning [`SnapshotSearcher`] so both answer queries through one
+/// code path.
+#[derive(Debug)]
+struct SearchCore {
     opts: JoinOptions,
     order: Arc<PebbleOrder>,
     sel: Arc<SelectedSignatures>,
@@ -1895,6 +2088,69 @@ pub struct Searcher<'e> {
     counter: Mutex<OverlapCounter>,
     pool: Mutex<Vec<VerifyScratch>>,
     scratch: Mutex<ScratchVocab>,
+}
+
+impl SearchCore {
+    /// Query with a raw string: every indexed record with
+    /// `USIM(query, record) ≥ θ`, sorted by descending similarity.
+    fn query(
+        &self,
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        prepared: &Prepared,
+        text: &str,
+    ) -> SearchOutcome {
+        let toks = au_text::tokenize::tokenize(text, &kn.tokenize);
+        // The overlay lock covers interning + a tiny per-query snapshot
+        // only; segmentation (the expensive part) runs outside it, so
+        // concurrent queries don't serialize.
+        let (ids, snap) = {
+            let mut scratch = relock(&self.scratch);
+            let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
+            let snap = scratch.snapshot(&ids);
+            (ids, snap)
+        };
+        let sr = segment_record_with(kn, cfg, &ids, &|span| snap.join(&kn.vocab, span));
+        self.query_seg(kn, cfg, prepared, &sr)
+    }
+
+    /// Query with pre-tokenized ids (vocabulary ids, or overlay ids this
+    /// searcher minted earlier).
+    fn query_tokens(
+        &self,
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        prepared: &Prepared,
+        tokens: &[TokenId],
+    ) -> SearchOutcome {
+        let snap = relock(&self.scratch).snapshot(tokens);
+        let sr = segment_record_with(kn, cfg, tokens, &|span| snap.join(&kn.vocab, span));
+        self.query_seg(kn, cfg, prepared, &sr)
+    }
+
+    fn query_seg(
+        &self,
+        kn: &Knowledge,
+        cfg: &SimConfig,
+        prepared: &Prepared,
+        sr: &SegRecord,
+    ) -> SearchOutcome {
+        run_query(
+            &QueryEnv {
+                kn,
+                cfg,
+                opts: &self.opts,
+                segrecs: &prepared.prep.segrecs,
+                order: &self.order,
+                levels: &self.sel.levels,
+                index: &self.index,
+                counter: &self.counter,
+                pool: &self.pool,
+                tier0: &prepared.tier0,
+            },
+            sr,
+        )
+    }
 }
 
 impl Searcher<'_> {
@@ -1910,61 +2166,85 @@ impl Searcher<'_> {
 
     /// The threshold θ this searcher answers at.
     pub fn theta(&self) -> f64 {
-        self.opts.theta
+        self.core.opts.theta
     }
 
     /// Mean signature length of the indexed records.
     pub fn avg_sig_len(&self) -> f64 {
-        self.sel.record_keys.avg_sig_len()
+        self.core.sel.record_keys.avg_sig_len()
     }
 
     /// Query with a raw string: every indexed record with
     /// `USIM(query, record) ≥ θ`, sorted by descending similarity.
     pub fn query(&self, text: &str) -> SearchOutcome {
-        let kn = &self.engine.kn;
-        let toks = au_text::tokenize::tokenize(text, &kn.tokenize);
-        // The overlay lock covers interning + a tiny per-query snapshot
-        // only; segmentation (the expensive part) runs outside it, so
-        // concurrent queries don't serialize.
-        let (ids, snap) = {
-            let mut scratch = relock(&self.scratch);
-            let ids: Vec<TokenId> = toks.iter().map(|t| scratch.intern(&kn.vocab, t)).collect();
-            let snap = scratch.snapshot(&ids);
-            (ids, snap)
-        };
-        let sr = segment_record_with(kn, &self.engine.cfg, &ids, &|span| {
-            snap.join(&kn.vocab, span)
-        });
-        self.query_seg(&sr)
+        self.core
+            .query(&self.engine.kn, &self.engine.cfg, self.prepared, text)
     }
 
     /// Query with pre-tokenized ids (vocabulary ids, or overlay ids this
     /// searcher minted earlier).
     pub fn query_tokens(&self, tokens: &[TokenId]) -> SearchOutcome {
-        let kn = &self.engine.kn;
-        let snap = relock(&self.scratch).snapshot(tokens);
-        let sr = segment_record_with(kn, &self.engine.cfg, tokens, &|span| {
-            snap.join(&kn.vocab, span)
-        });
-        self.query_seg(&sr)
+        self.core
+            .query_tokens(&self.engine.kn, &self.engine.cfg, self.prepared, tokens)
+    }
+}
+
+/// A `'static`, `Arc`-owning [`Searcher`]: same artifacts, same query
+/// path, but the engine and prepared collection are held by reference
+/// count instead of borrow, so the session can live inside an
+/// atomically-swapped service snapshot (`au-serve`) and be shared across
+/// worker threads for as long as the snapshot is referenced. Create with
+/// [`Engine::snapshot_searcher`].
+#[derive(Debug)]
+pub struct SnapshotSearcher {
+    engine: Arc<Engine>,
+    prepared: Arc<Prepared>,
+    core: SearchCore,
+}
+
+impl SnapshotSearcher {
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
     }
 
-    fn query_seg(&self, sr: &SegRecord) -> SearchOutcome {
-        run_query(
-            &QueryEnv {
-                kn: &self.engine.kn,
-                cfg: &self.engine.cfg,
-                opts: &self.opts,
-                segrecs: &self.prepared.prep.segrecs,
-                order: &self.order,
-                levels: &self.sel.levels,
-                index: &self.index,
-                counter: &self.counter,
-                pool: &self.pool,
-                tier0: &self.prepared.tier0,
-            },
-            sr,
-        )
+    /// True when the collection holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// The threshold θ this searcher answers at.
+    pub fn theta(&self) -> f64 {
+        self.core.opts.theta
+    }
+
+    /// Knowledge generation of the indexed collection.
+    pub fn generation(&self) -> u64 {
+        self.prepared.generation()
+    }
+
+    /// The indexed collection.
+    pub fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    /// The owning engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Query with a raw string: every indexed record with
+    /// `USIM(query, record) ≥ θ`, sorted by descending similarity.
+    pub fn query(&self, text: &str) -> SearchOutcome {
+        self.core
+            .query(&self.engine.kn, &self.engine.cfg, &self.prepared, text)
+    }
+
+    /// Query with pre-tokenized ids (vocabulary ids, or overlay ids this
+    /// searcher minted earlier).
+    pub fn query_tokens(&self, tokens: &[TokenId]) -> SearchOutcome {
+        self.core
+            .query_tokens(&self.engine.kn, &self.engine.cfg, &self.prepared, tokens)
     }
 }
 
@@ -2013,6 +2293,44 @@ mod tests {
             "second identical join must build nothing new"
         );
         assert!(ps.memo_hits() + pt.memo_hits() > 0);
+    }
+
+    #[test]
+    fn memo_capacity_bounds_threshold_sweep() {
+        // A long-lived service sweeping user-chosen thresholds over one
+        // Prepared must stay bounded under with_memo_capacity, while
+        // evicted entries rebuild transparently with identical results.
+        let (kn, s, _) = setup();
+        let engine = Engine::new(kn, SimConfig::default()).unwrap();
+        let unbounded = engine.prepare(&s).unwrap();
+        let bounded = engine.prepare(&s).unwrap().with_memo_capacity(4);
+        assert_eq!(bounded.memo_capacity(), 4);
+        let thetas: Vec<f64> = (30..=90).step_by(5).map(|t| t as f64 / 100.0).collect();
+        let mut reference = Vec::new();
+        for &th in &thetas {
+            let spec = JoinSpec::threshold(th).u_filter();
+            reference.push(engine.join_self(&unbounded, &spec).unwrap().pairs);
+            let got = engine.join_self(&bounded, &spec).unwrap().pairs;
+            assert_eq!(got, *reference.last().unwrap(), "theta {th}");
+            assert!(
+                bounded.memo_len() <= 4,
+                "memo grew past capacity: {}",
+                bounded.memo_len()
+            );
+        }
+        assert!(
+            unbounded.memo_len() > 4,
+            "sweep too small to exercise eviction"
+        );
+        assert!(bounded.memo_evictions() > 0);
+        // Re-running an evicted threshold still matches byte-for-byte.
+        for (th, expect) in thetas.iter().zip(&reference) {
+            let spec = JoinSpec::threshold(*th).u_filter();
+            assert_eq!(engine.join_self(&bounded, &spec).unwrap().pairs, *expect);
+        }
+        // Tightening the capacity on a shared artifact evicts immediately.
+        bounded.set_memo_capacity(1);
+        assert!(bounded.memo_len() <= 1);
     }
 
     #[test]

@@ -74,9 +74,24 @@ impl Knowledge {
     pub fn generation(&self) -> u64 {
         self.generation
     }
+
+    /// Mint and adopt a fresh process-unique generation, returning it.
+    ///
+    /// Every path that publishes a new knowledge state goes through this
+    /// one helper — the in-crate vocabulary mutators below, and external
+    /// publishers such as the `au-serve` snapshot swap. Sharing the mint
+    /// (one `fetch_add` counter) is what makes a compact-then-shard
+    /// sequence safe: artifacts stamped by [`crate::engine::Engine::prepare_sharded`]
+    /// and snapshots published by a serving layer can never collide on a
+    /// generation, no matter how the two interleave.
+    pub fn remint_generation(&mut self) -> u64 {
+        self.generation = mint_generation();
+        self.generation
+    }
+
     /// Tokenize `text` and append it to the built-in corpus.
     pub fn add_record(&mut self, text: &str) -> RecordId {
-        self.generation = mint_generation();
+        self.remint_generation();
         self.corpus.push_str(text, &mut self.vocab, &self.tokenize)
     }
 
@@ -103,7 +118,7 @@ impl Knowledge {
     /// Tokenize a standalone string into a fresh corpus sharing this
     /// knowledge's vocabulary.
     pub fn corpus_from_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Corpus {
-        self.generation = mint_generation();
+        self.remint_generation();
         let mut c = Corpus::new();
         for l in lines {
             c.push_str(l, &mut self.vocab, &self.tokenize);
@@ -120,7 +135,7 @@ impl Knowledge {
     /// the caller ever materialising the full line buffer — this is what
     /// keeps large-scale dataset generation memory-bounded.
     pub fn push_line(&mut self, corpus: &mut Corpus, line: &str) -> RecordId {
-        self.generation = mint_generation();
+        self.remint_generation();
         corpus.push_str(line, &mut self.vocab, &self.tokenize)
     }
 
@@ -416,6 +431,39 @@ mod tests {
             assert_eq!(Some(tid), stream_kn.vocab.get(w));
             assert_eq!(batch_kn.vocab.doc_freq(tid), stream_kn.vocab.doc_freq(tid));
         }
+    }
+
+    #[test]
+    fn generation_mints_never_collide_across_paths() {
+        // Every publish path — builder build, in-place record mutation,
+        // explicit remint (the serving layer's snapshot swap), and clones
+        // that diverge after a fork — draws from the same process-wide
+        // mint, so a compact-then-shard interleaving can never produce two
+        // artifacts with the same generation.
+        let mut kn = figure1_builder().build();
+        let mut seen = vec![kn.generation()];
+        kn.add_record("coffee shop latte");
+        seen.push(kn.generation());
+        let mut forked = kn.clone();
+        assert_eq!(forked.generation(), kn.generation());
+        seen.push(forked.remint_generation());
+        assert_eq!(*seen.last().unwrap(), forked.generation());
+        kn.corpus_from_lines(["espresso cafe"]);
+        seen.push(kn.generation());
+        let mut c = Corpus::new();
+        forked.push_line(&mut c, "apple cake");
+        seen.push(forked.generation());
+        seen.push(KnowledgeBuilder::new().build().generation());
+        // All distinct, and every mint observed by this thread is strictly
+        // increasing (single fetch_add counter).
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "generation collision: {seen:?}");
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "non-monotone: {seen:?}"
+        );
     }
 
     #[test]

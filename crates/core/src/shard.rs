@@ -270,6 +270,10 @@ impl ShardPlan {
 #[derive(Debug, Default)]
 pub(crate) struct ShardCache {
     entries: VecDeque<(usize, Arc<Prepared>)>,
+    /// Shard indexes the blocked executors keep resident for the current
+    /// band of tasks; eviction skips them. Executors size bands so that
+    /// at least one unpinned slot remains for the streaming partner.
+    pinned: Vec<usize>,
     peak_bytes: usize,
     builds: u64,
     hits: u64,
@@ -299,9 +303,30 @@ impl ShardCache {
         self.entries.push_front((idx, p.clone()));
         self.note_usage();
         while self.entries.len() > cap.max(1) {
-            self.entries.pop_back();
+            // Evict the least-recently-used entry that is neither pinned
+            // (band member mid-traversal) nor the one just inserted at
+            // the front; with nothing evictable, tolerate a transient
+            // over-cap rather than throw away live band state.
+            match self
+                .entries
+                .iter()
+                .rposition(|(i, _)| !self.pinned.contains(i))
+            {
+                Some(pos) if pos > 0 => {
+                    self.entries.remove(pos);
+                }
+                _ => break,
+            }
         }
         Ok(p)
+    }
+
+    /// Replace the pinned set (the blocked executors' current band).
+    /// Pinned shards are skipped by eviction until the next call; pass an
+    /// empty slice to release the band.
+    pub(crate) fn set_pinned(&mut self, ids: &[usize]) {
+        self.pinned.clear();
+        self.pinned.extend_from_slice(ids);
     }
 
     /// Record the current live total against the peak (called on every

@@ -1,0 +1,62 @@
+//! Typed errors of the serving layer.
+
+use au_core::error::AuError;
+use std::fmt;
+
+/// Everything the service API can reject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is full: `in_flight` requests were already
+    /// running against a bound of `limit`. Shed-load signal — the caller
+    /// should back off and retry.
+    Overloaded {
+        /// Requests in flight when this one was rejected.
+        in_flight: usize,
+        /// The configured [`crate::ServeConfig::max_in_flight`] bound.
+        limit: usize,
+    },
+    /// The record id was never minted by this service.
+    UnknownId {
+        /// The offending global record id.
+        id: u64,
+    },
+    /// The record id exists but is already deleted (tombstoned, or
+    /// removed by an earlier compaction).
+    AlreadyDeleted {
+        /// The offending global record id.
+        id: u64,
+    },
+    /// An engine-level failure bubbled up from prepare/join/search.
+    Engine(AuError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} requests in flight (limit {limit})"
+            ),
+            ServeError::UnknownId { id } => write!(f, "unknown record id {id}"),
+            ServeError::AlreadyDeleted { id } => {
+                write!(f, "record {id} is already deleted")
+            }
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AuError> for ServeError {
+    fn from(e: AuError) -> Self {
+        ServeError::Engine(e)
+    }
+}

@@ -1,0 +1,44 @@
+//! `au-serve`: a long-lived concurrent serving layer over the AU-Join
+//! engine.
+//!
+//! The batch engine ([`au_core::engine::Engine`] / `Prepared`) answers
+//! one join at a time; this crate turns it into a *service*:
+//!
+//! * [`Service`] owns an atomically-swappable [`Snapshot`] — an
+//!   immutable base `Prepared` plus one small sealed delta segment —
+//!   and serves `search` / `topk` / `join_window` traffic from any
+//!   number of threads.
+//! * Mutations ([`Service::insert_record`] / [`Service::delete_record`])
+//!   append to the delta segment and tombstone set under a single writer
+//!   lock, then publish a fresh snapshot (one `Arc` swap) minting a new
+//!   knowledge generation through the same process-wide counter as
+//!   every other engine artifact — a compact-then-shard interleaving can
+//!   never collide generations.
+//! * A background [`Compactor`] (or an explicit [`Service::compact`])
+//!   folds the delta and tombstones into a fresh monolithic base,
+//!   after which query results are byte-identical to a from-scratch
+//!   prepare of the final corpus state.
+//! * Admission is bounded: past `max_in_flight` concurrent requests the
+//!   service sheds load with the typed [`ServeError::Overloaded`].
+//!
+//! Readers never block writers and vice versa: a query clones the
+//! current snapshot `Arc` under a read lock held only for the clone,
+//! then runs entirely on immutable state. Every response carries the
+//! generation it was served at, so callers (and the stress tests) can
+//! assert that no response ever mixes two snapshots.
+
+#![warn(missing_docs)]
+
+mod admission;
+mod compactor;
+mod error;
+mod service;
+mod snapshot;
+mod tombstone;
+
+pub use admission::AdmissionStats;
+pub use compactor::Compactor;
+pub use error::ServeError;
+pub use service::{Mutation, ServeConfig, ServeStats, Service};
+pub use snapshot::{JoinWindowResponse, SearchResponse, Snapshot, TopkResponse};
+pub use tombstone::TombstoneSet;

@@ -1,0 +1,725 @@
+//! The long-lived service: snapshot swap, delta mutations, compaction.
+
+use crate::admission::{Admission, AdmissionStats, Permit};
+use crate::error::ServeError;
+use crate::snapshot::{DeltaSegment, JoinWindowResponse, SearchResponse, Snapshot, TopkResponse};
+use crate::tombstone::TombstoneSet;
+use au_core::engine::{Engine, JoinSpec};
+use au_core::knowledge::Knowledge;
+use au_core::parallel::par_map;
+use au_core::signature::FilterKind;
+use au_core::SimConfig;
+use au_text::record::Corpus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+/// Recover a poisoned mutex: every structure under these locks is valid
+/// after any partial operation (worst case: a mutation half-applied to
+/// the writer state is simply republished by the next mutation), so the
+/// service keeps serving instead of propagating panics across requests.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Service configuration. `Default` gives a sensible interactive setup:
+/// θ = 0.7 with the DP filter, memo capacity 64, compaction every 256
+/// delta records, admission bound 1024.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Similarity configuration shared by every engine the service
+    /// builds (base, delta, compacted bases).
+    pub sim: SimConfig,
+    /// Threshold θ that [`Service::search`] answers at.
+    pub theta: f64,
+    /// Signature filter for every query/join spec.
+    pub filter: FilterKind,
+    /// Memo capacity applied to each base `Prepared`
+    /// ([`au_core::engine::Prepared::with_memo_capacity`]); bounds the
+    /// artifact cache a threshold-sweeping client can grow. 0 =
+    /// unbounded.
+    pub memo_capacity: usize,
+    /// Auto-compact once the delta segment reaches this many records
+    /// (0 = compact only on [`Service::compact`] / the background
+    /// [`crate::Compactor`]).
+    pub compact_threshold: usize,
+    /// Max concurrently executing requests before
+    /// [`ServeError::Overloaded`] (0 = unbounded).
+    pub max_in_flight: usize,
+    /// Floor of the top-k threshold descent.
+    pub topk_floor: f64,
+    /// Subtractive step of the top-k threshold descent.
+    pub topk_step: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            theta: 0.7,
+            filter: FilterKind::AuDp { tau: 2 },
+            memo_capacity: 64,
+            compact_threshold: 256,
+            max_in_flight: 1024,
+            topk_floor: 0.3,
+            topk_step: 0.1,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn spec_at(&self, theta: f64) -> JoinSpec {
+        JoinSpec::threshold(theta).filter(self.filter)
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec_at(self.theta)
+    }
+}
+
+/// Receipt of one accepted mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Global id of the affected record.
+    pub id: u64,
+    /// Generation of the snapshot that first reflects the mutation.
+    pub generation: u64,
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Generation of the currently published snapshot.
+    pub generation: u64,
+    /// Live records in the current snapshot.
+    pub live: usize,
+    /// Records in the current delta segment.
+    pub delta_len: usize,
+    /// Tombstoned ids awaiting compaction.
+    pub tombstones: usize,
+    /// Queries answered (search + topk + join_window + batch items).
+    pub queries: u64,
+    /// Accepted inserts.
+    pub inserts: u64,
+    /// Accepted deletes.
+    pub deletes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Duration of the most recent compaction in nanoseconds (the
+    /// "compaction pause" — though reads never block on it; only
+    /// writers queue behind the writer lock).
+    pub last_compact_nanos: u64,
+    /// Admission counters.
+    pub admission: AdmissionStats,
+}
+
+/// Mutable state owned by the single writer path (mutations and
+/// compaction). Readers never touch this — they only clone the
+/// published snapshot `Arc`.
+#[derive(Debug)]
+struct WriterState {
+    /// The service's private knowledge lineage. Delta inserts intern
+    /// into *this* vocabulary; the engines inside published snapshots
+    /// each hold their own clone, so no shared `Knowledge` is ever
+    /// mutated mid-generation.
+    kn: Knowledge,
+    delta_corpus: Corpus,
+    delta_ids: Vec<u64>,
+    tombstones: TombstoneSet,
+    next_id: u64,
+}
+
+/// A concurrent serving session over one evolving corpus.
+///
+/// ```
+/// use au_core::KnowledgeBuilder;
+/// use au_serve::{ServeConfig, Service};
+///
+/// let kn = KnowledgeBuilder::new().build();
+/// let svc = Service::build(
+///     kn,
+///     ["coffee shop downtown", "tea house uptown"],
+///     ServeConfig::default(),
+/// )
+/// .unwrap();
+/// let hits = svc.search("coffee shop downtown").unwrap();
+/// assert_eq!(hits.matches[0].0, 0);
+/// let ins = svc.insert_record("espresso bar downtown").unwrap();
+/// assert!(ins.generation > hits.generation);
+/// ```
+#[derive(Debug)]
+pub struct Service {
+    cfg: ServeConfig,
+    current: RwLock<Arc<Snapshot>>,
+    writer: Mutex<WriterState>,
+    admission: Admission,
+    /// Watermark of the latest published generation, readable without
+    /// the snapshot lock; strictly increases across publishes.
+    published_gen: AtomicU64,
+    queries: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    compactions: AtomicU64,
+    last_compact_nanos: AtomicU64,
+}
+
+impl Service {
+    /// Build a service over an initial corpus. The records get global
+    /// ids `0..n` in input order.
+    pub fn build<'a>(
+        mut kn: Knowledge,
+        lines: impl IntoIterator<Item = &'a str>,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let corpus = kn.corpus_from_lines(lines);
+        let n = corpus.len() as u64;
+        let engine = Arc::new(Engine::new(kn.clone(), cfg.sim)?);
+        let prepared = Arc::new(
+            engine
+                .prepare_owned(corpus)?
+                .with_memo_capacity(cfg.memo_capacity),
+        );
+        let base_search = Arc::new(Engine::snapshot_searcher(engine, prepared, &cfg.spec())?);
+        let generation = kn.generation();
+        let snapshot = Snapshot::new(
+            generation,
+            Arc::new((0..n).collect()),
+            base_search,
+            None,
+            TombstoneSet::new(),
+        );
+        Ok(Self {
+            cfg,
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(WriterState {
+                kn,
+                delta_corpus: Corpus::new(),
+                delta_ids: Vec::new(),
+                tombstones: TombstoneSet::new(),
+                next_id: n,
+            }),
+            admission: Admission::new(cfg.max_in_flight),
+            published_gen: AtomicU64::new(generation),
+            queries: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            last_compact_nanos: AtomicU64::new(0),
+        })
+    }
+
+    /// The currently published snapshot (cheap: one `Arc` clone under a
+    /// read lock held only for the clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Generation of the latest published snapshot, without touching
+    /// the snapshot lock.
+    pub fn generation(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store in `install` —
+        // a caller that observes generation G here and then calls
+        // `snapshot()` is guaranteed a snapshot of generation ≥ G (the
+        // RwLock write that published G happened-before the store).
+        self.published_gen.load(Ordering::Acquire)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    // -- read path ----------------------------------------------------------
+
+    /// θ-search at the service threshold over the live corpus.
+    pub fn search(&self, text: &str) -> Result<SearchResponse, ServeError> {
+        let _permit = self.admit()?;
+        let snap = self.snapshot();
+        Ok(self.stamped(snap.search(text)))
+    }
+
+    /// Many θ-searches fanned over the `au_core::parallel` worker pool
+    /// (one admission slot for the whole batch; every response carries
+    /// the same snapshot's generation).
+    pub fn search_batch(&self, texts: &[&str]) -> Result<Vec<SearchResponse>, ServeError> {
+        let _permit = self.admit()?;
+        let snap = self.snapshot();
+        let out = par_map(texts, true, |t| snap.search(t));
+        // ordering: Relaxed — statistics counter only.
+        self.queries.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Top-k search by threshold descent: answer at the service θ, then
+    /// retry at lowered thresholds until `k` matches are found or the
+    /// configured floor is reached.
+    pub fn topk(&self, text: &str, k: usize) -> Result<TopkResponse, ServeError> {
+        let _permit = self.admit()?;
+        let snap = self.snapshot();
+        let step = self.cfg.topk_step.max(1e-3);
+        let floor = self.cfg.topk_floor.max(0.0);
+        let mut theta = self.cfg.theta;
+        let mut resp = snap.search(text);
+        while resp.matches.len() < k && theta > floor + 1e-12 {
+            theta = (theta - step).max(floor);
+            resp = snap.search_spec(text, &self.cfg.spec_at(theta))?;
+        }
+        let mut matches = resp.matches;
+        matches.truncate(k);
+        Ok(TopkResponse {
+            generation: resp.generation,
+            matches,
+            theta,
+        })
+    }
+
+    /// Self-join over the live records with global ids in `lo..hi`, at
+    /// the service threshold.
+    pub fn join_window(&self, lo: u64, hi: u64) -> Result<JoinWindowResponse, ServeError> {
+        let _permit = self.admit()?;
+        let snap = self.snapshot();
+        let out = snap.join_window(lo, hi, &self.cfg.spec())?;
+        Ok(out)
+    }
+
+    fn admit(&self) -> Result<Permit<'_>, ServeError> {
+        let p = self.admission.try_acquire()?;
+        // ordering: Relaxed — statistics counter only.
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(p)
+    }
+
+    fn stamped(&self, resp: SearchResponse) -> SearchResponse {
+        debug_assert!(resp.generation <= self.generation());
+        resp
+    }
+
+    // -- write path ---------------------------------------------------------
+
+    /// Insert one record; returns its global id and the generation that
+    /// first serves it. Triggers an inline compaction when the delta
+    /// segment reaches [`ServeConfig::compact_threshold`].
+    pub fn insert_record(&self, text: &str) -> Result<Mutation, ServeError> {
+        let mut w = relock(&self.writer);
+        let id = w.next_id;
+        w.next_id += 1;
+        // push_line re-mints the knowledge generation through the shared
+        // process-wide mint (see `Knowledge::remint_generation`).
+        let WriterState {
+            kn, delta_corpus, ..
+        } = &mut *w;
+        kn.push_line(delta_corpus, text);
+        w.delta_ids.push(id);
+        let mut generation = self.republish(&mut w)?;
+        // ordering: Relaxed — statistics counter only.
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.compact_threshold > 0 && w.delta_ids.len() >= self.cfg.compact_threshold {
+            generation = self.compact_locked(&mut w)?;
+        }
+        Ok(Mutation { id, generation })
+    }
+
+    /// Delete record `id`; returns the generation that first hides it.
+    /// Unknown ids and double deletes are typed errors.
+    pub fn delete_record(&self, id: u64) -> Result<Mutation, ServeError> {
+        let mut w = relock(&self.writer);
+        if id >= w.next_id {
+            return Err(ServeError::UnknownId { id });
+        }
+        if w.tombstones.contains(id) {
+            return Err(ServeError::AlreadyDeleted { id });
+        }
+        // An id below next_id that is in neither segment was deleted and
+        // then folded away by a compaction.
+        if !self.snapshot().contains_id(id) {
+            return Err(ServeError::AlreadyDeleted { id });
+        }
+        w.tombstones.insert(id);
+        // Deletes change no vocabulary, but they do change what a reader
+        // may see — publish under a fresh generation through the same
+        // shared mint as every other engine artifact.
+        w.kn.remint_generation();
+        let generation = self.republish(&mut w)?;
+        // ordering: Relaxed — statistics counter only.
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(Mutation { id, generation })
+    }
+
+    /// Fold the delta segment and tombstones into a fresh monolithic
+    /// base and publish it. No-op (returning the current generation)
+    /// when there is nothing to fold. Readers are never blocked: the
+    /// rebuild happens off to the side and lands as one `Arc` swap.
+    pub fn compact(&self) -> Result<u64, ServeError> {
+        let mut w = relock(&self.writer);
+        if w.delta_ids.is_empty() && w.tombstones.is_empty() {
+            return Ok(self.generation());
+        }
+        self.compact_locked(&mut w)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        let snap = self.snapshot();
+        ServeStats {
+            generation: snap.generation(),
+            live: snap.live_len(),
+            delta_len: snap.delta_len(),
+            tombstones: snap.tombstone_len(),
+            // ordering: Relaxed — independent statistics counters; no
+            // consistent cut across them is promised.
+            queries: self.queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed), // ordering: Relaxed — see above
+            deletes: self.deletes.load(Ordering::Relaxed), // ordering: Relaxed — see above
+            compactions: self.compactions.load(Ordering::Relaxed), // ordering: Relaxed — see above
+            // ordering: Relaxed — see above
+            last_compact_nanos: self.last_compact_nanos.load(Ordering::Relaxed),
+            admission: self.admission.stats(),
+        }
+    }
+
+    // -- publication --------------------------------------------------------
+
+    /// Rebuild the delta segment from the writer state and publish a
+    /// snapshot at the writer's current generation. The base segment is
+    /// reused as-is (its searcher is shared by `Arc` across snapshots).
+    fn republish(&self, w: &mut WriterState) -> Result<u64, ServeError> {
+        let prev = self.snapshot();
+        let delta = if w.delta_corpus.is_empty() {
+            None
+        } else {
+            let engine = Arc::new(Engine::new(w.kn.clone(), self.cfg.sim)?);
+            let prepared = Arc::new(
+                engine
+                    .prepare_owned(w.delta_corpus.clone())?
+                    .with_memo_capacity(self.cfg.memo_capacity),
+            );
+            let search = Arc::new(Engine::snapshot_searcher(
+                engine,
+                prepared,
+                &self.cfg.spec(),
+            )?);
+            Some(DeltaSegment {
+                search,
+                ids: Arc::new(w.delta_ids.clone()),
+            })
+        };
+        let snap = Snapshot::new(
+            w.kn.generation(),
+            prev.base_ids().clone(),
+            prev.base_search().clone(),
+            delta,
+            w.tombstones.clone(),
+        );
+        Ok(self.install(snap))
+    }
+
+    /// Rebuild the base from every live record and publish a compacted
+    /// snapshot (empty delta, empty tombstones). Record ids survive
+    /// compaction — only rows are renumbered.
+    fn compact_locked(&self, w: &mut WriterState) -> Result<u64, ServeError> {
+        let start = Instant::now();
+        let prev = self.snapshot();
+        let mut corpus = Corpus::new();
+        let mut ids: Vec<u64> = Vec::with_capacity(prev.live_len());
+        for (gid, rec) in prev.live_records() {
+            // Token ids stay valid: the writer lineage's vocabulary only
+            // ever appends, so a compacted base re-uses interned tokens
+            // without re-tokenizing.
+            corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+            ids.push(gid);
+        }
+        let generation = w.kn.remint_generation();
+        let engine = Arc::new(Engine::new(w.kn.clone(), self.cfg.sim)?);
+        let prepared = Arc::new(
+            engine
+                .prepare_owned(corpus)?
+                .with_memo_capacity(self.cfg.memo_capacity),
+        );
+        let base_search = Arc::new(Engine::snapshot_searcher(
+            engine,
+            prepared,
+            &self.cfg.spec(),
+        )?);
+        w.delta_corpus = Corpus::new();
+        w.delta_ids.clear();
+        w.tombstones.clear();
+        let snap = Snapshot::new(
+            generation,
+            Arc::new(ids),
+            base_search,
+            None,
+            TombstoneSet::new(),
+        );
+        let gen = self.install(snap);
+        // ordering: Relaxed — statistics counter only.
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        let pause = start.elapsed().as_nanos() as u64;
+        // ordering: Relaxed — statistics value only; no reader derives
+        // control flow or memory visibility from the pause duration.
+        self.last_compact_nanos.store(pause, Ordering::Relaxed);
+        Ok(gen)
+    }
+
+    /// The single point where a snapshot becomes visible: one pointer
+    /// swap under the write lock, then the generation watermark.
+    fn install(&self, snap: Snapshot) -> u64 {
+        let gen = snap.generation();
+        let arc = Arc::new(snap);
+        {
+            let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+            *cur = arc;
+        }
+        // ordering: Release pairs with the Acquire load in `generation`
+        // — a reader that observes this watermark and then takes the
+        // snapshot read lock sees a snapshot at least this new (the
+        // write-lock release above happened-before this store, and the
+        // reader's lock acquisition synchronizes with it).
+        self.published_gen.store(gen, Ordering::Release);
+        gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_core::KnowledgeBuilder;
+
+    const LINES: [&str; 6] = [
+        "coffee shop downtown main street",
+        "coffee shop uptown main avenue",
+        "tea house downtown main street",
+        "espresso bar main street",
+        "bakery and coffee main street",
+        "tea house uptown",
+    ];
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            theta: 0.4,
+            compact_threshold: 0,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn svc(cfg: ServeConfig) -> Service {
+        Service::build(KnowledgeBuilder::new().build(), LINES, cfg).unwrap()
+    }
+
+    /// Monolithic reference: clone the snapshot's knowledge, rebuild the
+    /// live corpus from scratch, and search with the one-shot borrowing
+    /// searcher. Delta-served answers must match this byte for byte.
+    fn reference_search(snap: &Snapshot, cfg: &ServeConfig, text: &str) -> Vec<(u64, f64)> {
+        let kn = snap.knowledge().clone();
+        let engine = Engine::new(kn, cfg.sim).unwrap();
+        let mut corpus = Corpus::new();
+        let mut gids = Vec::new();
+        for (gid, rec) in snap.live_records() {
+            corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+            gids.push(gid);
+        }
+        let prepared = engine.prepare_owned(corpus).unwrap();
+        let searcher = engine.searcher(&prepared, &cfg.spec()).unwrap();
+        searcher
+            .query(text)
+            .matches
+            .iter()
+            .map(|&(row, sim)| (gids[row as usize], sim))
+            .collect()
+    }
+
+    #[test]
+    fn search_hits_base_and_delta() {
+        let s = svc(cfg());
+        let g0 = s.generation();
+        let base = s.search("coffee shop downtown main street").unwrap();
+        assert_eq!(base.generation, g0);
+        assert_eq!(base.matches[0], (0, 1.0), "exact text is its own best hit");
+
+        let ins = s.insert_record("coffee shop downtown main plaza").unwrap();
+        assert_eq!(ins.id, LINES.len() as u64);
+        assert!(ins.generation > g0, "insert must publish a new generation");
+        let after = s.search("coffee shop downtown main plaza").unwrap();
+        assert_eq!(after.generation, ins.generation);
+        assert_eq!(after.matches[0], (ins.id, 1.0), "delta record is served");
+        assert!(
+            after.matches.iter().any(|&(id, _)| id == 0),
+            "base records still served alongside the delta"
+        );
+    }
+
+    #[test]
+    fn delta_results_match_monolithic_rebuild() {
+        let s = svc(cfg());
+        s.insert_record("coffee house downtown main street")
+            .unwrap();
+        s.insert_record("juice bar uptown plaza").unwrap();
+        s.delete_record(1).unwrap();
+        s.delete_record(3).unwrap();
+        let snap = s.snapshot();
+        for q in [
+            "coffee shop downtown",
+            "tea house",
+            "espresso bar main street",
+            "juice bar uptown plaza",
+            "completely unrelated query tokens",
+        ] {
+            let served: Vec<(u64, f64)> = s.search(q).unwrap().matches;
+            assert_eq!(
+                served,
+                reference_search(&snap, s.config(), q),
+                "served ≠ monolithic for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_masks_and_errors_are_typed() {
+        let s = svc(cfg());
+        let del = s.delete_record(0).unwrap();
+        let out = s.search("coffee shop downtown main street").unwrap();
+        assert_eq!(out.generation, del.generation);
+        assert!(
+            out.matches.iter().all(|&(id, _)| id != 0),
+            "tombstoned id must never be served"
+        );
+        assert!(out.masked > 0, "the suppressed hit is counted");
+        assert!(!s.snapshot().is_live(0));
+
+        assert_eq!(
+            s.delete_record(0),
+            Err(ServeError::AlreadyDeleted { id: 0 }),
+            "double delete"
+        );
+        assert_eq!(
+            s.delete_record(999),
+            Err(ServeError::UnknownId { id: 999 }),
+            "never-minted id"
+        );
+    }
+
+    #[test]
+    fn compaction_folds_but_preserves_answers_and_ids() {
+        let s = svc(cfg());
+        s.insert_record("coffee house downtown main street")
+            .unwrap();
+        s.delete_record(2).unwrap();
+        let queries = ["coffee shop downtown", "tea house uptown", "main street"];
+        let before: Vec<_> = queries
+            .iter()
+            .map(|q| s.search(q).unwrap().matches)
+            .collect();
+        let pre_gen = s.generation();
+
+        let gen = s.compact().unwrap();
+        assert!(gen > pre_gen, "compaction publishes a new generation");
+        let snap = s.snapshot();
+        assert_eq!(snap.delta_len(), 0, "delta folded away");
+        assert_eq!(snap.tombstone_len(), 0, "tombstones folded away");
+        assert_eq!(snap.live_len(), LINES.len(), "6 base + 1 insert - 1 delete");
+
+        for (q, want) in queries.iter().zip(&before) {
+            assert_eq!(
+                &s.search(q).unwrap().matches,
+                want,
+                "compaction changed the answer for {q:?}"
+            );
+        }
+        assert_eq!(
+            s.delete_record(2),
+            Err(ServeError::AlreadyDeleted { id: 2 }),
+            "id compacted away stays deleted"
+        );
+        assert_eq!(s.compact().unwrap(), gen, "empty compaction is a no-op");
+        assert_eq!(s.stats().compactions, 1);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_threshold() {
+        let s = svc(ServeConfig {
+            compact_threshold: 2,
+            ..cfg()
+        });
+        s.insert_record("first extra record").unwrap();
+        assert_eq!(s.stats().compactions, 0);
+        assert_eq!(s.snapshot().delta_len(), 1);
+        let m = s.insert_record("second extra record").unwrap();
+        assert_eq!(s.stats().compactions, 1, "threshold reached");
+        assert_eq!(s.snapshot().delta_len(), 0);
+        assert_eq!(
+            s.generation(),
+            m.generation,
+            "receipt names the compacted generation"
+        );
+        assert!(s.snapshot().is_live(m.id));
+    }
+
+    #[test]
+    fn topk_descends_below_service_theta() {
+        let s = svc(ServeConfig {
+            theta: 0.95,
+            topk_floor: 0.2,
+            topk_step: 0.15,
+            ..cfg()
+        });
+        let top = s.topk("coffee shop downtown main street", 3).unwrap();
+        assert_eq!(top.matches.len(), 3, "descent finds k matches");
+        assert!(top.theta < 0.95, "needed to descend below the service θ");
+        assert_eq!(top.matches[0], (0, 1.0));
+        assert!(
+            top.matches.windows(2).all(|w| w[0].1 >= w[1].1),
+            "best first"
+        );
+    }
+
+    #[test]
+    fn join_window_over_live_records() {
+        let s = svc(cfg());
+        s.insert_record("coffee shop downtown main street").unwrap();
+        let all = s.join_window(0, u64::MAX).unwrap();
+        assert!(
+            all.pairs.contains(&(0, 6, 1.0)),
+            "base record 0 and its delta duplicate must join at 1.0"
+        );
+        assert!(
+            all.pairs
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "pairs sorted by (s, t)"
+        );
+        s.delete_record(0).unwrap();
+        let masked = s.join_window(0, u64::MAX).unwrap();
+        assert!(
+            masked.pairs.iter().all(|&(a, b, _)| a != 0 && b != 0),
+            "tombstoned id out of the join"
+        );
+        let window = s.join_window(0, 3).unwrap();
+        assert!(
+            window.pairs.iter().all(|&(a, b, _)| a < 3 && b < 3),
+            "window bounds respected"
+        );
+    }
+
+    #[test]
+    fn search_batch_serves_one_generation() {
+        let s = svc(cfg());
+        let queries = ["coffee shop", "tea house", "espresso bar"];
+        let out = s.search_batch(&queries).unwrap();
+        assert_eq!(out.len(), 3);
+        let gen = out[0].generation;
+        assert!(out.iter().all(|r| r.generation == gen));
+        assert_eq!(s.stats().queries, 4, "one admission + three batch items");
+    }
+
+    #[test]
+    fn overload_sheds_cleanly() {
+        let s = svc(ServeConfig {
+            max_in_flight: 0,
+            ..cfg()
+        });
+        assert!(s.search("coffee").is_ok(), "0 = unbounded");
+        assert_eq!(s.stats().admission.overloads, 0);
+    }
+}

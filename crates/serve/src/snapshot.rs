@@ -1,0 +1,294 @@
+//! Immutable serving snapshots: base segment + sealed delta + tombstones.
+
+use crate::error::ServeError;
+use crate::tombstone::TombstoneSet;
+use au_core::engine::{Engine, JoinSpec, SnapshotSearcher};
+use au_core::search::SearchOutcome;
+use au_text::record::{Corpus, Record};
+use std::sync::Arc;
+
+/// The sealed delta segment of a snapshot: a small fully-prepared corpus
+/// of the records inserted since the last compaction, with its own
+/// postings and tier-0 integers, plus the mapping from its row numbers
+/// to global record ids. Built from the writer's private knowledge
+/// lineage, so the base segment's artifacts are never touched
+/// mid-generation.
+#[derive(Debug)]
+pub(crate) struct DeltaSegment {
+    pub(crate) search: Arc<SnapshotSearcher>,
+    pub(crate) ids: Arc<Vec<u64>>,
+}
+
+/// One immutable published state of the service: everything a query
+/// needs, reachable from a single `Arc`. Queries that hold the `Arc`
+/// keep the whole state alive; publishing a new snapshot never blocks
+/// them.
+///
+/// Global record ids are ascending within the base (`base_ids`) and
+/// within the delta, and every delta id is greater than every base id
+/// (ids are minted monotonically and compaction preserves them), so the
+/// two segments concatenate in global-id order.
+#[derive(Debug)]
+pub struct Snapshot {
+    generation: u64,
+    base_ids: Arc<Vec<u64>>,
+    base_search: Arc<SnapshotSearcher>,
+    delta: Option<DeltaSegment>,
+    tombstones: TombstoneSet,
+}
+
+/// A θ-search answered by one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Generation of the snapshot that answered (exactly one per
+    /// response — the stale-read guard the stress tests assert on).
+    pub generation: u64,
+    /// `(global id, USIM)` of every live record with similarity ≥ θ,
+    /// sorted by descending similarity (ties by ascending id) — the same
+    /// contract as [`au_core::search::SearchOutcome::matches`].
+    pub matches: Vec<(u64, f64)>,
+    /// Candidates that reached verification, summed over both segments.
+    pub candidates: u64,
+    /// Posting entries touched, summed over both segments.
+    pub processed: u64,
+    /// Matches suppressed because their id was tombstoned.
+    pub masked: u64,
+}
+
+/// A top-k search answered by threshold descent over one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkResponse {
+    /// Generation of the snapshot that answered.
+    pub generation: u64,
+    /// Up to `k` best `(global id, USIM)` matches, best first.
+    pub matches: Vec<(u64, f64)>,
+    /// The threshold the final (answering) descent step ran at.
+    pub theta: f64,
+}
+
+/// A self-join over a window of live records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinWindowResponse {
+    /// Generation of the snapshot that answered.
+    pub generation: u64,
+    /// `(s, t, USIM)` pairs over global ids, `s < t`, sorted by `(s, t)`.
+    pub pairs: Vec<(u64, u64, f64)>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        generation: u64,
+        base_ids: Arc<Vec<u64>>,
+        base_search: Arc<SnapshotSearcher>,
+        delta: Option<DeltaSegment>,
+        tombstones: TombstoneSet,
+    ) -> Self {
+        Self {
+            generation,
+            base_ids,
+            base_search,
+            delta,
+            tombstones,
+        }
+    }
+
+    /// The knowledge generation this snapshot was published under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records in the base segment (tombstoned ones included).
+    pub fn base_len(&self) -> usize {
+        self.base_ids.len()
+    }
+
+    /// Records in the delta segment.
+    pub fn delta_len(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.ids.len())
+    }
+
+    /// Currently tombstoned ids.
+    pub fn tombstone_len(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Live (visible) records: base + delta minus tombstones.
+    pub fn live_len(&self) -> usize {
+        self.base_len() + self.delta_len() - self.tombstone_len()
+    }
+
+    /// True when `id` exists in this snapshot and is not tombstoned.
+    pub fn is_live(&self, id: u64) -> bool {
+        if self.tombstones.contains(id) {
+            return false;
+        }
+        self.base_ids.binary_search(&id).is_ok()
+            || self
+                .delta
+                .as_ref()
+                .is_some_and(|d| d.ids.binary_search(&id).is_ok())
+    }
+
+    /// True when `id` exists in this snapshot, live or tombstoned.
+    pub(crate) fn contains_id(&self, id: u64) -> bool {
+        self.base_ids.binary_search(&id).is_ok()
+            || self
+                .delta
+                .as_ref()
+                .is_some_and(|d| d.ids.binary_search(&id).is_ok())
+    }
+
+    /// The newest engine of this snapshot (the delta's if one exists —
+    /// its knowledge lineage extends the base's vocabulary).
+    pub(crate) fn latest_engine(&self) -> &Arc<Engine> {
+        match &self.delta {
+            Some(d) => d.search.engine(),
+            None => self.base_search.engine(),
+        }
+    }
+
+    /// The knowledge lineage of this snapshot's newest segment. Cloning
+    /// it gives a reference rebuild the exact vocabulary (token ids)
+    /// the served corpus was interned under — the equivalence tests use
+    /// this for the byte-identical monolithic comparison.
+    pub fn knowledge(&self) -> &au_core::knowledge::Knowledge {
+        self.latest_engine().knowledge()
+    }
+
+    pub(crate) fn base_search(&self) -> &Arc<SnapshotSearcher> {
+        &self.base_search
+    }
+
+    pub(crate) fn base_ids(&self) -> &Arc<Vec<u64>> {
+        &self.base_ids
+    }
+
+    /// Every live record in ascending global-id order, with its id.
+    /// This is the corpus a monolithic rebuild would prepare — the
+    /// compactor and the byte-identical equivalence checks both walk it.
+    pub fn live_records(&self) -> Vec<(u64, &Record)> {
+        let mut out = Vec::with_capacity(self.live_len());
+        let base = self.base_search.prepared().corpus().records();
+        for (row, rec) in base.iter().enumerate() {
+            let gid = self.base_ids[row];
+            if !self.tombstones.contains(gid) {
+                out.push((gid, rec));
+            }
+        }
+        if let Some(d) = &self.delta {
+            for (row, rec) in d.search.prepared().corpus().records().iter().enumerate() {
+                let gid = d.ids[row];
+                if !self.tombstones.contains(gid) {
+                    out.push((gid, rec));
+                }
+            }
+        }
+        out
+    }
+
+    /// θ-search at the service threshold using the snapshot's prebuilt
+    /// searchers: probe the base segment and the delta segment, map row
+    /// numbers to global ids, mask tombstones, and merge under the
+    /// global ordering contract.
+    pub fn search(&self, text: &str) -> SearchResponse {
+        let base_out = self.base_search.query(text);
+        let delta_out = self.delta.as_ref().map(|d| d.search.query(text));
+        self.merge(base_out, delta_out)
+    }
+
+    /// Like [`Snapshot::search`], but at an arbitrary spec (the top-k
+    /// descent path): builds one-shot searchers over the same artifacts.
+    /// Selection artifacts come from the shared `Prepared` memo, so
+    /// repeated thresholds stay warm — and the service's memo capacity
+    /// bound keeps a hostile threshold stream from growing it without
+    /// limit.
+    pub(crate) fn search_spec(
+        &self,
+        text: &str,
+        spec: &JoinSpec,
+    ) -> Result<SearchResponse, ServeError> {
+        let base = Engine::snapshot_searcher(
+            self.base_search.engine().clone(),
+            self.base_search.prepared().clone(),
+            spec,
+        )?;
+        let base_out = base.query(text);
+        let delta_out = match &self.delta {
+            Some(d) => {
+                let ds = Engine::snapshot_searcher(
+                    d.search.engine().clone(),
+                    d.search.prepared().clone(),
+                    spec,
+                )?;
+                Some(ds.query(text))
+            }
+            None => None,
+        };
+        Ok(self.merge(base_out, delta_out))
+    }
+
+    fn merge(&self, base: SearchOutcome, delta: Option<SearchOutcome>) -> SearchResponse {
+        let mut matches: Vec<(u64, f64)> =
+            Vec::with_capacity(base.matches.len() + delta.as_ref().map_or(0, |d| d.matches.len()));
+        let mut masked = 0u64;
+        let mut push = |ids: &[u64], m: &[(u32, f64)]| {
+            for &(row, sim) in m {
+                let gid = ids[row as usize];
+                if self.tombstones.contains(gid) {
+                    masked += 1;
+                } else {
+                    matches.push((gid, sim));
+                }
+            }
+        };
+        push(&self.base_ids, &base.matches);
+        let (mut candidates, mut processed) = (base.candidates, base.processed);
+        if let (Some(d), Some(out)) = (&self.delta, &delta) {
+            push(&d.ids, &out.matches);
+            candidates += out.candidates;
+            processed += out.processed;
+        }
+        // Each segment arrives sorted; re-establish the global contract
+        // across segments: descending similarity, ties ascending id.
+        matches.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        SearchResponse {
+            generation: self.generation,
+            matches,
+            candidates,
+            processed,
+            masked,
+        }
+    }
+
+    /// Self-join over the live records with global ids in `lo..hi`:
+    /// materialize the window as a corpus (token ids are already interned
+    /// under this snapshot's newest knowledge lineage, so no re-tokenize
+    /// happens), prepare, join, and map back to global ids.
+    pub(crate) fn join_window(
+        &self,
+        lo: u64,
+        hi: u64,
+        spec: &JoinSpec,
+    ) -> Result<JoinWindowResponse, ServeError> {
+        let mut gids: Vec<u64> = Vec::new();
+        let mut corpus = Corpus::new();
+        for (gid, rec) in self.live_records() {
+            if gid >= lo && gid < hi {
+                corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+                gids.push(gid);
+            }
+        }
+        let engine = self.latest_engine();
+        let prepared = engine.prepare_owned(corpus)?;
+        let res = engine.join_self(&prepared, spec)?;
+        let pairs = res
+            .pairs
+            .iter()
+            .map(|&(a, b, sim)| (gids[a as usize], gids[b as usize], sim))
+            .collect();
+        Ok(JoinWindowResponse {
+            generation: self.generation,
+            pairs,
+        })
+    }
+}

@@ -1,0 +1,73 @@
+//! Sorted tombstone set for deleted record ids.
+
+/// Deleted global record ids, kept as a sorted vector: membership is a
+/// binary search, iteration is deterministic ascending order (no hash
+/// maps anywhere near query output), and the whole set clones cheaply
+/// into each published snapshot — deletions between compactions are
+/// expected to be few, compaction clears the set.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TombstoneSet {
+    ids: Vec<u64>,
+}
+
+impl TombstoneSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `id`; returns false when it was already present.
+    pub fn insert(&mut self, id: u64) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// True when `id` is tombstoned.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of tombstoned ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is tombstoned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Drop every tombstone (compaction folded them away).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Ascending iteration over the tombstoned ids.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut t = TombstoneSet::new();
+        assert!(t.is_empty());
+        assert!(t.insert(7));
+        assert!(t.insert(3));
+        assert!(!t.insert(7), "double insert must report already-present");
+        assert!(t.contains(3) && t.contains(7) && !t.contains(4));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![3, 7], "ascending order");
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert!(t.is_empty() && !t.contains(3));
+    }
+}

@@ -73,11 +73,13 @@
 //! * [`au_core`] — USIM, pebbles, U-/AU-Filters, joins, τ recommendation.
 //! * [`au_datagen`] — synthetic MED/WIKI-like datasets with ground truth.
 //! * [`au_baselines`] — K-Join / PKduck / AdaptJoin reimplementations.
+//! * [`au_serve`] — concurrent serving with incremental corpus mutation.
 
 pub use au_baselines as baselines;
 pub use au_core as core;
 pub use au_datagen as datagen;
 pub use au_matching as matching;
+pub use au_serve as serve;
 pub use au_synonym as synonym;
 pub use au_taxonomy as taxonomy;
 pub use au_text as text;
@@ -103,5 +105,6 @@ pub mod prelude {
     pub use au_core::suggest::{SuggestConfig, SuggestOutcome};
     pub use au_core::topk::TopkResult;
     pub use au_core::usim::{usim_approx, usim_exact};
+    pub use au_serve::{Compactor, Mutation, ServeConfig, ServeError, ServeStats, Service};
     pub use au_text::record::{Corpus, Record, RecordId};
 }

@@ -268,6 +268,68 @@ fn lazy_cache_evicts_and_rebuilds_without_changing_results() {
 }
 
 #[test]
+fn blocked_traversal_cuts_rebuilds_without_changing_results() {
+    // The executors walk the shard-pair grid as a blocked traversal
+    // matched to the LRU capacity: a pinned band of shards stays
+    // resident while partners stream through the remaining slot(s).
+    // Output must stay byte-identical to the monolithic join, while the
+    // build count drops to at most one build per shard per band —
+    // Σ_bands (g − band_start) for a self-join — instead of roughly one
+    // per task as with the old row-major walk.
+    let ds = med(200, 47);
+    let engine = Engine::new(ds.kn.clone(), SimConfig::default()).expect("valid config");
+    let ps = engine.prepare(&ds.s).expect("prepare");
+    let spec = JoinSpec::threshold(0.5).au_dp(2);
+    let mono = engine.join_self(&ps, &spec).expect("monolithic");
+    let (g, cap) = (10usize, 5usize);
+    let sp = engine
+        .prepare_sharded(
+            &ds.s,
+            &ShardSpec::auto().with_shards(g).with_cache_capacity(cap),
+        )
+        .expect("shard");
+    let lazy = engine
+        .join_self_sharded(&sp, &spec.sharded(g))
+        .expect("lazy");
+    assert_eq!(mono.pairs, lazy.pairs, "blocked traversal changed output");
+    // Bands of width cap−1 = 4 start at 0, 4, 8: at most (10−0) +
+    // (10−4) + (10−8) = 18 distinct fetches can miss.
+    let band = cap - 1;
+    let bound: u64 = (0..g).step_by(band).map(|b0| (g - b0) as u64).sum();
+    assert!(
+        sp.shard_builds() <= bound,
+        "self-join built {} shards, blocked bound is {bound}",
+        sp.shard_builds()
+    );
+    assert!(
+        sp.cache_hits() > sp.shard_builds(),
+        "band pinning should make hits ({}) dominate builds ({})",
+        sp.cache_hits(),
+        sp.shard_builds()
+    );
+
+    // R×S: the S band is pinned whole (T has its own cache), so T
+    // rebuilds at most once per band and S at most once overall.
+    let pt = engine.prepare(&ds.t).expect("prepare T");
+    let mono_rs = engine.join(&ps, &pt, &spec).expect("monolithic R×S");
+    let sspec = ShardSpec::auto().with_shards(6).with_cache_capacity(3);
+    let sps = engine.prepare_sharded(&ds.s, &sspec).expect("shard S");
+    let spt = engine.prepare_sharded(&ds.t, &sspec).expect("shard T");
+    let lazy_rs = engine
+        .join_sharded(&sps, &spt, &spec.sharded(6))
+        .expect("lazy R×S");
+    assert_eq!(mono_rs.pairs, lazy_rs.pairs, "blocked R×S changed output");
+    let bands = 6u64.div_ceil(3);
+    assert!(
+        sps.shard_builds() <= 6 && spt.shard_builds() <= 6 * bands,
+        "R×S builds S={} (≤6) T={} (≤{})",
+        sps.shard_builds(),
+        spt.shard_builds(),
+        6 * bands
+    );
+}
+
+#[test]
 fn sink_chunk_size_does_not_change_the_stream() {
     // The streaming path re-chunks verification at AU_SINK_CHUNK; a tiny
     // chunk size must produce the identical pair stream (order included)
