@@ -749,6 +749,28 @@ mod tests {
     }
 
     #[test]
+    fn durability_modules_are_in_scope() {
+        // The recovery path must be panic-free: the P (and D/F) lints
+        // cover the WAL, storage, and fault-injection modules exactly
+        // like the rest of the serve crate.
+        let src = "let y = z.unwrap();\nfor x in &m {}\n";
+        let f = scan(src);
+        for file in [
+            "crates/serve/src/wal.rs",
+            "crates/serve/src/storage.rs",
+            "crates/serve/src/faults.rs",
+        ] {
+            let findings = lint_file(file, &f);
+            assert!(
+                findings
+                    .iter()
+                    .any(|x| x.lint == Lint::PanicSurface && x.is_violation()),
+                "panic-surface lint must cover {file}"
+            );
+        }
+    }
+
+    #[test]
     fn float_totality_patterns() {
         let src = "let o = a.partial_cmp(&b).unwrap();\n\
                    if x == 1.0 {\n}\n\

@@ -76,6 +76,33 @@ fn workspace_audit_is_present() {
 }
 
 #[test]
+fn recovery_path_is_panic_free() {
+    // The durability subsystem's whole point is surviving faults, so its
+    // non-test code must have zero panic surface — not even *audited*
+    // unwraps: a `// LINT` justification is acceptable elsewhere in the
+    // workspace, but wal/storage/faults must simply never panic.
+    let findings = analyze_workspace(workspace_root()).expect("workspace readable");
+    let panics: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            f.lint == Lint::PanicSurface
+                && (f.file.ends_with("serve/src/wal.rs")
+                    || f.file.ends_with("serve/src/storage.rs")
+                    || f.file.ends_with("serve/src/faults.rs"))
+        })
+        .collect();
+    assert!(
+        panics.is_empty(),
+        "panic surface in the recovery path:\n{}",
+        panics
+            .iter()
+            .map(|f| format!("  {}:{}: {}", f.file, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
 fn fixtures_are_not_scanned() {
     // The fixture files are violations by design; the walker must skip
     // `fixtures/` directories or the self-run above could never pass.

@@ -29,7 +29,13 @@
 //!   exact-matched like every other deterministic counter, and the
 //!   current `candidate_cut` (unfiltered Vτ / filtered Vτ) may not drop
 //!   below `BENCH_GATE_MIN_CANDIDATE_CUT` (default 1.0 — the position
-//!   filter may never grow the candidate set).
+//!   filter may never grow the candidate set);
+//! * **robustness** — in `BENCH_fig_serve.json`, the top-level
+//!   durability counters (`wal_frames`, `wal_replayed_frames`,
+//!   `wal_retries`, `wal_backoff_waits`, `degraded_entries`,
+//!   `degraded_writes`, `admission_rejected`, plus `compactions` and
+//!   `stale_anomalies`) are exact-matched — the fault schedules are
+//!   seeded, so any drift is a durability behaviour change.
 //!
 //! Exit code 1 on any failure; every failure is printed.
 
@@ -107,6 +113,26 @@ impl Gate {
     }
 
     fn gate_file(&mut self, name: &str, base: &Value, cur: &Value) {
+        // Top-level deterministic counters (fig_serve robustness trail):
+        // compaction count, WAL frame/replay/retry/backoff counters, the
+        // degradation counters and the admission shed count are exact
+        // functions of (scale, seed, fault seed) — any drift is a
+        // durability behaviour change, not noise.
+        for key in [
+            "stale_anomalies",
+            "compactions",
+            "wal_frames",
+            "wal_replayed_frames",
+            "wal_retries",
+            "wal_backoff_waits",
+            "degraded_entries",
+            "degraded_writes",
+            "admission_rejected",
+        ] {
+            if base.get(key).is_some() {
+                self.check_exact(name, key, f64_field(base, key), f64_field(cur, key));
+            }
+        }
         let list_key = if base.get("engines").is_some() {
             "engines"
         } else {

@@ -46,6 +46,18 @@ fn main() {
         serve.stale_anomalies,
         serve.compact_pause_seconds * 1e3
     );
+    println!(
+        "durability: wal_frames={} replayed={} retries={} backoff_waits={} \
+         degraded_entries={} degraded_writes={} admission_rejected={} recovery={:.2}ms",
+        serve.wal_frames,
+        serve.wal_replayed_frames,
+        serve.wal_retries,
+        serve.wal_backoff_waits,
+        serve.degraded_entries,
+        serve.degraded_writes,
+        serve.admission_rejected,
+        serve.recovery_seconds * 1e3
+    );
     let p = write_serve_report(&out_dir, &serve, opts.timings).expect("write BENCH_fig_serve.json");
     eprintln!("wrote {}", p.display());
 }

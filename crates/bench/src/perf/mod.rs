@@ -412,11 +412,34 @@ pub struct ServeReport {
     /// zero before the report is emitted; emitted anyway so the artifact
     /// records the claim.
     pub stale_anomalies: u64,
+    /// Frames durable in the write-ahead log after the workload (the
+    /// whole mutation history: seed batch + inserts + deletes +
+    /// compaction markers). Pure function of (scale, seed).
+    pub wal_frames: u64,
+    /// Frames replayed by the post-workload crash-recovery reopen —
+    /// must equal `wal_frames` (the recovery reads everything back).
+    pub wal_replayed_frames: u64,
+    /// WAL append retries absorbed by the transient-fault scenario
+    /// (seeded schedule, so exact across runs and hosts).
+    pub wal_retries: u64,
+    /// Backoff waits scheduled by the same scenario (counted even with
+    /// the zero-sleep deterministic policy).
+    pub wal_backoff_waits: u64,
+    /// Degradation entries under the persistent-fault scenario (the
+    /// first write that exhausts its retry budget).
+    pub degraded_entries: u64,
+    /// Writes rejected fast with `ServeError::Degraded` afterwards.
+    pub degraded_writes: u64,
+    /// Requests shed by admission control during the main workload.
+    pub admission_rejected: u64,
     /// Per-phase rows (`steady` first).
     pub rows: Vec<ServeRow>,
     /// Longest single compaction in seconds (0 when timings disabled).
     /// Readers never block on it — this is writer-path latency.
     pub compact_pause_seconds: f64,
+    /// Wall-clock of the crash-recovery reopen — full log replay plus
+    /// the base rebuild (0 when timings disabled).
+    pub recovery_seconds: f64,
 }
 
 /// Run the `fig_serve` serving workload: MED-like base corpus, T-side
@@ -425,7 +448,7 @@ pub struct ServeReport {
 /// pure functions of (scale, seed); the final served state is asserted
 /// byte-identical to a monolithic rebuild before the report is returned.
 pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
-    use au_serve::{ServeConfig, Service};
+    use au_serve::{MemStorage, RetryPolicy, ServeConfig, Service};
 
     let theta = 0.90;
     let n = crate::experiments::sized(400, scale).max(8);
@@ -434,12 +457,22 @@ pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
         theta,
         filter: FilterKind::AuDp { tau: 2 },
         compact_threshold: 0, // the script compacts explicitly
+        retry: RetryPolicy::no_sleep(4),
         ..ServeConfig::default()
     };
     let initial: Vec<&str> = ds.s.iter().map(|r| r.raw.as_str()).collect();
     let battery: Vec<&str> = ds.t.iter().map(|r| r.raw.as_str()).collect();
-    let svc = Service::build(ds.kn.clone(), initial.iter().copied(), cfg)
-        .expect("serve build on datagen corpus");
+    // The main workload runs durable: every mutation commits to an
+    // in-memory write-ahead log so the post-workload reopen below can
+    // assert the funnel survives a restart.
+    let wal_mem = MemStorage::new();
+    let svc = Service::create_with(
+        ds.kn.clone(),
+        initial.iter().copied(),
+        cfg,
+        Box::new(wal_mem.clone()),
+    )
+    .expect("serve create on datagen corpus");
 
     let mut stale_anomalies = 0u64;
     let mut run_queries = |texts: &[&str]| -> (u64, u64, u64, Vec<f64>) {
@@ -527,6 +560,36 @@ pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
         assert_eq!(served, reference, "served ≠ monolithic for {q:?}");
     }
 
+    // The funnel across restarts: crash (copy the log bytes, forget the
+    // process) and recover — the replayed service must answer the whole
+    // battery byte-identically to the service it replaces.
+    let wal_frames = svc.stats().wal.frames;
+    let t_recover = Instant::now();
+    let recovered = Service::open_with(
+        ds.kn.clone(),
+        cfg,
+        Box::new(MemStorage::with_bytes(wal_mem.bytes())),
+    )
+    .expect("crash recovery replay");
+    let recovery_seconds = t_recover.elapsed().as_secs_f64();
+    let wal_replayed_frames = recovered.stats().wal.replayed_frames;
+    assert_eq!(
+        wal_replayed_frames, wal_frames,
+        "recovery must replay the whole log"
+    );
+    for q in &battery {
+        assert_eq!(
+            recovered.search(q).expect("recovered query").matches,
+            svc.search(q).expect("served query").matches,
+            "recovered ≠ served for {q:?}"
+        );
+    }
+
+    // Robustness mini-scenarios on a fixed corpus (independent of
+    // scale/seed so the counters are stable across smoke sizes).
+    let (wal_retries, wal_backoff_waits) = transient_fault_scenario();
+    let (degraded_entries, degraded_writes) = persistent_fault_scenario();
+
     let percentile = |lat: &[f64], p: f64| -> f64 {
         if lat.is_empty() || !timings {
             return 0.0;
@@ -555,6 +618,13 @@ pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
         n_deletes,
         compactions: stats.compactions,
         stale_anomalies,
+        wal_frames,
+        wal_replayed_frames,
+        wal_retries,
+        wal_backoff_waits,
+        degraded_entries,
+        degraded_writes,
+        admission_rejected: stats.admission.overloads,
         rows: vec![
             ServeRow {
                 id: "serve/steady".into(),
@@ -580,7 +650,92 @@ pub fn run_serve_workload(scale: f64, seed: u64, timings: bool) -> ServeReport {
             },
         ],
         compact_pause_seconds: if timings { compact_pause } else { 0.0 },
+        recovery_seconds: if timings { recovery_seconds } else { 0.0 },
     }
+}
+
+/// Fixed-size durable service for the robustness mini-scenarios: eight
+/// records, zero-sleep retry policy, explicit compaction only.
+fn robustness_service(storage: Box<dyn au_serve::Storage>) -> (au_serve::Service, Vec<String>) {
+    use au_serve::{RetryPolicy, ServeConfig, Service};
+    let lines: Vec<String> = (0..8)
+        .map(|i| format!("robustness corpus record {i} alpha kind{}", i % 3))
+        .collect();
+    let cfg = ServeConfig {
+        theta: 0.5,
+        filter: FilterKind::AuDp { tau: 2 },
+        compact_threshold: 0,
+        retry: RetryPolicy::no_sleep(4),
+        ..ServeConfig::default()
+    };
+    let svc = Service::create_with(
+        au_core::KnowledgeBuilder::new().build(),
+        lines.iter().map(|s| s.as_str()),
+        cfg,
+        storage,
+    )
+    .expect("robustness scenario create");
+    (svc, lines)
+}
+
+/// Deterministic transient-fault scenario: a seeded schedule of short
+/// writes, torn writes and sync failures dense enough to exercise the
+/// retry loop, sparse enough that (with healing) every insert
+/// eventually lands. Returns `(wal_retries, wal_backoff_waits)` — exact
+/// functions of the fault seed.
+fn transient_fault_scenario() -> (u64, u64) {
+    use au_serve::{FaultPlan, FaultyStorage, MemStorage, ServeError};
+    let plan = FaultPlan::new(97)
+        .with_write_fault_per_mille(350)
+        .with_sync_fault_per_mille(150)
+        .with_skip_calls(4); // the create() seed batch stays clean
+    let storage = FaultyStorage::new(Box::new(MemStorage::new()), plan);
+    let (svc, _) = robustness_service(Box::new(storage));
+    for i in 0..32 {
+        match svc.insert_record(&format!("transient probe {i} beta")) {
+            Ok(_) => {}
+            Err(ServeError::Wal { .. }) => {
+                let healed = (0..20).any(|_| svc.heal().is_ok());
+                assert!(healed, "transient schedule must be healable");
+            }
+            Err(e) => panic!("untyped failure under transient faults: {e}"),
+        }
+    }
+    let stats = svc.stats();
+    assert!(stats.wal.retries > 0, "schedule too sparse to gate retries");
+    (stats.wal.retries, stats.wal.backoff_waits)
+}
+
+/// Deterministic persistent-fault scenario: after a clean create, every
+/// write and sync fails — the service must degrade to typed read-only
+/// mode while reads keep answering. Returns
+/// `(degraded_entries, degraded_writes)`.
+fn persistent_fault_scenario() -> (u64, u64) {
+    use au_serve::{FaultPlan, FaultyStorage, MemStorage, ServeError};
+    let plan = FaultPlan::persistent(53).with_skip_calls(4);
+    let storage = FaultyStorage::new(Box::new(MemStorage::new()), plan);
+    let (svc, lines) = robustness_service(Box::new(storage));
+    let before = svc.search(&lines[0]).expect("read before faults").matches;
+    assert!(
+        matches!(
+            svc.insert_record("never lands"),
+            Err(ServeError::Wal { op: "insert", .. })
+        ),
+        "first faulted write must fail typed"
+    );
+    assert!(matches!(
+        svc.insert_record("still down"),
+        Err(ServeError::Degraded)
+    ));
+    assert!(matches!(svc.delete_record(0), Err(ServeError::Degraded)));
+    let after = svc
+        .search(&lines[0])
+        .expect("read during degradation")
+        .matches;
+    assert_eq!(before, after, "reads must not drift under degradation");
+    let stats = svc.stats();
+    assert!(stats.degraded, "service must report degraded");
+    (stats.degraded_entries, stats.degraded_writes)
 }
 
 /// Run the `fig_position` comparison: the same prepared U-Filter join
@@ -1826,6 +1981,17 @@ impl ServeReport {
             self.stale_anomalies.to_string(),
             false,
         );
+        for (key, v) in [
+            ("wal_frames", self.wal_frames),
+            ("wal_replayed_frames", self.wal_replayed_frames),
+            ("wal_retries", self.wal_retries),
+            ("wal_backoff_waits", self.wal_backoff_waits),
+            ("degraded_entries", self.degraded_entries),
+            ("degraded_writes", self.degraded_writes),
+            ("admission_rejected", self.admission_rejected),
+        ] {
+            push_field(&mut o, "  ", key, v.to_string(), false);
+        }
         o.push_str("  \"workloads\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             o.push_str("    {\n");
@@ -1892,6 +2058,13 @@ impl ServeReport {
             "  ",
             "compact_pause_seconds",
             num(zero_if(!timings, self.compact_pause_seconds)),
+            false,
+        );
+        push_field(
+            &mut o,
+            "  ",
+            "recovery_seconds",
+            num(zero_if(!timings, self.recovery_seconds)),
             true,
         );
         o.push_str("}\n");

@@ -1,11 +1,17 @@
-//! `auserve` — an interactive serving session over one corpus file.
+//! `auserve` — an interactive serving session over one corpus file,
+//! optionally durable (write-ahead logged) in a session directory.
 //!
 //! ```text
-//! auserve <corpus.txt> [--theta T] [--rules rules.tsv] [--taxonomy tax.txt]
+//! auserve <corpus.txt> [--theta T] [--rules rules.tsv] [--taxonomy tax.txt] [--open DIR]
+//! auserve --open DIR [--theta T] [--rules rules.tsv] [--taxonomy tax.txt]
 //! ```
 //!
 //! Reads one string per line from `<corpus.txt>` into a live
-//! [`Service`], then answers commands from stdin (one per line):
+//! [`Service`]. With `--open DIR` the session is durable: mutations
+//! commit to `DIR/wal.log` before they are acknowledged, and a later
+//! `auserve --open DIR` replays the log — the corpus file only seeds a
+//! directory whose log is still empty. Commands from stdin (one per
+//! line):
 //!
 //! ```text
 //! q <text>          θ-search the live corpus
@@ -14,28 +20,35 @@
 //! del <id>          tombstone a record
 //! join <lo> <hi>    self-join live records with ids in [lo, hi)
 //! compact           fold delta + tombstones into a fresh base
+//! open <dir>        switch to a durable session at <dir> (replay or start fresh)
+//! save              checkpoint the log (fold, then rewrite as live state)
+//! heal              retry a degraded (read-only) session's log
+//! wal-stats         durability counters: frames, bytes, retries, degradation
 //! stats             generation, live count, counters
 //! quit              exit
 //! ```
 //!
 //! Every answer is prefixed with the generation that served it, so a
 //! scripted session can assert the monotone-publication contract from
-//! the outside.
+//! the outside — across restarts too: reopening a directory serves the
+//! exact acknowledged state of the previous session.
 
 use au_core::io::{load_rules, load_taxonomy};
-use au_core::knowledge::KnowledgeBuilder;
+use au_core::knowledge::{Knowledge, KnowledgeBuilder};
 use au_serve::{ServeConfig, Service};
 use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: auserve <corpus.txt> [--theta T] [--rules rules.tsv] [--taxonomy tax.txt]";
+const USAGE: &str = "usage: auserve <corpus.txt> [--theta T] [--rules rules.tsv] \
+                     [--taxonomy tax.txt] [--open DIR]\n       \
+                     auserve --open DIR [--theta T] [--rules ...] [--taxonomy ...]";
 
 struct Opts {
-    corpus: String,
+    corpus: Option<String>,
     theta: f64,
     rules: Option<String>,
     taxonomy: Option<String>,
+    open: Option<String>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
@@ -43,6 +56,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
     let mut theta = 0.7;
     let mut rules = None;
     let mut taxonomy = None;
+    let mut open = None;
     while let Some(a) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match a.as_str() {
@@ -53,20 +67,33 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
             }
             "--rules" => rules = Some(value("--rules")?),
             "--taxonomy" => taxonomy = Some(value("--taxonomy")?),
+            "--open" => open = Some(value("--open")?),
             _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
             _ if corpus.is_none() => corpus = Some(a),
             _ => return Err(format!("unexpected argument {a}")),
         }
     }
+    if corpus.is_none() && open.is_none() {
+        return Err("missing corpus path (or --open DIR)".into());
+    }
     Ok(Opts {
-        corpus: corpus.ok_or("missing corpus path")?,
+        corpus,
         theta,
         rules,
         taxonomy,
+        open,
     })
 }
 
-fn build_service(opts: &Opts) -> Result<Service, String> {
+/// The live session: the service plus the pristine rules lineage the
+/// `open` command clones for every durable (re)open.
+struct Repl {
+    kn: Knowledge,
+    cfg: ServeConfig,
+    svc: Service,
+}
+
+fn build_service(opts: &Opts) -> Result<Repl, String> {
     let mut kb = KnowledgeBuilder::new();
     if let Some(path) = &opts.rules {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -78,25 +105,43 @@ fn build_service(opts: &Opts) -> Result<Service, String> {
         let n = load_taxonomy(&mut kb, &text).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("loaded {n} taxonomy paths");
     }
-    let text =
-        std::fs::read_to_string(&opts.corpus).map_err(|e| format!("{}: {e}", opts.corpus))?;
+    let text = match &opts.corpus {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => String::new(),
+    };
     let cfg = ServeConfig {
         theta: opts.theta,
         ..ServeConfig::default()
     };
-    let svc = Service::build(kb.build(), text.lines(), cfg).map_err(|e| e.to_string())?;
+    let kn = kb.build();
+    let svc = match &opts.open {
+        Some(dir) => {
+            Service::open_or_seed(kn.clone(), text.lines(), cfg, dir).map_err(|e| e.to_string())?
+        }
+        None => Service::build(kn.clone(), text.lines(), cfg).map_err(|e| e.to_string())?,
+    };
+    let wal = svc.stats().wal;
     eprintln!(
-        "serving {} records at θ={} (generation {})",
+        "serving {} records at θ={} (generation {}){}",
         svc.snapshot().live_len(),
         opts.theta,
-        svc.generation()
+        svc.generation(),
+        match &opts.open {
+            Some(dir) if wal.replayed_frames > 0 => format!(
+                " — replayed {} frames from {dir}/wal.log",
+                wal.replayed_frames
+            ),
+            Some(dir) => format!(" — durable at {dir}/wal.log"),
+            None => String::new(),
+        }
     );
-    Ok(svc)
+    Ok(Repl { kn, cfg, svc })
 }
 
-fn handle(svc: &Service, line: &str) -> Result<bool, String> {
+fn handle(repl: &mut Repl, line: &str) -> Result<bool, String> {
     let line = line.trim();
     let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let svc = &repl.svc;
     match cmd {
         "" => {}
         "q" => {
@@ -149,6 +194,49 @@ fn handle(svc: &Service, line: &str) -> Result<bool, String> {
             let gen = svc.compact().map_err(|e| e.to_string())?;
             println!("compacted@{gen}");
         }
+        "open" => {
+            let dir = rest.trim();
+            if dir.is_empty() {
+                return Err("usage: open <dir>".into());
+            }
+            let empty: [&str; 0] = [];
+            let svc = Service::open_or_seed(repl.kn.clone(), empty, repl.cfg, dir)
+                .map_err(|e| e.to_string())?;
+            let wal = svc.stats().wal;
+            println!(
+                "[gen {}] opened {dir} ({} live, {} frames replayed)",
+                svc.generation(),
+                svc.snapshot().live_len(),
+                wal.replayed_frames
+            );
+            repl.svc = svc;
+        }
+        "save" => {
+            let gen = svc.save().map_err(|e| e.to_string())?;
+            println!("[gen {gen}] saved (log checkpointed to live state)");
+        }
+        "heal" => {
+            svc.heal().map_err(|e| e.to_string())?;
+            println!("[gen {}] healed (writes re-enabled)", svc.generation());
+        }
+        "wal-stats" => {
+            let s = svc.stats();
+            println!(
+                "[gen {}] wal durable={} frames={} bytes={} replayed={} truncated={} \
+                 retries={} backoff_waits={} | degraded={} entries={} rejected_writes={}",
+                s.generation,
+                s.wal.durable,
+                s.wal.frames,
+                s.wal.bytes,
+                s.wal.replayed_frames,
+                s.wal.truncated_bytes,
+                s.wal.retries,
+                s.wal.backoff_waits,
+                s.degraded,
+                s.degraded_entries,
+                s.degraded_writes
+            );
+        }
         "stats" => {
             let s = svc.stats();
             println!(
@@ -167,7 +255,8 @@ fn handle(svc: &Service, line: &str) -> Result<bool, String> {
         "quit" | "exit" => return Ok(false),
         other => {
             return Err(format!(
-                "unknown command {other:?} (q/topk/add/del/join/compact/stats/quit)"
+                "unknown command {other:?} \
+                 (q/topk/add/del/join/compact/open/save/heal/wal-stats/stats/quit)"
             ))
         }
     }
@@ -182,7 +271,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let svc = match build_service(&opts) {
+    let mut repl = match build_service(&opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
@@ -198,7 +287,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match handle(&svc, &line) {
+        match handle(&mut repl, &line) {
             Ok(true) => {}
             Ok(false) => break,
             Err(e) => eprintln!("error: {e}"),

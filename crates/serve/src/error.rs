@@ -28,6 +28,21 @@ pub enum ServeError {
     },
     /// An engine-level failure bubbled up from prepare/join/search.
     Engine(AuError),
+    /// A write-ahead-log operation failed after exhausting its retries.
+    /// The mutation was **not** acknowledged and will not survive a
+    /// restart; the service has entered the degraded read-only mode.
+    Wal {
+        /// Which durable operation failed (`"insert"`, `"delete"`,
+        /// `"compact"`, `"save"`, `"heal"`, `"open"`).
+        op: &'static str,
+        /// The underlying IO error, rendered.
+        detail: String,
+    },
+    /// The service is in degraded read-only mode: a previous WAL
+    /// failure persisted through the retry budget. Reads keep being
+    /// served from the last published snapshot; writes fail fast with
+    /// this error until [`crate::Service::heal`] succeeds.
+    Degraded,
 }
 
 impl fmt::Display for ServeError {
@@ -42,6 +57,13 @@ impl fmt::Display for ServeError {
                 write!(f, "record {id} is already deleted")
             }
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Wal { op, detail } => {
+                write!(f, "write-ahead log {op} failed: {detail}")
+            }
+            ServeError::Degraded => write!(
+                f,
+                "service is degraded (read-only): write-ahead log unavailable"
+            ),
         }
     }
 }

@@ -1,0 +1,308 @@
+//! Deterministic fault injection for the write-ahead log.
+//!
+//! [`FaultyStorage`] wraps any [`Storage`] and injects IO faults from a
+//! [`FaultPlan`] — a seeded schedule with no wall-clock and no OS
+//! randomness, so the same seed always produces the same short writes,
+//! torn writes, and sync failures at the same call indices. The crash
+//! and fault matrices in `tests/serve_durability.rs` and the `fig_serve`
+//! robustness counters are reproducible byte-for-byte because of this.
+
+use crate::storage::Storage;
+use std::io;
+
+/// A seeded, deterministic schedule of injected IO faults.
+///
+/// Each *storage call* (one `append` or one `sync`) draws one decision
+/// from a xorshift64* stream: with `write_fault_per_mille`/1000
+/// probability an `append` is faulted (alternately a **short write** —
+/// `Ok(k)` with `k < len` and nothing lost — or a **torn write** — a
+/// prefix lands, then `Err`), and with `sync_fault_per_mille`/1000 a
+/// `sync` fails. The first `skip_calls` calls are never faulted, so a
+/// test can build a healthy service first and arm the faults for the
+/// phase under study.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    state: u64,
+    calls: u64,
+    skip_calls: u64,
+    write_fault_per_mille: u16,
+    sync_fault_per_mille: u16,
+}
+
+/// What [`FaultPlan`] decided for one storage call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Pass the call through unfaulted.
+    None,
+    /// Report fewer bytes written than asked (benign if the caller
+    /// loops; nothing is lost).
+    ShortWrite,
+    /// Write a strict prefix of the buffer, then fail — the torn-frame
+    /// case the recovery checksum rule exists for.
+    TornWrite,
+    /// Fail a `sync` (the appended bytes are then of unknown
+    /// durability; the WAL discards them via truncate and retries).
+    SyncFail,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed; combine with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // xorshift needs a non-zero state; fold the seed through
+            // splitmix-style mixing so nearby seeds diverge immediately.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            calls: 0,
+            skip_calls: 0,
+            write_fault_per_mille: 0,
+            sync_fault_per_mille: 0,
+        }
+    }
+
+    /// Probability (per mille) that an `append` call is faulted.
+    pub fn with_write_fault_per_mille(mut self, per_mille: u16) -> Self {
+        self.write_fault_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Probability (per mille) that a `sync` call fails.
+    pub fn with_sync_fault_per_mille(mut self, per_mille: u16) -> Self {
+        self.sync_fault_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Leave the first `n` storage calls unfaulted (arm the schedule
+    /// after a healthy setup phase).
+    pub fn with_skip_calls(mut self, n: u64) -> Self {
+        self.skip_calls = n;
+        self
+    }
+
+    /// A plan where, after `skip_calls`, every write and every sync
+    /// fails — the persistent-fault schedule behind the graceful
+    /// degradation tests.
+    pub fn persistent(seed: u64) -> Self {
+        Self::new(seed)
+            .with_write_fault_per_mille(1000)
+            .with_sync_fault_per_mille(1000)
+    }
+
+    /// Next pseudo-random u64 (xorshift64*).
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn draw_write(&mut self) -> Fault {
+        let call = self.calls;
+        self.calls += 1;
+        let r = self.next_u64();
+        if call < self.skip_calls {
+            return Fault::None;
+        }
+        if (r % 1000) < u64::from(self.write_fault_per_mille) {
+            // Alternate deterministically between the two write faults.
+            if (r >> 32) & 1 == 0 {
+                Fault::ShortWrite
+            } else {
+                Fault::TornWrite
+            }
+        } else {
+            Fault::None
+        }
+    }
+
+    fn draw_sync(&mut self) -> Fault {
+        let call = self.calls;
+        self.calls += 1;
+        let r = self.next_u64();
+        if call < self.skip_calls {
+            return Fault::None;
+        }
+        if (r % 1000) < u64::from(self.sync_fault_per_mille) {
+            Fault::SyncFail
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Fraction of the buffer a faulted write actually lands (always a
+    /// strict prefix, never zero-or-all, so torn frames are truly torn).
+    fn partial_len(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        1 + (self.next_u64() as usize) % (len - 1)
+    }
+}
+
+/// Counters of the faults a [`FaultyStorage`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Short writes reported (`Ok(k < len)`).
+    pub short_writes: u64,
+    /// Torn writes (prefix landed, call failed).
+    pub torn_writes: u64,
+    /// Failed syncs.
+    pub sync_failures: u64,
+}
+
+/// A [`Storage`] decorator that injects the faults of a [`FaultPlan`]
+/// into the write path. Reads, truncates, and replaces pass through
+/// unfaulted: the model under test is the append/sync path the
+/// durability contract hangs on.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: Box<dyn Storage>,
+    plan: FaultPlan,
+    counts: FaultCounts,
+}
+
+impl FaultyStorage {
+    /// Wrap `inner` with the fault schedule `plan`.
+    pub fn new(inner: Box<dyn Storage>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// How many faults of each kind have been injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    fn injected(kind: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn append(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.plan.draw_write() {
+            Fault::ShortWrite => {
+                let k = self.plan.partial_len(buf.len());
+                self.counts.short_writes += 1;
+                if k == 0 {
+                    // Nothing to shorten; the call degenerates to a torn
+                    // write of zero bytes.
+                    self.counts.short_writes -= 1;
+                    self.counts.torn_writes += 1;
+                    return Err(Self::injected("torn write (empty)"));
+                }
+                self.inner.append(&buf[..k])
+            }
+            Fault::TornWrite => {
+                let k = self.plan.partial_len(buf.len());
+                self.counts.torn_writes += 1;
+                if k > 0 {
+                    // The prefix lands in the log before the call fails.
+                    let _ = self.inner.append(&buf[..k])?;
+                }
+                Err(Self::injected("torn write"))
+            }
+            _ => self.inner.append(buf),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        match self.plan.draw_sync() {
+            Fault::SyncFail => {
+                self.counts.sync_failures += 1;
+                Err(Self::injected("sync failure"))
+            }
+            _ => self.inner.sync(),
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.replace(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn fault_trace(seed: u64, writes: &[&[u8]]) -> (Vec<Result<usize, String>>, FaultCounts) {
+        let plan = FaultPlan::new(seed)
+            .with_write_fault_per_mille(500)
+            .with_sync_fault_per_mille(500);
+        let mut s = FaultyStorage::new(Box::new(MemStorage::new()), plan);
+        let mut out = Vec::new();
+        for w in writes {
+            out.push(s.append(w).map_err(|e| e.to_string()));
+            out.push(s.sync().map(|()| 0).map_err(|e| e.to_string()));
+        }
+        (out, s.counts())
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let writes: Vec<&[u8]> = vec![b"abcdefgh"; 32];
+        let (a, ca) = fault_trace(42, &writes);
+        let (b, cb) = fault_trace(42, &writes);
+        assert_eq!(a, b, "schedule must be a pure function of the seed");
+        assert_eq!(ca, cb);
+        let (c, _) = fault_trace(43, &writes);
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn dense_plan_injects_every_kind() {
+        let writes: Vec<&[u8]> = vec![b"0123456789abcdef"; 64];
+        let (_, counts) = fault_trace(7, &writes);
+        assert!(counts.short_writes > 0, "short writes: {counts:?}");
+        assert!(counts.torn_writes > 0, "torn writes: {counts:?}");
+        assert!(counts.sync_failures > 0, "sync failures: {counts:?}");
+    }
+
+    #[test]
+    fn skip_calls_arms_late() {
+        let plan = FaultPlan::persistent(1).with_skip_calls(4);
+        let mut s = FaultyStorage::new(Box::new(MemStorage::new()), plan);
+        for _ in 0..2 {
+            assert!(s.append(b"ok").is_ok(), "unarmed calls pass through");
+            assert!(s.sync().is_ok());
+        }
+        let armed_failed = (0..4).any(|_| s.append(b"xx").is_err() || s.sync().is_err());
+        assert!(armed_failed, "armed persistent plan must fault");
+    }
+
+    #[test]
+    fn torn_write_lands_a_strict_prefix() {
+        let mem = MemStorage::new();
+        let plan = FaultPlan::persistent(5);
+        let mut s = FaultyStorage::new(Box::new(mem.clone()), plan);
+        let buf = [0xABu8; 64];
+        for _ in 0..8 {
+            let before = mem.bytes().len();
+            match s.append(&buf) {
+                Ok(k) => assert!(k < buf.len(), "persistent plan never writes in full"),
+                Err(_) => {
+                    let landed = mem.bytes().len() - before;
+                    assert!(landed < buf.len(), "torn write must be a strict prefix");
+                }
+            }
+        }
+    }
+}

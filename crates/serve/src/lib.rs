@@ -20,6 +20,15 @@
 //!   prepare of the final corpus state.
 //! * Admission is bounded: past `max_in_flight` concurrent requests the
 //!   service sheds load with the typed [`ServeError::Overloaded`].
+//! * Durability: [`Service::create`] / [`Service::open`] commit every
+//!   mutation to a checksummed write-ahead log ([`Wal`], through the
+//!   injectable [`Storage`] trait) *before* acknowledging it, replay
+//!   the log at open tolerating a torn tail, retry transient IO faults
+//!   with bounded backoff ([`RetryPolicy`]), and degrade to a typed
+//!   read-only mode ([`ServeError::Degraded`]) when faults persist —
+//!   readers keep being served from the last published snapshot.
+//!   [`FaultyStorage`] injects a seeded, deterministic fault schedule
+//!   for the crash/fault matrices in tests and CI.
 //!
 //! Readers never block writers and vice versa: a query clones the
 //! current snapshot `Arc` under a read lock held only for the clone,
@@ -32,13 +41,19 @@
 mod admission;
 mod compactor;
 mod error;
+mod faults;
 mod service;
 mod snapshot;
+mod storage;
 mod tombstone;
+mod wal;
 
 pub use admission::AdmissionStats;
 pub use compactor::Compactor;
 pub use error::ServeError;
+pub use faults::{FaultCounts, FaultPlan, FaultyStorage};
 pub use service::{Mutation, ServeConfig, ServeStats, Service};
 pub use snapshot::{JoinWindowResponse, SearchResponse, Snapshot, TopkResponse};
+pub use storage::{FileStorage, MemStorage, Storage};
 pub use tombstone::TombstoneSet;
+pub use wal::{frame_boundaries, scan_log, RetryPolicy, ScannedLog, Wal, WalOp, WalStats};

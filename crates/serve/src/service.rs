@@ -3,14 +3,17 @@
 use crate::admission::{Admission, AdmissionStats, Permit};
 use crate::error::ServeError;
 use crate::snapshot::{DeltaSegment, JoinWindowResponse, SearchResponse, Snapshot, TopkResponse};
+use crate::storage::{FileStorage, Storage};
 use crate::tombstone::TombstoneSet;
+use crate::wal::{RetryPolicy, Wal, WalOp, WalStats};
 use au_core::engine::{Engine, JoinSpec};
 use au_core::knowledge::Knowledge;
 use au_core::parallel::par_map;
 use au_core::signature::FilterKind;
 use au_core::SimConfig;
 use au_text::record::Corpus;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 
@@ -20,6 +23,84 @@ use std::time::Instant;
 /// service keeps serving instead of propagating panics across requests.
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render an IO failure of the write-ahead log as the typed error.
+fn wal_error(op: &'static str, e: &std::io::Error) -> ServeError {
+    ServeError::Wal {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// The log-replay fold: runs the recovered operations forward and
+/// reconstructs the exact base/delta/tombstone split a crashed service
+/// had at its last acknowledged operation.
+#[derive(Debug)]
+struct Replay {
+    /// Every record inserted since the last checkpoint, in log order
+    /// (tokens interned through the service's knowledge lineage).
+    corpus: Corpus,
+    /// Global id of each record in `corpus`.
+    ids: Vec<u64>,
+    /// False once a compaction folded the record's tombstone away.
+    alive: Vec<bool>,
+    /// Records `0..base_upto` belong to the base segment (sealed by the
+    /// last compaction); the rest are the pending delta.
+    base_upto: usize,
+    /// Tombstones set after the last compaction (they mask, not fold).
+    tombstones: TombstoneSet,
+    /// The id watermark: the next insert gets this id.
+    next_id: u64,
+}
+
+impl Replay {
+    fn run(kn: &mut Knowledge, ops: &[WalOp]) -> Self {
+        let mut r = Self {
+            corpus: Corpus::new(),
+            ids: Vec::new(),
+            alive: Vec::new(),
+            base_upto: 0,
+            tombstones: TombstoneSet::new(),
+            next_id: 0,
+        };
+        for op in ops {
+            match op {
+                WalOp::Insert { id, text } => {
+                    kn.push_line(&mut r.corpus, text);
+                    r.ids.push(*id);
+                    r.alive.push(true);
+                    r.next_id = r.next_id.max(id + 1);
+                }
+                WalOp::Delete { id } => {
+                    r.tombstones.insert(*id);
+                }
+                WalOp::Compact => {
+                    for (i, alive) in r.alive.iter_mut().enumerate() {
+                        if r.tombstones.contains(r.ids[i]) {
+                            *alive = false;
+                        }
+                    }
+                    r.tombstones.clear();
+                    r.base_upto = r.ids.len();
+                }
+                WalOp::Checkpoint { next_id } => {
+                    // A checkpoint rewrite starts the log over: what
+                    // follows is the entire live state. The knowledge
+                    // lineage keeps its vocabulary (append-only interning
+                    // never changes an answer — similarity is a pure
+                    // function of the token pair).
+                    r.corpus = Corpus::new();
+                    r.ids.clear();
+                    r.alive.clear();
+                    r.base_upto = 0;
+                    r.tombstones.clear();
+                    r.next_id = *next_id;
+                }
+            }
+        }
+        r
+    }
 }
 
 /// Service configuration. `Default` gives a sensible interactive setup:
@@ -50,6 +131,9 @@ pub struct ServeConfig {
     pub topk_floor: f64,
     /// Subtractive step of the top-k threshold descent.
     pub topk_step: f64,
+    /// Retry-with-bounded-backoff policy for write-ahead-log appends
+    /// (ignored by non-durable services built with [`Service::build`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +147,7 @@ impl Default for ServeConfig {
             max_in_flight: 1024,
             topk_floor: 0.3,
             topk_step: 0.1,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -111,6 +196,17 @@ pub struct ServeStats {
     pub last_compact_nanos: u64,
     /// Admission counters.
     pub admission: AdmissionStats,
+    /// True while the service is in degraded read-only mode.
+    pub degraded: bool,
+    /// Times the service *entered* degraded mode (a WAL failure that
+    /// survived the whole retry budget).
+    pub degraded_entries: u64,
+    /// Writes rejected fast with [`ServeError::Degraded`] while in
+    /// degraded mode.
+    pub degraded_writes: u64,
+    /// Write-ahead-log counters (`durable: false` and all-zero for
+    /// non-durable services).
+    pub wal: WalStats,
 }
 
 /// Mutable state owned by the single writer path (mutations and
@@ -127,6 +223,10 @@ struct WriterState {
     delta_ids: Vec<u64>,
     tombstones: TombstoneSet,
     next_id: u64,
+    /// The write-ahead log, when this service is durable. Every
+    /// mutation commits here (append + sync) *before* it is applied in
+    /// memory or acknowledged — the WAL offset is the commit point.
+    wal: Option<Wal>,
 }
 
 /// A concurrent serving session over one evolving corpus.
@@ -161,11 +261,19 @@ pub struct Service {
     deletes: AtomicU64,
     compactions: AtomicU64,
     last_compact_nanos: AtomicU64,
+    /// Sticky degraded flag: set (under the writer lock) when a WAL
+    /// commit exhausts its retries, cleared only by a successful
+    /// [`Service::heal`]. Readers ignore it; writers fail fast on it.
+    degraded: AtomicBool,
+    degraded_entries: AtomicU64,
+    degraded_writes: AtomicU64,
 }
 
 impl Service {
-    /// Build a service over an initial corpus. The records get global
-    /// ids `0..n` in input order.
+    /// Build a non-durable (purely in-memory) service over an initial
+    /// corpus. The records get global ids `0..n` in input order. For a
+    /// service that survives restarts see [`Service::create`] /
+    /// [`Service::open`].
     pub fn build<'a>(
         mut kn: Knowledge,
         lines: impl IntoIterator<Item = &'a str>,
@@ -173,6 +281,200 @@ impl Service {
     ) -> Result<Self, ServeError> {
         let corpus = kn.corpus_from_lines(lines);
         let n = corpus.len() as u64;
+        let (generation, snapshot) =
+            Self::base_snapshot(&kn, &cfg, corpus, (0..n).collect(), kn.generation())?;
+        Ok(Self::from_parts(
+            cfg,
+            generation,
+            snapshot,
+            WriterState {
+                kn,
+                delta_corpus: Corpus::new(),
+                delta_ids: Vec::new(),
+                tombstones: TombstoneSet::new(),
+                next_id: n,
+                wal: None,
+            },
+            false,
+        ))
+    }
+
+    /// Create a durable service over `storage`, which must hold no
+    /// prior log. The initial corpus is written to the log as one
+    /// atomically-acknowledged batch before the service is returned.
+    pub fn create_with<'a>(
+        kn: Knowledge,
+        lines: impl IntoIterator<Item = &'a str>,
+        cfg: ServeConfig,
+        storage: Box<dyn Storage>,
+    ) -> Result<Self, ServeError> {
+        let seed: Vec<&str> = lines.into_iter().collect();
+        Self::open_inner(kn, cfg, storage, Some(&seed), true)
+    }
+
+    /// Open a durable service by replaying the log in `storage`,
+    /// tolerating a torn tail (truncated at the first bad checksum —
+    /// a partially written operation is never applied). The recovered
+    /// snapshot serves exactly the acknowledged-mutation prefix.
+    pub fn open_with(
+        kn: Knowledge,
+        cfg: ServeConfig,
+        storage: Box<dyn Storage>,
+    ) -> Result<Self, ServeError> {
+        Self::open_inner(kn, cfg, storage, None, false)
+    }
+
+    /// [`Service::create_with`] over a file-backed log at
+    /// `dir/wal.log`.
+    pub fn create<'a>(
+        kn: Knowledge,
+        lines: impl IntoIterator<Item = &'a str>,
+        cfg: ServeConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ServeError> {
+        let storage =
+            FileStorage::open(dir.as_ref().join("wal.log")).map_err(|e| wal_error("open", &e))?;
+        Self::create_with(kn, lines, cfg, Box::new(storage))
+    }
+
+    /// [`Service::open_with`] over the file-backed log at `dir/wal.log`.
+    pub fn open(
+        kn: Knowledge,
+        cfg: ServeConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ServeError> {
+        let storage =
+            FileStorage::open(dir.as_ref().join("wal.log")).map_err(|e| wal_error("open", &e))?;
+        Self::open_with(kn, cfg, Box::new(storage))
+    }
+
+    /// Open the log at `dir/wal.log` if it holds any acknowledged
+    /// operations, otherwise create a fresh durable service seeded with
+    /// `lines` — the "just point me at a directory" constructor the
+    /// `auserve` REPL uses.
+    pub fn open_or_seed<'a>(
+        kn: Knowledge,
+        lines: impl IntoIterator<Item = &'a str>,
+        cfg: ServeConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ServeError> {
+        let storage =
+            FileStorage::open(dir.as_ref().join("wal.log")).map_err(|e| wal_error("open", &e))?;
+        let seed: Vec<&str> = lines.into_iter().collect();
+        Self::open_inner(kn, cfg, Box::new(storage), Some(&seed), false)
+    }
+
+    /// The one durable constructor everything above funnels into:
+    /// open the WAL, replay (or seed), assemble base + delta segments,
+    /// publish the recovered snapshot.
+    fn open_inner(
+        mut kn: Knowledge,
+        cfg: ServeConfig,
+        storage: Box<dyn Storage>,
+        seed: Option<&[&str]>,
+        require_fresh: bool,
+    ) -> Result<Self, ServeError> {
+        let (mut wal, ops) = Wal::open(storage, cfg.retry).map_err(|e| wal_error("open", &e))?;
+        if require_fresh && !ops.is_empty() {
+            return Err(ServeError::Wal {
+                op: "create",
+                detail: format!("log already holds {} operations", ops.len()),
+            });
+        }
+        let degraded = wal.tail_unrepaired();
+
+        if ops.is_empty() {
+            // Fresh log: seed it (possibly with zero records) as one
+            // atomically-acknowledged batch.
+            let lines = seed.unwrap_or(&[]);
+            let frames: Vec<WalOp> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| WalOp::Insert {
+                    id: i as u64,
+                    text: (*l).to_string(),
+                })
+                .collect();
+            wal.append_ops(&frames)
+                .map_err(|e| wal_error("create", &e))?;
+            let corpus = kn.corpus_from_lines(lines.iter().copied());
+            let n = corpus.len() as u64;
+            let (generation, snapshot) =
+                Self::base_snapshot(&kn, &cfg, corpus, (0..n).collect(), kn.generation())?;
+            return Ok(Self::from_parts(
+                cfg,
+                generation,
+                snapshot,
+                WriterState {
+                    kn,
+                    delta_corpus: Corpus::new(),
+                    delta_ids: Vec::new(),
+                    tombstones: TombstoneSet::new(),
+                    next_id: n,
+                    wal: Some(wal),
+                },
+                degraded,
+            ));
+        }
+
+        // Replay. The log contains only operations that were valid when
+        // acknowledged, so the fold needs no validation — it replays the
+        // exact base/delta/tombstone split a crashed service had.
+        let replay = Replay::run(&mut kn, &ops);
+        let generation = kn.remint_generation();
+        let mut base_corpus = Corpus::new();
+        let mut base_ids = Vec::new();
+        let mut delta_corpus = Corpus::new();
+        let mut delta_ids = Vec::new();
+        for (i, rec) in replay.corpus.records().iter().enumerate() {
+            if i < replay.base_upto {
+                if replay.alive[i] {
+                    base_corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+                    base_ids.push(replay.ids[i]);
+                }
+            } else {
+                delta_corpus.push_tokens(rec.tokens.clone(), rec.raw.clone());
+                delta_ids.push(replay.ids[i]);
+            }
+        }
+        let (_, snapshot) = Self::base_snapshot(&kn, &cfg, base_corpus, base_ids, generation)?;
+        let has_delta = !delta_ids.is_empty();
+        let has_tombstones = !replay.tombstones.is_empty();
+        let svc = Self::from_parts(
+            cfg,
+            generation,
+            snapshot,
+            WriterState {
+                kn,
+                delta_corpus,
+                delta_ids,
+                tombstones: replay.tombstones,
+                next_id: replay.next_id,
+                wal: Some(wal),
+            },
+            degraded,
+        );
+        if has_delta || has_tombstones {
+            // The base snapshot above was published bare; rebuild the
+            // delta segment / tombstone mask the recovered writer state
+            // describes.
+            let mut w = relock(&svc.writer);
+            let republished = svc.republish(&mut w);
+            drop(w);
+            republished?;
+        }
+        Ok(svc)
+    }
+
+    /// Prepare a base segment over `corpus` and wrap it in a published
+    /// snapshot at `generation` with no delta and no tombstones.
+    fn base_snapshot(
+        kn: &Knowledge,
+        cfg: &ServeConfig,
+        corpus: Corpus,
+        ids: Vec<u64>,
+        generation: u64,
+    ) -> Result<(u64, Snapshot), ServeError> {
         let engine = Arc::new(Engine::new(kn.clone(), cfg.sim)?);
         let prepared = Arc::new(
             engine
@@ -180,24 +482,28 @@ impl Service {
                 .with_memo_capacity(cfg.memo_capacity),
         );
         let base_search = Arc::new(Engine::snapshot_searcher(engine, prepared, &cfg.spec())?);
-        let generation = kn.generation();
         let snapshot = Snapshot::new(
             generation,
-            Arc::new((0..n).collect()),
+            Arc::new(ids),
             base_search,
             None,
             TombstoneSet::new(),
         );
-        Ok(Self {
+        Ok((generation, snapshot))
+    }
+
+    /// Assemble the service value around an already-published snapshot.
+    fn from_parts(
+        cfg: ServeConfig,
+        generation: u64,
+        snapshot: Snapshot,
+        writer: WriterState,
+        degraded: bool,
+    ) -> Self {
+        Self {
             cfg,
             current: RwLock::new(Arc::new(snapshot)),
-            writer: Mutex::new(WriterState {
-                kn,
-                delta_corpus: Corpus::new(),
-                delta_ids: Vec::new(),
-                tombstones: TombstoneSet::new(),
-                next_id: n,
-            }),
+            writer: Mutex::new(writer),
             admission: Admission::new(cfg.max_in_flight),
             published_gen: AtomicU64::new(generation),
             queries: AtomicU64::new(0),
@@ -205,7 +511,10 @@ impl Service {
             deletes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             last_compact_nanos: AtomicU64::new(0),
-        })
+            degraded: AtomicBool::new(degraded),
+            degraded_entries: AtomicU64::new(u64::from(degraded)),
+            degraded_writes: AtomicU64::new(0),
+        }
     }
 
     /// The currently published snapshot (cheap: one `Arc` clone under a
@@ -304,8 +613,22 @@ impl Service {
     /// segment reaches [`ServeConfig::compact_threshold`].
     pub fn insert_record(&self, text: &str) -> Result<Mutation, ServeError> {
         let mut w = relock(&self.writer);
+        self.check_writable()?;
+        // The id is not consumed until the WAL accepts the frame: a
+        // durable log never has id gaps, so a recovered service mints
+        // the same ids a crashed one would have.
         let id = w.next_id;
-        w.next_id += 1;
+        if let Some(wal) = w.wal.as_mut() {
+            let op = WalOp::Insert {
+                id,
+                text: text.to_string(),
+            };
+            if let Err(e) = wal.append_op(&op) {
+                return Err(self.enter_degraded("insert", &e));
+            }
+        }
+        // Commit point passed: apply in memory and acknowledge.
+        w.next_id = id + 1;
         // push_line re-mints the knowledge generation through the shared
         // process-wide mint (see `Knowledge::remint_generation`).
         let WriterState {
@@ -317,7 +640,12 @@ impl Service {
         // ordering: Relaxed — statistics counter only.
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if self.cfg.compact_threshold > 0 && w.delta_ids.len() >= self.cfg.compact_threshold {
-            generation = self.compact_locked(&mut w)?;
+            // The insert is already durable and acknowledged; a failure
+            // of the *compaction's* WAL frame must not retract it. The
+            // service degrades (flag set inside) and the receipt stands.
+            if let Ok(g) = self.compact_locked(&mut w) {
+                generation = g;
+            }
         }
         Ok(Mutation { id, generation })
     }
@@ -326,6 +654,7 @@ impl Service {
     /// Unknown ids and double deletes are typed errors.
     pub fn delete_record(&self, id: u64) -> Result<Mutation, ServeError> {
         let mut w = relock(&self.writer);
+        self.check_writable()?;
         if id >= w.next_id {
             return Err(ServeError::UnknownId { id });
         }
@@ -336,6 +665,13 @@ impl Service {
         // then folded away by a compaction.
         if !self.snapshot().contains_id(id) {
             return Err(ServeError::AlreadyDeleted { id });
+        }
+        // Validation passed — commit to the log before applying, so the
+        // log never holds a delete that was not acknowledged.
+        if let Some(wal) = w.wal.as_mut() {
+            if let Err(e) = wal.append_op(&WalOp::Delete { id }) {
+                return Err(self.enter_degraded("delete", &e));
+            }
         }
         w.tombstones.insert(id);
         // Deletes change no vocabulary, but they do change what a reader
@@ -354,15 +690,103 @@ impl Service {
     /// rebuild happens off to the side and lands as one `Arc` swap.
     pub fn compact(&self) -> Result<u64, ServeError> {
         let mut w = relock(&self.writer);
+        self.check_writable()?;
         if w.delta_ids.is_empty() && w.tombstones.is_empty() {
             return Ok(self.generation());
         }
         self.compact_locked(&mut w)
     }
 
+    /// Checkpoint the log: fold any pending delta/tombstones, then
+    /// atomically rewrite the log as one checkpoint + the live records
+    /// — replaying the rewritten log is a single base build instead of
+    /// the whole mutation history. Returns the published generation.
+    /// No-op (beyond the fold) for non-durable services.
+    pub fn save(&self) -> Result<u64, ServeError> {
+        let mut w = relock(&self.writer);
+        self.check_writable()?;
+        let mut generation = self.generation();
+        if !w.delta_ids.is_empty() || !w.tombstones.is_empty() {
+            generation = self.compact_locked(&mut w)?;
+        }
+        if w.wal.is_some() {
+            let snap = self.snapshot();
+            let mut ops = Vec::with_capacity(snap.live_len() + 2);
+            ops.push(WalOp::Checkpoint { next_id: w.next_id });
+            for (gid, rec) in snap.live_records() {
+                ops.push(WalOp::Insert {
+                    id: gid,
+                    text: rec.raw.clone(),
+                });
+            }
+            // Seal the checkpointed records into the base segment on
+            // replay, mirroring the published snapshot exactly.
+            ops.push(WalOp::Compact);
+            if let Some(wal) = w.wal.as_mut() {
+                // `replace` is atomic: on failure the previous log is
+                // intact and the service is *not* degraded — appends
+                // still work.
+                wal.rewrite(&ops).map_err(|e| wal_error("save", &e))?;
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Try to leave degraded read-only mode: repair and sync the log.
+    /// On success writes are accepted again; on failure the service
+    /// stays degraded and the typed error says why.
+    pub fn heal(&self) -> Result<(), ServeError> {
+        let mut w = relock(&self.writer);
+        // ordering: Relaxed — the flag is only mutated under the writer
+        // lock held here; the load/store pair cannot race another writer.
+        if !self.degraded.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if let Some(wal) = w.wal.as_mut() {
+            wal.probe().map_err(|e| wal_error("heal", &e))?;
+        }
+        // ordering: Relaxed — see above.
+        self.degraded.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// True while the service is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        // ordering: Relaxed — point-in-time hint; writers re-check under
+        // the writer lock via `check_writable`.
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Fail fast (typed) when the service is degraded. Called with the
+    /// writer lock held, so the flag cannot flip mid-mutation.
+    fn check_writable(&self) -> Result<(), ServeError> {
+        // ordering: Relaxed — mutations only happen under the writer
+        // lock, which orders this load against `enter_degraded`/`heal`.
+        if self.degraded.load(Ordering::Relaxed) {
+            // ordering: Relaxed — statistics counter only.
+            self.degraded_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Degraded);
+        }
+        Ok(())
+    }
+
+    /// Flip into degraded read-only mode after a WAL commit exhausted
+    /// its retry budget. Called with the writer lock held.
+    fn enter_degraded(&self, op: &'static str, e: &std::io::Error) -> ServeError {
+        // ordering: Relaxed — mutated under the writer lock only.
+        self.degraded.store(true, Ordering::Relaxed);
+        // ordering: Relaxed — statistics counter only.
+        self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        wal_error(op, e)
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> ServeStats {
         let snap = self.snapshot();
+        let wal = {
+            let w = relock(&self.writer);
+            w.wal.as_ref().map(Wal::stats).unwrap_or_default()
+        };
         ServeStats {
             generation: snap.generation(),
             live: snap.live_len(),
@@ -377,6 +801,13 @@ impl Service {
             // ordering: Relaxed — see above
             last_compact_nanos: self.last_compact_nanos.load(Ordering::Relaxed),
             admission: self.admission.stats(),
+            // ordering: Relaxed — see above (independent counters).
+            degraded: self.degraded.load(Ordering::Relaxed),
+            // ordering: Relaxed — see above
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
+            // ordering: Relaxed — see above
+            degraded_writes: self.degraded_writes.load(Ordering::Relaxed),
+            wal,
         }
     }
 
@@ -421,6 +852,13 @@ impl Service {
     /// compaction — only rows are renumbered.
     fn compact_locked(&self, w: &mut WriterState) -> Result<u64, ServeError> {
         let start = Instant::now();
+        // Log the compaction point first: on replay it folds the same
+        // tombstones and seals the same records this rebuild does.
+        if let Some(wal) = w.wal.as_mut() {
+            if let Err(e) = wal.append_op(&WalOp::Compact) {
+                return Err(self.enter_degraded("compact", &e));
+            }
+        }
         let prev = self.snapshot();
         let mut corpus = Corpus::new();
         let mut ids: Vec<u64> = Vec::with_capacity(prev.live_len());

@@ -1,0 +1,245 @@
+//! The injectable IO boundary under the write-ahead log.
+//!
+//! The WAL never touches the filesystem directly: every byte goes
+//! through the [`Storage`] trait, so tests substitute a deterministic
+//! in-memory log ([`MemStorage`]) or a seeded fault injector
+//! ([`crate::FaultyStorage`]) and the durability contract is exercised
+//! without wall-clock, OS randomness, or a real disk.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Append-only log storage with explicit durability points.
+///
+/// Semantics the WAL relies on:
+///
+/// * [`Storage::append`] may write fewer bytes than asked (a short
+///   write) or fail after writing a prefix (a torn write) — callers must
+///   loop and must tolerate garbage past the last synced offset;
+/// * [`Storage::sync`] is the durability point: bytes are only promised
+///   to survive a crash once a `sync` covering them returned `Ok`;
+/// * [`Storage::truncate`] discards the tail — the WAL uses it to repair
+///   torn frames before re-appending;
+/// * [`Storage::replace`] atomically substitutes the whole content (the
+///   checkpoint rewrite): after `Ok` the new bytes are durable, after
+///   `Err` the old content is still intact.
+pub trait Storage: fmt::Debug + Send {
+    /// Append up to `buf.len()` bytes at the current end of the log;
+    /// returns how many were actually written.
+    fn append(&mut self, buf: &[u8]) -> io::Result<usize>;
+    /// Durably flush every appended byte.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Current length of the log in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Whether the log currently holds zero bytes.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Read the whole log from the start.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Truncate the log to `len` bytes.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Atomically replace the whole log content with `bytes`.
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// In-memory [`Storage`] over a shared byte buffer.
+///
+/// Clones share the buffer, so a test can keep one handle, hand the
+/// other to a [`crate::Service`], drop the service to simulate a crash
+/// (process memory gone, "disk" intact), and reopen from the survivor.
+/// `sync` is a no-op: everything appended is already "durable" — the
+/// fault injector, not the storage, models lost writes.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// New empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// In-memory log seeded with `bytes` (crash-point sweeps feed the
+    /// surviving prefix of a previous run's log back in here).
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        Self {
+            buf: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// Snapshot of the current log bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        // A panic while holding this lock leaves the buffer in a valid
+        // (if torn) state — exactly what the recovery path is built to
+        // handle — so poisoning is recovered, not propagated.
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.lock().len() as u64)
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.bytes())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut b = self.lock();
+        let len = len.min(b.len() as u64) as usize;
+        b.truncate(len);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        *self.lock() = bytes.to_vec();
+        Ok(())
+    }
+}
+
+/// File-backed [`Storage`]: one log file, `sync_data` as the durability
+/// point, checkpoint rewrites via write-temp-then-rename.
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    file: File,
+}
+
+impl FileStorage {
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(Self { path, file })
+    }
+
+    /// The path of the underlying log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::new();
+        self.file.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen so the handle points at the renamed inode.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        // Durability of the rename itself needs the directory synced;
+        // best-effort — on failure the old content was already replaced
+        // atomically, so the worst case is the rename not surviving a
+        // crash, which recovery handles by replaying the old log.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut s: impl Storage) {
+        assert_eq!(s.len().unwrap(), 0);
+        assert_eq!(s.append(b"hello ").unwrap(), 6);
+        assert_eq!(s.append(b"world").unwrap(), 5);
+        s.sync().unwrap();
+        assert_eq!(s.len().unwrap(), 11);
+        assert_eq!(s.read_all().unwrap(), b"hello world");
+        s.truncate(5).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello");
+        assert_eq!(s.append(b"!").unwrap(), 1);
+        assert_eq!(s.read_all().unwrap(), b"hello!");
+        s.replace(b"fresh").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"fresh");
+        assert_eq!(s.append(b"er").unwrap(), 2);
+        assert_eq!(s.read_all().unwrap(), b"fresher");
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(MemStorage::new());
+    }
+
+    #[test]
+    fn mem_storage_clones_share_the_buffer() {
+        let a = MemStorage::new();
+        let mut b = a.clone();
+        b.append(b"shared").unwrap();
+        assert_eq!(a.bytes(), b"shared");
+    }
+
+    #[test]
+    fn file_storage_contract() {
+        let dir = std::env::temp_dir().join(format!("au_serve_storage_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(FileStorage::open(dir.join("wal.log")).unwrap());
+        // Reopen sees the persisted bytes.
+        let mut again = FileStorage::open(dir.join("wal.log")).unwrap();
+        assert_eq!(again.read_all().unwrap(), b"fresher");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

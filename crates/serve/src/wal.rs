@@ -1,0 +1,680 @@
+//! The write-ahead log: checksummed, length-prefixed frames of
+//! insert/delete/compact/checkpoint operations.
+//!
+//! # Frame format
+//!
+//! The log starts with the 8-byte magic `AUWAL001`, followed by frames:
+//!
+//! ```text
+//! [len: u32 le] [crc: u32 le = crc32(payload)] [payload: len bytes]
+//! payload = [opcode: u8] [operands...]
+//!   0x01 Insert     { id: u64 le, text: utf-8 (rest of payload) }
+//!   0x02 Delete     { id: u64 le }
+//!   0x03 Compact    { }
+//!   0x04 Checkpoint { next_id: u64 le }
+//! ```
+//!
+//! # Torn-tail rule
+//!
+//! Recovery scans frames from the front and stops at the first frame
+//! that is incomplete, fails its checksum, or does not decode; the log
+//! is truncated at that frame's start. A partially written operation is
+//! therefore *never* applied — it simply does not exist after recovery.
+//! This is sound because the writer acknowledges an operation only
+//! after the frame is fully appended **and** synced: every acknowledged
+//! operation lies entirely before any possible torn tail.
+//!
+//! # Retry and backoff
+//!
+//! Appends run through a bounded retry loop ([`RetryPolicy`]): each
+//! attempt first truncates the log back to the last known-durable
+//! offset (repairing any torn bytes a previous attempt left), then
+//! appends the whole frame and syncs. Between attempts the writer backs
+//! off exponentially (`base << attempt`, capped); with a zero base the
+//! wait is recorded but no wall-clock sleep happens, which keeps the
+//! fault-injection tests deterministic and instant. When every attempt
+//! fails the WAL reports the error upward — the service then enters the
+//! degraded read-only mode (see [`crate::ServeError::Degraded`]).
+
+use crate::storage::Storage;
+use std::io;
+use std::time::Duration;
+
+/// Log header magic: 8 bytes, versioned.
+pub const MAGIC: &[u8; 8] = b"AUWAL001";
+
+/// Refuse frames claiming more than this payload (a corrupt length
+/// field would otherwise read as an absurd frame and swallow the rest
+/// of the log as "incomplete" even when later bytes are garbage anyway;
+/// the cap keeps the failure mode crisp).
+const MAX_PAYLOAD: u32 = 1 << 24;
+
+const OP_INSERT: u8 = 0x01;
+const OP_DELETE: u8 = 0x02;
+const OP_COMPACT: u8 = 0x03;
+const OP_CHECKPOINT: u8 = 0x04;
+
+/// One durable operation in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A record insert: global id plus the raw text (replay re-interns
+    /// the text in log order, reproducing the exact vocabulary).
+    Insert {
+        /// Global record id the service acknowledged.
+        id: u64,
+        /// The raw record text.
+        text: String,
+    },
+    /// A record delete (tombstone) of `id`.
+    Delete {
+        /// Global record id being tombstoned.
+        id: u64,
+    },
+    /// A compaction point: replay folds tombstones away and seals the
+    /// records so far into the base segment.
+    Compact,
+    /// A checkpoint header: replay resets to an empty corpus with the
+    /// given id watermark; the following inserts are the entire live
+    /// state. Written only by the checkpoint rewrite
+    /// ([`crate::Service::save`]), always as the first frame.
+    Checkpoint {
+        /// The id the next insert after the checkpoint will receive.
+        next_id: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, no dependencies.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+fn encode_payload(op: &WalOp, out: &mut Vec<u8>) {
+    match op {
+        WalOp::Insert { id, text } => {
+            out.push(OP_INSERT);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        WalOp::Delete { id } => {
+            out.push(OP_DELETE);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        WalOp::Compact => out.push(OP_COMPACT),
+        WalOp::Checkpoint { next_id } => {
+            out.push(OP_CHECKPOINT);
+            out.extend_from_slice(&next_id.to_le_bytes());
+        }
+    }
+}
+
+/// Encode one operation as a complete frame (`len`+`crc`+payload).
+pub fn encode_frame(op: &WalOp) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(op, &mut payload);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn u64_at(b: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalOp> {
+    match *payload.first()? {
+        OP_INSERT => {
+            let id = u64_at(payload, 1)?;
+            let text = std::str::from_utf8(payload.get(9..)?).ok()?;
+            Some(WalOp::Insert {
+                id,
+                text: text.to_string(),
+            })
+        }
+        OP_DELETE if payload.len() == 9 => Some(WalOp::Delete {
+            id: u64_at(payload, 1)?,
+        }),
+        OP_COMPACT if payload.len() == 1 => Some(WalOp::Compact),
+        OP_CHECKPOINT if payload.len() == 9 => Some(WalOp::Checkpoint {
+            next_id: u64_at(payload, 1)?,
+        }),
+        _ => None,
+    }
+}
+
+/// The result of scanning a raw log image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannedLog {
+    /// Every complete, checksum-valid operation, in log order.
+    pub ops: Vec<WalOp>,
+    /// Byte offset up to which the log is good (header + whole frames).
+    pub good_len: u64,
+    /// Bytes past `good_len` — the torn tail recovery truncates away.
+    pub truncated_bytes: u64,
+}
+
+/// Scan a raw log image, applying the torn-tail rule. Returns an error
+/// only when the header bytes are present but are not a WAL at all
+/// (wrong magic) — a short or empty header is treated as a torn tail of
+/// length zero, i.e. a fresh log.
+pub fn scan_log(bytes: &[u8]) -> io::Result<ScannedLog> {
+    if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] != MAGIC.as_slice() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a write-ahead log (bad magic)",
+        ));
+    }
+    if bytes.len() < MAGIC.len() {
+        // Empty (fresh) or a header torn mid-write: both recover to an
+        // empty log.
+        return Ok(ScannedLog {
+            ops: Vec::new(),
+            good_len: 0,
+            truncated_bytes: bytes.len() as u64,
+        });
+    }
+    let mut ops = Vec::new();
+    let mut at = MAGIC.len();
+    // Stop conditions other than a missing header break out of the
+    // `while let` body: each one is a torn-tail cut at offset `at`.
+    while let Some(head) = bytes.get(at..at + 8) {
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+        if len > MAX_PAYLOAD {
+            break; // corrupt length field
+        }
+        let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
+            break; // incomplete payload = torn tail
+        };
+        if crc32(payload) != crc {
+            break; // checksum mismatch = torn/corrupt frame
+        }
+        let Some(op) = decode_payload(payload) else {
+            break; // undecodable payload: never apply a garbled op
+        };
+        ops.push(op);
+        at += 8 + len as usize;
+    }
+    Ok(ScannedLog {
+        ops,
+        good_len: at as u64,
+        truncated_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+/// Offsets of every frame boundary in a log image: the end of the
+/// header, then the end of each complete valid frame. The crash-point
+/// sweep recovers at each of these (and at mid-frame offsets between
+/// them) and asserts the durability contract at every cut.
+pub fn frame_boundaries(bytes: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    if bytes.len() < MAGIC.len() {
+        return out;
+    }
+    out.push(MAGIC.len() as u64);
+    let mut at = MAGIC.len();
+    while let Some(head) = bytes.get(at..at + 8) {
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+        let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != crc || decode_payload(payload).is_none() {
+            break;
+        }
+        at += 8 + len;
+        out.push(at as u64);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------
+
+/// Bounded retry-with-backoff for transient write faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on the first error).
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` waits `base << (n-1)`, capped at
+    /// `max_backoff`. A zero base records the wait (the counter is
+    /// deterministic) without sleeping — the fault tests run on this.
+    pub base_backoff: Duration,
+    /// Upper bound of a single backoff wait.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps (waits are still counted) — the
+    /// deterministic-test configuration.
+    pub fn no_sleep(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let wait = self.base_backoff.saturating_mul(1 << shift);
+        wait.min(self.max_backoff)
+    }
+}
+
+// ---------------------------------------------------------------------
+// WalStats
+// ---------------------------------------------------------------------
+
+/// Point-in-time counters of one write-ahead log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// True when the service writes through a WAL at all (false for
+    /// purely in-memory services built with [`crate::Service::build`]).
+    pub durable: bool,
+    /// Operations known durable in the log (replayed at open plus
+    /// appended since).
+    pub frames: u64,
+    /// Durable log size in bytes.
+    pub bytes: u64,
+    /// Operations replayed by [`crate::Service::open_with`].
+    pub replayed_frames: u64,
+    /// Torn-tail bytes discarded at open.
+    pub truncated_bytes: u64,
+    /// Append attempts beyond each operation's first (transient faults
+    /// absorbed by the retry loop).
+    pub retries: u64,
+    /// Backoff waits scheduled between attempts (counted even when the
+    /// configured base backoff is zero and no sleep happens).
+    pub backoff_waits: u64,
+}
+
+// ---------------------------------------------------------------------
+// Wal
+// ---------------------------------------------------------------------
+
+/// A write-ahead log over an injectable [`Storage`].
+#[derive(Debug)]
+pub struct Wal {
+    storage: Box<dyn Storage>,
+    policy: RetryPolicy,
+    /// Offset up to which the log is known durable and well-formed;
+    /// every attempt truncates back to this before appending.
+    durable_len: u64,
+    frames: u64,
+    replayed_frames: u64,
+    truncated_bytes: u64,
+    retries: u64,
+    backoff_waits: u64,
+    /// Set when the torn tail found at open could not be truncated —
+    /// the log still replays, but appends are unsafe until a
+    /// [`Wal::probe`] repairs it.
+    tail_unrepaired: bool,
+}
+
+impl Wal {
+    /// Open (or initialise) a log on `storage`, replaying existing
+    /// frames: returns the WAL positioned for appends plus the
+    /// recovered operations in log order. A torn tail is truncated; a
+    /// fresh log gets its header written and synced.
+    pub fn open(
+        mut storage: Box<dyn Storage>,
+        policy: RetryPolicy,
+    ) -> io::Result<(Self, Vec<WalOp>)> {
+        let bytes = storage.read_all()?;
+        let scanned = scan_log(&bytes)?;
+        let mut tail_unrepaired = false;
+        if scanned.truncated_bytes > 0 {
+            // Repair the torn tail now so appends land after the last
+            // good frame. If even the repair fails we can still serve
+            // the recovered prefix — the service opens degraded.
+            tail_unrepaired = storage.truncate(scanned.good_len).is_err();
+        }
+        let mut wal = Self {
+            storage,
+            policy,
+            durable_len: scanned.good_len,
+            frames: scanned.ops.len() as u64,
+            replayed_frames: scanned.ops.len() as u64,
+            truncated_bytes: scanned.truncated_bytes,
+            retries: 0,
+            backoff_waits: 0,
+            tail_unrepaired,
+        };
+        if scanned.good_len == 0 && !tail_unrepaired {
+            // Fresh (or fully torn) log: lay down the header.
+            wal.commit(MAGIC.as_slice().to_vec(), 0)?;
+        }
+        Ok((wal, scanned.ops))
+    }
+
+    /// True when the torn tail found at open is still in the way of
+    /// appends (see [`Wal::probe`]).
+    pub fn tail_unrepaired(&self) -> bool {
+        self.tail_unrepaired
+    }
+
+    /// Append one operation durably (retry loop + sync).
+    pub fn append_op(&mut self, op: &WalOp) -> io::Result<()> {
+        self.append_ops(std::slice::from_ref(op))
+    }
+
+    /// Append a batch of operations durably under a single sync — the
+    /// batch acknowledges atomically: either every frame is durable or
+    /// the log is repaired back to its previous end.
+    pub fn append_ops(&mut self, ops: &[WalOp]) -> io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = Vec::new();
+        for op in ops {
+            bytes.extend_from_slice(&encode_frame(op));
+        }
+        self.commit(bytes, ops.len() as u64)
+    }
+
+    /// Atomically rewrite the whole log as header + `ops` (the
+    /// checkpoint path). On failure the previous log content is intact.
+    pub fn rewrite(&mut self, ops: &[WalOp]) -> io::Result<()> {
+        let mut bytes = MAGIC.as_slice().to_vec();
+        for op in ops {
+            bytes.extend_from_slice(&encode_frame(op));
+        }
+        self.storage.replace(&bytes)?;
+        self.durable_len = bytes.len() as u64;
+        self.frames = ops.len() as u64;
+        self.tail_unrepaired = false;
+        Ok(())
+    }
+
+    /// Verify the log is writable again: repair any non-durable tail
+    /// and sync. Used by [`crate::Service::heal`] to leave degraded
+    /// mode once the underlying storage recovers.
+    pub fn probe(&mut self) -> io::Result<()> {
+        self.repair()?;
+        self.storage.sync()?;
+        self.tail_unrepaired = false;
+        Ok(())
+    }
+
+    /// Counters for [`crate::ServeStats`].
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            durable: true,
+            frames: self.frames,
+            bytes: self.durable_len,
+            replayed_frames: self.replayed_frames,
+            truncated_bytes: self.truncated_bytes,
+            retries: self.retries,
+            backoff_waits: self.backoff_waits,
+        }
+    }
+
+    /// Truncate the log back to the last known-durable offset.
+    fn repair(&mut self) -> io::Result<()> {
+        if self.storage.len()? != self.durable_len {
+            self.storage.truncate(self.durable_len)?;
+        }
+        Ok(())
+    }
+
+    /// One durable append of pre-encoded bytes: retry loop, each
+    /// attempt = repair + full write + sync.
+    fn commit(&mut self, bytes: Vec<u8>, frames: u64) -> io::Result<()> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+                self.backoff_waits += 1;
+                let wait = self.policy.backoff_for(attempt);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+            }
+            match self.try_commit(&bytes) {
+                Ok(()) => {
+                    self.durable_len += bytes.len() as u64;
+                    self.frames += frames;
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        // Best-effort cleanup so an unacknowledged operation does not
+        // linger in the log and get resurrected by a later recovery. If
+        // the truncate itself fails the recovery checksum rule still
+        // guards against *partial* application; a fully-landed but
+        // unacknowledged frame is then the standard WAL ambiguity — the
+        // op may reappear after restart (documented at-least-once edge).
+        let _ = self.repair();
+        Err(last_err.unwrap_or_else(|| io::Error::other("write failed with no error recorded")))
+    }
+
+    fn try_commit(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.repair()?;
+        let mut written = 0usize;
+        while written < bytes.len() {
+            let n = self.storage.append(&bytes[written..])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "storage accepted zero bytes",
+                ));
+            }
+            written += n;
+        }
+        self.storage.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, FaultyStorage};
+    use crate::storage::MemStorage;
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Insert {
+                id: 0,
+                text: "coffee shop downtown".into(),
+            },
+            WalOp::Delete { id: 0 },
+            WalOp::Compact,
+            WalOp::Checkpoint { next_id: 7 },
+            WalOp::Insert {
+                id: 6,
+                text: "ünïcode tea 茶".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_roundtrip_all_ops() {
+        for op in ops() {
+            let frame = encode_frame(&op);
+            let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+            assert_eq!(frame.len(), 8 + len);
+            let back = decode_payload(&frame[8..]).expect("decodes");
+            assert_eq!(back, op);
+        }
+    }
+
+    #[test]
+    fn append_then_scan_recovers_everything() {
+        let mem = MemStorage::new();
+        let (mut wal, replayed) =
+            Wal::open(Box::new(mem.clone()), RetryPolicy::no_sleep(0)).unwrap();
+        assert!(replayed.is_empty());
+        for op in ops() {
+            wal.append_op(&op).unwrap();
+        }
+        let scanned = scan_log(&mem.bytes()).unwrap();
+        assert_eq!(scanned.ops, ops());
+        assert_eq!(scanned.truncated_bytes, 0);
+        assert_eq!(wal.stats().frames, 5);
+        assert_eq!(wal.stats().bytes, mem.bytes().len() as u64);
+
+        // Reopen replays the same ops.
+        let (wal2, replayed) = Wal::open(Box::new(mem), RetryPolicy::no_sleep(0)).unwrap();
+        assert_eq!(replayed, ops());
+        assert_eq!(wal2.stats().replayed_frames, 5);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(mem.clone()), RetryPolicy::no_sleep(0)).unwrap();
+        for op in ops() {
+            wal.append_op(&op).unwrap();
+        }
+        let bytes = mem.bytes();
+        let bounds = frame_boundaries(&bytes);
+        assert_eq!(bounds.len(), 6, "header + five frames");
+        for cut in 0..=bytes.len() {
+            let scanned = scan_log(&bytes[..cut]).unwrap();
+            // The recovered ops are exactly the frames wholly below the
+            // cut — never a partial one.
+            let whole = bounds.iter().filter(|&&b| b <= cut as u64).count();
+            assert_eq!(scanned.ops.len(), whole.saturating_sub(1), "cut at {cut}");
+            assert_eq!(scanned.ops, ops()[..scanned.ops.len()], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(mem.clone()), RetryPolicy::no_sleep(0)).unwrap();
+        for op in ops() {
+            wal.append_op(&op).unwrap();
+        }
+        let bounds = frame_boundaries(&mem.bytes());
+        // Flip the opcode byte of the second frame: its checksum no
+        // longer matches, so the scan must stop after the first frame.
+        let mut bytes = mem.bytes();
+        let at = bounds[1] as usize + 8;
+        bytes[at] ^= 0xFF;
+        let scanned = scan_log(&bytes).unwrap();
+        assert_eq!(scanned.ops, ops()[..1], "scan stops at the bad frame");
+        assert!(scanned.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn wrong_magic_is_a_hard_error() {
+        assert!(scan_log(b"NOTAWAL!rest").is_err());
+    }
+
+    #[test]
+    fn transient_faults_retry_to_success() {
+        let mem = MemStorage::new();
+        let plan = FaultPlan::new(11)
+            .with_write_fault_per_mille(400)
+            .with_sync_fault_per_mille(200);
+        let faulty = FaultyStorage::new(Box::new(mem.clone()), plan);
+        let (mut wal, _) = Wal::open(Box::new(faulty), RetryPolicy::no_sleep(4)).unwrap();
+        let mut acked = Vec::new();
+        for op in ops().into_iter().cycle().take(40) {
+            if wal.append_op(&op).is_ok() {
+                acked.push(op);
+            }
+        }
+        let stats = wal.stats();
+        assert!(stats.retries > 0, "schedule must exercise the retry loop");
+        assert_eq!(stats.retries, stats.backoff_waits);
+        // Every acknowledged op is durable and in order; nothing else is.
+        let scanned = scan_log(&mem.bytes()).unwrap();
+        assert_eq!(scanned.ops, acked);
+    }
+
+    #[test]
+    fn exhausted_retries_repair_the_log() {
+        let mem = MemStorage::new();
+        // Build a healthy log first, then arm a persistent failure.
+        let (mut wal, _) = Wal::open(Box::new(mem.clone()), RetryPolicy::no_sleep(0)).unwrap();
+        wal.append_op(&ops()[0]).unwrap();
+        let good = mem.bytes();
+        drop(wal);
+        let plan = FaultPlan::persistent(3).with_skip_calls(1); // read_all is unfaulted anyway
+        let faulty = FaultyStorage::new(Box::new(mem.clone()), plan);
+        let (mut wal, replayed) = Wal::open(Box::new(faulty), RetryPolicy::no_sleep(2)).unwrap();
+        assert_eq!(replayed.len(), 1);
+        let err = wal.append_op(&ops()[1]);
+        assert!(err.is_err(), "persistent faults must exhaust the retries");
+        assert_eq!(wal.stats().retries, 2);
+        // The failed frame's torn bytes were repaired away: the log is
+        // byte-identical to the acknowledged prefix.
+        assert_eq!(mem.bytes(), good);
+    }
+
+    #[test]
+    fn rewrite_replaces_the_whole_log() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(mem.clone()), RetryPolicy::no_sleep(0)).unwrap();
+        for op in ops() {
+            wal.append_op(&op).unwrap();
+        }
+        let checkpoint = vec![
+            WalOp::Checkpoint { next_id: 9 },
+            WalOp::Insert {
+                id: 4,
+                text: "survivor".into(),
+            },
+        ];
+        wal.rewrite(&checkpoint).unwrap();
+        assert_eq!(wal.stats().frames, 2);
+        let scanned = scan_log(&mem.bytes()).unwrap();
+        assert_eq!(scanned.ops, checkpoint);
+    }
+}

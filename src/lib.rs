@@ -105,6 +105,9 @@ pub mod prelude {
     pub use au_core::suggest::{SuggestConfig, SuggestOutcome};
     pub use au_core::topk::TopkResult;
     pub use au_core::usim::{usim_approx, usim_exact};
-    pub use au_serve::{Compactor, Mutation, ServeConfig, ServeError, ServeStats, Service};
+    pub use au_serve::{
+        Compactor, FaultPlan, FaultyStorage, MemStorage, Mutation, RetryPolicy, ServeConfig,
+        ServeError, ServeStats, Service, Storage, WalOp, WalStats,
+    };
     pub use au_text::record::{Corpus, Record, RecordId};
 }
